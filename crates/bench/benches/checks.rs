@@ -1,0 +1,94 @@
+//! Criterion benches of per-machine check microcosts: how much one JNI
+//! call of each flavour costs under full Jinn, isolating which of the
+//! eleven machines' checks dominate (the ablation DESIGN.md calls out).
+//!
+//! ```text
+//! cargo bench -p jinn-bench --bench checks
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinn_vendors::Vendor;
+use minijni::{typed, Session};
+use minijvm::JValue;
+use std::rc::Rc;
+
+/// Builds a session in which a native method runs `op` once per call.
+fn bench_op(
+    c: &mut Criterion,
+    group_name: &str,
+    with_jinn: bool,
+    op: impl Fn(&mut minijni::JniEnv<'_>, &[JValue]) -> Result<JValue, minijni::JniError> + 'static,
+) {
+    let mut vm = Vendor::HotSpot.vm();
+    let (_, entry) = vm.define_native_class(
+        "bench/Ops",
+        "op",
+        "(Ljava/lang/Object;)V",
+        true,
+        Rc::new(op),
+    );
+    let class = vm
+        .jvm()
+        .find_class("java/lang/Object")
+        .expect("bootstrapped");
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    if with_jinn {
+        jinn_core::install(&mut session);
+    }
+    let label = if with_jinn { "jinn" } else { "raw" };
+    c.bench_with_input(BenchmarkId::new(group_name, label), &(), |b, ()| {
+        b.iter(|| {
+            let outcome = session.run_native(thread, entry, std::slice::from_ref(&arg));
+            assert!(matches!(outcome, minijni::RunOutcome::Completed(_)));
+        });
+    });
+}
+
+fn per_check_costs(c: &mut Criterion) {
+    for with_jinn in [false, true] {
+        // JVM-state machines only (GetVersion has no parameters).
+        bench_op(c, "jvm_state_only", with_jinn, |env, _| {
+            typed::get_version(env)?;
+            Ok(JValue::Void)
+        });
+        // Nullness + fixed-typing + ref-use machines (string functions).
+        bench_op(c, "string_type_checks", with_jinn, |env, _| {
+            let s = typed::new_string_utf(env, "abc")?;
+            let _ = typed::get_string_length(env, s)?;
+            typed::delete_local_ref(env, s)?;
+            Ok(JValue::Void)
+        });
+        // Resource machines (pin acquire/release).
+        bench_op(c, "pinned_buffer_machine", with_jinn, |env, _| {
+            let arr = typed::new_int_array(env, 4)?;
+            let pin = typed::get_int_array_elements(env, arr)?;
+            typed::release_int_array_elements(env, arr, pin, 0)?;
+            typed::delete_local_ref(env, arr)?;
+            Ok(JValue::Void)
+        });
+        // Entity-typing machine (method lookup + call).
+        bench_op(c, "entity_typing_machine", with_jinn, |env, args| {
+            let obj = args[0].as_ref().expect("receiver");
+            let clazz = typed::get_object_class(env, obj)?;
+            let mid = typed::get_method_id(env, clazz, "toString", "()Ljava/lang/String;");
+            // java/lang/Object has no toString in the mini registry; the
+            // lookup itself (including the thrown NoSuchMethodError path)
+            // is what we're timing.
+            if mid.is_err() {
+                typed::exception_clear(env)?;
+            }
+            typed::delete_local_ref(env, clazz)?;
+            Ok(JValue::Void)
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = per_check_costs
+}
+criterion_main!(benches);

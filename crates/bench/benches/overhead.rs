@@ -1,0 +1,96 @@
+//! Criterion benches behind Table 3: the cost of one workload iteration
+//! under each of the four measured configurations.
+//!
+//! ```text
+//! cargo bench -p jinn-bench --bench overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jinn_vendors::Vendor;
+use jinn_workloads::{build_workload, Treatment};
+use minijni::Session;
+
+fn session_for(treatment: Treatment) -> (Session, minijvm::MethodId, Vec<minijvm::JValue>) {
+    let mut vm = Vendor::HotSpot.vm();
+    let (entry, args) = build_workload(&mut vm, 0xBEEF);
+    let mut session = Session::new(vm);
+    match treatment {
+        Treatment::Baseline => {}
+        Treatment::VendorCheck => session.attach(Vendor::HotSpot.xcheck()),
+        Treatment::JinnInterposing => {
+            session.attach(Box::new(jinn_core::Jinn::interpose_only()));
+        }
+        Treatment::JinnChecking => {
+            jinn_core::install(&mut session);
+        }
+    }
+    (session, entry, args)
+}
+
+fn bench_workload_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_iteration");
+    for treatment in Treatment::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(treatment),
+            &treatment,
+            |b, &treatment| {
+                let (mut session, entry, args) = session_for(treatment);
+                let thread = session.vm().jvm().main_thread();
+                b.iter(|| {
+                    let outcome = session.run_native(thread, entry, &args);
+                    assert!(matches!(outcome, minijni::RunOutcome::Completed(_)));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_native_call_roundtrip(c: &mut Criterion) {
+    // The bare Call:Java→C / Return:C→Java round trip with an empty body —
+    // the floor of the interposition cost.
+    let mut group = c.benchmark_group("native_roundtrip");
+    for treatment in [
+        Treatment::Baseline,
+        Treatment::JinnInterposing,
+        Treatment::JinnChecking,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(treatment),
+            &treatment,
+            |b, &treatment| {
+                let mut vm = Vendor::HotSpot.vm();
+                let (_, entry) = vm.define_native_class(
+                    "bench/Empty",
+                    "nop",
+                    "()V",
+                    true,
+                    std::rc::Rc::new(|_env, _| Ok(minijvm::JValue::Void)),
+                );
+                let mut session = Session::new(vm);
+                match treatment {
+                    Treatment::JinnInterposing => {
+                        session.attach(Box::new(jinn_core::Jinn::interpose_only()));
+                    }
+                    Treatment::JinnChecking => {
+                        jinn_core::install(&mut session);
+                    }
+                    _ => {}
+                }
+                let thread = session.vm().jvm().main_thread();
+                b.iter(|| {
+                    let outcome = session.run_native(thread, entry, &[]);
+                    assert!(matches!(outcome, minijni::RunOutcome::Completed(_)));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_workload_iteration, bench_native_call_roundtrip
+}
+criterion_main!(benches);

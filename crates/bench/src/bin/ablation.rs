@@ -1,0 +1,87 @@
+//! Ablation study: the checking-cost contribution of each of the eleven
+//! state machines, measured by disabling one machine at a time on the
+//! Table 3 workload (a design-choice experiment DESIGN.md calls out;
+//! the paper reports only the aggregate 4% checking cost).
+//!
+//! ```text
+//! cargo run --release -p jinn-bench --bin ablation
+//! JINN_SCALE=200 JINN_TRIALS=5 cargo run --release -p jinn-bench --bin ablation
+//! ```
+
+use std::time::Instant;
+
+use jinn_bench::{env_u64, render_table};
+use jinn_core::JinnConfig;
+use jinn_vendors::Vendor;
+use jinn_workloads::{benchmark, build_workload};
+use minijni::Session;
+
+fn measure(disabled: Option<&'static str>, target: u64, trials: usize) -> f64 {
+    let mut times = Vec::new();
+    for _ in 0..trials {
+        let mut vm = Vendor::HotSpot.vm();
+        vm.jvm_mut().set_auto_gc_period(Some(4096));
+        let (entry, args) = build_workload(&mut vm, 0x00AB_1A7E);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        let config = JinnConfig {
+            disabled_machines: disabled.into_iter().collect(),
+            ..Default::default()
+        };
+        jinn_core::install_with_config(&mut session, config);
+        let start = Instant::now();
+        while session.vm().stats().total() < target {
+            let outcome = session.run_native(thread, entry, &args);
+            assert!(matches!(outcome, minijni::RunOutcome::Completed(_)));
+        }
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let scale = env_u64("JINN_SCALE", 200);
+    let trials = env_u64("JINN_TRIALS", 5) as usize;
+    let spec = benchmark("jack").expect("tabulated");
+    let target = (spec.transitions / scale).max(1_000);
+    println!(
+        "Ablation: full Jinn vs Jinn-minus-one-machine on the `{}` workload",
+        spec.name
+    );
+    println!("({target} transitions per run, median of {trials} trials)\n");
+
+    let full = measure(None, target, trials);
+    let machines: Vec<&'static str> = jinn_spec::machines()
+        .iter()
+        .map(|m| {
+            // Leak the name to get a 'static str for the config.
+            Box::leak(m.name().to_string().into_boxed_str()) as &'static str
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for name in machines {
+        let without = measure(Some(name), target, trials);
+        let saved = (full - without) / full * 100.0;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1} ms", without * 1e3),
+            format!("{saved:+.1}%"),
+        ]);
+    }
+    rows.push(vec![
+        "(full jinn)".to_string(),
+        format!("{:.1} ms", full * 1e3),
+        "—".to_string(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["machine disabled", "median time", "time saved vs full"],
+            &rows
+        )
+    );
+    println!("Reading: machines whose removal saves the most time contribute the most");
+    println!("checking cost; negative values are measurement noise (raise JINN_TRIALS).");
+}

@@ -1,0 +1,114 @@
+//! Reproduces **Table 2**: classification and number of JNI constraints,
+//! computed from the machine-readable function registry.
+//!
+//! ```text
+//! cargo run -p jinn-bench --bin table2
+//! ```
+
+use jinn_bench::{render_table, tick};
+use minijni::registry;
+
+fn main() {
+    let c = registry().constraint_counts();
+    println!("Table 2: classification and number of JNI constraints");
+    println!("(measured = computed over this repository's 229-function registry)\n");
+
+    let rows: Vec<(&str, &str, usize, usize, &str)> = vec![
+        (
+            "JVM state",
+            "JNIEnv* state",
+            229,
+            c.jnienv_state,
+            "current thread matches JNIEnv* thread",
+        ),
+        (
+            "JVM state",
+            "Exception state",
+            209,
+            c.exception_state,
+            "no exception pending for sensitive call",
+        ),
+        (
+            "JVM state",
+            "Critical-section state",
+            225,
+            c.critical_state,
+            "no critical section",
+        ),
+        (
+            "Type",
+            "Fixed typing",
+            157,
+            c.fixed_typing,
+            "parameter matches API function signature",
+        ),
+        (
+            "Type",
+            "Entity-specific typing",
+            131,
+            c.entity_typing,
+            "parameter matches Java entity signature",
+        ),
+        (
+            "Type",
+            "Access control",
+            18,
+            c.access_control,
+            "written field is non-final",
+        ),
+        ("Type", "Nullness", 416, c.nullness, "parameter is not null"),
+        (
+            "Resource",
+            "Pinned or copied",
+            12,
+            c.pinned,
+            "no leak or double-free string or array",
+        ),
+        ("Resource", "Monitor", 1, c.monitor, "no leak"),
+        (
+            "Resource",
+            "Global/weak reference",
+            247,
+            c.global_ref,
+            "no leak or dangling reference",
+        ),
+        (
+            "Resource",
+            "Local reference",
+            284,
+            c.local_ref,
+            "no overflow or dangling reference",
+        ),
+    ];
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(class, name, paper, measured, desc)| {
+            vec![
+                (*class).to_string(),
+                (*name).to_string(),
+                paper.to_string(),
+                measured.to_string(),
+                tick(paper == measured).to_string(),
+                (*desc).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "class",
+                "constraint",
+                "paper",
+                "measured",
+                "exact",
+                "description"
+            ],
+            &table_rows,
+        )
+    );
+
+    let exact = rows.iter().filter(|(_, _, p, m, _)| p == m).count();
+    println!("exact matches: {exact}/11 (the remaining counts are judgment calls the");
+    println!("informal JNI specification leaves open; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,97 @@
+//! Reproduces **Table 3**: normalized execution times of runtime checking
+//! (`-Xcheck:jni`), Jinn interposing, and Jinn checking on the SPECjvm98
+//! and DaCapo workload stand-ins.
+//!
+//! ```text
+//! cargo run --release -p jinn-bench --bin table3
+//! JINN_SCALE=1000 JINN_TRIALS=3 cargo run --release -p jinn-bench --bin table3
+//! ```
+//!
+//! `JINN_SCALE` divides the paper's transition counts (default 500 for a
+//! quick run; 1 replays the full counts); `JINN_TRIALS` is the number of
+//! runs per cell, with the median reported.
+
+use jinn_bench::{env_u64, render_table};
+use jinn_vendors::Vendor;
+use jinn_workloads::{geomean, table3_row, BENCHMARKS};
+
+/// The paper's per-benchmark normalized times (runtime checking,
+/// interposing, checking) for reference output.
+const PAPER: [(&str, f64, f64, f64); 19] = [
+    ("antlr", 1.04, 0.98, 1.05),
+    ("bloat", 1.02, 1.19, 1.20),
+    ("chart", 1.02, 1.08, 1.12),
+    ("eclipse", 1.01, 1.17, 1.20),
+    ("fop", 1.07, 1.14, 1.37),
+    ("hsqldb", 0.88, 1.04, 1.05),
+    ("jython", 1.03, 1.10, 1.16),
+    ("luindex", 1.03, 1.08, 1.13),
+    ("lusearch", 1.04, 1.09, 1.21),
+    ("pmd", 1.04, 1.10, 1.13),
+    ("xalan", 1.01, 1.17, 1.19),
+    ("compress", 0.98, 1.09, 1.08),
+    ("jess", 0.99, 1.22, 1.17),
+    ("raytrace", 1.04, 1.16, 1.14),
+    ("db", 0.99, 1.01, 1.02),
+    ("javac", 1.06, 1.16, 1.14),
+    ("mpegaudio", 1.00, 1.01, 1.04),
+    ("mtrt", 1.01, 1.11, 1.14),
+    ("jack", 1.04, 1.10, 1.21),
+];
+
+fn main() {
+    let scale = env_u64("JINN_SCALE", 500);
+    let trials = env_u64("JINN_TRIALS", 3) as usize;
+    let vendor = match std::env::var("JINN_VENDOR").as_deref() {
+        Ok("j9") | Ok("J9") => Vendor::J9,
+        _ => Vendor::HotSpot,
+    };
+    println!("Table 3: Jinn performance on SPECjvm98 and DaCapo ({vendor} model)");
+    println!("scale=1/{scale} of the paper's transition counts, median of {trials} trials\n");
+
+    let mut rows = Vec::new();
+    let (mut g_check, mut g_intp, mut g_full) = (Vec::new(), Vec::new(), Vec::new());
+    for spec in &BENCHMARKS {
+        let row = table3_row(spec, vendor, scale, trials);
+        let paper = PAPER
+            .iter()
+            .find(|(n, ..)| *n == spec.name)
+            .expect("tabulated");
+        rows.push(vec![
+            row.name.to_string(),
+            row.transitions.to_string(),
+            format!("{:.2} ({:.2})", row.runtime_checking, paper.1),
+            format!("{:.2} ({:.2})", row.interposing, paper.2),
+            format!("{:.2} ({:.2})", row.checking, paper.3),
+        ]);
+        g_check.push(row.runtime_checking);
+        g_intp.push(row.interposing);
+        g_full.push(row.checking);
+        eprintln!("  measured {}", row.name);
+    }
+    rows.push(vec![
+        "GeoMean".to_string(),
+        String::new(),
+        format!("{:.2} (1.01)", geomean(g_check.clone())),
+        format!("{:.2} (1.10)", geomean(g_intp.clone())),
+        format!("{:.2} (1.14)", geomean(g_full.clone())),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "transitions (paper)",
+                "runtime checking (paper)",
+                "jinn interposing (paper)",
+                "jinn checking (paper)",
+            ],
+            &rows,
+        )
+    );
+    let gi = geomean(g_intp);
+    let gf = geomean(g_full);
+    println!("shape check: checking ≥ interposing ≥ ~1.0: interposing {gi:.2}, checking {gf:.2}");
+    println!("paper's claim: \"a modest 14% execution time overhead and most of the");
+    println!("overhead (all but 4%) comes from runtime interposition\"");
+}

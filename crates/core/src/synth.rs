@@ -1,0 +1,155 @@
+//! The synthesizer — Algorithm 1 of the paper.
+//!
+//! Input: the eleven state-machine specifications and their
+//! `languageTransitionsFor` mapping (crate `jinn-spec`), plus the JNI
+//! function registry (crate `minijni`). Output: for every one of the 229
+//! JNI functions, the ordered pre-call and post-return check lists its
+//! synthesized wrapper executes. The runtime checker
+//! ([`crate::Jinn`]) interprets this table; the C backend
+//! ([`crate::codegen`]) prints it as wrapper source code.
+
+use jinn_spec::{instrumentation, Check, InstrPoint, Phase, BOUNDARY_CHECKS};
+use minijni::registry;
+
+/// The synthesized per-function check table.
+#[derive(Debug, Clone)]
+pub struct CheckTable {
+    pre: Vec<Vec<InstrPoint>>,
+    post: Vec<Vec<InstrPoint>>,
+}
+
+impl CheckTable {
+    /// Pre-call checks for a function.
+    pub fn pre(&self, func: minijni::FuncId) -> &[InstrPoint] {
+        &self.pre[func.0 as usize]
+    }
+
+    /// Post-return checks for a function.
+    pub fn post(&self, func: minijni::FuncId) -> &[InstrPoint] {
+        &self.post[func.0 as usize]
+    }
+
+    /// Total number of synthesized checks.
+    pub fn len(&self) -> usize {
+        self.pre.iter().map(Vec::len).sum::<usize>() + self.post.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Drops every check belonging to machines rejected by `keep` — the
+    /// ablation knob: synthesizing from a subset of the eleven machines.
+    pub fn retain_machines(&mut self, keep: impl Fn(&'static str) -> bool) {
+        for list in self.pre.iter_mut().chain(self.post.iter_mut()) {
+            list.retain(|p| keep(p.machine));
+        }
+    }
+
+    /// A check table is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Statistics about one synthesis run, for the `codegen_stats` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Number of input state machines.
+    pub machines: usize,
+    /// Number of resolved instrumentation points (the cross product).
+    pub instr_points: usize,
+    /// Functions that received at least one check (all 229).
+    pub wrapped_functions: usize,
+    /// Driver-side checks at the native-method boundary.
+    pub boundary_checks: usize,
+    /// Non-comment lines of specification input.
+    pub spec_lines: usize,
+}
+
+/// Runs Algorithm 1: expands machines × transitions × triggers into the
+/// per-function check table.
+pub fn synthesize() -> (CheckTable, SynthStats) {
+    let reg = registry();
+    let n = reg.len();
+    let mut pre: Vec<Vec<InstrPoint>> = vec![Vec::new(); n];
+    let mut post: Vec<Vec<InstrPoint>> = vec![Vec::new(); n];
+    let points = instrumentation();
+    let instr_points = points.len();
+    for p in points {
+        match p.phase {
+            Phase::Pre => pre[p.func.0 as usize].push(p),
+            Phase::Post => post[p.func.0 as usize].push(p),
+        }
+    }
+    let wrapped_functions = (0..n)
+        .filter(|&i| !pre[i].is_empty() || !post[i].is_empty())
+        .count();
+    let stats = SynthStats {
+        machines: jinn_spec::machines().len(),
+        instr_points,
+        wrapped_functions,
+        boundary_checks: BOUNDARY_CHECKS.len(),
+        spec_lines: jinn_spec::spec_source_lines(),
+    };
+    (CheckTable { pre, post }, stats)
+}
+
+/// True if the check mutates checker state (an *encoding* update) rather
+/// than only validating — used by the codegen backend to decide whether to
+/// emit bookkeeping or an `if`.
+pub fn is_encoding_update(check: Check) -> bool {
+    matches!(
+        check,
+        Check::CriticalAcquire
+            | Check::RecordMethodId
+            | Check::RecordFieldId
+            | Check::PinAcquire
+            | Check::MonitorAcquire
+            | Check::MonitorRelease
+            | Check::GlobalAcquire
+            | Check::FramePush
+            | Check::EnsureCapacity
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minijni::FuncId;
+
+    #[test]
+    fn every_function_is_wrapped() {
+        let (_, stats) = synthesize();
+        assert_eq!(stats.wrapped_functions, 229);
+        assert_eq!(stats.machines, 11);
+        assert!(stats.instr_points > 1500);
+    }
+
+    #[test]
+    fn table_orders_checks_per_function() {
+        let (table, _) = synthesize();
+        let f = FuncId::of("GetStringCritical");
+        assert!(table.pre(f).iter().any(|p| p.check == Check::EnvMatches));
+        assert!(table
+            .post(f)
+            .iter()
+            .any(|p| p.check == Check::CriticalAcquire));
+        assert!(table.post(f).iter().any(|p| p.check == Check::PinAcquire));
+        // Critical-insensitive: no CriticalSensitive pre check.
+        assert!(!table
+            .pre(f)
+            .iter()
+            .any(|p| p.check == Check::CriticalSensitive));
+    }
+
+    #[test]
+    fn table_len_matches_points() {
+        let (table, stats) = synthesize();
+        assert_eq!(table.len(), stats.instr_points);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn encoding_classification() {
+        assert!(is_encoding_update(Check::PinAcquire));
+        assert!(!is_encoding_update(Check::EnvMatches));
+        assert!(!is_encoding_update(Check::NonNull { param: 0 }));
+    }
+}

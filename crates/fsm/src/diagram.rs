@@ -1,0 +1,122 @@
+//! Rendering machine specifications as diagrams and tables, in the style
+//! of the paper's Figures 2, 6, 7 and 8.
+
+use std::fmt::Write as _;
+
+use crate::machine::MachineSpec;
+
+/// Renders the machine as a Graphviz `dot` digraph.
+///
+/// Error states are drawn as double octagons, the initial state with a bold
+/// border, and every edge is labelled with the transition name.
+pub fn dot(machine: &MachineSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", machine.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, s) in machine.states().iter().enumerate() {
+        let shape = if s.is_error() {
+            "doubleoctagon"
+        } else {
+            "ellipse"
+        };
+        let style = if i == 0 { ", style=bold" } else { "" };
+        let _ = writeln!(out, "  \"{}\" [shape={shape}{style}];", s.name());
+    }
+    for t in machine.transitions() {
+        let from = machine.state(t.from()).name();
+        let to = machine.state(t.to()).name();
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{}\"];", t.name());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the `languageTransitionsFor` mapping as an ASCII table,
+/// mirroring the "State transition / Language transition / Triggering
+/// functions" tables of Figures 2, 6, 7 and 8.
+pub fn ascii_table(machine: &MachineSpec) -> String {
+    let mut rows: Vec<[String; 3]> = Vec::new();
+    for t in machine.transitions() {
+        for trig in t.triggers() {
+            rows.push([
+                t.name().to_string(),
+                trig.direction().to_string(),
+                trig.selector().to_string(),
+            ]);
+        }
+    }
+    let headers = [
+        "State transition",
+        "Language transition",
+        "Triggering functions",
+    ];
+    let mut widths = [headers[0].len(), headers[1].len(), headers[2].len()];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ({} machine over {})",
+        machine.name(),
+        machine.class(),
+        machine.entity()
+    );
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        let _ = write!(line, "| {h:w$} ");
+    }
+    line.push('|');
+    let sep: String = line
+        .chars()
+        .map(|c| if c == '|' { '+' } else { '-' })
+        .collect();
+    let _ = writeln!(out, "{sep}");
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "{sep}");
+    for row in &rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            let _ = write!(line, "| {cell:w$} ");
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{sep}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind, MachineSpec};
+
+    fn machine() -> MachineSpec {
+        MachineSpec::builder("demo", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("A")
+            .error_state("E", "boom")
+            .transition("fail", "A", "E", |t| t.on(Direction::CallCToJava, "AnyFn"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let d = dot(&machine());
+        assert!(d.contains("digraph \"demo\""));
+        assert!(d.contains("doubleoctagon"));
+        assert!(d.contains("\"A\" -> \"E\""));
+        assert!(d.contains("label=\"fail\""));
+    }
+
+    #[test]
+    fn ascii_table_lists_triggers() {
+        let t = ascii_table(&machine());
+        assert!(t.contains("State transition"));
+        assert!(t.contains("Call:C->Java"));
+        assert!(t.contains("AnyFn"));
+    }
+}

@@ -1,0 +1,692 @@
+//! Declarative state-machine specifications.
+
+use std::fmt;
+
+/// The three classes of FFI constraints identified by the paper (Section 5).
+///
+/// Every constraint of the JNI and the Python/C API falls into exactly one
+/// of these classes; the class determines what the machine's entity is and
+/// when the synthesizer consults it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstraintClass {
+    /// Restrictions on the managed runtime's thread context, critical
+    /// section state, and/or exception state ("JVM state constraints").
+    RuntimeState,
+    /// Restrictions on parameter types, values (e.g. not `NULL`), and
+    /// semantics (e.g. no writing to final fields).
+    Type,
+    /// Restrictions on the number of multilingual pointers and on resource
+    /// lifetimes, e.g. locks and memory.
+    Resource,
+}
+
+impl fmt::Display for ConstraintClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintClass::RuntimeState => "runtime-state",
+            ConstraintClass::Type => "type",
+            ConstraintClass::Resource => "resource",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A language transition direction: which way control crosses the boundary
+/// between the managed language ("Java") and the foreign language ("C").
+///
+/// The paper writes these as `Call:Java→C`, `Return:C→Java`, `Call:C→Java`
+/// and `Return:Java→C` (Figure 2). The first pair brackets the execution of
+/// a *native method*; the second pair brackets the execution of an *FFI
+/// function* invoked from native code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Managed code calls into a native method (`Call:Java→C`).
+    CallJavaToC,
+    /// A native method returns to managed code (`Return:C→Java`).
+    ReturnCToJava,
+    /// Native code calls an FFI function (`Call:C→Java`).
+    CallCToJava,
+    /// An FFI function returns to native code (`Return:Java→C`).
+    ReturnJavaToC,
+}
+
+impl Direction {
+    /// All four directions, in the paper's order of presentation.
+    pub const ALL: [Direction; 4] = [
+        Direction::CallJavaToC,
+        Direction::ReturnCToJava,
+        Direction::CallCToJava,
+        Direction::ReturnJavaToC,
+    ];
+
+    /// Returns `true` if this direction happens *before* the wrapped
+    /// function body runs (a call edge), `false` for a return edge.
+    ///
+    /// Algorithm 1 of the paper uses this to decide whether synthesized
+    /// instrumentation is added at the start or end of the wrapper.
+    pub fn is_call(self) -> bool {
+        matches!(self, Direction::CallJavaToC | Direction::CallCToJava)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::CallJavaToC => "Call:Java->C",
+            Direction::ReturnCToJava => "Return:C->Java",
+            Direction::CallCToJava => "Call:C->Java",
+            Direction::ReturnJavaToC => "Return:Java->C",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of program entity a machine instance is attached to.
+///
+/// The paper parameterizes each state machine by program entities: threads,
+/// references, and objects (Section 1); the concrete machines also observe
+/// entity IDs, critical resources, monitors and pinned buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityKind {
+    /// A thread of the managed runtime.
+    Thread,
+    /// A cross-language reference (local, global, or weak-global).
+    Reference,
+    /// An opaque entity ID (method ID or field ID).
+    EntityId,
+    /// A critical resource (directly-accessed string or array contents).
+    CriticalResource,
+    /// A monitor (mutual-exclusion primitive).
+    Monitor,
+    /// A pinned-or-copied string or array buffer.
+    PinnedBuffer,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntityKind::Thread => "thread",
+            EntityKind::Reference => "reference",
+            EntityKind::EntityId => "entity-id",
+            EntityKind::CriticalResource => "critical-resource",
+            EntityKind::Monitor => "monitor",
+            EntityKind::PinnedBuffer => "pinned-buffer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Index of a state within its [`MachineSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub(crate) u16);
+
+impl StateId {
+    /// Numeric index of the state in declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a transition within its [`MachineSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub(crate) u16);
+
+impl TransitionId {
+    /// Numeric index of the transition in declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named state of a machine specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSpec {
+    name: String,
+    diagnosis: Option<String>,
+}
+
+impl StateSpec {
+    /// The state's name, unique within its machine.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns `true` if entering this state constitutes a detected bug.
+    pub fn is_error(&self) -> bool {
+        self.diagnosis.is_some()
+    }
+
+    /// The diagnosis message template for an error state.
+    ///
+    /// Templates may contain `{function}` and `{entity}` placeholders that
+    /// the checker substitutes when reporting.
+    pub fn diagnosis(&self) -> Option<&str> {
+        self.diagnosis.as_deref()
+    }
+}
+
+/// A trigger: one (direction, function-selector) pair of the
+/// `languageTransitionsFor` mapping.
+///
+/// The `selector` is a free-form description resolved against a concrete
+/// function registry by the synthesizer (e.g. `"JNI function taking
+/// reference"` or a literal function name such as `"DeleteLocalRef"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerSpec {
+    direction: Direction,
+    selector: String,
+}
+
+impl TriggerSpec {
+    /// The boundary-crossing direction at which this trigger fires.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The function selector resolved by the synthesizer.
+    pub fn selector(&self) -> &str {
+        &self.selector
+    }
+}
+
+/// A named transition between two states, with its triggering language
+/// transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionSpec {
+    name: String,
+    from: StateId,
+    to: StateId,
+    triggers: Vec<TriggerSpec>,
+}
+
+impl TransitionSpec {
+    /// The transition's name (e.g. `"Acquire"`, `"Release"`, `"Use"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Source state.
+    pub fn from(&self) -> StateId {
+        self.from
+    }
+
+    /// Destination state.
+    pub fn to(&self) -> StateId {
+        self.to
+    }
+
+    /// The language transitions at which this state transition may occur —
+    /// the paper's `Mi.languageTransitionsFor(sa → sb)`.
+    pub fn triggers(&self) -> &[TriggerSpec] {
+        &self.triggers
+    }
+}
+
+/// Errors detected while building a [`MachineSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Two states share a name.
+    DuplicateState(String),
+    /// Two transitions share a name.
+    DuplicateTransition(String),
+    /// A transition referenced a state name that was never declared.
+    UnknownState {
+        /// Transition that contained the reference.
+        transition: String,
+        /// The undeclared state name.
+        state: String,
+    },
+    /// The machine has no states.
+    NoStates,
+    /// The machine declares no initial (first, non-error) state.
+    ErrorInitialState,
+    /// A transition leaves an error state; error states must be terminal.
+    TransitionFromError {
+        /// The offending transition.
+        transition: String,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::DuplicateState(name) => write!(f, "duplicate state `{name}`"),
+            MachineError::DuplicateTransition(name) => {
+                write!(f, "duplicate transition `{name}`")
+            }
+            MachineError::UnknownState { transition, state } => {
+                write!(
+                    f,
+                    "transition `{transition}` references unknown state `{state}`"
+                )
+            }
+            MachineError::NoStates => write!(f, "machine declares no states"),
+            MachineError::ErrorInitialState => {
+                write!(
+                    f,
+                    "the initial state of a machine must not be an error state"
+                )
+            }
+            MachineError::TransitionFromError { transition } => {
+                write!(f, "transition `{transition}` leaves an error state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A complete, validated state-machine specification.
+///
+/// Corresponds to one `Mi` of the paper's Algorithm 1 input
+/// `M1, …, Mn`. Build one with [`MachineSpec::builder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSpec {
+    name: String,
+    class: ConstraintClass,
+    entity: EntityKind,
+    states: Vec<StateSpec>,
+    transitions: Vec<TransitionSpec>,
+}
+
+impl MachineSpec {
+    /// Starts building a machine with the given name and constraint class.
+    pub fn builder(name: impl Into<String>, class: ConstraintClass) -> MachineBuilder {
+        MachineBuilder {
+            name: name.into(),
+            class,
+            entity: EntityKind::Thread,
+            states: Vec::new(),
+            transitions: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The machine's name (e.g. `"local-reference"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constraint class this machine enforces.
+    pub fn class(&self) -> ConstraintClass {
+        self.class
+    }
+
+    /// The kind of entity instances of this machine are attached to.
+    pub fn entity(&self) -> EntityKind {
+        self.entity
+    }
+
+    /// All states, in declaration order; index 0 is the initial state.
+    pub fn states(&self) -> &[StateSpec] {
+        &self.states
+    }
+
+    /// All transitions in declaration order — `Mi.stateTransitions`.
+    pub fn transitions(&self) -> &[TransitionSpec] {
+        &self.transitions
+    }
+
+    /// The initial state (always the first declared state).
+    pub fn initial(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// Looks up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<&StateSpec> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a state id by name.
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StateId(i as u16))
+    }
+
+    /// Looks up a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<&TransitionSpec> {
+        self.transitions.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a transition id by name.
+    pub fn transition_id(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TransitionId(i as u16))
+    }
+
+    /// Returns the state spec for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn state(&self, id: StateId) -> &StateSpec {
+        &self.states[id.index()]
+    }
+
+    /// Returns the transition spec for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this machine.
+    pub fn transition(&self, id: TransitionId) -> &TransitionSpec {
+        &self.transitions[id.index()]
+    }
+
+    /// Iterates over the error states of the machine.
+    pub fn error_states(&self) -> impl Iterator<Item = (StateId, &StateSpec)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_error())
+            .map(|(i, s)| (StateId(i as u16), s))
+    }
+
+    /// States reachable from the initial state by following transitions.
+    pub fn reachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.initial()];
+        seen[0] = true;
+        while let Some(s) = stack.pop() {
+            for t in &self.transitions {
+                if t.from == s && !seen[t.to.index()] {
+                    seen[t.to.index()] = true;
+                    stack.push(t.to);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, v)| **v)
+            .map(|(i, _)| StateId(i as u16))
+            .collect()
+    }
+
+    /// Total number of (state transition, trigger) pairs — the size of the
+    /// cross product that Algorithm 1 expands into generated checks.
+    pub fn trigger_count(&self) -> usize {
+        self.transitions.iter().map(|t| t.triggers.len()).sum()
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} machine over {}; {} states, {} transitions)",
+            self.name,
+            self.class,
+            self.entity,
+            self.states.len(),
+            self.transitions.len()
+        )
+    }
+}
+
+/// Builder for [`MachineSpec`]; see [`MachineSpec::builder`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    name: String,
+    class: ConstraintClass,
+    entity: EntityKind,
+    states: Vec<StateSpec>,
+    transitions: Vec<(String, String, String, Vec<TriggerSpec>)>,
+    error: Option<MachineError>,
+}
+
+impl MachineBuilder {
+    /// Sets the entity kind the machine observes (default:
+    /// [`EntityKind::Thread`]).
+    pub fn entity(mut self, entity: EntityKind) -> Self {
+        self.entity = entity;
+        self
+    }
+
+    /// Declares a non-error state. The first declared state is initial.
+    pub fn state(mut self, name: impl Into<String>) -> Self {
+        self.push_state(StateSpec {
+            name: name.into(),
+            diagnosis: None,
+        });
+        self
+    }
+
+    /// Declares an error state with a diagnosis message template.
+    pub fn error_state(mut self, name: impl Into<String>, diagnosis: impl Into<String>) -> Self {
+        self.push_state(StateSpec {
+            name: name.into(),
+            diagnosis: Some(diagnosis.into()),
+        });
+        self
+    }
+
+    fn push_state(&mut self, state: StateSpec) {
+        if self.error.is_none() && self.states.iter().any(|s| s.name == state.name) {
+            self.error = Some(MachineError::DuplicateState(state.name.clone()));
+            return;
+        }
+        self.states.push(state);
+    }
+
+    /// Declares a transition from `from` to `to` and configures its
+    /// triggers through the closure.
+    pub fn transition(
+        mut self,
+        name: impl Into<String>,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        configure: impl FnOnce(TransitionBuilder) -> TransitionBuilder,
+    ) -> Self {
+        let name = name.into();
+        if self.error.is_none() && self.transitions.iter().any(|(n, ..)| *n == name) {
+            self.error = Some(MachineError::DuplicateTransition(name));
+            return self;
+        }
+        let tb = configure(TransitionBuilder {
+            triggers: Vec::new(),
+        });
+        self.transitions
+            .push((name, from.into(), to.into(), tb.triggers));
+        self
+    }
+
+    /// Validates and produces the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if states or transitions are duplicated,
+    /// a transition names an undeclared state, the machine is empty, the
+    /// initial state is an error state, or a transition leaves an error
+    /// state (error states are terminal: once a bug is detected, the entity
+    /// stays condemned).
+    pub fn build(self) -> Result<MachineSpec, MachineError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.states.is_empty() {
+            return Err(MachineError::NoStates);
+        }
+        if self.states[0].is_error() {
+            return Err(MachineError::ErrorInitialState);
+        }
+        let find = |tname: &str, sname: &str| -> Result<StateId, MachineError> {
+            self.states
+                .iter()
+                .position(|s| s.name == sname)
+                .map(|i| StateId(i as u16))
+                .ok_or_else(|| MachineError::UnknownState {
+                    transition: tname.to_string(),
+                    state: sname.to_string(),
+                })
+        };
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (name, from, to, triggers) in self.transitions {
+            let from = find(&name, &from)?;
+            let to = find(&name, &to)?;
+            if self.states[from.index()].is_error() {
+                return Err(MachineError::TransitionFromError { transition: name });
+            }
+            transitions.push(TransitionSpec {
+                name,
+                from,
+                to,
+                triggers,
+            });
+        }
+        Ok(MachineSpec {
+            name: self.name,
+            class: self.class,
+            entity: self.entity,
+            states: self.states,
+            transitions,
+        })
+    }
+}
+
+/// Builder for the trigger set of one transition.
+#[derive(Debug)]
+pub struct TransitionBuilder {
+    triggers: Vec<TriggerSpec>,
+}
+
+impl TransitionBuilder {
+    /// Adds a (direction, selector) trigger.
+    pub fn on(mut self, direction: Direction, selector: impl Into<String>) -> Self {
+        self.triggers.push(TriggerSpec {
+            direction,
+            selector: selector.into(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> MachineSpec {
+        MachineSpec::builder("m", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("A")
+            .state("B")
+            .error_state("E", "boom in {function}")
+            .transition("go", "A", "B", |t| t.on(Direction::CallCToJava, "any"))
+            .transition("fail", "B", "E", |t| t.on(Direction::CallCToJava, "any"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let m = simple();
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.class(), ConstraintClass::Resource);
+        assert_eq!(m.entity(), EntityKind::Reference);
+        assert_eq!(m.initial(), StateId(0));
+        assert_eq!(m.state_id("B"), Some(StateId(1)));
+        assert_eq!(m.transition_id("fail"), Some(TransitionId(1)));
+        assert_eq!(m.error_states().count(), 1);
+        assert_eq!(m.trigger_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_state_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type)
+            .state("A")
+            .state("A")
+            .build();
+        assert_eq!(r.unwrap_err(), MachineError::DuplicateState("A".into()));
+    }
+
+    #[test]
+    fn duplicate_transition_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type)
+            .state("A")
+            .state("B")
+            .transition("t", "A", "B", |t| t)
+            .transition("t", "B", "A", |t| t)
+            .build();
+        assert_eq!(
+            r.unwrap_err(),
+            MachineError::DuplicateTransition("t".into())
+        );
+    }
+
+    #[test]
+    fn unknown_state_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type)
+            .state("A")
+            .transition("t", "A", "Z", |t| t)
+            .build();
+        assert!(matches!(r.unwrap_err(), MachineError::UnknownState { .. }));
+    }
+
+    #[test]
+    fn empty_machine_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type).build();
+        assert_eq!(r.unwrap_err(), MachineError::NoStates);
+    }
+
+    #[test]
+    fn error_initial_state_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type)
+            .error_state("E", "nope")
+            .build();
+        assert_eq!(r.unwrap_err(), MachineError::ErrorInitialState);
+    }
+
+    #[test]
+    fn transition_from_error_rejected() {
+        let r = MachineSpec::builder("m", ConstraintClass::Type)
+            .state("A")
+            .error_state("E", "boom")
+            .transition("bad", "E", "A", |t| t)
+            .build();
+        assert!(matches!(
+            r.unwrap_err(),
+            MachineError::TransitionFromError { .. }
+        ));
+    }
+
+    #[test]
+    fn reachability() {
+        let m = MachineSpec::builder("m", ConstraintClass::Type)
+            .state("A")
+            .state("B")
+            .state("Unreachable")
+            .transition("go", "A", "B", |t| t)
+            .build()
+            .unwrap();
+        let reach = m.reachable_states();
+        assert!(reach.contains(&StateId(0)));
+        assert!(reach.contains(&StateId(1)));
+        assert!(!reach.contains(&StateId(2)));
+    }
+
+    #[test]
+    fn direction_call_classification() {
+        assert!(Direction::CallJavaToC.is_call());
+        assert!(Direction::CallCToJava.is_call());
+        assert!(!Direction::ReturnCToJava.is_call());
+        assert!(!Direction::ReturnJavaToC.is_call());
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        let m = simple();
+        assert!(!format!("{m}").is_empty());
+        for d in Direction::ALL {
+            assert!(!format!("{d}").is_empty());
+        }
+        for c in [
+            ConstraintClass::RuntimeState,
+            ConstraintClass::Type,
+            ConstraintClass::Resource,
+        ] {
+            assert!(!format!("{c}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Runtime state tracking: attaching machine instances to entities and
+//! applying transitions.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::machine::{MachineSpec, StateId, TransitionId};
+
+/// Current state of one machine instance attached to one entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityState {
+    state: StateId,
+}
+
+impl EntityState {
+    /// The current state.
+    pub fn state(self) -> StateId {
+        self.state
+    }
+}
+
+/// Result of applying a transition to an entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionOutcome {
+    /// The transition applied and the destination is a non-error state.
+    Moved {
+        /// State before the transition.
+        from: StateId,
+        /// State after the transition.
+        to: StateId,
+    },
+    /// The transition applied and the destination is an error state: a bug.
+    Error(ErrorEntered),
+    /// The transition's source state did not match the entity's current
+    /// state; nothing changed. (Transition checks in the paper's wrappers
+    /// are conditional: `if e satisfies the transition check …`.)
+    NotApplicable {
+        /// The entity's current state, which differs from the transition's
+        /// source.
+        current: StateId,
+    },
+}
+
+impl TransitionOutcome {
+    /// Returns the error record if the outcome entered an error state.
+    pub fn error(&self) -> Option<&ErrorEntered> {
+        match self {
+            TransitionOutcome::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the transition actually moved the entity.
+    pub fn applied(&self) -> bool {
+        !matches!(self, TransitionOutcome::NotApplicable { .. })
+    }
+}
+
+/// Record of an entity entering an error state: a detected FFI bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorEntered {
+    /// Machine name.
+    pub machine: String,
+    /// Transition that moved the entity into the error state.
+    pub transition: String,
+    /// The error state's name.
+    pub state: String,
+    /// The diagnosis template from the state spec.
+    pub diagnosis: String,
+}
+
+impl fmt::Display for ErrorEntered {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: entered `{}` via `{}`: {}",
+            self.machine, self.state, self.transition, self.diagnosis
+        )
+    }
+}
+
+/// A store mapping entities (of key type `K`) to their machine state.
+///
+/// This is the "state machine encoding" of the paper, in its most generic
+/// form: a map from entity to current state. Concrete checkers use richer
+/// encodings (frame stacks, tallies) built from the same machine specs;
+/// `StateStore` is the reference encoding used by tests, the generic
+/// runtime, and the Python/C checker.
+#[derive(Debug, Clone)]
+pub struct StateStore<K> {
+    machine: MachineSpec,
+    states: HashMap<K, EntityState>,
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
+    /// Creates an empty store for instances of `machine`.
+    pub fn new(machine: MachineSpec) -> Self {
+        StateStore {
+            machine,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The machine this store tracks.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Number of tracked entities.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if no entities are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of `entity`, or the initial state if never seen.
+    pub fn state_of(&self, entity: &K) -> StateId {
+        self.states
+            .get(entity)
+            .map(|e| e.state)
+            .unwrap_or_else(|| self.machine.initial())
+    }
+
+    /// Returns `true` if the entity has been attached (transitioned at
+    /// least once).
+    pub fn contains(&self, entity: &K) -> bool {
+        self.states.contains_key(entity)
+    }
+
+    /// Applies the named transition to `entity` if its current state
+    /// matches the transition's source; returns what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` does not belong to the store's machine.
+    pub fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
+        let t = self.machine.transition(transition);
+        let current = self.state_of(entity);
+        if current != t.from() {
+            return TransitionOutcome::NotApplicable { current };
+        }
+        let to = t.to();
+        self.states
+            .insert(entity.clone(), EntityState { state: to });
+        let dest = self.machine.state(to);
+        if let Some(diag) = dest.diagnosis() {
+            TransitionOutcome::Error(ErrorEntered {
+                machine: self.machine.name().to_string(),
+                transition: t.name().to_string(),
+                state: dest.name().to_string(),
+                diagnosis: diag.to_string(),
+            })
+        } else {
+            TransitionOutcome::Moved { from: current, to }
+        }
+    }
+
+    /// Applies the transition named `name`; see [`StateStore::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transition of that name exists.
+    pub fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
+        let id = self.machine.transition_id(name).unwrap_or_else(|| {
+            panic!(
+                "no transition `{name}` in machine `{}`",
+                self.machine.name()
+            )
+        });
+        self.apply(entity, id)
+    }
+
+    /// Removes an entity from the store (e.g. after its resource dies).
+    pub fn evict(&mut self, entity: &K) -> Option<EntityState> {
+        self.states.remove(entity)
+    }
+
+    /// Entities currently in the given state.
+    pub fn entities_in(&self, state: StateId) -> Vec<K> {
+        self.states
+            .iter()
+            .filter(|(_, v)| v.state == state)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Entities whose current state is *not* the given state; used for
+    /// program-termination leak sweeps ("Jinn reports a leak for any
+    /// resource that has not been released at program termination").
+    pub fn entities_not_in(&self, state: StateId) -> Vec<K> {
+        self.states
+            .iter()
+            .filter(|(_, v)| v.state != state)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Clears all tracked entities.
+    pub fn clear(&mut self) {
+        self.states.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind};
+
+    fn machine() -> MachineSpec {
+        MachineSpec::builder("local-ref", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("BeforeAcquire")
+            .state("Acquired")
+            .state("Released")
+            .error_state("Dangling", "use of dangling reference in {function}")
+            .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
+                t.on(Direction::CallJavaToC, "native method taking reference")
+            })
+            .transition("Release", "Acquired", "Released", |t| {
+                t.on(Direction::ReturnCToJava, "any native method")
+            })
+            .transition("UseAfterRelease", "Released", "Dangling", |t| {
+                t.on(Direction::CallCToJava, "JNI function taking reference")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lifecycle_detects_dangling_use() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        let r = 7;
+        assert_eq!(store.state_of(&r), StateId(0));
+        assert!(store.apply_named(&r, "Acquire").applied());
+        assert!(store.apply_named(&r, "Release").applied());
+        let out = store.apply_named(&r, "UseAfterRelease");
+        let err = out.error().expect("should be an error");
+        assert_eq!(err.machine, "local-ref");
+        assert_eq!(err.state, "Dangling");
+        assert!(err.diagnosis.contains("dangling"));
+    }
+
+    #[test]
+    fn not_applicable_leaves_state_unchanged() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        let r = 1;
+        // Release before Acquire: source state doesn't match.
+        let out = store.apply_named(&r, "Release");
+        assert!(!out.applied());
+        assert_eq!(store.state_of(&r), StateId(0));
+    }
+
+    #[test]
+    fn use_in_acquired_state_is_fine() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        let r = 1;
+        store.apply_named(&r, "Acquire");
+        // A "use" trigger in Acquired doesn't match UseAfterRelease's source.
+        let out = store.apply_named(&r, "UseAfterRelease");
+        assert!(!out.applied());
+        assert_eq!(store.state_of(&r), StateId(1));
+    }
+
+    #[test]
+    fn leak_sweep_finds_unreleased() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        store.apply_named(&1, "Acquire");
+        store.apply_named(&2, "Acquire");
+        store.apply_named(&2, "Release");
+        let released = store.machine().state_id("Released").unwrap();
+        let leaked = store.entities_not_in(released);
+        assert_eq!(leaked, vec![1]);
+    }
+
+    #[test]
+    fn evict_and_clear() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        store.apply_named(&1, "Acquire");
+        assert!(store.contains(&1));
+        assert!(store.evict(&1).is_some());
+        assert!(!store.contains(&1));
+        store.apply_named(&2, "Acquire");
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

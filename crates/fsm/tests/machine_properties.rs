@@ -1,0 +1,96 @@
+//! Property tests of the specification framework: arbitrary well-formed
+//! machines behave deterministically and render cleanly.
+
+use jinn_fsm::{ConstraintClass, Direction, EntityKind, MachineSpec, StateStore};
+use proptest::prelude::*;
+
+/// Builds a random linear machine A0 → A1 → … → An (→ Error), which is the
+/// shape every Jinn machine has (acquire/use/release ladders).
+fn linear_machine(states: usize, with_error: bool) -> MachineSpec {
+    let mut b =
+        MachineSpec::builder("linear", ConstraintClass::Resource).entity(EntityKind::Reference);
+    for i in 0..states {
+        b = b.state(format!("S{i}"));
+    }
+    if with_error {
+        b = b.error_state("E", "boom in {function}");
+    }
+    for i in 1..states {
+        b = b.transition(
+            format!("t{i}"),
+            format!("S{}", i - 1),
+            format!("S{i}"),
+            |t| t.on(Direction::CallCToJava, "any"),
+        );
+    }
+    if with_error && states > 0 {
+        b = b.transition("fail", format!("S{}", states - 1), "E", |t| {
+            t.on(Direction::ReturnJavaToC, "any")
+        });
+    }
+    b.build().expect("linear machines are well-formed")
+}
+
+proptest! {
+    #[test]
+    fn linear_machines_walk_their_ladder(n in 1usize..12, error in any::<bool>()) {
+        let m = linear_machine(n, error);
+        prop_assert_eq!(m.states().len(), n + usize::from(error));
+        prop_assert_eq!(m.reachable_states().len(), m.states().len());
+
+        let mut store: StateStore<u8> = StateStore::new(m);
+        let entity = 1u8;
+        for i in 1..n {
+            let out = store.apply_named(&entity, &format!("t{i}"));
+            prop_assert!(out.applied(), "step {i}");
+            prop_assert!(out.error().is_none());
+        }
+        if error {
+            let out = store.apply_named(&entity, "fail");
+            prop_assert!(out.error().is_some());
+        }
+    }
+
+    #[test]
+    fn out_of_order_transitions_never_apply(n in 3usize..10) {
+        let m = linear_machine(n, false);
+        let mut store: StateStore<u8> = StateStore::new(m);
+        let entity = 9u8;
+        // Jumping ahead (t2 before t1) is NotApplicable and state-preserving.
+        let out = store.apply_named(&entity, "t2");
+        prop_assert!(!out.applied());
+        prop_assert_eq!(store.state_of(&entity).index(), 0);
+        // The proper first step still works afterwards.
+        prop_assert!(store.apply_named(&entity, "t1").applied());
+    }
+
+    #[test]
+    fn entities_are_independent(n in 2usize..8, entities in proptest::collection::vec(0u8..32, 1..10)) {
+        let m = linear_machine(n, false);
+        let mut store: StateStore<u8> = StateStore::new(m);
+        let mut unique = entities.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        // March each entity a distinct number of steps.
+        for (k, e) in unique.iter().enumerate() {
+            for i in 1..=(k % n) {
+                store.apply_named(e, &format!("t{i}"));
+            }
+        }
+        for (k, e) in unique.iter().enumerate() {
+            prop_assert_eq!(store.state_of(e).index(), k % n, "entity {}", e);
+        }
+    }
+
+    #[test]
+    fn diagrams_render_for_any_machine(n in 1usize..10, error in any::<bool>()) {
+        let m = linear_machine(n, error);
+        let dot = jinn_fsm::dot(&m);
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert!(dot.matches("->").count() >= m.transitions().len());
+        let table = jinn_fsm::ascii_table(&m);
+        // Every line of the table body has the same width.
+        let widths: Vec<usize> = table.lines().skip(1).map(str::len).collect();
+        prop_assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for JNI calls.
+
+use std::fmt;
+
+use minijvm::{JvmDeath, JvmError};
+
+use crate::interpose::Violation;
+
+/// Why a JNI call did not complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JniError {
+    /// A Java exception is (now) pending on the calling thread — the
+    /// ordinary Java error path, not a failure of the FFI machinery.
+    Exception,
+    /// The simulated JVM process died (crash, deadlock, fatal error).
+    Death(JvmDeath),
+    /// A dynamic checker detected an FFI constraint violation and aborted
+    /// the call by throwing its checker exception (Jinn's
+    /// `JNIAssertionFailure`).
+    Detected(Violation),
+}
+
+impl JniError {
+    /// The violation, if this error came from a checker.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            JniError::Detected(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The death record, if the VM died.
+    pub fn death(&self) -> Option<&JvmDeath> {
+        match self {
+            JniError::Death(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JniError::Exception => f.write_str("java exception pending"),
+            JniError::Death(d) => write!(f, "{d}"),
+            JniError::Detected(v) => write!(f, "JNI assertion failure: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for JniError {}
+
+impl From<JvmDeath> for JniError {
+    fn from(d: JvmDeath) -> JniError {
+        JniError::Death(d)
+    }
+}
+
+impl From<JvmError> for JniError {
+    fn from(e: JvmError) -> JniError {
+        match e {
+            JvmError::Exception => JniError::Exception,
+            JvmError::Death(d) => JniError::Death(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        let e: JniError = JvmDeath::crash("segv").into();
+        assert!(e.death().is_some());
+        assert!(e.violation().is_none());
+        let e: JniError = JvmError::Exception.into();
+        assert_eq!(e, JniError::Exception);
+        let v = Violation {
+            machine: "nullness",
+            error_state: "Error:Null",
+            function: "CallVoidMethod".into(),
+            message: "method is null".into(),
+            backtrace: vec![],
+        };
+        let e = JniError::Detected(v);
+        assert!(e.violation().is_some());
+        assert!(e.to_string().contains("assertion failure"));
+    }
+}

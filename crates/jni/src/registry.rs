@@ -1,0 +1,1455 @@
+//! The JNI function registry: all 229 `JNIEnv` functions with their
+//! constraint metadata.
+//!
+//! The paper extracts JNI constraints "by scanning the JNI header file for
+//! C parameters with well-defined corresponding Java types" plus the
+//! informal explanations in Liang's book (Section 5.2). This module is the
+//! machine-readable result of that scan: one [`FuncSpec`] per function,
+//! carrying everything the synthesizer needs — parameter kinds,
+//! nullability, fixed Java types, entity-ID parameters, exception
+//! obliviousness, and critical-section sensitivity. Table 2 of the paper
+//! is *computed* from this registry (see the `constraint_counts` method).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use minijvm::PrimType;
+
+/// Index of a function in the registry (stable, in `jni.h` order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u16);
+
+impl FuncId {
+    /// Looks up a function id by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such JNI function exists — a typo in checker or test
+    /// code, never a runtime condition.
+    pub fn of(name: &str) -> FuncId {
+        registry()
+            .id(name)
+            .unwrap_or_else(|| panic!("no JNI function named `{name}`"))
+    }
+
+    /// The function's spec.
+    pub fn spec(self) -> &'static FuncSpec {
+        registry().spec(self)
+    }
+
+    /// The function's name.
+    pub fn name(self) -> &'static str {
+        &self.spec().name
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of value a parameter carries across the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A reference (`jobject`, `jclass`, `jstring`, `jarray`,
+    /// `jthrowable`, `jweak` — distinguished by [`ParamSpec::fixed_types`]).
+    Ref,
+    /// A `jmethodID`.
+    MethodId,
+    /// A `jfieldID`.
+    FieldId,
+    /// A primitive value parameter.
+    Prim(PrimType),
+    /// A `jsize`/capacity/index integer.
+    Size,
+    /// A release-mode integer (`0`, `JNI_COMMIT`, `JNI_ABORT`).
+    Mode,
+    /// A C string carrying a name or descriptor (class name, method name,
+    /// signature, message).
+    Name,
+    /// A C data pointer: out-buffer for regions, pinned-buffer pointer for
+    /// `Release*` functions, classfile bytes, native memory address.
+    Buffer,
+    /// A `jvalue*` argument array (or the equivalent varargs).
+    Args,
+    /// A `jboolean* isCopy` out-parameter.
+    IsCopyOut,
+    /// A `JavaVM**` out-parameter.
+    VmOut,
+}
+
+/// One parameter of a JNI function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name as in the JNI documentation.
+    pub name: &'static str,
+    /// Value kind.
+    pub kind: ParamKind,
+    /// Whether `NULL` is a legal value (the nullness constraint of
+    /// Figure 7 applies to each non-nullable parameter).
+    pub nullable: bool,
+    /// Fixed-typing constraint: the actual must be assignable to one of
+    /// these Java types. `"[*"` means any array, `"[prim"` any primitive
+    /// array, `"[obj"` any object array, `"[<desc>"` a specific array
+    /// type; anything else is an internal class name.
+    pub fixed_types: &'static [&'static str],
+}
+
+impl ParamSpec {
+    fn new(name: &'static str, kind: ParamKind) -> ParamSpec {
+        ParamSpec {
+            name,
+            kind,
+            nullable: false,
+            fixed_types: &[],
+        }
+    }
+
+    fn nullable(mut self) -> ParamSpec {
+        self.nullable = true;
+        self
+    }
+
+    fn fixed(mut self, types: &'static [&'static str]) -> ParamSpec {
+        self.fixed_types = types;
+        self
+    }
+
+    /// Returns `true` if this parameter carries a reference.
+    pub fn is_ref(&self) -> bool {
+        self.kind == ParamKind::Ref
+    }
+
+    /// Returns `true` if this parameter carries an entity ID.
+    pub fn is_entity_id(&self) -> bool {
+        matches!(self.kind, ParamKind::MethodId | ParamKind::FieldId)
+    }
+}
+
+/// What a JNI function returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetKind {
+    /// `void`
+    Void,
+    /// A primitive value.
+    Prim(PrimType),
+    /// A new **local** reference.
+    LocalRef,
+    /// A new **global** reference.
+    GlobalRef,
+    /// A new **weak global** reference.
+    WeakRef,
+    /// A `jmethodID`.
+    MethodId,
+    /// A `jfieldID`.
+    FieldId,
+    /// A `jsize` or status `jint`.
+    Size,
+    /// A pinned-buffer pointer (`Get*Chars`, `Get*Elements`,
+    /// `Get*Critical`).
+    Pin,
+    /// A raw address (`GetDirectBufferAddress`).
+    Address,
+}
+
+/// The semantic opcode implementing a function; the three syntactic call
+/// forms (`…`, `…V`, `…A`) share one opcode under distinct [`FuncId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `GetVersion`
+    GetVersion,
+    /// `DefineClass`
+    DefineClass,
+    /// `FindClass`
+    FindClass,
+    /// `FromReflectedMethod`
+    FromReflectedMethod,
+    /// `FromReflectedField`
+    FromReflectedField,
+    /// `ToReflectedMethod`
+    ToReflectedMethod,
+    /// `ToReflectedField`
+    ToReflectedField,
+    /// `GetSuperclass`
+    GetSuperclass,
+    /// `IsAssignableFrom`
+    IsAssignableFrom,
+    /// `Throw`
+    Throw,
+    /// `ThrowNew`
+    ThrowNew,
+    /// `ExceptionOccurred`
+    ExceptionOccurred,
+    /// `ExceptionDescribe`
+    ExceptionDescribe,
+    /// `ExceptionClear`
+    ExceptionClear,
+    /// `ExceptionCheck`
+    ExceptionCheck,
+    /// `FatalError`
+    FatalError,
+    /// `PushLocalFrame`
+    PushLocalFrame,
+    /// `PopLocalFrame`
+    PopLocalFrame,
+    /// `NewGlobalRef`
+    NewGlobalRef,
+    /// `DeleteGlobalRef`
+    DeleteGlobalRef,
+    /// `DeleteLocalRef`
+    DeleteLocalRef,
+    /// `NewWeakGlobalRef`
+    NewWeakGlobalRef,
+    /// `DeleteWeakGlobalRef`
+    DeleteWeakGlobalRef,
+    /// `IsSameObject`
+    IsSameObject,
+    /// `NewLocalRef`
+    NewLocalRef,
+    /// `EnsureLocalCapacity`
+    EnsureLocalCapacity,
+    /// `AllocObject`
+    AllocObject,
+    /// `NewObject` (all forms)
+    NewObject,
+    /// `GetObjectClass`
+    GetObjectClass,
+    /// `IsInstanceOf`
+    IsInstanceOf,
+    /// `GetObjectRefType`
+    GetObjectRefType,
+    /// `GetMethodID` / `GetStaticMethodID` (`stat` distinguishes)
+    GetMethodId {
+        /// Static lookup?
+        stat: bool,
+    },
+    /// `GetFieldID` / `GetStaticFieldID`
+    GetFieldId {
+        /// Static lookup?
+        stat: bool,
+    },
+    /// All 90+30 `Call…Method…` functions.
+    Call {
+        /// Dispatch mode.
+        mode: CallMode,
+        /// Return type (`None` = void, `Some(None)` = object).
+        ret: CallRet,
+    },
+    /// `Get<T>Field` / `GetStatic<T>Field`
+    GetField {
+        /// Static field?
+        stat: bool,
+        /// Field value type (`None` = object).
+        ty: CallRet,
+    },
+    /// `Set<T>Field` / `SetStatic<T>Field`
+    SetField {
+        /// Static field?
+        stat: bool,
+        /// Field value type.
+        ty: CallRet,
+    },
+    /// `NewString`
+    NewString,
+    /// `GetStringLength`
+    GetStringLength,
+    /// `GetStringChars`
+    GetStringChars,
+    /// `ReleaseStringChars`
+    ReleaseStringChars,
+    /// `NewStringUTF`
+    NewStringUtf,
+    /// `GetStringUTFLength`
+    GetStringUtfLength,
+    /// `GetStringUTFChars`
+    GetStringUtfChars,
+    /// `ReleaseStringUTFChars`
+    ReleaseStringUtfChars,
+    /// `GetStringRegion`
+    GetStringRegion,
+    /// `GetStringUTFRegion`
+    GetStringUtfRegion,
+    /// `GetStringCritical`
+    GetStringCritical,
+    /// `ReleaseStringCritical`
+    ReleaseStringCritical,
+    /// `GetArrayLength`
+    GetArrayLength,
+    /// `NewObjectArray`
+    NewObjectArray,
+    /// `GetObjectArrayElement`
+    GetObjectArrayElement,
+    /// `SetObjectArrayElement`
+    SetObjectArrayElement,
+    /// `New<T>Array`
+    NewPrimArray(PrimType),
+    /// `Get<T>ArrayElements`
+    GetArrayElements(PrimType),
+    /// `Release<T>ArrayElements`
+    ReleaseArrayElements(PrimType),
+    /// `Get<T>ArrayRegion`
+    GetArrayRegion(PrimType),
+    /// `Set<T>ArrayRegion`
+    SetArrayRegion(PrimType),
+    /// `GetPrimitiveArrayCritical`
+    GetPrimitiveArrayCritical,
+    /// `ReleasePrimitiveArrayCritical`
+    ReleasePrimitiveArrayCritical,
+    /// `RegisterNatives`
+    RegisterNatives,
+    /// `UnregisterNatives`
+    UnregisterNatives,
+    /// `MonitorEnter`
+    MonitorEnter,
+    /// `MonitorExit`
+    MonitorExit,
+    /// `GetJavaVM`
+    GetJavaVm,
+    /// `NewDirectByteBuffer`
+    NewDirectByteBuffer,
+    /// `GetDirectBufferAddress`
+    GetDirectBufferAddress,
+    /// `GetDirectBufferCapacity`
+    GetDirectBufferCapacity,
+}
+
+/// Dispatch mode of a `Call…Method` function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallMode {
+    /// `Call<T>Method…` — virtual dispatch on the receiver.
+    Virtual,
+    /// `CallNonvirtual<T>Method…` — dispatch on the named class.
+    Nonvirtual,
+    /// `CallStatic<T>Method…`.
+    Static,
+}
+
+/// Return/field type selector for call and field families: `Some(p)` a
+/// primitive, `None` an object reference; void calls use
+/// [`Op::Call`]`.ret == CallRet::Void`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallRet {
+    /// `void` (calls only).
+    Void,
+    /// A primitive.
+    Prim(PrimType),
+    /// An object reference.
+    Object,
+}
+
+/// Full metadata for one JNI function.
+#[derive(Debug, Clone)]
+pub struct FuncSpec {
+    /// The function's `jni.h` name, e.g. `"CallStaticVoidMethodA"`.
+    pub name: String,
+    /// Semantic opcode.
+    pub op: Op,
+    /// Parameters (excluding the implicit `JNIEnv*`).
+    pub params: Vec<ParamSpec>,
+    /// Return kind.
+    pub ret: RetKind,
+    /// May legally be called with a Java exception pending (20 functions).
+    pub exception_oblivious: bool,
+    /// May legally be called inside a JNI critical section (4 functions).
+    pub critical_ok: bool,
+}
+
+impl FuncSpec {
+    /// Indices of reference parameters.
+    pub fn ref_params(&self) -> impl Iterator<Item = (usize, &ParamSpec)> {
+        self.params.iter().enumerate().filter(|(_, p)| p.is_ref())
+    }
+
+    /// Indices of entity-ID parameters.
+    pub fn id_params(&self) -> impl Iterator<Item = (usize, &ParamSpec)> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_entity_id())
+    }
+
+    /// Returns `true` if the function returns a new local reference.
+    pub fn returns_local_ref(&self) -> bool {
+        self.ret == RetKind::LocalRef
+    }
+
+    /// Returns `true` if this is one of the 18 functions that may assign
+    /// to a final field.
+    pub fn writes_field(&self) -> bool {
+        matches!(self.op, Op::SetField { .. })
+    }
+}
+
+/// The registry of all JNI functions.
+#[derive(Debug)]
+pub struct Registry {
+    specs: Vec<FuncSpec>,
+    by_name: HashMap<&'static str, FuncId>,
+}
+
+impl Registry {
+    /// Number of functions (always 229).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Registries are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The spec for a function id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn spec(&self, id: FuncId) -> &FuncSpec {
+        &self.specs[id.0 as usize]
+    }
+
+    /// Looks up a function id by name.
+    pub fn id(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all functions.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FuncSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FuncId(i as u16), s))
+    }
+}
+
+/// The global function registry (built once).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(build)
+}
+
+// --- construction helpers --------------------------------------------------
+
+const CLASS: &[&str] = &["java/lang/Class"];
+const STRING: &[&str] = &["java/lang/String"];
+const THROWABLE: &[&str] = &["java/lang/Throwable"];
+const ANY_ARRAY: &[&str] = &["[*"];
+const PRIM_ARRAY: &[&str] = &["[prim"];
+const OBJ_ARRAY: &[&str] = &["[obj"];
+const REFLECTED_METHOD: &[&str] = &["java/lang/reflect/Method", "java/lang/reflect/Constructor"];
+const REFLECTED_FIELD: &[&str] = &["java/lang/reflect/Field"];
+const DIRECT_BUFFER: &[&str] = &["java/nio/DirectByteBuffer"];
+
+fn p(name: &'static str, kind: ParamKind) -> ParamSpec {
+    ParamSpec::new(name, kind)
+}
+
+struct Builder {
+    specs: Vec<FuncSpec>,
+}
+
+impl Builder {
+    fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        params: Vec<ParamSpec>,
+        ret: RetKind,
+    ) -> &mut FuncSpec {
+        self.specs.push(FuncSpec {
+            name: name.into(),
+            op,
+            params,
+            ret,
+            exception_oblivious: false,
+            critical_ok: false,
+        });
+        self.specs.last_mut().expect("just pushed")
+    }
+
+    fn oblivious(&mut self, name: impl Into<String>, op: Op, params: Vec<ParamSpec>, ret: RetKind) {
+        self.add(name, op, params, ret).exception_oblivious = true;
+    }
+}
+
+fn prim_array_fixed(ty: PrimType) -> &'static [&'static str] {
+    // One static descriptor per primitive array type.
+    match ty {
+        PrimType::Boolean => &["[Z"],
+        PrimType::Byte => &["[B"],
+        PrimType::Char => &["[C"],
+        PrimType::Short => &["[S"],
+        PrimType::Int => &["[I"],
+        PrimType::Long => &["[J"],
+        PrimType::Float => &["[F"],
+        PrimType::Double => &["[D"],
+    }
+}
+
+fn call_ret_kind(ret: CallRet) -> RetKind {
+    match ret {
+        CallRet::Void => RetKind::Void,
+        CallRet::Prim(p) => RetKind::Prim(p),
+        CallRet::Object => RetKind::LocalRef,
+    }
+}
+
+fn call_rets() -> Vec<(&'static str, CallRet)> {
+    let mut v = vec![("Object", CallRet::Object)];
+    for ty in PrimType::ALL {
+        v.push((ty.jni_name(), CallRet::Prim(ty)));
+    }
+    v.push(("Void", CallRet::Void));
+    v
+}
+
+fn field_tys() -> Vec<(&'static str, CallRet)> {
+    let mut v = vec![("Object", CallRet::Object)];
+    for ty in PrimType::ALL {
+        v.push((ty.jni_name(), CallRet::Prim(ty)));
+    }
+    v
+}
+
+fn build() -> Registry {
+    let mut b = Builder { specs: Vec::new() };
+
+    // --- version, classes, reflection (jni.h order) ---
+    b.add(
+        "GetVersion",
+        Op::GetVersion,
+        vec![],
+        RetKind::Prim(PrimType::Int),
+    );
+    b.add(
+        "DefineClass",
+        Op::DefineClass,
+        vec![
+            p("name", ParamKind::Name),
+            p("loader", ParamKind::Ref).nullable(),
+            p("buf", ParamKind::Buffer),
+            p("bufLen", ParamKind::Size),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "FindClass",
+        Op::FindClass,
+        vec![p("name", ParamKind::Name)],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "FromReflectedMethod",
+        Op::FromReflectedMethod,
+        vec![p("method", ParamKind::Ref).fixed(REFLECTED_METHOD)],
+        RetKind::MethodId,
+    );
+    b.add(
+        "FromReflectedField",
+        Op::FromReflectedField,
+        vec![p("field", ParamKind::Ref).fixed(REFLECTED_FIELD)],
+        RetKind::FieldId,
+    );
+    b.add(
+        "ToReflectedMethod",
+        Op::ToReflectedMethod,
+        vec![
+            p("cls", ParamKind::Ref).fixed(CLASS),
+            p("methodID", ParamKind::MethodId),
+            p("isStatic", ParamKind::Prim(PrimType::Boolean)),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "GetSuperclass",
+        Op::GetSuperclass,
+        vec![p("sub", ParamKind::Ref).fixed(CLASS)],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "IsAssignableFrom",
+        Op::IsAssignableFrom,
+        vec![
+            p("sub", ParamKind::Ref).fixed(CLASS),
+            p("sup", ParamKind::Ref).fixed(CLASS),
+        ],
+        RetKind::Prim(PrimType::Boolean),
+    );
+    b.add(
+        "ToReflectedField",
+        Op::ToReflectedField,
+        vec![
+            p("cls", ParamKind::Ref).fixed(CLASS),
+            p("fieldID", ParamKind::FieldId),
+            p("isStatic", ParamKind::Prim(PrimType::Boolean)),
+        ],
+        RetKind::LocalRef,
+    );
+
+    // --- exceptions ---
+    b.add(
+        "Throw",
+        Op::Throw,
+        vec![p("obj", ParamKind::Ref).fixed(THROWABLE)],
+        RetKind::Size,
+    );
+    b.add(
+        "ThrowNew",
+        Op::ThrowNew,
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("message", ParamKind::Name).nullable(),
+        ],
+        RetKind::Size,
+    );
+    b.oblivious(
+        "ExceptionOccurred",
+        Op::ExceptionOccurred,
+        vec![],
+        RetKind::LocalRef,
+    );
+    b.oblivious(
+        "ExceptionDescribe",
+        Op::ExceptionDescribe,
+        vec![],
+        RetKind::Void,
+    );
+    b.oblivious("ExceptionClear", Op::ExceptionClear, vec![], RetKind::Void);
+    b.add(
+        "FatalError",
+        Op::FatalError,
+        vec![p("msg", ParamKind::Name)],
+        RetKind::Void,
+    );
+
+    // --- local frames & references ---
+    b.add(
+        "PushLocalFrame",
+        Op::PushLocalFrame,
+        vec![p("capacity", ParamKind::Size)],
+        RetKind::Size,
+    );
+    b.add(
+        "PopLocalFrame",
+        Op::PopLocalFrame,
+        vec![p("result", ParamKind::Ref).nullable()],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "NewGlobalRef",
+        Op::NewGlobalRef,
+        vec![p("lobj", ParamKind::Ref).nullable()],
+        RetKind::GlobalRef,
+    );
+    b.oblivious(
+        "DeleteGlobalRef",
+        Op::DeleteGlobalRef,
+        vec![p("gref", ParamKind::Ref)],
+        RetKind::Void,
+    );
+    b.oblivious(
+        "DeleteLocalRef",
+        Op::DeleteLocalRef,
+        vec![p("lref", ParamKind::Ref)],
+        RetKind::Void,
+    );
+    b.add(
+        "IsSameObject",
+        Op::IsSameObject,
+        vec![
+            p("obj1", ParamKind::Ref).nullable(),
+            p("obj2", ParamKind::Ref).nullable(),
+        ],
+        RetKind::Prim(PrimType::Boolean),
+    );
+    b.add(
+        "NewLocalRef",
+        Op::NewLocalRef,
+        vec![p("ref", ParamKind::Ref).nullable()],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "EnsureLocalCapacity",
+        Op::EnsureLocalCapacity,
+        vec![p("capacity", ParamKind::Size)],
+        RetKind::Size,
+    );
+
+    // --- object creation & type queries ---
+    b.add(
+        "AllocObject",
+        Op::AllocObject,
+        vec![p("clazz", ParamKind::Ref).fixed(CLASS)],
+        RetKind::LocalRef,
+    );
+    for suffix in ["", "V", "A"] {
+        b.add(
+            format!("NewObject{suffix}"),
+            Op::NewObject,
+            vec![
+                p("clazz", ParamKind::Ref).fixed(CLASS),
+                p("methodID", ParamKind::MethodId),
+                p("args", ParamKind::Args).nullable(),
+            ],
+            RetKind::LocalRef,
+        );
+    }
+    b.add(
+        "GetObjectClass",
+        Op::GetObjectClass,
+        vec![p("obj", ParamKind::Ref)],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "IsInstanceOf",
+        Op::IsInstanceOf,
+        vec![
+            p("obj", ParamKind::Ref).nullable(),
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+        ],
+        RetKind::Prim(PrimType::Boolean),
+    );
+
+    // --- method IDs and calls ---
+    b.add(
+        "GetMethodID",
+        Op::GetMethodId { stat: false },
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("name", ParamKind::Name),
+            p("sig", ParamKind::Name),
+        ],
+        RetKind::MethodId,
+    );
+    for (tn, ret) in call_rets() {
+        for suffix in ["", "V", "A"] {
+            b.add(
+                format!("Call{tn}Method{suffix}"),
+                Op::Call {
+                    mode: CallMode::Virtual,
+                    ret,
+                },
+                vec![
+                    p("obj", ParamKind::Ref),
+                    p("methodID", ParamKind::MethodId),
+                    p("args", ParamKind::Args).nullable(),
+                ],
+                call_ret_kind(ret),
+            );
+        }
+    }
+    for (tn, ret) in call_rets() {
+        for suffix in ["", "V", "A"] {
+            b.add(
+                format!("CallNonvirtual{tn}Method{suffix}"),
+                Op::Call {
+                    mode: CallMode::Nonvirtual,
+                    ret,
+                },
+                vec![
+                    p("obj", ParamKind::Ref),
+                    p("clazz", ParamKind::Ref).fixed(CLASS),
+                    p("methodID", ParamKind::MethodId),
+                    p("args", ParamKind::Args).nullable(),
+                ],
+                call_ret_kind(ret),
+            );
+        }
+    }
+
+    // --- instance fields ---
+    b.add(
+        "GetFieldID",
+        Op::GetFieldId { stat: false },
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("name", ParamKind::Name),
+            p("sig", ParamKind::Name),
+        ],
+        RetKind::FieldId,
+    );
+    for (tn, ty) in field_tys() {
+        b.add(
+            format!("Get{tn}Field"),
+            Op::GetField { stat: false, ty },
+            vec![p("obj", ParamKind::Ref), p("fieldID", ParamKind::FieldId)],
+            call_ret_kind(ty),
+        );
+    }
+    for (tn, ty) in field_tys() {
+        let value_kind = match ty {
+            CallRet::Prim(pt) => ParamKind::Prim(pt),
+            _ => ParamKind::Ref,
+        };
+        let value = if matches!(ty, CallRet::Object) {
+            p("value", value_kind).nullable()
+        } else {
+            p("value", value_kind)
+        };
+        b.add(
+            format!("Set{tn}Field"),
+            Op::SetField { stat: false, ty },
+            vec![
+                p("obj", ParamKind::Ref),
+                p("fieldID", ParamKind::FieldId),
+                value,
+            ],
+            RetKind::Void,
+        );
+    }
+
+    // --- static methods & fields ---
+    b.add(
+        "GetStaticMethodID",
+        Op::GetMethodId { stat: true },
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("name", ParamKind::Name),
+            p("sig", ParamKind::Name),
+        ],
+        RetKind::MethodId,
+    );
+    for (tn, ret) in call_rets() {
+        for suffix in ["", "V", "A"] {
+            b.add(
+                format!("CallStatic{tn}Method{suffix}"),
+                Op::Call {
+                    mode: CallMode::Static,
+                    ret,
+                },
+                vec![
+                    p("clazz", ParamKind::Ref).fixed(CLASS),
+                    p("methodID", ParamKind::MethodId),
+                    p("args", ParamKind::Args).nullable(),
+                ],
+                call_ret_kind(ret),
+            );
+        }
+    }
+    b.add(
+        "GetStaticFieldID",
+        Op::GetFieldId { stat: true },
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("name", ParamKind::Name),
+            p("sig", ParamKind::Name),
+        ],
+        RetKind::FieldId,
+    );
+    for (tn, ty) in field_tys() {
+        b.add(
+            format!("GetStatic{tn}Field"),
+            Op::GetField { stat: true, ty },
+            vec![
+                p("clazz", ParamKind::Ref).fixed(CLASS),
+                p("fieldID", ParamKind::FieldId),
+            ],
+            call_ret_kind(ty),
+        );
+    }
+    for (tn, ty) in field_tys() {
+        let value_kind = match ty {
+            CallRet::Prim(pt) => ParamKind::Prim(pt),
+            _ => ParamKind::Ref,
+        };
+        let value = if matches!(ty, CallRet::Object) {
+            p("value", value_kind).nullable()
+        } else {
+            p("value", value_kind)
+        };
+        b.add(
+            format!("SetStatic{tn}Field"),
+            Op::SetField { stat: true, ty },
+            vec![
+                p("clazz", ParamKind::Ref).fixed(CLASS),
+                p("fieldID", ParamKind::FieldId),
+                value,
+            ],
+            RetKind::Void,
+        );
+    }
+
+    // --- strings ---
+    b.add(
+        "NewString",
+        Op::NewString,
+        vec![
+            p("unicodeChars", ParamKind::Buffer),
+            p("len", ParamKind::Size),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "GetStringLength",
+        Op::GetStringLength,
+        vec![p("str", ParamKind::Ref).fixed(STRING)],
+        RetKind::Size,
+    );
+    b.add(
+        "GetStringChars",
+        Op::GetStringChars,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("isCopy", ParamKind::IsCopyOut).nullable(),
+        ],
+        RetKind::Pin,
+    );
+    b.oblivious(
+        "ReleaseStringChars",
+        Op::ReleaseStringChars,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("chars", ParamKind::Buffer),
+        ],
+        RetKind::Void,
+    );
+    b.add(
+        "NewStringUTF",
+        Op::NewStringUtf,
+        vec![p("utf", ParamKind::Name)],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "GetStringUTFLength",
+        Op::GetStringUtfLength,
+        vec![p("str", ParamKind::Ref).fixed(STRING)],
+        RetKind::Size,
+    );
+    b.add(
+        "GetStringUTFChars",
+        Op::GetStringUtfChars,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("isCopy", ParamKind::IsCopyOut).nullable(),
+        ],
+        RetKind::Pin,
+    );
+    b.oblivious(
+        "ReleaseStringUTFChars",
+        Op::ReleaseStringUtfChars,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("chars", ParamKind::Buffer),
+        ],
+        RetKind::Void,
+    );
+
+    // --- arrays ---
+    b.add(
+        "GetArrayLength",
+        Op::GetArrayLength,
+        vec![p("array", ParamKind::Ref).fixed(ANY_ARRAY)],
+        RetKind::Size,
+    );
+    b.add(
+        "NewObjectArray",
+        Op::NewObjectArray,
+        vec![
+            p("len", ParamKind::Size),
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("init", ParamKind::Ref).nullable(),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "GetObjectArrayElement",
+        Op::GetObjectArrayElement,
+        vec![
+            p("array", ParamKind::Ref).fixed(OBJ_ARRAY),
+            p("index", ParamKind::Size),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "SetObjectArrayElement",
+        Op::SetObjectArrayElement,
+        vec![
+            p("array", ParamKind::Ref).fixed(OBJ_ARRAY),
+            p("index", ParamKind::Size),
+            p("val", ParamKind::Ref).nullable(),
+        ],
+        RetKind::Void,
+    );
+    for ty in PrimType::ALL {
+        b.add(
+            format!("New{}Array", ty.jni_name()),
+            Op::NewPrimArray(ty),
+            vec![p("len", ParamKind::Size)],
+            RetKind::LocalRef,
+        );
+    }
+    for ty in PrimType::ALL {
+        b.add(
+            format!("Get{}ArrayElements", ty.jni_name()),
+            Op::GetArrayElements(ty),
+            vec![
+                p("array", ParamKind::Ref).fixed(prim_array_fixed(ty)),
+                p("isCopy", ParamKind::IsCopyOut).nullable(),
+            ],
+            RetKind::Pin,
+        );
+    }
+    for ty in PrimType::ALL {
+        b.oblivious(
+            format!("Release{}ArrayElements", ty.jni_name()),
+            Op::ReleaseArrayElements(ty),
+            vec![
+                p("array", ParamKind::Ref).fixed(prim_array_fixed(ty)),
+                p("elems", ParamKind::Buffer),
+                p("mode", ParamKind::Mode),
+            ],
+            RetKind::Void,
+        );
+    }
+    for ty in PrimType::ALL {
+        b.add(
+            format!("Get{}ArrayRegion", ty.jni_name()),
+            Op::GetArrayRegion(ty),
+            vec![
+                p("array", ParamKind::Ref).fixed(prim_array_fixed(ty)),
+                p("start", ParamKind::Size),
+                p("len", ParamKind::Size),
+                p("buf", ParamKind::Buffer),
+            ],
+            RetKind::Void,
+        );
+    }
+    for ty in PrimType::ALL {
+        b.add(
+            format!("Set{}ArrayRegion", ty.jni_name()),
+            Op::SetArrayRegion(ty),
+            vec![
+                p("array", ParamKind::Ref).fixed(prim_array_fixed(ty)),
+                p("start", ParamKind::Size),
+                p("len", ParamKind::Size),
+                p("buf", ParamKind::Buffer),
+            ],
+            RetKind::Void,
+        );
+    }
+
+    // --- natives, monitors, VM ---
+    b.add(
+        "RegisterNatives",
+        Op::RegisterNatives,
+        vec![
+            p("clazz", ParamKind::Ref).fixed(CLASS),
+            p("methods", ParamKind::Buffer),
+            p("nMethods", ParamKind::Size),
+        ],
+        RetKind::Size,
+    );
+    b.add(
+        "UnregisterNatives",
+        Op::UnregisterNatives,
+        vec![p("clazz", ParamKind::Ref).fixed(CLASS)],
+        RetKind::Size,
+    );
+    b.add(
+        "MonitorEnter",
+        Op::MonitorEnter,
+        vec![p("obj", ParamKind::Ref)],
+        RetKind::Size,
+    );
+    b.oblivious(
+        "MonitorExit",
+        Op::MonitorExit,
+        vec![p("obj", ParamKind::Ref)],
+        RetKind::Size,
+    );
+    b.add(
+        "GetJavaVM",
+        Op::GetJavaVm,
+        vec![p("vm", ParamKind::VmOut)],
+        RetKind::Size,
+    );
+
+    // --- string/array regions & criticals (JNI 1.2+) ---
+    b.add(
+        "GetStringRegion",
+        Op::GetStringRegion,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("start", ParamKind::Size),
+            p("len", ParamKind::Size),
+            p("buf", ParamKind::Buffer),
+        ],
+        RetKind::Void,
+    );
+    b.add(
+        "GetStringUTFRegion",
+        Op::GetStringUtfRegion,
+        vec![
+            p("str", ParamKind::Ref).fixed(STRING),
+            p("start", ParamKind::Size),
+            p("len", ParamKind::Size),
+            p("buf", ParamKind::Buffer),
+        ],
+        RetKind::Void,
+    );
+    {
+        let s = b.add(
+            "GetPrimitiveArrayCritical",
+            Op::GetPrimitiveArrayCritical,
+            vec![
+                p("array", ParamKind::Ref).fixed(PRIM_ARRAY),
+                p("isCopy", ParamKind::IsCopyOut).nullable(),
+            ],
+            RetKind::Pin,
+        );
+        s.critical_ok = true;
+    }
+    {
+        let s = b.add(
+            "ReleasePrimitiveArrayCritical",
+            Op::ReleasePrimitiveArrayCritical,
+            vec![
+                p("array", ParamKind::Ref).fixed(PRIM_ARRAY),
+                p("carray", ParamKind::Buffer),
+                p("mode", ParamKind::Mode),
+            ],
+            RetKind::Void,
+        );
+        s.critical_ok = true;
+        s.exception_oblivious = true;
+    }
+    {
+        let s = b.add(
+            "GetStringCritical",
+            Op::GetStringCritical,
+            vec![
+                p("string", ParamKind::Ref).fixed(STRING),
+                p("isCopy", ParamKind::IsCopyOut).nullable(),
+            ],
+            RetKind::Pin,
+        );
+        s.critical_ok = true;
+    }
+    {
+        // Note: Jinn deliberately does NOT check the jstring type here —
+        // doing so would require IsAssignableFrom inside a critical
+        // section (paper Section 5.1) — so no fixed type is declared.
+        let s = b.add(
+            "ReleaseStringCritical",
+            Op::ReleaseStringCritical,
+            vec![p("string", ParamKind::Ref), p("carray", ParamKind::Buffer)],
+            RetKind::Void,
+        );
+        s.critical_ok = true;
+        s.exception_oblivious = true;
+    }
+
+    // --- weak globals, exception check, direct buffers, ref type ---
+    b.add(
+        "NewWeakGlobalRef",
+        Op::NewWeakGlobalRef,
+        vec![p("obj", ParamKind::Ref).nullable()],
+        RetKind::WeakRef,
+    );
+    b.oblivious(
+        "DeleteWeakGlobalRef",
+        Op::DeleteWeakGlobalRef,
+        vec![p("obj", ParamKind::Ref)],
+        RetKind::Void,
+    );
+    b.oblivious(
+        "ExceptionCheck",
+        Op::ExceptionCheck,
+        vec![],
+        RetKind::Prim(PrimType::Boolean),
+    );
+    b.add(
+        "NewDirectByteBuffer",
+        Op::NewDirectByteBuffer,
+        vec![
+            p("address", ParamKind::Prim(PrimType::Long)),
+            p("capacity", ParamKind::Prim(PrimType::Long)),
+        ],
+        RetKind::LocalRef,
+    );
+    b.add(
+        "GetDirectBufferAddress",
+        Op::GetDirectBufferAddress,
+        vec![p("buf", ParamKind::Ref).fixed(DIRECT_BUFFER)],
+        RetKind::Address,
+    );
+    b.add(
+        "GetDirectBufferCapacity",
+        Op::GetDirectBufferCapacity,
+        vec![p("buf", ParamKind::Ref).fixed(DIRECT_BUFFER)],
+        RetKind::Prim(PrimType::Long),
+    );
+    b.add(
+        "GetObjectRefType",
+        Op::GetObjectRefType,
+        vec![p("obj", ParamKind::Ref).nullable()],
+        RetKind::Prim(PrimType::Int),
+    );
+
+    // Freeze: build the name index. Names are leaked to get &'static str
+    // keys; the registry itself is 'static so this is a one-time cost.
+    let mut by_name = HashMap::new();
+    for (i, s) in b.specs.iter().enumerate() {
+        let name: &'static str = Box::leak(s.name.clone().into_boxed_str());
+        let prev = by_name.insert(name, FuncId(i as u16));
+        assert!(prev.is_none(), "duplicate JNI function `{}`", s.name);
+    }
+    Registry {
+        specs: b.specs,
+        by_name,
+    }
+}
+
+/// Per-class constraint tallies computed from the registry — the data
+/// behind the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstraintCounts {
+    /// JNIEnv* state: checked at every function.
+    pub jnienv_state: usize,
+    /// Exception state: exception-sensitive functions.
+    pub exception_state: usize,
+    /// Critical-section state: critical-section-sensitive functions.
+    pub critical_state: usize,
+    /// Fixed typing: parameters with a fixed Java type.
+    pub fixed_typing: usize,
+    /// Entity-specific typing: functions taking a method/field ID.
+    pub entity_typing: usize,
+    /// Access control: functions that may write a final field.
+    pub access_control: usize,
+    /// Nullness: non-nullable parameters.
+    pub nullness: usize,
+    /// Pinned-or-copied: acquire sites for pinned buffers.
+    pub pinned: usize,
+    /// Monitor: leak constraint (1).
+    pub monitor: usize,
+    /// Global/weak reference: acquire/release/use sites.
+    pub global_ref: usize,
+    /// Local reference: acquire/release/use sites.
+    pub local_ref: usize,
+}
+
+impl Registry {
+    /// Computes the Table 2 constraint counts from the metadata.
+    pub fn constraint_counts(&self) -> ConstraintCounts {
+        let total = self.len();
+        let exception_state = self.specs.iter().filter(|s| !s.exception_oblivious).count();
+        let critical_state = self.specs.iter().filter(|s| !s.critical_ok).count();
+        let fixed_typing = self
+            .specs
+            .iter()
+            .flat_map(|s| s.params.iter())
+            .filter(|p| !p.fixed_types.is_empty())
+            .count();
+        let entity_typing = self
+            .specs
+            .iter()
+            .filter(|s| s.id_params().next().is_some())
+            .count();
+        let access_control = self.specs.iter().filter(|s| s.writes_field()).count();
+        let nullness = self
+            .specs
+            .iter()
+            .flat_map(|s| s.params.iter())
+            .filter(|p| {
+                !p.nullable
+                    && !matches!(
+                        p.kind,
+                        ParamKind::Prim(_) | ParamKind::Size | ParamKind::Mode
+                    )
+            })
+            .count();
+        let pinned = self.specs.iter().filter(|s| s.ret == RetKind::Pin).count();
+        let global_use = self
+            .specs
+            .iter()
+            .filter(|s| s.ref_params().next().is_some())
+            .count();
+        let global_acq_rel = [
+            "NewGlobalRef",
+            "NewWeakGlobalRef",
+            "DeleteGlobalRef",
+            "DeleteWeakGlobalRef",
+        ]
+        .len();
+        let local_acquire = self.specs.iter().filter(|s| s.returns_local_ref()).count();
+        let local_rel = [
+            "DeleteLocalRef",
+            "PopLocalFrame",
+            "PushLocalFrame",
+            "EnsureLocalCapacity",
+        ]
+        .len();
+        ConstraintCounts {
+            jnienv_state: total,
+            exception_state,
+            critical_state,
+            fixed_typing,
+            entity_typing,
+            access_control,
+            nullness,
+            pinned,
+            monitor: 1,
+            global_ref: global_use + global_acq_rel,
+            local_ref: local_acquire + local_rel + global_use,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_229_functions() {
+        assert_eq!(
+            registry().len(),
+            229,
+            "the JNI defines 229 JNIEnv functions"
+        );
+    }
+
+    #[test]
+    fn exactly_20_exception_oblivious() {
+        let n = registry()
+            .iter()
+            .filter(|(_, s)| s.exception_oblivious)
+            .count();
+        assert_eq!(n, 20, "paper: 209 exception-sensitive of 229");
+        assert_eq!(registry().constraint_counts().exception_state, 209);
+    }
+
+    #[test]
+    fn exactly_4_critical_ok() {
+        let n = registry().iter().filter(|(_, s)| s.critical_ok).count();
+        assert_eq!(n, 4, "paper: 225 critical-sensitive of 229");
+        assert_eq!(registry().constraint_counts().critical_state, 225);
+    }
+
+    #[test]
+    fn entity_typing_is_131() {
+        // Call families (90 + 30) + field families (36) + NewObject (3) +
+        // ToReflectedMethod/Field (2) = 131, matching Table 2 exactly.
+        assert_eq!(registry().constraint_counts().entity_typing, 131);
+    }
+
+    #[test]
+    fn access_control_is_18() {
+        assert_eq!(registry().constraint_counts().access_control, 18);
+    }
+
+    #[test]
+    fn pinned_acquire_sites_are_12() {
+        assert_eq!(registry().constraint_counts().pinned, 12);
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let id = FuncId::of("CallStaticVoidMethodA");
+        assert_eq!(id.name(), "CallStaticVoidMethodA");
+        let spec = id.spec();
+        assert!(matches!(
+            spec.op,
+            Op::Call {
+                mode: CallMode::Static,
+                ret: CallRet::Void
+            }
+        ));
+        assert_eq!(spec.params.len(), 3);
+        assert!(registry().id("NoSuchFunction").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no JNI function")]
+    fn unknown_name_panics() {
+        let _ = FuncId::of("Bogus");
+    }
+
+    #[test]
+    fn call_families_have_three_forms() {
+        for base in [
+            "CallIntMethod",
+            "CallNonvirtualIntMethod",
+            "CallStaticIntMethod",
+        ] {
+            for suffix in ["", "V", "A"] {
+                assert!(
+                    registry().id(&format!("{base}{suffix}")).is_some(),
+                    "missing {base}{suffix}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn release_functions_are_oblivious() {
+        for name in [
+            "ReleaseStringChars",
+            "ReleaseStringUTFChars",
+            "ReleaseStringCritical",
+            "ReleasePrimitiveArrayCritical",
+            "ReleaseIntArrayElements",
+            "DeleteLocalRef",
+            "DeleteGlobalRef",
+            "DeleteWeakGlobalRef",
+            "MonitorExit",
+            "ExceptionClear",
+            "ExceptionCheck",
+            "ExceptionOccurred",
+            "ExceptionDescribe",
+        ] {
+            assert!(
+                FuncId::of(name).spec().exception_oblivious,
+                "{name} must be oblivious"
+            );
+        }
+        assert!(!FuncId::of("GetStringChars").spec().exception_oblivious);
+    }
+
+    #[test]
+    fn fixed_types_present_on_class_taking_functions() {
+        let spec = FuncId::of("CallStaticVoidMethod").spec();
+        assert_eq!(spec.params[0].fixed_types, CLASS);
+        let spec = FuncId::of("GetIntArrayElements").spec();
+        assert_eq!(spec.params[0].fixed_types, &["[I"]);
+        // Jinn cannot type-check ReleaseStringCritical (Section 6.5).
+        assert!(FuncId::of("ReleaseStringCritical").spec().params[0]
+            .fixed_types
+            .is_empty());
+    }
+
+    #[test]
+    fn nullable_flags() {
+        let spec = FuncId::of("NewObjectArray").spec();
+        assert!(!spec.params[1].nullable, "clazz required");
+        assert!(spec.params[2].nullable, "initial element may be null");
+        let spec = FuncId::of("ThrowNew").spec();
+        assert!(spec.params[1].nullable, "message may be null");
+    }
+
+    #[test]
+    fn counts_are_in_paper_ballpark() {
+        let c = registry().constraint_counts();
+        assert_eq!(c.jnienv_state, 229);
+        // Fixed typing: paper reports 157; our scan of the same surface
+        // yields a close count (the paper's exact tally includes a few
+        // judgment calls Liang's book leaves open).
+        assert!(
+            (140..=170).contains(&c.fixed_typing),
+            "fixed typing {} out of range",
+            c.fixed_typing
+        );
+        assert!(
+            (380..=460).contains(&c.nullness),
+            "nullness {} out of range",
+            c.nullness
+        );
+        assert!(
+            (200..=290).contains(&c.global_ref),
+            "global {}",
+            c.global_ref
+        );
+        assert!((230..=320).contains(&c.local_ref), "local {}", c.local_ref);
+        assert_eq!(c.monitor, 1);
+    }
+}

@@ -1,0 +1,1118 @@
+//! Typed wrappers for all 229 JNI functions.
+//!
+//! Each wrapper packs its arguments into the generic representation, runs
+//! the full interposition pipeline via [`JniEnv::invoke`], and unpacks the
+//! result. Simulated "C code" (native method bodies) calls these exactly
+//! as real C calls through the `JNIEnv*` function table.
+//!
+//! The wrappers are free functions (`typed::find_class(env, …)`) rather
+//! than methods so the enormous surface stays out of [`JniEnv`]'s rustdoc.
+//! The `…V` and plain variadic forms take the same `&[JValue]` slice as
+//! the `…A` forms — Rust has no C varargs — but remain distinct functions
+//! with distinct [`FuncId`]s, exactly as in `jni.h`.
+
+use minijvm::{FieldId, JRef, JValue, MethodId, PinId, PrimArray};
+
+use crate::env::JniEnv;
+use crate::error::JniError;
+use crate::interpose::{JniArg, JniRet};
+use crate::registry::FuncId;
+
+type R<T> = Result<T, JniError>;
+
+// ----- result unpackers ----------------------------------------------------
+
+fn ret_ref(r: JniRet) -> JRef {
+    match r {
+        JniRet::Ref(r) => r,
+        other => panic!("expected reference result, got {other:?}"),
+    }
+}
+
+fn ret_unit(_: JniRet) {}
+
+fn ret_size(r: JniRet) -> i64 {
+    match r {
+        JniRet::Size(s) => s,
+        other => panic!("expected size result, got {other:?}"),
+    }
+}
+
+fn ret_method(r: JniRet) -> MethodId {
+    match r {
+        JniRet::Method(m) => m,
+        other => panic!("expected method id result, got {other:?}"),
+    }
+}
+
+fn ret_field(r: JniRet) -> FieldId {
+    match r {
+        JniRet::Field(f) => f,
+        other => panic!("expected field id result, got {other:?}"),
+    }
+}
+
+fn ret_pin(r: JniRet) -> PinId {
+    match r {
+        JniRet::Buf(p) => p,
+        other => panic!("expected buffer result, got {other:?}"),
+    }
+}
+
+fn ret_bool(r: JniRet) -> bool {
+    match r {
+        JniRet::Val(JValue::Bool(v)) => v,
+        other => panic!("expected boolean result, got {other:?}"),
+    }
+}
+
+fn ret_int(r: JniRet) -> i32 {
+    match r {
+        JniRet::Val(JValue::Int(v)) => v,
+        other => panic!("expected int result, got {other:?}"),
+    }
+}
+
+fn ret_long(r: JniRet) -> i64 {
+    match r {
+        JniRet::Val(JValue::Long(v)) => v,
+        other => panic!("expected long result, got {other:?}"),
+    }
+}
+
+fn ret_chars(r: JniRet) -> Vec<u16> {
+    match r {
+        JniRet::Chars(c) => c,
+        other => panic!("expected char data result, got {other:?}"),
+    }
+}
+
+fn ret_bytes(r: JniRet) -> Vec<u8> {
+    match r {
+        JniRet::Bytes(b) => b,
+        other => panic!("expected byte data result, got {other:?}"),
+    }
+}
+
+fn ret_prims(r: JniRet) -> PrimArray {
+    match r {
+        JniRet::Prims(p) => p,
+        other => panic!("expected primitive data result, got {other:?}"),
+    }
+}
+
+// ----- singles ---------------------------------------------------------------
+
+/// `GetVersion`.
+pub fn get_version(env: &mut JniEnv<'_>) -> R<i32> {
+    env.invoke(FuncId::of("GetVersion"), vec![]).map(ret_int)
+}
+
+/// `DefineClass`.
+pub fn define_class(env: &mut JniEnv<'_>, name: &str, loader: JRef, buf: &[u8]) -> R<JRef> {
+    env.invoke(
+        FuncId::of("DefineClass"),
+        vec![
+            JniArg::Name(name.into()),
+            JniArg::Ref(loader),
+            JniArg::Bytes(buf.to_vec()),
+            JniArg::Size(buf.len() as i64),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `FindClass`.
+pub fn find_class(env: &mut JniEnv<'_>, name: &str) -> R<JRef> {
+    env.invoke(FuncId::of("FindClass"), vec![JniArg::Name(name.into())])
+        .map(ret_ref)
+}
+
+/// `FromReflectedMethod`.
+pub fn from_reflected_method(env: &mut JniEnv<'_>, method: JRef) -> R<MethodId> {
+    env.invoke(FuncId::of("FromReflectedMethod"), vec![JniArg::Ref(method)])
+        .map(ret_method)
+}
+
+/// `FromReflectedField`.
+pub fn from_reflected_field(env: &mut JniEnv<'_>, field: JRef) -> R<FieldId> {
+    env.invoke(FuncId::of("FromReflectedField"), vec![JniArg::Ref(field)])
+        .map(ret_field)
+}
+
+/// `ToReflectedMethod`.
+pub fn to_reflected_method(
+    env: &mut JniEnv<'_>,
+    cls: JRef,
+    method: MethodId,
+    is_static: bool,
+) -> R<JRef> {
+    env.invoke(
+        FuncId::of("ToReflectedMethod"),
+        vec![
+            JniArg::Ref(cls),
+            JniArg::Method(method),
+            JniArg::Val(JValue::Bool(is_static)),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `ToReflectedField`.
+pub fn to_reflected_field(
+    env: &mut JniEnv<'_>,
+    cls: JRef,
+    field: FieldId,
+    is_static: bool,
+) -> R<JRef> {
+    env.invoke(
+        FuncId::of("ToReflectedField"),
+        vec![
+            JniArg::Ref(cls),
+            JniArg::Field(field),
+            JniArg::Val(JValue::Bool(is_static)),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `GetSuperclass`.
+pub fn get_superclass(env: &mut JniEnv<'_>, sub: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("GetSuperclass"), vec![JniArg::Ref(sub)])
+        .map(ret_ref)
+}
+
+/// `IsAssignableFrom`.
+pub fn is_assignable_from(env: &mut JniEnv<'_>, sub: JRef, sup: JRef) -> R<bool> {
+    env.invoke(
+        FuncId::of("IsAssignableFrom"),
+        vec![JniArg::Ref(sub), JniArg::Ref(sup)],
+    )
+    .map(ret_bool)
+}
+
+/// `Throw`.
+pub fn throw(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
+    env.invoke(FuncId::of("Throw"), vec![JniArg::Ref(obj)])
+        .map(ret_size)
+}
+
+/// `ThrowNew`.
+pub fn throw_new(env: &mut JniEnv<'_>, clazz: JRef, message: &str) -> R<i64> {
+    env.invoke(
+        FuncId::of("ThrowNew"),
+        vec![JniArg::Ref(clazz), JniArg::Name(message.into())],
+    )
+    .map(ret_size)
+}
+
+/// `ExceptionOccurred`.
+pub fn exception_occurred(env: &mut JniEnv<'_>) -> R<JRef> {
+    env.invoke(FuncId::of("ExceptionOccurred"), vec![])
+        .map(ret_ref)
+}
+
+/// `ExceptionDescribe`.
+pub fn exception_describe(env: &mut JniEnv<'_>) -> R<()> {
+    env.invoke(FuncId::of("ExceptionDescribe"), vec![])
+        .map(ret_unit)
+}
+
+/// `ExceptionClear`.
+pub fn exception_clear(env: &mut JniEnv<'_>) -> R<()> {
+    env.invoke(FuncId::of("ExceptionClear"), vec![])
+        .map(ret_unit)
+}
+
+/// `ExceptionCheck`.
+pub fn exception_check(env: &mut JniEnv<'_>) -> R<bool> {
+    env.invoke(FuncId::of("ExceptionCheck"), vec![])
+        .map(ret_bool)
+}
+
+/// `FatalError`.
+pub fn fatal_error(env: &mut JniEnv<'_>, msg: &str) -> R<()> {
+    env.invoke(FuncId::of("FatalError"), vec![JniArg::Name(msg.into())])
+        .map(ret_unit)
+}
+
+/// `PushLocalFrame`.
+pub fn push_local_frame(env: &mut JniEnv<'_>, capacity: i64) -> R<i64> {
+    env.invoke(FuncId::of("PushLocalFrame"), vec![JniArg::Size(capacity)])
+        .map(ret_size)
+}
+
+/// `PopLocalFrame`.
+pub fn pop_local_frame(env: &mut JniEnv<'_>, result: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("PopLocalFrame"), vec![JniArg::Ref(result)])
+        .map(ret_ref)
+}
+
+/// `NewGlobalRef`.
+pub fn new_global_ref(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("NewGlobalRef"), vec![JniArg::Ref(obj)])
+        .map(ret_ref)
+}
+
+/// `DeleteGlobalRef`.
+pub fn delete_global_ref(env: &mut JniEnv<'_>, gref: JRef) -> R<()> {
+    env.invoke(FuncId::of("DeleteGlobalRef"), vec![JniArg::Ref(gref)])
+        .map(ret_unit)
+}
+
+/// `DeleteLocalRef`.
+pub fn delete_local_ref(env: &mut JniEnv<'_>, lref: JRef) -> R<()> {
+    env.invoke(FuncId::of("DeleteLocalRef"), vec![JniArg::Ref(lref)])
+        .map(ret_unit)
+}
+
+/// `IsSameObject`.
+pub fn is_same_object(env: &mut JniEnv<'_>, a: JRef, b: JRef) -> R<bool> {
+    env.invoke(
+        FuncId::of("IsSameObject"),
+        vec![JniArg::Ref(a), JniArg::Ref(b)],
+    )
+    .map(ret_bool)
+}
+
+/// `NewLocalRef`.
+pub fn new_local_ref(env: &mut JniEnv<'_>, r: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("NewLocalRef"), vec![JniArg::Ref(r)])
+        .map(ret_ref)
+}
+
+/// `EnsureLocalCapacity`.
+pub fn ensure_local_capacity(env: &mut JniEnv<'_>, capacity: i64) -> R<i64> {
+    env.invoke(
+        FuncId::of("EnsureLocalCapacity"),
+        vec![JniArg::Size(capacity)],
+    )
+    .map(ret_size)
+}
+
+/// `AllocObject`.
+pub fn alloc_object(env: &mut JniEnv<'_>, clazz: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("AllocObject"), vec![JniArg::Ref(clazz)])
+        .map(ret_ref)
+}
+
+/// `GetObjectClass`.
+pub fn get_object_class(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("GetObjectClass"), vec![JniArg::Ref(obj)])
+        .map(ret_ref)
+}
+
+/// `IsInstanceOf`.
+pub fn is_instance_of(env: &mut JniEnv<'_>, obj: JRef, clazz: JRef) -> R<bool> {
+    env.invoke(
+        FuncId::of("IsInstanceOf"),
+        vec![JniArg::Ref(obj), JniArg::Ref(clazz)],
+    )
+    .map(ret_bool)
+}
+
+/// `GetObjectRefType`.
+pub fn get_object_ref_type(env: &mut JniEnv<'_>, obj: JRef) -> R<i32> {
+    env.invoke(FuncId::of("GetObjectRefType"), vec![JniArg::Ref(obj)])
+        .map(ret_int)
+}
+
+/// `GetMethodID`.
+pub fn get_method_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<MethodId> {
+    env.invoke(
+        FuncId::of("GetMethodID"),
+        vec![
+            JniArg::Ref(clazz),
+            JniArg::Name(name.into()),
+            JniArg::Name(sig.into()),
+        ],
+    )
+    .map(ret_method)
+}
+
+/// `GetStaticMethodID`.
+pub fn get_static_method_id(
+    env: &mut JniEnv<'_>,
+    clazz: JRef,
+    name: &str,
+    sig: &str,
+) -> R<MethodId> {
+    env.invoke(
+        FuncId::of("GetStaticMethodID"),
+        vec![
+            JniArg::Ref(clazz),
+            JniArg::Name(name.into()),
+            JniArg::Name(sig.into()),
+        ],
+    )
+    .map(ret_method)
+}
+
+/// `GetFieldID`.
+pub fn get_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<FieldId> {
+    env.invoke(
+        FuncId::of("GetFieldID"),
+        vec![
+            JniArg::Ref(clazz),
+            JniArg::Name(name.into()),
+            JniArg::Name(sig.into()),
+        ],
+    )
+    .map(ret_field)
+}
+
+/// `GetStaticFieldID`.
+pub fn get_static_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<FieldId> {
+    env.invoke(
+        FuncId::of("GetStaticFieldID"),
+        vec![
+            JniArg::Ref(clazz),
+            JniArg::Name(name.into()),
+            JniArg::Name(sig.into()),
+        ],
+    )
+    .map(ret_field)
+}
+
+/// `NewObject`, `NewObjectV`, `NewObjectA`.
+pub fn new_object(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
+    new_object_named(env, "NewObject", clazz, ctor, args)
+}
+
+/// `NewObjectV` (identical semantics; distinct JNI entry).
+pub fn new_object_v(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
+    new_object_named(env, "NewObjectV", clazz, ctor, args)
+}
+
+/// `NewObjectA`.
+pub fn new_object_a(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
+    new_object_named(env, "NewObjectA", clazz, ctor, args)
+}
+
+fn new_object_named(
+    env: &mut JniEnv<'_>,
+    func: &str,
+    clazz: JRef,
+    ctor: MethodId,
+    args: &[JValue],
+) -> R<JRef> {
+    env.invoke(
+        FuncId::of(func),
+        vec![
+            JniArg::Ref(clazz),
+            JniArg::Method(ctor),
+            JniArg::Args(args.to_vec()),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `NewString` (UTF-16 code units).
+pub fn new_string(env: &mut JniEnv<'_>, chars: &[u16]) -> R<JRef> {
+    env.invoke(
+        FuncId::of("NewString"),
+        vec![
+            JniArg::Chars(chars.to_vec()),
+            JniArg::Size(chars.len() as i64),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `GetStringLength`.
+pub fn get_string_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
+    env.invoke(FuncId::of("GetStringLength"), vec![JniArg::Ref(s)])
+        .map(ret_size)
+}
+
+/// `GetStringChars` — returns the pinned (copied) UTF-16 buffer, which is
+/// **not** NUL-terminated (pitfall 8).
+pub fn get_string_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
+    env.invoke(
+        FuncId::of("GetStringChars"),
+        vec![JniArg::Ref(s), JniArg::Opaque],
+    )
+    .map(ret_pin)
+}
+
+/// `ReleaseStringChars`.
+pub fn release_string_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> R<()> {
+    env.invoke(
+        FuncId::of("ReleaseStringChars"),
+        vec![JniArg::Ref(s), JniArg::Buf(chars)],
+    )
+    .map(ret_unit)
+}
+
+/// `NewStringUTF`.
+pub fn new_string_utf(env: &mut JniEnv<'_>, s: &str) -> R<JRef> {
+    env.invoke(FuncId::of("NewStringUTF"), vec![JniArg::Name(s.into())])
+        .map(ret_ref)
+}
+
+/// `GetStringUTFLength`.
+pub fn get_string_utf_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
+    env.invoke(FuncId::of("GetStringUTFLength"), vec![JniArg::Ref(s)])
+        .map(ret_size)
+}
+
+/// `GetStringUTFChars` — returns the pinned modified-UTF-8 buffer
+/// (NUL-terminated).
+pub fn get_string_utf_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
+    env.invoke(
+        FuncId::of("GetStringUTFChars"),
+        vec![JniArg::Ref(s), JniArg::Opaque],
+    )
+    .map(ret_pin)
+}
+
+/// `ReleaseStringUTFChars`.
+pub fn release_string_utf_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> R<()> {
+    env.invoke(
+        FuncId::of("ReleaseStringUTFChars"),
+        vec![JniArg::Ref(s), JniArg::Buf(chars)],
+    )
+    .map(ret_unit)
+}
+
+/// `GetStringRegion` — returns the copied region.
+pub fn get_string_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64) -> R<Vec<u16>> {
+    env.invoke(
+        FuncId::of("GetStringRegion"),
+        vec![
+            JniArg::Ref(s),
+            JniArg::Size(start),
+            JniArg::Size(len),
+            JniArg::Opaque,
+        ],
+    )
+    .map(ret_chars)
+}
+
+/// `GetStringUTFRegion` — returns the copied region, modified-UTF-8
+/// encoded.
+pub fn get_string_utf_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64) -> R<Vec<u8>> {
+    env.invoke(
+        FuncId::of("GetStringUTFRegion"),
+        vec![
+            JniArg::Ref(s),
+            JniArg::Size(start),
+            JniArg::Size(len),
+            JniArg::Opaque,
+        ],
+    )
+    .map(ret_bytes)
+}
+
+/// `GetStringCritical`.
+pub fn get_string_critical(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
+    env.invoke(
+        FuncId::of("GetStringCritical"),
+        vec![JniArg::Ref(s), JniArg::Opaque],
+    )
+    .map(ret_pin)
+}
+
+/// `ReleaseStringCritical`.
+pub fn release_string_critical(env: &mut JniEnv<'_>, s: JRef, carray: PinId) -> R<()> {
+    env.invoke(
+        FuncId::of("ReleaseStringCritical"),
+        vec![JniArg::Ref(s), JniArg::Buf(carray)],
+    )
+    .map(ret_unit)
+}
+
+/// `GetArrayLength`.
+pub fn get_array_length(env: &mut JniEnv<'_>, array: JRef) -> R<i64> {
+    env.invoke(FuncId::of("GetArrayLength"), vec![JniArg::Ref(array)])
+        .map(ret_size)
+}
+
+/// `NewObjectArray`.
+pub fn new_object_array(env: &mut JniEnv<'_>, len: i64, clazz: JRef, init: JRef) -> R<JRef> {
+    env.invoke(
+        FuncId::of("NewObjectArray"),
+        vec![JniArg::Size(len), JniArg::Ref(clazz), JniArg::Ref(init)],
+    )
+    .map(ret_ref)
+}
+
+/// `GetObjectArrayElement`.
+pub fn get_object_array_element(env: &mut JniEnv<'_>, array: JRef, index: i64) -> R<JRef> {
+    env.invoke(
+        FuncId::of("GetObjectArrayElement"),
+        vec![JniArg::Ref(array), JniArg::Size(index)],
+    )
+    .map(ret_ref)
+}
+
+/// `SetObjectArrayElement`.
+pub fn set_object_array_element(
+    env: &mut JniEnv<'_>,
+    array: JRef,
+    index: i64,
+    value: JRef,
+) -> R<()> {
+    env.invoke(
+        FuncId::of("SetObjectArrayElement"),
+        vec![JniArg::Ref(array), JniArg::Size(index), JniArg::Ref(value)],
+    )
+    .map(ret_unit)
+}
+
+/// `GetPrimitiveArrayCritical`.
+pub fn get_primitive_array_critical(env: &mut JniEnv<'_>, array: JRef) -> R<PinId> {
+    env.invoke(
+        FuncId::of("GetPrimitiveArrayCritical"),
+        vec![JniArg::Ref(array), JniArg::Opaque],
+    )
+    .map(ret_pin)
+}
+
+/// `ReleasePrimitiveArrayCritical`.
+pub fn release_primitive_array_critical(
+    env: &mut JniEnv<'_>,
+    array: JRef,
+    carray: PinId,
+    mode: i64,
+) -> R<()> {
+    env.invoke(
+        FuncId::of("ReleasePrimitiveArrayCritical"),
+        vec![JniArg::Ref(array), JniArg::Buf(carray), JniArg::Size(mode)],
+    )
+    .map(ret_unit)
+}
+
+/// A native method descriptor for [`register_natives`].
+pub struct NativeMethodDef {
+    /// Method name.
+    pub name: String,
+    /// Method descriptor.
+    pub sig: String,
+    /// The body.
+    pub func: crate::vm::NativeFn,
+}
+
+impl std::fmt::Debug for NativeMethodDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeMethodDef")
+            .field("name", &self.name)
+            .field("sig", &self.sig)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `RegisterNatives`: binds native bodies to the class's native methods.
+pub fn register_natives(
+    env: &mut JniEnv<'_>,
+    clazz: JRef,
+    methods: Vec<NativeMethodDef>,
+) -> R<i64> {
+    let n = methods.len() as i64;
+    let ret = env.invoke(
+        FuncId::of("RegisterNatives"),
+        vec![JniArg::Ref(clazz), JniArg::Opaque, JniArg::Size(n)],
+    )?;
+    // Bind the closures (they cannot travel through the generic argument
+    // representation the hooks observe).
+    if let Ok(Some(mirror)) = env.jvm().resolve(env.thread(), clazz) {
+        if let Some(class) = env.jvm().class_of_mirror(mirror) {
+            for m in methods {
+                let mid = env
+                    .jvm()
+                    .registry()
+                    .resolve_method(class, &m.name, &m.sig, false)
+                    .or_else(|_| {
+                        env.jvm()
+                            .registry()
+                            .resolve_method(class, &m.name, &m.sig, true)
+                    });
+                if let Ok(mid) = mid {
+                    let idx = env.add_native_code(m.func);
+                    env.jvm_mut().registry_mut().bind_native(mid, idx);
+                }
+            }
+        }
+    }
+    Ok(ret_size(ret))
+}
+
+/// `UnregisterNatives`.
+pub fn unregister_natives(env: &mut JniEnv<'_>, clazz: JRef) -> R<i64> {
+    env.invoke(FuncId::of("UnregisterNatives"), vec![JniArg::Ref(clazz)])
+        .map(ret_size)
+}
+
+/// `MonitorEnter`.
+pub fn monitor_enter(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
+    env.invoke(FuncId::of("MonitorEnter"), vec![JniArg::Ref(obj)])
+        .map(ret_size)
+}
+
+/// `MonitorExit`.
+pub fn monitor_exit(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
+    env.invoke(FuncId::of("MonitorExit"), vec![JniArg::Ref(obj)])
+        .map(ret_size)
+}
+
+/// `GetJavaVM`.
+pub fn get_java_vm(env: &mut JniEnv<'_>) -> R<i64> {
+    env.invoke(FuncId::of("GetJavaVM"), vec![JniArg::Opaque])
+        .map(ret_size)
+}
+
+/// `NewWeakGlobalRef`.
+pub fn new_weak_global_ref(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
+    env.invoke(FuncId::of("NewWeakGlobalRef"), vec![JniArg::Ref(obj)])
+        .map(ret_ref)
+}
+
+/// `DeleteWeakGlobalRef`.
+pub fn delete_weak_global_ref(env: &mut JniEnv<'_>, wref: JRef) -> R<()> {
+    env.invoke(FuncId::of("DeleteWeakGlobalRef"), vec![JniArg::Ref(wref)])
+        .map(ret_unit)
+}
+
+/// `NewDirectByteBuffer`.
+pub fn new_direct_byte_buffer(env: &mut JniEnv<'_>, address: i64, capacity: i64) -> R<JRef> {
+    env.invoke(
+        FuncId::of("NewDirectByteBuffer"),
+        vec![
+            JniArg::Val(JValue::Long(address)),
+            JniArg::Val(JValue::Long(capacity)),
+        ],
+    )
+    .map(ret_ref)
+}
+
+/// `GetDirectBufferAddress`.
+pub fn get_direct_buffer_address(env: &mut JniEnv<'_>, buf: JRef) -> R<i64> {
+    env.invoke(FuncId::of("GetDirectBufferAddress"), vec![JniArg::Ref(buf)])
+        .map(ret_long)
+}
+
+/// `GetDirectBufferCapacity`.
+pub fn get_direct_buffer_capacity(env: &mut JniEnv<'_>, buf: JRef) -> R<i64> {
+    env.invoke(
+        FuncId::of("GetDirectBufferCapacity"),
+        vec![JniArg::Ref(buf)],
+    )
+    .map(ret_long)
+}
+
+// ----- call families ---------------------------------------------------------
+
+macro_rules! virtual_calls {
+    ($($fn_name:ident => $jni:literal, $ret:ty, $unpack:expr;)*) => {$(
+        #[doc = concat!("`", $jni, "`.")]
+        pub fn $fn_name(
+            env: &mut JniEnv<'_>,
+            obj: JRef,
+            method: MethodId,
+            args: &[JValue],
+        ) -> R<$ret> {
+            env.invoke(
+                FuncId::of($jni),
+                vec![JniArg::Ref(obj), JniArg::Method(method), JniArg::Args(args.to_vec())],
+            )
+            .map($unpack)
+        }
+    )*};
+}
+
+macro_rules! nonvirtual_calls {
+    ($($fn_name:ident => $jni:literal, $ret:ty, $unpack:expr;)*) => {$(
+        #[doc = concat!("`", $jni, "`.")]
+        pub fn $fn_name(
+            env: &mut JniEnv<'_>,
+            obj: JRef,
+            clazz: JRef,
+            method: MethodId,
+            args: &[JValue],
+        ) -> R<$ret> {
+            env.invoke(
+                FuncId::of($jni),
+                vec![
+                    JniArg::Ref(obj),
+                    JniArg::Ref(clazz),
+                    JniArg::Method(method),
+                    JniArg::Args(args.to_vec()),
+                ],
+            )
+            .map($unpack)
+        }
+    )*};
+}
+
+macro_rules! static_calls {
+    ($($fn_name:ident => $jni:literal, $ret:ty, $unpack:expr;)*) => {$(
+        #[doc = concat!("`", $jni, "`.")]
+        pub fn $fn_name(
+            env: &mut JniEnv<'_>,
+            clazz: JRef,
+            method: MethodId,
+            args: &[JValue],
+        ) -> R<$ret> {
+            env.invoke(
+                FuncId::of($jni),
+                vec![JniArg::Ref(clazz), JniArg::Method(method), JniArg::Args(args.to_vec())],
+            )
+            .map($unpack)
+        }
+    )*};
+}
+
+fn ret_prim_bool(r: JniRet) -> bool {
+    ret_bool(r)
+}
+fn ret_prim_byte(r: JniRet) -> i8 {
+    match r {
+        JniRet::Val(JValue::Byte(v)) => v,
+        other => panic!("expected byte result, got {other:?}"),
+    }
+}
+fn ret_prim_char(r: JniRet) -> u16 {
+    match r {
+        JniRet::Val(JValue::Char(v)) => v,
+        other => panic!("expected char result, got {other:?}"),
+    }
+}
+fn ret_prim_short(r: JniRet) -> i16 {
+    match r {
+        JniRet::Val(JValue::Short(v)) => v,
+        other => panic!("expected short result, got {other:?}"),
+    }
+}
+fn ret_prim_float(r: JniRet) -> f32 {
+    match r {
+        JniRet::Val(JValue::Float(v)) => v,
+        other => panic!("expected float result, got {other:?}"),
+    }
+}
+fn ret_prim_double(r: JniRet) -> f64 {
+    match r {
+        JniRet::Val(JValue::Double(v)) => v,
+        other => panic!("expected double result, got {other:?}"),
+    }
+}
+
+virtual_calls! {
+    call_object_method => "CallObjectMethod", JRef, ret_ref;
+    call_object_method_v => "CallObjectMethodV", JRef, ret_ref;
+    call_object_method_a => "CallObjectMethodA", JRef, ret_ref;
+    call_boolean_method => "CallBooleanMethod", bool, ret_prim_bool;
+    call_boolean_method_v => "CallBooleanMethodV", bool, ret_prim_bool;
+    call_boolean_method_a => "CallBooleanMethodA", bool, ret_prim_bool;
+    call_byte_method => "CallByteMethod", i8, ret_prim_byte;
+    call_byte_method_v => "CallByteMethodV", i8, ret_prim_byte;
+    call_byte_method_a => "CallByteMethodA", i8, ret_prim_byte;
+    call_char_method => "CallCharMethod", u16, ret_prim_char;
+    call_char_method_v => "CallCharMethodV", u16, ret_prim_char;
+    call_char_method_a => "CallCharMethodA", u16, ret_prim_char;
+    call_short_method => "CallShortMethod", i16, ret_prim_short;
+    call_short_method_v => "CallShortMethodV", i16, ret_prim_short;
+    call_short_method_a => "CallShortMethodA", i16, ret_prim_short;
+    call_int_method => "CallIntMethod", i32, ret_int;
+    call_int_method_v => "CallIntMethodV", i32, ret_int;
+    call_int_method_a => "CallIntMethodA", i32, ret_int;
+    call_long_method => "CallLongMethod", i64, ret_long;
+    call_long_method_v => "CallLongMethodV", i64, ret_long;
+    call_long_method_a => "CallLongMethodA", i64, ret_long;
+    call_float_method => "CallFloatMethod", f32, ret_prim_float;
+    call_float_method_v => "CallFloatMethodV", f32, ret_prim_float;
+    call_float_method_a => "CallFloatMethodA", f32, ret_prim_float;
+    call_double_method => "CallDoubleMethod", f64, ret_prim_double;
+    call_double_method_v => "CallDoubleMethodV", f64, ret_prim_double;
+    call_double_method_a => "CallDoubleMethodA", f64, ret_prim_double;
+    call_void_method => "CallVoidMethod", (), ret_unit;
+    call_void_method_v => "CallVoidMethodV", (), ret_unit;
+    call_void_method_a => "CallVoidMethodA", (), ret_unit;
+}
+
+nonvirtual_calls! {
+    call_nonvirtual_object_method => "CallNonvirtualObjectMethod", JRef, ret_ref;
+    call_nonvirtual_object_method_v => "CallNonvirtualObjectMethodV", JRef, ret_ref;
+    call_nonvirtual_object_method_a => "CallNonvirtualObjectMethodA", JRef, ret_ref;
+    call_nonvirtual_boolean_method => "CallNonvirtualBooleanMethod", bool, ret_prim_bool;
+    call_nonvirtual_boolean_method_v => "CallNonvirtualBooleanMethodV", bool, ret_prim_bool;
+    call_nonvirtual_boolean_method_a => "CallNonvirtualBooleanMethodA", bool, ret_prim_bool;
+    call_nonvirtual_byte_method => "CallNonvirtualByteMethod", i8, ret_prim_byte;
+    call_nonvirtual_byte_method_v => "CallNonvirtualByteMethodV", i8, ret_prim_byte;
+    call_nonvirtual_byte_method_a => "CallNonvirtualByteMethodA", i8, ret_prim_byte;
+    call_nonvirtual_char_method => "CallNonvirtualCharMethod", u16, ret_prim_char;
+    call_nonvirtual_char_method_v => "CallNonvirtualCharMethodV", u16, ret_prim_char;
+    call_nonvirtual_char_method_a => "CallNonvirtualCharMethodA", u16, ret_prim_char;
+    call_nonvirtual_short_method => "CallNonvirtualShortMethod", i16, ret_prim_short;
+    call_nonvirtual_short_method_v => "CallNonvirtualShortMethodV", i16, ret_prim_short;
+    call_nonvirtual_short_method_a => "CallNonvirtualShortMethodA", i16, ret_prim_short;
+    call_nonvirtual_int_method => "CallNonvirtualIntMethod", i32, ret_int;
+    call_nonvirtual_int_method_v => "CallNonvirtualIntMethodV", i32, ret_int;
+    call_nonvirtual_int_method_a => "CallNonvirtualIntMethodA", i32, ret_int;
+    call_nonvirtual_long_method => "CallNonvirtualLongMethod", i64, ret_long;
+    call_nonvirtual_long_method_v => "CallNonvirtualLongMethodV", i64, ret_long;
+    call_nonvirtual_long_method_a => "CallNonvirtualLongMethodA", i64, ret_long;
+    call_nonvirtual_float_method => "CallNonvirtualFloatMethod", f32, ret_prim_float;
+    call_nonvirtual_float_method_v => "CallNonvirtualFloatMethodV", f32, ret_prim_float;
+    call_nonvirtual_float_method_a => "CallNonvirtualFloatMethodA", f32, ret_prim_float;
+    call_nonvirtual_double_method => "CallNonvirtualDoubleMethod", f64, ret_prim_double;
+    call_nonvirtual_double_method_v => "CallNonvirtualDoubleMethodV", f64, ret_prim_double;
+    call_nonvirtual_double_method_a => "CallNonvirtualDoubleMethodA", f64, ret_prim_double;
+    call_nonvirtual_void_method => "CallNonvirtualVoidMethod", (), ret_unit;
+    call_nonvirtual_void_method_v => "CallNonvirtualVoidMethodV", (), ret_unit;
+    call_nonvirtual_void_method_a => "CallNonvirtualVoidMethodA", (), ret_unit;
+}
+
+static_calls! {
+    call_static_object_method => "CallStaticObjectMethod", JRef, ret_ref;
+    call_static_object_method_v => "CallStaticObjectMethodV", JRef, ret_ref;
+    call_static_object_method_a => "CallStaticObjectMethodA", JRef, ret_ref;
+    call_static_boolean_method => "CallStaticBooleanMethod", bool, ret_prim_bool;
+    call_static_boolean_method_v => "CallStaticBooleanMethodV", bool, ret_prim_bool;
+    call_static_boolean_method_a => "CallStaticBooleanMethodA", bool, ret_prim_bool;
+    call_static_byte_method => "CallStaticByteMethod", i8, ret_prim_byte;
+    call_static_byte_method_v => "CallStaticByteMethodV", i8, ret_prim_byte;
+    call_static_byte_method_a => "CallStaticByteMethodA", i8, ret_prim_byte;
+    call_static_char_method => "CallStaticCharMethod", u16, ret_prim_char;
+    call_static_char_method_v => "CallStaticCharMethodV", u16, ret_prim_char;
+    call_static_char_method_a => "CallStaticCharMethodA", u16, ret_prim_char;
+    call_static_short_method => "CallStaticShortMethod", i16, ret_prim_short;
+    call_static_short_method_v => "CallStaticShortMethodV", i16, ret_prim_short;
+    call_static_short_method_a => "CallStaticShortMethodA", i16, ret_prim_short;
+    call_static_int_method => "CallStaticIntMethod", i32, ret_int;
+    call_static_int_method_v => "CallStaticIntMethodV", i32, ret_int;
+    call_static_int_method_a => "CallStaticIntMethodA", i32, ret_int;
+    call_static_long_method => "CallStaticLongMethod", i64, ret_long;
+    call_static_long_method_v => "CallStaticLongMethodV", i64, ret_long;
+    call_static_long_method_a => "CallStaticLongMethodA", i64, ret_long;
+    call_static_float_method => "CallStaticFloatMethod", f32, ret_prim_float;
+    call_static_float_method_v => "CallStaticFloatMethodV", f32, ret_prim_float;
+    call_static_float_method_a => "CallStaticFloatMethodA", f32, ret_prim_float;
+    call_static_double_method => "CallStaticDoubleMethod", f64, ret_prim_double;
+    call_static_double_method_v => "CallStaticDoubleMethodV", f64, ret_prim_double;
+    call_static_double_method_a => "CallStaticDoubleMethodA", f64, ret_prim_double;
+    call_static_void_method => "CallStaticVoidMethod", (), ret_unit;
+    call_static_void_method_v => "CallStaticVoidMethodV", (), ret_unit;
+    call_static_void_method_a => "CallStaticVoidMethodA", (), ret_unit;
+}
+
+// ----- field families ----------------------------------------------------
+
+macro_rules! get_fields {
+    ($($fn_name:ident => $jni:literal, $ret:ty, $unpack:expr;)*) => {$(
+        #[doc = concat!("`", $jni, "`.")]
+        pub fn $fn_name(env: &mut JniEnv<'_>, obj: JRef, field: FieldId) -> R<$ret> {
+            env.invoke(FuncId::of($jni), vec![JniArg::Ref(obj), JniArg::Field(field)])
+                .map($unpack)
+        }
+    )*};
+}
+
+macro_rules! set_fields {
+    ($($fn_name:ident => $jni:literal, $val:ty, $wrap:expr;)*) => {$(
+        #[doc = concat!("`", $jni, "`.")]
+        pub fn $fn_name(env: &mut JniEnv<'_>, obj: JRef, field: FieldId, value: $val) -> R<()> {
+            #[allow(clippy::redundant_closure_call)]
+            env.invoke(
+                FuncId::of($jni),
+                vec![JniArg::Ref(obj), JniArg::Field(field), ($wrap)(value)],
+            )
+            .map(ret_unit)
+        }
+    )*};
+}
+
+get_fields! {
+    get_object_field => "GetObjectField", JRef, ret_ref;
+    get_boolean_field => "GetBooleanField", bool, ret_prim_bool;
+    get_byte_field => "GetByteField", i8, ret_prim_byte;
+    get_char_field => "GetCharField", u16, ret_prim_char;
+    get_short_field => "GetShortField", i16, ret_prim_short;
+    get_int_field => "GetIntField", i32, ret_int;
+    get_long_field => "GetLongField", i64, ret_long;
+    get_float_field => "GetFloatField", f32, ret_prim_float;
+    get_double_field => "GetDoubleField", f64, ret_prim_double;
+    get_static_object_field => "GetStaticObjectField", JRef, ret_ref;
+    get_static_boolean_field => "GetStaticBooleanField", bool, ret_prim_bool;
+    get_static_byte_field => "GetStaticByteField", i8, ret_prim_byte;
+    get_static_char_field => "GetStaticCharField", u16, ret_prim_char;
+    get_static_short_field => "GetStaticShortField", i16, ret_prim_short;
+    get_static_int_field => "GetStaticIntField", i32, ret_int;
+    get_static_long_field => "GetStaticLongField", i64, ret_long;
+    get_static_float_field => "GetStaticFloatField", f32, ret_prim_float;
+    get_static_double_field => "GetStaticDoubleField", f64, ret_prim_double;
+}
+
+set_fields! {
+    set_object_field => "SetObjectField", JRef, JniArg::Ref;
+    set_boolean_field => "SetBooleanField", bool, |v| JniArg::Val(JValue::Bool(v));
+    set_byte_field => "SetByteField", i8, |v| JniArg::Val(JValue::Byte(v));
+    set_char_field => "SetCharField", u16, |v| JniArg::Val(JValue::Char(v));
+    set_short_field => "SetShortField", i16, |v| JniArg::Val(JValue::Short(v));
+    set_int_field => "SetIntField", i32, |v| JniArg::Val(JValue::Int(v));
+    set_long_field => "SetLongField", i64, |v| JniArg::Val(JValue::Long(v));
+    set_float_field => "SetFloatField", f32, |v| JniArg::Val(JValue::Float(v));
+    set_double_field => "SetDoubleField", f64, |v| JniArg::Val(JValue::Double(v));
+    set_static_object_field => "SetStaticObjectField", JRef, JniArg::Ref;
+    set_static_boolean_field => "SetStaticBooleanField", bool, |v| JniArg::Val(JValue::Bool(v));
+    set_static_byte_field => "SetStaticByteField", i8, |v| JniArg::Val(JValue::Byte(v));
+    set_static_char_field => "SetStaticCharField", u16, |v| JniArg::Val(JValue::Char(v));
+    set_static_short_field => "SetStaticShortField", i16, |v| JniArg::Val(JValue::Short(v));
+    set_static_int_field => "SetStaticIntField", i32, |v| JniArg::Val(JValue::Int(v));
+    set_static_long_field => "SetStaticLongField", i64, |v| JniArg::Val(JValue::Long(v));
+    set_static_float_field => "SetStaticFloatField", f32, |v| JniArg::Val(JValue::Float(v));
+    set_static_double_field => "SetStaticDoubleField", f64, |v| JniArg::Val(JValue::Double(v));
+}
+
+// ----- primitive array families -------------------------------------------
+
+macro_rules! prim_array_family {
+    ($($ty_name:literal : $new_fn:ident, $get_elems_fn:ident, $rel_elems_fn:ident, $get_region_fn:ident, $set_region_fn:ident;)*) => {$(
+        #[doc = concat!("`New", $ty_name, "Array`.")]
+        pub fn $new_fn(env: &mut JniEnv<'_>, len: i64) -> R<JRef> {
+            env.invoke(
+                FuncId::of(concat!("New", $ty_name, "Array")),
+                vec![JniArg::Size(len)],
+            )
+            .map(ret_ref)
+        }
+
+        #[doc = concat!("`Get", $ty_name, "ArrayElements`.")]
+        pub fn $get_elems_fn(env: &mut JniEnv<'_>, array: JRef) -> R<PinId> {
+            env.invoke(
+                FuncId::of(concat!("Get", $ty_name, "ArrayElements")),
+                vec![JniArg::Ref(array), JniArg::Opaque],
+            )
+            .map(ret_pin)
+        }
+
+        #[doc = concat!("`Release", $ty_name, "ArrayElements`.")]
+        pub fn $rel_elems_fn(env: &mut JniEnv<'_>, array: JRef, elems: PinId, mode: i64) -> R<()> {
+            env.invoke(
+                FuncId::of(concat!("Release", $ty_name, "ArrayElements")),
+                vec![JniArg::Ref(array), JniArg::Buf(elems), JniArg::Size(mode)],
+            )
+            .map(ret_unit)
+        }
+
+        #[doc = concat!("`Get", $ty_name, "ArrayRegion` — returns the copied region.")]
+        pub fn $get_region_fn(
+            env: &mut JniEnv<'_>,
+            array: JRef,
+            start: i64,
+            len: i64,
+        ) -> R<PrimArray> {
+            env.invoke(
+                FuncId::of(concat!("Get", $ty_name, "ArrayRegion")),
+                vec![JniArg::Ref(array), JniArg::Size(start), JniArg::Size(len), JniArg::Opaque],
+            )
+            .map(ret_prims)
+        }
+
+        #[doc = concat!("`Set", $ty_name, "ArrayRegion`.")]
+        pub fn $set_region_fn(
+            env: &mut JniEnv<'_>,
+            array: JRef,
+            start: i64,
+            data: PrimArray,
+        ) -> R<()> {
+            let len = data.len() as i64;
+            env.invoke(
+                FuncId::of(concat!("Set", $ty_name, "ArrayRegion")),
+                vec![
+                    JniArg::Ref(array),
+                    JniArg::Size(start),
+                    JniArg::Size(len),
+                    JniArg::Prims(data),
+                ],
+            )
+            .map(ret_unit)
+        }
+    )*};
+}
+
+prim_array_family! {
+    "Boolean": new_boolean_array, get_boolean_array_elements, release_boolean_array_elements,
+        get_boolean_array_region, set_boolean_array_region;
+    "Byte": new_byte_array, get_byte_array_elements, release_byte_array_elements,
+        get_byte_array_region, set_byte_array_region;
+    "Char": new_char_array, get_char_array_elements, release_char_array_elements,
+        get_char_array_region, set_char_array_region;
+    "Short": new_short_array, get_short_array_elements, release_short_array_elements,
+        get_short_array_region, set_short_array_region;
+    "Int": new_int_array, get_int_array_elements, release_int_array_elements,
+        get_int_array_region, set_int_array_region;
+    "Long": new_long_array, get_long_array_elements, release_long_array_elements,
+        get_long_array_region, set_long_array_region;
+    "Float": new_float_array, get_float_array_elements, release_float_array_elements,
+        get_float_array_region, set_float_array_region;
+    "Double": new_double_array, get_double_array_elements, release_double_array_elements,
+        get_double_array_region, set_double_array_region;
+}
+
+// ----- "C memory" access to pinned buffers ---------------------------------
+
+/// Reads a pinned modified-UTF-8 buffer as C would through its `char*`,
+/// i.e. up to the NUL terminator. Returns `None` for a released pin (a C
+/// use-after-free the raw JVM cannot see).
+pub fn read_utf_buffer(env: &JniEnv<'_>, pin: PinId) -> Option<String> {
+    match env.jvm().pins().data(pin)? {
+        minijvm::PinData::Utf8(bytes) => {
+            let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+            minijvm::mutf8::decode_to_string(&bytes[..end]).ok()
+        }
+        _ => None,
+    }
+}
+
+/// Reads a pinned UTF-16 buffer of known length (the correct way).
+pub fn read_utf16_buffer(env: &JniEnv<'_>, pin: PinId) -> Option<Vec<u16>> {
+    match env.jvm().pins().data(pin)? {
+        minijvm::PinData::Utf16(chars) => Some(chars.clone()),
+        _ => None,
+    }
+}
+
+/// Reads a pinned UTF-16 buffer *assuming NUL termination*, as buggy C
+/// code does (pitfall 8). JNI does not terminate UTF-16 strings, so when
+/// no NUL is present this simulated read runs off the end of the buffer:
+/// it returns `Err` with the whole buffer plus simulated garbage.
+pub fn read_utf16_expecting_nul(
+    env: &JniEnv<'_>,
+    pin: PinId,
+) -> Option<Result<Vec<u16>, Vec<u16>>> {
+    match env.jvm().pins().data(pin)? {
+        minijvm::PinData::Utf16(chars) => {
+            match chars.iter().position(|&c| c == 0) {
+                Some(end) => Some(Ok(chars[..end].to_vec())),
+                None => {
+                    // Overread: the bytes past the buffer are whatever the
+                    // allocator left there.
+                    let mut overread = chars.clone();
+                    overread.extend([0xDEAD, 0xBEEF, 0x0BAD]);
+                    Some(Err(overread))
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Reads a pinned primitive-array buffer (the `jint*` etc. view).
+pub fn read_prim_buffer(env: &JniEnv<'_>, pin: PinId) -> Option<PrimArray> {
+    match env.jvm().pins().data(pin)? {
+        minijvm::PinData::Prim(p) => Some(p.clone()),
+        _ => None,
+    }
+}
+
+/// Writes through a pinned primitive-array buffer (C mutating the copy;
+/// the data reaches the Java array at release time unless aborted).
+pub fn write_prim_buffer(env: &mut JniEnv<'_>, pin: PinId, index: usize, value: JValue) -> bool {
+    match env.jvm_mut().pins_mut().data_mut(pin) {
+        Some(minijvm::PinData::Prim(p)) if index < p.len() => {
+            p.set(index, value);
+            true
+        }
+        _ => false,
+    }
+}

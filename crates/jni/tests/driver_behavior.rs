@@ -1,0 +1,318 @@
+//! Tests of the interposition driver itself: hook ordering, transition
+//! accounting, vendor-modelled undefined behaviour, death latching, and
+//! session logs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use minijni::{
+    typed, CallCx, Interpose, JniError, JniRet, Report, ReportAction, RunOutcome, Session,
+    Violation, Vm,
+};
+use minijvm::{JRef, JValue, Jvm, MethodId, ThreadId};
+
+/// A checker that records the order of every hook it sees.
+struct Recorder {
+    events: Rc<RefCell<Vec<String>>>,
+    veto: Option<&'static str>,
+}
+
+impl Interpose for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn pre_jni(&mut self, _jvm: &Jvm, cx: &CallCx<'_>) -> Vec<Report> {
+        self.events
+            .borrow_mut()
+            .push(format!("pre:{}", cx.func.name()));
+        if Some(cx.func.name()) == self.veto {
+            return vec![Report::new(
+                Violation {
+                    machine: "recorder",
+                    error_state: "Error:Veto",
+                    function: cx.func.name().to_string(),
+                    message: "vetoed by test".to_string(),
+                    backtrace: vec![],
+                },
+                ReportAction::ThrowException,
+            )];
+        }
+        Vec::new()
+    }
+
+    fn post_jni(&mut self, _jvm: &Jvm, cx: &CallCx<'_>, ret: Option<&JniRet>) -> Vec<Report> {
+        self.events
+            .borrow_mut()
+            .push(format!("post:{}:{}", cx.func.name(), ret.is_some()));
+        Vec::new()
+    }
+
+    fn native_enter(
+        &mut self,
+        _jvm: &Jvm,
+        _thread: ThreadId,
+        _method: MethodId,
+        arg_refs: &[JRef],
+        _stack: &[String],
+    ) -> Vec<Report> {
+        self.events
+            .borrow_mut()
+            .push(format!("enter:{}", arg_refs.len()));
+        Vec::new()
+    }
+
+    fn native_exit(
+        &mut self,
+        _jvm: &Jvm,
+        _thread: ThreadId,
+        _method: MethodId,
+        returned_ref: Option<JRef>,
+        _stack: &[String],
+    ) -> Vec<Report> {
+        self.events
+            .borrow_mut()
+            .push(format!("exit:{}", returned_ref.is_some()));
+        Vec::new()
+    }
+}
+
+fn session_with_recorder(
+    veto: Option<&'static str>,
+) -> (Session, MethodId, Vec<JValue>, Rc<RefCell<Vec<String>>>) {
+    let mut vm = Vm::permissive();
+    let (_c, entry) = vm.define_native_class(
+        "drv/T",
+        "m",
+        "(Ljava/lang/Object;)Ljava/lang/Object;",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().unwrap();
+            typed::get_version(env)?;
+            let r = typed::new_local_ref(env, obj)?;
+            Ok(JValue::Ref(r))
+        }),
+    );
+    let class = vm.jvm().find_class("java/lang/Object").unwrap();
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    let events = Rc::new(RefCell::new(Vec::new()));
+    session.attach(Box::new(Recorder {
+        events: Rc::clone(&events),
+        veto,
+    }));
+    (session, entry, vec![arg], events)
+}
+
+#[test]
+fn hooks_fire_in_boundary_order() {
+    let (mut session, entry, args, events) = session_with_recorder(None);
+    let thread = session.vm().jvm().main_thread();
+    let outcome = session.run_native(thread, entry, &args);
+    assert!(matches!(outcome, RunOutcome::Completed(JValue::Ref(_))));
+    let ev = events.borrow();
+    assert_eq!(
+        &*ev,
+        &[
+            "enter:1".to_string(),
+            "pre:GetVersion".to_string(),
+            "post:GetVersion:true".to_string(),
+            "pre:NewLocalRef".to_string(),
+            "post:NewLocalRef:true".to_string(),
+            // The returned reference is visible to the exit hook.
+            "exit:true".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn a_pre_veto_prevents_the_function_from_running() {
+    let (mut session, entry, args, events) = session_with_recorder(Some("NewLocalRef"));
+    let thread = session.vm().jvm().main_thread();
+    let outcome = session.run_native(thread, entry, &args);
+    match outcome {
+        RunOutcome::CheckerException(v) => assert_eq!(v.error_state, "Error:Veto"),
+        other => panic!("{other:?}"),
+    }
+    let ev = events.borrow();
+    // No post hook for the vetoed call: the wrapped function never ran.
+    assert!(ev.contains(&"pre:NewLocalRef".to_string()));
+    assert!(!ev.iter().any(|e| e.starts_with("post:NewLocalRef")));
+}
+
+#[test]
+fn transition_stats_count_both_directions() {
+    let (mut session, entry, args, _) = session_with_recorder(None);
+    let thread = session.vm().jvm().main_thread();
+    session.run_native(thread, entry, &args);
+    let stats = session.vm().stats();
+    assert_eq!(stats.java_to_c, 1, "one native call");
+    assert_eq!(stats.c_to_java, 2, "GetVersion + NewLocalRef");
+    assert_eq!(stats.total(), 6, "each call counts its return too");
+}
+
+#[test]
+fn returned_dangling_reference_is_vendor_ub() {
+    // A native method that returns a reference it already deleted.
+    let mut vm = Vm::permissive();
+    let (_c, entry) = vm.define_native_class(
+        "drv/BadReturn",
+        "m",
+        "(Ljava/lang/Object;)Ljava/lang/Object;",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().unwrap();
+            let r = typed::new_local_ref(env, obj)?;
+            typed::delete_local_ref(env, r)?;
+            Ok(JValue::Ref(r)) // dangling!
+        }),
+    );
+    let class = vm.jvm().find_class("java/lang/Object").unwrap();
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    match session.run_native(thread, entry, &[arg]) {
+        // The permissive vendor crashes on unresolvable references.
+        RunOutcome::Died(d) => assert!(d.message.contains("invalid reference"), "{d}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn death_latches_across_subsequent_calls() {
+    let mut vm = Vm::permissive();
+    let (_c, boom) = vm.define_native_class(
+        "drv/Boom",
+        "m",
+        "()V",
+        true,
+        Rc::new(|env, _| {
+            typed::fatal_error(env, "first failure")?;
+            Ok(JValue::Void)
+        }),
+    );
+    let (_c2, after) = vm.define_native_class(
+        "drv/After",
+        "m",
+        "()V",
+        true,
+        Rc::new(|_env, _| Ok(JValue::Void)),
+    );
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    assert!(matches!(
+        session.run_native(thread, boom, &[]),
+        RunOutcome::Died(_)
+    ));
+    // The process is dead; nothing runs after.
+    match session.run_native(thread, after, &[]) {
+        RunOutcome::Died(d) => assert!(d.message.contains("first failure"), "{d}"),
+        other => panic!("a dead VM ran code: {other:?}"),
+    }
+}
+
+#[test]
+fn exception_describe_writes_to_the_session_log() {
+    let mut vm = Vm::permissive();
+    let (_c, entry) = vm.define_native_class(
+        "drv/Desc",
+        "m",
+        "()V",
+        true,
+        Rc::new(|env, _| {
+            let rte = typed::find_class(env, "java/lang/RuntimeException")?;
+            typed::throw_new(env, rte, "look at me")?;
+            typed::exception_describe(env)?;
+            typed::exception_clear(env)?;
+            Ok(JValue::Void)
+        }),
+    );
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    assert!(matches!(
+        session.run_native(thread, entry, &[]),
+        RunOutcome::Completed(_)
+    ));
+    assert!(
+        session.log().iter().any(|l| l.contains("look at me")),
+        "log: {:?}",
+        session.log()
+    );
+    let taken = session.take_log();
+    assert!(!taken.is_empty());
+    assert!(session.log().is_empty());
+}
+
+#[test]
+fn multiple_checkers_stack_and_first_veto_wins() {
+    let mut vm = Vm::permissive();
+    let (_c, entry) = vm.define_native_class(
+        "drv/Two",
+        "m",
+        "()V",
+        true,
+        Rc::new(|env, _| {
+            typed::get_version(env)?;
+            Ok(JValue::Void)
+        }),
+    );
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    let first = Rc::new(RefCell::new(Vec::new()));
+    let second = Rc::new(RefCell::new(Vec::new()));
+    session.attach(Box::new(Recorder {
+        events: Rc::clone(&first),
+        veto: Some("GetVersion"),
+    }));
+    session.attach(Box::new(Recorder {
+        events: Rc::clone(&second),
+        veto: None,
+    }));
+    let outcome = session.run_native(thread, entry, &[]);
+    assert!(matches!(outcome, RunOutcome::CheckerException(_)));
+    // Both checkers observed the pre hook (hooks gather, then the driver
+    // applies reports).
+    assert!(first.borrow().contains(&"pre:GetVersion".to_string()));
+    assert!(second.borrow().contains(&"pre:GetVersion".to_string()));
+}
+
+#[test]
+fn unsatisfied_link_error_for_unbound_natives() {
+    let mut vm = Vm::permissive();
+    vm.jvm_mut()
+        .registry_mut()
+        .define("drv/Unbound")
+        .native_method("missing", "()V", minijvm::MemberFlags::public_static())
+        .build()
+        .unwrap();
+    let class = vm.jvm().find_class("drv/Unbound").unwrap();
+    let mid = vm
+        .jvm()
+        .registry()
+        .resolve_method(class, "missing", "()V", true)
+        .unwrap();
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    match session.run_native(thread, mid, &[]) {
+        RunOutcome::UncaughtException(desc) => {
+            assert!(desc.contains("UnsatisfiedLinkError"), "{desc}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn env_error_results_are_observable_via_helpers() {
+    let err: JniError = minijvm::JvmDeath::crash("x").into();
+    assert!(err.death().is_some());
+    let (mut session, entry, args, _) = session_with_recorder(None);
+    let thread = session.vm().jvm().main_thread();
+    // A second env can be created after a run completes.
+    session.run_native(thread, entry, &args);
+    let env = session.env(thread);
+    assert_eq!(env.thread(), thread);
+    assert_eq!(env.presented_env(), session.vm().jvm().thread(thread).env());
+}

@@ -1,0 +1,514 @@
+//! Tests of the raw (unchecked) JNI semantics: what each function family
+//! does on a well-behaved VM, without any checker attached.
+
+use std::rc::Rc;
+
+use minijni::{typed, JniError, RunOutcome, Session, Vm};
+use minijvm::{JRef, JValue, MemberFlags, PrimArray, RefKind};
+
+/// Runs `body` as a native method with one `java/lang/Object` argument.
+fn run_native(
+    body: impl Fn(&mut minijni::JniEnv<'_>, &[JValue]) -> Result<JValue, JniError> + 'static,
+) -> RunOutcome {
+    let mut vm = Vm::permissive();
+    let (_c, entry) =
+        vm.define_native_class("t/T", "m", "(Ljava/lang/Object;)I", true, Rc::new(body));
+    let class = vm.jvm().find_class("java/lang/Object").unwrap();
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    session.run_native(thread, entry, &[arg])
+}
+
+fn expect_int(outcome: RunOutcome) -> i32 {
+    match outcome {
+        RunOutcome::Completed(JValue::Int(v)) => v,
+        other => panic!("expected Completed(Int), got {other:?}"),
+    }
+}
+
+#[test]
+fn get_version_reports_jni_1_6() {
+    let v = expect_int(run_native(|env, _| {
+        Ok(JValue::Int(typed::get_version(env)?))
+    }));
+    assert_eq!(v, 0x0001_0006);
+}
+
+#[test]
+fn find_class_unknown_throws_no_class_def() {
+    let outcome = run_native(|env, _| match typed::find_class(env, "does/not/Exist") {
+        Err(JniError::Exception) => {
+            let exc = typed::exception_occurred(env)?;
+            assert!(!exc.is_null());
+            typed::exception_clear(env)?;
+            Ok(JValue::Int(1))
+        }
+        other => panic!("expected exception, got {other:?}"),
+    });
+    assert_eq!(expect_int(outcome), 1);
+}
+
+#[test]
+fn string_functions_roundtrip_mutf8() {
+    let outcome = run_native(|env, _| {
+        let s = typed::new_string_utf(env, "héllo")?;
+        assert_eq!(typed::get_string_length(env, s)?, 5);
+        // Modified UTF-8: é is two bytes.
+        assert_eq!(typed::get_string_utf_length(env, s)?, 6);
+        let pin = typed::get_string_utf_chars(env, s)?;
+        assert_eq!(typed::read_utf_buffer(env, pin).as_deref(), Some("héllo"));
+        typed::release_string_utf_chars(env, s, pin)?;
+        // Regions.
+        let region = typed::get_string_region(env, s, 1, 3)?;
+        assert_eq!(String::from_utf16_lossy(&region), "éll");
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn get_string_chars_is_not_nul_terminated() {
+    // Pitfall 8: C code assuming NUL termination of the UTF-16 form
+    // overreads. The simulation surfaces the overread as Err with garbage.
+    let outcome = run_native(|env, _| {
+        let s = typed::new_string_utf(env, "abc")?;
+        let pin = typed::get_string_chars(env, s)?;
+        match typed::read_utf16_expecting_nul(env, pin) {
+            Some(Err(overread)) => {
+                assert!(overread.len() > 3, "read past the buffer");
+            }
+            other => panic!("expected an overread, got {other:?}"),
+        }
+        // The correct, length-based read works fine.
+        assert_eq!(typed::read_utf16_buffer(env, pin).unwrap().len(), 3);
+        typed::release_string_chars(env, s, pin)?;
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn string_region_bounds_throw() {
+    let outcome = run_native(|env, _| {
+        let s = typed::new_string_utf(env, "ab")?;
+        match typed::get_string_region(env, s, 1, 5) {
+            Err(JniError::Exception) => {
+                typed::exception_clear(env)?;
+                Ok(JValue::Int(7))
+            }
+            other => panic!("expected StringIndexOutOfBounds, got {other:?}"),
+        }
+    });
+    assert_eq!(expect_int(outcome), 7);
+}
+
+#[test]
+fn object_array_functions() {
+    let outcome = run_native(|env, arg| {
+        let obj = arg[0].as_ref().unwrap();
+        let clazz = typed::find_class(env, "java/lang/Object")?;
+        let arr = typed::new_object_array(env, 3, clazz, JRef::NULL)?;
+        assert_eq!(typed::get_array_length(env, arr)?, 3);
+        assert!(typed::get_object_array_element(env, arr, 0)?.is_null());
+        typed::set_object_array_element(env, arr, 1, obj)?;
+        let back = typed::get_object_array_element(env, arr, 1)?;
+        assert!(typed::is_same_object(env, back, obj)?);
+        // Out-of-bounds throws ArrayIndexOutOfBounds.
+        match typed::get_object_array_element(env, arr, 9) {
+            Err(JniError::Exception) => typed::exception_clear(env)?,
+            other => panic!("expected bounds exception, got {other:?}"),
+        }
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn all_primitive_array_families_roundtrip() {
+    let outcome = run_native(|env, _| {
+        // One representative per macro-generated family.
+        let a = typed::new_boolean_array(env, 2)?;
+        typed::set_boolean_array_region(env, a, 0, PrimArray::Bool(vec![true, false]))?;
+        let r = typed::get_boolean_array_region(env, a, 0, 2)?;
+        assert_eq!(r, PrimArray::Bool(vec![true, false]));
+
+        let a = typed::new_double_array(env, 3)?;
+        typed::set_double_array_region(env, a, 1, PrimArray::Double(vec![2.5, 3.5]))?;
+        let r = typed::get_double_array_region(env, a, 0, 3)?;
+        assert_eq!(r, PrimArray::Double(vec![0.0, 2.5, 3.5]));
+
+        let a = typed::new_long_array(env, 1)?;
+        let pin = typed::get_long_array_elements(env, a)?;
+        assert!(typed::write_prim_buffer(env, pin, 0, JValue::Long(9)));
+        typed::release_long_array_elements(env, a, pin, 0)?;
+        let r = typed::get_long_array_region(env, a, 0, 1)?;
+        assert_eq!(r, PrimArray::Long(vec![9]));
+
+        let a = typed::new_char_array(env, 2)?;
+        let pin = typed::get_char_array_elements(env, a)?;
+        typed::release_char_array_elements(env, a, pin, minijni::JNI_COMMIT)?;
+
+        let a = typed::new_byte_array(env, 2)?;
+        typed::set_byte_array_region(env, a, 0, PrimArray::Byte(vec![1, 2]))?;
+        let a = typed::new_short_array(env, 2)?;
+        typed::set_short_array_region(env, a, 0, PrimArray::Short(vec![3, 4]))?;
+        let a = typed::new_float_array(env, 2)?;
+        typed::set_float_array_region(env, a, 0, PrimArray::Float(vec![0.5, 1.5]))?;
+        let a = typed::new_int_array(env, 2)?;
+        typed::set_int_array_region(env, a, 0, PrimArray::Int(vec![5, 6]))?;
+        let _ = a;
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn field_families_read_and_write() {
+    let mut vm = Vm::permissive();
+    let holder = vm
+        .jvm_mut()
+        .registry_mut()
+        .define("t/Holder")
+        .field("b", "Z", MemberFlags::public())
+        .field("i", "I", MemberFlags::public())
+        .field("d", "D", MemberFlags::public())
+        .field("s", "Ljava/lang/String;", MemberFlags::public())
+        .field("COUNT", "J", MemberFlags::public_static())
+        .build()
+        .unwrap();
+    let (_c, entry) = vm.define_native_class(
+        "t/T",
+        "m",
+        "(Lt/Holder;)I",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().unwrap();
+            let clazz = typed::get_object_class(env, obj)?;
+            let fb = typed::get_field_id(env, clazz, "b", "Z")?;
+            let fi = typed::get_field_id(env, clazz, "i", "I")?;
+            let fd = typed::get_field_id(env, clazz, "d", "D")?;
+            let fs = typed::get_field_id(env, clazz, "s", "Ljava/lang/String;")?;
+            let fc = typed::get_static_field_id(env, clazz, "COUNT", "J")?;
+
+            typed::set_boolean_field(env, obj, fb, true)?;
+            assert!(typed::get_boolean_field(env, obj, fb)?);
+            typed::set_int_field(env, obj, fi, -5)?;
+            assert_eq!(typed::get_int_field(env, obj, fi)?, -5);
+            typed::set_double_field(env, obj, fd, 2.25)?;
+            assert_eq!(typed::get_double_field(env, obj, fd)?, 2.25);
+
+            let s = typed::new_string_utf(env, "stored")?;
+            typed::set_object_field(env, obj, fs, s)?;
+            let back = typed::get_object_field(env, obj, fs)?;
+            assert!(typed::is_same_object(env, back, s)?);
+
+            typed::set_static_long_field(env, clazz, fc, 99)?;
+            assert_eq!(typed::get_static_long_field(env, clazz, fc)?, 99);
+            Ok(JValue::Int(0))
+        }),
+    );
+    let oop = vm.jvm_mut().alloc_object(holder);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    let outcome = session.run_native(thread, entry, &[arg]);
+    expect_int(outcome);
+}
+
+#[test]
+fn call_families_virtual_static_nonvirtual() {
+    let mut vm = Vm::permissive();
+    let (_b, base_m) = vm.define_managed_class(
+        "t/Base",
+        "answer",
+        "()I",
+        false,
+        Rc::new(|_env, _| Ok(JValue::Int(1))),
+    );
+    let _ = base_m;
+    // Subclass overriding `answer`.
+    let override_idx = vm.add_managed_code(Rc::new(|_env, _| Ok(JValue::Int(2))));
+    vm.jvm_mut()
+        .registry_mut()
+        .define("t/Sub")
+        .superclass("t/Base")
+        .method(
+            "answer",
+            "()I",
+            MemberFlags::public(),
+            minijvm::MethodBody::Managed(override_idx),
+        )
+        .build()
+        .unwrap();
+    let (_s, stat_m) = vm.define_managed_class(
+        "t/Stat",
+        "forty",
+        "()I",
+        true,
+        Rc::new(|_env, _| Ok(JValue::Int(40))),
+    );
+    let _ = stat_m;
+    let (_c, entry) = vm.define_native_class(
+        "t/T",
+        "m",
+        "(Lt/Sub;)I",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().unwrap();
+            let base = typed::find_class(env, "t/Base")?;
+            let mid = typed::get_method_id(env, base, "answer", "()I")?;
+            // Virtual dispatch picks the override.
+            let virt = typed::call_int_method_a(env, obj, mid, &[])?;
+            assert_eq!(virt, 2);
+            // Nonvirtual dispatch runs the named class's version.
+            let nonvirt = typed::call_nonvirtual_int_method_a(env, obj, base, mid, &[])?;
+            assert_eq!(nonvirt, 1);
+            // Static call.
+            let stat = typed::find_class(env, "t/Stat")?;
+            let smid = typed::get_static_method_id(env, stat, "forty", "()I")?;
+            let st = typed::call_static_int_method_a(env, stat, smid, &[])?;
+            Ok(JValue::Int(virt * 10 + nonvirt * 100 + st))
+        }),
+    );
+    let sub = vm.jvm().find_class("t/Sub").unwrap();
+    let oop = vm.jvm_mut().alloc_object(sub);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    assert_eq!(
+        expect_int(session.run_native(thread, entry, &[arg])),
+        2 * 10 + 100 + 40
+    );
+}
+
+#[test]
+fn reflection_roundtrip() {
+    let mut vm = Vm::permissive();
+    let (_c0, _ping) = vm.define_managed_class(
+        "t/R",
+        "ping",
+        "()I",
+        true,
+        Rc::new(|_env, _| Ok(JValue::Int(3))),
+    );
+    let (_c, entry) = vm.define_native_class(
+        "t/T",
+        "m",
+        "(Ljava/lang/Object;)I",
+        true,
+        Rc::new(|env, _| {
+            let clazz = typed::find_class(env, "t/R")?;
+            let mid = typed::get_static_method_id(env, clazz, "ping", "()I")?;
+            // jmethodID -> java.lang.reflect.Method -> jmethodID.
+            let reflected = typed::to_reflected_method(env, clazz, mid, true)?;
+            let back = typed::from_reflected_method(env, reflected)?;
+            let v = typed::call_static_int_method_a(env, clazz, back, &[])?;
+            Ok(JValue::Int(v))
+        }),
+    );
+    let class = vm.jvm().find_class("java/lang/Object").unwrap();
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+    let mut session = Session::new(vm);
+    assert_eq!(expect_int(session.run_native(thread, entry, &[arg])), 3);
+}
+
+#[test]
+fn class_queries() {
+    let outcome = run_native(|env, arg| {
+        let obj = arg[0].as_ref().unwrap();
+        let object = typed::find_class(env, "java/lang/Object")?;
+        let string = typed::find_class(env, "java/lang/String")?;
+        assert!(typed::is_assignable_from(env, string, object)?);
+        assert!(!typed::is_assignable_from(env, object, string)?);
+        let sup = typed::get_superclass(env, string)?;
+        assert!(typed::is_same_object(env, sup, object)?);
+        assert!(typed::get_superclass(env, object)?.is_null());
+        assert!(typed::is_instance_of(env, obj, object)?);
+        assert!(!typed::is_instance_of(env, obj, string)?);
+        // null is an instance of everything, per the JNI spec.
+        assert!(typed::is_instance_of(env, JRef::NULL, string)?);
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn throw_and_exception_protocol() {
+    let outcome = run_native(|env, _| {
+        assert!(!typed::exception_check(env)?);
+        let rte = typed::find_class(env, "java/lang/RuntimeException")?;
+        typed::throw_new(env, rte, "from C")?;
+        assert!(typed::exception_check(env)?);
+        let exc = typed::exception_occurred(env)?;
+        assert!(!exc.is_null());
+        typed::exception_describe(env)?;
+        typed::exception_clear(env)?;
+        assert!(!typed::exception_check(env)?);
+        // Throw an existing throwable object.
+        let exc2 = typed::alloc_object(env, rte)?;
+        typed::throw(env, exc2)?;
+        assert!(typed::exception_check(env)?);
+        typed::exception_clear(env)?;
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn reference_kind_queries() {
+    let outcome = run_native(|env, arg| {
+        let obj = arg[0].as_ref().unwrap();
+        assert_eq!(typed::get_object_ref_type(env, JRef::NULL)?, 0);
+        assert_eq!(typed::get_object_ref_type(env, obj)?, 1);
+        let g = typed::new_global_ref(env, obj)?;
+        assert_eq!(g.kind(), RefKind::Global);
+        assert_eq!(typed::get_object_ref_type(env, g)?, 2);
+        let w = typed::new_weak_global_ref(env, obj)?;
+        assert_eq!(typed::get_object_ref_type(env, w)?, 3);
+        typed::delete_global_ref(env, g)?;
+        typed::delete_weak_global_ref(env, w)?;
+        // Deleted handles report invalid (0).
+        assert_eq!(typed::get_object_ref_type(env, g)?, 0);
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn direct_byte_buffers() {
+    let outcome = run_native(|env, _| {
+        let buf = typed::new_direct_byte_buffer(env, 0x7f00_1234, 4096)?;
+        assert_eq!(typed::get_direct_buffer_address(env, buf)?, 0x7f00_1234);
+        assert_eq!(typed::get_direct_buffer_capacity(env, buf)?, 4096);
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn define_class_and_java_vm() {
+    let outcome = run_native(|env, _| {
+        let c = typed::define_class(env, "dyn/Loaded", JRef::NULL, &[0xCA, 0xFE])?;
+        assert!(!c.is_null());
+        let again = typed::find_class(env, "dyn/Loaded")?;
+        assert!(typed::is_same_object(env, c, again)?);
+        assert_eq!(typed::get_java_vm(env)?, 0);
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn fatal_error_kills_the_vm() {
+    let outcome = run_native(|env, _| {
+        typed::fatal_error(env, "unrecoverable")?;
+        unreachable!("FatalError never returns");
+    });
+    match outcome {
+        RunOutcome::Died(d) => {
+            assert_eq!(d.kind, minijvm::DeathKind::FatalError);
+            assert!(d.message.contains("unrecoverable"));
+        }
+        other => panic!("expected death, got {other:?}"),
+    }
+}
+
+#[test]
+fn monitor_functions() {
+    let outcome = run_native(|env, arg| {
+        let obj = arg[0].as_ref().unwrap();
+        typed::monitor_enter(env, obj)?;
+        typed::monitor_enter(env, obj)?;
+        typed::monitor_exit(env, obj)?;
+        typed::monitor_exit(env, obj)?;
+        // Exit without holding throws IllegalMonitorStateException.
+        match typed::monitor_exit(env, obj) {
+            Err(JniError::Exception) => typed::exception_clear(env)?,
+            other => panic!("expected monitor exception, got {other:?}"),
+        }
+        Ok(JValue::Int(0))
+    });
+    expect_int(outcome);
+}
+
+#[test]
+fn variadic_forms_are_distinct_functions_with_same_semantics() {
+    let mut vm = Vm::permissive();
+    let (_c0, _add) = vm.define_managed_class(
+        "t/Math",
+        "add",
+        "(II)I",
+        true,
+        Rc::new(|_env, args| {
+            let a = args[0].as_int().unwrap_or(0);
+            let b = args[1].as_int().unwrap_or(0);
+            Ok(JValue::Int(a + b))
+        }),
+    );
+    let (_c, entry) = vm.define_native_class(
+        "t/T",
+        "m",
+        "()I",
+        true,
+        Rc::new(|env, _| {
+            let clazz = typed::find_class(env, "t/Math")?;
+            let mid = typed::get_static_method_id(env, clazz, "add", "(II)I")?;
+            let args = [JValue::Int(20), JValue::Int(22)];
+            let a = typed::call_static_int_method(env, clazz, mid, &args)?;
+            let b = typed::call_static_int_method_v(env, clazz, mid, &args)?;
+            let c = typed::call_static_int_method_a(env, clazz, mid, &args)?;
+            assert_eq!((a, b, c), (42, 42, 42));
+            Ok(JValue::Int(a))
+        }),
+    );
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    assert_eq!(expect_int(session.run_native(thread, entry, &[])), 42);
+    // Three distinct JNI functions were called (plus find/get).
+    assert!(session.vm().stats().c_to_java >= 5);
+}
+
+#[test]
+fn new_object_runs_the_constructor() {
+    let mut vm = Vm::permissive();
+    let ctor_idx = vm.add_managed_code(Rc::new(|env, args| {
+        // this.x = 9
+        let this = args[0].as_ref().unwrap();
+        let clazz = typed::get_object_class(env, this)?;
+        let fx = typed::get_field_id(env, clazz, "x", "I")?;
+        typed::set_int_field(env, this, fx, 9)?;
+        Ok(JValue::Void)
+    }));
+    vm.jvm_mut()
+        .registry_mut()
+        .define("t/Ctor")
+        .field("x", "I", MemberFlags::public())
+        .method(
+            "<init>",
+            "()V",
+            MemberFlags::public(),
+            minijvm::MethodBody::Managed(ctor_idx),
+        )
+        .build()
+        .unwrap();
+    let (_c, entry) = vm.define_native_class(
+        "t/T",
+        "m",
+        "()I",
+        true,
+        Rc::new(|env, _| {
+            let clazz = typed::find_class(env, "t/Ctor")?;
+            let ctor = typed::get_method_id(env, clazz, "<init>", "()V")?;
+            let obj = typed::new_object_a(env, clazz, ctor, &[])?;
+            let fx = typed::get_field_id(env, clazz, "x", "I")?;
+            Ok(JValue::Int(typed::get_int_field(env, obj, fx)?))
+        }),
+    );
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    assert_eq!(expect_int(session.run_native(thread, entry, &[])), 9);
+}

@@ -1,0 +1,1027 @@
+//! Classes, fields, methods, and the class registry.
+//!
+//! The registry is the mini-JVM's metadata store: class hierarchy,
+//! field layouts, method tables, and the VM-wide method/field ID tables
+//! that back the JNI's `jmethodID`/`jfieldID` handles.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::descriptor::{FieldType, MethodSig, PrimType, ReturnType};
+use crate::heap::Slot;
+use crate::value::{FieldId, MethodId};
+
+/// Identity of a registered class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// Raw index (diagnostics only).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Java member visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Visibility {
+    /// `public`
+    #[default]
+    Public,
+    /// `protected`
+    Protected,
+    /// package-private (no modifier)
+    Package,
+    /// `private`
+    Private,
+}
+
+/// Modifier flags common to fields and methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemberFlags {
+    /// Member visibility.
+    pub visibility: Visibility,
+    /// `static` modifier.
+    pub is_static: bool,
+    /// `final` modifier.
+    pub is_final: bool,
+}
+
+impl MemberFlags {
+    /// Public instance member.
+    pub fn public() -> MemberFlags {
+        MemberFlags::default()
+    }
+
+    /// Public static member.
+    pub fn public_static() -> MemberFlags {
+        MemberFlags {
+            is_static: true,
+            ..Default::default()
+        }
+    }
+
+    /// Public final instance member.
+    pub fn public_final() -> MemberFlags {
+        MemberFlags {
+            is_final: true,
+            ..Default::default()
+        }
+    }
+
+    /// Private instance member.
+    pub fn private() -> MemberFlags {
+        MemberFlags {
+            visibility: Visibility::Private,
+            ..Default::default()
+        }
+    }
+
+    /// Sets `static`.
+    pub fn with_static(mut self, v: bool) -> MemberFlags {
+        self.is_static = v;
+        self
+    }
+
+    /// Sets `final`.
+    pub fn with_final(mut self, v: bool) -> MemberFlags {
+        self.is_final = v;
+        self
+    }
+}
+
+/// How a method's body is provided.
+///
+/// The mini-JVM stores only an index; the actual callable (a Rust closure)
+/// lives in the embedding layer's code tables, keeping this crate free of
+/// circular dependencies on the JNI layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodBody {
+    /// No body (interface/abstract method).
+    Abstract,
+    /// A "Java" (managed) method: index into the embedder's managed-code
+    /// table.
+    Managed(u32),
+    /// A native method. `None` until native code is registered for it
+    /// (via `RegisterNatives` or static binding); the value is an index
+    /// into the embedder's native-code table.
+    Native(Option<u32>),
+}
+
+/// Metadata for one method; the `jmethodID` target.
+#[derive(Debug, Clone)]
+pub struct MethodInfo {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Method name.
+    pub name: String,
+    /// Parsed signature.
+    pub sig: MethodSig,
+    /// Modifier flags.
+    pub flags: MemberFlags,
+    /// Body binding.
+    pub body: MethodBody,
+}
+
+/// Where a field's value lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldSlot {
+    /// Index into the instance field layout of objects of the class.
+    Instance(u32),
+    /// Index into the declaring class's static storage.
+    Static(u32),
+}
+
+/// Metadata for one field; the `jfieldID` target.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: FieldType,
+    /// Modifier flags.
+    pub flags: MemberFlags,
+    /// Storage location.
+    pub slot: FieldSlot,
+}
+
+/// A registered class or interface.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    name: String,
+    superclass: Option<ClassId>,
+    interfaces: Vec<ClassId>,
+    is_interface: bool,
+    /// For array classes, the element type.
+    array_elem: Option<FieldType>,
+    /// All instance fields, inherited first, in layout order.
+    layout: Vec<FieldId>,
+    /// Methods declared by this class.
+    methods: Vec<MethodId>,
+    /// Fields declared by this class.
+    fields: Vec<FieldId>,
+    /// Static field storage.
+    statics: Vec<Slot>,
+}
+
+impl ClassDef {
+    /// Internal (slashed) class name, e.g. `java/lang/String`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dotted source-level name, e.g. `java.lang.String`.
+    pub fn dotted_name(&self) -> String {
+        self.name.replace('/', ".")
+    }
+
+    /// Direct superclass, if any (only `java/lang/Object` and interfaces
+    /// have none).
+    pub fn superclass(&self) -> Option<ClassId> {
+        self.superclass
+    }
+
+    /// Implemented interfaces.
+    pub fn interfaces(&self) -> &[ClassId] {
+        &self.interfaces
+    }
+
+    /// Returns `true` for interface types.
+    pub fn is_interface(&self) -> bool {
+        self.is_interface
+    }
+
+    /// For array classes, the element type.
+    pub fn array_elem(&self) -> Option<&FieldType> {
+        self.array_elem.as_ref()
+    }
+
+    /// Instance field layout (inherited fields first).
+    pub fn layout(&self) -> &[FieldId] {
+        &self.layout
+    }
+
+    /// Methods declared directly on this class.
+    pub fn methods(&self) -> &[MethodId] {
+        &self.methods
+    }
+
+    /// Fields declared directly on this class.
+    pub fn fields(&self) -> &[FieldId] {
+        &self.fields
+    }
+}
+
+/// Errors raised by class registration and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassError {
+    /// A class with this name is already registered.
+    Duplicate(String),
+    /// Referenced class is not registered.
+    NotFound(String),
+    /// A field or method descriptor failed to parse.
+    BadDescriptor {
+        /// The offending descriptor text.
+        descriptor: String,
+        /// Parser message.
+        message: String,
+    },
+    /// Member lookup failed.
+    NoSuchMember {
+        /// Class searched.
+        class: String,
+        /// Member name.
+        name: String,
+        /// Member descriptor.
+        descriptor: String,
+    },
+}
+
+impl fmt::Display for ClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassError::Duplicate(name) => write!(f, "class `{name}` already registered"),
+            ClassError::NotFound(name) => write!(f, "class `{name}` not found"),
+            ClassError::BadDescriptor {
+                descriptor,
+                message,
+            } => {
+                write!(f, "bad descriptor `{descriptor}`: {message}")
+            }
+            ClassError::NoSuchMember {
+                class,
+                name,
+                descriptor,
+            } => {
+                write!(f, "no member `{name}{descriptor}` in class `{class}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+/// The class registry: all classes, methods and fields of the mini-JVM.
+#[derive(Debug, Clone)]
+pub struct ClassRegistry {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+    methods: Vec<MethodInfo>,
+    fields: Vec<FieldInfo>,
+}
+
+/// Well-known class names bootstrapped by [`ClassRegistry::with_core_classes`].
+pub mod names {
+    /// `java/lang/Object`
+    pub const OBJECT: &str = "java/lang/Object";
+    /// `java/lang/Class`
+    pub const CLASS: &str = "java/lang/Class";
+    /// `java/lang/String`
+    pub const STRING: &str = "java/lang/String";
+    /// `java/lang/Throwable`
+    pub const THROWABLE: &str = "java/lang/Throwable";
+    /// `java/lang/Exception`
+    pub const EXCEPTION: &str = "java/lang/Exception";
+    /// `java/lang/RuntimeException`
+    pub const RUNTIME_EXCEPTION: &str = "java/lang/RuntimeException";
+    /// `java/lang/Error`
+    pub const ERROR: &str = "java/lang/Error";
+    /// `java/lang/NullPointerException`
+    pub const NPE: &str = "java/lang/NullPointerException";
+    /// `java/lang/IllegalArgumentException`
+    pub const ILLEGAL_ARGUMENT: &str = "java/lang/IllegalArgumentException";
+    /// `java/lang/ArrayIndexOutOfBoundsException`
+    pub const ARRAY_INDEX: &str = "java/lang/ArrayIndexOutOfBoundsException";
+    /// `java/lang/OutOfMemoryError`
+    pub const OOM: &str = "java/lang/OutOfMemoryError";
+    /// `java/lang/IllegalMonitorStateException`
+    pub const ILLEGAL_MONITOR: &str = "java/lang/IllegalMonitorStateException";
+    /// `java/lang/NoClassDefFoundError`
+    pub const NO_CLASS_DEF: &str = "java/lang/NoClassDefFoundError";
+    /// `java/lang/NoSuchMethodError`
+    pub const NO_SUCH_METHOD: &str = "java/lang/NoSuchMethodError";
+    /// `java/lang/NoSuchFieldError`
+    pub const NO_SUCH_FIELD: &str = "java/lang/NoSuchFieldError";
+    /// `java/lang/AbstractMethodError`
+    pub const ABSTRACT_METHOD: &str = "java/lang/AbstractMethodError";
+    /// `java/lang/StringIndexOutOfBoundsException`
+    pub const STRING_INDEX: &str = "java/lang/StringIndexOutOfBoundsException";
+    /// `java/lang/reflect/Method`
+    pub const REFLECT_METHOD: &str = "java/lang/reflect/Method";
+    /// `java/lang/reflect/Field`
+    pub const REFLECT_FIELD: &str = "java/lang/reflect/Field";
+    /// `java/lang/reflect/Constructor`
+    pub const REFLECT_CONSTRUCTOR: &str = "java/lang/reflect/Constructor";
+    /// `java/nio/DirectByteBuffer`
+    pub const DIRECT_BYTE_BUFFER: &str = "java/nio/DirectByteBuffer";
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ClassRegistry {
+        ClassRegistry {
+            classes: Vec::new(),
+            by_name: HashMap::new(),
+            methods: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Creates a registry with the core `java/lang` classes bootstrapped.
+    pub fn with_core_classes() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(names::OBJECT).build().expect("bootstrap Object");
+        reg.define(names::CLASS)
+            .superclass(names::OBJECT)
+            .field(
+                "name",
+                "Ljava/lang/String;",
+                MemberFlags::private().with_final(true),
+            )
+            .build()
+            .expect("bootstrap Class");
+        reg.define(names::STRING)
+            .superclass(names::OBJECT)
+            .build()
+            .expect("bootstrap String");
+        reg.define(names::THROWABLE)
+            .superclass(names::OBJECT)
+            .field("message", "Ljava/lang/String;", MemberFlags::private())
+            .build()
+            .expect("bootstrap Throwable");
+        for (name, sup) in [
+            (names::EXCEPTION, names::THROWABLE),
+            (names::RUNTIME_EXCEPTION, names::EXCEPTION),
+            (names::ERROR, names::THROWABLE),
+            (names::NPE, names::RUNTIME_EXCEPTION),
+            (names::ILLEGAL_ARGUMENT, names::RUNTIME_EXCEPTION),
+            (names::ARRAY_INDEX, names::RUNTIME_EXCEPTION),
+            (names::OOM, names::ERROR),
+            (names::ILLEGAL_MONITOR, names::RUNTIME_EXCEPTION),
+            (names::NO_CLASS_DEF, names::ERROR),
+            (names::NO_SUCH_METHOD, names::ERROR),
+            (names::NO_SUCH_FIELD, names::ERROR),
+            (names::ABSTRACT_METHOD, names::ERROR),
+            (names::STRING_INDEX, names::RUNTIME_EXCEPTION),
+        ] {
+            reg.define(name)
+                .superclass(sup)
+                .build()
+                .expect("bootstrap class");
+        }
+        // The reflection mirrors carry the VM-internal entity id in a
+        // `slot` field, as real JVMs do.
+        for name in [
+            names::REFLECT_METHOD,
+            names::REFLECT_FIELD,
+            names::REFLECT_CONSTRUCTOR,
+        ] {
+            reg.define(name)
+                .superclass(names::OBJECT)
+                .field("slot", "I", MemberFlags::private().with_final(true))
+                .build()
+                .expect("bootstrap reflect class");
+        }
+        reg.define(names::DIRECT_BYTE_BUFFER)
+            .superclass(names::OBJECT)
+            .field("address", "J", MemberFlags::private().with_final(true))
+            .field("capacity", "J", MemberFlags::private().with_final(true))
+            .build()
+            .expect("bootstrap DirectByteBuffer");
+        reg
+    }
+
+    /// Starts defining a new class.
+    pub fn define(&mut self, name: impl Into<String>) -> ClassBuilder<'_> {
+        ClassBuilder {
+            registry: self,
+            name: name.into(),
+            superclass: Some(names::OBJECT.to_string()),
+            interfaces: Vec::new(),
+            is_interface: false,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Looks up a class by internal (slashed) name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the definition of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this registry.
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.index()]
+    }
+
+    /// Number of registered classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// All class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Returns method metadata for an ID if the ID is valid.
+    pub fn method(&self, id: MethodId) -> Option<&MethodInfo> {
+        self.methods.get(id.index())
+    }
+
+    /// Returns field metadata for an ID if the ID is valid.
+    pub fn field(&self, id: FieldId) -> Option<&FieldInfo> {
+        self.fields.get(id.index())
+    }
+
+    /// Total number of method IDs ever issued.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Total number of field IDs ever issued.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Binds a native method body (the `RegisterNatives` back end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a native method of this registry.
+    pub fn bind_native(&mut self, id: MethodId, fn_index: u32) {
+        let m = &mut self.methods[id.index()];
+        match m.body {
+            MethodBody::Native(_) => m.body = MethodBody::Native(Some(fn_index)),
+            _ => panic!("method `{}` is not native", m.name),
+        }
+    }
+
+    /// Unbinds all native methods of a class (`UnregisterNatives`).
+    pub fn unbind_natives(&mut self, class: ClassId) {
+        for m in &mut self.methods {
+            if m.class == class {
+                if let MethodBody::Native(Some(_)) = m.body {
+                    m.body = MethodBody::Native(None);
+                }
+            }
+        }
+    }
+
+    /// Resolves a method by name and descriptor, searching the class then
+    /// its superclasses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassError::NoSuchMember`] if not found or the staticness
+    /// doesn't match, and [`ClassError::BadDescriptor`] for malformed
+    /// descriptors.
+    pub fn resolve_method(
+        &self,
+        class: ClassId,
+        name: &str,
+        descriptor: &str,
+        want_static: bool,
+    ) -> Result<MethodId, ClassError> {
+        let sig = MethodSig::parse(descriptor).map_err(|e| ClassError::BadDescriptor {
+            descriptor: descriptor.to_string(),
+            message: e.to_string(),
+        })?;
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            let def = self.class(c);
+            for &mid in &def.methods {
+                let m = &self.methods[mid.index()];
+                if m.name == name && m.sig == sig && m.flags.is_static == want_static {
+                    return Ok(mid);
+                }
+            }
+            cur = def.superclass;
+        }
+        Err(ClassError::NoSuchMember {
+            class: self.class(class).name.clone(),
+            name: name.to_string(),
+            descriptor: descriptor.to_string(),
+        })
+    }
+
+    /// Resolves a field by name and descriptor, searching the class then
+    /// its superclasses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassError::NoSuchMember`] or [`ClassError::BadDescriptor`]
+    /// as for [`ClassRegistry::resolve_method`].
+    pub fn resolve_field(
+        &self,
+        class: ClassId,
+        name: &str,
+        descriptor: &str,
+        want_static: bool,
+    ) -> Result<FieldId, ClassError> {
+        let ty = FieldType::parse(descriptor).map_err(|e| ClassError::BadDescriptor {
+            descriptor: descriptor.to_string(),
+            message: e.to_string(),
+        })?;
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            let def = self.class(c);
+            for &fid in &def.fields {
+                let fi = &self.fields[fid.index()];
+                if fi.name == name && fi.ty == ty && fi.flags.is_static == want_static {
+                    return Ok(fid);
+                }
+            }
+            cur = def.superclass;
+        }
+        Err(ClassError::NoSuchMember {
+            class: self.class(class).name.clone(),
+            name: name.to_string(),
+            descriptor: descriptor.to_string(),
+        })
+    }
+
+    /// Returns `true` if `sub` is assignable to `sup` (same class, subclass,
+    /// implemented interface, or covariant array).
+    pub fn is_assignable(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let sup_def = self.class(sup);
+        // Everything is assignable to Object.
+        if sup_def.name == names::OBJECT {
+            return true;
+        }
+        // Array covariance.
+        if let (Some(se), Some(pe)) = (
+            self.class(sub).array_elem.clone(),
+            sup_def.array_elem.clone(),
+        ) {
+            return match (se, pe) {
+                (FieldType::Prim(a), FieldType::Prim(b)) => a == b,
+                (
+                    a @ (FieldType::Object(_) | FieldType::Array(_)),
+                    b @ (FieldType::Object(_) | FieldType::Array(_)),
+                ) => match (self.class_for_type(&a), self.class_for_type(&b)) {
+                    (Some(ca), Some(cb)) => self.is_assignable(ca, cb),
+                    _ => false,
+                },
+                _ => false,
+            };
+        }
+        // Walk superclasses and interfaces.
+        let mut stack = vec![sub];
+        while let Some(c) = stack.pop() {
+            if c == sup {
+                return true;
+            }
+            let def = self.class(c);
+            if let Some(s) = def.superclass {
+                stack.push(s);
+            }
+            stack.extend_from_slice(&def.interfaces);
+        }
+        false
+    }
+
+    /// Looks up (without creating) the class corresponding to a reference
+    /// field type.
+    pub fn class_for_type(&self, ty: &FieldType) -> Option<ClassId> {
+        match ty {
+            FieldType::Prim(_) => None,
+            FieldType::Object(name) => self.class_by_name(name),
+            FieldType::Array(_) => self.class_by_name(&ty.descriptor()),
+        }
+    }
+
+    /// Returns (creating on demand) the array class for the given element
+    /// type; e.g. `[I` or `[Ljava/lang/String;`.
+    pub fn array_class(&mut self, elem: FieldType) -> ClassId {
+        let arr_ty = FieldType::array(elem.clone());
+        let name = arr_ty.descriptor();
+        if let Some(id) = self.by_name.get(&name) {
+            return *id;
+        }
+        let object = self
+            .class_by_name(names::OBJECT)
+            .expect("Object bootstrapped");
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassDef {
+            name: name.clone(),
+            superclass: Some(object),
+            interfaces: Vec::new(),
+            is_interface: false,
+            array_elem: Some(elem),
+            layout: Vec::new(),
+            methods: Vec::new(),
+            fields: Vec::new(),
+            statics: Vec::new(),
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Returns (creating on demand) the array class for a primitive
+    /// element type.
+    pub fn prim_array_class(&mut self, elem: PrimType) -> ClassId {
+        self.array_class(FieldType::Prim(elem))
+    }
+
+    /// Reads a static field slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an instance field ID or out-of-range slot.
+    pub fn static_slot(&self, field: FieldId) -> Slot {
+        let fi = &self.fields[field.index()];
+        match fi.slot {
+            FieldSlot::Static(i) => self.classes[fi.class.index()].statics[i as usize],
+            FieldSlot::Instance(_) => panic!("field `{}` is not static", fi.name),
+        }
+    }
+
+    /// Writes a static field slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an instance field ID or out-of-range slot.
+    pub fn set_static_slot(&mut self, field: FieldId, value: Slot) {
+        let fi = &self.fields[field.index()];
+        match fi.slot {
+            FieldSlot::Static(i) => {
+                self.classes[fi.class.index()].statics[i as usize] = value;
+            }
+            FieldSlot::Instance(_) => panic!("field `{}` is not static", fi.name),
+        }
+    }
+
+    /// Iterates mutably over every static field slot (used by the GC to
+    /// trace and update static roots).
+    pub fn static_slots_mut(&mut self) -> impl Iterator<Item = &mut Slot> {
+        self.classes.iter_mut().flat_map(|c| c.statics.iter_mut())
+    }
+
+    /// Default (zero/null) slot for a field type.
+    pub fn default_slot(ty: &FieldType) -> Slot {
+        match ty {
+            FieldType::Prim(p) => Slot::default_of(*p),
+            FieldType::Object(_) | FieldType::Array(_) => Slot::Ref(None),
+        }
+    }
+
+    /// The return type of a method, if the ID is valid.
+    pub fn method_return_type(&self, id: MethodId) -> Option<&ReturnType> {
+        self.method(id).map(|m| m.sig.ret())
+    }
+}
+
+impl Default for ClassRegistry {
+    fn default() -> Self {
+        ClassRegistry::new()
+    }
+}
+
+/// Builder returned by [`ClassRegistry::define`].
+pub struct ClassBuilder<'r> {
+    registry: &'r mut ClassRegistry,
+    name: String,
+    superclass: Option<String>,
+    interfaces: Vec<String>,
+    is_interface: bool,
+    fields: Vec<(String, String, MemberFlags)>,
+    methods: Vec<(String, String, MemberFlags, MethodBody)>,
+}
+
+impl fmt::Debug for ClassBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassBuilder")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClassBuilder<'_> {
+    /// Sets the superclass (default `java/lang/Object`).
+    pub fn superclass(mut self, name: impl Into<String>) -> Self {
+        self.superclass = Some(name.into());
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn interface(mut self, name: impl Into<String>) -> Self {
+        self.interfaces.push(name.into());
+        self
+    }
+
+    /// Marks the class as an interface (no superclass, no layout).
+    pub fn as_interface(mut self) -> Self {
+        self.is_interface = true;
+        self.superclass = None;
+        self
+    }
+
+    /// Adds a field (instance or static per `flags`).
+    pub fn field(
+        mut self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+        flags: MemberFlags,
+    ) -> Self {
+        self.fields.push((name.into(), descriptor.into(), flags));
+        self
+    }
+
+    /// Adds a method with an explicit body binding.
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+        flags: MemberFlags,
+        body: MethodBody,
+    ) -> Self {
+        self.methods
+            .push((name.into(), descriptor.into(), flags, body));
+        self
+    }
+
+    /// Adds a native method (unbound until `RegisterNatives`).
+    pub fn native_method(
+        self,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+        flags: MemberFlags,
+    ) -> Self {
+        self.method(name, descriptor, flags, MethodBody::Native(None))
+    }
+
+    /// Registers the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassError`] for duplicate names, unknown superclass or
+    /// interface names, or malformed descriptors.
+    pub fn build(self) -> Result<ClassId, ClassError> {
+        let ClassBuilder {
+            registry,
+            name,
+            superclass,
+            interfaces,
+            is_interface,
+            fields,
+            methods,
+        } = self;
+        if registry.by_name.contains_key(&name) {
+            return Err(ClassError::Duplicate(name));
+        }
+        let superclass = match (&name[..], superclass, is_interface) {
+            (n, _, _) if n == names::OBJECT => None,
+            (_, _, true) => None,
+            (_, Some(s), false) => Some(registry.class_by_name(&s).ok_or(ClassError::NotFound(s))?),
+            (_, None, false) => registry.class_by_name(names::OBJECT),
+        };
+        let interfaces = interfaces
+            .into_iter()
+            .map(|i| registry.class_by_name(&i).ok_or(ClassError::NotFound(i)))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Inherited instance layout.
+        let mut layout = superclass
+            .map(|s| registry.class(s).layout.clone())
+            .unwrap_or_default();
+
+        let id = ClassId(registry.classes.len() as u32);
+        let mut own_fields = Vec::new();
+        let mut statics = Vec::new();
+        for (fname, desc, flags) in fields {
+            let ty = FieldType::parse(&desc).map_err(|e| ClassError::BadDescriptor {
+                descriptor: desc.clone(),
+                message: e.to_string(),
+            })?;
+            let slot = if flags.is_static {
+                statics.push(ClassRegistry::default_slot(&ty));
+                FieldSlot::Static(statics.len() as u32 - 1)
+            } else {
+                FieldSlot::Instance(layout.len() as u32)
+            };
+            let fid = FieldId(registry.fields.len() as u32);
+            registry.fields.push(FieldInfo {
+                class: id,
+                name: fname,
+                ty,
+                flags,
+                slot,
+            });
+            if !flags.is_static {
+                layout.push(fid);
+            }
+            own_fields.push(fid);
+        }
+        let mut own_methods = Vec::new();
+        for (mname, desc, flags, body) in methods {
+            let sig = MethodSig::parse(&desc).map_err(|e| ClassError::BadDescriptor {
+                descriptor: desc.clone(),
+                message: e.to_string(),
+            })?;
+            let mid = MethodId(registry.methods.len() as u32);
+            registry.methods.push(MethodInfo {
+                class: id,
+                name: mname,
+                sig,
+                flags,
+                body,
+            });
+            own_methods.push(mid);
+        }
+        registry.classes.push(ClassDef {
+            name: name.clone(),
+            superclass,
+            interfaces,
+            is_interface,
+            array_elem: None,
+            layout,
+            methods: own_methods,
+            fields: own_fields,
+            statics,
+        });
+        registry.by_name.insert(name, id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_classes_bootstrap() {
+        let reg = ClassRegistry::with_core_classes();
+        for n in [
+            names::OBJECT,
+            names::CLASS,
+            names::STRING,
+            names::THROWABLE,
+            names::NPE,
+            names::OOM,
+        ] {
+            assert!(reg.class_by_name(n).is_some(), "missing {n}");
+        }
+        let npe = reg.class_by_name(names::NPE).unwrap();
+        let throwable = reg.class_by_name(names::THROWABLE).unwrap();
+        assert!(reg.is_assignable(npe, throwable));
+        assert!(!reg.is_assignable(throwable, npe));
+    }
+
+    #[test]
+    fn define_class_with_fields_and_methods() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let id = reg
+            .define("demo/Point")
+            .field("x", "I", MemberFlags::public())
+            .field("y", "I", MemberFlags::public())
+            .field(
+                "ORIGIN",
+                "Ldemo/Point;",
+                MemberFlags::public_static().with_final(true),
+            )
+            .method("norm", "()D", MemberFlags::public(), MethodBody::Abstract)
+            .native_method("draw", "()V", MemberFlags::public())
+            .build()
+            .unwrap();
+        let def = reg.class(id);
+        assert_eq!(def.layout().len(), 2);
+        assert_eq!(def.fields().len(), 3);
+        assert_eq!(def.methods().len(), 2);
+
+        let fx = reg.resolve_field(id, "x", "I", false).unwrap();
+        assert!(matches!(
+            reg.field(fx).unwrap().slot,
+            FieldSlot::Instance(0)
+        ));
+        let fo = reg
+            .resolve_field(id, "ORIGIN", "Ldemo/Point;", true)
+            .unwrap();
+        assert!(matches!(reg.field(fo).unwrap().slot, FieldSlot::Static(0)));
+        assert!(
+            reg.resolve_field(id, "x", "I", true).is_err(),
+            "staticness must match"
+        );
+
+        let draw = reg.resolve_method(id, "draw", "()V", false).unwrap();
+        assert_eq!(reg.method(draw).unwrap().body, MethodBody::Native(None));
+    }
+
+    #[test]
+    fn inherited_layout_and_resolution() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let base = reg
+            .define("demo/Base")
+            .field("a", "I", MemberFlags::public())
+            .method("m", "()V", MemberFlags::public(), MethodBody::Abstract)
+            .build()
+            .unwrap();
+        let sub = reg
+            .define("demo/Sub")
+            .superclass("demo/Base")
+            .field("b", "I", MemberFlags::public())
+            .build()
+            .unwrap();
+        assert_eq!(reg.class(sub).layout().len(), 2);
+        // Field/method resolution walks up the hierarchy.
+        let fa = reg.resolve_field(sub, "a", "I", false).unwrap();
+        assert_eq!(reg.field(fa).unwrap().class, base);
+        let mm = reg.resolve_method(sub, "m", "()V", false).unwrap();
+        assert_eq!(reg.method(mm).unwrap().class, base);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut reg = ClassRegistry::with_core_classes();
+        reg.define("demo/A").build().unwrap();
+        assert!(matches!(
+            reg.define("demo/A").build(),
+            Err(ClassError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_superclass_rejected() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let r = reg.define("demo/B").superclass("no/Such").build();
+        assert!(matches!(r, Err(ClassError::NotFound(_))));
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let r = reg
+            .define("demo/C")
+            .field("f", "Q", MemberFlags::public())
+            .build();
+        assert!(matches!(r, Err(ClassError::BadDescriptor { .. })));
+    }
+
+    #[test]
+    fn interfaces_participate_in_assignability() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let iface = reg.define("demo/Iface").as_interface().build().unwrap();
+        let impl_ = reg
+            .define("demo/Impl")
+            .interface("demo/Iface")
+            .build()
+            .unwrap();
+        assert!(reg.is_assignable(impl_, iface));
+        assert!(!reg.is_assignable(iface, impl_));
+    }
+
+    #[test]
+    fn array_classes_and_covariance() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let int_arr = reg.prim_array_class(PrimType::Int);
+        assert_eq!(reg.class(int_arr).name(), "[I");
+        // Same element type is cached.
+        assert_eq!(reg.prim_array_class(PrimType::Int), int_arr);
+        let long_arr = reg.prim_array_class(PrimType::Long);
+        assert!(!reg.is_assignable(int_arr, long_arr));
+
+        let str_arr = reg.array_class(FieldType::object(names::STRING));
+        let obj_arr = reg.array_class(FieldType::object(names::OBJECT));
+        assert!(reg.is_assignable(str_arr, obj_arr), "String[] <: Object[]");
+        assert!(!reg.is_assignable(obj_arr, str_arr));
+        let object = reg.class_by_name(names::OBJECT).unwrap();
+        assert!(reg.is_assignable(str_arr, object), "arrays <: Object");
+    }
+
+    #[test]
+    fn static_slots_read_write() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let id = reg
+            .define("demo/S")
+            .field("count", "I", MemberFlags::public_static())
+            .build()
+            .unwrap();
+        let f = reg.resolve_field(id, "count", "I", true).unwrap();
+        assert_eq!(reg.static_slot(f), Slot::Int(0));
+        reg.set_static_slot(f, Slot::Int(42));
+        assert_eq!(reg.static_slot(f), Slot::Int(42));
+    }
+
+    #[test]
+    fn native_binding() {
+        let mut reg = ClassRegistry::with_core_classes();
+        let id = reg
+            .define("demo/N")
+            .native_method("go", "()V", MemberFlags::public_static())
+            .build()
+            .unwrap();
+        let m = reg.resolve_method(id, "go", "()V", true).unwrap();
+        reg.bind_native(m, 7);
+        assert_eq!(reg.method(m).unwrap().body, MethodBody::Native(Some(7)));
+        reg.unbind_natives(id);
+        assert_eq!(reg.method(m).unwrap().body, MethodBody::Native(None));
+    }
+}

@@ -1,0 +1,572 @@
+//! Parser and printer for JVM type descriptors and method signatures.
+//!
+//! The JNI expresses Java type information in strings — class names such as
+//! `java/util/Collections` and method descriptors such as
+//! `(Ljava/util/List;Ljava/util/Comparator;)V`. These strings are exactly
+//! why standard static type checking cannot resolve JNI types (paper
+//! Section 5.2); dynamically *parsing and checking* them is Jinn's job, and
+//! this module supplies the grammar:
+//!
+//! ```text
+//! FieldType  := BaseType | ObjectType | ArrayType
+//! BaseType   := 'B' | 'C' | 'D' | 'F' | 'I' | 'J' | 'S' | 'Z'
+//! ObjectType := 'L' ClassName ';'
+//! ArrayType  := '[' FieldType
+//! MethodDesc := '(' FieldType* ')' ( FieldType | 'V' )
+//! ```
+
+use std::fmt;
+
+/// A Java primitive type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimType {
+    /// `boolean` (`Z`)
+    Boolean,
+    /// `byte` (`B`)
+    Byte,
+    /// `char` (`C`)
+    Char,
+    /// `short` (`S`)
+    Short,
+    /// `int` (`I`)
+    Int,
+    /// `long` (`J`)
+    Long,
+    /// `float` (`F`)
+    Float,
+    /// `double` (`D`)
+    Double,
+}
+
+impl PrimType {
+    /// All primitive types in JNI declaration order.
+    pub const ALL: [PrimType; 8] = [
+        PrimType::Boolean,
+        PrimType::Byte,
+        PrimType::Char,
+        PrimType::Short,
+        PrimType::Int,
+        PrimType::Long,
+        PrimType::Float,
+        PrimType::Double,
+    ];
+
+    /// The descriptor character (`Z`, `B`, …).
+    pub fn descriptor_char(self) -> char {
+        match self {
+            PrimType::Boolean => 'Z',
+            PrimType::Byte => 'B',
+            PrimType::Char => 'C',
+            PrimType::Short => 'S',
+            PrimType::Int => 'I',
+            PrimType::Long => 'J',
+            PrimType::Float => 'F',
+            PrimType::Double => 'D',
+        }
+    }
+
+    /// The Java source-level name (`boolean`, `byte`, …).
+    pub fn java_name(self) -> &'static str {
+        match self {
+            PrimType::Boolean => "boolean",
+            PrimType::Byte => "byte",
+            PrimType::Char => "char",
+            PrimType::Short => "short",
+            PrimType::Int => "int",
+            PrimType::Long => "long",
+            PrimType::Float => "float",
+            PrimType::Double => "double",
+        }
+    }
+
+    /// The JNI type-family name used in function names (`Boolean` in
+    /// `GetBooleanArrayElements`, …).
+    pub fn jni_name(self) -> &'static str {
+        match self {
+            PrimType::Boolean => "Boolean",
+            PrimType::Byte => "Byte",
+            PrimType::Char => "Char",
+            PrimType::Short => "Short",
+            PrimType::Int => "Int",
+            PrimType::Long => "Long",
+            PrimType::Float => "Float",
+            PrimType::Double => "Double",
+        }
+    }
+
+    /// Parses a descriptor character.
+    pub fn from_descriptor_char(c: char) -> Option<PrimType> {
+        Some(match c {
+            'Z' => PrimType::Boolean,
+            'B' => PrimType::Byte,
+            'C' => PrimType::Char,
+            'S' => PrimType::Short,
+            'I' => PrimType::Int,
+            'J' => PrimType::Long,
+            'F' => PrimType::Float,
+            'D' => PrimType::Double,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PrimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.java_name())
+    }
+}
+
+/// A parsed field type: primitive, class, or array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// A primitive type.
+    Prim(PrimType),
+    /// A class or interface type; the name uses internal slashed form
+    /// (`java/lang/String`).
+    Object(String),
+    /// An array with the given element type.
+    Array(Box<FieldType>),
+}
+
+impl FieldType {
+    /// Convenience constructor for an object type.
+    pub fn object(name: impl Into<String>) -> FieldType {
+        FieldType::Object(name.into())
+    }
+
+    /// Convenience constructor for an array type.
+    pub fn array(elem: FieldType) -> FieldType {
+        FieldType::Array(Box::new(elem))
+    }
+
+    /// Returns `true` for class/interface and array types (anything passed
+    /// as a JNI reference).
+    pub fn is_reference(&self) -> bool {
+        !matches!(self, FieldType::Prim(_))
+    }
+
+    /// Renders the descriptor string (`I`, `Ljava/lang/String;`, `[I`, …).
+    pub fn descriptor(&self) -> String {
+        let mut s = String::new();
+        self.write_descriptor(&mut s);
+        s
+    }
+
+    fn write_descriptor(&self, out: &mut String) {
+        match self {
+            FieldType::Prim(p) => out.push(p.descriptor_char()),
+            FieldType::Object(name) => {
+                out.push('L');
+                out.push_str(name);
+                out.push(';');
+            }
+            FieldType::Array(elem) => {
+                out.push('[');
+                elem.write_descriptor(out);
+            }
+        }
+    }
+
+    /// Parses a single field descriptor; the whole input must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DescriptorError`] describing the first malformed byte.
+    pub fn parse(input: &str) -> Result<FieldType, DescriptorError> {
+        let mut p = Parser::new(input);
+        let t = p.field_type()?;
+        p.finish()?;
+        Ok(t)
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Prim(p) => write!(f, "{p}"),
+            FieldType::Object(name) => f.write_str(&name.replace('/', ".")),
+            FieldType::Array(elem) => write!(f, "{elem}[]"),
+        }
+    }
+}
+
+/// A parsed method return type: a field type or `void`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReturnType {
+    /// `void` (`V`).
+    Void,
+    /// A value-returning method.
+    Field(FieldType),
+}
+
+impl ReturnType {
+    /// Renders the descriptor fragment.
+    pub fn descriptor(&self) -> String {
+        match self {
+            ReturnType::Void => "V".to_string(),
+            ReturnType::Field(t) => t.descriptor(),
+        }
+    }
+
+    /// Returns the field type if non-void.
+    pub fn as_field(&self) -> Option<&FieldType> {
+        match self {
+            ReturnType::Void => None,
+            ReturnType::Field(t) => Some(t),
+        }
+    }
+}
+
+impl fmt::Display for ReturnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnType::Void => f.write_str("void"),
+            ReturnType::Field(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A parsed method descriptor: parameter types and return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodSig {
+    params: Vec<FieldType>,
+    ret: ReturnType,
+}
+
+impl MethodSig {
+    /// Builds a signature from parts.
+    pub fn new(params: Vec<FieldType>, ret: ReturnType) -> MethodSig {
+        MethodSig { params, ret }
+    }
+
+    /// Parses a method descriptor such as
+    /// `(Ljava/util/List;Ljava/util/Comparator;)V`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DescriptorError`] if the descriptor is malformed or has
+    /// trailing input.
+    pub fn parse(input: &str) -> Result<MethodSig, DescriptorError> {
+        let mut p = Parser::new(input);
+        p.expect('(')?;
+        let mut params = Vec::new();
+        while p.peek() != Some(')') {
+            if p.peek().is_none() {
+                return Err(p.error(DescriptorErrorKind::UnexpectedEnd));
+            }
+            params.push(p.field_type()?);
+        }
+        p.expect(')')?;
+        let ret = if p.peek() == Some('V') {
+            p.bump();
+            ReturnType::Void
+        } else {
+            ReturnType::Field(p.field_type()?)
+        };
+        p.finish()?;
+        Ok(MethodSig { params, ret })
+    }
+
+    /// Parameter types, in declaration order.
+    pub fn params(&self) -> &[FieldType] {
+        &self.params
+    }
+
+    /// Return type.
+    pub fn ret(&self) -> &ReturnType {
+        &self.ret
+    }
+
+    /// Renders the full descriptor string.
+    pub fn descriptor(&self) -> String {
+        let mut s = String::from("(");
+        for p in &self.params {
+            s.push_str(&p.descriptor());
+        }
+        s.push(')');
+        s.push_str(&self.ret.descriptor());
+        s
+    }
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> {}", self.ret)
+    }
+}
+
+/// Why a descriptor failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescriptorErrorKind {
+    /// Input ended in the middle of a type.
+    UnexpectedEnd,
+    /// An unexpected character was found.
+    UnexpectedChar(char),
+    /// A class name was empty or contained an illegal character.
+    BadClassName,
+    /// Input continued after a complete descriptor.
+    TrailingInput,
+}
+
+/// Error produced by the descriptor parser, with the byte offset at which
+/// parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescriptorError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: DescriptorErrorKind,
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DescriptorErrorKind::UnexpectedEnd => {
+                write!(f, "descriptor ended unexpectedly at offset {}", self.offset)
+            }
+            DescriptorErrorKind::UnexpectedChar(c) => {
+                write!(f, "unexpected character `{c}` at offset {}", self.offset)
+            }
+            DescriptorErrorKind::BadClassName => {
+                write!(f, "malformed class name at offset {}", self.offset)
+            }
+            DescriptorErrorKind::TrailingInput => {
+                write!(
+                    f,
+                    "trailing input after descriptor at offset {}",
+                    self.offset
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: std::str::CharIndices<'a>,
+    peeked: Option<(usize, char)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input,
+            chars: input.char_indices(),
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked.map(|(_, c)| c)
+    }
+
+    fn offset(&mut self) -> usize {
+        match self.peeked {
+            Some((i, _)) => i,
+            None => self.input.len(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.peeked = None;
+        c
+    }
+
+    fn error(&mut self, kind: DescriptorErrorKind) -> DescriptorError {
+        let _ = self.peek();
+        DescriptorError {
+            offset: self.offset(),
+            kind,
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), DescriptorError> {
+        match self.peek() {
+            Some(c) if c == want => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.error(DescriptorErrorKind::UnexpectedChar(c))),
+            None => Err(self.error(DescriptorErrorKind::UnexpectedEnd)),
+        }
+    }
+
+    fn field_type(&mut self) -> Result<FieldType, DescriptorError> {
+        match self.peek() {
+            None => Err(self.error(DescriptorErrorKind::UnexpectedEnd)),
+            Some('[') => {
+                self.bump();
+                Ok(FieldType::Array(Box::new(self.field_type()?)))
+            }
+            Some('L') => {
+                self.bump();
+                let mut name = String::new();
+                loop {
+                    match self.peek() {
+                        None => return Err(self.error(DescriptorErrorKind::UnexpectedEnd)),
+                        Some(';') => {
+                            self.bump();
+                            break;
+                        }
+                        Some(c) if is_class_name_char(c) => {
+                            name.push(c);
+                            self.bump();
+                        }
+                        Some(_) => return Err(self.error(DescriptorErrorKind::BadClassName)),
+                    }
+                }
+                if name.is_empty()
+                    || name.starts_with('/')
+                    || name.ends_with('/')
+                    || name.contains("//")
+                {
+                    return Err(self.error(DescriptorErrorKind::BadClassName));
+                }
+                Ok(FieldType::Object(name))
+            }
+            Some(c) => match PrimType::from_descriptor_char(c) {
+                Some(p) => {
+                    self.bump();
+                    Ok(FieldType::Prim(p))
+                }
+                None => Err(self.error(DescriptorErrorKind::UnexpectedChar(c))),
+            },
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), DescriptorError> {
+        if self.peek().is_some() {
+            Err(self.error(DescriptorErrorKind::TrailingInput))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn is_class_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '$' || c == '/'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_primitives() {
+        for p in PrimType::ALL {
+            let t = FieldType::parse(&p.descriptor_char().to_string()).unwrap();
+            assert_eq!(t, FieldType::Prim(p));
+        }
+    }
+
+    #[test]
+    fn parses_object_type() {
+        let t = FieldType::parse("Ljava/lang/String;").unwrap();
+        assert_eq!(t, FieldType::object("java/lang/String"));
+        assert_eq!(t.descriptor(), "Ljava/lang/String;");
+        assert_eq!(t.to_string(), "java.lang.String");
+    }
+
+    #[test]
+    fn parses_nested_arrays() {
+        let t = FieldType::parse("[[I").unwrap();
+        assert_eq!(
+            t,
+            FieldType::array(FieldType::array(FieldType::Prim(PrimType::Int)))
+        );
+        assert_eq!(t.to_string(), "int[][]");
+    }
+
+    #[test]
+    fn parses_method_descriptor() {
+        let sig = MethodSig::parse("(Ljava/util/List;Ljava/util/Comparator;)V").unwrap();
+        assert_eq!(sig.params().len(), 2);
+        assert_eq!(sig.ret(), &ReturnType::Void);
+        assert_eq!(
+            sig.descriptor(),
+            "(Ljava/util/List;Ljava/util/Comparator;)V"
+        );
+    }
+
+    #[test]
+    fn parses_complex_method() {
+        let sig = MethodSig::parse("(I[[Ljava/lang/Object;J)[B").unwrap();
+        assert_eq!(sig.params().len(), 3);
+        assert_eq!(
+            sig.ret(),
+            &ReturnType::Field(FieldType::array(FieldType::Prim(PrimType::Byte)))
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_class() {
+        let e = FieldType::parse("Ljava/lang/String").unwrap_err();
+        assert_eq!(e.kind, DescriptorErrorKind::UnexpectedEnd);
+    }
+
+    #[test]
+    fn rejects_empty_class_name() {
+        let e = FieldType::parse("L;").unwrap_err();
+        assert_eq!(e.kind, DescriptorErrorKind::BadClassName);
+    }
+
+    #[test]
+    fn rejects_bad_slashes() {
+        assert!(FieldType::parse("L/a;").is_err());
+        assert!(FieldType::parse("La/;").is_err());
+        assert!(FieldType::parse("La//b;").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let e = FieldType::parse("II").unwrap_err();
+        assert_eq!(e.kind, DescriptorErrorKind::TrailingInput);
+        let e = MethodSig::parse("()VX").unwrap_err();
+        assert_eq!(e.kind, DescriptorErrorKind::TrailingInput);
+    }
+
+    #[test]
+    fn rejects_void_parameter() {
+        assert!(MethodSig::parse("(V)V").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(MethodSig::parse("I)V").is_err());
+        assert!(MethodSig::parse("(I V").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_failure() {
+        let e = FieldType::parse("[Q").unwrap_err();
+        assert_eq!(e.offset, 1);
+        assert_eq!(e.kind, DescriptorErrorKind::UnexpectedChar('Q'));
+    }
+
+    #[test]
+    fn display_of_signature() {
+        let sig = MethodSig::parse("(ILjava/lang/String;)Z").unwrap();
+        assert_eq!(sig.to_string(), "(int, java.lang.String) -> boolean");
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        for d in ["()V", "(I)I", "([[Ljava/a$b/C_1;DJ)[Ljava/lang/String;"] {
+            let sig = MethodSig::parse(d).unwrap();
+            assert_eq!(sig.descriptor(), *d);
+        }
+    }
+}

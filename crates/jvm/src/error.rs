@@ -1,0 +1,118 @@
+//! Error types for the simulated JVM.
+
+use std::fmt;
+
+/// How the simulated JVM process "died". Real FFI misuse crashes or
+/// deadlocks the process; this simulation converts those outcomes into a
+/// value that unwinds to the harness, so experiments like the paper's
+/// Table 1 can observe and tabulate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeathKind {
+    /// Memory corruption / segfault-style abort without diagnosis.
+    Crash,
+    /// The process hung (e.g. GC blocked by an abandoned critical
+    /// section).
+    Deadlock,
+    /// `FatalError` was called or a vendor checker aborted the VM.
+    FatalError,
+}
+
+impl fmt::Display for DeathKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeathKind::Crash => "crash",
+            DeathKind::Deadlock => "deadlock",
+            DeathKind::FatalError => "fatal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A simulated process death.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JvmDeath {
+    /// The kind of death.
+    pub kind: DeathKind,
+    /// Human-readable reason (often vendor-styled).
+    pub message: String,
+}
+
+impl JvmDeath {
+    /// Creates a crash.
+    pub fn crash(message: impl Into<String>) -> JvmDeath {
+        JvmDeath {
+            kind: DeathKind::Crash,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a deadlock.
+    pub fn deadlock(message: impl Into<String>) -> JvmDeath {
+        JvmDeath {
+            kind: DeathKind::Deadlock,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a fatal-error abort.
+    pub fn fatal(message: impl Into<String>) -> JvmDeath {
+        JvmDeath {
+            kind: DeathKind::FatalError,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JvmDeath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JVM {}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for JvmDeath {}
+
+/// Result of executing managed code or a VM operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JvmError {
+    /// A Java exception is pending on the executing thread. This is the
+    /// *normal* Java error path, not a VM failure.
+    Exception,
+    /// The simulated process died.
+    Death(JvmDeath),
+}
+
+impl fmt::Display for JvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JvmError::Exception => f.write_str("java exception pending"),
+            JvmError::Death(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for JvmError {}
+
+impl From<JvmDeath> for JvmError {
+    fn from(d: JvmDeath) -> JvmError {
+        JvmError::Death(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let c = JvmDeath::crash("SIGSEGV");
+        assert_eq!(c.kind, DeathKind::Crash);
+        assert!(c.to_string().contains("SIGSEGV"));
+        let d = JvmDeath::deadlock("GC blocked");
+        assert_eq!(d.kind, DeathKind::Deadlock);
+        let f = JvmDeath::fatal("JVMJNCK024E");
+        assert_eq!(f.kind, DeathKind::FatalError);
+        let e: JvmError = f.into();
+        assert!(matches!(e, JvmError::Death(_)));
+        assert!(!JvmError::Exception.to_string().is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! VM-wide handle tables for global and weak-global references.
+
+use crate::thread::RefFault;
+use crate::value::{JRef, Oop, RefKind};
+
+#[derive(Debug, Clone)]
+struct HandleSlot {
+    generation: u32,
+    target: Option<Oop>,
+    live: bool,
+}
+
+/// A slab of explicitly-managed reference handles (global or weak-global).
+///
+/// Slots are recycled after deletion with a bumped generation, so a stale
+/// handle is distinguishable from a live one — and, when the slot has been
+/// reused, is detectably *aliased* to an unrelated object, the worst-case
+/// dangling-reference scenario.
+#[derive(Debug, Clone)]
+pub struct HandleSlab {
+    kind: RefKind,
+    slots: Vec<HandleSlot>,
+    free: Vec<u32>,
+    live_count: usize,
+}
+
+impl HandleSlab {
+    /// Creates a slab issuing handles of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kind` is [`RefKind::Global`] or
+    /// [`RefKind::WeakGlobal`].
+    pub fn new(kind: RefKind) -> HandleSlab {
+        assert!(
+            matches!(kind, RefKind::Global | RefKind::WeakGlobal),
+            "handle slab holds global or weak-global refs"
+        );
+        HandleSlab {
+            kind,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live_count: 0,
+        }
+    }
+
+    /// The kind of handle this slab issues.
+    pub fn kind(&self) -> RefKind {
+        self.kind
+    }
+
+    /// Number of live handles.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Acquires a new handle to `target`.
+    pub fn acquire(&mut self, target: Oop) -> JRef {
+        self.live_count += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let e = &mut self.slots[s as usize];
+                e.target = Some(target);
+                e.live = true;
+                s
+            }
+            None => {
+                self.slots.push(HandleSlot {
+                    generation: 0,
+                    target: Some(target),
+                    live: true,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        match self.kind {
+            RefKind::Global => JRef::global(slot, generation),
+            RefKind::WeakGlobal => JRef::weak_global(slot, generation),
+            _ => unreachable!(),
+        }
+    }
+
+    fn check(&self, r: JRef) -> Result<&HandleSlot, RefFault> {
+        let Some(s) = self.slots.get(r.slot() as usize) else {
+            return Err(RefFault::OutOfRange { kind: self.kind });
+        };
+        if !s.live {
+            return Err(RefFault::Stale {
+                kind: self.kind,
+                reused: false,
+            });
+        }
+        if s.generation != r.generation() {
+            return Err(RefFault::Stale {
+                kind: self.kind,
+                reused: true,
+            });
+        }
+        Ok(s)
+    }
+
+    /// Resolves a handle to its target.
+    ///
+    /// Returns `Ok(None)` for a live *weak* handle whose target has been
+    /// collected (the JNI treats such references as null).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefFault`] for deleted or forged handles.
+    pub fn resolve(&self, r: JRef) -> Result<Option<Oop>, RefFault> {
+        Ok(self.check(r)?.target)
+    }
+
+    /// Deletes a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefFault`] if the handle was already deleted (a
+    /// double-free) or forged.
+    pub fn delete(&mut self, r: JRef) -> Result<(), RefFault> {
+        self.check(r)?;
+        let s = &mut self.slots[r.slot() as usize];
+        s.live = false;
+        s.generation = s.generation.wrapping_add(1);
+        s.target = None;
+        self.free.push(r.slot());
+        self.live_count -= 1;
+        Ok(())
+    }
+
+    /// Iterates mutably over live handle targets (GC roots: strong for a
+    /// global slab, weak locations for a weak slab).
+    pub fn roots_mut(&mut self) -> impl Iterator<Item = &mut Option<Oop>> {
+        self.slots
+            .iter_mut()
+            .filter(|s| s.live)
+            .map(|s| &mut s.target)
+    }
+
+    /// After a GC, live weak handles whose target was cleared still occupy
+    /// their slot; this sweeps the count of such cleared-but-live handles.
+    pub fn cleared_weak_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.live && s.target.is_none())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_resolve_delete_roundtrip() {
+        let mut slab = HandleSlab::new(RefKind::Global);
+        let r = slab.acquire(Oop(9));
+        assert_eq!(r.kind(), RefKind::Global);
+        assert_eq!(slab.resolve(r).unwrap(), Some(Oop(9)));
+        assert_eq!(slab.live_count(), 1);
+        slab.delete(r).unwrap();
+        assert_eq!(slab.live_count(), 0);
+        assert!(matches!(
+            slab.resolve(r),
+            Err(RefFault::Stale { reused: false, .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut slab = HandleSlab::new(RefKind::Global);
+        let r = slab.acquire(Oop(1));
+        slab.delete(r).unwrap();
+        assert!(slab.delete(r).is_err());
+    }
+
+    #[test]
+    fn recycled_slot_detected_as_aliased() {
+        let mut slab = HandleSlab::new(RefKind::WeakGlobal);
+        let r1 = slab.acquire(Oop(1));
+        slab.delete(r1).unwrap();
+        let r2 = slab.acquire(Oop(2));
+        assert_eq!(r1.slot(), r2.slot());
+        assert!(matches!(
+            slab.resolve(r1),
+            Err(RefFault::Stale { reused: true, .. })
+        ));
+        assert_eq!(slab.resolve(r2).unwrap(), Some(Oop(2)));
+    }
+
+    #[test]
+    fn weak_clearing_resolves_to_none() {
+        let mut slab = HandleSlab::new(RefKind::WeakGlobal);
+        let r = slab.acquire(Oop(1));
+        // Simulate the collector clearing the weak target.
+        for t in slab.roots_mut() {
+            *t = None;
+        }
+        assert_eq!(slab.resolve(r).unwrap(), None);
+        assert_eq!(slab.cleared_weak_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "global or weak-global")]
+    fn local_kind_rejected() {
+        let _ = HandleSlab::new(RefKind::Local);
+    }
+}

@@ -1,0 +1,694 @@
+//! The object heap and its moving (copying) garbage collector.
+//!
+//! The collector relocates every live object on each collection, so heap
+//! addresses ([`Oop`]s) are only stable between allocation points. This is
+//! deliberate: the JNI's local/global reference discipline exists precisely
+//! because collectors move objects, and a simulated JVM with a non-moving
+//! heap would make many of the paper's bugs (dangling local references,
+//! cached `jobject`s in C heap structures) silently benign.
+
+use std::collections::HashMap;
+
+use crate::class::ClassId;
+use crate::descriptor::PrimType;
+use crate::value::{JValue, ObjectId, Oop};
+
+/// A field or array-element storage slot inside the heap.
+///
+/// Unlike [`JValue`], reference slots hold raw heap addresses (updated by
+/// the collector), not cross-language handles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Slot {
+    /// `boolean`
+    Bool(bool),
+    /// `byte`
+    Byte(i8),
+    /// `char`
+    Char(u16),
+    /// `short`
+    Short(i16),
+    /// `int`
+    Int(i32),
+    /// `long`
+    Long(i64),
+    /// `float`
+    Float(f32),
+    /// `double`
+    Double(f64),
+    /// A reference (possibly null).
+    Ref(Option<Oop>),
+}
+
+impl Slot {
+    /// The zero value for a primitive type.
+    pub fn default_of(ty: PrimType) -> Slot {
+        match ty {
+            PrimType::Boolean => Slot::Bool(false),
+            PrimType::Byte => Slot::Byte(0),
+            PrimType::Char => Slot::Char(0),
+            PrimType::Short => Slot::Short(0),
+            PrimType::Int => Slot::Int(0),
+            PrimType::Long => Slot::Long(0),
+            PrimType::Float => Slot::Float(0.0),
+            PrimType::Double => Slot::Double(0.0),
+        }
+    }
+
+    /// Converts a primitive [`JValue`] to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics for reference or void values — reference translation is the
+    /// VM's job because it involves handle resolution.
+    pub fn from_prim(value: JValue) -> Slot {
+        match value {
+            JValue::Bool(v) => Slot::Bool(v),
+            JValue::Byte(v) => Slot::Byte(v),
+            JValue::Char(v) => Slot::Char(v),
+            JValue::Short(v) => Slot::Short(v),
+            JValue::Int(v) => Slot::Int(v),
+            JValue::Long(v) => Slot::Long(v),
+            JValue::Float(v) => Slot::Float(v),
+            JValue::Double(v) => Slot::Double(v),
+            JValue::Ref(_) | JValue::Void => panic!("not a primitive value"),
+        }
+    }
+
+    /// Converts a primitive slot to a [`JValue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for reference slots.
+    pub fn to_prim(self) -> JValue {
+        match self {
+            Slot::Bool(v) => JValue::Bool(v),
+            Slot::Byte(v) => JValue::Byte(v),
+            Slot::Char(v) => JValue::Char(v),
+            Slot::Short(v) => JValue::Short(v),
+            Slot::Int(v) => JValue::Int(v),
+            Slot::Long(v) => JValue::Long(v),
+            Slot::Float(v) => JValue::Float(v),
+            Slot::Double(v) => JValue::Double(v),
+            Slot::Ref(_) => panic!("not a primitive slot"),
+        }
+    }
+
+    /// Returns the contained reference, if this is a reference slot.
+    pub fn as_oop(self) -> Option<Option<Oop>> {
+        match self {
+            Slot::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Backing storage of a primitive array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimArray {
+    /// `boolean[]`
+    Bool(Vec<bool>),
+    /// `byte[]`
+    Byte(Vec<i8>),
+    /// `char[]`
+    Char(Vec<u16>),
+    /// `short[]`
+    Short(Vec<i16>),
+    /// `int[]`
+    Int(Vec<i32>),
+    /// `long[]`
+    Long(Vec<i64>),
+    /// `float[]`
+    Float(Vec<f32>),
+    /// `double[]`
+    Double(Vec<f64>),
+}
+
+impl PrimArray {
+    /// Creates a zero-filled array of the given element type and length.
+    pub fn zeroed(ty: PrimType, len: usize) -> PrimArray {
+        match ty {
+            PrimType::Boolean => PrimArray::Bool(vec![false; len]),
+            PrimType::Byte => PrimArray::Byte(vec![0; len]),
+            PrimType::Char => PrimArray::Char(vec![0; len]),
+            PrimType::Short => PrimArray::Short(vec![0; len]),
+            PrimType::Int => PrimArray::Int(vec![0; len]),
+            PrimType::Long => PrimArray::Long(vec![0; len]),
+            PrimType::Float => PrimArray::Float(vec![0.0; len]),
+            PrimType::Double => PrimArray::Double(vec![0.0; len]),
+        }
+    }
+
+    /// Element type.
+    pub fn elem_type(&self) -> PrimType {
+        match self {
+            PrimArray::Bool(_) => PrimType::Boolean,
+            PrimArray::Byte(_) => PrimType::Byte,
+            PrimArray::Char(_) => PrimType::Char,
+            PrimArray::Short(_) => PrimType::Short,
+            PrimArray::Int(_) => PrimType::Int,
+            PrimArray::Long(_) => PrimType::Long,
+            PrimArray::Float(_) => PrimType::Float,
+            PrimArray::Double(_) => PrimType::Double,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            PrimArray::Bool(v) => v.len(),
+            PrimArray::Byte(v) => v.len(),
+            PrimArray::Char(v) => v.len(),
+            PrimArray::Short(v) => v.len(),
+            PrimArray::Int(v) => v.len(),
+            PrimArray::Long(v) => v.len(),
+            PrimArray::Float(v) => v.len(),
+            PrimArray::Double(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` for empty arrays.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads element `i` as a [`JValue`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> JValue {
+        match self {
+            PrimArray::Bool(v) => JValue::Bool(v[i]),
+            PrimArray::Byte(v) => JValue::Byte(v[i]),
+            PrimArray::Char(v) => JValue::Char(v[i]),
+            PrimArray::Short(v) => JValue::Short(v[i]),
+            PrimArray::Int(v) => JValue::Int(v[i]),
+            PrimArray::Long(v) => JValue::Long(v[i]),
+            PrimArray::Float(v) => JValue::Float(v[i]),
+            PrimArray::Double(v) => JValue::Double(v[i]),
+        }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or the value's type doesn't match.
+    pub fn set(&mut self, i: usize, value: JValue) {
+        match (self, value) {
+            (PrimArray::Bool(v), JValue::Bool(x)) => v[i] = x,
+            (PrimArray::Byte(v), JValue::Byte(x)) => v[i] = x,
+            (PrimArray::Char(v), JValue::Char(x)) => v[i] = x,
+            (PrimArray::Short(v), JValue::Short(x)) => v[i] = x,
+            (PrimArray::Int(v), JValue::Int(x)) => v[i] = x,
+            (PrimArray::Long(v), JValue::Long(x)) => v[i] = x,
+            (PrimArray::Float(v), JValue::Float(x)) => v[i] = x,
+            (PrimArray::Double(v), JValue::Double(x)) => v[i] = x,
+            (arr, v) => panic!(
+                "type mismatch writing {v:?} into {:?} array",
+                arr.elem_type()
+            ),
+        }
+    }
+}
+
+/// Payload of a heap object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// An ordinary object with its instance fields in layout order.
+    Object {
+        /// Instance field slots.
+        fields: Vec<Slot>,
+    },
+    /// A primitive array.
+    PrimArray(PrimArray),
+    /// A reference array.
+    RefArray {
+        /// Elements (null-initialised).
+        elems: Vec<Option<Oop>>,
+    },
+    /// A `java.lang.String` with its UTF-16 contents.
+    Str {
+        /// UTF-16 code units (not NUL-terminated, as in a real JVM).
+        chars: Vec<u16>,
+    },
+    /// A `java.lang.Class` instance mirroring a registered class.
+    ClassMirror(ClassId),
+}
+
+/// One heap object: header (identity + class) and body.
+#[derive(Debug, Clone)]
+pub struct HeapObject {
+    /// Stable identity (survives GC, never reused).
+    pub id: ObjectId,
+    /// The object's class.
+    pub class: ClassId,
+    /// Payload.
+    pub body: Body,
+}
+
+/// Statistics for one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Objects copied to the new space.
+    pub live: usize,
+    /// Objects reclaimed.
+    pub collected: usize,
+    /// Weak references cleared because their target died.
+    pub weak_cleared: usize,
+}
+
+/// The garbage-collected object heap.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+    next_id: u64,
+    collections: u64,
+    allocated_total: u64,
+    id_index: HashMap<u64, Oop>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of objects currently in the heap (live + not-yet-collected
+    /// garbage).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if the heap holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total number of collections performed.
+    pub fn collections(&self) -> u64 {
+        self.collections
+    }
+
+    /// Total number of objects ever allocated.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated_total
+    }
+
+    fn push(&mut self, class: ClassId, body: Body) -> Oop {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        self.allocated_total += 1;
+        let oop = Oop(self.objects.len() as u32);
+        self.objects.push(HeapObject { id, class, body });
+        self.id_index.insert(id.0, oop);
+        oop
+    }
+
+    /// Allocates an ordinary object with the given field slots.
+    pub fn alloc_object(&mut self, class: ClassId, fields: Vec<Slot>) -> Oop {
+        self.push(class, Body::Object { fields })
+    }
+
+    /// Allocates a primitive array.
+    pub fn alloc_prim_array(&mut self, class: ClassId, data: PrimArray) -> Oop {
+        self.push(class, Body::PrimArray(data))
+    }
+
+    /// Allocates a reference array of `len` null elements.
+    pub fn alloc_ref_array(&mut self, class: ClassId, len: usize) -> Oop {
+        self.push(
+            class,
+            Body::RefArray {
+                elems: vec![None; len],
+            },
+        )
+    }
+
+    /// Allocates a string from UTF-16 code units.
+    pub fn alloc_string(&mut self, class: ClassId, chars: Vec<u16>) -> Oop {
+        self.push(class, Body::Str { chars })
+    }
+
+    /// Allocates a class mirror.
+    pub fn alloc_class_mirror(&mut self, class_class: ClassId, mirrored: ClassId) -> Oop {
+        self.push(class_class, Body::ClassMirror(mirrored))
+    }
+
+    /// Returns the object at `oop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oop` is out of range (stale across a GC). Callers must
+    /// only pass addresses obtained since the last collection or resolved
+    /// through a live handle.
+    pub fn get(&self, oop: Oop) -> &HeapObject {
+        &self.objects[oop.index()]
+    }
+
+    /// Mutable access to the object at `oop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oop` is out of range.
+    pub fn get_mut(&mut self, oop: Oop) -> &mut HeapObject {
+        &mut self.objects[oop.index()]
+    }
+
+    /// Returns the object at `oop` if in range (for tolerant, raw-JVM-style
+    /// access to possibly-stale addresses).
+    pub fn try_get(&self, oop: Oop) -> Option<&HeapObject> {
+        self.objects.get(oop.index())
+    }
+
+    /// Stable identity of the object at `oop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oop` is out of range.
+    pub fn id_of(&self, oop: Oop) -> ObjectId {
+        self.get(oop).id
+    }
+
+    /// Current address of the object with identity `id`, if it is still
+    /// live (or uncollected).
+    pub fn oop_of(&self, id: ObjectId) -> Option<Oop> {
+        self.id_index.get(&id.0).copied()
+    }
+
+    /// Performs a copying collection.
+    ///
+    /// `strong_roots` must yield a mutable location for every strong root
+    /// (local/global handle targets, static fields, pending exceptions,
+    /// class mirrors, monitor-held objects); the collector updates each
+    /// location in place. `weak_roots` yields weak locations, which are
+    /// updated if their target survives and cleared to `None` otherwise.
+    pub fn collect(
+        &mut self,
+        strong_roots: &mut [&mut dyn Iterator<Item = &mut Option<Oop>>],
+        weak_roots: &mut [&mut dyn Iterator<Item = &mut Option<Oop>>],
+    ) -> GcStats {
+        self.collections += 1;
+        let old_len = self.objects.len();
+        let mut forwarding: Vec<Option<Oop>> = vec![None; old_len];
+        let mut to_space: Vec<HeapObject> = Vec::new();
+        let mut worklist: Vec<Oop> = Vec::new();
+
+        // A shallow evacuation helper, used for roots and then the BFS.
+        fn forward(
+            from: &mut [HeapObject],
+            to: &mut Vec<HeapObject>,
+            forwarding: &mut [Option<Oop>],
+            worklist: &mut Vec<Oop>,
+            old: Oop,
+        ) -> Oop {
+            if let Some(new) = forwarding[old.index()] {
+                return new;
+            }
+            let new = Oop(to.len() as u32);
+            // Leave a cheap tombstone behind; the body moves to to-space.
+            let obj = std::mem::replace(
+                &mut from[old.index()],
+                HeapObject {
+                    id: ObjectId(u64::MAX),
+                    class: ClassId(u32::MAX),
+                    body: Body::Object { fields: Vec::new() },
+                },
+            );
+            to.push(obj);
+            forwarding[old.index()] = Some(new);
+            worklist.push(new);
+            new
+        }
+
+        for roots in strong_roots.iter_mut() {
+            for slot in roots.by_ref() {
+                if let Some(old) = *slot {
+                    *slot = Some(forward(
+                        &mut self.objects,
+                        &mut to_space,
+                        &mut forwarding,
+                        &mut worklist,
+                        old,
+                    ));
+                }
+            }
+        }
+
+        while let Some(new_oop) = worklist.pop() {
+            // Gather outgoing edges by index, then forward and write back;
+            // two passes keep the borrows disjoint.
+            let targets: Vec<(usize, Oop)> = match &to_space[new_oop.index()].body {
+                Body::Object { fields } => fields
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Slot::Ref(Some(o)) => Some((i, *o)),
+                        _ => None,
+                    })
+                    .collect(),
+                Body::RefArray { elems } => elems
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, e)| e.map(|o| (i, o)))
+                    .collect(),
+                Body::PrimArray(_) | Body::Str { .. } | Body::ClassMirror(_) => Vec::new(),
+            };
+            for (i, old) in targets {
+                let fwd = forward(
+                    &mut self.objects,
+                    &mut to_space,
+                    &mut forwarding,
+                    &mut worklist,
+                    old,
+                );
+                match &mut to_space[new_oop.index()].body {
+                    Body::Object { fields } => fields[i] = Slot::Ref(Some(fwd)),
+                    Body::RefArray { elems } => elems[i] = Some(fwd),
+                    _ => unreachable!("only objects and ref arrays have edges"),
+                }
+            }
+        }
+
+        let mut weak_cleared = 0;
+        for roots in weak_roots.iter_mut() {
+            for slot in roots.by_ref() {
+                if let Some(old) = *slot {
+                    match forwarding[old.index()] {
+                        Some(new) => *slot = Some(new),
+                        None => {
+                            *slot = None;
+                            weak_cleared += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let live = to_space.len();
+        let stats = GcStats {
+            live,
+            collected: old_len - live,
+            weak_cleared,
+        };
+        self.objects = to_space;
+        self.id_index.clear();
+        for (i, obj) in self.objects.iter().enumerate() {
+            self.id_index.insert(obj.id.0, Oop(i as u32));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+
+    fn setup() -> (ClassRegistry, Heap, ClassId, ClassId) {
+        let reg = ClassRegistry::with_core_classes();
+        let obj = reg.class_by_name(crate::class::names::OBJECT).unwrap();
+        let string = reg.class_by_name(crate::class::names::STRING).unwrap();
+        (reg, Heap::new(), obj, string)
+    }
+
+    fn collect_with_roots(heap: &mut Heap, roots: &mut [Option<Oop>]) -> GcStats {
+        let mut it = roots.iter_mut();
+        heap.collect(&mut [&mut it], &mut [])
+    }
+
+    #[test]
+    fn allocation_assigns_fresh_ids() {
+        let (_, mut heap, obj, _) = setup();
+        let a = heap.alloc_object(obj, vec![]);
+        let b = heap.alloc_object(obj, vec![]);
+        assert_ne!(heap.id_of(a), heap.id_of(b));
+        assert_eq!(heap.len(), 2);
+        assert_eq!(heap.allocated_total(), 2);
+    }
+
+    #[test]
+    fn gc_keeps_rooted_objects_and_reclaims_garbage() {
+        let (_, mut heap, obj, _) = setup();
+        let keep = heap.alloc_object(obj, vec![]);
+        let _garbage = heap.alloc_object(obj, vec![]);
+        let keep_id = heap.id_of(keep);
+        let mut roots = [Some(keep)];
+        let stats = collect_with_roots(&mut heap, &mut roots);
+        assert_eq!(stats.live, 1);
+        assert_eq!(stats.collected, 1);
+        let new_oop = roots[0].unwrap();
+        assert_eq!(heap.id_of(new_oop), keep_id);
+        assert_eq!(heap.oop_of(keep_id), Some(new_oop));
+    }
+
+    #[test]
+    fn gc_moves_objects() {
+        let (_, mut heap, obj, _) = setup();
+        let _garbage = heap.alloc_object(obj, vec![]);
+        let keep = heap.alloc_object(obj, vec![]);
+        let mut roots = [Some(keep)];
+        collect_with_roots(&mut heap, &mut roots);
+        // `keep` was at index 1; with the garbage gone it is now at 0.
+        assert_ne!(roots[0].unwrap(), keep, "address must change");
+    }
+
+    #[test]
+    fn gc_traces_object_fields_transitively() {
+        let (_, mut heap, obj, _) = setup();
+        let inner = heap.alloc_object(obj, vec![]);
+        let middle = heap.alloc_object(obj, vec![Slot::Ref(Some(inner))]);
+        let outer = heap.alloc_object(obj, vec![Slot::Ref(Some(middle))]);
+        let inner_id = heap.id_of(inner);
+        let mut roots = [Some(outer)];
+        let stats = collect_with_roots(&mut heap, &mut roots);
+        assert_eq!(stats.live, 3);
+        // Follow the chain through updated addresses.
+        let outer = roots[0].unwrap();
+        let middle = match &heap.get(outer).body {
+            Body::Object { fields } => fields[0].as_oop().unwrap().unwrap(),
+            _ => panic!(),
+        };
+        let inner = match &heap.get(middle).body {
+            Body::Object { fields } => fields[0].as_oop().unwrap().unwrap(),
+            _ => panic!(),
+        };
+        assert_eq!(heap.id_of(inner), inner_id);
+    }
+
+    #[test]
+    fn gc_traces_ref_arrays_and_handles_cycles() {
+        let (mut reg, mut heap, obj, _) = setup();
+        let arr_class = reg.array_class(crate::descriptor::FieldType::object("java/lang/Object"));
+        let a = heap.alloc_ref_array(arr_class, 2);
+        let b = heap.alloc_object(obj, vec![Slot::Ref(Some(a))]);
+        // Cycle: a[0] = b; a[1] = a.
+        match &mut heap.get_mut(a).body {
+            Body::RefArray { elems } => {
+                elems[0] = Some(b);
+                elems[1] = Some(a);
+            }
+            _ => panic!(),
+        }
+        let mut roots = [Some(a)];
+        let stats = collect_with_roots(&mut heap, &mut roots);
+        assert_eq!(stats.live, 2);
+        let a = roots[0].unwrap();
+        match &heap.get(a).body {
+            Body::RefArray { elems } => {
+                assert_eq!(elems[1], Some(a), "self edge preserved");
+                assert!(elems[0].is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn weak_roots_cleared_when_target_dies() {
+        let (_, mut heap, obj, _) = setup();
+        let strong = heap.alloc_object(obj, vec![]);
+        let weak_only = heap.alloc_object(obj, vec![]);
+        let mut strong_roots = [Some(strong)];
+        let mut weak_roots = [Some(strong), Some(weak_only)];
+        let mut s = strong_roots.iter_mut();
+        let mut w = weak_roots.iter_mut();
+        let stats = heap.collect(&mut [&mut s], &mut [&mut w]);
+        assert_eq!(stats.weak_cleared, 1);
+        assert!(weak_roots[0].is_some(), "weak to live object survives");
+        assert!(weak_roots[1].is_none(), "weak to dead object cleared");
+    }
+
+    #[test]
+    fn strings_and_prim_arrays_survive() {
+        let (mut reg, mut heap, _, string) = setup();
+        let int_arr_class = reg.prim_array_class(PrimType::Int);
+        let s = heap.alloc_string(string, vec![104, 105]);
+        let a = heap.alloc_prim_array(int_arr_class, PrimArray::zeroed(PrimType::Int, 3));
+        match &mut heap.get_mut(a).body {
+            Body::PrimArray(arr) => arr.set(2, JValue::Int(9)),
+            _ => panic!(),
+        }
+        let mut roots = [Some(s), Some(a)];
+        collect_with_roots(&mut heap, &mut roots);
+        match &heap.get(roots[0].unwrap()).body {
+            Body::Str { chars } => assert_eq!(chars, &vec![104, 105]),
+            _ => panic!(),
+        }
+        match &heap.get(roots[1].unwrap()).body {
+            Body::PrimArray(arr) => assert_eq!(arr.get(2), JValue::Int(9)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn id_index_tracks_moves() {
+        let (_, mut heap, obj, _) = setup();
+        let _g1 = heap.alloc_object(obj, vec![]);
+        let _g2 = heap.alloc_object(obj, vec![]);
+        let keep = heap.alloc_object(obj, vec![]);
+        let id = heap.id_of(keep);
+        let mut roots = [Some(keep)];
+        collect_with_roots(&mut heap, &mut roots);
+        assert_eq!(heap.oop_of(id), roots[0]);
+        // Garbage ids are gone from the index.
+        assert_eq!(heap.len(), 1);
+        assert_eq!(heap.collections(), 1);
+    }
+
+    #[test]
+    fn prim_array_roundtrip_all_types() {
+        for ty in PrimType::ALL {
+            let mut arr = PrimArray::zeroed(ty, 4);
+            assert_eq!(arr.elem_type(), ty);
+            assert_eq!(arr.len(), 4);
+            assert!(!arr.is_empty());
+            let v = JValue::default_of(ty);
+            arr.set(1, v);
+            assert_eq!(arr.get(1), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn prim_array_type_mismatch_panics() {
+        let mut arr = PrimArray::zeroed(PrimType::Int, 1);
+        arr.set(0, JValue::Long(1));
+    }
+
+    #[test]
+    fn slot_prim_conversions() {
+        assert_eq!(Slot::from_prim(JValue::Int(5)).to_prim(), JValue::Int(5));
+        assert_eq!(
+            Slot::from_prim(JValue::Bool(true)).to_prim(),
+            JValue::Bool(true)
+        );
+        assert_eq!(Slot::Ref(None).as_oop(), Some(None));
+        assert_eq!(Slot::Int(1).as_oop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primitive value")]
+    fn slot_from_ref_panics() {
+        let _ = Slot::from_prim(JValue::NULL);
+    }
+}

@@ -1,0 +1,200 @@
+//! Modified UTF-8, the string encoding used by the JNI.
+//!
+//! JNI strings are sequences of UTF-16 code units; `GetStringUTFChars` and
+//! friends expose them to C in *modified* UTF-8, which differs from
+//! standard UTF-8 in two ways (JVM spec §4.4.7):
+//!
+//! * `U+0000` is encoded as the two-byte sequence `0xC0 0x80`, so encoded
+//!   strings never contain an embedded NUL byte;
+//! * supplementary characters are encoded as two three-byte sequences (one
+//!   per UTF-16 surrogate), i.e. CESU-8 style, never as four-byte UTF-8.
+//!
+//! Note that, per the paper's pitfall 8, the JNI does **not** NUL-terminate
+//! the *UTF-16* form (`GetStringChars`); C code that assumes termination
+//! reads out of bounds. The modified-UTF-8 form *is* NUL-terminated by the
+//! real JNI; this module only converts, termination is the buffer layer's
+//! concern.
+
+use std::fmt;
+
+/// Error decoding a modified-UTF-8 byte sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutf8Error {
+    /// Byte offset of the malformed sequence.
+    pub offset: usize,
+}
+
+impl fmt::Display for Mutf8Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed modified-UTF-8 at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for Mutf8Error {}
+
+/// Encodes UTF-16 code units into modified UTF-8.
+///
+/// Unpaired surrogates are encoded as their individual three-byte forms
+/// (modified UTF-8 tolerates them, unlike standard UTF-8).
+pub fn encode(units: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(units.len());
+    for &u in units {
+        match u {
+            0x0000 => out.extend_from_slice(&[0xC0, 0x80]),
+            0x0001..=0x007F => out.push(u as u8),
+            0x0080..=0x07FF => {
+                out.push(0xC0 | (u >> 6) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+            _ => {
+                out.push(0xE0 | (u >> 12) as u8);
+                out.push(0x80 | ((u >> 6) & 0x3F) as u8);
+                out.push(0x80 | (u & 0x3F) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes modified UTF-8 into UTF-16 code units.
+///
+/// # Errors
+///
+/// Returns [`Mutf8Error`] on truncated sequences, bad continuation bytes,
+/// embedded raw NUL bytes, or four-byte (standard UTF-8) sequences, which
+/// modified UTF-8 forbids.
+pub fn decode(bytes: &[u8]) -> Result<Vec<u16>, Mutf8Error> {
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b0 = bytes[i];
+        let err = Mutf8Error { offset: i };
+        match b0 {
+            // A raw NUL is not a valid encoding of anything in modified
+            // UTF-8 (U+0000 must use the two-byte form).
+            0x00 => return Err(err),
+            0x01..=0x7F => {
+                out.push(b0 as u16);
+                i += 1;
+            }
+            0xC0..=0xDF => {
+                let b1 = *bytes.get(i + 1).ok_or(err)?;
+                if b1 & 0xC0 != 0x80 {
+                    return Err(err);
+                }
+                out.push((((b0 & 0x1F) as u16) << 6) | (b1 & 0x3F) as u16);
+                i += 2;
+            }
+            0xE0..=0xEF => {
+                let b1 = *bytes.get(i + 1).ok_or(err)?;
+                let b2 = *bytes.get(i + 2).ok_or(err)?;
+                if b1 & 0xC0 != 0x80 || b2 & 0xC0 != 0x80 {
+                    return Err(err);
+                }
+                out.push(
+                    (((b0 & 0x0F) as u16) << 12) | (((b1 & 0x3F) as u16) << 6) | (b2 & 0x3F) as u16,
+                );
+                i += 3;
+            }
+            // 0x80..=0xBF: stray continuation; 0xF0..: four-byte form.
+            _ => return Err(err),
+        }
+    }
+    Ok(out)
+}
+
+/// Converts a Rust string to UTF-16 code units.
+pub fn str_to_utf16(s: &str) -> Vec<u16> {
+    s.encode_utf16().collect()
+}
+
+/// Converts UTF-16 code units to a Rust string, replacing unpaired
+/// surrogates with U+FFFD.
+pub fn utf16_to_string(units: &[u16]) -> String {
+    String::from_utf16_lossy(units)
+}
+
+/// Encodes a Rust string directly to modified UTF-8.
+pub fn encode_str(s: &str) -> Vec<u8> {
+    encode(&str_to_utf16(s))
+}
+
+/// Decodes modified UTF-8 directly to a Rust string.
+///
+/// # Errors
+///
+/// Returns [`Mutf8Error`] if the bytes are not valid modified UTF-8.
+pub fn decode_to_string(bytes: &[u8]) -> Result<String, Mutf8Error> {
+    Ok(utf16_to_string(&decode(bytes)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let units = str_to_utf16("hello, JNI");
+        let enc = encode(&units);
+        assert_eq!(enc, b"hello, JNI");
+        assert_eq!(decode(&enc).unwrap(), units);
+    }
+
+    #[test]
+    fn nul_uses_two_byte_form() {
+        let enc = encode(&[0x0000]);
+        assert_eq!(enc, vec![0xC0, 0x80]);
+        assert_eq!(decode(&enc).unwrap(), vec![0x0000]);
+        // Encoded strings never contain a raw NUL byte.
+        assert!(!encode(&str_to_utf16("a\0b")).contains(&0x00));
+    }
+
+    #[test]
+    fn raw_nul_rejected() {
+        assert_eq!(decode(&[0x00]).unwrap_err().offset, 0);
+        assert_eq!(decode(b"ab\x00").unwrap_err().offset, 2);
+    }
+
+    #[test]
+    fn two_and_three_byte_roundtrip() {
+        // U+00E9 (é), U+20AC (€)
+        let units = str_to_utf16("é€");
+        let enc = encode(&units);
+        assert_eq!(decode(&enc).unwrap(), units);
+    }
+
+    #[test]
+    fn supplementary_uses_surrogate_pairs_not_four_bytes() {
+        // U+1F600 encodes as a surrogate pair -> two 3-byte sequences.
+        let units = str_to_utf16("😀");
+        assert_eq!(units.len(), 2);
+        let enc = encode(&units);
+        assert_eq!(enc.len(), 6);
+        assert_eq!(decode(&enc).unwrap(), units);
+        assert_eq!(decode_to_string(&enc).unwrap(), "😀");
+    }
+
+    #[test]
+    fn four_byte_utf8_rejected() {
+        // Standard UTF-8 for U+1F600.
+        let std_utf8 = "😀".as_bytes();
+        assert!(decode(std_utf8).is_err());
+    }
+
+    #[test]
+    fn truncated_sequences_rejected() {
+        assert!(decode(&[0xC3]).is_err());
+        assert!(decode(&[0xE2, 0x82]).is_err());
+        assert!(decode(&[0xE2, 0xFF, 0xAC]).is_err());
+        assert!(decode(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn unpaired_surrogate_tolerated() {
+        let units = vec![0xD800];
+        let enc = encode(&units);
+        assert_eq!(decode(&enc).unwrap(), units);
+        // Lossy conversion to String replaces it.
+        assert_eq!(utf16_to_string(&units), "\u{FFFD}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Pinned-or-copied buffers: the backing store for `Get<Type>ArrayElements`,
+//! `GetString[UTF]Chars`, and the `Get*Critical` functions.
+//!
+//! This simulated JVM always *copies* (which the JNI explicitly permits);
+//! what matters for the paper's resource constraints is the acquire/release
+//! protocol: every acquire must be matched by exactly one release, an
+//! unmatched buffer at VM death is a leak, and a second release is a
+//! double-free.
+
+use std::fmt;
+
+use crate::heap::PrimArray;
+use crate::value::ObjectId;
+
+/// Identifies an acquired buffer (the simulated `char*`/`jint*` pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PinId(pub u32);
+
+impl fmt::Display for PinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin#{}", self.0)
+    }
+}
+
+/// What flavour of acquisition produced the buffer; releases must match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinKind {
+    /// `Get<Type>ArrayElements`
+    ArrayElements,
+    /// `GetStringChars` (UTF-16)
+    StringChars,
+    /// `GetStringUTFChars` (modified UTF-8)
+    StringUtfChars,
+    /// `GetPrimitiveArrayCritical`
+    ArrayCritical,
+    /// `GetStringCritical`
+    StringCritical,
+}
+
+impl PinKind {
+    /// Returns `true` for the two critical-section acquisitions.
+    pub fn is_critical(self) -> bool {
+        matches!(self, PinKind::ArrayCritical | PinKind::StringCritical)
+    }
+}
+
+impl fmt::Display for PinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PinKind::ArrayElements => "Get<Type>ArrayElements",
+            PinKind::StringChars => "GetStringChars",
+            PinKind::StringUtfChars => "GetStringUTFChars",
+            PinKind::ArrayCritical => "GetPrimitiveArrayCritical",
+            PinKind::StringCritical => "GetStringCritical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The copied-out contents of a pinned buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PinData {
+    /// Primitive array contents.
+    Prim(PrimArray),
+    /// UTF-16 code units (NOT NUL-terminated — pitfall 8).
+    Utf16(Vec<u16>),
+    /// Modified UTF-8 bytes, NUL-terminated as the real JNI does.
+    Utf8(Vec<u8>),
+}
+
+/// Error releasing a pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinError {
+    /// The pin id was never issued.
+    Unknown,
+    /// The pin was already released (double-free).
+    AlreadyReleased,
+    /// Released through the wrong function family (e.g. array elements
+    /// released via `ReleaseStringChars`).
+    KindMismatch {
+        /// How it was acquired.
+        acquired: PinKind,
+        /// How it was released.
+        released: PinKind,
+    },
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::Unknown => f.write_str("unknown pin"),
+            PinError::AlreadyReleased => f.write_str("pin already released (double free)"),
+            PinError::KindMismatch { acquired, released } => {
+                write!(f, "pin acquired via {acquired} released via {released}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+#[derive(Debug, Clone)]
+struct PinEntry {
+    object: ObjectId,
+    kind: PinKind,
+    data: PinData,
+    released: bool,
+}
+
+/// The table of all buffers handed out to native code.
+#[derive(Debug, Clone, Default)]
+pub struct PinTable {
+    entries: Vec<PinEntry>,
+}
+
+impl PinTable {
+    /// Creates an empty table.
+    pub fn new() -> PinTable {
+        PinTable::default()
+    }
+
+    /// Records an acquisition and returns its pin id.
+    pub fn acquire(&mut self, object: ObjectId, kind: PinKind, data: PinData) -> PinId {
+        self.entries.push(PinEntry {
+            object,
+            kind,
+            data,
+            released: false,
+        });
+        PinId(self.entries.len() as u32 - 1)
+    }
+
+    /// Releases a pin, returning its final contents (for copy-back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError`] on double-free, kind mismatch, or an unknown
+    /// id.
+    pub fn release(&mut self, pin: PinId, kind: PinKind) -> Result<(ObjectId, PinData), PinError> {
+        let e = self
+            .entries
+            .get_mut(pin.0 as usize)
+            .ok_or(PinError::Unknown)?;
+        if e.released {
+            return Err(PinError::AlreadyReleased);
+        }
+        if e.kind != kind {
+            return Err(PinError::KindMismatch {
+                acquired: e.kind,
+                released: kind,
+            });
+        }
+        e.released = true;
+        Ok((e.object, e.data.clone()))
+    }
+
+    /// Read access to a live buffer's data (simulating the C pointer).
+    ///
+    /// Reading through a released pin returns `None` — the simulated
+    /// equivalent of a use-after-free that the raw JVM cannot see.
+    pub fn data(&self, pin: PinId) -> Option<&PinData> {
+        let e = self.entries.get(pin.0 as usize)?;
+        if e.released {
+            None
+        } else {
+            Some(&e.data)
+        }
+    }
+
+    /// Write access to a live buffer's data.
+    pub fn data_mut(&mut self, pin: PinId) -> Option<&mut PinData> {
+        let e = self.entries.get_mut(pin.0 as usize)?;
+        if e.released {
+            None
+        } else {
+            Some(&mut e.data)
+        }
+    }
+
+    /// The acquisition kind of a pin (even if released).
+    pub fn kind(&self, pin: PinId) -> Option<PinKind> {
+        self.entries.get(pin.0 as usize).map(|e| e.kind)
+    }
+
+    /// The pinned object of a pin (even if released).
+    pub fn object(&self, pin: PinId) -> Option<ObjectId> {
+        self.entries.get(pin.0 as usize).map(|e| e.object)
+    }
+
+    /// Returns `true` if the pin exists and has not been released.
+    pub fn is_live(&self, pin: PinId) -> bool {
+        self.entries
+            .get(pin.0 as usize)
+            .map(|e| !e.released)
+            .unwrap_or(false)
+    }
+
+    /// All unreleased pins — the leak report at VM death.
+    pub fn leaked(&self) -> Vec<(PinId, ObjectId, PinKind)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !e.released)
+            .map(|(i, e)| (PinId(i as u32), e.object, e.kind))
+            .collect()
+    }
+
+    /// Number of unreleased pins.
+    pub fn live_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.released).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::PrimType;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut t = PinTable::new();
+        let p = t.acquire(
+            ObjectId(1),
+            PinKind::ArrayElements,
+            PinData::Prim(PrimArray::zeroed(PrimType::Int, 2)),
+        );
+        assert!(t.is_live(p));
+        assert_eq!(t.kind(p), Some(PinKind::ArrayElements));
+        let (obj, _) = t.release(p, PinKind::ArrayElements).unwrap();
+        assert_eq!(obj, ObjectId(1));
+        assert!(!t.is_live(p));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut t = PinTable::new();
+        let p = t.acquire(ObjectId(1), PinKind::StringUtfChars, PinData::Utf8(vec![0]));
+        t.release(p, PinKind::StringUtfChars).unwrap();
+        assert_eq!(
+            t.release(p, PinKind::StringUtfChars),
+            Err(PinError::AlreadyReleased)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let mut t = PinTable::new();
+        let p = t.acquire(ObjectId(1), PinKind::StringChars, PinData::Utf16(vec![65]));
+        assert!(matches!(
+            t.release(p, PinKind::StringUtfChars),
+            Err(PinError::KindMismatch { .. })
+        ));
+        // Still live; correct release works.
+        assert!(t.release(p, PinKind::StringChars).is_ok());
+    }
+
+    #[test]
+    fn leak_sweep() {
+        let mut t = PinTable::new();
+        let _p1 = t.acquire(ObjectId(1), PinKind::ArrayCritical, PinData::Utf16(vec![]));
+        let p2 = t.acquire(ObjectId(2), PinKind::StringCritical, PinData::Utf16(vec![]));
+        t.release(p2, PinKind::StringCritical).unwrap();
+        let leaked = t.leaked();
+        assert_eq!(leaked.len(), 1);
+        assert_eq!(leaked[0].1, ObjectId(1));
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn released_pin_data_inaccessible() {
+        let mut t = PinTable::new();
+        let p = t.acquire(ObjectId(1), PinKind::StringChars, PinData::Utf16(vec![104]));
+        assert!(t.data(p).is_some());
+        t.release(p, PinKind::StringChars).unwrap();
+        assert!(t.data(p).is_none());
+        assert!(t.data_mut(p).is_none());
+    }
+
+    #[test]
+    fn critical_kinds() {
+        assert!(PinKind::ArrayCritical.is_critical());
+        assert!(PinKind::StringCritical.is_critical());
+        assert!(!PinKind::ArrayElements.is_critical());
+        assert!(!PinKind::StringChars.is_critical());
+        assert!(!PinKind::StringUtfChars.is_critical());
+    }
+
+    #[test]
+    fn unknown_pin() {
+        let mut t = PinTable::new();
+        assert_eq!(
+            t.release(PinId(5), PinKind::StringChars),
+            Err(PinError::Unknown)
+        );
+        assert!(!t.is_live(PinId(5)));
+    }
+}

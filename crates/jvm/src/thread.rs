@@ -1,0 +1,489 @@
+//! Simulated JVM threads: local-reference frames, pending exceptions, and
+//! critical-section bookkeeping.
+//!
+//! Threads here are *logical*: the harness interleaves them explicitly, so
+//! experiments are deterministic and no OS concurrency is needed. Each
+//! thread owns a slab of local-reference slots organised into frames. A
+//! frame is pushed when managed code calls a native method (and by
+//! `PushLocalFrame`); popping a frame frees its slots — bumping each slot's
+//! generation and recycling it — which is what makes an escaped local
+//! reference *dangling*.
+
+use crate::value::{JRef, ObjectId, Oop, RefKind, ThreadId};
+
+/// The JNI guarantees capacity for this many local references per native
+/// frame without an explicit `EnsureLocalCapacity`/`PushLocalFrame`
+/// request (JNI spec ch. 5; paper Section 5.3).
+pub const DEFAULT_LOCAL_CAPACITY: usize = 16;
+
+/// Identifies a thread's `JNIEnv*` value. Each thread has exactly one; C
+/// code caching an env token and using it on another thread violates the
+/// JNIEnv* state constraint (pitfall 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnvToken(pub u32);
+
+/// Why resolving a reference handle failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefFault {
+    /// The handle is the null reference.
+    Null,
+    /// The handle's slot was freed; `reused` tells whether it has since
+    /// been recycled for a *different* object (aliasing — the nastiest
+    /// flavour of dangling reference).
+    Stale {
+        /// Kind of the faulting handle.
+        kind: RefKind,
+        /// The slot now holds an unrelated live reference.
+        reused: bool,
+    },
+    /// The handle's slot index was never allocated (forged bits).
+    OutOfRange {
+        /// Kind of the faulting handle.
+        kind: RefKind,
+    },
+    /// A local reference was used on a thread other than its owner.
+    ///
+    /// Mechanical resolution against the owner's slab may still succeed;
+    /// the raw VM surfaces this fault only so vendor models can decide how
+    /// undefined the behaviour gets.
+    WrongThread {
+        /// Thread the reference belongs to.
+        owner: ThreadId,
+        /// Thread attempting the use.
+        current: ThreadId,
+    },
+}
+
+impl std::error::Error for RefFault {}
+
+impl std::fmt::Display for RefFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefFault::Null => write!(f, "null reference"),
+            RefFault::Stale { kind, reused: true } => {
+                write!(
+                    f,
+                    "dangling {kind} reference (slot recycled for another object)"
+                )
+            }
+            RefFault::Stale {
+                kind,
+                reused: false,
+            } => {
+                write!(f, "dangling {kind} reference (slot freed)")
+            }
+            RefFault::OutOfRange { kind } => write!(f, "forged {kind} reference"),
+            RefFault::WrongThread { owner, current } => {
+                write!(f, "local reference of {owner} used on {current}")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LocalSlot {
+    generation: u32,
+    target: Option<Oop>,
+    live: bool,
+}
+
+/// One local-reference frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    capacity: usize,
+    slots: Vec<u32>,
+}
+
+impl Frame {
+    /// The frame's guaranteed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live local references in the frame.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the frame holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A critical resource acquired via `Get*Critical`, identified by the
+/// pinned object and a tally of nested acquisitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHold {
+    /// The pinned string or array.
+    pub object: ObjectId,
+    /// Nested acquisition count.
+    pub count: u32,
+}
+
+/// Per-thread VM state.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    id: ThreadId,
+    env: EnvToken,
+    slab: Vec<LocalSlot>,
+    free: Vec<u32>,
+    frames: Vec<Frame>,
+    /// Pending Java exception (a GC root).
+    pending_exception: Option<Oop>,
+    criticals: Vec<CriticalHold>,
+}
+
+impl ThreadState {
+    pub(crate) fn new(id: ThreadId, env: EnvToken) -> ThreadState {
+        ThreadState {
+            id,
+            env,
+            slab: Vec::new(),
+            free: Vec::new(),
+            frames: vec![Frame {
+                capacity: DEFAULT_LOCAL_CAPACITY,
+                slots: Vec::new(),
+            }],
+            pending_exception: None,
+            criticals: Vec::new(),
+        }
+    }
+
+    /// The thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The thread's `JNIEnv*` token.
+    pub fn env(&self) -> EnvToken {
+        self.env
+    }
+
+    /// The current (innermost) frame.
+    pub fn current_frame(&self) -> &Frame {
+        self.frames.last().expect("thread always has a base frame")
+    }
+
+    /// Number of frames (≥ 1; the base frame never pops).
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total live local references across all frames.
+    pub fn live_local_count(&self) -> usize {
+        self.frames.iter().map(|f| f.slots.len()).sum()
+    }
+
+    /// Pushes a new local frame with the given capacity.
+    pub fn push_frame(&mut self, capacity: usize) {
+        self.frames.push(Frame {
+            capacity,
+            slots: Vec::new(),
+        });
+    }
+
+    /// Pops the innermost frame, freeing its local references. Returns the
+    /// number freed, or `None` if only the base frame remains (popping it
+    /// is a JNI error the caller must handle).
+    pub fn pop_frame(&mut self) -> Option<usize> {
+        if self.frames.len() == 1 {
+            return None;
+        }
+        let frame = self.frames.pop().expect("len checked");
+        let n = frame.slots.len();
+        for slot in frame.slots {
+            self.free_slot(slot);
+        }
+        Some(n)
+    }
+
+    /// Raises the current frame's capacity to at least `capacity`
+    /// (`EnsureLocalCapacity`).
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        let f = self.frames.last_mut().expect("base frame");
+        f.capacity = f.capacity.max(capacity);
+    }
+
+    fn free_slot(&mut self, slot: u32) {
+        let s = &mut self.slab[slot as usize];
+        debug_assert!(s.live, "double free of local slot");
+        s.live = false;
+        s.generation = s.generation.wrapping_add(1);
+        s.target = None;
+        self.free.push(slot);
+    }
+
+    /// Acquires a new local reference to `target` in the current frame.
+    ///
+    /// The raw VM does **not** enforce the frame capacity — a real JVM's
+    /// local-reference pool silently grows (or corrupts memory); detecting
+    /// overflow is the checker's job.
+    pub fn acquire_local(&mut self, target: Oop) -> JRef {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let entry = &mut self.slab[s as usize];
+                entry.target = Some(target);
+                entry.live = true;
+                s
+            }
+            None => {
+                self.slab.push(LocalSlot {
+                    generation: 0,
+                    target: Some(target),
+                    live: true,
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let generation = self.slab[slot as usize].generation;
+        self.frames.last_mut().expect("base frame").slots.push(slot);
+        JRef::local(self.id, slot, generation)
+    }
+
+    /// Deletes a local reference (`DeleteLocalRef`). Returns the fault if
+    /// the handle was already dead or forged; the raw VM may choose to
+    /// ignore it.
+    pub fn delete_local(&mut self, r: JRef) -> Result<(), RefFault> {
+        self.check_local(r)?;
+        let slot = r.slot();
+        // Remove from whichever frame holds it.
+        for f in self.frames.iter_mut().rev() {
+            if let Some(pos) = f.slots.iter().position(|&s| s == slot) {
+                f.slots.remove(pos);
+                self.free_slot(slot);
+                return Ok(());
+            }
+        }
+        unreachable!("live slot must be in some frame");
+    }
+
+    fn check_local(&self, r: JRef) -> Result<(), RefFault> {
+        debug_assert_eq!(r.kind(), RefKind::Local);
+        let Some(s) = self.slab.get(r.slot() as usize) else {
+            return Err(RefFault::OutOfRange {
+                kind: RefKind::Local,
+            });
+        };
+        if !s.live {
+            return Err(RefFault::Stale {
+                kind: RefKind::Local,
+                reused: false,
+            });
+        }
+        if s.generation != r.generation() {
+            return Err(RefFault::Stale {
+                kind: RefKind::Local,
+                reused: true,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves a local reference to its heap address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RefFault`] describing staleness or forgery.
+    pub fn resolve_local(&self, r: JRef) -> Result<Oop, RefFault> {
+        self.check_local(r)?;
+        Ok(self.slab[r.slot() as usize]
+            .target
+            .expect("live slot has target"))
+    }
+
+    /// All strong GC roots of the thread: live local slots plus the
+    /// pending exception.
+    pub(crate) fn roots_mut(&mut self) -> impl Iterator<Item = &mut Option<Oop>> {
+        let ThreadState {
+            slab,
+            pending_exception,
+            ..
+        } = self;
+        slab.iter_mut()
+            .filter(|s| s.live)
+            .map(|s| &mut s.target)
+            .chain(std::iter::once(pending_exception))
+    }
+
+    /// The pending exception, if any.
+    pub fn pending_exception(&self) -> Option<Oop> {
+        self.pending_exception
+    }
+
+    /// Sets or clears the pending exception.
+    pub fn set_pending_exception(&mut self, e: Option<Oop>) {
+        self.pending_exception = e;
+    }
+
+    /// Critical resources currently held by the thread.
+    pub fn criticals(&self) -> &[CriticalHold] {
+        &self.criticals
+    }
+
+    /// Returns `true` while the thread is inside a JNI critical section.
+    pub fn in_critical_section(&self) -> bool {
+        !self.criticals.is_empty()
+    }
+
+    /// Records acquisition of a critical resource.
+    pub fn enter_critical(&mut self, object: ObjectId) {
+        if let Some(h) = self.criticals.iter_mut().find(|h| h.object == object) {
+            h.count += 1;
+        } else {
+            self.criticals.push(CriticalHold { object, count: 1 });
+        }
+    }
+
+    /// Records release of a critical resource; returns `false` if the
+    /// thread did not hold it (an unmatched release).
+    pub fn exit_critical(&mut self, object: ObjectId) -> bool {
+        if let Some(pos) = self.criticals.iter().position(|h| h.object == object) {
+            self.criticals[pos].count -= 1;
+            if self.criticals[pos].count == 0 {
+                self.criticals.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread() -> ThreadState {
+        ThreadState::new(ThreadId(1), EnvToken(100))
+    }
+
+    #[test]
+    fn base_frame_exists() {
+        let t = thread();
+        assert_eq!(t.frame_depth(), 1);
+        assert_eq!(t.current_frame().capacity(), DEFAULT_LOCAL_CAPACITY);
+        assert!(t.current_frame().is_empty());
+    }
+
+    #[test]
+    fn acquire_resolve_roundtrip() {
+        let mut t = thread();
+        let r = t.acquire_local(Oop(42));
+        assert_eq!(r.kind(), RefKind::Local);
+        assert_eq!(r.owner(), ThreadId(1));
+        assert_eq!(t.resolve_local(r).unwrap(), Oop(42));
+        assert_eq!(t.live_local_count(), 1);
+    }
+
+    #[test]
+    fn delete_makes_reference_stale() {
+        let mut t = thread();
+        let r = t.acquire_local(Oop(1));
+        t.delete_local(r).unwrap();
+        assert_eq!(
+            t.resolve_local(r),
+            Err(RefFault::Stale {
+                kind: RefKind::Local,
+                reused: false
+            })
+        );
+        // Deleting again is a double free.
+        assert!(t.delete_local(r).is_err());
+    }
+
+    #[test]
+    fn slot_recycling_is_detected_as_aliasing() {
+        let mut t = thread();
+        let r1 = t.acquire_local(Oop(1));
+        t.delete_local(r1).unwrap();
+        let r2 = t.acquire_local(Oop(2));
+        assert_eq!(r1.slot(), r2.slot(), "slot should be recycled");
+        assert_eq!(
+            t.resolve_local(r1),
+            Err(RefFault::Stale {
+                kind: RefKind::Local,
+                reused: true
+            })
+        );
+        assert_eq!(t.resolve_local(r2).unwrap(), Oop(2));
+    }
+
+    #[test]
+    fn pop_frame_frees_references() {
+        let mut t = thread();
+        let outer = t.acquire_local(Oop(1));
+        t.push_frame(DEFAULT_LOCAL_CAPACITY);
+        let inner = t.acquire_local(Oop(2));
+        assert_eq!(t.live_local_count(), 2);
+        assert_eq!(t.pop_frame(), Some(1));
+        assert!(
+            t.resolve_local(inner).is_err(),
+            "inner ref dangles after pop"
+        );
+        assert_eq!(t.resolve_local(outer).unwrap(), Oop(1));
+    }
+
+    #[test]
+    fn base_frame_cannot_pop() {
+        let mut t = thread();
+        assert_eq!(t.pop_frame(), None);
+    }
+
+    #[test]
+    fn overflow_is_not_enforced_by_raw_vm() {
+        let mut t = thread();
+        for i in 0..40 {
+            t.acquire_local(Oop(i));
+        }
+        // The raw VM leaks past capacity 16 without complaint (Table 1
+        // row 12 default behaviour).
+        assert_eq!(t.live_local_count(), 40);
+        assert_eq!(t.current_frame().capacity(), DEFAULT_LOCAL_CAPACITY);
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut t = thread();
+        t.ensure_capacity(64);
+        assert_eq!(t.current_frame().capacity(), 64);
+        t.ensure_capacity(8);
+        assert_eq!(t.current_frame().capacity(), 64, "never shrinks");
+    }
+
+    #[test]
+    fn forged_reference_is_out_of_range() {
+        let t = thread();
+        let forged = JRef::forged(0x0001_0000_dead_0001);
+        assert!(matches!(
+            t.resolve_local(forged),
+            Err(RefFault::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn critical_section_tally() {
+        let mut t = thread();
+        assert!(!t.in_critical_section());
+        t.enter_critical(ObjectId(5));
+        t.enter_critical(ObjectId(5));
+        t.enter_critical(ObjectId(6));
+        assert!(t.in_critical_section());
+        assert_eq!(t.criticals().len(), 2);
+        assert!(t.exit_critical(ObjectId(5)));
+        assert!(t.exit_critical(ObjectId(5)));
+        assert!(!t.exit_critical(ObjectId(5)), "unmatched release detected");
+        assert!(t.exit_critical(ObjectId(6)));
+        assert!(!t.in_critical_section());
+    }
+
+    #[test]
+    fn pending_exception_set_and_clear() {
+        let mut t = thread();
+        assert!(t.pending_exception().is_none());
+        t.set_pending_exception(Some(Oop(3)));
+        assert_eq!(t.pending_exception(), Some(Oop(3)));
+        t.set_pending_exception(None);
+        assert!(t.pending_exception().is_none());
+    }
+}

@@ -1,0 +1,435 @@
+//! Values and cross-language references.
+//!
+//! Native code never sees raw heap addresses: it holds opaque [`JRef`]
+//! handles that indirect through per-thread local-reference tables or the
+//! VM-wide global tables. The heap is managed by a *moving* collector, so a
+//! handle that has been released (its table slot freed, and possibly
+//! recycled) is genuinely dangling — exactly the failure mode of the
+//! paper's Figure 1.
+
+use std::fmt;
+
+use crate::descriptor::PrimType;
+
+/// Stable identity of a heap object. Unlike heap addresses, object ids
+/// never change across garbage collections and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A heap address ("ordinary object pointer"). **Unstable across GC** —
+/// the collector moves objects, so an `Oop` must never be held across an
+/// allocation point. Native code holds [`JRef`] handles instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Oop(pub(crate) u32);
+
+impl Oop {
+    /// Raw index into the current heap space.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identity of a simulated JVM thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u16);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread-{}", self.0)
+    }
+}
+
+/// The kind of a cross-language reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefKind {
+    /// The null reference.
+    Null,
+    /// A local reference: valid only on its owning thread, only until the
+    /// enclosing native method returns (or it is explicitly deleted).
+    Local,
+    /// A global reference: valid across threads and native calls until
+    /// explicitly deleted; a GC root.
+    Global,
+    /// A weak global reference: like global but does not keep its target
+    /// alive.
+    WeakGlobal,
+}
+
+impl fmt::Display for RefKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RefKind::Null => "null",
+            RefKind::Local => "local",
+            RefKind::Global => "global",
+            RefKind::WeakGlobal => "weak-global",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An opaque cross-language reference handle, as passed between "Java" and
+/// "C" across the simulated JNI.
+///
+/// A reference names a slot in a handle table plus the slot's generation at
+/// acquisition time; if the slot has since been freed (and possibly
+/// recycled for a different object) the reference is *dangling* and
+/// resolving it through the raw, unchecked JVM yields vendor-defined
+/// undefined behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JRef {
+    kind: RefKind,
+    /// Owning thread for local references (garbage for others).
+    owner: ThreadId,
+    slot: u32,
+    generation: u32,
+}
+
+impl JRef {
+    /// The null reference.
+    pub const NULL: JRef = JRef {
+        kind: RefKind::Null,
+        owner: ThreadId(0),
+        slot: 0,
+        generation: 0,
+    };
+
+    pub(crate) fn local(owner: ThreadId, slot: u32, generation: u32) -> JRef {
+        JRef {
+            kind: RefKind::Local,
+            owner,
+            slot,
+            generation,
+        }
+    }
+
+    pub(crate) fn global(slot: u32, generation: u32) -> JRef {
+        JRef {
+            kind: RefKind::Global,
+            owner: ThreadId(0),
+            slot,
+            generation,
+        }
+    }
+
+    pub(crate) fn weak_global(slot: u32, generation: u32) -> JRef {
+        JRef {
+            kind: RefKind::WeakGlobal,
+            owner: ThreadId(0),
+            slot,
+            generation,
+        }
+    }
+
+    /// Forges a reference from raw bits, simulating C code that casts an
+    /// arbitrary pointer-sized value (for example a `jmethodID`) to
+    /// `jobject` — pitfall 6 of the paper's Table 1. The result is almost
+    /// certainly dangling or aliased.
+    pub fn forged(bits: u64) -> JRef {
+        JRef {
+            kind: RefKind::Local,
+            owner: ThreadId((bits >> 48) as u16),
+            slot: (bits >> 16) as u32,
+            generation: bits as u16 as u32,
+        }
+    }
+
+    /// Returns `true` for the null reference.
+    pub fn is_null(self) -> bool {
+        self.kind == RefKind::Null
+    }
+
+    /// The reference's kind.
+    pub fn kind(self) -> RefKind {
+        self.kind
+    }
+
+    /// The owning thread (meaningful for local references only).
+    pub fn owner(self) -> ThreadId {
+        self.owner
+    }
+
+    /// Handle-table slot index.
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// Slot generation at acquisition.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Display for JRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("null")
+        } else {
+            write!(
+                f,
+                "{}ref[t{}@{}g{}]",
+                self.kind, self.owner.0, self.slot, self.generation
+            )
+        }
+    }
+}
+
+/// A method ID: an opaque handle to a resolved Java method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodId(pub(crate) u32);
+
+impl MethodId {
+    /// Raw index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Forges a method ID from raw bits (simulating C type confusion;
+    /// pitfall 6). Validity is entirely accidental.
+    pub fn forged(bits: u64) -> MethodId {
+        MethodId(bits as u32)
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mid#{}", self.0)
+    }
+}
+
+/// A field ID: an opaque handle to a resolved Java field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldId(pub(crate) u32);
+
+impl FieldId {
+    /// Raw index (for diagnostics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Forges a field ID from raw bits (simulating C type confusion).
+    pub fn forged(bits: u64) -> FieldId {
+        FieldId(bits as u32)
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fid#{}", self.0)
+    }
+}
+
+/// A Java value as passed across the language boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JValue {
+    /// `boolean`
+    Bool(bool),
+    /// `byte`
+    Byte(i8),
+    /// `char` (UTF-16 code unit)
+    Char(u16),
+    /// `short`
+    Short(i16),
+    /// `int`
+    Int(i32),
+    /// `long`
+    Long(i64),
+    /// `float`
+    Float(f32),
+    /// `double`
+    Double(f64),
+    /// Any reference type (possibly [`JRef::NULL`]).
+    Ref(JRef),
+    /// The absence of a value (result of a `void` method).
+    Void,
+}
+
+impl JValue {
+    /// The null reference value.
+    pub const NULL: JValue = JValue::Ref(JRef::NULL);
+
+    /// Extracts a reference, if this is a reference value.
+    pub fn as_ref(self) -> Option<JRef> {
+        match self {
+            JValue::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `int`, if this is one.
+    pub fn as_int(self) -> Option<i32> {
+        match self {
+            JValue::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `long`, if this is one.
+    pub fn as_long(self) -> Option<i64> {
+        match self {
+            JValue::Long(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `boolean`, if this is one.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            JValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a `double`, if this is one.
+    pub fn as_double(self) -> Option<f64> {
+        match self {
+            JValue::Double(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The primitive type of this value, or `None` for references/void.
+    pub fn prim_type(self) -> Option<PrimType> {
+        Some(match self {
+            JValue::Bool(_) => PrimType::Boolean,
+            JValue::Byte(_) => PrimType::Byte,
+            JValue::Char(_) => PrimType::Char,
+            JValue::Short(_) => PrimType::Short,
+            JValue::Int(_) => PrimType::Int,
+            JValue::Long(_) => PrimType::Long,
+            JValue::Float(_) => PrimType::Float,
+            JValue::Double(_) => PrimType::Double,
+            JValue::Ref(_) | JValue::Void => return None,
+        })
+    }
+
+    /// The default ("zero") value for a primitive type.
+    pub fn default_of(ty: PrimType) -> JValue {
+        match ty {
+            PrimType::Boolean => JValue::Bool(false),
+            PrimType::Byte => JValue::Byte(0),
+            PrimType::Char => JValue::Char(0),
+            PrimType::Short => JValue::Short(0),
+            PrimType::Int => JValue::Int(0),
+            PrimType::Long => JValue::Long(0),
+            PrimType::Float => JValue::Float(0.0),
+            PrimType::Double => JValue::Double(0.0),
+        }
+    }
+}
+
+impl fmt::Display for JValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JValue::Bool(v) => write!(f, "{v}"),
+            JValue::Byte(v) => write!(f, "{v}b"),
+            JValue::Char(v) => write!(f, "'\\u{v:04x}'"),
+            JValue::Short(v) => write!(f, "{v}s"),
+            JValue::Int(v) => write!(f, "{v}"),
+            JValue::Long(v) => write!(f, "{v}L"),
+            JValue::Float(v) => write!(f, "{v}f"),
+            JValue::Double(v) => write!(f, "{v}d"),
+            JValue::Ref(r) => write!(f, "{r}"),
+            JValue::Void => f.write_str("void"),
+        }
+    }
+}
+
+impl From<bool> for JValue {
+    fn from(v: bool) -> JValue {
+        JValue::Bool(v)
+    }
+}
+
+impl From<i32> for JValue {
+    fn from(v: i32) -> JValue {
+        JValue::Int(v)
+    }
+}
+
+impl From<i64> for JValue {
+    fn from(v: i64) -> JValue {
+        JValue::Long(v)
+    }
+}
+
+impl From<f64> for JValue {
+    fn from(v: f64) -> JValue {
+        JValue::Double(v)
+    }
+}
+
+impl From<JRef> for JValue {
+    fn from(v: JRef) -> JValue {
+        JValue::Ref(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ref_properties() {
+        assert!(JRef::NULL.is_null());
+        assert_eq!(JRef::NULL.kind(), RefKind::Null);
+        assert_eq!(format!("{}", JRef::NULL), "null");
+        assert_eq!(JValue::NULL.as_ref(), Some(JRef::NULL));
+    }
+
+    #[test]
+    fn forged_refs_are_not_null() {
+        let r = JRef::forged(0xdead_beef_cafe);
+        assert!(!r.is_null());
+        assert_eq!(r.kind(), RefKind::Local);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(JValue::Int(3).as_int(), Some(3));
+        assert_eq!(JValue::Int(3).as_long(), None);
+        assert_eq!(JValue::Long(9).as_long(), Some(9));
+        assert_eq!(JValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(JValue::Double(2.5).as_double(), Some(2.5));
+        assert_eq!(JValue::Void.prim_type(), None);
+        assert_eq!(JValue::Char(65).prim_type(), Some(PrimType::Char));
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        assert_eq!(JValue::default_of(PrimType::Int), JValue::Int(0));
+        assert_eq!(JValue::default_of(PrimType::Boolean), JValue::Bool(false));
+        assert_eq!(JValue::default_of(PrimType::Double), JValue::Double(0.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(JValue::from(true), JValue::Bool(true));
+        assert_eq!(JValue::from(7i32), JValue::Int(7));
+        assert_eq!(JValue::from(7i64), JValue::Long(7));
+        assert_eq!(JValue::from(1.5f64), JValue::Double(1.5));
+    }
+
+    #[test]
+    fn displays_nonempty() {
+        for v in [
+            JValue::Bool(true),
+            JValue::Byte(1),
+            JValue::Char(65),
+            JValue::Short(2),
+            JValue::Int(3),
+            JValue::Long(4),
+            JValue::Float(1.0),
+            JValue::Double(2.0),
+            JValue::NULL,
+            JValue::Void,
+        ] {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+}

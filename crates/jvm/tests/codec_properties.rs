@@ -1,0 +1,70 @@
+//! Property tests of the modified-UTF-8 codec and string plumbing.
+
+use minijvm::{mutf8, Jvm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = id over arbitrary UTF-16 code-unit sequences
+    /// (including unpaired surrogates, which modified UTF-8 tolerates).
+    #[test]
+    fn utf16_roundtrip(units in proptest::collection::vec(any::<u16>(), 0..64)) {
+        let encoded = mutf8::encode(&units);
+        // The defining property: no embedded NUL bytes, ever.
+        prop_assert!(!encoded.contains(&0));
+        let decoded = mutf8::decode(&encoded).expect("own encoding is valid");
+        prop_assert_eq!(decoded, units);
+    }
+
+    /// Strings roundtrip through the encoder and through the VM.
+    #[test]
+    fn string_roundtrip(s in "\\PC{0,32}") {
+        let encoded = mutf8::encode_str(&s);
+        prop_assert_eq!(mutf8::decode_to_string(&encoded).expect("valid"), s.clone());
+
+        let mut jvm = Jvm::new();
+        let oop = jvm.alloc_string(&s);
+        prop_assert_eq!(jvm.string_value(oop).expect("is a string"), s);
+    }
+
+    /// The decoder never panics on arbitrary byte soup.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        match mutf8::decode(&bytes) {
+            Ok(units) => {
+                // Whatever decodes must re-encode to a decodable form.
+                let re = mutf8::encode(&units);
+                prop_assert!(mutf8::decode(&re).is_ok());
+            }
+            Err(e) => prop_assert!(e.offset <= bytes.len()),
+        }
+    }
+
+    /// Object identities are unique and stable across collections.
+    #[test]
+    fn object_ids_unique_and_stable(n in 1usize..40, keep in 0usize..40) {
+        let mut jvm = Jvm::new();
+        let thread = jvm.main_thread();
+        let class = jvm.find_class("java/lang/Object").unwrap();
+        let mut handles = Vec::new();
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..n {
+            let oop = jvm.alloc_object(class);
+            prop_assert!(ids.insert(jvm.heap().id_of(oop)), "ids unique");
+            handles.push((jvm.new_local(thread, oop), jvm.heap().id_of(oop)));
+        }
+        // Keep one, release the rest, collect.
+        let keep = keep % n;
+        for (i, (h, _)) in handles.iter().enumerate() {
+            if i != keep {
+                jvm.thread_mut(thread).delete_local(*h).unwrap();
+            }
+        }
+        jvm.gc();
+        let (h, id) = handles[keep];
+        let oop = jvm.resolve(thread, h).unwrap().unwrap();
+        prop_assert_eq!(jvm.heap().id_of(oop), id);
+        prop_assert_eq!(jvm.heap().len(), 1);
+    }
+}

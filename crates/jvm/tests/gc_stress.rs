@@ -1,0 +1,178 @@
+//! Deterministic GC stress tests: repeated collections over mixed object
+//! graphs with every root kind active at once.
+
+use minijvm::{FieldType, JValue, Jvm, MemberFlags, PinData, PinKind, PrimType, Slot};
+
+#[test]
+fn hundred_collections_with_mixed_roots() {
+    let mut jvm = Jvm::new();
+    let thread = jvm.main_thread();
+    let node = jvm
+        .registry_mut()
+        .define("stress/Node")
+        .field("next", "Lstress/Node;", MemberFlags::public())
+        .field("label", "Ljava/lang/String;", MemberFlags::public())
+        .build()
+        .unwrap();
+    let f_next = jvm
+        .registry()
+        .resolve_field(node, "next", "Lstress/Node;", false)
+        .unwrap();
+    let f_label = jvm
+        .registry()
+        .resolve_field(node, "label", "Ljava/lang/String;", false)
+        .unwrap();
+
+    // A ring of three nodes held by one global ref.
+    let a = jvm.alloc_object(node);
+    let b = jvm.alloc_object(node);
+    let c = jvm.alloc_object(node);
+    jvm.set_instance_field(a, f_next, Slot::Ref(Some(b)));
+    jvm.set_instance_field(b, f_next, Slot::Ref(Some(c)));
+    jvm.set_instance_field(c, f_next, Slot::Ref(Some(a)));
+    let label = jvm.alloc_string("ring");
+    jvm.set_instance_field(a, f_label, Slot::Ref(Some(label)));
+    let ring = jvm.new_global(a);
+    let ring_id = jvm.heap().id_of(a);
+
+    // A weak ref to a separately-rooted string and one to garbage.
+    let kept = jvm.alloc_string("kept");
+    let kept_local = jvm.new_local(thread, kept);
+    let weak_kept = jvm.new_weak_global(kept);
+    let doomed = jvm.alloc_string("doomed");
+    let weak_doomed = jvm.new_weak_global(doomed);
+
+    // A monitor and an exception also act as roots.
+    let monitored = jvm.alloc_object(node);
+    jvm.monitor_enter(thread, monitored).unwrap();
+    jvm.throw_new(thread, "java/lang/RuntimeException", "pending across GCs");
+
+    // A pinned buffer (copied; not a root, must not confuse the sweep).
+    let arr_id = {
+        let arr = jvm.alloc_prim_array(PrimType::Int, 8);
+        jvm.heap().id_of(arr)
+    };
+    jvm.pins_mut().acquire(
+        arr_id,
+        PinKind::ArrayElements,
+        PinData::Prim(minijvm::PrimArray::zeroed(PrimType::Int, 8)),
+    );
+
+    for round in 0..100 {
+        // Churn: allocate garbage every round.
+        for i in 0..10 {
+            let g = jvm.alloc_string(&format!("garbage-{round}-{i}"));
+            let _ = g;
+        }
+        let stats = jvm.gc();
+        // Ring (3 nodes + label) + kept string + monitored node +
+        // pending exception (+ its message string) survive.
+        assert!(stats.live >= 7, "round {round}: live {}", stats.live);
+
+        // The ring is intact and walkable.
+        let a = jvm.resolve(thread, ring).unwrap().unwrap();
+        assert_eq!(jvm.heap().id_of(a), ring_id);
+        let Slot::Ref(Some(b)) = jvm.get_instance_field(a, f_next) else {
+            panic!()
+        };
+        let Slot::Ref(Some(c)) = jvm.get_instance_field(b, f_next) else {
+            panic!()
+        };
+        let Slot::Ref(Some(back)) = jvm.get_instance_field(c, f_next) else {
+            panic!()
+        };
+        assert_eq!(jvm.heap().id_of(back), ring_id, "ring closed");
+        let Slot::Ref(Some(l)) = jvm.get_instance_field(a, f_label) else {
+            panic!()
+        };
+        assert_eq!(jvm.string_value(l).as_deref(), Some("ring"));
+
+        // Weak refs: the rooted one survives, the doomed one cleared.
+        assert!(
+            jvm.resolve(thread, weak_kept).unwrap().is_some(),
+            "round {round}"
+        );
+        assert!(
+            jvm.resolve(thread, weak_doomed).unwrap().is_none(),
+            "round {round}"
+        );
+        // The local handle still resolves to the same string.
+        let k = jvm.resolve(thread, kept_local).unwrap().unwrap();
+        assert_eq!(jvm.string_value(k).as_deref(), Some("kept"));
+    }
+
+    assert_eq!(jvm.heap().collections(), 100);
+    // Exception still pending with its message object alive.
+    let exc = jvm.thread(thread).pending_exception().unwrap();
+    assert!(jvm.describe_exception(exc).contains("pending across GCs"));
+    // Termination report sees the monitor and the pin.
+    let report = jvm.termination_report();
+    assert_eq!(report.monitors, 1);
+    assert_eq!(report.pinned_buffers, 1);
+    assert_eq!(report.global_refs, 1);
+    assert_eq!(report.weak_refs, 2);
+}
+
+#[test]
+fn statics_root_their_referents_across_gc() {
+    let mut jvm = Jvm::new();
+    let holder = jvm
+        .registry_mut()
+        .define("stress/Statics")
+        .field("CACHE", "Ljava/lang/String;", MemberFlags::public_static())
+        .build()
+        .unwrap();
+    let f = jvm
+        .registry()
+        .resolve_field(holder, "CACHE", "Ljava/lang/String;", true)
+        .unwrap();
+    let s = jvm.alloc_string("cached statically");
+    jvm.registry_mut().set_static_slot(f, Slot::Ref(Some(s)));
+    for _ in 0..20 {
+        jvm.gc();
+    }
+    let Slot::Ref(Some(oop)) = jvm.registry().static_slot(f) else {
+        panic!("static reference lost");
+    };
+    assert_eq!(jvm.string_value(oop).as_deref(), Some("cached statically"));
+    assert_eq!(jvm.heap().len(), 1, "only the cached string survives");
+}
+
+#[test]
+fn ref_arrays_of_ref_arrays_survive() {
+    let mut jvm = Jvm::new();
+    let thread = jvm.main_thread();
+    let inner_ty = FieldType::array(FieldType::object("java/lang/String"));
+    let outer = jvm.alloc_ref_array(inner_ty.clone(), 3);
+    let outer_ref = jvm.new_local(thread, outer);
+    for i in 0..3 {
+        let outer = jvm.resolve(thread, outer_ref).unwrap().unwrap();
+        let inner = jvm.alloc_ref_array(FieldType::object("java/lang/String"), 2);
+        let s = jvm.alloc_string(&format!("deep-{i}"));
+        if let minijvm::Body::RefArray { elems } = &mut jvm.heap_mut().get_mut(inner).body {
+            elems[0] = Some(s);
+        }
+        if let minijvm::Body::RefArray { elems } = &mut jvm.heap_mut().get_mut(outer).body {
+            elems[i] = Some(inner);
+        }
+        jvm.gc();
+    }
+    // Everything reachable from the outer array survived all three GCs.
+    let outer = jvm.resolve(thread, outer_ref).unwrap().unwrap();
+    let minijvm::Body::RefArray { elems } = &jvm.heap().get(outer).body else {
+        panic!()
+    };
+    let elems = elems.clone();
+    for (i, inner) in elems.iter().enumerate() {
+        let inner = inner.expect("inner array present");
+        let minijvm::Body::RefArray { elems } = &jvm.heap().get(inner).body else {
+            panic!()
+        };
+        let s = elems[0].expect("string present");
+        assert_eq!(
+            jvm.string_value(s).as_deref(),
+            Some(format!("deep-{i}").as_str())
+        );
+    }
+    let _ = JValue::Void;
+}

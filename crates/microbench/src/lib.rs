@@ -1,0 +1,296 @@
+//! `jinn-microbench` — the sixteen error-triggering JNI microbenchmarks.
+//!
+//! The paper's evaluation (Section 6.1) uses "a collection of 16 small JNI
+//! programs, which are designed to trigger one each of the error states in
+//! the eleven state machines" — covering every Table 1 pitfall except
+//! pitfall 8, which cannot be detected at the language boundary. This
+//! crate reproduces all sixteen, each runnable under any of the five
+//! configurations of the evaluation: two vendor defaults, two
+//! `-Xcheck:jni` baselines, and Jinn.
+//!
+//! # Example
+//!
+//! ```
+//! use jinn_microbench::{run_scenario, scenarios, Behavior, Config};
+//! use jinn_vendors::Vendor;
+//!
+//! let dangling = scenarios()
+//!     .into_iter()
+//!     .find(|s| s.name == "LocalRefDangling")
+//!     .expect("Figure 1 microbenchmark exists");
+//! // HotSpot silently crashes...
+//! let observed = run_scenario(&dangling, Config::Default(Vendor::HotSpot));
+//! assert_eq!(observed.behavior, Behavior::Crash);
+//! // ...Jinn pinpoints the bug.
+//! let observed = run_scenario(&dangling, Config::Jinn(Vendor::HotSpot));
+//! assert_eq!(observed.behavior, Behavior::JinnException);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scenarios;
+
+use jinn_vendors::Vendor;
+use minijni::{ReportAction, RunOutcome, Session};
+use minijvm::{JValue, MethodId};
+
+pub use scenarios::scenarios;
+
+/// One microbenchmark: a small JNI program that violates exactly one
+/// constraint.
+pub struct Scenario {
+    /// CamelCase name, e.g. `"ExceptionState"`.
+    pub name: &'static str,
+    /// Table 1 pitfall number, if the scenario corresponds to a row.
+    pub pitfall: Option<u8>,
+    /// The state machine whose error state it triggers.
+    pub machine: &'static str,
+    /// The error state triggered.
+    pub error_state: &'static str,
+    /// Whether the buggy behaviour is a silent resource leak by default.
+    pub leaks: bool,
+    /// Builds the program into a VM; returns the native entry points (run
+    /// in order) and the arguments for the first.
+    pub build: fn(&mut minijni::Vm) -> Setup,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("pitfall", &self.pitfall)
+            .field("machine", &self.machine)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The built program: native entry methods to invoke in order, plus the
+/// arguments of the first entry.
+#[derive(Debug)]
+pub struct Setup {
+    /// Entry methods, invoked in order.
+    pub entries: Vec<MethodId>,
+    /// Arguments for the first entry (subsequent entries take none).
+    pub first_args: Vec<JValue>,
+}
+
+/// A run configuration of the evaluation: which JVM, which checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Production run, no dynamic checking.
+    Default(Vendor),
+    /// `-Xcheck:jni`.
+    Xcheck(Vendor),
+    /// `-agentlib:jinn` (vendor-independent: works on either VM).
+    Jinn(Vendor),
+}
+
+impl Config {
+    /// The underlying vendor.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            Config::Default(v) | Config::Xcheck(v) | Config::Jinn(v) => v,
+        }
+    }
+
+    /// Column label as in Table 1.
+    pub fn label(self) -> String {
+        match self {
+            Config::Default(v) => format!("{v}"),
+            Config::Xcheck(v) => format!("{v} -Xcheck:jni"),
+            Config::Jinn(v) => format!("Jinn on {v}"),
+        }
+    }
+}
+
+/// The externally observable behaviour of a run, with the Table 1 legend's
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// Jinn threw a `JNIAssertionFailure` (or reported at shutdown).
+    JinnException,
+    /// A checker printed a diagnosis and aborted the VM.
+    Error,
+    /// A checker printed a diagnosis and kept running.
+    Warning,
+    /// A `NullPointerException` was raised.
+    Npe,
+    /// The process hung.
+    Deadlock,
+    /// The process aborted without diagnosis.
+    Crash,
+    /// The program kept running and silently leaked a resource.
+    Leak,
+    /// The program kept running in spite of undefined JVM state.
+    Running,
+}
+
+impl std::fmt::Display for Behavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Behavior::JinnException => "exception",
+            Behavior::Error => "error",
+            Behavior::Warning => "warning",
+            Behavior::Npe => "NPE",
+            Behavior::Deadlock => "deadlock",
+            Behavior::Crash => "crash",
+            Behavior::Leak => "leak",
+            Behavior::Running => "running",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Behavior {
+    /// A behaviour counts as a *valid bug report* (Section 6.3) if the
+    /// tool produced a diagnosis: exception, warning, or error.
+    pub fn is_detection(self) -> bool {
+        matches!(
+            self,
+            Behavior::JinnException | Behavior::Error | Behavior::Warning
+        )
+    }
+}
+
+/// What a run produced: the classified behaviour plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct Observed {
+    /// The classified behaviour.
+    pub behavior: Behavior,
+    /// The primary diagnosis message, if any tool produced one.
+    pub message: Option<String>,
+    /// The full session log (vendor warnings, exception descriptions).
+    pub log: Vec<String>,
+}
+
+/// Runs one scenario under one configuration and classifies the outcome.
+pub fn run_scenario(scenario: &Scenario, config: Config) -> Observed {
+    let mut vm = config.vendor().vm();
+    let setup = (scenario.build)(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    match config {
+        Config::Default(_) => {}
+        Config::Xcheck(v) => session.attach(v.xcheck()),
+        Config::Jinn(_) => {
+            jinn_core::install(&mut session);
+        }
+    }
+
+    let mut outcomes = Vec::new();
+    for (i, &entry) in setup.entries.iter().enumerate() {
+        {
+            let mut env = session.env(thread);
+            env.enter_java_frame(format!("{}.main({}.java:5)", scenario.name, scenario.name));
+        }
+        let args = if i == 0 {
+            setup.first_args.clone()
+        } else {
+            Vec::new()
+        };
+        let outcome = session.run_native(thread, entry, &args);
+        {
+            let mut env = session.env(thread);
+            env.exit_java_frame();
+        }
+        // Clear any pending exception between phases, as a Java driver
+        // with a try/catch around each call would.
+        let fatal = !matches!(outcome, RunOutcome::Completed(_));
+        outcomes.push(outcome);
+        if fatal {
+            break;
+        }
+    }
+    let shutdown_reports = session.shutdown();
+    let log = session.take_log();
+
+    // Classification, in Table 1 vocabulary.
+    let mut behavior = Behavior::Running;
+    let mut message = None;
+
+    let final_outcome = outcomes.last().expect("at least one entry ran");
+    let jinn_shutdown = shutdown_reports
+        .iter()
+        .find(|r| r.action == ReportAction::ThrowException);
+    let warn_shutdown = shutdown_reports
+        .iter()
+        .find(|r| r.action == ReportAction::Warn);
+    let has_warnings = log.iter().any(|l| l.contains("WARNING")) || warn_shutdown.is_some();
+
+    match final_outcome {
+        RunOutcome::CheckerException(v) => {
+            behavior = Behavior::JinnException;
+            message = Some(v.message.clone());
+        }
+        RunOutcome::UncaughtException(desc) if desc.contains("JNIAssertionFailure") => {
+            behavior = Behavior::JinnException;
+            message = Some(desc.clone());
+        }
+        RunOutcome::Died(d) if d.kind == minijvm::DeathKind::FatalError => {
+            behavior = Behavior::Error;
+            message = Some(d.message.clone());
+        }
+        _ => {}
+    }
+    if behavior == Behavior::Running {
+        if let Some(r) = jinn_shutdown {
+            behavior = Behavior::JinnException;
+            message = Some(r.violation.message.clone());
+        } else if has_warnings {
+            behavior = Behavior::Warning;
+            message = log
+                .iter()
+                .find(|l| l.contains("WARNING"))
+                .cloned()
+                .or_else(|| warn_shutdown.map(|r| r.violation.message.clone()));
+        } else {
+            match final_outcome {
+                RunOutcome::UncaughtException(desc) if desc.contains("NullPointerException") => {
+                    behavior = Behavior::Npe;
+                    message = Some(desc.clone());
+                }
+                RunOutcome::Died(d) if d.kind == minijvm::DeathKind::Deadlock => {
+                    behavior = Behavior::Deadlock;
+                    message = Some(d.message.clone());
+                }
+                RunOutcome::Died(d) if d.kind == minijvm::DeathKind::Crash => {
+                    behavior = Behavior::Crash;
+                    message = Some(d.message.clone());
+                }
+                _ => {
+                    behavior = if scenario.leaks && matches!(config, Config::Default(_)) {
+                        Behavior::Leak
+                    } else {
+                        Behavior::Running
+                    };
+                }
+            }
+        }
+    }
+
+    Observed {
+        behavior,
+        message,
+        log,
+    }
+}
+
+/// Runs all sixteen scenarios under a configuration.
+pub fn run_all(config: Config) -> Vec<(&'static str, Observed)> {
+    scenarios()
+        .into_iter()
+        .map(|s| (s.name, run_scenario(&s, config)))
+        .collect()
+}
+
+/// Detection coverage (Section 6.3): fraction of the sixteen
+/// microbenchmarks on which the configuration produced a valid bug report.
+pub fn coverage(config: Config) -> (usize, usize) {
+    let results = run_all(config);
+    let detected = results
+        .iter()
+        .filter(|(_, o)| o.behavior.is_detection())
+        .count();
+    (detected, results.len())
+}

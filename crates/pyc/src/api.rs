@@ -1,0 +1,741 @@
+//! The Python/C API surface, its reference-ownership specification, and
+//! the checked environment driver.
+//!
+//! The paper's Python/C synthesizer "takes a specification file that lists
+//! which functions return new or borrowed references" (Section 7.2); here
+//! that file is [`registry`] — one [`PyFuncSpec`] per API function with
+//! its reference-return kind, stolen arguments, GIL requirement and
+//! exception obliviousness. [`PyEnv`] is the analogue of the JNI side's
+//! `JniEnv`: every API call runs through interposition hooks
+//! ([`PyInterpose`]) before and after its raw semantics.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::interp::{GilError, PyErrState, PyThread, Python};
+use crate::object::{Deref, PyPtr, PyValue};
+
+/// What kind of reference an API function returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefReturn {
+    /// A new reference the caller co-owns (must `Py_DECREF`).
+    New,
+    /// A borrowed reference, valid only while its source owns the object.
+    Borrowed,
+    /// The function does not return a reference.
+    NoRef,
+}
+
+/// The ownership specification of one Python/C function.
+#[derive(Debug, Clone)]
+pub struct PyFuncSpec {
+    /// Function name, e.g. `"PyList_GetItem"`.
+    pub name: &'static str,
+    /// What the return value is.
+    pub returns: RefReturn,
+    /// For [`RefReturn::Borrowed`]: which pointer argument the borrow
+    /// derives from.
+    pub borrow_source: Option<usize>,
+    /// Which pointer argument the function *steals* (takes ownership of
+    /// without incref), e.g. `PyList_SetItem`'s item.
+    pub steals_arg: Option<usize>,
+    /// Whether the caller must hold the GIL.
+    pub requires_gil: bool,
+    /// May be called with a Python exception pending.
+    pub err_oblivious: bool,
+}
+
+/// The specification file: all modelled Python/C functions.
+pub fn registry() -> &'static [PyFuncSpec] {
+    static REG: OnceLock<Vec<PyFuncSpec>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let f = |name,
+                 returns,
+                 borrow_source: Option<usize>,
+                 steals_arg: Option<usize>,
+                 requires_gil,
+                 err_oblivious| PyFuncSpec {
+            name,
+            returns,
+            borrow_source,
+            steals_arg,
+            requires_gil,
+            err_oblivious,
+        };
+        vec![
+            f("Py_BuildValue", RefReturn::New, None, None, true, false),
+            f("PyList_New", RefReturn::New, None, None, true, false),
+            f("PyList_Append", RefReturn::NoRef, None, None, true, false),
+            f(
+                "PyList_GetItem",
+                RefReturn::Borrowed,
+                Some(0),
+                None,
+                true,
+                false,
+            ),
+            f(
+                "PyList_SetItem",
+                RefReturn::NoRef,
+                None,
+                Some(2),
+                true,
+                false,
+            ),
+            f("PyList_Size", RefReturn::NoRef, None, None, true, false),
+            f(
+                "PyTuple_GetItem",
+                RefReturn::Borrowed,
+                Some(0),
+                None,
+                true,
+                false,
+            ),
+            f("PyTuple_Size", RefReturn::NoRef, None, None, true, false),
+            f(
+                "PyString_FromString",
+                RefReturn::New,
+                None,
+                None,
+                true,
+                false,
+            ),
+            f(
+                "PyString_AsString",
+                RefReturn::NoRef,
+                None,
+                None,
+                true,
+                false,
+            ),
+            f("PyInt_FromLong", RefReturn::New, None, None, true, false),
+            f("PyInt_AsLong", RefReturn::NoRef, None, None, true, false),
+            // The macro-equivalent functions of Section 7.2 (Py_INCREF and
+            // Py_DECREF are C macros; the paper wraps them as functions so
+            // the checker can interpose).
+            f("Py_IncRef", RefReturn::NoRef, None, None, true, true),
+            f("Py_DecRef", RefReturn::NoRef, None, None, true, true),
+            f("PyErr_SetString", RefReturn::NoRef, None, None, true, true),
+            f(
+                "PyErr_Occurred",
+                RefReturn::Borrowed,
+                None,
+                None,
+                true,
+                true,
+            ),
+            f("PyErr_Clear", RefReturn::NoRef, None, None, true, true),
+            f(
+                "PyGILState_Ensure",
+                RefReturn::NoRef,
+                None,
+                None,
+                false,
+                true,
+            ),
+            f(
+                "PyGILState_Release",
+                RefReturn::NoRef,
+                None,
+                None,
+                false,
+                true,
+            ),
+            f(
+                "PyEval_SaveThread",
+                RefReturn::NoRef,
+                None,
+                None,
+                true,
+                true,
+            ),
+            f(
+                "PyEval_RestoreThread",
+                RefReturn::NoRef,
+                None,
+                None,
+                false,
+                true,
+            ),
+            f("Py_None", RefReturn::Borrowed, None, None, false, true),
+        ]
+    })
+}
+
+/// Looks up a function spec by name.
+///
+/// # Panics
+///
+/// Panics on an unknown function name (a checker/test typo).
+pub fn spec(name: &str) -> &'static PyFuncSpec {
+    registry()
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no Python/C function named `{name}`"))
+}
+
+/// A detected Python/C constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyViolation {
+    /// The state machine that detected it.
+    pub machine: &'static str,
+    /// The function at which it was detected.
+    pub function: String,
+    /// Diagnosis.
+    pub message: String,
+}
+
+impl fmt::Display for PyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} in {}",
+            self.machine, self.message, self.function
+        )
+    }
+}
+
+/// Why a Python/C call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyError {
+    /// A Python exception is pending (the normal error path).
+    Raised,
+    /// The interpreter crashed or deadlocked.
+    Crash(String),
+    /// A checker detected a violation.
+    Detected(PyViolation),
+}
+
+impl fmt::Display for PyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PyError::Raised => f.write_str("python exception pending"),
+            PyError::Crash(m) => write!(f, "interpreter crash: {m}"),
+            PyError::Detected(v) => write!(f, "checker: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PyError {}
+
+/// One API call as hooks observe it.
+#[derive(Debug)]
+pub struct PyCall<'a> {
+    /// The function's ownership spec.
+    pub spec: &'static PyFuncSpec,
+    /// Calling thread.
+    pub thread: PyThread,
+    /// Pointer arguments in position order.
+    pub ptr_args: &'a [PyPtr],
+}
+
+/// A dynamic checker interposed on Python/C transitions.
+pub trait PyInterpose {
+    /// Checker name.
+    fn name(&self) -> &str;
+
+    /// Before the call; a returned violation aborts it.
+    fn pre(&mut self, py: &Python, call: &PyCall<'_>) -> Option<PyViolation> {
+        let _ = (py, call);
+        None
+    }
+
+    /// After the call, with the returned reference if any.
+    fn post(&mut self, py: &Python, call: &PyCall<'_>, ret: Option<PyPtr>) -> Option<PyViolation> {
+        let _ = (py, call, ret);
+        None
+    }
+
+    /// Interpreter shutdown: leak sweeps.
+    fn shutdown(&mut self, py: &Python) -> Vec<PyViolation> {
+        let _ = py;
+        Vec::new()
+    }
+}
+
+/// An argument to `Py_BuildValue`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildArg {
+    /// `i` — a C long.
+    Int(i64),
+    /// `s` — a C string.
+    Str(String),
+}
+
+/// The checked Python/C environment: interpreter + interposition stack.
+pub struct PyEnv<'a> {
+    py: &'a mut Python,
+    checkers: &'a mut Vec<Box<dyn PyInterpose>>,
+    thread: PyThread,
+}
+
+impl fmt::Debug for PyEnv<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PyEnv")
+            .field("thread", &self.thread)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PyEnv<'a> {
+    pub(crate) fn new(
+        py: &'a mut Python,
+        checkers: &'a mut Vec<Box<dyn PyInterpose>>,
+        thread: PyThread,
+    ) -> PyEnv<'a> {
+        PyEnv {
+            py,
+            checkers,
+            thread,
+        }
+    }
+
+    /// The calling thread.
+    pub fn thread(&self) -> PyThread {
+        self.thread
+    }
+
+    /// The interpreter (assertions).
+    pub fn python(&self) -> &Python {
+        self.py
+    }
+
+    // ---- driver ---------------------------------------------------------
+
+    fn begin(&mut self, name: &'static str, ptr_args: &[PyPtr]) -> Result<(), PyError> {
+        if let Some(d) = self.py.death() {
+            return Err(PyError::Crash(d.to_string()));
+        }
+        self.py.count_api_call();
+        let call = PyCall {
+            spec: spec(name),
+            thread: self.thread,
+            ptr_args,
+        };
+        for i in 0..self.checkers.len() {
+            if let Some(v) = self.checkers[i].pre(self.py, &call) {
+                self.py.set_exception(Some(PyErrState {
+                    kind: "JinnPyCheckError".to_string(),
+                    message: v.message.clone(),
+                }));
+                return Err(PyError::Detected(v));
+            }
+        }
+        Ok(())
+    }
+
+    fn end(&mut self, name: &'static str, ptr_args: &[PyPtr], ret: Option<PyPtr>) {
+        let call = PyCall {
+            spec: spec(name),
+            thread: self.thread,
+            ptr_args,
+        };
+        for i in 0..self.checkers.len() {
+            let _ = self.checkers[i].post(self.py, &call, ret);
+        }
+    }
+
+    fn crash(&mut self, reason: &str) -> PyError {
+        self.py.kill(reason);
+        PyError::Crash(reason.to_string())
+    }
+
+    fn type_error(&mut self, message: impl Into<String>) -> PyError {
+        self.py.set_exception(Some(PyErrState {
+            kind: "TypeError".into(),
+            message: message.into(),
+        }));
+        PyError::Raised
+    }
+
+    /// Reads the value behind a pointer with real-C staleness semantics:
+    /// stale reads "work", aliased reads return the wrong object, wild
+    /// reads crash.
+    fn read_value(&mut self, p: PyPtr, func: &str) -> Result<PyValue, PyError> {
+        match self.py.arena().deref(p) {
+            Deref::Alive(v) | Deref::Stale(v) | Deref::Aliased(v) => Ok(v.clone()),
+            Deref::Wild => Err(self.crash(&format!("segmentation fault in {func}"))),
+        }
+    }
+
+    // ---- the API ----------------------------------------------------------
+
+    /// `Py_BuildValue`: builds a value from a format string (`i`, `s`,
+    /// `[...]`, `(...)`).
+    ///
+    /// # Errors
+    ///
+    /// Raises `SystemError` for malformed formats or argument shortfalls.
+    pub fn py_build_value(&mut self, format: &str, args: &[BuildArg]) -> Result<PyPtr, PyError> {
+        self.begin("Py_BuildValue", &[])?;
+        let result = {
+            let mut parser = BuildParser {
+                chars: format.chars().peekable(),
+                args,
+                next: 0,
+            };
+            parser.parse_all(self.py)
+        };
+        match result {
+            Ok(p) => {
+                self.end("Py_BuildValue", &[], Some(p));
+                Ok(p)
+            }
+            Err(msg) => {
+                self.py.set_exception(Some(PyErrState {
+                    kind: "SystemError".into(),
+                    message: msg,
+                }));
+                Err(PyError::Raised)
+            }
+        }
+    }
+
+    /// `PyList_New` (only empty lists, as in the common `PyList_New(0)`
+    /// idiom; slots-then-`SetItem` initialisation uses `py_list_append`).
+    pub fn py_list_new(&mut self) -> Result<PyPtr, PyError> {
+        self.begin("PyList_New", &[])?;
+        let p = self.py.arena_mut().alloc(PyValue::List(Vec::new()));
+        self.end("PyList_New", &[], Some(p));
+        Ok(p)
+    }
+
+    /// `PyList_Append`: increfs `item` and appends.
+    pub fn py_list_append(&mut self, list: PyPtr, item: PyPtr) -> Result<(), PyError> {
+        let args = [list, item];
+        self.begin("PyList_Append", &args)?;
+        let lv = self.read_value(list, "PyList_Append")?;
+        match lv {
+            PyValue::List(_) => {
+                self.py.arena_mut().incref(item);
+                if let Deref::Alive(_) = self.py.arena().deref(list) {
+                    // Re-borrow mutably to push.
+                    if let Some(PyValue::List(items)) = arena_value_mut(self.py, list) {
+                        items.push(item);
+                    }
+                }
+                self.end("PyList_Append", &args, None);
+                Ok(())
+            }
+            other => Err(self.type_error(format!(
+                "descriptor 'append' requires a 'list' object but received a '{}'",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// `PyList_GetItem`: returns a **borrowed** reference.
+    pub fn py_list_get_item(&mut self, list: PyPtr, index: i64) -> Result<PyPtr, PyError> {
+        let args = [list];
+        self.begin("PyList_GetItem", &args)?;
+        let lv = self.read_value(list, "PyList_GetItem")?;
+        match lv {
+            PyValue::List(items) => {
+                if index < 0 || index as usize >= items.len() {
+                    self.py.set_exception(Some(PyErrState {
+                        kind: "IndexError".into(),
+                        message: "list index out of range".into(),
+                    }));
+                    return Err(PyError::Raised);
+                }
+                let item = items[index as usize];
+                self.end("PyList_GetItem", &args, Some(item));
+                Ok(item)
+            }
+            other => Err(self.type_error(format!("expected list, got {}", other.type_name()))),
+        }
+    }
+
+    /// `PyList_SetItem`: **steals** the reference to `item` and releases
+    /// the displaced element.
+    pub fn py_list_set_item(
+        &mut self,
+        list: PyPtr,
+        index: i64,
+        item: PyPtr,
+    ) -> Result<(), PyError> {
+        let args = [list, PyPtr::placeholder(), item];
+        self.begin("PyList_SetItem", &args)?;
+        let lv = self.read_value(list, "PyList_SetItem")?;
+        match lv {
+            PyValue::List(items) => {
+                if index < 0 || index as usize >= items.len() {
+                    self.py.set_exception(Some(PyErrState {
+                        kind: "IndexError".into(),
+                        message: "list assignment index out of range".into(),
+                    }));
+                    return Err(PyError::Raised);
+                }
+                let old = items[index as usize];
+                if let Some(PyValue::List(items)) = arena_value_mut(self.py, list) {
+                    items[index as usize] = item;
+                }
+                let _ = self.py.arena_mut().decref(old);
+                self.end("PyList_SetItem", &args, None);
+                Ok(())
+            }
+            other => Err(self.type_error(format!("expected list, got {}", other.type_name()))),
+        }
+    }
+
+    /// `PyList_Size`.
+    pub fn py_list_size(&mut self, list: PyPtr) -> Result<i64, PyError> {
+        let args = [list];
+        self.begin("PyList_Size", &args)?;
+        let lv = self.read_value(list, "PyList_Size")?;
+        let out = match lv {
+            PyValue::List(items) => Ok(items.len() as i64),
+            other => Err(self.type_error(format!("expected list, got {}", other.type_name()))),
+        };
+        self.end("PyList_Size", &args, None);
+        out
+    }
+
+    /// `PyTuple_GetItem`: returns a **borrowed** reference.
+    pub fn py_tuple_get_item(&mut self, tuple: PyPtr, index: i64) -> Result<PyPtr, PyError> {
+        let args = [tuple];
+        self.begin("PyTuple_GetItem", &args)?;
+        let tv = self.read_value(tuple, "PyTuple_GetItem")?;
+        match tv {
+            PyValue::Tuple(items) => {
+                if index < 0 || index as usize >= items.len() {
+                    self.py.set_exception(Some(PyErrState {
+                        kind: "IndexError".into(),
+                        message: "tuple index out of range".into(),
+                    }));
+                    return Err(PyError::Raised);
+                }
+                let item = items[index as usize];
+                self.end("PyTuple_GetItem", &args, Some(item));
+                Ok(item)
+            }
+            other => Err(self.type_error(format!("expected tuple, got {}", other.type_name()))),
+        }
+    }
+
+    /// `PyString_FromString`: a new string reference.
+    pub fn py_string_from_string(&mut self, s: &str) -> Result<PyPtr, PyError> {
+        self.begin("PyString_FromString", &[])?;
+        let p = self.py.arena_mut().alloc(PyValue::Str(s.to_string()));
+        self.end("PyString_FromString", &[], Some(p));
+        Ok(p)
+    }
+
+    /// `PyString_AsString`: reads the C string out of a `str` object.
+    /// Through a dangling pointer this "works" until the slot is reused —
+    /// the Figure 11 behaviour.
+    pub fn py_string_as_string(&mut self, p: PyPtr) -> Result<String, PyError> {
+        let args = [p];
+        self.begin("PyString_AsString", &args)?;
+        let v = self.read_value(p, "PyString_AsString")?;
+        let out = match v {
+            PyValue::Str(s) => Ok(s),
+            other => Err(self.type_error(format!("expected string, got {}", other.type_name()))),
+        };
+        self.end("PyString_AsString", &args, None);
+        out
+    }
+
+    /// `PyInt_FromLong`.
+    pub fn py_int_from_long(&mut self, v: i64) -> Result<PyPtr, PyError> {
+        self.begin("PyInt_FromLong", &[])?;
+        let p = self.py.arena_mut().alloc(PyValue::Int(v));
+        self.end("PyInt_FromLong", &[], Some(p));
+        Ok(p)
+    }
+
+    /// `PyInt_AsLong`.
+    pub fn py_int_as_long(&mut self, p: PyPtr) -> Result<i64, PyError> {
+        let args = [p];
+        self.begin("PyInt_AsLong", &args)?;
+        let v = self.read_value(p, "PyInt_AsLong")?;
+        let out = match v {
+            PyValue::Int(i) => Ok(i),
+            other => Err(self.type_error(format!("expected int, got {}", other.type_name()))),
+        };
+        self.end("PyInt_AsLong", &args, None);
+        out
+    }
+
+    /// `Py_INCREF` (as the macro-replacing function of Section 7.2).
+    pub fn py_incref(&mut self, p: PyPtr) -> Result<(), PyError> {
+        let args = [p];
+        self.begin("Py_IncRef", &args)?;
+        let _ = self.py.arena_mut().incref(p);
+        self.end("Py_IncRef", &args, None);
+        Ok(())
+    }
+
+    /// `Py_DECREF` (macro-replacing function). A decref through a dangling
+    /// pointer corrupts the heap — the raw interpreter crashes.
+    pub fn py_decref(&mut self, p: PyPtr) -> Result<(), PyError> {
+        let args = [p];
+        self.begin("Py_DecRef", &args)?;
+        match self.py.arena_mut().decref(p) {
+            Ok(_freed) => {
+                self.end("Py_DecRef", &args, None);
+                Ok(())
+            }
+            Err(_) => Err(self.crash("double free or corruption in Py_DECREF")),
+        }
+    }
+
+    /// `PyErr_SetString`.
+    pub fn py_err_set_string(&mut self, kind: &str, message: &str) -> Result<(), PyError> {
+        self.begin("PyErr_SetString", &[])?;
+        self.py.set_exception(Some(PyErrState {
+            kind: kind.to_string(),
+            message: message.to_string(),
+        }));
+        self.end("PyErr_SetString", &[], None);
+        Ok(())
+    }
+
+    /// `PyErr_Occurred` (truthiness only).
+    pub fn py_err_occurred(&mut self) -> Result<bool, PyError> {
+        self.begin("PyErr_Occurred", &[])?;
+        let pending = self.py.exception().is_some();
+        self.end("PyErr_Occurred", &[], None);
+        Ok(pending)
+    }
+
+    /// `PyErr_Clear`.
+    pub fn py_err_clear(&mut self) -> Result<(), PyError> {
+        self.begin("PyErr_Clear", &[])?;
+        self.py.set_exception(None);
+        self.end("PyErr_Clear", &[], None);
+        Ok(())
+    }
+
+    /// `PyGILState_Ensure` (reentrant acquire).
+    pub fn py_gil_ensure(&mut self) -> Result<(), PyError> {
+        self.begin("PyGILState_Ensure", &[])?;
+        let t = self.thread;
+        if !self.py.gil_mut().ensure(t) {
+            return Err(self.crash("deadlock: GIL held by another thread"));
+        }
+        self.end("PyGILState_Ensure", &[], None);
+        Ok(())
+    }
+
+    /// `PyGILState_Release`.
+    pub fn py_gil_release(&mut self) -> Result<(), PyError> {
+        self.begin("PyGILState_Release", &[])?;
+        let t = self.thread;
+        let _ = self.py.gil_mut().release(t);
+        self.end("PyGILState_Release", &[], None);
+        Ok(())
+    }
+
+    /// `PyEval_SaveThread`: releases the GIL around blocking I/O.
+    pub fn py_eval_save_thread(&mut self) -> Result<(), PyError> {
+        self.begin("PyEval_SaveThread", &[])?;
+        let t = self.thread;
+        let _ = self.py.gil_mut().release(t);
+        self.end("PyEval_SaveThread", &[], None);
+        Ok(())
+    }
+
+    /// `PyEval_RestoreThread`: non-reentrant re-acquire; double acquire by
+    /// the same thread self-deadlocks.
+    pub fn py_eval_restore_thread(&mut self) -> Result<(), PyError> {
+        self.begin("PyEval_RestoreThread", &[])?;
+        let t = self.thread;
+        match self.py.gil_mut().acquire_nonreentrant(t) {
+            Ok(()) => {
+                self.end("PyEval_RestoreThread", &[], None);
+                Ok(())
+            }
+            Err(GilError::SelfDeadlock) => {
+                Err(self.crash("deadlock: thread re-acquired the GIL it already holds"))
+            }
+            Err(GilError::WouldBlock) => Err(self.crash("deadlock: GIL held by another thread")),
+        }
+    }
+
+    /// `Py_None` (a borrowed reference to the immortal singleton).
+    pub fn py_none(&mut self) -> Result<PyPtr, PyError> {
+        self.begin("Py_None", &[])?;
+        let none = self.py.none();
+        self.end("Py_None", &[], Some(none));
+        Ok(none)
+    }
+}
+
+fn arena_value_mut(py: &mut Python, p: PyPtr) -> Option<&mut PyValue> {
+    if py.arena().is_alive(p) {
+        py.arena_mut().value_mut(p)
+    } else {
+        None
+    }
+}
+
+struct BuildParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    args: &'a [BuildArg],
+    next: usize,
+}
+
+impl BuildParser<'_> {
+    fn take_arg(&mut self) -> Result<&BuildArg, String> {
+        let a = self
+            .args
+            .get(self.next)
+            .ok_or("not enough arguments for format string")?;
+        self.next += 1;
+        Ok(a)
+    }
+
+    fn parse_all(&mut self, py: &mut Python) -> Result<PyPtr, String> {
+        let first = self.parse_one(py)?;
+        if self.chars.peek().is_some() {
+            // Multiple top-level items form a tuple, as in CPython.
+            let mut items = vec![first];
+            while self.chars.peek().is_some() {
+                items.push(self.parse_one(py)?);
+            }
+            return Ok(py.arena_mut().alloc(PyValue::Tuple(items)));
+        }
+        Ok(first)
+    }
+
+    fn parse_one(&mut self, py: &mut Python) -> Result<PyPtr, String> {
+        match self.chars.next() {
+            Some('i') => {
+                let BuildArg::Int(v) = self.take_arg()? else {
+                    return Err("format `i` expects an integer argument".into());
+                };
+                Ok(py.arena_mut().alloc(PyValue::Int(*v)))
+            }
+            Some('s') => {
+                let BuildArg::Str(s) = self.take_arg()? else {
+                    return Err("format `s` expects a string argument".into());
+                };
+                let s = s.clone();
+                Ok(py.arena_mut().alloc(PyValue::Str(s)))
+            }
+            Some(open @ ('[' | '(')) => {
+                let close = if open == '[' { ']' } else { ')' };
+                let mut items = Vec::new();
+                loop {
+                    match self.chars.peek() {
+                        None => return Err(format!("unterminated `{open}` in format")),
+                        Some(&c) if c == close => {
+                            self.chars.next();
+                            break;
+                        }
+                        Some(_) => items.push(self.parse_one(py)?),
+                    }
+                }
+                let value = if open == '[' {
+                    PyValue::List(items)
+                } else {
+                    PyValue::Tuple(items)
+                };
+                Ok(py.arena_mut().alloc(value))
+            }
+            Some(c) => Err(format!("bad format char `{c}`")),
+            None => Err("empty format string".into()),
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The synthesized Python/C dynamic checker (paper Section 7.2).
+//!
+//! "Our synthesizer takes a specification file that lists which functions
+//! return new or borrowed references. The generated checker detects memory
+//! management errors by tracking co-owned references and their borrowers.
+//! […] When a co-owner relinquishes a reference by decrementing its count,
+//! all its borrowed references become invalid. If the program uses an
+//! invalid borrowed reference, the checker signals an error."
+//!
+//! The same three constraint classes as the JNI appear here: interpreter
+//! state (GIL + exceptions), types (handled dynamically by the
+//! interpreter), and resources (reference counts); [`machines`] declares
+//! them in the shared `jinn-fsm` formalism.
+
+use std::collections::HashMap;
+
+use jinn_fsm::{ConstraintClass, Direction, EntityKind, MachineSpec};
+
+use crate::api::{PyCall, PyInterpose, PyViolation, RefReturn};
+use crate::interp::Python;
+use crate::object::PyPtr;
+
+/// The Python/C state machines, in the paper's three constraint classes.
+pub fn machines() -> Vec<MachineSpec> {
+    vec![
+        gil_machine(),
+        py_exception_machine(),
+        borrowed_ref_machine(),
+    ]
+}
+
+/// Interpreter-state machine: the GIL must be held around API calls.
+pub fn gil_machine() -> MachineSpec {
+    MachineSpec::builder("gil", ConstraintClass::RuntimeState)
+        .entity(EntityKind::Thread)
+        .state("Held")
+        .state("Released")
+        .error_state(
+            "Error:CallWithoutGil",
+            "Python/C call without holding the GIL in {function}",
+        )
+        .transition("Release", "Held", "Released", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "PyEval_SaveThread or PyGILState_Release",
+            )
+        })
+        .transition("Acquire", "Released", "Held", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "PyEval_RestoreThread or PyGILState_Ensure",
+            )
+        })
+        .transition("UnlockedCall", "Released", "Error:CallWithoutGil", |t| {
+            t.on(
+                Direction::CallCToJava,
+                "any GIL-requiring Python/C function",
+            )
+        })
+        .build()
+        .expect("gil machine is well-formed")
+}
+
+/// Interpreter-state machine: pending exceptions must be handled before
+/// further API calls (mirrors the JNI exception machine).
+pub fn py_exception_machine() -> MachineSpec {
+    MachineSpec::builder("py-exception", ConstraintClass::RuntimeState)
+        .entity(EntityKind::Thread)
+        .state("NoException")
+        .state("ExceptionPending")
+        .error_state(
+            "Error:SensitiveCallWithPending",
+            "Python/C call with an exception pending in {function}",
+        )
+        .transition("Raise", "NoException", "ExceptionPending", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "PyErr_SetString or any raising call",
+            )
+        })
+        .transition("Handle", "ExceptionPending", "NoException", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "PyErr_Clear or propagation to Python",
+            )
+        })
+        .transition(
+            "SensitiveCall",
+            "ExceptionPending",
+            "Error:SensitiveCallWithPending",
+            |t| t.on(Direction::CallCToJava, "any non-PyErr_* function"),
+        )
+        .build()
+        .expect("py-exception machine is well-formed")
+}
+
+/// Resource machine: co-owned and borrowed references (Figure 11's bug is
+/// the `UseAfterOwnerDied` transition).
+pub fn borrowed_ref_machine() -> MachineSpec {
+    MachineSpec::builder("borrowed-reference", ConstraintClass::Resource)
+        .entity(EntityKind::Reference)
+        .state("BeforeAcquire")
+        .state("CoOwned")
+        .state("Borrowed")
+        .state("OwnerDied")
+        .error_state(
+            "Error:DanglingBorrow",
+            "use of a borrowed reference whose co-owner released it, in {function}",
+        )
+        .error_state(
+            "Error:OverRelease",
+            "Py_DECREF without matching ownership in {function}",
+        )
+        .error_state(
+            "Error:Leak",
+            "co-owned reference never released (interpreter shutdown)",
+        )
+        .transition("AcquireNew", "BeforeAcquire", "CoOwned", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "function returning a new reference, e.g. Py_BuildValue",
+            )
+        })
+        .transition("Borrow", "BeforeAcquire", "Borrowed", |t| {
+            t.on(
+                Direction::ReturnJavaToC,
+                "function returning a borrowed reference, e.g. PyList_GetItem",
+            )
+        })
+        .transition("OwnerRelease", "Borrowed", "OwnerDied", |t| {
+            t.on(Direction::CallCToJava, "Py_DECREF of the co-owner")
+        })
+        .transition(
+            "UseAfterOwnerDied",
+            "OwnerDied",
+            "Error:DanglingBorrow",
+            |t| {
+                t.on(
+                    Direction::CallCToJava,
+                    "any function taking the borrowed reference",
+                )
+            },
+        )
+        .transition(
+            "ReleaseWithoutOwnership",
+            "Borrowed",
+            "Error:OverRelease",
+            |t| t.on(Direction::CallCToJava, "Py_DECREF of a borrowed reference"),
+        )
+        .transition("LeakAtExit", "CoOwned", "Error:Leak", |t| {
+            t.on(Direction::ReturnCToJava, "interpreter shutdown")
+        })
+        .build()
+        .expect("borrowed-reference machine is well-formed")
+}
+
+/// The generated use-after-release checker for Python/C reference
+/// counting, plus the GIL and exception-state checks.
+#[derive(Debug, Default)]
+pub struct PyChecker {
+    /// Ownership counts the checker has *observed* per pointer.
+    owned: HashMap<PyPtr, u32>,
+    /// borrowed pointer → the owner it borrows from.
+    borrows: HashMap<PyPtr, PyPtr>,
+    /// Violations found (also returned through the hook results).
+    violations: u64,
+}
+
+impl PyChecker {
+    /// A fresh checker.
+    pub fn new() -> PyChecker {
+        PyChecker::default()
+    }
+
+    /// Number of violations reported so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn is_valid(&self, py: &Python, p: PyPtr) -> bool {
+        if p == py.none() {
+            return true;
+        }
+        let mut cur = p;
+        for _ in 0..64 {
+            if self.owned.get(&cur).copied().unwrap_or(0) > 0 {
+                return true;
+            }
+            match self.borrows.get(&cur) {
+                Some(&src) => cur = src,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    fn violation(&mut self, machine: &'static str, function: &str, message: String) -> PyViolation {
+        self.violations += 1;
+        PyViolation {
+            machine,
+            function: function.to_string(),
+            message,
+        }
+    }
+}
+
+impl PyInterpose for PyChecker {
+    fn name(&self) -> &str {
+        "jinn-pyc"
+    }
+
+    fn pre(&mut self, py: &Python, call: &PyCall<'_>) -> Option<PyViolation> {
+        let spec = call.spec;
+        // Interpreter-state machines.
+        if spec.requires_gil && !py.gil().held_by(call.thread) {
+            return Some(self.violation(
+                "gil",
+                spec.name,
+                format!("{} called without holding the GIL", spec.name),
+            ));
+        }
+        if !spec.err_oblivious && py.exception().is_some() {
+            let kind = py.exception().map(|e| e.kind.clone()).unwrap_or_default();
+            return Some(self.violation(
+                "py-exception",
+                spec.name,
+                format!("{} called with a {} pending", spec.name, kind),
+            ));
+        }
+        // Resource machine: uses and releases.
+        for (i, &p) in call.ptr_args.iter().enumerate() {
+            if p.is_placeholder() {
+                continue;
+            }
+            if spec.name == "Py_DecRef" {
+                // A release must consume an *owned* reference.
+                if self.owned.get(&p).copied().unwrap_or(0) > 0 {
+                    continue; // consumed in post
+                }
+                let message = if self.borrows.contains_key(&p) {
+                    format!("Py_DECREF of a borrowed reference {p} (the caller does not co-own it)")
+                } else {
+                    format!("Py_DECREF of {p} without matching ownership (double release?)")
+                };
+                return Some(self.violation("borrowed-reference", spec.name, message));
+            }
+            if !self.is_valid(py, p) {
+                let why = if self.borrows.contains_key(&p) {
+                    "its co-owner released it"
+                } else {
+                    "it was never acquired or already released"
+                };
+                return Some(self.violation(
+                    "borrowed-reference",
+                    spec.name,
+                    format!("argument {i} ({p}) is an invalid reference: {why}"),
+                ));
+            }
+        }
+        None
+    }
+
+    fn post(&mut self, py: &Python, call: &PyCall<'_>, ret: Option<PyPtr>) -> Option<PyViolation> {
+        let spec = call.spec;
+        match spec.name {
+            "Py_IncRef" => {
+                if let Some(&p) = call.ptr_args.first() {
+                    *self.owned.entry(p).or_insert(0) += 1;
+                }
+                return None;
+            }
+            "Py_DecRef" => {
+                if let Some(&p) = call.ptr_args.first() {
+                    if let Some(c) = self.owned.get_mut(&p) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                return None;
+            }
+            _ => {}
+        }
+        if let Some(idx) = spec.steals_arg {
+            if let Some(&p) = call.ptr_args.get(idx) {
+                // Ownership moved into the container: the caller's token is
+                // consumed, and the pointer now effectively borrows from it.
+                if let Some(c) = self.owned.get_mut(&p) {
+                    *c = c.saturating_sub(1);
+                }
+                if let Some(&container) = call.ptr_args.first() {
+                    self.borrows.entry(p).or_insert(container);
+                }
+            }
+        }
+        match (spec.returns, ret) {
+            (RefReturn::New, Some(r)) => {
+                *self.owned.entry(r).or_insert(0) += 1;
+            }
+            (RefReturn::Borrowed, Some(r))
+                if r != py.none() && self.owned.get(&r).copied().unwrap_or(0) == 0 =>
+            {
+                if let Some(src) = spec
+                    .borrow_source
+                    .and_then(|i| call.ptr_args.get(i))
+                    .copied()
+                {
+                    self.borrows.entry(r).or_insert(src);
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+
+    fn shutdown(&mut self, py: &Python) -> Vec<PyViolation> {
+        let mut out = Vec::new();
+        let mut leaked: Vec<&PyPtr> = self
+            .owned
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(p, _)| p)
+            .collect();
+        leaked.sort();
+        for p in leaked {
+            out.push(PyViolation {
+                machine: "borrowed-reference",
+                function: "Py_Finalize".to_string(),
+                message: format!("co-owned reference {p} was never released (leak)"),
+            });
+        }
+        self.violations += out.len() as u64;
+        let _ = py;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_machines_in_three_classes() {
+        let ms = machines();
+        assert_eq!(ms.len(), 3);
+        assert!(ms
+            .iter()
+            .any(|m| m.class() == ConstraintClass::RuntimeState));
+        assert!(ms.iter().any(|m| m.class() == ConstraintClass::Resource));
+        for m in &ms {
+            assert!(m.error_states().count() >= 1);
+            assert_eq!(m.reachable_states().len(), m.states().len(), "{}", m.name());
+        }
+    }
+}

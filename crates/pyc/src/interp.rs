@@ -1,0 +1,253 @@
+//! The mini Python interpreter state: arena, GIL, exception state.
+
+use std::fmt;
+
+use crate::object::{Arena, PyPtr, PyValue};
+
+/// A thread interacting with the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PyThread(pub u16);
+
+impl fmt::Display for PyThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pythread-{}", self.0)
+    }
+}
+
+/// The Global Interpreter Lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GilState {
+    holder: Option<PyThread>,
+    count: u32,
+}
+
+impl GilState {
+    /// The current holder, if any.
+    pub fn holder(&self) -> Option<PyThread> {
+        self.holder
+    }
+
+    /// Returns `true` if `t` currently holds the GIL.
+    pub fn held_by(&self, t: PyThread) -> bool {
+        self.holder == Some(t)
+    }
+
+    /// Reentrant acquire (`PyGILState_Ensure`). Returns `false` when
+    /// another thread holds the lock — the caller would block.
+    pub fn ensure(&mut self, t: PyThread) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(t);
+                self.count = 1;
+                true
+            }
+            Some(h) if h == t => {
+                self.count += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Non-reentrant acquire (`PyEval_RestoreThread`). A second acquire by
+    /// the *same* thread self-deadlocks — the classic embedding bug the
+    /// paper mentions ("the programmer may accidentally acquire the GIL
+    /// twice").
+    pub fn acquire_nonreentrant(&mut self, t: PyThread) -> Result<(), GilError> {
+        match self.holder {
+            None => {
+                self.holder = Some(t);
+                self.count = 1;
+                Ok(())
+            }
+            Some(h) if h == t => Err(GilError::SelfDeadlock),
+            Some(_) => Err(GilError::WouldBlock),
+        }
+    }
+
+    /// Release one acquisition. Returns `false` if `t` does not hold it.
+    pub fn release(&mut self, t: PyThread) -> bool {
+        if self.holder != Some(t) {
+            return false;
+        }
+        self.count -= 1;
+        if self.count == 0 {
+            self.holder = None;
+        }
+        true
+    }
+}
+
+/// GIL acquisition failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GilError {
+    /// The same thread already holds the non-reentrant lock.
+    SelfDeadlock,
+    /// Another thread holds the lock.
+    WouldBlock,
+}
+
+/// A pending Python exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyErrState {
+    /// Exception type name, e.g. `"TypeError"`.
+    pub kind: String,
+    /// Message.
+    pub message: String,
+}
+
+/// One embedded Python interpreter.
+#[derive(Debug)]
+pub struct Python {
+    arena: Arena,
+    none: PyPtr,
+    gil: GilState,
+    exception: Option<PyErrState>,
+    dead: Option<String>,
+    api_calls: u64,
+}
+
+impl Python {
+    /// Initializes an interpreter; the main thread holds the GIL, as after
+    /// `Py_Initialize`.
+    pub fn new() -> Python {
+        let mut arena = Arena::new();
+        let none = arena.alloc(PyValue::None);
+        // None is immortal: give it an effectively infinite count.
+        for _ in 0..1_000 {
+            arena.incref(none);
+        }
+        let mut gil = GilState::default();
+        gil.ensure(Python::MAIN);
+        Python {
+            arena,
+            none,
+            gil,
+            exception: None,
+            dead: None,
+            api_calls: 0,
+        }
+    }
+
+    /// The main thread.
+    pub const MAIN: PyThread = PyThread(0);
+
+    /// The arena.
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Mutable arena access (API layer and tests).
+    pub fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
+    /// The immortal `None` object.
+    pub fn none(&self) -> PyPtr {
+        self.none
+    }
+
+    /// GIL state.
+    pub fn gil(&self) -> &GilState {
+        &self.gil
+    }
+
+    /// Mutable GIL state.
+    pub fn gil_mut(&mut self) -> &mut GilState {
+        &mut self.gil
+    }
+
+    /// The pending exception, if any.
+    pub fn exception(&self) -> Option<&PyErrState> {
+        self.exception.as_ref()
+    }
+
+    /// Sets or clears the pending exception.
+    pub fn set_exception(&mut self, e: Option<PyErrState>) {
+        self.exception = e;
+    }
+
+    /// Records an interpreter crash (stays dead).
+    pub fn kill(&mut self, reason: impl Into<String>) {
+        if self.dead.is_none() {
+            self.dead = Some(reason.into());
+        }
+    }
+
+    /// The crash reason, if the interpreter died.
+    pub fn death(&self) -> Option<&str> {
+        self.dead.as_deref()
+    }
+
+    /// Count of Python/C API calls made (transition counting).
+    pub fn api_calls(&self) -> u64 {
+        self.api_calls
+    }
+
+    pub(crate) fn count_api_call(&mut self) {
+        self.api_calls += 1;
+    }
+
+    /// Live objects excluding the immortal `None`.
+    pub fn live_objects(&self) -> usize {
+        self.arena.live().saturating_sub(1)
+    }
+}
+
+impl Default for Python {
+    fn default() -> Self {
+        Python::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gil_reentrancy() {
+        let mut g = GilState::default();
+        let (a, b) = (PyThread(0), PyThread(1));
+        assert!(g.ensure(a));
+        assert!(g.ensure(a), "PyGILState_Ensure is reentrant");
+        assert!(!g.ensure(b), "other thread blocks");
+        assert!(g.release(a));
+        assert!(g.held_by(a));
+        assert!(g.release(a));
+        assert!(!g.held_by(a));
+        assert!(g.ensure(b));
+        let _ = b;
+    }
+
+    #[test]
+    fn gil_self_deadlock() {
+        let mut g = GilState::default();
+        let t = PyThread(0);
+        g.acquire_nonreentrant(t).unwrap();
+        assert_eq!(g.acquire_nonreentrant(t), Err(GilError::SelfDeadlock));
+    }
+
+    #[test]
+    fn release_without_holding_fails() {
+        let mut g = GilState::default();
+        assert!(!g.release(PyThread(3)));
+    }
+
+    #[test]
+    fn interpreter_boots_with_gil_and_none() {
+        let py = Python::new();
+        assert!(py.gil().held_by(Python::MAIN));
+        assert!(py.arena().is_alive(py.none()));
+        assert_eq!(py.live_objects(), 0);
+        assert!(py.exception().is_none());
+        assert!(py.death().is_none());
+    }
+
+    #[test]
+    fn kill_latches() {
+        let mut py = Python::new();
+        py.kill("segfault");
+        py.kill("other");
+        assert_eq!(py.death(), Some("segfault"));
+    }
+}

@@ -1,0 +1,351 @@
+//! The reference-counted Python object arena.
+//!
+//! Objects live in an arena indexed by [`PyPtr`] — the simulated
+//! `PyObject*`. Like a real C pointer, a `PyPtr`'s *address* stays
+//! unchanged after the object dies, and the slot may be reused for a new
+//! object; a dangling pointer then aliases unrelated data, which is
+//! exactly the failure mode of the paper's Figure 11. The `PyPtr`
+//! additionally carries a hidden generation tag — invisible to the
+//! simulated C code and to checkers' *reports*, but letting the simulation
+//! itself classify what a stale read really hit.
+
+use std::fmt;
+
+/// A simulated `PyObject*`: an arena address plus the simulation's hidden
+/// provenance tag. Two pointers with the same [`PyPtr::addr`] are the same
+/// C pointer value even when their generations differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PyPtr {
+    index: u32,
+    generation: u32,
+}
+
+impl PyPtr {
+    /// The simulated address (collides on slot reuse, like real `malloc`).
+    pub fn addr(self) -> u64 {
+        0x6000_0000u64 + u64::from(self.index) * 0x40
+    }
+
+    /// The arena slot index.
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// A placeholder for non-pointer positions in hook argument lists;
+    /// never dereferenceable.
+    pub(crate) fn placeholder() -> PyPtr {
+        PyPtr {
+            index: u32::MAX,
+            generation: 0,
+        }
+    }
+
+    /// Returns `true` for the placeholder.
+    pub(crate) fn is_placeholder(self) -> bool {
+        self.index == u32::MAX
+    }
+}
+
+impl fmt::Display for PyPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.addr())
+    }
+}
+
+/// The value of a Python object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyValue {
+    /// `None`
+    None,
+    /// `int`
+    Int(i64),
+    /// `str`
+    Str(String),
+    /// `list`
+    List(Vec<PyPtr>),
+    /// `tuple`
+    Tuple(Vec<PyPtr>),
+}
+
+impl PyValue {
+    /// The Python type name.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            PyValue::None => "NoneType",
+            PyValue::Int(_) => "int",
+            PyValue::Str(_) => "str",
+            PyValue::List(_) => "list",
+            PyValue::Tuple(_) => "tuple",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PySlot {
+    generation: u32,
+    refcnt: i64,
+    alive: bool,
+    value: PyValue,
+}
+
+/// A `Py_DECREF`/`Py_INCREF` through a dangling pointer (freed or
+/// slot-recycled): C just scribbled on memory it does not own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DanglingPointer;
+
+impl fmt::Display for DanglingPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("refcount operation through a dangling pointer")
+    }
+}
+
+impl std::error::Error for DanglingPointer {}
+
+/// What reading through a pointer produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Deref<'a> {
+    /// The object is alive.
+    Alive(&'a PyValue),
+    /// The object was freed and its slot not yet reused: the stale data is
+    /// still there, so buggy reads "work".
+    Stale(&'a PyValue),
+    /// The slot was reused for an unrelated object: reads return that
+    /// unrelated value (silent corruption).
+    Aliased(&'a PyValue),
+    /// The pointer never pointed at an object.
+    Wild,
+}
+
+/// The arena of all Python objects.
+#[derive(Debug, Default)]
+pub struct Arena {
+    slots: Vec<PySlot>,
+    free: Vec<u32>,
+    live: usize,
+    allocated_total: u64,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Number of live objects.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total allocations ever.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated_total
+    }
+
+    /// Allocates a new object with refcount 1.
+    pub fn alloc(&mut self, value: PyValue) -> PyPtr {
+        self.live += 1;
+        self.allocated_total += 1;
+        match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.generation += 1;
+                s.refcnt = 1;
+                s.alive = true;
+                s.value = value;
+                PyPtr {
+                    index: i,
+                    generation: s.generation,
+                }
+            }
+            None => {
+                self.slots.push(PySlot {
+                    generation: 0,
+                    refcnt: 1,
+                    alive: true,
+                    value,
+                });
+                PyPtr {
+                    index: self.slots.len() as u32 - 1,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Reads through a pointer, classifying staleness.
+    pub fn deref(&self, p: PyPtr) -> Deref<'_> {
+        match self.slots.get(p.index as usize) {
+            None => Deref::Wild,
+            Some(s) if s.generation == p.generation && s.alive => Deref::Alive(&s.value),
+            Some(s) if s.generation == p.generation => Deref::Stale(&s.value),
+            // The slot moved on to a different object (alive or not): the
+            // pointer aliases whatever is there now.
+            Some(s) => Deref::Aliased(&s.value),
+        }
+    }
+
+    /// The object's current refcount (`Py_REFCNT`), or `None` if this
+    /// pointer's object is dead.
+    pub fn refcnt(&self, p: PyPtr) -> Option<i64> {
+        self.slots
+            .get(p.index as usize)
+            .filter(|s| s.alive && s.generation == p.generation)
+            .map(|s| s.refcnt)
+    }
+
+    /// Returns `true` if this pointer's object is alive.
+    pub fn is_alive(&self, p: PyPtr) -> bool {
+        matches!(self.deref(p), Deref::Alive(_))
+    }
+
+    /// Mutable access to a live object's value.
+    pub fn value_mut(&mut self, p: PyPtr) -> Option<&mut PyValue> {
+        self.slots
+            .get_mut(p.index as usize)
+            .filter(|s| s.alive && s.generation == p.generation)
+            .map(|s| &mut s.value)
+    }
+
+    /// `Py_INCREF` mechanics. Returns `false` — while still "scribbling",
+    /// as real C would — when the pointer is dangling.
+    pub fn incref(&mut self, p: PyPtr) -> bool {
+        match self.slots.get_mut(p.index as usize) {
+            Some(s) if s.alive && s.generation == p.generation => {
+                s.refcnt += 1;
+                true
+            }
+            Some(s) => {
+                s.refcnt += 1; // scribble on freed/unrelated memory
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// `Py_DECREF` mechanics: decrements and frees at zero (recursively
+    /// releasing container children). Returns the pointers freed.
+    ///
+    /// # Errors
+    ///
+    /// [`DanglingPointer`] for a decref through a dead or recycled pointer
+    /// (the refcount scribble still happens, as in C).
+    pub fn decref(&mut self, p: PyPtr) -> Result<Vec<PyPtr>, DanglingPointer> {
+        let Some(s) = self.slots.get_mut(p.index as usize) else {
+            return Err(DanglingPointer);
+        };
+        if !(s.alive && s.generation == p.generation) {
+            s.refcnt -= 1; // scribble
+            return Err(DanglingPointer);
+        }
+        s.refcnt -= 1;
+        if s.refcnt > 0 {
+            return Ok(Vec::new());
+        }
+        // Deallocate, then cascade to children (the interpreter-internal
+        // path that bypasses the checked API — Section 7.2).
+        let mut freed = vec![p];
+        let mut worklist = vec![p];
+        while let Some(q) = worklist.pop() {
+            let children = {
+                let s = &mut self.slots[q.index as usize];
+                s.alive = false;
+                self.free.push(q.index);
+                self.live -= 1;
+                match &s.value {
+                    PyValue::List(items) | PyValue::Tuple(items) => items.clone(),
+                    _ => Vec::new(),
+                }
+            };
+            for c in children {
+                let cs = &mut self.slots[c.index as usize];
+                if cs.alive && cs.generation == c.generation {
+                    cs.refcnt -= 1;
+                    if cs.refcnt <= 0 {
+                        freed.push(c);
+                        worklist.push(c);
+                    }
+                }
+            }
+        }
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_deref() {
+        let mut a = Arena::new();
+        let p = a.alloc(PyValue::Int(7));
+        assert_eq!(a.refcnt(p), Some(1));
+        assert!(matches!(a.deref(p), Deref::Alive(PyValue::Int(7))));
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn decref_frees_and_reads_become_stale() {
+        let mut a = Arena::new();
+        let p = a.alloc(PyValue::Str("monty".into()));
+        let freed = a.decref(p).unwrap();
+        assert_eq!(freed, vec![p]);
+        assert!(!a.is_alive(p));
+        // The stale data is still readable — the bug "works".
+        assert!(matches!(a.deref(p), Deref::Stale(PyValue::Str(s)) if s == "monty"));
+    }
+
+    #[test]
+    fn slot_reuse_aliases_the_old_pointer_only() {
+        let mut a = Arena::new();
+        let p = a.alloc(PyValue::Int(1));
+        a.decref(p).unwrap();
+        let q = a.alloc(PyValue::Str("other".into()));
+        assert_eq!(p.addr(), q.addr(), "same C pointer value after reuse");
+        assert!(matches!(a.deref(p), Deref::Aliased(PyValue::Str(_))));
+        assert!(matches!(a.deref(q), Deref::Alive(PyValue::Str(_))));
+    }
+
+    #[test]
+    fn container_children_cascade() {
+        let mut a = Arena::new();
+        let s = a.alloc(PyValue::Str("Eric".into()));
+        let list = a.alloc(PyValue::List(vec![s]));
+        let freed = a.decref(list).unwrap();
+        assert!(freed.contains(&list));
+        assert!(freed.contains(&s), "child freed with the container");
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn incref_keeps_children_alive() {
+        let mut a = Arena::new();
+        let s = a.alloc(PyValue::Str("Graham".into()));
+        a.incref(s);
+        let list = a.alloc(PyValue::List(vec![s]));
+        a.decref(list).unwrap();
+        assert!(a.is_alive(s), "second owner keeps the string alive");
+        assert_eq!(a.refcnt(s), Some(1));
+    }
+
+    #[test]
+    fn double_decref_is_an_error() {
+        let mut a = Arena::new();
+        let p = a.alloc(PyValue::Int(3));
+        a.decref(p).unwrap();
+        assert!(a.decref(p).is_err());
+        assert!(!a.incref(p));
+    }
+
+    #[test]
+    fn wild_pointer() {
+        let a = Arena::new();
+        assert!(matches!(
+            a.deref(PyPtr {
+                index: 99,
+                generation: 0
+            }),
+            Deref::Wild
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! Python/C microbenchmarks: one small extension routine per error state
+//! of the Section 7 machines, runnable with and without the synthesized
+//! checker (the Python/C analogue of the JNI microbenchmark suite).
+
+use crate::api::{BuildArg, PyEnv, PyError};
+use crate::session::{dangle_bug, PyRunOutcome, PySession};
+
+/// One Python/C microbenchmark.
+pub struct PyScenario {
+    /// Name, e.g. `"DanglingBorrow"`.
+    pub name: &'static str,
+    /// The machine whose error state it triggers.
+    pub machine: &'static str,
+    /// Whether the bug is a silent leak (reported only at shutdown).
+    pub leaks: bool,
+    /// The extension routine.
+    pub body: fn(&mut PyEnv<'_>) -> Result<(), PyError>,
+}
+
+impl std::fmt::Debug for PyScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PyScenario")
+            .field("name", &self.name)
+            .field("machine", &self.machine)
+            .finish_non_exhaustive()
+    }
+}
+
+fn dangling_borrow(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    dangle_bug(env).map(|_| ())
+}
+
+fn decref_borrowed(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    let list = env.py_build_value("[s]", &[BuildArg::Str("only".into())])?;
+    let item = env.py_list_get_item(list, 0)?;
+    env.py_decref(item)?; // not co-owned!
+    env.py_decref(list)?;
+    Ok(())
+}
+
+fn double_decref(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    let obj = env.py_int_from_long(1)?;
+    env.py_decref(obj)?;
+    env.py_decref(obj)?;
+    Ok(())
+}
+
+fn missing_decref(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    let _leak = env.py_string_from_string("never released")?;
+    Ok(())
+}
+
+fn call_without_gil(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    env.py_eval_save_thread()?;
+    let _ = env.py_list_new()?;
+    Ok(())
+}
+
+fn call_with_exception_pending(env: &mut PyEnv<'_>) -> Result<(), PyError> {
+    env.py_err_set_string("ValueError", "unhandled")?;
+    let _ = env.py_list_new()?;
+    Ok(())
+}
+
+/// The Python/C microbenchmarks (one per checked error state).
+pub fn py_scenarios() -> Vec<PyScenario> {
+    vec![
+        PyScenario {
+            name: "DanglingBorrow",
+            machine: "borrowed-reference",
+            leaks: false,
+            body: dangling_borrow,
+        },
+        PyScenario {
+            name: "DecrefBorrowed",
+            machine: "borrowed-reference",
+            leaks: false,
+            body: decref_borrowed,
+        },
+        PyScenario {
+            name: "DoubleDecref",
+            machine: "borrowed-reference",
+            leaks: false,
+            body: double_decref,
+        },
+        PyScenario {
+            name: "MissingDecref",
+            machine: "borrowed-reference",
+            leaks: true,
+            body: missing_decref,
+        },
+        PyScenario {
+            name: "CallWithoutGil",
+            machine: "gil",
+            leaks: false,
+            body: call_without_gil,
+        },
+        PyScenario {
+            name: "ExceptionIgnored",
+            machine: "py-exception",
+            leaks: false,
+            body: call_with_exception_pending,
+        },
+    ]
+}
+
+/// How a scenario run is classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PyBehavior {
+    /// The checker reported the violation (inline or at shutdown).
+    Detected,
+    /// The interpreter crashed or deadlocked without a diagnosis.
+    Crashed,
+    /// The program kept running (possibly leaking) with no diagnosis.
+    Silent,
+}
+
+impl std::fmt::Display for PyBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PyBehavior::Detected => "detected",
+            PyBehavior::Crashed => "crash",
+            PyBehavior::Silent => "silent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runs one scenario with or without the checker and classifies the
+/// observable behaviour.
+pub fn run_py_scenario(scenario: &PyScenario, with_checker: bool) -> PyBehavior {
+    let mut session = if with_checker {
+        PySession::with_checker()
+    } else {
+        PySession::new()
+    };
+    let outcome = session.run(scenario.body);
+    let shutdown = session.shutdown();
+    match outcome {
+        PyRunOutcome::CheckerError(_) => PyBehavior::Detected,
+        PyRunOutcome::Crashed(_) => PyBehavior::Crashed,
+        PyRunOutcome::Completed | PyRunOutcome::Raised(..) => {
+            if !shutdown.is_empty() {
+                PyBehavior::Detected
+            } else {
+                PyBehavior::Silent
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_checker_detects_every_scenario() {
+        for s in py_scenarios() {
+            assert_eq!(
+                run_py_scenario(&s, true),
+                PyBehavior::Detected,
+                "{} must be detected",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn the_plain_interpreter_never_diagnoses() {
+        for s in py_scenarios() {
+            let behaviour = run_py_scenario(&s, false);
+            assert_ne!(
+                behaviour,
+                PyBehavior::Detected,
+                "{} has no diagnosis without the checker",
+                s.name
+            );
+            // Most bugs are silent; DoubleDecref corrupts the allocator
+            // and crashes — either way, no diagnosis.
+            if s.name == "DoubleDecref" {
+                assert_eq!(behaviour, PyBehavior::Crashed);
+            } else {
+                assert_eq!(behaviour, PyBehavior::Silent, "{}", s.name);
+            }
+        }
+    }
+}

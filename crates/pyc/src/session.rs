@@ -1,0 +1,179 @@
+//! Python/C sessions and the Section 7 example programs.
+
+use crate::api::{BuildArg, PyEnv, PyError, PyInterpose, PyViolation};
+use crate::interp::{PyThread, Python};
+use crate::object::PyPtr;
+
+/// One embedded-interpreter run: the interpreter plus its attached
+/// checkers (the statically-linked analysis of Section 7.2).
+#[derive(Default)]
+pub struct PySession {
+    py: Python,
+    checkers: Vec<Box<dyn PyInterpose>>,
+}
+
+impl std::fmt::Debug for PySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PySession")
+            .field(
+                "checkers",
+                &self
+                    .checkers
+                    .iter()
+                    .map(|c| c.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a native extension routine ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PyRunOutcome {
+    /// Completed normally.
+    Completed,
+    /// Ended with a Python exception pending (type and message).
+    Raised(String, String),
+    /// The interpreter crashed or deadlocked.
+    Crashed(String),
+    /// A checker detected a violation.
+    CheckerError(PyViolation),
+}
+
+impl PySession {
+    /// A fresh interpreter with no checkers.
+    pub fn new() -> PySession {
+        PySession {
+            py: Python::new(),
+            checkers: Vec::new(),
+        }
+    }
+
+    /// A fresh interpreter with the synthesized checker attached.
+    pub fn with_checker() -> PySession {
+        let mut s = PySession::new();
+        s.attach(Box::new(crate::checker::PyChecker::new()));
+        s
+    }
+
+    /// Attaches a checker.
+    pub fn attach(&mut self, checker: Box<dyn PyInterpose>) {
+        self.checkers.push(checker);
+    }
+
+    /// The interpreter (assertions).
+    pub fn python(&self) -> &Python {
+        &self.py
+    }
+
+    /// An environment for the main thread.
+    pub fn env(&mut self) -> PyEnv<'_> {
+        PyEnv::new(&mut self.py, &mut self.checkers, Python::MAIN)
+    }
+
+    /// An environment for an arbitrary thread.
+    pub fn env_on(&mut self, thread: PyThread) -> PyEnv<'_> {
+        PyEnv::new(&mut self.py, &mut self.checkers, thread)
+    }
+
+    /// Runs a native extension routine and classifies how it ended.
+    pub fn run(
+        &mut self,
+        body: impl FnOnce(&mut PyEnv<'_>) -> Result<(), PyError>,
+    ) -> PyRunOutcome {
+        let result = {
+            let mut env = self.env();
+            body(&mut env)
+        };
+        match result {
+            Err(PyError::Detected(v)) => PyRunOutcome::CheckerError(v),
+            Err(PyError::Crash(m)) => PyRunOutcome::Crashed(m),
+            Err(PyError::Raised) | Ok(()) => {
+                if let Some(d) = self.py.death() {
+                    return PyRunOutcome::Crashed(d.to_string());
+                }
+                match self.py.exception() {
+                    Some(e) if e.kind == "JinnPyCheckError" => {
+                        PyRunOutcome::CheckerError(PyViolation {
+                            machine: "borrowed-reference",
+                            function: "<pending>".to_string(),
+                            message: e.message.clone(),
+                        })
+                    }
+                    Some(e) => PyRunOutcome::Raised(e.kind.clone(), e.message.clone()),
+                    None => PyRunOutcome::Completed,
+                }
+            }
+        }
+    }
+
+    /// Interpreter shutdown: runs the checkers' leak sweeps.
+    pub fn shutdown(&mut self) -> Vec<PyViolation> {
+        let mut out = Vec::new();
+        for c in &mut self.checkers {
+            out.extend(c.shutdown(&self.py));
+        }
+        out
+    }
+}
+
+/// The `dangle_bug` extension function of Figure 11, line for line.
+///
+/// Returns what `first` read on line 10 (the buggy use) so callers can
+/// observe the silent-corruption behaviour; under the checker the function
+/// aborts at that line instead.
+pub fn dangle_bug(env: &mut PyEnv<'_>) -> Result<String, PyError> {
+    // 4. pythons = Py_BuildValue("[ssssss]", "Eric", "Graham", ...);
+    let pythons = env.py_build_value(
+        "[ssssss]",
+        &[
+            BuildArg::Str("Eric".into()),
+            BuildArg::Str("Graham".into()),
+            BuildArg::Str("John".into()),
+            BuildArg::Str("Michael".into()),
+            BuildArg::Str("Terry".into()),
+            BuildArg::Str("Terry".into()),
+        ],
+    )?;
+    // 6. first = PyList_GetItem(pythons, 0);   (borrowed)
+    let first = env.py_list_get_item(pythons, 0)?;
+    // 7. printf("1. first = %s.\n", PyString_AsString(first));
+    let _ok_read = env.py_string_as_string(first)?;
+    // 8. Py_DECREF(pythons);                   (first is now dangling)
+    env.py_decref(pythons)?;
+    // 10. printf("2. first = %s.\n", PyString_AsString(first));   BUG
+    let second_read = env.py_string_as_string(first)?;
+    // 12-13. return Py_None (ownership via INCREF).
+    let none = env.py_none()?;
+    env.py_incref(none)?;
+    Ok(second_read)
+}
+
+/// A correct variant of [`dangle_bug`] — `first` is INCREF'd before the
+/// list dies — used by the no-false-positive tests.
+pub fn dangle_bug_fixed(env: &mut PyEnv<'_>) -> Result<String, PyError> {
+    let pythons = env.py_build_value(
+        "[ss]",
+        &[BuildArg::Str("Eric".into()), BuildArg::Str("Graham".into())],
+    )?;
+    let first = env.py_list_get_item(pythons, 0)?;
+    env.py_incref(first)?; // co-own before the list dies
+    env.py_decref(pythons)?;
+    let read = env.py_string_as_string(first)?;
+    env.py_decref(first)?;
+    Ok(read)
+}
+
+/// Re-exported convenience: returns a fresh `PyPtr` list built from
+/// strings (used by examples/benches).
+pub fn build_string_list(env: &mut PyEnv<'_>, items: &[&str]) -> Result<PyPtr, PyError> {
+    let format: String = std::iter::once('[')
+        .chain(items.iter().map(|_| 's'))
+        .chain(std::iter::once(']'))
+        .collect();
+    let args: Vec<BuildArg> = items
+        .iter()
+        .map(|s| BuildArg::Str((*s).to_string()))
+        .collect();
+    env.py_build_value(&format, &args)
+}

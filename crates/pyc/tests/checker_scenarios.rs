@@ -1,0 +1,281 @@
+//! Scenario tests for the Python/C checker (paper Section 7): each
+//! constraint class, positive and negative.
+
+use minipy::{
+    build_string_list, dangle_bug, dangle_bug_fixed, registry, spec, BuildArg, PyRunOutcome,
+    PySession, PyThread, RefReturn,
+};
+
+fn checker_error(outcome: PyRunOutcome) -> minipy::PyViolation {
+    match outcome {
+        PyRunOutcome::CheckerError(v) => v,
+        other => panic!("expected a checker error, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure_11_detected_at_the_buggy_line() {
+    let mut s = PySession::with_checker();
+    let v = checker_error(s.run(|env| dangle_bug(env).map(|_| ())));
+    assert_eq!(v.machine, "borrowed-reference");
+    assert_eq!(v.function, "PyString_AsString");
+    assert!(v.message.contains("co-owner released it"), "{}", v.message);
+}
+
+#[test]
+fn figure_11_works_by_accident_without_the_checker() {
+    let mut s = PySession::new();
+    match s.run(|env| {
+        let read = dangle_bug(env)?;
+        assert_eq!(read, "Eric", "stale memory still holds the old value");
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("the raw bug should be silent: {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_variant_is_clean_and_leak_free() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| dangle_bug_fixed(env).map(|_| ())) {
+        PyRunOutcome::Completed => {}
+        other => panic!("fixed variant flagged: {other:?}"),
+    }
+    assert!(s.shutdown().is_empty());
+    assert_eq!(s.python().live_objects(), 0, "everything released");
+}
+
+#[test]
+fn decref_of_borrowed_reference_detected() {
+    let mut s = PySession::with_checker();
+    let v = checker_error(s.run(|env| {
+        let list = build_string_list(env, &["a", "b"])?;
+        let item = env.py_list_get_item(list, 1)?; // borrowed
+        env.py_decref(item)?; // the caller does not co-own it!
+        env.py_decref(list)?;
+        Ok(())
+    }));
+    assert_eq!(v.machine, "borrowed-reference");
+    assert_eq!(v.function, "Py_DecRef");
+    assert!(v.message.contains("borrowed"), "{}", v.message);
+}
+
+#[test]
+fn double_decref_detected() {
+    let mut s = PySession::with_checker();
+    let v = checker_error(s.run(|env| {
+        let obj = env.py_int_from_long(7)?;
+        env.py_decref(obj)?;
+        env.py_decref(obj)?;
+        Ok(())
+    }));
+    assert_eq!(v.machine, "borrowed-reference");
+    assert!(
+        v.message.contains("without matching ownership"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn missing_decref_reported_at_shutdown() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        let _leak = env.py_string_from_string("kept forever")?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+    let reports = s.shutdown();
+    assert_eq!(reports.len(), 1, "{reports:?}");
+    assert!(reports[0].message.contains("never released"));
+}
+
+#[test]
+fn incref_makes_a_borrow_a_co_owner() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        let list = build_string_list(env, &["x"])?;
+        let item = env.py_list_get_item(list, 0)?;
+        env.py_incref(item)?; // promote the borrow
+        env.py_decref(list)?;
+        // Still valid: we co-own it now.
+        assert_eq!(env.py_string_as_string(item)?, "x");
+        env.py_decref(item)?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(s.shutdown().is_empty());
+}
+
+#[test]
+fn gil_violation_detected_and_reacquire_is_clean() {
+    let mut s = PySession::with_checker();
+    let v = checker_error(s.run(|env| {
+        env.py_eval_save_thread()?;
+        let _ = env.py_list_new()?;
+        Ok(())
+    }));
+    assert_eq!(v.machine, "gil");
+
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        env.py_eval_save_thread()?;
+        // ...blocking I/O happens here...
+        env.py_eval_restore_thread()?;
+        let _l = env.py_list_new()?;
+        env.py_decref(_l)?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn gil_self_deadlock_is_an_interpreter_death() {
+    let mut s = PySession::new();
+    match s.run(|env| {
+        // PyEval_RestoreThread while already holding: classic embed bug.
+        env.py_eval_restore_thread()?;
+        Ok(())
+    }) {
+        PyRunOutcome::Crashed(msg) => assert!(msg.contains("deadlock"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn exception_state_violation_detected_and_clearing_helps() {
+    let mut s = PySession::with_checker();
+    let v = checker_error(s.run(|env| {
+        env.py_err_set_string("ValueError", "nope")?;
+        let _ = env.py_int_from_long(1)?;
+        Ok(())
+    }));
+    assert_eq!(v.machine, "py-exception");
+
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        env.py_err_set_string("ValueError", "nope")?;
+        assert!(env.py_err_occurred()?);
+        env.py_err_clear()?;
+        let i = env.py_int_from_long(1)?;
+        env.py_decref(i)?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn set_item_steals_ownership() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        let list = build_string_list(env, &["old"])?;
+        let new_item = env.py_string_from_string("new")?;
+        // PyList_SetItem steals `new_item`: no decref needed (and none
+        // allowed) afterwards.
+        env.py_list_set_item(list, 0, new_item)?;
+        let got = env.py_list_get_item(list, 0)?;
+        assert_eq!(env.py_string_as_string(got)?, "new");
+        env.py_decref(list)?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(
+        s.shutdown().is_empty(),
+        "the stolen reference is not a leak"
+    );
+}
+
+#[test]
+fn interpreter_type_errors_are_python_exceptions_not_checker_reports() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        let i = env.py_int_from_long(3)?;
+        // Dynamically ill-typed, but a *Python*-level error: the
+        // interpreter raises TypeError; the FFI checker stays silent.
+        match env.py_string_as_string(i) {
+            Err(minipy::PyError::Raised) => {}
+            other => panic!("expected TypeError, got {other:?}"),
+        }
+        Ok(())
+    }) {
+        PyRunOutcome::Raised(kind, _) => assert_eq!(kind, "TypeError"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn tuples_and_nested_build_values() {
+    let mut s = PySession::with_checker();
+    match s.run(|env| {
+        let v = env.py_build_value(
+            "(i[ss]i)",
+            &[
+                BuildArg::Int(1),
+                BuildArg::Str("a".into()),
+                BuildArg::Str("b".into()),
+                BuildArg::Int(2),
+            ],
+        )?;
+        let first = env.py_tuple_get_item(v, 0)?;
+        assert_eq!(env.py_int_as_long(first)?, 1);
+        let inner = env.py_tuple_get_item(v, 1)?;
+        assert_eq!(env.py_list_size(inner)?, 2);
+        env.py_decref(v)?;
+        Ok(())
+    }) {
+        PyRunOutcome::Completed => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(s.shutdown().is_empty());
+}
+
+#[test]
+fn build_value_errors_raise_system_error() {
+    let mut s = PySession::new();
+    match s.run(
+        |env| match env.py_build_value("[s", &[BuildArg::Str("unterminated".into())]) {
+            Err(minipy::PyError::Raised) => Ok(()),
+            other => panic!("{other:?}"),
+        },
+    ) {
+        PyRunOutcome::Raised(kind, msg) => {
+            assert_eq!(kind, "SystemError");
+            assert!(msg.contains("unterminated"), "{msg}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn specification_file_lists_borrow_and_new_returns() {
+    // The "specification file" the Python/C synthesizer consumes.
+    assert!(registry().len() >= 20);
+    assert_eq!(spec("Py_BuildValue").returns, RefReturn::New);
+    assert_eq!(spec("PyList_GetItem").returns, RefReturn::Borrowed);
+    assert_eq!(spec("PyList_GetItem").borrow_source, Some(0));
+    assert_eq!(spec("PyList_SetItem").steals_arg, Some(2));
+    assert!(spec("PyErr_Clear").err_oblivious);
+    assert!(!spec("PyList_New").err_oblivious);
+    assert!(!spec("PyGILState_Ensure").requires_gil);
+}
+
+#[test]
+fn other_threads_block_on_the_gil() {
+    let mut s = PySession::new();
+    let mut env = s.env_on(PyThread(7));
+    match env.py_gil_ensure() {
+        Err(minipy::PyError::Crash(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
+        other => panic!("main holds the GIL; thread 7 must block: {other:?}"),
+    }
+}

@@ -1,0 +1,446 @@
+//! Resolution of the `languageTransitionsFor` mapping against the JNI
+//! function registry.
+//!
+//! Each state machine's trigger selectors ("any JNI function taking a
+//! reference", "`Get<Type>ArrayElements` and similar getter functions", …)
+//! are prose in the machine specifications; this module resolves them into
+//! concrete *instrumentation points*: (function, pre/post, machine, check)
+//! tuples. The synthesizer (crate `jinn-core`) consumes these to build the
+//! per-function check tables — the paper's Algorithm 1 cross product of
+//! `Mi.stateTransitions` and FFI functions.
+
+use minijni::registry::{CallMode, Op, RetKind};
+use minijni::{registry, FuncId};
+
+/// Whether a check runs before the function body (`Call:C→Java`) or after
+/// it returns (`Return:Java→C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Before the JNI function executes.
+    Pre,
+    /// After the JNI function returns.
+    Post,
+}
+
+/// How a `Call…Method…`-family function relates to its entity ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityCallMode {
+    /// `Call<T>Method…`: receiver at 0, method at 1, args at 2.
+    Virtual,
+    /// `CallNonvirtual<T>Method…`: receiver 0, class 1, method 2, args 3.
+    Nonvirtual,
+    /// `CallStatic<T>Method…`: class 0, method 1, args 2.
+    Static,
+    /// `NewObject…`: class 0, constructor 1, args 2.
+    Constructor,
+}
+
+/// One synthesized check, parameterized by the entity it observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Machine 1: the presented `JNIEnv*` must belong to the current
+    /// thread.
+    EnvMatches,
+    /// Machine 2: no exception may be pending (exception-sensitive
+    /// functions).
+    NoPendingException,
+    /// Machine 3: the thread must not be inside a critical section.
+    CriticalSensitive,
+    /// Machine 3 encoding: record a critical acquisition.
+    CriticalAcquire,
+    /// Machine 3: a critical release must match an acquisition.
+    CriticalRelease,
+    /// Machine 4: the reference parameter must conform to its fixed type.
+    FixedType {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 5: full signature check of a method call.
+    EntityCall {
+        /// Call flavour.
+        mode: EntityCallMode,
+    },
+    /// Machine 5 (+6 for writes): field access conformance.
+    EntityFieldAccess {
+        /// Static access?
+        stat: bool,
+        /// Is this a write?
+        write: bool,
+    },
+    /// Machine 5: a method-ID parameter must be one the JVM issued.
+    KnownMethodId {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 5: a field-ID parameter must be one the JVM issued.
+    KnownFieldId {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 5 encoding: record the signature of a returned method ID.
+    RecordMethodId,
+    /// Machine 5 encoding: record the signature of a returned field ID.
+    RecordFieldId,
+    /// Machine 6: the written field must not be final.
+    FinalFieldGuard,
+    /// Machine 7: the parameter must not be null.
+    NonNull {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 8 encoding: record an acquired pinned buffer.
+    PinAcquire,
+    /// Machine 8: a release must target a live buffer of the right kind.
+    PinRelease {
+        /// Parameter index of the buffer.
+        param: u8,
+    },
+    /// Machine 9 encoding: record a monitor acquisition.
+    MonitorAcquire,
+    /// Machine 9 encoding: record a monitor release.
+    MonitorRelease,
+    /// Machines 10/11: a reference parameter is *used*; it must be live.
+    RefUse {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 10 encoding: record an acquired global/weak reference.
+    GlobalAcquire,
+    /// Machine 10: a delete must target a live global/weak reference.
+    GlobalRelease {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 11: record (and overflow-check) a local reference acquired
+    /// from a JNI return.
+    LocalAcquireFromReturn,
+    /// Machine 11: `DeleteLocalRef` must target a live local reference of
+    /// this thread.
+    LocalDelete {
+        /// Parameter index.
+        param: u8,
+    },
+    /// Machine 11 encoding: a frame was pushed.
+    FramePush,
+    /// Machine 11: a frame pop must have a matching push.
+    FramePop,
+    /// Machine 11 encoding: the current frame's capacity was raised.
+    EnsureCapacity,
+}
+
+/// One instrumentation point produced by resolving a machine's triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrPoint {
+    /// The instrumented JNI function.
+    pub func: FuncId,
+    /// Pre or post.
+    pub phase: Phase,
+    /// Name of the owning state machine.
+    pub machine: &'static str,
+    /// The check to synthesize.
+    pub check: Check,
+}
+
+/// Checks synthesized at the native-method boundary (the `Call:Java→C` /
+/// `Return:C→Java` directions), which are not tied to any one JNI
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryCheck {
+    /// Machine 11: acquire a frame and its argument references on entry.
+    AcquireArgsOnEntry,
+    /// Machines 10/11: the reference a native method returns is a Use.
+    CheckReturnedRef,
+    /// Machine 11: release the frame's references on return.
+    ReleaseFrameOnExit,
+    /// Machine 11: frames pushed with `PushLocalFrame` must be popped
+    /// before returning.
+    FrameBalanceOnExit,
+    /// Machine 2: returning to Java consumes the pending-exception
+    /// obligation.
+    ExceptionStateReturn,
+    /// Machines 8, 9, 10: leak sweeps at program termination.
+    TerminationSweep,
+}
+
+/// All boundary checks, in driver order.
+pub const BOUNDARY_CHECKS: [BoundaryCheck; 6] = [
+    BoundaryCheck::AcquireArgsOnEntry,
+    BoundaryCheck::CheckReturnedRef,
+    BoundaryCheck::ReleaseFrameOnExit,
+    BoundaryCheck::FrameBalanceOnExit,
+    BoundaryCheck::ExceptionStateReturn,
+    BoundaryCheck::TerminationSweep,
+];
+
+/// Resolves every machine's triggers against the 229-function registry.
+///
+/// The result is deterministic and ordered by function, then phase, then
+/// machine (the order the synthesized wrapper executes them in).
+pub fn instrumentation() -> Vec<InstrPoint> {
+    let reg = registry();
+    let mut out = Vec::new();
+    for (func, spec) in reg.iter() {
+        let mut push = |phase, machine, check| {
+            out.push(InstrPoint {
+                func,
+                phase,
+                machine,
+                check,
+            })
+        };
+
+        // Machine 1: every JNI function validates the env pointer.
+        push(Phase::Pre, "jnienv-state", Check::EnvMatches);
+        // Machine 2: exception-sensitive functions.
+        if !spec.exception_oblivious {
+            push(Phase::Pre, "exception-state", Check::NoPendingException);
+        }
+        // Machine 3: critical-section-sensitive functions.
+        if !spec.critical_ok {
+            push(Phase::Pre, "critical-section", Check::CriticalSensitive);
+        }
+
+        // Per-parameter checks (machines 4, 7, 10, 11).
+        let is_delete = matches!(
+            spec.op,
+            Op::DeleteLocalRef | Op::DeleteGlobalRef | Op::DeleteWeakGlobalRef
+        );
+        for (i, p) in spec.params.iter().enumerate() {
+            let i = i as u8;
+            if p.is_ref() {
+                if !p.nullable {
+                    push(Phase::Pre, "nullness", Check::NonNull { param: i });
+                }
+                if !p.fixed_types.is_empty() {
+                    push(Phase::Pre, "fixed-typing", Check::FixedType { param: i });
+                }
+                // Deleting is a Release, not a Use.
+                if !(is_delete && i == 0) {
+                    push(Phase::Pre, "global-reference", Check::RefUse { param: i });
+                    push(Phase::Pre, "local-reference", Check::RefUse { param: i });
+                }
+            }
+        }
+
+        // Op-specific checks (machines 3, 5, 6, 8, 9, 10, 11).
+        match spec.op {
+            Op::Call { mode, .. } => {
+                let mode = match mode {
+                    CallMode::Virtual => EntityCallMode::Virtual,
+                    CallMode::Nonvirtual => EntityCallMode::Nonvirtual,
+                    CallMode::Static => EntityCallMode::Static,
+                };
+                push(Phase::Pre, "entity-typing", Check::EntityCall { mode });
+            }
+            Op::NewObject => {
+                push(
+                    Phase::Pre,
+                    "entity-typing",
+                    Check::EntityCall {
+                        mode: EntityCallMode::Constructor,
+                    },
+                );
+            }
+            Op::GetField { stat, .. } => {
+                push(
+                    Phase::Pre,
+                    "entity-typing",
+                    Check::EntityFieldAccess { stat, write: false },
+                );
+            }
+            Op::SetField { stat, .. } => {
+                push(
+                    Phase::Pre,
+                    "entity-typing",
+                    Check::EntityFieldAccess { stat, write: true },
+                );
+                push(Phase::Pre, "access-control", Check::FinalFieldGuard);
+            }
+            Op::GetMethodId { .. } => push(Phase::Post, "entity-typing", Check::RecordMethodId),
+            Op::GetFieldId { .. } => push(Phase::Post, "entity-typing", Check::RecordFieldId),
+            Op::ToReflectedMethod => {
+                push(
+                    Phase::Pre,
+                    "entity-typing",
+                    Check::KnownMethodId { param: 1 },
+                );
+            }
+            Op::ToReflectedField => {
+                push(
+                    Phase::Pre,
+                    "entity-typing",
+                    Check::KnownFieldId { param: 1 },
+                );
+            }
+            Op::FromReflectedMethod => push(Phase::Post, "entity-typing", Check::RecordMethodId),
+            Op::FromReflectedField => push(Phase::Post, "entity-typing", Check::RecordFieldId),
+            Op::GetStringCritical | Op::GetPrimitiveArrayCritical => {
+                push(Phase::Post, "critical-section", Check::CriticalAcquire);
+                push(Phase::Post, "pinned-buffer", Check::PinAcquire);
+            }
+            Op::ReleaseStringCritical | Op::ReleasePrimitiveArrayCritical => {
+                push(Phase::Pre, "critical-section", Check::CriticalRelease);
+                push(Phase::Pre, "pinned-buffer", Check::PinRelease { param: 1 });
+            }
+            Op::GetStringChars | Op::GetStringUtfChars | Op::GetArrayElements(_) => {
+                push(Phase::Post, "pinned-buffer", Check::PinAcquire);
+            }
+            Op::ReleaseStringChars | Op::ReleaseStringUtfChars | Op::ReleaseArrayElements(_) => {
+                push(Phase::Pre, "pinned-buffer", Check::PinRelease { param: 1 });
+            }
+            Op::MonitorEnter => push(Phase::Post, "monitor", Check::MonitorAcquire),
+            Op::MonitorExit => push(Phase::Post, "monitor", Check::MonitorRelease),
+            Op::NewGlobalRef | Op::NewWeakGlobalRef => {
+                push(Phase::Post, "global-reference", Check::GlobalAcquire);
+            }
+            Op::DeleteGlobalRef | Op::DeleteWeakGlobalRef => {
+                push(
+                    Phase::Pre,
+                    "global-reference",
+                    Check::GlobalRelease { param: 0 },
+                );
+            }
+            Op::DeleteLocalRef => {
+                push(
+                    Phase::Pre,
+                    "local-reference",
+                    Check::LocalDelete { param: 0 },
+                );
+            }
+            Op::PushLocalFrame => push(Phase::Post, "local-reference", Check::FramePush),
+            // FramePop validates *before* the raw pop so a violation
+            // (nothing left to pop) is thrown instead of executed.
+            Op::PopLocalFrame => push(Phase::Pre, "local-reference", Check::FramePop),
+            Op::EnsureLocalCapacity => {
+                push(Phase::Post, "local-reference", Check::EnsureCapacity);
+            }
+            _ => {}
+        }
+
+        // Machine 11: every function returning a local reference is an
+        // Acquire (with overflow check).
+        if spec.ret == RetKind::LocalRef {
+            push(
+                Phase::Post,
+                "local-reference",
+                Check::LocalAcquireFromReturn,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_yields_thousands_of_checks() {
+        let points = instrumentation();
+        // Paper Section 4: "Their cross-product yields thousands of checks
+        // in the dynamic analysis."
+        assert!(
+            points.len() > 1500,
+            "only {} instrumentation points",
+            points.len()
+        );
+    }
+
+    #[test]
+    fn every_function_gets_env_check() {
+        let points = instrumentation();
+        let env_checks = points
+            .iter()
+            .filter(|p| p.check == Check::EnvMatches)
+            .count();
+        assert_eq!(env_checks, 229);
+    }
+
+    #[test]
+    fn exception_checks_match_sensitive_count() {
+        let points = instrumentation();
+        let n = points
+            .iter()
+            .filter(|p| p.check == Check::NoPendingException)
+            .count();
+        assert_eq!(n, 209);
+        let n = points
+            .iter()
+            .filter(|p| p.check == Check::CriticalSensitive)
+            .count();
+        assert_eq!(n, 225);
+    }
+
+    #[test]
+    fn pin_acquires_match_table_2() {
+        let points = instrumentation();
+        let n = points
+            .iter()
+            .filter(|p| p.check == Check::PinAcquire)
+            .count();
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn call_static_void_method_a_is_figure_4() {
+        // The paper's Figure 4 wrapper checks the clazz parameter before
+        // the call; our instrumentation must include the same checks.
+        let id = FuncId::of("CallStaticVoidMethodA");
+        let points: Vec<_> = instrumentation()
+            .into_iter()
+            .filter(|p| p.func == id)
+            .collect();
+        assert!(points.iter().any(|p| p.check == Check::EnvMatches));
+        assert!(points.iter().any(|p| p.check == Check::NoPendingException));
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::NonNull { param: 0 }));
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::FixedType { param: 0 }));
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::RefUse { param: 0 } && p.machine == "local-reference"));
+        assert!(points.iter().any(|p| p.check
+            == Check::EntityCall {
+                mode: EntityCallMode::Static
+            }));
+    }
+
+    #[test]
+    fn delete_is_release_not_use() {
+        let id = FuncId::of("DeleteLocalRef");
+        let points: Vec<_> = instrumentation()
+            .into_iter()
+            .filter(|p| p.func == id)
+            .collect();
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::LocalDelete { param: 0 }));
+        assert!(!points
+            .iter()
+            .any(|p| matches!(p.check, Check::RefUse { .. })));
+    }
+
+    #[test]
+    fn release_string_chars_checks_its_string_use() {
+        // The Subversion destructor bug (Section 6.4.1) is a dangling
+        // jstring passed to ReleaseStringUTFChars: it must be a Use.
+        let id = FuncId::of("ReleaseStringUTFChars");
+        let points: Vec<_> = instrumentation()
+            .into_iter()
+            .filter(|p| p.func == id)
+            .collect();
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::RefUse { param: 0 } && p.machine == "local-reference"));
+        assert!(points
+            .iter()
+            .any(|p| p.check == Check::PinRelease { param: 1 }));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(instrumentation(), instrumentation());
+    }
+}

@@ -1,0 +1,125 @@
+//! Consistency between the declarative machine specifications and their
+//! resolved instrumentation: the `languageTransitionsFor` mapping must
+//! only mention machines that exist, fire in directions the machine
+//! declares, and cover every machine.
+
+use std::collections::HashSet;
+
+use jinn_fsm::Direction;
+use jinn_spec::{instrumentation, machines, Check, Phase};
+
+#[test]
+fn every_instrumented_machine_is_specified() {
+    let specified: HashSet<String> = machines().iter().map(|m| m.name().to_string()).collect();
+    for p in instrumentation() {
+        assert!(
+            specified.contains(p.machine),
+            "instrumentation references unspecified machine `{}`",
+            p.machine
+        );
+    }
+}
+
+#[test]
+fn every_machine_is_instrumented() {
+    let used: HashSet<&'static str> = instrumentation().iter().map(|p| p.machine).collect();
+    for m in machines() {
+        assert!(
+            used.iter().any(|u| *u == m.name()),
+            "machine `{}` resolves to no instrumentation points",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn phases_match_declared_trigger_directions() {
+    // Pre checks correspond to Call:C→Java triggers; post checks to
+    // Return:Java→C triggers. Every machine with a pre-phase check must
+    // declare at least one CallCToJava trigger, and vice versa.
+    let all = machines();
+    let machine = |name: &str| {
+        all.iter()
+            .find(|m| m.name() == name)
+            .expect("specified machine")
+    };
+    for p in instrumentation() {
+        let m = machine(p.machine);
+        let wanted = match p.phase {
+            Phase::Pre => Direction::CallCToJava,
+            Phase::Post => Direction::ReturnJavaToC,
+        };
+        let declares = m
+            .transitions()
+            .iter()
+            .flat_map(|t| t.triggers())
+            .any(|t| t.direction() == wanted);
+        assert!(
+            declares,
+            "machine `{}` has a {:?}-phase check at {} but declares no {} trigger",
+            p.machine,
+            p.phase,
+            p.func.name(),
+            wanted
+        );
+    }
+}
+
+#[test]
+fn per_machine_check_inventory_is_stable() {
+    // Pin the per-machine instrumentation counts; drift means either the
+    // registry or the mapping changed and EXPERIMENTS.md needs a refresh.
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for m in machines() {
+        let n = instrumentation()
+            .iter()
+            .filter(|p| p.machine == m.name())
+            .count();
+        counts.push((Box::leak(m.name().to_string().into_boxed_str()), n));
+    }
+    let get = |name: &str| {
+        counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("jnienv-state"), 229);
+    assert_eq!(get("exception-state"), 209);
+    assert_eq!(
+        get("critical-section"),
+        225 + 2 + 2,
+        "sensitive + acquire + release"
+    );
+    assert_eq!(get("fixed-typing"), 147);
+    assert_eq!(get("access-control"), 18);
+    // The nullness *machine* checks reference parameters (232 of them);
+    // Table 2's 409 additionally counts C-pointer parameters (names,
+    // buffers) whose nullness the C compiler can express but the checker
+    // cannot observe as references.
+    assert_eq!(get("nullness"), 232);
+    assert_eq!(get("monitor"), 2, "enter + exit");
+    assert!(get("pinned-buffer") >= 24, "12 acquires + 12 releases");
+    assert!(get("entity-typing") > 130);
+    assert!(get("global-reference") > 200);
+    assert!(get("local-reference") > 250);
+}
+
+#[test]
+fn record_checks_cover_every_id_producer() {
+    // Every function returning a method/field ID must have a Record check,
+    // or forged-ID detection would false-positive on legitimate IDs.
+    let points = instrumentation();
+    for (func, spec) in minijni::registry().iter() {
+        let produces_id = matches!(
+            spec.ret,
+            minijni::RetKind::MethodId | minijni::RetKind::FieldId
+        );
+        if produces_id {
+            let recorded = points.iter().any(|p| {
+                p.func == func && matches!(p.check, Check::RecordMethodId | Check::RecordFieldId)
+            });
+            assert!(recorded, "{} returns an ID but is not recorded", spec.name);
+        }
+    }
+}

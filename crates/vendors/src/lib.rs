@@ -1,0 +1,101 @@
+//! `jinn-vendors` — behavioural models of production JVMs and their
+//! built-in `-Xcheck:jni` dynamic checkers.
+//!
+//! The paper's Table 1 and Section 6.3 compare Jinn against two production
+//! JVMs, Sun HotSpot Client 1.6 and IBM J9 1.6, in two configurations
+//! each: *default* (undefined behaviour on JNI misuse — crashes, silent
+//! corruption, NPEs, deadlocks) and *`-Xcheck:jni`* (ad-hoc, incomplete,
+//! mutually inconsistent built-in checking). This crate reproduces all
+//! four as plug-ins for `minijni`:
+//!
+//! * [`HotSpotModel`] / [`J9Model`] implement
+//!   [`minijni::VendorModel`] — the default-behaviour columns;
+//! * [`HotSpotXcheck`] / [`J9Xcheck`] implement
+//!   [`minijni::Interpose`] — the `-Xcheck:jni` columns.
+//!
+//! # Example
+//!
+//! ```
+//! use jinn_vendors::{hotspot_vm, j9_vm, Vendor};
+//!
+//! let hs = hotspot_vm();
+//! assert_eq!(hs.vendor().name(), "HotSpot");
+//! let j9 = j9_vm();
+//! assert_eq!(j9.vendor().name(), "J9");
+//! assert_eq!(Vendor::HotSpot.to_string(), "HotSpot");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod models;
+mod xcheck;
+
+use minijni::{Interpose, Vm};
+
+pub use models::{HotSpotModel, J9Model};
+pub use xcheck::{HotSpotXcheck, J9Xcheck};
+
+/// The two production JVMs of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Sun HotSpot Client 1.6.
+    HotSpot,
+    /// IBM J9 1.6.
+    J9,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::HotSpot => f.write_str("HotSpot"),
+            Vendor::J9 => f.write_str("J9"),
+        }
+    }
+}
+
+impl Vendor {
+    /// Both vendors, in the paper's column order.
+    pub const ALL: [Vendor; 2] = [Vendor::HotSpot, Vendor::J9];
+
+    /// A fresh VM with this vendor's default-behaviour model.
+    pub fn vm(self) -> Vm {
+        match self {
+            Vendor::HotSpot => Vm::new(Box::new(HotSpotModel)),
+            Vendor::J9 => Vm::new(Box::new(J9Model)),
+        }
+    }
+
+    /// This vendor's `-Xcheck:jni` checker.
+    pub fn xcheck(self) -> Box<dyn Interpose> {
+        match self {
+            Vendor::HotSpot => Box::new(HotSpotXcheck),
+            Vendor::J9 => Box::new(J9Xcheck::new()),
+        }
+    }
+}
+
+/// A VM behaving like Sun HotSpot Client 1.6.
+pub fn hotspot_vm() -> Vm {
+    Vendor::HotSpot.vm()
+}
+
+/// A VM behaving like IBM J9 1.6.
+pub fn j9_vm() -> Vm {
+    Vendor::J9.vm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_constructors() {
+        for v in Vendor::ALL {
+            let vm = v.vm();
+            assert_eq!(vm.vendor().name(), v.to_string());
+            let checker = v.xcheck();
+            assert!(checker.name().contains("xcheck"));
+        }
+    }
+}

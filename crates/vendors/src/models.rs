@@ -1,0 +1,202 @@
+//! Behavioural models of the HotSpot and J9 production JVMs.
+//!
+//! These reproduce the **Default Behavior** columns of the paper's
+//! Table 1: what each JVM does, *without* `-Xcheck:jni`, when native code
+//! violates a JNI constraint. The calibration below follows the table row
+//! by row; where the table is silent (situations outside its twelve
+//! pitfalls) the models use the more defensive of the two behaviours
+//! observed in the paper's neighbouring rows.
+
+use minijni::{UbOutcome, UbSituation, VendorModel};
+use minijvm::RefFault;
+
+/// Sun/Oracle HotSpot 1.6 default-behaviour model.
+///
+/// HotSpot is the permissive one of the pair: it "keeps on running in
+/// spite of undefined JVM state" for exception-state misuse, invalid
+/// arguments, and cross-thread env use, and crashes only when an operation
+/// is mechanically impossible (dangling references, type confusion on
+/// `jclass`, forged IDs).
+#[derive(Debug, Clone, Default)]
+pub struct HotSpotModel;
+
+impl VendorModel for HotSpotModel {
+    fn name(&self) -> &str {
+        "HotSpot"
+    }
+
+    fn on_violation(&self, situation: &UbSituation<'_>) -> UbOutcome {
+        match situation {
+            // Pitfall 1: running.
+            UbSituation::ExceptionPending { .. } => UbOutcome::Proceed,
+            // Pitfall 2: running (garbage results).
+            UbSituation::NullArgument { .. } => UbOutcome::Proceed,
+            // Pitfall 3: crash.
+            UbSituation::TypeConfusion { expected, .. } if *expected == "java.lang.Class" => {
+                UbOutcome::Crash("SIGSEGV in interpreter (jclass confusion)")
+            }
+            // Other type confusions behave like invalid arguments: running.
+            UbSituation::TypeConfusion { .. } => UbOutcome::Proceed,
+            // Pitfall 6: crash.
+            UbSituation::BadEntityId { .. } => {
+                UbOutcome::Crash("SIGSEGV dereferencing invalid method/field ID")
+            }
+            // Pitfall 9: NPE.
+            UbSituation::FinalFieldWrite { .. } => UbOutcome::Npe,
+            // Pitfall 13: crash on dangling references; null refs NPE;
+            // pitfall 14's cross-thread use keeps running.
+            UbSituation::RefFault { fault, .. } => match fault {
+                RefFault::Null => UbOutcome::Npe,
+                RefFault::WrongThread { .. } => UbOutcome::Proceed,
+                _ => UbOutcome::Crash("SIGSEGV dereferencing invalid reference"),
+            },
+            // Pitfall 14: running.
+            UbSituation::EnvMismatch { .. } => UbOutcome::Proceed,
+            // Pitfall 16: deadlock (GC vs abandoned critical section).
+            UbSituation::CriticalViolation { .. } => {
+                UbOutcome::Deadlock("GC disabled by critical section")
+            }
+            // Double-free of pinned buffers corrupts the C heap silently.
+            UbSituation::PinFault { .. } => UbOutcome::Proceed,
+        }
+    }
+}
+
+/// IBM J9 1.6 default-behaviour model.
+///
+/// J9 is the brittle one: misuse that HotSpot shrugs off (pending
+/// exceptions, invalid arguments, cross-thread env use) crashes J9.
+#[derive(Debug, Clone, Default)]
+pub struct J9Model;
+
+impl VendorModel for J9Model {
+    fn name(&self) -> &str {
+        "J9"
+    }
+
+    fn on_violation(&self, situation: &UbSituation<'_>) -> UbOutcome {
+        match situation {
+            // Pitfall 1: crash.
+            UbSituation::ExceptionPending { .. } => {
+                UbOutcome::Crash("GPF while dispatching with pending exception")
+            }
+            // Pitfall 2: crash.
+            UbSituation::NullArgument { .. } => UbOutcome::Crash("GPF dereferencing null argument"),
+            // Pitfall 3: crash.
+            UbSituation::TypeConfusion { expected, .. } if *expected == "java.lang.Class" => {
+                UbOutcome::Crash("GPF in method lookup (jclass confusion)")
+            }
+            UbSituation::TypeConfusion { .. } => UbOutcome::Crash("GPF on mistyped JNI argument"),
+            // Pitfall 6: crash.
+            UbSituation::BadEntityId { .. } => {
+                UbOutcome::Crash("GPF dereferencing invalid method/field ID")
+            }
+            // Pitfall 9: NPE.
+            UbSituation::FinalFieldWrite { .. } => UbOutcome::Npe,
+            // Pitfalls 13/14: crash (J9 trusts nothing).
+            UbSituation::RefFault { fault, .. } => match fault {
+                RefFault::Null => UbOutcome::Npe,
+                _ => UbOutcome::Crash("GPF dereferencing invalid reference"),
+            },
+            UbSituation::EnvMismatch { .. } => {
+                UbOutcome::Crash("GPF using JNIEnv* of another thread")
+            }
+            // Pitfall 16: deadlock.
+            UbSituation::CriticalViolation { .. } => {
+                UbOutcome::Deadlock("VM access blocked by critical section")
+            }
+            UbSituation::PinFault { .. } => UbOutcome::Proceed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minijni::FuncId;
+    use minijvm::RefKind;
+
+    fn func() -> &'static minijni::FuncSpec {
+        FuncId::of("CallVoidMethodA").spec()
+    }
+
+    #[test]
+    fn table1_row1_exception_pending() {
+        // running vs crash
+        assert_eq!(
+            HotSpotModel.on_violation(&UbSituation::ExceptionPending { func: func() }),
+            UbOutcome::Proceed
+        );
+        assert!(matches!(
+            J9Model.on_violation(&UbSituation::ExceptionPending { func: func() }),
+            UbOutcome::Crash(_)
+        ));
+    }
+
+    #[test]
+    fn table1_row2_invalid_arguments() {
+        // running vs crash
+        assert_eq!(
+            HotSpotModel.on_violation(&UbSituation::NullArgument {
+                func: func(),
+                param: "obj"
+            }),
+            UbOutcome::Proceed
+        );
+        assert!(matches!(
+            J9Model.on_violation(&UbSituation::NullArgument {
+                func: func(),
+                param: "obj"
+            }),
+            UbOutcome::Crash(_)
+        ));
+    }
+
+    #[test]
+    fn table1_row3_jclass_confusion_crashes_both() {
+        let s = UbSituation::TypeConfusion {
+            func: func(),
+            expected: "java.lang.Class",
+        };
+        assert!(matches!(HotSpotModel.on_violation(&s), UbOutcome::Crash(_)));
+        assert!(matches!(J9Model.on_violation(&s), UbOutcome::Crash(_)));
+    }
+
+    #[test]
+    fn table1_row9_final_field_is_npe_both() {
+        let s = UbSituation::FinalFieldWrite { func: func() };
+        assert_eq!(HotSpotModel.on_violation(&s), UbOutcome::Npe);
+        assert_eq!(J9Model.on_violation(&s), UbOutcome::Npe);
+    }
+
+    #[test]
+    fn table1_row13_dangling_local_crashes_both() {
+        let s = UbSituation::RefFault {
+            fault: RefFault::Stale {
+                kind: RefKind::Local,
+                reused: false,
+            },
+            func: func(),
+        };
+        assert!(matches!(HotSpotModel.on_violation(&s), UbOutcome::Crash(_)));
+        assert!(matches!(J9Model.on_violation(&s), UbOutcome::Crash(_)));
+    }
+
+    #[test]
+    fn table1_row14_env_mismatch() {
+        // running vs crash
+        let s = UbSituation::EnvMismatch { func: func() };
+        assert_eq!(HotSpotModel.on_violation(&s), UbOutcome::Proceed);
+        assert!(matches!(J9Model.on_violation(&s), UbOutcome::Crash(_)));
+    }
+
+    #[test]
+    fn table1_row16_critical_deadlocks_both() {
+        let s = UbSituation::CriticalViolation { func: func() };
+        assert!(matches!(
+            HotSpotModel.on_violation(&s),
+            UbOutcome::Deadlock(_)
+        ));
+        assert!(matches!(J9Model.on_violation(&s), UbOutcome::Deadlock(_)));
+    }
+}

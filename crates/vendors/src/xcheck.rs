@@ -1,0 +1,418 @@
+//! The `-Xcheck:jni` built-in checkers of HotSpot and J9.
+//!
+//! These are the *baselines* the paper compares Jinn against
+//! (Table 1 columns 6–7 and the Section 6.3 coverage study). Both are
+//! deliberately incomplete and mutually inconsistent, calibrated row by
+//! row against the table:
+//!
+//! | pitfall | HotSpot `-Xcheck` | J9 `-Xcheck` |
+//! |---|---|---|
+//! | 1 exception state      | warning | error |
+//! | 2 invalid arguments    | —       | —     |
+//! | 3 jclass confusion     | error   | error |
+//! | 6 IDs vs references    | error   | error |
+//! | 9 access control       | —       | —     |
+//! | 11 retained resources  | —       | warning (at exit) |
+//! | 12 local-ref overflow  | —       | warning |
+//! | 13 invalid local refs  | error   | error |
+//! | 14 env across threads  | error   | —     |
+//! | 16 bad critical region | warning | error |
+//!
+//! Unlike Jinn, these run *inside* the JVM, so they may consult VM ground
+//! truth (handle tables, critical-section state) directly; also unlike
+//! Jinn they report by printing — a warning keeps running, an error aborts
+//! the process (J9 offers `-Xcheck:jni:nonfatal` to downgrade errors).
+
+use minijni::registry::Op;
+use minijni::{CallCx, Interpose, JniArg, JniRet, Report, ReportAction, Violation};
+use minijvm::{JRef, Jvm, MethodId, RefFault, RefKind, ThreadId};
+
+fn report(
+    machine: &'static str,
+    error_state: &'static str,
+    function: &str,
+    message: String,
+    stack: &[String],
+    action: ReportAction,
+) -> Report {
+    Report::new(
+        Violation {
+            machine,
+            error_state,
+            function: function.to_string(),
+            message,
+            // Innermost frame first, as printed by the real checkers.
+            backtrace: stack.iter().rev().cloned().collect(),
+        },
+        action,
+    )
+}
+
+fn stale_ref_fault(jvm: &Jvm, thread: ThreadId, r: JRef) -> Option<RefFault> {
+    if r.is_null() {
+        return None;
+    }
+    jvm.resolve(thread, r).err()
+}
+
+/// HotSpot's `-Xcheck:jni` checker.
+#[derive(Debug, Clone, Default)]
+pub struct HotSpotXcheck;
+
+impl Interpose for HotSpotXcheck {
+    fn name(&self) -> &str {
+        "hotspot-xcheck"
+    }
+
+    fn pre_jni(&mut self, jvm: &Jvm, cx: &CallCx<'_>) -> Vec<Report> {
+        let spec = cx.spec();
+        let fname = &spec.name;
+        let mut out = Vec::new();
+
+        // Pitfall 1 (warning; Figure 9a wording).
+        if !spec.exception_oblivious && jvm.thread(cx.thread).pending_exception().is_some() {
+            out.push(report(
+                "exception-state",
+                "Error:SensitiveCallWithPending",
+                fname,
+                "WARNING in native method: JNI call made with exception pending".to_string(),
+                cx.stack,
+                ReportAction::Warn,
+            ));
+        }
+        // Pitfall 16 (warning).
+        if !spec.critical_ok && jvm.thread(cx.thread).in_critical_section() {
+            out.push(report(
+                "critical-section",
+                "Error:SensitiveCallInCritical",
+                fname,
+                "WARNING in native method: JNI call made within critical region".to_string(),
+                cx.stack,
+                ReportAction::Warn,
+            ));
+        }
+        // Pitfall 14 (error).
+        if cx.presented_env != jvm.thread(cx.thread).env() {
+            out.push(report(
+                "jnienv-state",
+                "Error:EnvMismatch",
+                fname,
+                "FATAL ERROR in native method: Using JNIEnv in the wrong thread".to_string(),
+                cx.stack,
+                ReportAction::AbortVm,
+            ));
+            return out;
+        }
+        // Pitfall 3 (error): jclass confusion on fixed-Class parameters.
+        for (i, p) in spec.params.iter().enumerate() {
+            if p.fixed_types == ["java/lang/Class"] {
+                if let Some(JniArg::Ref(r)) = cx.args.get(i) {
+                    if !r.is_null() {
+                        if let Ok(Some(oop)) = jvm.resolve(cx.thread, *r) {
+                            if jvm.class_of_mirror(oop).is_none() {
+                                out.push(report(
+                                    "fixed-typing",
+                                    "Error:FixedTypeMismatch",
+                                    fname,
+                                    format!(
+                                        "FATAL ERROR in native method: Expected jclass for `{}`",
+                                        p.name
+                                    ),
+                                    cx.stack,
+                                    ReportAction::AbortVm,
+                                ));
+                                return out;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Pitfall 6 (error): forged method/field IDs.
+        for a in cx.args {
+            let bad = match a {
+                JniArg::Method(m) => jvm.registry().method(*m).is_none(),
+                JniArg::Field(f) => jvm.registry().field(*f).is_none(),
+                _ => false,
+            };
+            if bad {
+                out.push(report(
+                    "entity-typing",
+                    "Error:EntityTypeMismatch",
+                    fname,
+                    "FATAL ERROR in native method: Invalid method or field ID".to_string(),
+                    cx.stack,
+                    ReportAction::AbortVm,
+                ));
+                return out;
+            }
+        }
+        // Pitfalls 13/14 (error): invalid references, including deletes
+        // (double frees) — HotSpot validates every handle it is passed.
+        for a in cx.args {
+            if let JniArg::Ref(r) = a {
+                if stale_ref_fault(jvm, cx.thread, *r).is_some() {
+                    out.push(report(
+                        if r.kind() == RefKind::Local {
+                            "local-reference"
+                        } else {
+                            "global-reference"
+                        },
+                        "Error:Dangling",
+                        fname,
+                        "FATAL ERROR in native method: Bad global or local ref passed to JNI"
+                            .to_string(),
+                        cx.stack,
+                        ReportAction::AbortVm,
+                    ));
+                    return out;
+                }
+            }
+        }
+        // Pinned-buffer double free (error).
+        if matches!(
+            spec.op,
+            Op::ReleaseStringChars
+                | Op::ReleaseStringUtfChars
+                | Op::ReleaseArrayElements(_)
+                | Op::ReleaseStringCritical
+                | Op::ReleasePrimitiveArrayCritical
+        ) {
+            if let Some(JniArg::Buf(pin)) = cx.args.get(1) {
+                if !jvm.pins().is_live(*pin) {
+                    out.push(report(
+                        "pinned-buffer",
+                        "Error:DoubleFree",
+                        fname,
+                        "FATAL ERROR in native method: Releasing unpinned buffer".to_string(),
+                        cx.stack,
+                        ReportAction::AbortVm,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// J9's `-Xcheck:jni` checker.
+#[derive(Debug, Clone, Default)]
+pub struct J9Xcheck {
+    /// `-Xcheck:jni:nonfatal`: downgrade errors to warnings and continue.
+    pub nonfatal: bool,
+}
+
+impl J9Xcheck {
+    /// Standard fatal configuration.
+    pub fn new() -> J9Xcheck {
+        J9Xcheck { nonfatal: false }
+    }
+
+    /// The `-Xcheck:jni:nonfatal` configuration mentioned in Figure 9(b).
+    pub fn nonfatal() -> J9Xcheck {
+        J9Xcheck { nonfatal: true }
+    }
+
+    fn error_action(&self) -> ReportAction {
+        if self.nonfatal {
+            ReportAction::Warn
+        } else {
+            ReportAction::AbortVm
+        }
+    }
+}
+
+impl Interpose for J9Xcheck {
+    fn name(&self) -> &str {
+        "j9-xcheck"
+    }
+
+    fn pre_jni(&mut self, jvm: &Jvm, cx: &CallCx<'_>) -> Vec<Report> {
+        let spec = cx.spec();
+        let fname = &spec.name;
+        let mut out = Vec::new();
+
+        // Pitfall 1 (error; Figure 9b wording).
+        if !spec.exception_oblivious && jvm.thread(cx.thread).pending_exception().is_some() {
+            out.push(report(
+                "exception-state",
+                "Error:SensitiveCallWithPending",
+                fname,
+                format!(
+                    "JVMJNCK028E JNI error in {fname}: This function cannot be called when an exception is pending"
+                ),
+                cx.stack,
+                self.error_action(),
+            ));
+            return out;
+        }
+        // Pitfall 16 (error).
+        if !spec.critical_ok && jvm.thread(cx.thread).in_critical_section() {
+            out.push(report(
+                "critical-section",
+                "Error:SensitiveCallInCritical",
+                fname,
+                format!("JVMJNCK074E JNI error in {fname}: call made within critical region"),
+                cx.stack,
+                self.error_action(),
+            ));
+            return out;
+        }
+        // Unmatched critical release (error) — J9 validates the pairing.
+        if matches!(
+            spec.op,
+            Op::ReleaseStringCritical | Op::ReleasePrimitiveArrayCritical
+        ) {
+            let held = cx
+                .args
+                .get(1)
+                .and_then(|a| match a {
+                    JniArg::Buf(p) => jvm.pins().object(*p),
+                    _ => None,
+                })
+                .map(|obj| {
+                    jvm.thread(cx.thread)
+                        .criticals()
+                        .iter()
+                        .any(|h| h.object == obj)
+                })
+                .unwrap_or(false);
+            if !held {
+                out.push(report(
+                    "critical-section",
+                    "Error:UnmatchedRelease",
+                    fname,
+                    format!("JVMJNCK075E JNI error in {fname}: unmatched critical release"),
+                    cx.stack,
+                    self.error_action(),
+                ));
+                return out;
+            }
+        }
+        // Pitfall 3 (error).
+        for (i, p) in spec.params.iter().enumerate() {
+            if p.fixed_types == ["java/lang/Class"] {
+                if let Some(JniArg::Ref(r)) = cx.args.get(i) {
+                    if !r.is_null() {
+                        if let Ok(Some(oop)) = jvm.resolve(cx.thread, *r) {
+                            if jvm.class_of_mirror(oop).is_none() {
+                                out.push(report(
+                                    "fixed-typing",
+                                    "Error:FixedTypeMismatch",
+                                    fname,
+                                    format!(
+                                        "JVMJNCK023E JNI error in {fname}: invalid jclass argument `{}`",
+                                        p.name
+                                    ),
+                                    cx.stack,
+                                    self.error_action(),
+                                ));
+                                return out;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Pitfall 6 (error).
+        for a in cx.args {
+            let bad = match a {
+                JniArg::Method(m) => jvm.registry().method(*m).is_none(),
+                JniArg::Field(f) => jvm.registry().field(*f).is_none(),
+                _ => false,
+            };
+            if bad {
+                out.push(report(
+                    "entity-typing",
+                    "Error:EntityTypeMismatch",
+                    fname,
+                    format!("JVMJNCK065E JNI error in {fname}: invalid method or field ID"),
+                    cx.stack,
+                    self.error_action(),
+                ));
+                return out;
+            }
+        }
+        // Pitfall 13 (error): stale *local* references on use sites only —
+        // J9 neither validates the argument of Delete{Local,Global}Ref
+        // (double frees slip through) nor global-reference liveness; this
+        // asymmetry is part of the inconsistency the paper measures.
+        let is_delete = matches!(
+            spec.op,
+            Op::DeleteLocalRef | Op::DeleteGlobalRef | Op::DeleteWeakGlobalRef
+        );
+        if !is_delete {
+            for a in cx.args {
+                if let JniArg::Ref(r) = a {
+                    if r.kind() != RefKind::Local {
+                        continue;
+                    }
+                    match stale_ref_fault(jvm, cx.thread, *r) {
+                        Some(RefFault::Stale { .. }) | Some(RefFault::OutOfRange { .. }) => {
+                            out.push(report(
+                                "local-reference",
+                                "Error:Dangling",
+                                fname,
+                                format!("JVMJNCK035E JNI error in {fname}: invalid reference"),
+                                cx.stack,
+                                self.error_action(),
+                            ));
+                            return out;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn post_jni(&mut self, jvm: &Jvm, cx: &CallCx<'_>, ret: Option<&JniRet>) -> Vec<Report> {
+        // Pitfall 12 (warning): local-reference frame overflow, observed
+        // against the VM's own frame state.
+        if let Some(JniRet::Ref(r)) = ret {
+            if !r.is_null() && r.kind() == RefKind::Local {
+                let t = jvm.thread(cx.thread);
+                let frame = t.current_frame();
+                if frame.len() > frame.capacity() {
+                    return vec![report(
+                        "local-reference",
+                        "Error:Overflow",
+                        cx.func.name(),
+                        format!(
+                            "JVMJNCK080W JNI warning in {}: local reference count ({}) exceeds capacity ({})",
+                            cx.func.name(),
+                            frame.len(),
+                            frame.capacity()
+                        ),
+                        cx.stack,
+                        ReportAction::Warn,
+                    )];
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn vm_death(&mut self, jvm: &Jvm) -> Vec<Report> {
+        // Pitfall 11 (warning): unreleased pinned buffers at exit.
+        let leaked = jvm.pins().live_count();
+        if leaked > 0 {
+            vec![report(
+                "pinned-buffer",
+                "Error:Leak",
+                "VMDeath",
+                format!(
+                    "JVMJNCK085W JNI warning: {leaked} unreleased pinned buffer(s) at shutdown"
+                ),
+                &[],
+                ReportAction::Warn,
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[allow(unused)]
+fn _assert_interpose_object_safe(_: &dyn Interpose, _: MethodId) {}

@@ -1,0 +1,71 @@
+//! `-Xcheck:jni:nonfatal` (mentioned in the paper's Figure 9b): J9's
+//! checker downgraded from aborting to warning-and-continuing.
+
+use std::rc::Rc;
+
+use jinn_vendors::{J9Xcheck, Vendor};
+use minijni::{typed, RunOutcome, Session};
+use minijvm::JValue;
+
+fn exception_state_program(vm: &mut minijni::Vm) -> minijvm::MethodId {
+    vm.define_managed_class(
+        "nf/Thrower",
+        "boom",
+        "()V",
+        true,
+        Rc::new(|env, _| Err(env.java_throw("java/lang/RuntimeException", "pending"))),
+    );
+    let (_c, entry) = vm.define_native_class(
+        "nf/Caller",
+        "call",
+        "()V",
+        true,
+        Rc::new(|env, _| {
+            let clazz = typed::find_class(env, "nf/Thrower")?;
+            let mid = typed::get_static_method_id(env, clazz, "boom", "()V")?;
+            let _ = typed::call_static_void_method_a(env, clazz, mid, &[]);
+            // Sensitive call with the exception still pending.
+            let _ = typed::get_static_method_id(env, clazz, "boom", "()V");
+            typed::exception_clear(env)?;
+            Ok(JValue::Void)
+        }),
+    );
+    entry
+}
+
+#[test]
+fn fatal_mode_aborts_nonfatal_mode_warns_and_continues() {
+    // Standard -Xcheck:jni: the first error aborts the VM.
+    let mut vm = Vendor::J9.vm();
+    let entry = exception_state_program(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    session.attach(Box::new(J9Xcheck::new()));
+    match session.run_native(thread, entry, &[]) {
+        RunOutcome::Died(d) => {
+            assert_eq!(d.kind, minijvm::DeathKind::FatalError);
+            assert!(d.message.contains("JVMJNCK028E"), "{d}");
+        }
+        other => panic!("fatal mode should abort: {other:?}"),
+    }
+
+    // -Xcheck:jni:nonfatal: the checker no longer aborts — it warns and
+    // lets execution continue into the (undefined) call. On our J9 model
+    // that call still crashes, but unlike the unchecked run the user now
+    // has the JVMJNCK diagnosis pointing at the cause.
+    let mut vm = Vendor::J9.vm();
+    let entry = exception_state_program(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    session.attach(Box::new(J9Xcheck::nonfatal()));
+    let outcome = session.run_native(thread, entry, &[]);
+    match outcome {
+        RunOutcome::Died(d) => assert_eq!(d.kind, minijvm::DeathKind::Crash, "{d}"),
+        other => panic!("the underlying J9 crash still happens: {other:?}"),
+    }
+    assert!(
+        session.log().iter().any(|l| l.contains("JVMJNCK028E")),
+        "the diagnosis was printed before the crash: {:?}",
+        session.log()
+    );
+}

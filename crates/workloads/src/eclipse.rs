@@ -1,0 +1,96 @@
+//! The Eclipse 3.4 / SWT case study (paper Section 6.4.3).
+//!
+//! `callback.c:698` invokes `CallStaticSWT_PTRMethodV(env, object, mid,
+//! vl)` where `object` "must point to a Java class which has a static Java
+//! method identified by mid. The actual class did not have the static
+//! method, but its superclass declares the method." Production JVMs don't
+//! use the class operand for static dispatch, so the bug survived multiple
+//! revisions; Jinn's entity-specific typing machine catches it.
+
+use std::rc::Rc;
+
+use jinn_vendors::hotspot_vm;
+use minijni::{typed, RunOutcome, Session, Violation, Vm};
+use minijvm::{JValue, MethodId};
+
+fn build_swt_callback(vm: &mut Vm) -> MethodId {
+    // Widget declares the static callback; Display inherits but does NOT
+    // declare it.
+    let (_widget, _cb) = vm.define_managed_class(
+        "org/eclipse/swt/widgets/Widget",
+        "SWT_PTR_callback",
+        "()I",
+        true,
+        Rc::new(|_env, _args| Ok(JValue::Int(0))),
+    );
+    vm.jvm_mut()
+        .registry_mut()
+        .define("org/eclipse/swt/widgets/Display")
+        .superclass("org/eclipse/swt/widgets/Widget")
+        .build()
+        .expect("fresh VM");
+
+    let (_c, entry) = vm.define_native_class(
+        "org/eclipse/swt/internal/Callback",
+        "callback",
+        "()I",
+        true,
+        Rc::new(|env, _args| {
+            let widget = typed::find_class(env, "org/eclipse/swt/widgets/Widget")?;
+            let mid = typed::get_static_method_id(env, widget, "SWT_PTR_callback", "()I")?;
+            // The dynamic callback control and inner class confusion end
+            // with `object` holding the *subclass*:
+            let display = typed::find_class(env, "org/eclipse/swt/widgets/Display")?;
+            // result = (*env)->CallStaticSWT_PTRMethodV(env, object, mid, vl);
+            let result = typed::call_static_int_method_a(env, display, mid, &[])?;
+            Ok(JValue::Int(result))
+        }),
+    );
+    entry
+}
+
+/// Runs the SWT callback path under Jinn; the finding is the
+/// entity-specific typing violation.
+pub fn audit() -> Vec<Violation> {
+    let mut vm = hotspot_vm();
+    let entry = build_swt_callback(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    jinn_core::install(&mut session);
+    match session.run_native(thread, entry, &[]) {
+        RunOutcome::CheckerException(v) => vec![v],
+        _ => Vec::new(),
+    }
+}
+
+/// Without Jinn, "because the production JVM may not use the object
+/// value, this bug has survived multiple revisions" — the call completes.
+pub fn bug_survives_without_jinn() -> bool {
+    let mut vm = hotspot_vm();
+    let entry = build_swt_callback(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    matches!(
+        session.run_native(thread, entry, &[]),
+        RunOutcome::Completed(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jinn_catches_the_swt_subtyping_violation() {
+        let findings = audit();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].machine, "entity-typing");
+        assert_eq!(findings[0].error_state, "Error:EntityTypeMismatch");
+        assert!(findings[0].message.contains("does not declare"));
+    }
+
+    #[test]
+    fn the_bug_is_invisible_in_production() {
+        assert!(bug_survives_without_jinn());
+    }
+}

@@ -1,0 +1,174 @@
+//! The Java-gnome case study (paper Section 6.4.2 and Figure 1).
+//!
+//! GNOME bug 576111: `bindings_java_signal.c` caches the `receiver` class
+//! reference of a signal connection in a C heap structure; when the GTK
+//! event loop later fires the callback, `CallStaticVoidMethodA` uses the
+//! now-dead local reference. Jinn also re-finds the nullness bug first
+//! reported by the Blink debugger paper.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jinn_vendors::hotspot_vm;
+use minijni::{typed, RunOutcome, Session, Violation, Vm};
+use minijvm::{JRef, JValue, MethodId};
+
+struct EventCallBack {
+    receiver: JRef,
+    mid: MethodId,
+}
+
+/// Builds the signal-connect / signal-emit pair of Figure 1.
+fn build_signal_machinery(vm: &mut Vm) -> (MethodId, MethodId, Vec<JValue>) {
+    // The Java side: a listener class with the handler method.
+    let (_handler_class, _handler) = vm.define_managed_class(
+        "org/gnome/gtk/ClickedHandler",
+        "onClicked",
+        "()V",
+        true,
+        Rc::new(|_env, _args| Ok(JValue::Void)),
+    );
+    let cb: Rc<RefCell<Option<EventCallBack>>> = Rc::default();
+
+    // JNIEXPORT void JNICALL Java_Callback_bind(env, clazz, receiver, ...)
+    let bind = {
+        let cb = Rc::clone(&cb);
+        let (_c, m) = vm.define_native_class(
+            "org/gnome/gtk/Callback",
+            "bind",
+            "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+            true,
+            Rc::new(move |env, args| {
+                let receiver = args[0].as_ref().expect("receiver class");
+                // cb->mid = find_java_method(env, receiver, name, desc);
+                let mid = typed::get_static_method_id(env, receiver, "onClicked", "()V")?;
+                // cb->receiver = receiver;  /* local reference escapes! */
+                *cb.borrow_mut() = Some(EventCallBack { receiver, mid });
+                Ok(JValue::Void)
+            }),
+        );
+        m
+    };
+
+    // static void callback(EventCallBack* cb, Event* event)
+    let fire = {
+        let cb = Rc::clone(&cb);
+        let (_c, m) = vm.define_native_class(
+            "org/gnome/gtk/EventLoop",
+            "dispatch",
+            "()V",
+            true,
+            Rc::new(move |env, _args| {
+                let cb = cb.borrow();
+                let cb = cb.as_ref().expect("bind ran first");
+                // (*env)->CallStaticVoidMethodA(env, cb->receiver, cb->mid, jargs);
+                typed::call_static_void_method_a(env, cb.receiver, cb.mid, &[])?;
+                Ok(JValue::Void)
+            }),
+        );
+        m
+    };
+
+    // The receiver argument Java passes to bind: the handler's class.
+    let handler_class = vm
+        .jvm()
+        .find_class("org/gnome/gtk/ClickedHandler")
+        .expect("defined");
+    let mirror = vm.jvm_mut().mirror_oop(handler_class);
+    let thread = vm.jvm().main_thread();
+    let receiver = vm.jvm_mut().new_local(thread, mirror);
+    let name = vm.jvm_mut().alloc_string("onClicked");
+    let name = vm.jvm_mut().new_local(thread, name);
+    let desc = vm.jvm_mut().alloc_string("()V");
+    let desc = vm.jvm_mut().new_local(thread, desc);
+    (
+        bind,
+        fire,
+        vec![JValue::Ref(receiver), JValue::Ref(name), JValue::Ref(desc)],
+    )
+}
+
+/// Builds the nullness bug the Blink paper reported: a dispatch path that
+/// passes `NULL` where the JNI requires a non-null reference.
+fn build_nullness_bug(vm: &mut Vm) -> MethodId {
+    let (_c, entry) = vm.define_native_class(
+        "org/gnome/gdk/Pixbuf",
+        "render",
+        "()V",
+        true,
+        Rc::new(|env, _args| {
+            // The buggy path forgets to look the object up and passes the
+            // zero-initialised field straight to the JNI.
+            typed::get_object_class(env, JRef::NULL)?;
+            Ok(JValue::Void)
+        }),
+    );
+    entry
+}
+
+/// Runs the Java-gnome regression suite under Jinn and returns the
+/// findings (the dangling callback receiver and the nullness bug).
+pub fn audit() -> Vec<Violation> {
+    let mut findings = Vec::new();
+
+    // Bug 576111: dangling local reference in the signal callback.
+    {
+        let mut vm = hotspot_vm();
+        let (bind, fire, args) = build_signal_machinery(&mut vm);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        jinn_core::install(&mut session);
+        let bound = session.run_native(thread, bind, &args);
+        assert!(
+            matches!(bound, RunOutcome::Completed(_)),
+            "bind itself is legal: {bound:?}"
+        );
+        if let RunOutcome::CheckerException(v) = session.run_native(thread, fire, &[]) {
+            findings.push(v);
+        }
+    }
+
+    // The Blink nullness bug.
+    {
+        let mut vm = hotspot_vm();
+        let entry = build_nullness_bug(&mut vm);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        jinn_core::install(&mut session);
+        if let RunOutcome::CheckerException(v) = session.run_native(thread, entry, &[]) {
+            findings.push(v);
+        }
+    }
+
+    findings
+}
+
+/// Without Jinn the callback bug is a "time bomb": the production JVM may
+/// run it without visible failure (Jikes RVM ignores the parameter;
+/// permissive HotSpot resolution can get lucky), and the paper reports it
+/// "did not crash HotSpot and J9".
+pub fn callback_bug_is_latent_without_jinn() -> RunOutcome {
+    let mut vm = hotspot_vm();
+    let (bind, fire, args) = build_signal_machinery(&mut vm);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    let bound = session.run_native(thread, bind, &args);
+    assert!(matches!(bound, RunOutcome::Completed(_)));
+    session.run_native(thread, fire, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jinn_diagnoses_bug_576111_and_the_nullness_bug() {
+        let findings = audit();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].machine, "local-reference");
+        assert_eq!(findings[0].error_state, "Error:Dangling");
+        assert!(findings[0].function.contains("CallStaticVoidMethodA"));
+        assert_eq!(findings[1].machine, "nullness");
+        assert_eq!(findings[1].error_state, "Error:Null");
+    }
+}

@@ -1,0 +1,26 @@
+//! `jinn-workloads` — the evaluation workloads of the paper's Section 6.
+//!
+//! * [`table3`]: the 19 SPECjvm98/DaCapo benchmark stand-ins that replay
+//!   the paper's measured language-transition counts under the four
+//!   measured configurations (baseline, `-Xcheck:jni`, Jinn interposing,
+//!   Jinn checking);
+//! * [`subversion`]: the Section 6.4.1 case study (two local-reference
+//!   overflows, one dangling destructor reference, and the Figure 10
+//!   time series);
+//! * [`javagnome`]: the Section 6.4.2 case study (GNOME bug 576111 and
+//!   the Blink nullness bug);
+//! * [`eclipse`]: the Section 6.4.3 case study (the SWT entity-specific
+//!   typing violation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eclipse;
+pub mod javagnome;
+pub mod subversion;
+pub mod table3;
+
+pub use table3::{
+    benchmark, build_workload, geomean, run_benchmark, table3_row, BenchmarkSpec, Measurement,
+    Suite, Table3Row, Treatment, XorShift, BENCHMARKS,
+};

@@ -1,0 +1,179 @@
+//! The Subversion case study (paper Section 6.4.1).
+//!
+//! Running Subversion's JavaHL binding under Jinn found three bugs:
+//! two local-reference overflows (`Outputer.cpp:99`,
+//! `InfoCallback.cpp:144`) and one dangling local reference used by a
+//! C++ destructor (`CopySources.cpp`). These scenarios reproduce the same
+//! API-usage patterns; Figure 10's time series of acquired local
+//! references comes from [`local_ref_timeseries`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jinn_vendors::hotspot_vm;
+use minijni::{typed, RunOutcome, Session, Violation, Vm};
+use minijvm::{JValue, MethodId};
+
+/// Number of per-entry JString allocations in the info-callback loop —
+/// more than the 16-reference JNI guarantee, as in the real bug.
+pub const INFO_FIELDS: usize = 24;
+
+/// Builds the `InfoCallback.singleInfo` analogue: for each repository info
+/// record, `makeJString` is called per field. The original forgets
+/// `DeleteLocalRef`; the fixed variant (paper's patch) releases each
+/// reference after use, so "the number of active local references never
+/// exceeds 8".
+fn build_info_callback(vm: &mut Vm, fixed: bool, samples: Rc<RefCell<Vec<usize>>>) -> MethodId {
+    let (_c, entry) = vm.define_native_class(
+        "org/tigris/subversion/InfoCallback",
+        "singleInfo",
+        "()V",
+        true,
+        Rc::new(move |env, _args| {
+            for i in 0..INFO_FIELDS {
+                // jstring jreportUUID = JNIUtil::makeJString(info->repos_UUID);
+                let js = typed::new_string_utf(env, &format!("8f4b2e6a-uuid-field-{i}"))?;
+                let _len = typed::get_string_utf_length(env, js)?;
+                samples
+                    .borrow_mut()
+                    .push(env.jvm().thread(env.thread()).current_frame().len());
+                if fixed {
+                    // env->DeleteLocalRef(jreportUUID);  (the patch)
+                    typed::delete_local_ref(env, js)?;
+                }
+            }
+            Ok(JValue::Void)
+        }),
+    );
+    entry
+}
+
+/// Builds the `JNIStringHolder` destructor analogue: the holder caches the
+/// `jstring` and its pinned UTF buffer; user code deletes the local
+/// reference early, and the destructor then calls
+/// `ReleaseStringUTFChars(m_jtext, m_str)` through the dead reference.
+fn build_copy_sources(vm: &mut Vm) -> (MethodId, Vec<JValue>) {
+    let path = vm
+        .jvm_mut()
+        .alloc_string("branches/1.6.x/subversion/libsvn_client");
+    let thread = vm.jvm().main_thread();
+    let jpath = vm.jvm_mut().new_local(thread, path);
+    let (_c, entry) = vm.define_native_class(
+        "org/tigris/subversion/CopySources",
+        "pathsToArray",
+        "(Ljava/lang/String;)V",
+        true,
+        Rc::new(|env, args| {
+            let jpath = args[0].as_ref().expect("path argument");
+            // JNIStringHolder path(jpath): pins the UTF-8 contents.
+            let m_str = typed::get_string_utf_chars(env, jpath)?;
+            // env->DeleteLocalRef(jpath): kills the cached reference...
+            typed::delete_local_ref(env, jpath)?;
+            // }  // ~JNIStringHolder(): ReleaseStringUTFChars(m_jtext, m_str)
+            // ...which this release then uses, dangling.
+            typed::release_string_utf_chars(env, jpath, m_str)?;
+            Ok(JValue::Void)
+        }),
+    );
+    (entry, vec![JValue::Ref(jpath)])
+}
+
+/// Figure 10: live local references after each `makeJString`, for the
+/// original and the fixed program (one call of the info callback).
+pub fn local_ref_timeseries(fixed: bool) -> Vec<usize> {
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let mut vm = hotspot_vm();
+    let entry = build_info_callback(&mut vm, fixed, Rc::clone(&samples));
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    let outcome = session.run_native(thread, entry, &[]);
+    assert!(
+        matches!(outcome, RunOutcome::Completed(_)),
+        "raw run keeps running in spite of the overflow: {outcome:?}"
+    );
+    let out = samples.borrow().clone();
+    out
+}
+
+/// Runs the regression suite under Jinn and returns the findings —
+/// the overflow and the dangling destructor reference.
+pub fn audit() -> Vec<Violation> {
+    let mut findings = Vec::new();
+
+    // Overflow of local references (Outputer.cpp / InfoCallback.cpp).
+    {
+        let samples = Rc::new(RefCell::new(Vec::new()));
+        let mut vm = hotspot_vm();
+        let entry = build_info_callback(&mut vm, false, samples);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        jinn_core::install(&mut session);
+        if let RunOutcome::CheckerException(v) = session.run_native(thread, entry, &[]) {
+            findings.push(v);
+        }
+    }
+
+    // Use of a dangling local reference in the C++ destructor.
+    {
+        let mut vm = hotspot_vm();
+        let (entry, args) = build_copy_sources(&mut vm);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        jinn_core::install(&mut session);
+        if let RunOutcome::CheckerException(v) = session.run_native(thread, entry, &args) {
+            findings.push(v);
+        }
+    }
+
+    findings
+}
+
+/// The fixed program passes its regression run even under Jinn.
+pub fn fixed_program_is_clean() -> bool {
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let mut vm = hotspot_vm();
+    let entry = build_info_callback(&mut vm, true, samples);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    jinn_core::install(&mut session);
+    let ok = matches!(
+        session.run_native(thread, entry, &[]),
+        RunOutcome::Completed(_)
+    );
+    ok && session.shutdown().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_overflows_past_16_fixed_stays_low() {
+        let original = local_ref_timeseries(false);
+        let fixed = local_ref_timeseries(true);
+        assert_eq!(original.len(), INFO_FIELDS);
+        assert!(
+            original.iter().copied().max().unwrap() > 16,
+            "original exceeds the 16-reference pool"
+        );
+        assert!(
+            fixed.iter().copied().max().unwrap() <= 8,
+            "paper: never exceeds 8 after the fix"
+        );
+    }
+
+    #[test]
+    fn jinn_finds_both_bugs() {
+        let findings = audit();
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].error_state, "Error:Overflow");
+        assert_eq!(findings[0].machine, "local-reference");
+        assert_eq!(findings[1].error_state, "Error:Dangling");
+        assert!(findings[1].function.contains("ReleaseStringUTFChars"));
+    }
+
+    #[test]
+    fn fix_passes_under_jinn() {
+        assert!(fixed_program_is_clean());
+    }
+}

@@ -1,0 +1,470 @@
+//! Table 3 workloads: SPECjvm98 and DaCapo stand-ins.
+//!
+//! The paper measures Jinn's overhead on 19 benchmarks whose relevant
+//! property is their *language-transition density* — how often control
+//! crosses between Java and C (Table 3, column 2). These generators
+//! replay exactly that: for each benchmark, a deterministic program that
+//! performs the paper's measured number of transitions (divided by a
+//! scale factor so a laptop run finishes in seconds) with a realistic mix
+//! of JNI work — the string, array, field and call traffic a system
+//! library produces — interleaved with Java-side "application work".
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use jinn_vendors::Vendor;
+use minijni::{typed, JniEnv, JniError, Session, Vm};
+use minijvm::{JValue, MemberFlags, MethodId, PrimArray};
+
+/// The benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// DaCapo (2006).
+    DaCapo,
+    /// SPECjvm98.
+    SpecJvm98,
+}
+
+/// One Table 3 row: a benchmark and its measured transition count.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Language transitions between Java and C in the system libraries,
+    /// as the paper measured with HotSpot (Table 3 column 2).
+    pub transitions: u64,
+}
+
+/// All 19 benchmarks of Table 3, with the paper's transition counts.
+pub const BENCHMARKS: [BenchmarkSpec; 19] = [
+    BenchmarkSpec {
+        name: "antlr",
+        suite: Suite::DaCapo,
+        transitions: 441_789,
+    },
+    BenchmarkSpec {
+        name: "bloat",
+        suite: Suite::DaCapo,
+        transitions: 839_930,
+    },
+    BenchmarkSpec {
+        name: "chart",
+        suite: Suite::DaCapo,
+        transitions: 1_006_933,
+    },
+    BenchmarkSpec {
+        name: "eclipse",
+        suite: Suite::DaCapo,
+        transitions: 8_456_840,
+    },
+    BenchmarkSpec {
+        name: "fop",
+        suite: Suite::DaCapo,
+        transitions: 1_976_384,
+    },
+    BenchmarkSpec {
+        name: "hsqldb",
+        suite: Suite::DaCapo,
+        transitions: 206_829,
+    },
+    BenchmarkSpec {
+        name: "jython",
+        suite: Suite::DaCapo,
+        transitions: 56_318_101,
+    },
+    BenchmarkSpec {
+        name: "luindex",
+        suite: Suite::DaCapo,
+        transitions: 1_339_059,
+    },
+    BenchmarkSpec {
+        name: "lusearch",
+        suite: Suite::DaCapo,
+        transitions: 4_080_540,
+    },
+    BenchmarkSpec {
+        name: "pmd",
+        suite: Suite::DaCapo,
+        transitions: 967_430,
+    },
+    BenchmarkSpec {
+        name: "xalan",
+        suite: Suite::DaCapo,
+        transitions: 1_114_000,
+    },
+    BenchmarkSpec {
+        name: "compress",
+        suite: Suite::SpecJvm98,
+        transitions: 14_878,
+    },
+    BenchmarkSpec {
+        name: "jess",
+        suite: Suite::SpecJvm98,
+        transitions: 153_118,
+    },
+    BenchmarkSpec {
+        name: "raytrace",
+        suite: Suite::SpecJvm98,
+        transitions: 29_977,
+    },
+    BenchmarkSpec {
+        name: "db",
+        suite: Suite::SpecJvm98,
+        transitions: 133_112,
+    },
+    BenchmarkSpec {
+        name: "javac",
+        suite: Suite::SpecJvm98,
+        transitions: 258_553,
+    },
+    BenchmarkSpec {
+        name: "mpegaudio",
+        suite: Suite::SpecJvm98,
+        transitions: 46_208,
+    },
+    BenchmarkSpec {
+        name: "mtrt",
+        suite: Suite::SpecJvm98,
+        transitions: 32_231,
+    },
+    BenchmarkSpec {
+        name: "jack",
+        suite: Suite::SpecJvm98,
+        transitions: 1_332_678,
+    },
+];
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static BenchmarkSpec> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// The four measured configurations of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Treatment {
+    /// Production run, nothing attached (the normalization baseline).
+    Baseline,
+    /// The vendor's `-Xcheck:jni` ("Runtime checking" column).
+    VendorCheck,
+    /// Jinn's wrappers without analysis ("Jinn Interposing" column).
+    JinnInterposing,
+    /// Full Jinn ("Jinn Checking" column).
+    JinnChecking,
+}
+
+impl Treatment {
+    /// All treatments in Table 3 column order.
+    pub const ALL: [Treatment; 4] = [
+        Treatment::Baseline,
+        Treatment::VendorCheck,
+        Treatment::JinnInterposing,
+        Treatment::JinnChecking,
+    ];
+}
+
+impl std::fmt::Display for Treatment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Treatment::Baseline => "baseline",
+            Treatment::VendorCheck => "runtime checking",
+            Treatment::JinnInterposing => "jinn interposing",
+            Treatment::JinnChecking => "jinn checking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Wall-clock time of the workload.
+    pub elapsed: Duration,
+    /// Language transitions executed (calls + returns).
+    pub transitions: u64,
+}
+
+/// A tiny deterministic RNG (xorshift64*), so workloads are reproducible
+/// without threading a `rand` generator through native closures.
+#[derive(Debug, Clone)]
+pub struct XorShift(Cell<u64>);
+
+impl XorShift {
+    /// Seeded constructor (seed must be non-zero).
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(Cell::new(seed.max(1)))
+    }
+
+    /// Next value.
+    pub fn next(&self) -> u64 {
+        let mut x = self.0.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value below `n`.
+    pub fn below(&self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Simulated Java-side application work: the arithmetic a benchmark does
+/// between its JNI excursions. Tuned so that interposition overhead lands
+/// in the paper's 10–20% band rather than dominating.
+fn application_work(units: u64) -> u64 {
+    let mut acc = 0x9E37_79B9u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        acc ^= acc >> 33;
+    }
+    std::hint::black_box(acc)
+}
+
+/// The per-call JNI traffic mix of the workload's native method. Each
+/// invocation performs a handful of JNI calls typical of system-library
+/// native code: string shuffling, array copies, field reads, upcalls.
+fn native_work(env: &mut JniEnv<'_>, args: &[JValue], rng: &XorShift) -> Result<JValue, JniError> {
+    let holder = args[0].as_ref().expect("holder argument");
+    application_work(1200);
+    match rng.below(5) {
+        0 => {
+            // String excursion: create, measure, pin, release.
+            let s = typed::new_string_utf(env, "workload-string-payload")?;
+            let n = typed::get_string_utf_length(env, s)?;
+            let pin = typed::get_string_utf_chars(env, s)?;
+            application_work(300 + (n as u64 & 7));
+            typed::release_string_utf_chars(env, s, pin)?;
+            typed::delete_local_ref(env, s)?;
+        }
+        1 => {
+            // Array excursion: allocate, fill a region, read it back.
+            let arr = typed::new_int_array(env, 16)?;
+            typed::set_int_array_region(
+                env,
+                arr,
+                0,
+                PrimArray::Int((0..8).map(|i| i * 3).collect()),
+            )?;
+            let region = typed::get_int_array_region(env, arr, 2, 4)?;
+            application_work(250 + region.len() as u64);
+            typed::delete_local_ref(env, arr)?;
+        }
+        2 => {
+            // Field traffic on the shared holder object.
+            let clazz = typed::get_object_class(env, holder)?;
+            let fid = typed::get_field_id(env, clazz, "counter", "I")?;
+            let v = typed::get_int_field(env, holder, fid)?;
+            typed::set_int_field(env, holder, fid, v.wrapping_add(1))?;
+            typed::delete_local_ref(env, clazz)?;
+        }
+        3 => {
+            // Upcall into Java.
+            let clazz = typed::get_object_class(env, holder)?;
+            let mid = typed::get_method_id(env, clazz, "tick", "()I")?;
+            let _ = typed::call_int_method_a(env, holder, mid, &[])?;
+            typed::delete_local_ref(env, clazz)?;
+        }
+        _ => {
+            // Reference churn within capacity.
+            let r = typed::new_local_ref(env, holder)?;
+            let g = typed::new_global_ref(env, r)?;
+            let _same = typed::is_same_object(env, r, g)?;
+            typed::delete_global_ref(env, g)?;
+            typed::delete_local_ref(env, r)?;
+        }
+    }
+    application_work(900);
+    Ok(JValue::Int(0))
+}
+
+/// Builds the workload program into a VM; returns the native entry and
+/// its argument.
+pub fn build_workload(vm: &mut Vm, seed: u64) -> (MethodId, Vec<JValue>) {
+    let tick_idx = vm.add_managed_code(Rc::new(|_env, _args| Ok(JValue::Int(1))));
+    let holder_class = vm
+        .jvm_mut()
+        .registry_mut()
+        .define("workload/Holder")
+        .field("counter", "I", MemberFlags::public())
+        .method(
+            "tick",
+            "()I",
+            MemberFlags::public(),
+            minijvm::MethodBody::Managed(tick_idx),
+        )
+        .build()
+        .expect("fresh VM");
+    let rng = XorShift::new(seed);
+    let (_cls, entry) = vm.define_native_class(
+        "workload/Kernel",
+        "work",
+        "(Lworkload/Holder;)I",
+        true,
+        Rc::new(move |env, args| native_work(env, args, &rng)),
+    );
+    let oop = vm.jvm_mut().alloc_object(holder_class);
+    let thread = vm.jvm().main_thread();
+    let holder = vm.jvm_mut().new_local(thread, oop);
+    (entry, vec![JValue::Ref(holder)])
+}
+
+/// Runs one benchmark workload under a treatment and measures it.
+///
+/// `scale` divides the paper's transition count (e.g. 100 ⇒ 1/100th of
+/// the transitions); the workload performs roughly
+/// `spec.transitions / scale` boundary crossings.
+pub fn run_benchmark(
+    spec: &BenchmarkSpec,
+    treatment: Treatment,
+    vendor: Vendor,
+    scale: u64,
+) -> Measurement {
+    let mut vm = vendor.vm();
+    // Workloads exercise the GC continuously, as real benchmarks do.
+    vm.jvm_mut().set_auto_gc_period(Some(4096));
+    let (entry, args) = build_workload(&mut vm, 0x1234_5678 ^ spec.transitions);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    match treatment {
+        Treatment::Baseline => {}
+        Treatment::VendorCheck => session.attach(vendor.xcheck()),
+        Treatment::JinnInterposing => {
+            session.vm_mut().jvm_mut(); // ensure exception class can register
+            let jinn = jinn_core::Jinn::interpose_only();
+            session.attach(Box::new(jinn));
+        }
+        Treatment::JinnChecking => {
+            jinn_core::install(&mut session);
+        }
+    }
+
+    // Each native call produces ~14 transitions (1 native call + ~6 JNI
+    // calls, each counting a call and a return).
+    let target = (spec.transitions / scale.max(1)).max(100);
+    let start = Instant::now();
+    loop {
+        let outcome = session.run_native(thread, entry, &args);
+        debug_assert!(
+            matches!(outcome, minijni::RunOutcome::Completed(_)),
+            "workload must be bug-free: {outcome:?}"
+        );
+        if session.vm().stats().total() >= target {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    Measurement {
+        elapsed,
+        transitions: session.vm().stats().total(),
+    }
+}
+
+/// A full Table 3 row: normalized execution times for the three checked
+/// configurations (median of `trials` runs each).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Paper-measured transition count (column 2).
+    pub transitions: u64,
+    /// Runtime checking (vendor `-Xcheck:jni`) normalized time.
+    pub runtime_checking: f64,
+    /// Jinn interposing-only normalized time.
+    pub interposing: f64,
+    /// Full Jinn normalized time.
+    pub checking: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    xs[xs.len() / 2]
+}
+
+/// Measures one benchmark across all four treatments.
+pub fn table3_row(spec: &BenchmarkSpec, vendor: Vendor, scale: u64, trials: usize) -> Table3Row {
+    let time = |treatment| {
+        let runs: Vec<f64> = (0..trials.max(1))
+            .map(|_| {
+                run_benchmark(spec, treatment, vendor, scale)
+                    .elapsed
+                    .as_secs_f64()
+            })
+            .collect();
+        median(runs)
+    };
+    let base = time(Treatment::Baseline).max(f64::EPSILON);
+    Table3Row {
+        name: spec.name,
+        transitions: spec.transitions,
+        runtime_checking: time(Treatment::VendorCheck) / base,
+        interposing: time(Treatment::JinnInterposing) / base,
+        checking: time(Treatment::JinnChecking) / base,
+    }
+}
+
+/// Geometric mean of a series.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        log_sum += x.max(f64::EPSILON).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_with_paper_counts() {
+        assert_eq!(BENCHMARKS.len(), 19);
+        assert_eq!(benchmark("jython").unwrap().transitions, 56_318_101);
+        assert_eq!(benchmark("compress").unwrap().transitions, 14_878);
+        assert!(benchmark("nosuch").is_none());
+    }
+
+    #[test]
+    fn workload_runs_clean_under_jinn() {
+        // The workload must be bug-free: Jinn on it is the paper's
+        // no-false-positives property under production traffic.
+        let spec = benchmark("compress").unwrap();
+        let m = run_benchmark(spec, Treatment::JinnChecking, Vendor::HotSpot, 10);
+        assert!(m.transitions >= 1_400, "ran {} transitions", m.transitions);
+    }
+
+    #[test]
+    fn all_treatments_execute_same_workload() {
+        let spec = benchmark("raytrace").unwrap();
+        for t in Treatment::ALL {
+            let m = run_benchmark(spec, t, Vendor::HotSpot, 10);
+            assert!(m.transitions >= 2_000, "{t}: {}", m.transitions);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let a = XorShift::new(7);
+        let b = XorShift::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+        assert!(a.below(10) < 10);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Catching Jinn's exception in "Java" code — the paper's debugging story
+//! (Sections 2.3 and 6.3): `jinn.JNIAssertionFailure` is an ordinary Java
+//! exception, so a GUI program can report it in a dialog, and jdb/Eclipse
+//! JDT can break on it with full program state.
+//!
+//! ```text
+//! cargo run --example debugger_catch
+//! ```
+
+use std::rc::Rc;
+
+use jinn::jni::{typed, JniError, Session, Vm};
+use jinn::jvm::JValue;
+
+fn main() {
+    let mut vm = Vm::permissive();
+
+    // The buggy native method (a dangling local reference).
+    let (_c, buggy) = vm.define_native_class(
+        "app/Renderer",
+        "render",
+        "(Ljava/lang/Object;)V",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().expect("scene object");
+            let r = typed::new_local_ref(env, obj)?;
+            typed::delete_local_ref(env, r)?;
+            typed::get_object_class(env, r)?; // Jinn throws here
+            Ok(JValue::Void)
+        }),
+    );
+
+    // The "Java" GUI layer: calls the native renderer inside a try/catch
+    // and turns failures into a user-visible dialog instead of a crash.
+    let (_c2, gui) = vm.define_managed_class(
+        "app/Gui",
+        "onPaint",
+        "(Ljava/lang/Object;)Ljava/lang/String;",
+        true,
+        Rc::new(move |env, args| {
+            let scene = &args[0];
+            match env.call_native_method(buggy, std::slice::from_ref(scene)) {
+                Ok(_) => {
+                    let ok = env.jvm_mut().alloc_string("painted");
+                    let thread = env.thread();
+                    let r = env.jvm_mut().new_local(thread, ok);
+                    Ok(JValue::Ref(r))
+                }
+                Err(JniError::Exception | JniError::Detected(_)) => {
+                    // catch (JNIAssertionFailure e) { showDialog(e); }
+                    let pending = env
+                        .jvm()
+                        .thread(env.thread())
+                        .pending_exception()
+                        .expect("an exception is pending");
+                    let dialog = format!("DIALOG: {}", env.jvm().describe_exception(pending));
+                    let thread = env.thread();
+                    env.jvm_mut().thread_mut(thread).set_pending_exception(None);
+                    let s = env.jvm_mut().alloc_string(&dialog);
+                    let thread = env.thread();
+                    let r = env.jvm_mut().new_local(thread, s);
+                    Ok(JValue::Ref(r))
+                }
+                Err(other) => Err(other),
+            }
+        }),
+    );
+
+    // A scene object.
+    let class = vm
+        .jvm()
+        .find_class("java/lang/Object")
+        .expect("bootstrapped");
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let scene = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+
+    let mut session = Session::new(vm);
+    jinn::core::install(&mut session);
+
+    // Drive the GUI entry point from "main".
+    let result = {
+        let mut env = session.env(thread);
+        env.call_managed_method(gui, &[scene])
+    };
+    match result {
+        Ok(JValue::Ref(r)) => {
+            let oop = session.vm().jvm().resolve(thread, r).unwrap().unwrap();
+            let text = session.vm().jvm().string_value(oop).unwrap();
+            println!("GUI thread survived; the user saw:\n");
+            println!("  ┌──────────────────────────────────────────────┐");
+            for line in text.lines().take(3) {
+                println!("  │ {:44.44} │", line);
+            }
+            println!("  └──────────────────────────────────────────────┘");
+            println!();
+            println!(
+                "Compare: without a catchable exception the same bug is a crash with no \
+                 diagnosis, or silent corruption. \"Exceptions provide a principled and \
+                 language supported approach to software quality.\""
+            );
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,48 @@
+//! The Python/C borrowed-reference dangle of the paper's Figure 11, and
+//! the synthesized checker that catches it (Section 7).
+//!
+//! ```text
+//! cargo run --example python_dangle
+//! ```
+
+use jinn::py::{dangle_bug, dangle_bug_fixed, BuildArg, PyRunOutcome, PySession};
+
+fn main() {
+    println!("Figure 11: dangling borrowed reference in a Python extension\n");
+
+    // The buggy extension runs "fine" on the plain interpreter: the
+    // borrowed `first` still points at freed-but-unrecycled memory.
+    let mut plain = PySession::new();
+    let out = plain.run(|env| {
+        let names = ["Eric", "Graham", "John", "Michael", "Terry", "Terry"];
+        let args: Vec<BuildArg> = names
+            .iter()
+            .map(|n| BuildArg::Str((*n).to_string()))
+            .collect();
+        let pythons = env.py_build_value("[ssssss]", &args)?;
+        let first = env.py_list_get_item(pythons, 0)?; // borrowed
+        println!("1. first = {}.", env.py_string_as_string(first)?);
+        env.py_decref(pythons)?; // first is now dangling
+        println!("2. first = {}.", env.py_string_as_string(first)?); // BUG
+        Ok(())
+    });
+    println!("plain interpreter outcome: {out:?}");
+    println!("(\"in practice, the behavior depends on whether the interpreter reuses");
+    println!("  the memory between the implicit release and the explicit use\")\n");
+
+    // The synthesized checker tracks co-owners and borrowers and signals
+    // the use of the invalidated borrow.
+    let mut checked = PySession::with_checker();
+    match checked.run(|env| dangle_bug(env).map(|_| ())) {
+        PyRunOutcome::CheckerError(v) => {
+            println!("checker: {v}");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // And stays silent on the correct variant.
+    let mut fixed = PySession::with_checker();
+    let out = fixed.run(|env| dangle_bug_fixed(env).map(|_| ()));
+    println!("\nfixed variant outcome: {out:?} (no false positives)");
+    assert!(fixed.shutdown().is_empty());
+}

@@ -1,0 +1,107 @@
+//! Quickstart: catch your first JNI bug with Jinn.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program builds a tiny simulated JVM, registers a native method
+//! whose "C code" forgets that local references die when the method
+//! returns, and runs it twice — once on the raw VM (where the bug is a
+//! silent time bomb) and once under Jinn (which throws a
+//! `jinn.JNIAssertionFailure` at the exact faulty call).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jinn::jni::{typed, RunOutcome, Session, Vm};
+use jinn::jvm::{JRef, JValue};
+
+/// Builds the buggy program: `stash` plays the role of a C global that
+/// outlives the native frame.
+fn build(vm: &mut Vm, stash: Rc<RefCell<Option<JRef>>>) -> (minijvm::MethodId, minijvm::MethodId) {
+    let (_c, remember) = {
+        let stash = Rc::clone(&stash);
+        vm.define_native_class(
+            "demo/Cache",
+            "remember",
+            "(Ljava/lang/Object;)V",
+            true,
+            Rc::new(move |_env, args| {
+                // BUG: storing a local reference in a C global.
+                *stash.borrow_mut() = args[0].as_ref();
+                Ok(JValue::Void)
+            }),
+        )
+    };
+    let (_c, recall) = {
+        let stash = Rc::clone(&stash);
+        vm.define_native_class(
+            "demo/Cache2",
+            "recall",
+            "()V",
+            true,
+            Rc::new(move |env, _args| {
+                let dead = stash.borrow().expect("remember ran first");
+                // The reference died when `remember` returned; this use is
+                // undefined behaviour on a real JVM.
+                let class = typed::get_object_class(env, dead)?;
+                let _ = typed::is_same_object(env, dead, class)?;
+                Ok(JValue::Void)
+            }),
+        )
+    };
+    (remember, recall)
+}
+
+fn run(with_jinn: bool) -> RunOutcome {
+    let mut vm = Vm::permissive();
+    let stash = Rc::default();
+    let (remember, recall) = build(&mut vm, Rc::clone(&stash));
+    // An object to cache, created as a local reference on the main thread.
+    let class = vm
+        .jvm()
+        .find_class("java/lang/Object")
+        .expect("bootstrapped");
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let obj = vm.jvm_mut().new_local(thread, oop);
+
+    let mut session = Session::new(vm);
+    if with_jinn {
+        jinn::core::install(&mut session);
+    }
+    let bound = session.run_native(thread, remember, &[JValue::Ref(obj)]);
+    assert!(
+        matches!(bound, RunOutcome::Completed(_)),
+        "remember itself is legal"
+    );
+    session.run_native(thread, recall, &[])
+}
+
+fn main() {
+    println!("== without Jinn ==");
+    match run(false) {
+        RunOutcome::Completed(_) => {
+            println!("the program 'worked' — the dangling use went unnoticed (a time bomb)\n")
+        }
+        other => println!("the raw VM reacted with: {other:?}\n"),
+    }
+
+    println!("== with Jinn (-agentlib:jinn) ==");
+    match run(true) {
+        RunOutcome::CheckerException(v) => {
+            println!("jinn.JNIAssertionFailure thrown at the point of failure:");
+            println!("  machine:     {}", v.machine);
+            println!("  error state: {}", v.error_state);
+            println!("  function:    {}", v.function);
+            println!(
+                "  message:     {}",
+                v.message.lines().next().unwrap_or_default()
+            );
+            for frame in &v.backtrace {
+                println!("      at {frame}");
+            }
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+}

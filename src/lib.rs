@@ -1,0 +1,26 @@
+//! Jinn — synthesized dynamic bug detectors for foreign language
+//! interfaces, reproduced in Rust.
+//!
+//! Façade crate re-exporting the workspace's public API. See the individual
+//! crates for details:
+//!
+//! * [`fsm`] — the state-machine specification framework (paper Section 4).
+//! * [`jvm`] — the simulated JVM substrate.
+//! * [`jni`] — the 229-function JNI surface and its constraint registry.
+//! * [`spec`] — the eleven Jinn state machines (Figures 2, 6, 7, 8).
+//! * [`core`] — the synthesizer (Algorithm 1) and the interposing checker.
+//! * [`vendors`] — HotSpot/J9 behavioural models and `-Xcheck:jni` baselines.
+//! * [`py`] — the mini Python interpreter and its Python/C checker (Sec 7).
+//! * [`microbench`] — the 16 error-triggering microbenchmarks (Sec 6.1).
+//! * [`workloads`] — Table 3 workload generators and the Section 6.4 case
+//!   studies.
+
+pub use jinn_core as core;
+pub use jinn_fsm as fsm;
+pub use jinn_microbench as microbench;
+pub use jinn_spec as spec;
+pub use jinn_vendors as vendors;
+pub use jinn_workloads as workloads;
+pub use minijni as jni;
+pub use minijvm as jvm;
+pub use minipy as py;

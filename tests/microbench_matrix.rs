@@ -1,0 +1,100 @@
+//! Integration test pinning the full Table 1 matrix and the Section 6.3
+//! coverage numbers — the repository's headline reproduction results.
+
+use jinn::microbench::{coverage, run_all, run_scenario, scenarios, Behavior, Config};
+use jinn::vendors::Vendor;
+
+/// The full expected matrix: (name, HotSpot, J9, HS-Xcheck, J9-Xcheck).
+/// Jinn is `exception` on every row by the companion test below.
+const MATRIX: [(&str, Behavior, Behavior, Behavior, Behavior); 16] = {
+    use Behavior::*;
+    [
+        ("EnvMismatch", Running, Crash, Error, Crash),
+        ("ExceptionState", Running, Crash, Warning, Error),
+        ("CriticalCall", Deadlock, Deadlock, Warning, Error),
+        ("CriticalUnmatchedRelease", Running, Running, Running, Error),
+        ("JclassConfusion", Crash, Crash, Error, Error),
+        ("IdConfusion", Crash, Crash, Error, Error),
+        ("FinalFieldWrite", Npe, Npe, Npe, Npe),
+        ("NullArgument", Running, Crash, Running, Crash),
+        ("PinLeak", Leak, Leak, Running, Warning),
+        ("PinDoubleFree", Running, Running, Error, Running),
+        ("MonitorLeak", Leak, Leak, Running, Running),
+        ("GlobalLeak", Leak, Leak, Running, Running),
+        ("GlobalDangling", Crash, Crash, Error, Crash),
+        ("LocalOverflow", Leak, Leak, Running, Warning),
+        ("LocalRefDangling", Crash, Crash, Error, Error),
+        ("LocalDoubleFree", Crash, Crash, Error, Crash),
+    ]
+};
+
+#[test]
+fn the_full_table_1_matrix_is_stable() {
+    for (name, hs, j9, hsx, j9x) in MATRIX {
+        let s = |cfg| {
+            let scenario = scenarios()
+                .into_iter()
+                .find(|s| s.name == name)
+                .expect("scenario exists");
+            run_scenario(&scenario, cfg).behavior
+        };
+        assert_eq!(s(Config::Default(Vendor::HotSpot)), hs, "{name} HotSpot");
+        assert_eq!(s(Config::Default(Vendor::J9)), j9, "{name} J9");
+        assert_eq!(
+            s(Config::Xcheck(Vendor::HotSpot)),
+            hsx,
+            "{name} HotSpot -Xcheck"
+        );
+        assert_eq!(s(Config::Xcheck(Vendor::J9)), j9x, "{name} J9 -Xcheck");
+    }
+}
+
+#[test]
+fn jinn_throws_on_all_sixteen_on_both_vendors() {
+    for vendor in Vendor::ALL {
+        for (name, o) in run_all(Config::Jinn(vendor)) {
+            assert_eq!(o.behavior, Behavior::JinnException, "{name} on {vendor}");
+        }
+    }
+}
+
+#[test]
+fn section_6_3_headline_numbers() {
+    assert_eq!(
+        coverage(Config::Jinn(Vendor::HotSpot)),
+        (16, 16),
+        "Jinn 100%"
+    );
+    assert_eq!(
+        coverage(Config::Jinn(Vendor::J9)),
+        (16, 16),
+        "Jinn 100% on J9 too"
+    );
+    assert_eq!(
+        coverage(Config::Xcheck(Vendor::HotSpot)),
+        (9, 16),
+        "HotSpot 56%"
+    );
+    assert_eq!(coverage(Config::Xcheck(Vendor::J9)), (8, 16), "J9 50%");
+    // Defaults detect nothing (crashes and silence are not diagnoses).
+    assert_eq!(coverage(Config::Default(Vendor::HotSpot)).0, 0);
+    assert_eq!(coverage(Config::Default(Vendor::J9)).0, 0);
+}
+
+#[test]
+fn jinn_always_explains_itself() {
+    for s in scenarios() {
+        let o = run_scenario(&s, Config::Jinn(Vendor::HotSpot));
+        let msg = o.message.unwrap_or_default();
+        assert!(
+            !msg.is_empty(),
+            "{}: Jinn reported without a diagnosis",
+            s.name
+        );
+        assert!(
+            msg.len() > 20,
+            "{}: diagnosis too terse to act on: {msg}",
+            s.name
+        );
+    }
+}

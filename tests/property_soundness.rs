@@ -1,0 +1,304 @@
+//! Property-based tests of Jinn's headline guarantees:
+//!
+//! * **no false positives** — arbitrary *correct* JNI programs run under
+//!   Jinn without a single report;
+//! * **no false negatives for exercised, boundary-visible bugs** — a
+//!   correct program with one seeded bug gets exactly that constraint
+//!   class reported.
+
+use std::rc::Rc;
+
+use jinn::jni::{typed, JniError, RunOutcome, Session, Vm};
+use jinn::jvm::{JRef, JValue};
+use proptest::prelude::*;
+
+/// The op-language of generated native methods. Every op is correct by
+/// construction against the model the interpreter below maintains.
+#[derive(Debug, Clone)]
+enum Op {
+    NewString(u8),
+    NewIntArray(u8),
+    DupArg,
+    DupLast,
+    DeleteLast,
+    Globalize,
+    DropGlobal,
+    PinAndRelease,
+    MonitorPair,
+    GetVersion,
+    ExceptionCheck,
+    FramedAllocs(u8),
+    UpcallPing,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..40).prop_map(Op::NewString),
+        (0u8..8).prop_map(Op::NewIntArray),
+        Just(Op::DupArg),
+        Just(Op::DupLast),
+        Just(Op::DeleteLast),
+        Just(Op::Globalize),
+        Just(Op::DropGlobal),
+        Just(Op::PinAndRelease),
+        Just(Op::MonitorPair),
+        Just(Op::GetVersion),
+        Just(Op::ExceptionCheck),
+        (1u8..10).prop_map(Op::FramedAllocs),
+        Just(Op::UpcallPing),
+    ]
+}
+
+/// Interprets the op list as a correct native method body.
+fn interpret(
+    env: &mut jinn::jni::JniEnv<'_>,
+    args: &[JValue],
+    ops: &[Op],
+) -> Result<JValue, JniError> {
+    let anchor = args[0].as_ref().expect("anchor argument");
+    // A correct program requests capacity before creating many refs.
+    typed::ensure_local_capacity(env, 4096)?;
+    let mut locals: Vec<JRef> = vec![anchor];
+    let mut globals: Vec<JRef> = Vec::new();
+    for op in ops {
+        match op {
+            Op::NewString(n) => {
+                let s = typed::new_string_utf(env, &format!("str-{n}"))?;
+                locals.push(s);
+            }
+            Op::NewIntArray(n) => {
+                let a = typed::new_int_array(env, i64::from(*n))?;
+                locals.push(a);
+            }
+            Op::DupArg => {
+                locals.push(typed::new_local_ref(env, anchor)?);
+            }
+            Op::DupLast => {
+                let last = *locals.last().expect("anchor always present");
+                locals.push(typed::new_local_ref(env, last)?);
+            }
+            Op::DeleteLast => {
+                // Never delete the anchor (it belongs to the caller-facing
+                // frame contract, and other ops may still use it).
+                if locals.len() > 1 {
+                    let r = locals.pop().expect("len checked");
+                    typed::delete_local_ref(env, r)?;
+                }
+            }
+            Op::Globalize => {
+                let last = *locals.last().expect("non-empty");
+                globals.push(typed::new_global_ref(env, last)?);
+            }
+            Op::DropGlobal => {
+                if let Some(g) = globals.pop() {
+                    typed::delete_global_ref(env, g)?;
+                }
+            }
+            Op::PinAndRelease => {
+                let arr = typed::new_int_array(env, 4)?;
+                let pin = typed::get_int_array_elements(env, arr)?;
+                typed::release_int_array_elements(env, arr, pin, 0)?;
+                typed::delete_local_ref(env, arr)?;
+            }
+            Op::MonitorPair => {
+                typed::monitor_enter(env, anchor)?;
+                typed::monitor_exit(env, anchor)?;
+            }
+            Op::GetVersion => {
+                typed::get_version(env)?;
+            }
+            Op::ExceptionCheck => {
+                assert!(!typed::exception_check(env)?);
+            }
+            Op::FramedAllocs(n) => {
+                typed::push_local_frame(env, i64::from(*n) + 1)?;
+                for _ in 0..*n {
+                    typed::new_local_ref(env, anchor)?;
+                }
+                typed::pop_local_frame(env, JRef::NULL)?;
+            }
+            Op::UpcallPing => {
+                let clazz = typed::find_class(env, "prop/Pong")?;
+                let mid = typed::get_static_method_id(env, clazz, "ping", "()I")?;
+                let v = typed::call_static_int_method_a(env, clazz, mid, &[])?;
+                assert_eq!(v, 42);
+                typed::delete_local_ref(env, clazz)?;
+            }
+        }
+    }
+    // A correct program releases what it still owns.
+    for g in globals {
+        typed::delete_global_ref(env, g)?;
+    }
+    Ok(JValue::Void)
+}
+
+/// The bugs we can seed after a correct prefix.
+#[derive(Debug, Clone, Copy)]
+enum Seeded {
+    UseAfterDelete,
+    DoubleDelete,
+    NullArgument,
+    PinDoubleFree,
+    StaleGlobalUse,
+    ForgedMethodId,
+}
+
+impl Seeded {
+    fn expected_machine(self) -> &'static str {
+        match self {
+            Seeded::UseAfterDelete | Seeded::DoubleDelete => "local-reference",
+            Seeded::NullArgument => "nullness",
+            Seeded::PinDoubleFree => "pinned-buffer",
+            Seeded::StaleGlobalUse => "global-reference",
+            Seeded::ForgedMethodId => "entity-typing",
+        }
+    }
+
+    fn commit(self, env: &mut jinn::jni::JniEnv<'_>, anchor: JRef) -> Result<(), JniError> {
+        match self {
+            Seeded::UseAfterDelete => {
+                let r = typed::new_local_ref(env, anchor)?;
+                typed::delete_local_ref(env, r)?;
+                typed::get_object_class(env, r)?;
+            }
+            Seeded::DoubleDelete => {
+                let r = typed::new_local_ref(env, anchor)?;
+                typed::delete_local_ref(env, r)?;
+                typed::delete_local_ref(env, r)?;
+            }
+            Seeded::NullArgument => {
+                typed::get_object_class(env, JRef::NULL)?;
+            }
+            Seeded::PinDoubleFree => {
+                let arr = typed::new_int_array(env, 2)?;
+                let pin = typed::get_int_array_elements(env, arr)?;
+                typed::release_int_array_elements(env, arr, pin, 0)?;
+                typed::release_int_array_elements(env, arr, pin, 0)?;
+            }
+            Seeded::StaleGlobalUse => {
+                let g = typed::new_global_ref(env, anchor)?;
+                typed::delete_global_ref(env, g)?;
+                typed::get_object_class(env, g)?;
+            }
+            Seeded::ForgedMethodId => {
+                typed::call_void_method_a(
+                    env,
+                    anchor,
+                    jinn::jvm::MethodId::forged(0xFFFF_0001),
+                    &[],
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn seeded_strategy() -> impl Strategy<Value = Seeded> {
+    prop_oneof![
+        Just(Seeded::UseAfterDelete),
+        Just(Seeded::DoubleDelete),
+        Just(Seeded::NullArgument),
+        Just(Seeded::PinDoubleFree),
+        Just(Seeded::StaleGlobalUse),
+        Just(Seeded::ForgedMethodId),
+    ]
+}
+
+fn run_ops(ops: Vec<Op>, seeded: Option<Seeded>) -> (RunOutcome, Vec<minijni::Report>) {
+    run_ops_on(Vm::permissive(), ops, seeded)
+}
+
+fn run_ops_on(vm: Vm, ops: Vec<Op>, seeded: Option<Seeded>) -> (RunOutcome, Vec<minijni::Report>) {
+    let mut vm = vm;
+    let (_c, _pong) = vm.define_managed_class(
+        "prop/Pong",
+        "ping",
+        "()I",
+        true,
+        Rc::new(|_env, _| Ok(JValue::Int(42))),
+    );
+    let ops = Rc::new(ops);
+    let (_c2, entry) = {
+        let ops = Rc::clone(&ops);
+        vm.define_native_class(
+            "prop/Program",
+            "run",
+            "(Ljava/lang/Object;)V",
+            true,
+            Rc::new(move |env, args| {
+                interpret(env, args, &ops)?;
+                if let Some(bug) = seeded {
+                    let anchor = args[0].as_ref().expect("anchor");
+                    bug.commit(env, anchor)?;
+                }
+                Ok(JValue::Void)
+            }),
+        )
+    };
+    let class = vm
+        .jvm()
+        .find_class("java/lang/Object")
+        .expect("bootstrapped");
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let anchor = vm.jvm_mut().new_local(thread, oop);
+    let mut session = Session::new(vm);
+    jinn::core::install(&mut session);
+    let outcome = session.run_native(thread, entry, &[JValue::Ref(anchor)]);
+    let reports = session.shutdown();
+    (outcome, reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Jinn never reports on a correct program: "Jinn never generates
+    /// false positives" (Section 2.2).
+    #[test]
+    fn no_false_positives(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let (outcome, reports) = run_ops(ops, None);
+        prop_assert!(
+            matches!(outcome, RunOutcome::Completed(_)),
+            "correct program rejected: {outcome:?}"
+        );
+        prop_assert!(reports.is_empty(), "phantom leak reports: {reports:?}");
+    }
+
+    /// A correct program with one seeded bug is reported with exactly the
+    /// seeded constraint class.
+    #[test]
+    fn seeded_bugs_are_detected(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        bug in seeded_strategy(),
+    ) {
+        let (outcome, _reports) = run_ops(ops, Some(bug));
+        match outcome {
+            RunOutcome::CheckerException(v) => {
+                prop_assert_eq!(
+                    v.machine, bug.expected_machine(),
+                    "bug {:?} attributed to the wrong machine: {}", bug, v
+                );
+            }
+            other => prop_assert!(false, "bug {bug:?} missed: {other:?}"),
+        }
+    }
+
+    /// Vendor independence (Section 1): Jinn's verdict on the same program
+    /// — clean or the same machine's violation — is identical whether it
+    /// runs over the HotSpot model or the J9 model.
+    #[test]
+    fn jinn_verdicts_are_vendor_independent(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        bug in proptest::option::of(seeded_strategy()),
+    ) {
+        let verdict = |vm| match run_ops_on(vm, ops.clone(), bug).0 {
+            RunOutcome::Completed(_) => None,
+            RunOutcome::CheckerException(v) => Some(v.machine),
+            other => panic!("Jinn lets nothing else through: {other:?}"),
+        };
+        let hotspot = verdict(jinn::vendors::hotspot_vm());
+        let j9 = verdict(jinn::vendors::j9_vm());
+        prop_assert_eq!(hotspot, j9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the substrates' invariants: the descriptor
+//! grammar, the moving collector, local-reference frames, and the Python
+//! refcounting kernel.
+
+use jinn::jvm::{FieldType, Jvm, MethodSig, PrimType, Slot};
+use jinn::py::{Arena, PyValue};
+use proptest::prelude::*;
+
+// ---- descriptor grammar ----------------------------------------------------
+
+fn field_type_strategy() -> impl Strategy<Value = FieldType> {
+    let leaf = prop_oneof![
+        prop_oneof![
+            Just(PrimType::Boolean),
+            Just(PrimType::Byte),
+            Just(PrimType::Char),
+            Just(PrimType::Short),
+            Just(PrimType::Int),
+            Just(PrimType::Long),
+            Just(PrimType::Float),
+            Just(PrimType::Double),
+        ]
+        .prop_map(FieldType::Prim),
+        "[a-zA-Z][a-zA-Z0-9_$]{0,8}(/[a-zA-Z][a-zA-Z0-9_$]{0,8}){0,3}".prop_map(FieldType::Object),
+    ];
+    leaf.prop_recursive(3, 8, 2, |inner| inner.prop_map(FieldType::array))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print ∘ parse = id over the full descriptor grammar.
+    #[test]
+    fn descriptor_roundtrip(ty in field_type_strategy()) {
+        let text = ty.descriptor();
+        let parsed = FieldType::parse(&text).expect("printer emits valid descriptors");
+        prop_assert_eq!(parsed, ty);
+    }
+
+    /// Method descriptors roundtrip too.
+    #[test]
+    fn method_descriptor_roundtrip(
+        params in proptest::collection::vec(field_type_strategy(), 0..6),
+        ret in proptest::option::of(field_type_strategy()),
+    ) {
+        let sig = MethodSig::new(
+            params,
+            ret.map_or(jinn::jvm::ReturnType::Void, jinn::jvm::ReturnType::Field),
+        );
+        let text = sig.descriptor();
+        let parsed = MethodSig::parse(&text).expect("printer emits valid descriptors");
+        prop_assert_eq!(parsed, sig);
+    }
+
+    /// Parsing arbitrary bytes never panics (it may reject).
+    #[test]
+    fn descriptor_parser_is_total(input in ".{0,40}") {
+        let _ = FieldType::parse(&input);
+        let _ = MethodSig::parse(&input);
+    }
+}
+
+// ---- moving collector -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rooted object graphs survive collection with identities and field
+    /// structure intact; unrooted objects are reclaimed.
+    #[test]
+    fn gc_preserves_reachable_graphs(
+        // Each node optionally points at an earlier node.
+        edges in proptest::collection::vec(proptest::option::of(0usize..64), 1..64),
+        root_choice in 0usize..64,
+    ) {
+        let mut jvm = Jvm::new();
+        let thread = jvm.main_thread();
+        let class = jvm
+            .registry_mut()
+            .define("prop/Node")
+            .field("next", "Lprop/Node;", jinn::jvm::MemberFlags::public())
+            .build()
+            .expect("fresh VM");
+        let fid = jvm.registry().resolve_field(class, "next", "Lprop/Node;", false).unwrap();
+
+        // Edges point strictly backwards (to already-allocated nodes), so
+        // every chain terminates.
+        let installed: Vec<Option<usize>> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.filter(|t| *t < i))
+            .collect();
+        let mut oops = Vec::new();
+        let mut ids = Vec::new();
+        for edge in &installed {
+            let oop = jvm.alloc_object(class);
+            if let Some(e) = edge {
+                jvm.set_instance_field(oop, fid, Slot::Ref(Some(oops[*e])));
+            }
+            ids.push(jvm.heap().id_of(oop));
+            oops.push(oop);
+        }
+        // Root exactly one node via a handle.
+        let root_idx = root_choice % oops.len();
+        let handle = jvm.new_local(thread, oops[root_idx]);
+
+        // Compute expected survivors (transitive closure over `installed`).
+        let mut live = vec![false; oops.len()];
+        let mut cursor = Some(root_idx);
+        while let Some(i) = cursor {
+            if live[i] {
+                break;
+            }
+            live[i] = true;
+            cursor = installed[i];
+        }
+
+        let before_count = live.iter().filter(|l| **l).count();
+        let stats = jvm.gc();
+        prop_assert_eq!(stats.live, before_count, "survivor count");
+
+        // The rooted chain is intact: walk it via the handle.
+        let mut oop = jvm.resolve(thread, handle).unwrap().unwrap();
+        let mut i = root_idx;
+        loop {
+            prop_assert_eq!(jvm.heap().id_of(oop), ids[i], "identity preserved");
+            match jvm.get_instance_field(oop, fid) {
+                Slot::Ref(Some(next)) => {
+                    oop = next;
+                    i = installed[i].expect("edge existed");
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Local frames: references acquired in a frame are exactly the ones
+    /// invalidated by its pop.
+    #[test]
+    fn frame_pop_invalidates_exactly_its_refs(
+        outer_n in 0usize..10,
+        inner_n in 0usize..10,
+    ) {
+        let mut jvm = Jvm::new();
+        let thread = jvm.main_thread();
+        let class = jvm.find_class("java/lang/Object").unwrap();
+        let outer: Vec<_> = (0..outer_n)
+            .map(|_| {
+                let oop = jvm.alloc_object(class);
+                jvm.new_local(thread, oop)
+            })
+            .collect();
+        jvm.thread_mut(thread).push_frame(16);
+        let inner: Vec<_> = (0..inner_n)
+            .map(|_| {
+                let oop = jvm.alloc_object(class);
+                jvm.new_local(thread, oop)
+            })
+            .collect();
+        jvm.thread_mut(thread).pop_frame();
+        for r in &outer {
+            prop_assert!(jvm.resolve(thread, *r).is_ok(), "outer ref survived");
+        }
+        for r in &inner {
+            prop_assert!(jvm.resolve(thread, *r).is_err(), "inner ref dangles");
+        }
+    }
+}
+
+// ---- Python refcounting ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Refcount conservation: after building a list of n strings and
+    /// dropping the only owner, everything is reclaimed.
+    #[test]
+    fn refcount_conservation(names in proptest::collection::vec("[a-z]{1,8}", 0..12)) {
+        let mut arena = Arena::new();
+        let items: Vec<_> =
+            names.iter().map(|n| arena.alloc(PyValue::Str(n.clone()))).collect();
+        let list = arena.alloc(PyValue::List(items.clone()));
+        prop_assert_eq!(arena.live(), names.len() + 1);
+        let freed = arena.decref(list).expect("sole owner");
+        prop_assert_eq!(freed.len(), names.len() + 1, "cascade frees all");
+        prop_assert_eq!(arena.live(), 0);
+    }
+
+    /// Extra INCREFs keep exactly the incref'd strings alive.
+    #[test]
+    fn increfs_pin_exactly_their_targets(
+        names in proptest::collection::vec("[a-z]{1,6}", 1..10),
+        pins in proptest::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let mut arena = Arena::new();
+        let items: Vec<_> =
+            names.iter().map(|n| arena.alloc(PyValue::Str(n.clone()))).collect();
+        for (p, pin) in items.iter().zip(&pins) {
+            if *pin {
+                arena.incref(*p);
+            }
+        }
+        let list = arena.alloc(PyValue::List(items.clone()));
+        arena.decref(list).expect("sole owner of the list");
+        for (i, p) in items.iter().enumerate() {
+            let pinned = pins.get(i).copied().unwrap_or(false);
+            prop_assert_eq!(arena.is_alive(*p), pinned, "item {}", i);
+        }
+    }
+}

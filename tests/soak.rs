@@ -1,0 +1,98 @@
+//! Soak test: a long, GC-heavy, correct workload under full Jinn — tens of
+//! thousands of language transitions with the collector running at every
+//! few safepoints — must finish clean, with zero reports and a consistent
+//! VM.
+
+use jinn::jni::{RunOutcome, Session};
+use jinn::vendors::Vendor;
+use jinn::workloads::{build_workload, Treatment};
+
+#[test]
+fn long_workload_under_jinn_is_clean_and_gc_heavy() {
+    let mut vm = Vendor::HotSpot.vm();
+    vm.jvm_mut().set_auto_gc_period(Some(64)); // very aggressive GC
+    let (entry, args) = build_workload(&mut vm, 0x50AC);
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    let stats = jinn::core::install(&mut session);
+
+    while session.vm().stats().total() < 40_000 {
+        let outcome = session.run_native(thread, entry, &args);
+        assert!(matches!(outcome, RunOutcome::Completed(_)), "{outcome:?}");
+    }
+    assert!(
+        session.shutdown().is_empty(),
+        "no leaks after 40k transitions"
+    );
+
+    let s = stats.borrow();
+    assert!(
+        s.checks_executed > 50_000,
+        "checks ran: {}",
+        s.checks_executed
+    );
+    assert_eq!(s.violations, 0, "no false positives under soak");
+    assert!(
+        session.vm().jvm().heap().collections() > 100,
+        "the collector really ran: {}",
+        session.vm().jvm().heap().collections()
+    );
+    // The heap is bounded: the workload releases what it creates.
+    assert!(
+        session.vm().jvm().heap().len() < 2_000,
+        "heap bounded: {}",
+        session.vm().jvm().heap().len()
+    );
+}
+
+#[test]
+fn all_four_treatments_agree_on_workload_results() {
+    // The checker must be observationally transparent on correct code:
+    // the same seed produces the same holder-counter value under every
+    // treatment.
+    let mut results = Vec::new();
+    for treatment in Treatment::ALL {
+        let mut vm = Vendor::HotSpot.vm();
+        let (entry, args) = build_workload(&mut vm, 0xD15E);
+        let thread = vm.jvm().main_thread();
+        let mut session = Session::new(vm);
+        match treatment {
+            Treatment::Baseline => {}
+            Treatment::VendorCheck => session.attach(Vendor::HotSpot.xcheck()),
+            Treatment::JinnInterposing => {
+                session.attach(Box::new(jinn::core::Jinn::interpose_only()));
+            }
+            Treatment::JinnChecking => {
+                jinn::core::install(&mut session);
+            }
+        }
+        for _ in 0..50 {
+            let outcome = session.run_native(thread, entry, &args);
+            assert!(
+                matches!(outcome, RunOutcome::Completed(_)),
+                "{treatment}: {outcome:?}"
+            );
+        }
+        // Read the holder's counter through the VM.
+        let holder_ref = args[0].as_ref().unwrap();
+        let oop = session
+            .vm()
+            .jvm()
+            .resolve(thread, holder_ref)
+            .unwrap()
+            .unwrap();
+        let class = session.vm().jvm().class_of(oop);
+        let fid = session
+            .vm()
+            .jvm()
+            .registry()
+            .resolve_field(class, "counter", "I", false)
+            .unwrap();
+        let value = session.vm().jvm().get_instance_field(oop, fid);
+        results.push((treatment.to_string(), value));
+    }
+    let first = results[0].1;
+    for (name, v) in &results {
+        assert_eq!(*v, first, "{name} diverged");
+    }
+}

@@ -1,0 +1,43 @@
+//! Exports a recorded run of the churn workload: Chrome tracing JSON
+//! (load it at `chrome://tracing` or `ui.perfetto.dev`), the plain-text
+//! event dump, and the metrics snapshot.
+//!
+//! ```text
+//! cargo run --release -p jinn-bench --bin obs_trace            # stdout summary
+//! cargo run --release -p jinn-bench --bin obs_trace trace.json # + JSON file
+//! ```
+
+use jinn_bench::env_u64;
+use jinn_bench::obs::ChurnHarness;
+use jinn_obs::{Recorder, DEFAULT_RING_CAPACITY};
+
+fn main() {
+    let calls = env_u64("JINN_CALLS", 4) as u32;
+    let strings = env_u64("JINN_STRINGS", 16) as u32;
+    let mut harness = ChurnHarness::new(Recorder::enabled(DEFAULT_RING_CAPACITY), strings);
+    for _ in 0..calls {
+        harness.run_once();
+    }
+
+    let recorder = harness.session().recorder();
+    let chrome = recorder.chrome_trace().expect("recorder enabled");
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &chrome).expect("write trace file");
+            eprintln!(
+                "wrote {} bytes of Chrome trace JSON to {path}",
+                chrome.len()
+            );
+        }
+        None => println!("{chrome}"),
+    }
+
+    let snapshot = recorder.snapshot().expect("recorder enabled");
+    eprintln!();
+    eprintln!("{}", snapshot.render());
+    eprintln!(
+        "{} events recorded ({} retained in the ring)",
+        recorder.total_events(),
+        recorder.events().len()
+    );
+}

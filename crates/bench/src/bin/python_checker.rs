@@ -95,9 +95,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["microbenchmark", "machine", "plain CPython", "checker"], &rows)
+        render_table(
+            &["microbenchmark", "machine", "plain CPython", "checker"],
+            &rows
+        )
     );
-    println!("checker coverage: {detected}/{} (plain interpreter: 0 diagnoses)\n", py_scenarios().len());
+    println!(
+        "checker coverage: {detected}/{} (plain interpreter: 0 diagnoses)\n",
+        py_scenarios().len()
+    );
 
     println!("--- leak sweep at Py_Finalize ---");
     let mut s = PySession::with_checker();

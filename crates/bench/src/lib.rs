@@ -14,11 +14,16 @@
 //! | `casestudies` | Section 6.4 — Subversion/Java-gnome/Eclipse findings |
 //! | `codegen_stats` | Section 1/4 — spec size vs generated-code size |
 //! | `python_checker` | Section 7 / Figure 11 — the Python/C checker |
+//! | `obs_trace` | Observability — Chrome trace + metrics exports |
+//! | `obs_overhead` | Observability — recorder-off vs recorder-on cost |
 //!
-//! This library crate holds the shared table-rendering helpers.
+//! This library crate holds the shared table-rendering helpers and the
+//! [`obs`] workload used by the observability binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod obs;
 
 /// Renders rows as a padded ASCII table with a header rule.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,85 @@
+//! A boundary-crossing JNI workload shared by the observability
+//! binaries: a native method that churns strings across the JNI seam
+//! (allocations, comparisons, deletions) with GC pressure, driven by the
+//! full Jinn checker stack — every layer the recorder instruments.
+
+use std::rc::Rc;
+
+use jinn_obs::Recorder;
+use minijni::{typed, RunOutcome, Session, Vm};
+use minijvm::{JValue, MethodId};
+
+/// A session running the churn workload, with the Jinn checker attached
+/// and the given recorder installed.
+pub struct ChurnHarness {
+    session: Session,
+    entry: MethodId,
+}
+
+impl ChurnHarness {
+    /// Builds the harness. `strings_per_call` controls how many JNI
+    /// round-trips each native call performs.
+    pub fn new(recorder: Recorder, strings_per_call: u32) -> ChurnHarness {
+        let mut vm = Vm::permissive();
+        vm.jvm_mut().set_auto_gc_period(Some(64));
+        let (_c, entry) = vm.define_native_class(
+            "bench/Churn",
+            "churn",
+            "()I",
+            true,
+            Rc::new(move |env, _| {
+                let mut survived = 0;
+                for i in 0..strings_per_call {
+                    let s = typed::new_string_utf(env, &format!("churn-{i}"))?;
+                    let len = typed::get_string_utf_length(env, s)?;
+                    if len > 0 {
+                        survived += 1;
+                    }
+                    typed::delete_local_ref(env, s)?;
+                }
+                Ok(JValue::Int(survived))
+            }),
+        );
+        let mut session = Session::new(vm);
+        session.set_recorder(recorder);
+        jinn_core::install(&mut session);
+        ChurnHarness { session, entry }
+    }
+
+    /// Runs the native method once; panics on any non-completion outcome
+    /// (the workload is bug-free by construction).
+    pub fn run_once(&mut self) {
+        let thread = self.session.vm().jvm().main_thread();
+        let outcome = self.session.run_native(thread, self.entry, &[]);
+        assert!(
+            matches!(outcome, RunOutcome::Completed(JValue::Int(_))),
+            "churn workload must complete: {outcome:?}"
+        );
+    }
+
+    /// The session, for reading the recorder after runs.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The session, mutably (forensics extraction).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+/// Runs `calls` native calls and returns the elapsed wall time.
+pub fn time_churn(recorder: Recorder, calls: u32, strings_per_call: u32) -> std::time::Duration {
+    let mut harness = ChurnHarness::new(recorder, strings_per_call);
+    let start = std::time::Instant::now();
+    for _ in 0..calls {
+        harness.run_once();
+    }
+    start.elapsed()
+}
+
+/// Median of a set of sampled durations, in nanoseconds.
+pub fn median_nanos(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}

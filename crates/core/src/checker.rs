@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
 use jinn_spec::{Check, EntityCallMode};
 use minijni::registry::Op;
 use minijni::{CallCx, FuncId, Interpose, JniArg, JniRet, Report, ReportAction, Violation};
@@ -200,6 +201,7 @@ pub struct Jinn {
     monitors: HashMap<(ThreadId, ObjectId), u32>,
     globals: HashMap<GlobalKey, RefState>,
     locals: HashMap<ThreadId, LocalTracker>,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for Jinn {
@@ -241,7 +243,15 @@ impl Jinn {
             monitors: HashMap::new(),
             globals: HashMap::new(),
             locals: HashMap::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: machine error transitions and
+    /// check-volume counters are recorded from then on. [`install`] wires
+    /// this automatically from the session's recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// A shared handle to the checker's statistics.
@@ -267,6 +277,18 @@ impl Jinn {
         stack: &[String],
     ) -> Report {
         self.stats.borrow_mut().violations += 1;
+        if self.recorder.is_enabled() {
+            self.recorder.fsm(machine, FsmOutcome::Error);
+            self.recorder.event(
+                jinn_obs::event::NO_THREAD,
+                EventKind::FsmTransition {
+                    machine: Rc::from(machine),
+                    transition: Rc::from(error_state),
+                    outcome: FsmOutcome::Error,
+                    entity: None,
+                },
+            );
+        }
         Report::new(
             Violation {
                 machine,
@@ -290,34 +312,39 @@ impl Jinn {
     /// violation.
     fn check_local_use(&mut self, jvm: &Jvm, thread: ThreadId, r: JRef) -> Option<String> {
         let key = LocalKey::of(r);
-        if r.owner() != thread {
-            return Some(format!(
+        let failure = if r.owner() != thread {
+            Some(format!(
                 "local reference created on thread-{} used on {}",
                 r.owner().0,
                 thread
-            ));
-        }
-        match self.tracker(thread).states.get(&key) {
-            Some(RefState::Live) => None,
-            Some(RefState::Released) => Some("Error: dangling local reference".to_string()),
-            None => {
-                // Pre-attach reference: adopt it if the VM vouches for it.
-                if jvm.resolve(thread, r).map(|o| o.is_some()).unwrap_or(false) {
-                    self.stats.borrow_mut().adopted_refs += 1;
-                    let tracker = self.tracker(thread);
-                    tracker.base().refs.push(key);
-                    tracker.states.insert(key, RefState::Live);
-                    None
-                } else {
-                    Some("Error: dangling local reference (never acquired)".to_string())
+            ))
+        } else {
+            match self.tracker(thread).states.get(&key) {
+                Some(RefState::Live) => None,
+                Some(RefState::Released) => Some("Error: dangling local reference".to_string()),
+                None => {
+                    // Pre-attach reference: adopt it if the VM vouches for it.
+                    if jvm.resolve(thread, r).map(|o| o.is_some()).unwrap_or(false) {
+                        self.stats.borrow_mut().adopted_refs += 1;
+                        let tracker = self.tracker(thread);
+                        tracker.base().refs.push(key);
+                        tracker.states.insert(key, RefState::Live);
+                        None
+                    } else {
+                        Some("Error: dangling local reference (never acquired)".to_string())
+                    }
                 }
             }
+        };
+        if failure.is_some() {
+            self.record_ref_error("local-reference", thread, r);
         }
+        failure
     }
 
     fn check_global_use(&mut self, jvm: &Jvm, thread: ThreadId, r: JRef) -> Option<String> {
         let key = GlobalKey::of(r);
-        match self.globals.get(&key) {
+        let failure = match self.globals.get(&key) {
             Some(RefState::Live) => None,
             Some(RefState::Released) => Some(format!("Error: dangling {} reference", r.kind())),
             None => {
@@ -332,6 +359,49 @@ impl Jinn {
                     ))
                 }
             }
+        };
+        if failure.is_some() {
+            self.record_ref_error("global-reference", thread, r);
+        }
+        failure
+    }
+
+    /// Emits an entity-tagged successful transition (acquire/release) into
+    /// the trace ring and the per-machine metrics.
+    fn record_ref_moved(
+        &self,
+        machine: &'static str,
+        thread: ThreadId,
+        transition: &'static str,
+        r: &JRef,
+    ) {
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                thread.0,
+                EventKind::FsmTransition {
+                    machine: Rc::from(machine),
+                    transition: Rc::from(transition),
+                    outcome: FsmOutcome::Moved,
+                    entity: Some(EntityTag::of_debug(r)),
+                },
+            );
+            self.recorder.fsm(machine, FsmOutcome::Moved);
+        }
+    }
+
+    /// Emits an entity-tagged error transition into the trace ring so a
+    /// forensics capture can name the failing reference.
+    fn record_ref_error(&self, machine: &'static str, thread: ThreadId, r: JRef) {
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                thread.0,
+                EventKind::FsmTransition {
+                    machine: Rc::from(machine),
+                    transition: Rc::from("Use"),
+                    outcome: FsmOutcome::Error,
+                    entity: Some(EntityTag::of_debug(&r)),
+                },
+            );
         }
     }
 
@@ -903,6 +973,7 @@ impl Jinn {
                     match self.globals.get(&key) {
                         Some(RefState::Live) => {
                             self.globals.insert(key, RefState::Released);
+                            self.record_ref_moved("global-reference", cx.thread, "Release", &r);
                         }
                         Some(RefState::Released) => {
                             return Some(self.violation(
@@ -943,6 +1014,7 @@ impl Jinn {
                             for f in tracker.frames.iter_mut() {
                                 f.refs.retain(|k| *k != key);
                             }
+                            self.record_ref_moved("local-reference", thread, "Release", &r);
                         }
                         Some(RefState::Released) => {
                             return Some(self.violation(
@@ -1069,6 +1141,7 @@ impl Jinn {
                 if let JniRet::Ref(r) = ret {
                     if !r.is_null() {
                         self.globals.insert(GlobalKey::of(*r), RefState::Live);
+                        self.record_ref_moved("global-reference", cx.thread, "Acquire", r);
                     }
                 }
             }
@@ -1079,8 +1152,10 @@ impl Jinn {
                         let tracker = self.tracker(thread);
                         tracker.acquire(LocalKey::of(*r));
                         let frame = tracker.current();
-                        if frame.refs.len() > frame.capacity {
-                            let (len, cap) = (frame.refs.len(), frame.capacity);
+                        let overflow = frame.refs.len() > frame.capacity;
+                        let (len, cap) = (frame.refs.len(), frame.capacity);
+                        self.record_ref_moved("local-reference", thread, "Acquire", r);
+                        if overflow {
                             return Some(self.violation(
                                 machine,
                                 "Error:Overflow",
@@ -1139,6 +1214,7 @@ impl Interpose for Jinn {
         // (Figure 4), so the first report wins.
         let n = self.table.pre(cx.func).len();
         self.stats.borrow_mut().checks_executed += n as u64;
+        self.recorder.count("checks.executed", n as u64);
         if !self.checks_enabled {
             return Vec::new();
         }
@@ -1154,6 +1230,7 @@ impl Interpose for Jinn {
     fn post_jni(&mut self, jvm: &Jvm, cx: &CallCx<'_>, ret: Option<&JniRet>) -> Vec<Report> {
         let n = self.table.post(cx.func).len();
         self.stats.borrow_mut().checks_executed += n as u64;
+        self.recorder.count("checks.executed", n as u64);
         if !self.checks_enabled {
             return Vec::new();
         }
@@ -1183,10 +1260,19 @@ impl Interpose for Jinn {
             capacity: DEFAULT_LOCAL_CAPACITY,
             refs: Vec::new(),
         });
+        let mut acquired = 0u64;
         for r in arg_refs {
             if r.kind() == RefKind::Local {
                 tracker.acquire(LocalKey::of(*r));
+                acquired += 1;
             }
+        }
+        if self.recorder.is_enabled() && acquired > 0 {
+            // Call:Java→C Acquire transitions for the argument references.
+            for r in arg_refs.iter().filter(|r| r.kind() == RefKind::Local) {
+                self.record_ref_moved("local-reference", thread, "Acquire", r);
+            }
+            self.recorder.count("locals.acquired", acquired);
         }
         Vec::new()
     }
@@ -1333,7 +1419,8 @@ pub fn install_with_config(session: &mut minijni::Session, config: JinnConfig) -
             .build()
             .expect("register jinn exception class");
     }
-    let jinn = Jinn::with_config(config);
+    let mut jinn = Jinn::with_config(config);
+    jinn.set_recorder(session.recorder().clone());
     let stats = jinn.stats_handle();
     session.attach(Box::new(jinn));
     stats

@@ -4,6 +4,9 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::rc::Rc;
+
+use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
 
 use crate::machine::{MachineSpec, StateId, TransitionId};
 
@@ -91,6 +94,7 @@ impl fmt::Display for ErrorEntered {
 pub struct StateStore<K> {
     machine: MachineSpec,
     states: HashMap<K, EntityState>,
+    recorder: Recorder,
 }
 
 impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
@@ -99,7 +103,15 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
         StateStore {
             machine,
             states: HashMap::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: every [`StateStore::apply`]
+    /// from then on emits an `FsmTransition` trace event (including
+    /// `NotApplicable` non-matches) and feeds the per-machine metrics.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The machine this store tracks.
@@ -140,23 +152,42 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
     pub fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
         let t = self.machine.transition(transition);
         let current = self.state_of(entity);
-        if current != t.from() {
-            return TransitionOutcome::NotApplicable { current };
-        }
-        let to = t.to();
-        self.states
-            .insert(entity.clone(), EntityState { state: to });
-        let dest = self.machine.state(to);
-        if let Some(diag) = dest.diagnosis() {
-            TransitionOutcome::Error(ErrorEntered {
-                machine: self.machine.name().to_string(),
-                transition: t.name().to_string(),
-                state: dest.name().to_string(),
-                diagnosis: diag.to_string(),
-            })
+        let outcome = if current != t.from() {
+            TransitionOutcome::NotApplicable { current }
         } else {
-            TransitionOutcome::Moved { from: current, to }
+            let to = t.to();
+            self.states
+                .insert(entity.clone(), EntityState { state: to });
+            let dest = self.machine.state(to);
+            if let Some(diag) = dest.diagnosis() {
+                TransitionOutcome::Error(ErrorEntered {
+                    machine: self.machine.name().to_string(),
+                    transition: t.name().to_string(),
+                    state: dest.name().to_string(),
+                    diagnosis: diag.to_string(),
+                })
+            } else {
+                TransitionOutcome::Moved { from: current, to }
+            }
+        };
+        if self.recorder.is_enabled() {
+            let obs_outcome = match &outcome {
+                TransitionOutcome::Moved { .. } => FsmOutcome::Moved,
+                TransitionOutcome::Error(_) => FsmOutcome::Error,
+                TransitionOutcome::NotApplicable { .. } => FsmOutcome::NotApplicable,
+            };
+            self.recorder.event(
+                jinn_obs::event::NO_THREAD,
+                EventKind::FsmTransition {
+                    machine: Rc::from(self.machine.name()),
+                    transition: Rc::from(t.name()),
+                    outcome: obs_outcome,
+                    entity: Some(EntityTag::of_debug(entity)),
+                },
+            );
+            self.recorder.fsm(self.machine.name(), obs_outcome);
         }
+        outcome
     }
 
     /// Applies the transition named `name`; see [`StateStore::apply`].

@@ -24,6 +24,9 @@
 //!   └─ pop local frame; translate the returned reference outward
 //! ```
 
+use std::rc::Rc;
+
+use jinn_obs::{forensics, EventKind, VerdictAction};
 use minijvm::class::names;
 use minijvm::{
     EnvToken, JRef, JValue, Jvm, MethodBody, MethodId, Oop, RefFault, ThreadId,
@@ -33,6 +36,7 @@ use minijvm::{
 use crate::error::JniError;
 use crate::interpose::{
     death_of, CallCx, Interpose, JniArg, JniRet, Report, ReportAction, UbOutcome, UbSituation,
+    Violation,
 };
 use crate::raw;
 use crate::registry::{FuncId, FuncSpec, RetKind};
@@ -171,6 +175,36 @@ impl<'s> JniEnv<'s> {
     fn handle_reports(&mut self, reports: Vec<Report>) -> Result<(), JniError> {
         let mut fatal: Option<JniError> = None;
         for Report { violation, action } in reports {
+            if self.vm.recorder.is_enabled() {
+                self.vm.recorder.event(
+                    self.thread.0,
+                    EventKind::Verdict {
+                        machine: Rc::from(violation.machine),
+                        function: Rc::from(violation.function.as_str()),
+                        action: match action {
+                            ReportAction::Warn => VerdictAction::Warn,
+                            ReportAction::AbortVm => VerdictAction::AbortVm,
+                            ReportAction::ThrowException => VerdictAction::ThrowException,
+                        },
+                    },
+                );
+                self.vm.recorder.count("checks.violations", 1);
+                // Bug forensics: snapshot the history that led to any
+                // non-warning verdict (the JNIAssertionFailure / abort
+                // moment), before the verdict mutates VM state.
+                if action != ReportAction::Warn {
+                    self.vm.last_forensics = Some(forensics::capture(
+                        &self.vm.recorder,
+                        self.vm.forensics_config,
+                        violation.machine,
+                        violation.error_state,
+                        &violation.function,
+                        &violation.message,
+                        self.thread.0,
+                        violation.backtrace.clone(),
+                    ));
+                }
+            }
             match action {
                 ReportAction::Warn => {
                     self.log.push(format!("WARNING: {violation}"));
@@ -232,6 +266,34 @@ impl<'s> JniEnv<'s> {
     /// exception pending, [`JniError::Detected`] when an attached checker
     /// throws, and [`JniError::Death`] when the simulated process dies.
     pub fn invoke(&mut self, func: FuncId, args: Vec<JniArg>) -> Result<JniRet, JniError> {
+        // Observability wrapper: when a recorder is attached, bracket the
+        // call with Call:C→Java / Return:Java→C events and feed the
+        // per-function latency histogram. Disabled recorder = one branch.
+        if !self.vm.recorder.is_enabled() {
+            return self.invoke_inner(func, args);
+        }
+        let name = func.name();
+        let thread = self.thread.0;
+        self.vm
+            .recorder
+            .event(thread, EventKind::JniEnter { func: name });
+        let timer = self.vm.recorder.timer();
+        let result = self.invoke_inner(func, args);
+        let nanos = timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        let failed = result.is_err();
+        self.vm.recorder.event(
+            thread,
+            EventKind::JniExit {
+                func: name,
+                nanos,
+                failed,
+            },
+        );
+        self.vm.recorder.jni_call(name, nanos, failed);
+        result
+    }
+
+    fn invoke_inner(&mut self, func: FuncId, args: Vec<JniArg>) -> Result<JniRet, JniError> {
         if let Some(d) = &self.vm.dead {
             return Err(JniError::Death(d.clone()));
         }
@@ -268,7 +330,9 @@ impl<'s> JniEnv<'s> {
                     .unwrap_or(&[]),
             };
             for i in 0..self.interposers.len() {
-                pre_reports.extend(self.interposers[i].pre_jni(&self.vm.jvm, &cx));
+                let name = self.interposers[i].name().to_string();
+                let (jvm, checker) = (&self.vm.jvm, &mut self.interposers[i]);
+                pre_reports.extend(guard_hook(&name, "pre_jni", || checker.pre_jni(jvm, &cx)));
             }
         }
         // A throwing checker prevents the wrapped function from running
@@ -304,7 +368,11 @@ impl<'s> JniEnv<'s> {
             };
             let ret = result.as_ref().ok();
             for i in 0..self.interposers.len() {
-                post_reports.extend(self.interposers[i].post_jni(&self.vm.jvm, &cx, ret));
+                let name = self.interposers[i].name().to_string();
+                let (jvm, checker) = (&self.vm.jvm, &mut self.interposers[i]);
+                post_reports.extend(guard_hook(&name, "post_jni", || {
+                    checker.post_jni(jvm, &cx, ret)
+                }));
             }
         }
         let result = match self.handle_reports(post_reports) {
@@ -340,7 +408,42 @@ impl<'s> JniEnv<'s> {
         if let Some(d) = &self.vm.dead {
             return Err(JniError::Death(d.clone()));
         }
+        if !self.vm.recorder.is_enabled() {
+            let result = self.call_native_method_inner(method, args);
+            if let Err(JniError::Death(d)) = &result {
+                self.vm.dead.get_or_insert_with(|| d.clone());
+            }
+            return result;
+        }
+        // Observability wrapper: Call:Java→C / Return:C→Java events around
+        // the native body.
+        let label: Rc<str> = match self.vm.jvm.registry().method(method) {
+            Some(info) => {
+                let class = self.vm.jvm.registry().class(info.class).dotted_name();
+                Rc::from(format!("{class}.{}", info.name).as_str())
+            }
+            None => Rc::from("<unknown native method>"),
+        };
+        let thread = self.thread.0;
+        self.vm.recorder.event(
+            thread,
+            EventKind::NativeEnter {
+                method: label.clone(),
+            },
+        );
+        let timer = self.vm.recorder.timer();
         let result = self.call_native_method_inner(method, args);
+        let nanos = timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        let failed = result.is_err();
+        self.vm.recorder.event(
+            thread,
+            EventKind::NativeExit {
+                method: label,
+                nanos,
+                failed,
+            },
+        );
+        self.vm.recorder.count("native.calls", 1);
         if let Err(JniError::Death(d)) = &result {
             self.vm.dead.get_or_insert_with(|| d.clone());
         }
@@ -401,13 +504,12 @@ impl<'s> JniEnv<'s> {
         // Call:Java→C hooks (Acquire transitions for the argument refs).
         let mut reports = Vec::new();
         for i in 0..self.interposers.len() {
-            reports.extend(self.interposers[i].native_enter(
-                &self.vm.jvm,
-                self.thread,
-                method,
-                &arg_refs,
-                &stack,
-            ));
+            let name = self.interposers[i].name().to_string();
+            let (jvm, checker) = (&self.vm.jvm, &mut self.interposers[i]);
+            let thread = self.thread;
+            reports.extend(guard_hook(&name, "native_enter", || {
+                checker.native_enter(jvm, thread, method, &arg_refs, &stack)
+            }));
         }
         if let Err(e) = self.handle_reports(reports) {
             self.pop_stack();
@@ -429,13 +531,12 @@ impl<'s> JniEnv<'s> {
         let stack = self.stack_snapshot();
         let mut reports = Vec::new();
         for i in 0..self.interposers.len() {
-            reports.extend(self.interposers[i].native_exit(
-                &self.vm.jvm,
-                self.thread,
-                method,
-                returned_ref,
-                &stack,
-            ));
+            let name = self.interposers[i].name().to_string();
+            let (jvm, checker) = (&self.vm.jvm, &mut self.interposers[i]);
+            let thread = self.thread;
+            reports.extend(guard_hook(&name, "native_exit", || {
+                checker.native_exit(jvm, thread, method, returned_ref, &stack)
+            }));
         }
         let hook_result = self.handle_reports(reports);
 
@@ -680,6 +781,44 @@ impl<'s> JniEnv<'s> {
         spec: &'static FuncSpec,
     ) -> RawResult<()> {
         self.ub_or_skip(UbSituation::RefFault { fault, func: spec }, &spec.name)
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Runs one interposition hook, converting a checker panic into a fatal
+/// `AbortVm` report instead of letting the unwind tear through the
+/// driver mid-transition. A panicking checker must not poison the
+/// `JniEnv`: the simulated process dies deterministically, with the
+/// panic text as its diagnosis, and the VM's own state stays coherent
+/// (frames are popped and death is latched by the normal report path).
+pub(crate) fn guard_hook(
+    checker_name: &str,
+    site: &'static str,
+    f: impl FnOnce() -> Vec<Report>,
+) -> Vec<Report> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(reports) => reports,
+        Err(payload) => vec![Report {
+            violation: Violation {
+                machine: "checker-internal",
+                error_state: "Error:Panic",
+                function: site.to_string(),
+                message: format!(
+                    "checker `{checker_name}` panicked during {site}: {}",
+                    panic_text(payload.as_ref())
+                ),
+                backtrace: Vec::new(),
+            },
+            action: ReportAction::AbortVm,
+        }],
     }
 }
 

@@ -3,6 +3,7 @@
 
 use std::rc::Rc;
 
+use jinn_obs::{BugReport, ForensicsConfig, Recorder};
 use minijvm::{
     ClassId, EnvToken, JValue, Jvm, JvmDeath, MemberFlags, MethodBody, MethodId, ThreadId,
 };
@@ -52,6 +53,12 @@ pub struct Vm {
     /// Once the simulated process dies (crash/deadlock/fatal error) it
     /// stays dead: every subsequent operation returns the same death.
     pub(crate) dead: Option<JvmDeath>,
+    /// Observability handle; shared with the JVM substrate.
+    pub(crate) recorder: Recorder,
+    /// How much history bug reports keep.
+    pub(crate) forensics_config: ForensicsConfig,
+    /// The forensics report of the most recent checker verdict.
+    pub(crate) last_forensics: Option<BugReport>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -74,7 +81,39 @@ impl Vm {
             stats: TransitionStats::default(),
             stacks: Vec::new(),
             dead: None,
+            recorder: Recorder::disabled(),
+            forensics_config: ForensicsConfig::default(),
+            last_forensics: None,
         }
+    }
+
+    /// Attaches an observability recorder to the whole stack: the JNI
+    /// driver (boundary-crossing events, per-function metrics, verdict
+    /// forensics) and the JVM substrate (GC and pin events).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.jvm.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Configures how much history forensics reports keep.
+    pub fn set_forensics_config(&mut self, config: ForensicsConfig) {
+        self.forensics_config = config;
+    }
+
+    /// The forensics report captured at the most recent checker verdict,
+    /// if any.
+    pub fn last_bug_report(&self) -> Option<&BugReport> {
+        self.last_forensics.as_ref()
+    }
+
+    /// Takes (and clears) the most recent forensics report.
+    pub fn take_bug_report(&mut self) -> Option<BugReport> {
+        self.last_forensics.take()
     }
 
     /// The recorded process death, if the simulated JVM has died.
@@ -264,6 +303,27 @@ impl Session {
         &mut self.vm
     }
 
+    /// Attaches an observability recorder to the session's VM stack.
+    /// Call before [`Session::attach`] so checkers can pick it up too.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.vm.set_recorder(recorder);
+    }
+
+    /// The session's recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        self.vm.recorder()
+    }
+
+    /// The forensics report captured at the most recent checker verdict.
+    pub fn last_bug_report(&self) -> Option<&BugReport> {
+        self.vm.last_bug_report()
+    }
+
+    /// Takes (and clears) the most recent forensics report.
+    pub fn take_bug_report(&mut self) -> Option<BugReport> {
+        self.vm.take_bug_report()
+    }
+
     /// Diagnostic log lines (checker warnings, `ExceptionDescribe` output).
     pub fn log(&self) -> &[String] {
         &self.log
@@ -331,7 +391,9 @@ impl Session {
     pub fn shutdown(&mut self) -> Vec<Report> {
         let mut all = Vec::new();
         for checker in &mut self.interposers {
-            let reports = checker.vm_death(&self.vm.jvm);
+            let name = checker.name().to_string();
+            let jvm = &self.vm.jvm;
+            let reports = crate::env::guard_hook(&name, "vm_death", || checker.vm_death(jvm));
             for r in &reports {
                 if r.action == ReportAction::Warn {
                     self.log

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use jinn_obs::{EventKind, Recorder};
+
 use crate::heap::PrimArray;
 use crate::value::ObjectId;
 
@@ -111,12 +113,19 @@ struct PinEntry {
 #[derive(Debug, Clone, Default)]
 pub struct PinTable {
     entries: Vec<PinEntry>,
+    recorder: Recorder,
 }
 
 impl PinTable {
     /// Creates an empty table.
     pub fn new() -> PinTable {
         PinTable::default()
+    }
+
+    /// Attaches an observability recorder; pin acquire/release traffic is
+    /// recorded from then on.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Records an acquisition and returns its pin id.
@@ -127,7 +136,15 @@ impl PinTable {
             data,
             released: false,
         });
-        PinId(self.entries.len() as u32 - 1)
+        let pin = PinId(self.entries.len() as u32 - 1);
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                jinn_obs::event::NO_THREAD,
+                EventKind::PinAcquire { pin: pin.0 },
+            );
+            self.recorder.count("pins.acquired", 1);
+        }
+        pin
     }
 
     /// Releases a pin, returning its final contents (for copy-back).
@@ -137,6 +154,32 @@ impl PinTable {
     /// Returns [`PinError`] on double-free, kind mismatch, or an unknown
     /// id.
     pub fn release(&mut self, pin: PinId, kind: PinKind) -> Result<(ObjectId, PinData), PinError> {
+        let result = self.release_inner(pin, kind);
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                jinn_obs::event::NO_THREAD,
+                EventKind::PinRelease {
+                    pin: pin.0,
+                    ok: result.is_ok(),
+                },
+            );
+            self.recorder.count(
+                if result.is_ok() {
+                    "pins.released"
+                } else {
+                    "pins.invalid_releases"
+                },
+                1,
+            );
+        }
+        result
+    }
+
+    fn release_inner(
+        &mut self,
+        pin: PinId,
+        kind: PinKind,
+    ) -> Result<(ObjectId, PinData), PinError> {
         let e = self
             .entries
             .get_mut(pin.0 as usize)

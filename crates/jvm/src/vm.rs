@@ -1,5 +1,7 @@
 //! The `Jvm` façade: one simulated Java virtual machine instance.
 
+use jinn_obs::{event::NO_THREAD, EventKind, Recorder};
+
 use crate::class::{names, ClassId, ClassRegistry, FieldSlot};
 use crate::descriptor::{FieldType, PrimType};
 use crate::handles::HandleSlab;
@@ -67,6 +69,7 @@ pub struct Jvm {
     auto_gc_period: Option<u64>,
     safepoints: u64,
     deferred_gcs: u64,
+    recorder: Recorder,
 }
 
 impl Jvm {
@@ -86,6 +89,7 @@ impl Jvm {
             auto_gc_period: None,
             safepoints: 0,
             deferred_gcs: 0,
+            recorder: Recorder::disabled(),
         };
         jvm.spawn_thread();
         jvm
@@ -124,6 +128,18 @@ impl Jvm {
     /// Configures automatic GC every `period` safepoints (`None` disables).
     pub fn set_auto_gc_period(&mut self, period: Option<u64>) {
         self.auto_gc_period = period;
+    }
+
+    /// Attaches an observability recorder. GC activity and pin traffic
+    /// are recorded from then on.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.pins.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Number of GCs that were due at a safepoint but deferred because a
@@ -538,14 +554,20 @@ impl Jvm {
     /// at every language transition.
     pub fn safepoint(&mut self) -> Option<GcStats> {
         self.safepoints += 1;
+        self.recorder.count("gc.safepoints", 1);
         let period = self.auto_gc_period?;
         if !self.safepoints.is_multiple_of(period) {
             return None;
         }
         if self.any_critical_section() {
             self.deferred_gcs += 1;
+            self.recorder.count("gc.deferred", 1);
+            self.recorder
+                .event(NO_THREAD, EventKind::GcSafepoint { collected: false });
             return None;
         }
+        self.recorder
+            .event(NO_THREAD, EventKind::GcSafepoint { collected: true });
         Some(self.gc())
     }
 
@@ -577,7 +599,16 @@ impl Jvm {
         }
         let mut strong = roots.into_iter();
         let mut weak = weaks.roots_mut();
-        heap.collect(&mut [&mut strong], &mut [&mut weak])
+        let stats = heap.collect(&mut [&mut strong], &mut [&mut weak]);
+        self.recorder.count("gc.collections", 1);
+        self.recorder.event(
+            NO_THREAD,
+            EventKind::Gc {
+                live: stats.live as u64,
+                freed: stats.collected as u64,
+            },
+        );
+        stats
     }
 }
 

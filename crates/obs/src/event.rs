@@ -1,0 +1,264 @@
+//! Trace events: one record per boundary crossing, FSM transition, GC
+//! event, pin event, or checker verdict.
+//!
+//! The four `Jni*`/`Native*` kinds are the paper's Figure 2 language
+//! transitions (`Call:C→Java` / `Return:Java→C` around JNI functions and
+//! `Call:Java→C` / `Return:C→Java` around native methods); the rest are
+//! the VM- and checker-side happenings a bug forensics report needs for
+//! context.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Thread tag used when an event is not attributable to a thread (e.g. a
+/// pin-table operation observed below the thread layer).
+pub const NO_THREAD: u16 = u16::MAX;
+
+/// A label identifying the entity (reference, buffer, monitor…) an FSM
+/// transition acted on. Cheap to clone; compared by text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityTag(pub Rc<str>);
+
+impl EntityTag {
+    /// Tags an entity by an explicit label.
+    pub fn new(label: impl AsRef<str>) -> EntityTag {
+        EntityTag(Rc::from(label.as_ref()))
+    }
+
+    /// Tags an entity by its `Debug` rendering.
+    pub fn of_debug(value: &impl fmt::Debug) -> EntityTag {
+        EntityTag(Rc::from(format!("{value:?}").as_str()))
+    }
+
+    /// The label text.
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EntityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of one state-machine transition attempt (mirrors
+/// `jinn_fsm::TransitionOutcome` without depending on it — this crate
+/// sits below every other workspace crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmOutcome {
+    /// The transition applied; destination is a non-error state.
+    Moved,
+    /// The transition applied and entered an error state: a detected bug.
+    Error,
+    /// The source state did not match; nothing changed.
+    NotApplicable,
+}
+
+impl fmt::Display for FsmOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FsmOutcome::Moved => "moved",
+            FsmOutcome::Error => "ERROR",
+            FsmOutcome::NotApplicable => "n/a",
+        })
+    }
+}
+
+/// How a checker responded to a violation (mirrors
+/// `minijni::ReportAction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictAction {
+    /// Diagnose and keep running.
+    Warn,
+    /// Diagnose and abort the VM.
+    AbortVm,
+    /// Throw a `JNIAssertionFailure` at the point of failure.
+    ThrowException,
+}
+
+impl fmt::Display for VerdictAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerdictAction::Warn => "warn",
+            VerdictAction::AbortVm => "abort-vm",
+            VerdictAction::ThrowException => "throw",
+        })
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// `Call:C→Java`: a JNI function was entered.
+    JniEnter {
+        /// The function's `jni.h` name.
+        func: &'static str,
+    },
+    /// `Return:Java→C`: a JNI function returned.
+    JniExit {
+        /// The function's `jni.h` name.
+        func: &'static str,
+        /// Wall-clock duration of the call.
+        nanos: u64,
+        /// Whether the call ended in an error (exception, death, or a
+        /// checker throw).
+        failed: bool,
+    },
+    /// `Call:Java→C`: managed code entered a native method.
+    NativeEnter {
+        /// `Class.method` of the native method.
+        method: Rc<str>,
+    },
+    /// `Return:C→Java`: a native method returned.
+    NativeExit {
+        /// `Class.method` of the native method.
+        method: Rc<str>,
+        /// Wall-clock duration of the native body (hooks included).
+        nanos: u64,
+        /// Whether the method ended in an error.
+        failed: bool,
+    },
+    /// A state-machine transition was attempted on an entity.
+    FsmTransition {
+        /// Machine name (e.g. `local-reference`).
+        machine: Rc<str>,
+        /// Transition name (e.g. `UseAfterRelease`).
+        transition: Rc<str>,
+        /// What happened.
+        outcome: FsmOutcome,
+        /// The entity acted on, when the caller knows it.
+        entity: Option<EntityTag>,
+    },
+    /// A GC safepoint where a collection was due (period elapsed).
+    GcSafepoint {
+        /// Whether the collection ran (false: deferred by an active
+        /// critical section).
+        collected: bool,
+    },
+    /// A collection completed.
+    Gc {
+        /// Objects that survived.
+        live: u64,
+        /// Objects reclaimed.
+        freed: u64,
+    },
+    /// A primitive-array/string buffer was pinned.
+    PinAcquire {
+        /// The pin's table index.
+        pin: u32,
+    },
+    /// A pinned buffer was released.
+    PinRelease {
+        /// The pin's table index.
+        pin: u32,
+        /// Whether the release was valid (false: double free or kind
+        /// mismatch).
+        ok: bool,
+    },
+    /// A checker reported a violation.
+    Verdict {
+        /// The violated machine.
+        machine: Rc<str>,
+        /// The function at which it was detected.
+        function: Rc<str>,
+        /// The checker's response.
+        action: VerdictAction,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (total events recorded before this one).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub micros: u64,
+    /// The thread the event happened on, or [`NO_THREAD`].
+    pub thread: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The entity the event concerns, if any.
+    pub fn entity(&self) -> Option<&EntityTag> {
+        match &self.kind {
+            EventKind::FsmTransition { entity, .. } => entity.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// True for events that are process-global rather than per-thread
+    /// (GC activity and checker verdicts).
+    pub fn is_global(&self) -> bool {
+        matches!(
+            self.kind,
+            EventKind::GcSafepoint { .. } | EventKind::Gc { .. } | EventKind::Verdict { .. }
+        )
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<6} +{:>8}us ", self.seq, self.micros)?;
+        if self.thread == NO_THREAD {
+            write!(f, "t-    ")?;
+        } else {
+            write!(f, "t{:<4} ", self.thread)?;
+        }
+        match &self.kind {
+            EventKind::JniEnter { func } => write!(f, "jni  > {func}"),
+            EventKind::JniExit {
+                func,
+                nanos,
+                failed,
+            } => write!(
+                f,
+                "jni  < {func} ({nanos}ns{})",
+                if *failed { ", FAILED" } else { "" }
+            ),
+            EventKind::NativeEnter { method } => write!(f, "nat  > {method}"),
+            EventKind::NativeExit {
+                method,
+                nanos,
+                failed,
+            } => write!(
+                f,
+                "nat  < {method} ({nanos}ns{})",
+                if *failed { ", FAILED" } else { "" }
+            ),
+            EventKind::FsmTransition {
+                machine,
+                transition,
+                outcome,
+                entity,
+            } => {
+                write!(f, "fsm    {machine}.{transition} [{outcome}]")?;
+                if let Some(e) = entity {
+                    write!(f, " entity={e}")?;
+                }
+                Ok(())
+            }
+            EventKind::GcSafepoint { collected } => write!(
+                f,
+                "gc     safepoint ({})",
+                if *collected { "collected" } else { "deferred" }
+            ),
+            EventKind::Gc { live, freed } => {
+                write!(f, "gc     collection live={live} freed={freed}")
+            }
+            EventKind::PinAcquire { pin } => write!(f, "pin  + #{pin}"),
+            EventKind::PinRelease { pin, ok } => write!(
+                f,
+                "pin  - #{pin}{}",
+                if *ok { "" } else { " (INVALID RELEASE)" }
+            ),
+            EventKind::Verdict {
+                machine,
+                function,
+                action,
+            } => write!(f, "chk  ! {machine} in {function} [{action}]"),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Bug forensics: when a checker throws a `JNIAssertionFailure`, capture
+//! the events that led up to it and render a report a developer can read
+//! at the point of failure — the paper's Figure 9 experience, extended
+//! with the trace ring's history.
+
+use crate::event::{EventKind, FsmOutcome, TraceEvent};
+use crate::recorder::Recorder;
+
+/// How much history a report keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForensicsConfig {
+    /// Maximum relevant events retained (most recent kept).
+    pub last_n: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> ForensicsConfig {
+        ForensicsConfig { last_n: 32 }
+    }
+}
+
+/// A rendered-at-failure bug report: the verdict plus the recent history
+/// relevant to the failing entity and thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugReport {
+    /// The violated state machine (e.g. `local-reference`).
+    pub machine: String,
+    /// The error state the entity entered (e.g. `Dangling`).
+    pub error_state: String,
+    /// The JNI function (or call site) where the bug was detected.
+    pub function: String,
+    /// The checker's diagnostic message.
+    pub message: String,
+    /// The failing thread.
+    pub thread: u16,
+    /// The failing entity's label, when the trace identifies one.
+    pub entity: Option<String>,
+    /// Native/managed frames active at the failure, innermost first.
+    pub backtrace: Vec<String>,
+    /// The last-N relevant events, oldest-first.
+    pub recent: Vec<TraceEvent>,
+}
+
+impl BugReport {
+    /// Renders the report in the `JNIAssertionFailure` style of the
+    /// paper's Figure 9, followed by the event history.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "JNIAssertionFailure: [{}/{}] {} in {}\n",
+            self.machine, self.error_state, self.message, self.function
+        ));
+        for frame in &self.backtrace {
+            out.push_str(&format!("    at {frame}\n"));
+        }
+        out.push_str(&format!("failing thread: t{}\n", self.thread));
+        match &self.entity {
+            Some(e) => out.push_str(&format!("failing entity: {e}\n")),
+            None => out.push_str("failing entity: <not identified in trace>\n"),
+        }
+        if self.recent.is_empty() {
+            out.push_str("no trace history (recorder disabled or ring empty)\n");
+        } else {
+            out.push_str(&format!(
+                "last {} relevant events (oldest first):\n",
+                self.recent.len()
+            ));
+            for event in &self.recent {
+                out.push_str(&format!("  {event}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// True when `event` belongs in a report about (`machine`, `entity`,
+/// `thread`): same-thread boundary crossings and pin traffic, any
+/// transition touching the failing entity or erroring in the failing
+/// machine, and process-global events (GC, verdicts).
+fn relevant(event: &TraceEvent, machine: &str, entity: Option<&str>, thread: u16) -> bool {
+    if event.is_global() || event.thread == thread {
+        return true;
+    }
+    match &event.kind {
+        EventKind::FsmTransition {
+            machine: m,
+            outcome,
+            entity: e,
+            ..
+        } => {
+            if let (Some(want), Some(have)) = (entity, e) {
+                if have.label() == want {
+                    return true;
+                }
+            }
+            *outcome == FsmOutcome::Error && **m == *machine
+        }
+        _ => false,
+    }
+}
+
+/// Builds a report from the recorder's current ring contents.
+///
+/// The failing entity, if the caller does not know it, is recovered from
+/// the trace: the most recent `FsmTransition` with an `Error` outcome in
+/// the failing machine names it. Works on a disabled recorder too — the
+/// report simply has no history.
+#[allow(clippy::too_many_arguments)]
+pub fn capture(
+    recorder: &Recorder,
+    config: ForensicsConfig,
+    machine: &str,
+    error_state: &str,
+    function: &str,
+    message: &str,
+    thread: u16,
+    backtrace: Vec<String>,
+) -> BugReport {
+    let events = recorder.events();
+    // Recover the failing entity from the newest error transition of this
+    // machine, scanning backwards.
+    let entity: Option<String> = events.iter().rev().find_map(|e| match &e.kind {
+        EventKind::FsmTransition {
+            machine: m,
+            outcome: FsmOutcome::Error,
+            entity: Some(tag),
+            ..
+        } if **m == *machine => Some(tag.label().to_owned()),
+        _ => None,
+    });
+    let mut recent: Vec<TraceEvent> = events
+        .into_iter()
+        .filter(|e| relevant(e, machine, entity.as_deref(), thread))
+        .collect();
+    if recent.len() > config.last_n {
+        recent.drain(..recent.len() - config.last_n);
+    }
+    BugReport {
+        machine: machine.to_owned(),
+        error_state: error_state.to_owned(),
+        function: function.to_owned(),
+        message: message.to_owned(),
+        thread,
+        entity,
+        backtrace,
+        recent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EntityTag, NO_THREAD};
+    use std::rc::Rc;
+
+    fn transition(r: &Recorder, thread: u16, machine: &str, outcome: FsmOutcome, entity: &str) {
+        r.event(
+            thread,
+            EventKind::FsmTransition {
+                machine: Rc::from(machine),
+                transition: Rc::from("t"),
+                outcome,
+                entity: Some(EntityTag::new(entity)),
+            },
+        );
+    }
+
+    #[test]
+    fn recovers_entity_and_filters_by_it() {
+        let r = Recorder::enabled(64);
+        // Unrelated thread 9 traffic on a different entity.
+        transition(&r, 9, "local-reference", FsmOutcome::Moved, "r#7");
+        r.event(
+            9,
+            EventKind::JniEnter {
+                func: "NewStringUTF",
+            },
+        );
+        // The failing entity's life, on thread 3.
+        transition(&r, 3, "local-reference", FsmOutcome::Moved, "r#2");
+        // Another thread touching the same failing entity: relevant.
+        transition(&r, 5, "local-reference", FsmOutcome::Moved, "r#2");
+        // Global event: relevant.
+        r.event(NO_THREAD, EventKind::Gc { live: 10, freed: 4 });
+        // The error itself.
+        transition(&r, 3, "local-reference", FsmOutcome::Error, "r#2");
+
+        let report = capture(
+            &r,
+            ForensicsConfig::default(),
+            "local-reference",
+            "Dangling",
+            "GetObjectClass",
+            "use of freed local reference",
+            3,
+            vec!["Native.useRef(Native.c:12)".into()],
+        );
+        assert_eq!(report.entity.as_deref(), Some("r#2"));
+        // Thread-9 traffic on r#7 must be excluded; everything else kept.
+        assert_eq!(report.recent.len(), 4);
+        assert!(report.recent.iter().all(|e| e.is_global()
+            || e.thread == 3
+            || e.entity().map(|t| t.label()) == Some("r#2")));
+    }
+
+    #[test]
+    fn last_n_truncates_oldest() {
+        let r = Recorder::enabled(64);
+        for i in 0..10 {
+            transition(&r, 1, "pinning", FsmOutcome::Moved, &format!("pin#{i}"));
+        }
+        transition(&r, 1, "pinning", FsmOutcome::Error, "pin#9");
+        let report = capture(
+            &r,
+            ForensicsConfig { last_n: 3 },
+            "pinning",
+            "DoubleFree",
+            "ReleaseStringChars",
+            "released twice",
+            1,
+            Vec::new(),
+        );
+        assert_eq!(report.recent.len(), 3);
+        // Newest survives.
+        assert!(matches!(
+            report.recent.last().unwrap().kind,
+            EventKind::FsmTransition {
+                outcome: FsmOutcome::Error,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn disabled_recorder_yields_historyless_report() {
+        let r = Recorder::disabled();
+        let report = capture(
+            &r,
+            ForensicsConfig::default(),
+            "monitor",
+            "Unlocked",
+            "MonitorExit",
+            "exit without enter",
+            0,
+            Vec::new(),
+        );
+        assert!(report.recent.is_empty());
+        assert_eq!(report.entity, None);
+        let text = report.render();
+        assert!(text.contains("JNIAssertionFailure: [monitor/Unlocked]"));
+        assert!(text.contains("recorder disabled"));
+    }
+
+    #[test]
+    fn render_has_figure9_shape() {
+        let r = Recorder::enabled(8);
+        transition(&r, 2, "local-reference", FsmOutcome::Error, "r#1");
+        let report = capture(
+            &r,
+            ForensicsConfig::default(),
+            "local-reference",
+            "Dangling",
+            "GetObjectClass",
+            "use of freed local reference",
+            2,
+            vec![
+                "Buggy.nativeUse(Buggy.c:33)".into(),
+                "Buggy.main(Buggy.java:5)".into(),
+            ],
+        );
+        let text = report.render();
+        assert!(text.starts_with(
+            "JNIAssertionFailure: [local-reference/Dangling] use of freed local reference in GetObjectClass\n"
+        ));
+        assert!(text.contains("    at Buggy.nativeUse(Buggy.c:33)"));
+        assert!(text.contains("failing entity: r#1"));
+        assert!(text.contains("last 1 relevant events"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`Recorder`]: the cheaply clonable handle every substrate crate
+//! carries.
+//!
+//! A recorder is either *enabled* — backed by a shared ring + metrics
+//! registry — or *disabled*, in which case every recording call is a
+//! single `Option` discriminant check and an immediate return. The
+//! workspace is single-threaded by design (`Rc`-based object graph), so
+//! interior mutability is `RefCell`, not locks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::event::{EventKind, FsmOutcome, TraceEvent};
+use crate::metrics::{MetricsRegistry, Snapshot};
+use crate::ring::TraceRing;
+
+/// Default trace-ring capacity for [`Recorder::enabled`].
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    ring: RefCell<TraceRing>,
+    metrics: RefCell<MetricsRegistry>,
+}
+
+/// Handle to the observability backend. Cloning shares the backend.
+///
+/// The default recorder is disabled: every call is a no-op after one
+/// branch. Construct with [`Recorder::enabled`] to start recording.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default).
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A recorder backed by a fresh ring of `ring_capacity` events and an
+    /// empty metrics registry.
+    pub fn enabled(ring_capacity: usize) -> Recorder {
+        Recorder {
+            inner: Some(Rc::new(Inner {
+                start: Instant::now(),
+                ring: RefCell::new(TraceRing::new(ring_capacity)),
+                metrics: RefCell::new(MetricsRegistry::new()),
+            })),
+        }
+    }
+
+    /// Whether this recorder is actually recording.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a timer — `None` when disabled, so a disabled recorder
+    /// never touches the clock.
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Microseconds since the recorder was created (0 when disabled).
+    pub fn elapsed_micros(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.start.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Records an event into the ring.
+    #[inline]
+    pub fn event(&self, thread: u16, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let micros = inner.start.elapsed().as_micros() as u64;
+            let mut ring = inner.ring.borrow_mut();
+            let seq = ring.total_recorded();
+            ring.push(TraceEvent {
+                seq,
+                micros,
+                thread,
+                kind,
+            });
+        }
+    }
+
+    /// Records a completed JNI call into the metrics registry.
+    #[inline]
+    pub fn jni_call(&self, func: &'static str, nanos: u64, failed: bool) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.borrow_mut().jni_call(func, nanos, failed);
+        }
+    }
+
+    /// Records an FSM transition outcome into the metrics registry.
+    #[inline]
+    pub fn fsm(&self, machine: &str, outcome: FsmOutcome) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.borrow_mut().fsm(machine, outcome);
+        }
+    }
+
+    /// Bumps a named counter.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.borrow_mut().add(name, delta);
+        }
+    }
+
+    /// A point-in-time copy of the metrics, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|inner| Snapshot {
+            taken_at_micros: inner.start.elapsed().as_micros() as u64,
+            metrics: inner.metrics.borrow().clone(),
+        })
+    }
+
+    /// The events currently held by the ring, oldest-first (empty when
+    /// disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.ring.borrow().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn total_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.ring.borrow().total_recorded(),
+            None => 0,
+        }
+    }
+
+    /// The events as Chrome `chrome://tracing` JSON, or `None` when
+    /// disabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.inner
+            .as_ref()
+            .map(|inner| crate::export::chrome_trace(&inner.ring.borrow().to_vec()))
+    }
+
+    /// A plain-text dump of events + metrics, or `None` when disabled.
+    pub fn text_dump(&self) -> Option<String> {
+        let snapshot = self.snapshot()?;
+        Some(crate::export::text_dump(&self.events(), &snapshot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_THREAD;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert!(r.timer().is_none());
+        r.event(0, EventKind::GcSafepoint { collected: true });
+        r.jni_call("NewStringUTF", 10, false);
+        r.fsm("pinning", FsmOutcome::Moved);
+        r.count("x", 1);
+        assert!(r.snapshot().is_none());
+        assert!(r.events().is_empty());
+        assert_eq!(r.total_events(), 0);
+        assert!(r.chrome_trace().is_none());
+        assert!(r.text_dump().is_none());
+    }
+
+    #[test]
+    fn clones_share_the_backend() {
+        let a = Recorder::enabled(16);
+        let b = a.clone();
+        a.event(
+            1,
+            EventKind::JniEnter {
+                func: "GetObjectClass",
+            },
+        );
+        b.jni_call("GetObjectClass", 99, false);
+        assert_eq!(a.total_events(), 1);
+        assert_eq!(b.events().len(), 1);
+        let snap = a.snapshot().unwrap();
+        assert_eq!(snap.metrics.total_jni_calls(), 1);
+    }
+
+    #[test]
+    fn events_carry_monotonic_seq() {
+        let r = Recorder::enabled(4);
+        for _ in 0..6 {
+            r.event(NO_THREAD, EventKind::GcSafepoint { collected: false });
+        }
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+        assert_eq!(r.total_events(), 6);
+    }
+
+    #[test]
+    fn timer_works_when_enabled() {
+        let r = Recorder::enabled(4);
+        let t = r.timer().expect("enabled recorder must hand out timers");
+        let nanos = t.elapsed().as_nanos() as u64;
+        r.jni_call("NewGlobalRef", nanos, false);
+        let snap = r.snapshot().unwrap();
+        let (_, m) = snap.metrics.jni_functions().next().unwrap();
+        assert_eq!(m.calls, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! A fixed-capacity ring buffer of [`TraceEvent`]s.
+//!
+//! The ring keeps the most recent `capacity` events; older events are
+//! overwritten in place. Pushing never allocates once the ring is full,
+//! so steady-state recording cost is an index bump and a slot write.
+
+use crate::event::TraceEvent;
+
+/// Fixed-capacity wraparound buffer of trace events, oldest-first on
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the slot the next push writes to (only meaningful once
+    /// the ring has wrapped).
+    head: usize,
+    /// Total events ever pushed, including overwritten ones.
+    total: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "TraceRing capacity must be non-zero");
+        TraceRing {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed, including ones the ring has evicted.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, fresh) = self.buf.split_at(self.head.min(self.buf.len()));
+        fresh.iter().chain(wrapped.iter())
+    }
+
+    /// Copies the held events out, oldest-first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().cloned().collect()
+    }
+
+    /// Drops all held events (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NO_THREAD};
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            micros: seq * 10,
+            thread: NO_THREAD,
+            kind: EventKind::GcSafepoint { collected: false },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 10);
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_order() {
+        let mut ring = TraceRing::new(8);
+        for i in 0..3 {
+            ring.push(ev(i));
+        }
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(!ring.is_empty());
+        assert_eq!(ring.capacity(), 8);
+    }
+
+    #[test]
+    fn wrap_boundary_exact_capacity() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..3 {
+            ring.push(ev(i));
+        }
+        // Exactly full, not yet wrapped: head still 0, order preserved.
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // One more push evicts the oldest.
+        ring.push(ev(3));
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_total() {
+        let mut ring = TraceRing::new(2);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        ring.push(ev(2));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_recorded(), 3);
+        ring.push(ev(3));
+        assert_eq!(ring.to_vec().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        TraceRing::new(0);
+    }
+}

@@ -10,7 +10,11 @@
 //! ([`PyInterpose`]) before and after its raw semantics.
 
 use std::fmt;
+use std::rc::Rc;
 use std::sync::OnceLock;
+use std::time::Instant;
+
+use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder, VerdictAction};
 
 use crate::interp::{GilError, PyErrState, PyThread, Python};
 use crate::object::{Deref, PyPtr, PyValue};
@@ -183,6 +187,9 @@ pub struct PyViolation {
     pub function: String,
     /// Diagnosis.
     pub message: String,
+    /// The failing entity (the offending `PyPtr`, rendered), when the
+    /// violation concerns one; used by forensics reports.
+    pub entity: Option<String>,
 }
 
 impl fmt::Display for PyViolation {
@@ -267,6 +274,10 @@ pub struct PyEnv<'a> {
     py: &'a mut Python,
     checkers: &'a mut Vec<Box<dyn PyInterpose>>,
     thread: PyThread,
+    recorder: Recorder,
+    /// The Python/C call currently between `begin` and `end`, with its
+    /// start time; closed as failed if the call aborts before `end`.
+    pending: Option<(&'static str, Option<Instant>)>,
 }
 
 impl fmt::Debug for PyEnv<'_> {
@@ -282,11 +293,14 @@ impl<'a> PyEnv<'a> {
         py: &'a mut Python,
         checkers: &'a mut Vec<Box<dyn PyInterpose>>,
         thread: PyThread,
+        recorder: Recorder,
     ) -> PyEnv<'a> {
         PyEnv {
             py,
             checkers,
             thread,
+            recorder,
+            pending: None,
         }
     }
 
@@ -307,6 +321,14 @@ impl<'a> PyEnv<'a> {
             return Err(PyError::Crash(d.to_string()));
         }
         self.py.count_api_call();
+        if self.recorder.is_enabled() {
+            // A previous call that aborted before its `end` is closed as
+            // failed here so the trace stays balanced.
+            self.close_pending(true);
+            self.recorder
+                .event(self.thread.0, EventKind::JniEnter { func: name });
+            self.pending = Some((name, self.recorder.timer()));
+        }
         let call = PyCall {
             spec: spec(name),
             thread: self.thread,
@@ -314,6 +336,8 @@ impl<'a> PyEnv<'a> {
         };
         for i in 0..self.checkers.len() {
             if let Some(v) = self.checkers[i].pre(self.py, &call) {
+                self.record_violation(&v);
+                self.close_pending(true);
                 self.py.set_exception(Some(PyErrState {
                     kind: "JinnPyCheckError".to_string(),
                     message: v.message.clone(),
@@ -333,6 +357,53 @@ impl<'a> PyEnv<'a> {
         for i in 0..self.checkers.len() {
             let _ = self.checkers[i].post(self.py, &call, ret);
         }
+        self.close_pending(false);
+    }
+
+    /// Emits the exit event and per-function metrics for the call opened
+    /// by the last `begin`, if any.
+    fn close_pending(&mut self, failed: bool) {
+        if let Some((func, started)) = self.pending.take() {
+            let nanos = started.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            self.recorder.event(
+                self.thread.0,
+                EventKind::JniExit {
+                    func,
+                    nanos,
+                    failed,
+                },
+            );
+            self.recorder.jni_call(func, nanos, failed);
+        }
+    }
+
+    /// Records a checker verdict in the trace ring: the error transition
+    /// (tagged with the failing entity, so forensics can recover it) and
+    /// the verdict itself. The Python/C checker reports by raising
+    /// `JinnPyCheckError`, hence [`VerdictAction::ThrowException`].
+    fn record_violation(&mut self, v: &PyViolation) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.event(
+            self.thread.0,
+            EventKind::FsmTransition {
+                machine: Rc::from(v.machine),
+                transition: Rc::from("Violation"),
+                outcome: FsmOutcome::Error,
+                entity: v.entity.as_deref().map(EntityTag::new),
+            },
+        );
+        self.recorder.fsm(v.machine, FsmOutcome::Error);
+        self.recorder.event(
+            self.thread.0,
+            EventKind::Verdict {
+                machine: Rc::from(v.machine),
+                function: Rc::from(v.function.as_str()),
+                action: VerdictAction::ThrowException,
+            },
+        );
+        self.recorder.count("checks.violations", 1);
     }
 
     fn crash(&mut self, reason: &str) -> PyError {
@@ -659,6 +730,14 @@ impl<'a> PyEnv<'a> {
         let none = self.py.none();
         self.end("Py_None", &[], Some(none));
         Ok(none)
+    }
+}
+
+impl Drop for PyEnv<'_> {
+    fn drop(&mut self) {
+        // A call that crashed or raised mid-way never reached `end`; close
+        // its trace span as failed so exports stay balanced.
+        self.close_pending(true);
     }
 }
 

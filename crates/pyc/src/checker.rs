@@ -194,12 +194,19 @@ impl PyChecker {
         false
     }
 
-    fn violation(&mut self, machine: &'static str, function: &str, message: String) -> PyViolation {
+    fn violation(
+        &mut self,
+        machine: &'static str,
+        function: &str,
+        message: String,
+        entity: Option<String>,
+    ) -> PyViolation {
         self.violations += 1;
         PyViolation {
             machine,
             function: function.to_string(),
             message,
+            entity,
         }
     }
 }
@@ -217,6 +224,7 @@ impl PyInterpose for PyChecker {
                 "gil",
                 spec.name,
                 format!("{} called without holding the GIL", spec.name),
+                Some(call.thread.to_string()),
             ));
         }
         if !spec.err_oblivious && py.exception().is_some() {
@@ -225,6 +233,7 @@ impl PyInterpose for PyChecker {
                 "py-exception",
                 spec.name,
                 format!("{} called with a {} pending", spec.name, kind),
+                Some(call.thread.to_string()),
             ));
         }
         // Resource machine: uses and releases.
@@ -242,7 +251,12 @@ impl PyInterpose for PyChecker {
                 } else {
                     format!("Py_DECREF of {p} without matching ownership (double release?)")
                 };
-                return Some(self.violation("borrowed-reference", spec.name, message));
+                return Some(self.violation(
+                    "borrowed-reference",
+                    spec.name,
+                    message,
+                    Some(p.to_string()),
+                ));
             }
             if !self.is_valid(py, p) {
                 let why = if self.borrows.contains_key(&p) {
@@ -254,6 +268,7 @@ impl PyInterpose for PyChecker {
                     "borrowed-reference",
                     spec.name,
                     format!("argument {i} ({p}) is an invalid reference: {why}"),
+                    Some(p.to_string()),
                 ));
             }
         }
@@ -325,6 +340,7 @@ impl PyInterpose for PyChecker {
                 machine: "borrowed-reference",
                 function: "Py_Finalize".to_string(),
                 message: format!("co-owned reference {p} was never released (leak)"),
+                entity: Some(p.to_string()),
             });
         }
         self.violations += out.len() as u64;

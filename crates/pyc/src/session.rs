@@ -1,5 +1,9 @@
 //! Python/C sessions and the Section 7 example programs.
 
+use std::rc::Rc;
+
+use jinn_obs::{forensics, BugReport, EventKind, ForensicsConfig, Recorder, VerdictAction};
+
 use crate::api::{BuildArg, PyEnv, PyError, PyInterpose, PyViolation};
 use crate::interp::{PyThread, Python};
 use crate::object::PyPtr;
@@ -10,6 +14,9 @@ use crate::object::PyPtr;
 pub struct PySession {
     py: Python,
     checkers: Vec<Box<dyn PyInterpose>>,
+    recorder: Recorder,
+    forensics_config: ForensicsConfig,
+    last_forensics: Option<BugReport>,
 }
 
 impl std::fmt::Debug for PySession {
@@ -46,7 +53,39 @@ impl PySession {
         PySession {
             py: Python::new(),
             checkers: Vec::new(),
+            recorder: Recorder::disabled(),
+            forensics_config: ForensicsConfig::default(),
+            last_forensics: None,
         }
+    }
+
+    /// Attaches an observability recorder: every Python/C call records a
+    /// boundary-crossing trace event and per-function metrics, and checker
+    /// verdicts capture forensics reports.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The session's recorder (disabled unless [`PySession::set_recorder`]
+    /// was called).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Sets how many trace events forensics reports keep.
+    pub fn set_forensics_config(&mut self, config: ForensicsConfig) {
+        self.forensics_config = config;
+    }
+
+    /// The forensics report captured at the most recent checker verdict,
+    /// if any.
+    pub fn last_bug_report(&self) -> Option<&BugReport> {
+        self.last_forensics.as_ref()
+    }
+
+    /// Takes ownership of the most recent forensics report.
+    pub fn take_bug_report(&mut self) -> Option<BugReport> {
+        self.last_forensics.take()
     }
 
     /// A fresh interpreter with the synthesized checker attached.
@@ -68,12 +107,22 @@ impl PySession {
 
     /// An environment for the main thread.
     pub fn env(&mut self) -> PyEnv<'_> {
-        PyEnv::new(&mut self.py, &mut self.checkers, Python::MAIN)
+        PyEnv::new(
+            &mut self.py,
+            &mut self.checkers,
+            Python::MAIN,
+            self.recorder.clone(),
+        )
     }
 
     /// An environment for an arbitrary thread.
     pub fn env_on(&mut self, thread: PyThread) -> PyEnv<'_> {
-        PyEnv::new(&mut self.py, &mut self.checkers, thread)
+        PyEnv::new(
+            &mut self.py,
+            &mut self.checkers,
+            thread,
+            self.recorder.clone(),
+        )
     }
 
     /// Runs a native extension routine and classifies how it ended.
@@ -85,26 +134,43 @@ impl PySession {
             let mut env = self.env();
             body(&mut env)
         };
-        match result {
+        let outcome = match result {
             Err(PyError::Detected(v)) => PyRunOutcome::CheckerError(v),
             Err(PyError::Crash(m)) => PyRunOutcome::Crashed(m),
             Err(PyError::Raised) | Ok(()) => {
                 if let Some(d) = self.py.death() {
-                    return PyRunOutcome::Crashed(d.to_string());
-                }
-                match self.py.exception() {
-                    Some(e) if e.kind == "JinnPyCheckError" => {
-                        PyRunOutcome::CheckerError(PyViolation {
-                            machine: "borrowed-reference",
-                            function: "<pending>".to_string(),
-                            message: e.message.clone(),
-                        })
+                    PyRunOutcome::Crashed(d.to_string())
+                } else {
+                    match self.py.exception() {
+                        Some(e) if e.kind == "JinnPyCheckError" => {
+                            PyRunOutcome::CheckerError(PyViolation {
+                                machine: "borrowed-reference",
+                                function: "<pending>".to_string(),
+                                message: e.message.clone(),
+                                entity: None,
+                            })
+                        }
+                        Some(e) => PyRunOutcome::Raised(e.kind.clone(), e.message.clone()),
+                        None => PyRunOutcome::Completed,
                     }
-                    Some(e) => PyRunOutcome::Raised(e.kind.clone(), e.message.clone()),
-                    None => PyRunOutcome::Completed,
                 }
             }
+        };
+        if let PyRunOutcome::CheckerError(v) = &outcome {
+            if self.recorder.is_enabled() {
+                self.last_forensics = Some(forensics::capture(
+                    &self.recorder,
+                    self.forensics_config,
+                    v.machine,
+                    error_state_of(v),
+                    &v.function,
+                    &v.message,
+                    Python::MAIN.0,
+                    Vec::new(),
+                ));
+            }
         }
+        outcome
     }
 
     /// Interpreter shutdown: runs the checkers' leak sweeps.
@@ -113,7 +179,39 @@ impl PySession {
         for c in &mut self.checkers {
             out.extend(c.shutdown(&self.py));
         }
+        if self.recorder.is_enabled() {
+            for v in &out {
+                self.recorder.event(
+                    Python::MAIN.0,
+                    EventKind::Verdict {
+                        machine: Rc::from(v.machine),
+                        function: Rc::from(v.function.as_str()),
+                        action: VerdictAction::Warn,
+                    },
+                );
+            }
+            self.recorder.count("checks.violations", out.len() as u64);
+        }
         out
+    }
+}
+
+/// Maps a violation back to its machine's error-state name (the machines
+/// in [`crate::checker`] declare these) for forensics headers.
+fn error_state_of(v: &PyViolation) -> &'static str {
+    match v.machine {
+        "gil" => "Error:CallWithoutGil",
+        "py-exception" => "Error:SensitiveCallWithPending",
+        "borrowed-reference" => {
+            if v.message.contains("never released") {
+                "Error:Leak"
+            } else if v.message.contains("Py_DECREF") {
+                "Error:OverRelease"
+            } else {
+                "Error:DanglingBorrow"
+            }
+        }
+        _ => "Error",
     }
 }
 

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API this workspace's benches use
+//! (`Criterion`, benchmark groups, `bench_with_input`, `Bencher::iter`,
+//! the `criterion_group!`/`criterion_main!` macros) on top of a plain
+//! `Instant`-based timing loop. No statistics, plots, or baselines — it
+//! warms up, measures, and prints one mean-per-iteration line per bench,
+//! which is enough for the relative comparisons the experiment harness
+//! makes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Criterion {
+        self.run_one(&id.0, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        self.run_one(&name.into(), |b| f(b));
+        self
+    }
+
+    fn run_one(&self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => println!(
+                "bench {label:<50} {:>12.1} ns/iter ({} iters)",
+                m.nanos_per_iter, m.iters
+            ),
+            None => println!("bench {label:<50} (no measurement: iter() was never called)"),
+        }
+    }
+}
+
+/// One measurement produced by [`Bencher::iter`].
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    nanos_per_iter: f64,
+    iters: u64,
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the body.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `body`, running it repeatedly for the configured budget.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(body());
+            warm_iters += 1;
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: split the budget into `samples` batches sized from
+        // the warm-up rate, and keep the overall mean.
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters as f64;
+        let batch = (((self.budget.as_secs_f64() / self.samples as f64) / per_iter.max(1e-9))
+            as u64)
+            .max(1);
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(body());
+            }
+            total_iters += batch;
+        }
+        let elapsed = measure_start.elapsed();
+        self.result = Some(Measurement {
+            nanos_per_iter: elapsed.as_nanos() as f64 / total_iters.max(1) as f64,
+            iters: total_iters,
+        });
+    }
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `group/label` id.
+    pub fn new(group: impl Into<String>, label: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{label}", group.into()))
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// A named group of benchmarks sharing the parent harness's settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input` under this group's name.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under this group's name.
+    pub fn bench_function(
+        &mut self,
+        label: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{label}", self.name);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn measures_a_trivial_body() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| {
+                ran += x;
+                ran
+            });
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    criterion_group! {
+        name = shim_benches;
+        config = quick();
+        targets = trivial_target
+    }
+
+    fn trivial_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_benches();
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds where crates.io is unreachable, so the real
+//! proptest cannot be vendored. This shim reimplements the subset the
+//! repository's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`
+//!   and `boxed`,
+//! * integer-range, [`strategy::Just`], `any::<T>()`, [`prop_oneof!`],
+//!   [`collection::vec`], [`option::of`] and regex-literal string
+//!   strategies,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberately accepted: generation is
+//! seeded deterministically per test (reproducible by construction, so no
+//! failure-persistence files), and there is **no shrinking** — on failure
+//! the offending inputs are printed in full instead.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property body.
+///
+/// The real proptest returns an error to the runner so the case can
+/// shrink; without shrinking a plain panic carries the same information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Picks one of several strategies (uniformly) for each generated value.
+/// All branches must share one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs. On a failing case the inputs are printed before the panic
+/// propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                let described = format!(
+                    concat!(
+                        "failing case {} of ", stringify!($name), ":"
+                        $(, "\n  ", stringify!($arg), " = {:?}")*
+                    ),
+                    case, $(&$arg),*
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!("{described}");
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..10, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u16),
+            Just(9u16),
+        ]) {
+            prop_assert!(v < 4 || v == 9);
+        }
+
+        #[test]
+        fn vectors_respect_their_size(xs in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&xs.len()));
+        }
+
+        #[test]
+        fn strings_match_simple_patterns(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = crate::test_runner::TestRng::for_test("option_of");
+        let strategy = crate::option::of(0u8..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0, "some={some} none={none}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let strategy = crate::collection::vec(any::<u16>(), 0..8);
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        for _ in 0..50 {
+            assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Option strategies (`proptest::option::of`).
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some(value)` most of the time and `None` about a fifth of
+/// the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.ratio(1, 5) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! A tiny regex-*generator*: turns a pattern literal into random strings
+//! that match it.
+//!
+//! Supports exactly the constructs the workspace's property tests use:
+//! literal characters, `.`, `\PC` (printable), character classes
+//! `[a-z0-9_$]`, groups `( ... )`, and the quantifiers `{m}`, `{m,n}`,
+//! `?`, `*`, `+`. Alternation, anchors and negated classes are not
+//! implemented — patterns using them panic so the gap is loud.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-zA-Z0-9_$]`.
+    Class(Vec<(char, char)>),
+    /// `.` or `\PC`: an arbitrary printable character (ASCII plus a few
+    /// multi-byte code points so encoders see surrogate pairs too).
+    AnyPrintable,
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: usize,
+    max: usize,
+}
+
+const ONE: Quant = Quant { min: 1, max: 1 };
+
+/// Non-ASCII sample characters mixed into `.`/`\PC` output: Latin-1,
+/// BMP CJK, and an astral-plane character (a UTF-16 surrogate pair).
+const WIDE_SAMPLES: [char; 5] = ['é', 'λ', '中', 'ﬃ', '🦀'];
+
+/// Generates a random string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax this mini-generator does not support.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_seq(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    for (node, quant) in &nodes {
+        emit(node, *quant, rng, &mut out);
+    }
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<(Node, Quant)> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unbalanced `)` in pattern {pattern:?}");
+            chars.next();
+            return nodes;
+        }
+        chars.next();
+        let node = match c {
+            '.' => Node::AnyPrintable,
+            '[' => Node::Class(parse_class(chars, pattern)),
+            '(' => Node::Group(parse_seq(chars, pattern, true)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let category = chars.next();
+                    assert_eq!(
+                        category,
+                        Some('C'),
+                        "only \\PC is supported, got \\P{category:?} in {pattern:?}"
+                    );
+                    Node::AnyPrintable
+                }
+                Some(escaped @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '$' | '-')) => {
+                    Node::Literal(escaped)
+                }
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            '|' => panic!("alternation is not supported (pattern {pattern:?})"),
+            other => Node::Literal(other),
+        };
+        let quant = parse_quant(chars, pattern);
+        nodes.push((node, quant));
+    }
+    assert!(!in_group, "unbalanced `(` in pattern {pattern:?}");
+    nodes
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated `[` in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '^' if ranges.is_empty() => {
+                panic!("negated classes are not supported (pattern {pattern:?})")
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                ranges.push((escaped, escaped));
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.next() {
+                        Some(']') => {
+                            // Trailing `-` is a literal.
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        Some(hi) => ranges.push((lo, hi)),
+                        None => panic!("unterminated `[` in pattern {pattern:?}"),
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quant(chars: &mut Chars<'_>, pattern: &str) -> Quant {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Quant { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Quant { min: 1, max: 8 }
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier minimum"),
+                            hi.trim().parse().expect("quantifier maximum"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "bad quantifier {{{spec}}} in {pattern:?}");
+                    return Quant { min, max };
+                }
+                spec.push(c);
+            }
+            panic!("unterminated `{{` in pattern {pattern:?}");
+        }
+        _ => ONE,
+    }
+}
+
+fn emit(node: &Node, quant: Quant, rng: &mut TestRng, out: &mut String) {
+    let count = quant.min + rng.below((quant.max - quant.min + 1) as u64) as usize;
+    for _ in 0..count {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.in_range(0, ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let code = lo as u32 + rng.below(u64::from(span)) as u32;
+                out.push(char::from_u32(code).expect("class ranges stay in valid scalars"));
+            }
+            Node::AnyPrintable => {
+                // 1-in-8 a wide sample, otherwise printable ASCII.
+                if rng.ratio(1, 8) {
+                    out.push(WIDE_SAMPLES[rng.in_range(0, WIDE_SAMPLES.len())]);
+                } else {
+                    out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii"));
+                }
+            }
+            Node::Group(nodes) => {
+                for (inner, q) in nodes {
+                    emit(inner, *q, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-tests")
+    }
+
+    #[test]
+    fn classes_quantifiers_and_groups() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z][a-zA-Z0-9_$]{0,8}(/[a-z]{1,3}){0,2}", &mut r);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.split('/').count() <= 3);
+        }
+    }
+
+    #[test]
+    fn printable_patterns_bound_their_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,32}", &mut r);
+            assert!(s.chars().count() <= 32);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_counts() {
+        let mut r = rng();
+        let s = generate_matching("a{3}b?", &mut r);
+        assert!(s.starts_with("aaa"));
+        assert!(s.len() == 3 || s.len() == 4);
+    }
+}

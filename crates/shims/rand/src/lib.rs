@@ -1,0 +1,90 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! shim provides the small deterministic subset of `rand`'s API that the
+//! repository needs: an [`Rng`] trait with range sampling and a seedable
+//! xorshift64* generator. Determinism is a feature here — experiments and
+//! tests want reproducible streams.
+
+#![forbid(unsafe_code)]
+
+/// Minimal random-number-generator interface.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `[0, bound)`. `bound` must be non-zero.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64: empty range");
+        // Multiply-shift bounded sampling; bias is negligible for the
+        // bounds this workspace uses (all far below 2^32).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    fn gen_range_usize(&mut self, bound: usize) -> usize {
+        self.gen_range_u64(bound as u64) as usize
+    }
+
+    /// A boolean that is `true` with probability `num / denom`.
+    fn gen_ratio(&mut self, num: u32, denom: u32) -> bool {
+        self.gen_range_u64(u64::from(denom)) < u64::from(num)
+    }
+}
+
+/// A seedable xorshift64* generator: tiny, fast, and good enough for
+/// workload shuffling and test-case generation.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (zero is remapped to a fixed
+    /// non-zero constant — xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+}
+
+impl Rng for XorShift64 {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            let bound = 1 + (a.next_u64() % 1000);
+            let x = a.gen_range_u64(bound);
+            // Same seed, same stream.
+            b.next_u64();
+            assert_eq!(x, b.gen_range_u64(bound));
+            assert!(x < bound);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The observability quickstart from README: enable the recorder, run a
+//! buggy workload, and dump the forensics report, metrics snapshot, and
+//! Chrome trace — the paper's Figure 9 debugger experience as data.
+//!
+//! ```text
+//! cargo run --example obs_forensics
+//! ```
+
+use std::rc::Rc;
+
+use jinn::jni::{typed, RunOutcome, Session, Vm};
+use jinn::jvm::JValue;
+use jinn::obs::Recorder;
+
+fn main() {
+    let mut vm = Vm::permissive();
+
+    // A native method with a seeded use-after-release bug.
+    let (_c, buggy) = vm.define_native_class(
+        "app/Renderer",
+        "draw",
+        "(Ljava/lang/Object;)V",
+        true,
+        Rc::new(|env, args| {
+            let obj = args[0].as_ref().expect("ref arg");
+            let icon = typed::new_local_ref(env, obj)?;
+            typed::delete_local_ref(env, icon)?;
+            // BUG: `icon` is dangling from here on.
+            let _ = typed::is_same_object(env, obj, icon)?;
+            Ok(JValue::Void)
+        }),
+    );
+    let class = vm.jvm().find_class("java/lang/Object").expect("bootstrap");
+    let oop = vm.jvm_mut().alloc_object(class);
+    let thread = vm.jvm().main_thread();
+    let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+
+    let mut session = Session::new(vm);
+    session.set_recorder(Recorder::enabled(4096)); // before install/attach
+    jinn::core::install(&mut session);
+
+    match session.run_native(thread, buggy, &[arg]) {
+        RunOutcome::CheckerException(v) => {
+            println!("checker verdict: [{}] {}\n", v.machine, v.message)
+        }
+        other => println!("unexpected outcome: {other:?}\n"),
+    }
+
+    if let Some(report) = session.take_bug_report() {
+        println!("=== forensics report ===");
+        println!("{}", report.render());
+    }
+    if let Some(snapshot) = session.recorder().snapshot() {
+        println!("=== metrics snapshot ===");
+        println!("{}", snapshot.render());
+    }
+    let chrome = session.recorder().chrome_trace().expect("enabled");
+    println!(
+        "=== chrome trace: {} bytes (load at chrome://tracing) ===",
+        chrome.len()
+    );
+}

@@ -11,6 +11,7 @@
 //! * [`core`] — the synthesizer (Algorithm 1) and the interposing checker.
 //! * [`vendors`] — HotSpot/J9 behavioural models and `-Xcheck:jni` baselines.
 //! * [`py`] — the mini Python interpreter and its Python/C checker (Sec 7).
+//! * [`obs`] — boundary-crossing trace ring, metrics, and bug forensics.
 //! * [`microbench`] — the 16 error-triggering microbenchmarks (Sec 6.1).
 //! * [`workloads`] — Table 3 workload generators and the Section 6.4 case
 //!   studies.
@@ -18,6 +19,7 @@
 pub use jinn_core as core;
 pub use jinn_fsm as fsm;
 pub use jinn_microbench as microbench;
+pub use jinn_obs as obs;
 pub use jinn_spec as spec;
 pub use jinn_vendors as vendors;
 pub use jinn_workloads as workloads;

@@ -40,6 +40,7 @@ use crate::interpose::{
 };
 use crate::raw;
 use crate::registry::{FuncId, FuncSpec, RetKind};
+use crate::tap::ManagedOutcome;
 use crate::vm::Vm;
 
 /// The class of the exception Jinn throws at the point of failure.
@@ -266,6 +267,20 @@ impl<'s> JniEnv<'s> {
     /// exception pending, [`JniError::Detected`] when an attached checker
     /// throws, and [`JniError::Death`] when the simulated process dies.
     pub fn invoke(&mut self, func: FuncId, args: Vec<JniArg>) -> Result<JniRet, JniError> {
+        // Boundary tap: sees the call with full arguments and the
+        // presented env token, before checkers run and after the call
+        // settles. No tap = one branch.
+        if let Some(tap) = self.vm.tap.clone() {
+            tap.borrow_mut()
+                .jni_enter(self.thread, self.presented, func, &args);
+            let result = self.invoke_recorded(func, args);
+            tap.borrow_mut().jni_exit(self.thread, func, &result);
+            return result;
+        }
+        self.invoke_recorded(func, args)
+    }
+
+    fn invoke_recorded(&mut self, func: FuncId, args: Vec<JniArg>) -> Result<JniRet, JniError> {
         // Observability wrapper: when a recorder is attached, bracket the
         // call with Call:C→Java / Return:Java→C events and feed the
         // per-function latency histogram. Disabled recorder = one branch.
@@ -298,7 +313,7 @@ impl<'s> JniEnv<'s> {
             return Err(JniError::Death(d.clone()));
         }
         self.vm.stats.c_to_java += 1;
-        self.vm.jvm.safepoint();
+        self.boundary_safepoint();
         // Fast path: with no agent attached there is no interposition
         // work at all — this is the production-run baseline of Table 3.
         if self.interposers.is_empty() {
@@ -408,6 +423,13 @@ impl<'s> JniEnv<'s> {
         if let Some(d) = &self.vm.dead {
             return Err(JniError::Death(d.clone()));
         }
+        // Boundary tap: the Call:Java→C transition with the *caller's*
+        // view of the arguments (before frame-local re-registration).
+        // The matching native_exit fires inside the inner driver, with
+        // the body's raw result.
+        if let Some(tap) = self.vm.tap.clone() {
+            tap.borrow_mut().native_enter(self.thread, method, args);
+        }
         if !self.vm.recorder.is_enabled() {
             let result = self.call_native_method_inner(method, args);
             if let Err(JniError::Death(d)) = &result {
@@ -470,11 +492,15 @@ impl<'s> JniEnv<'s> {
                 names::RUNTIME_EXCEPTION,
                 &format!("java.lang.UnsatisfiedLinkError: {}", info.name),
             );
-            return Err(JniError::Exception);
+            let err = Err(JniError::Exception);
+            if let Some(tap) = self.vm.tap.clone() {
+                tap.borrow_mut().native_exit(self.thread, method, &err);
+            }
+            return err;
         };
 
         self.vm.stats.java_to_c += 1;
-        self.vm.jvm.safepoint();
+        self.boundary_safepoint();
         self.vm
             .jvm
             .thread_mut(self.thread)
@@ -514,12 +540,22 @@ impl<'s> JniEnv<'s> {
         if let Err(e) = self.handle_reports(reports) {
             self.pop_stack();
             let _ = self.vm.jvm.thread_mut(self.thread).pop_frame();
-            return Err(e);
+            let err = Err(e);
+            if let Some(tap) = self.vm.tap.clone() {
+                tap.borrow_mut().native_exit(self.thread, method, &err);
+            }
+            return err;
         }
 
         // The native body itself.
         let f = self.vm.natives[fn_idx as usize].clone();
         let result = f(self, &callee_args);
+        // Boundary tap: the body's raw result, before returned-reference
+        // translation and before the frame pops — the substitution point
+        // for deterministic replay.
+        if let Some(tap) = self.vm.tap.clone() {
+            tap.borrow_mut().native_exit(self.thread, method, &result);
+        }
 
         // Return:C→Java hooks, fired before the frame pops: the checker
         // must see the frame's references while they are still live (Use
@@ -551,10 +587,7 @@ impl<'s> JniEnv<'s> {
                     Ok(o) => ret_oop = o,
                     Err(fault) => {
                         let spec = FuncId::of("PopLocalFrame").spec();
-                        let outcome = self
-                            .vm
-                            .vendor
-                            .on_violation(&UbSituation::RefFault { fault, func: spec });
+                        let outcome = self.decide_ub(&UbSituation::RefFault { fault, func: spec });
                         match outcome {
                             UbOutcome::Proceed => {
                                 ret_oop = self.vm.jvm.resolve_ignoring_thread(r).unwrap_or(None);
@@ -632,8 +665,32 @@ impl<'s> JniEnv<'s> {
             "{}.{}({}.java:{})",
             class_name, info.name, file, line
         ));
+        if let Some(tap) = self.vm.tap.clone() {
+            tap.borrow_mut().managed_enter(self.thread, method, args);
+        }
         let f = self.vm.managed[idx as usize].clone();
         let result = f(self, args);
+        if let Some(tap) = self.vm.tap.clone() {
+            let outcome = match &result {
+                Ok(v) => ManagedOutcome::Return(*v),
+                Err(JniError::Exception) => {
+                    let pending = self.vm.jvm.thread(self.thread).pending_exception();
+                    let (class, message) = match pending {
+                        Some(exc) => {
+                            let class_id = self.vm.jvm.class_of(exc);
+                            let class = self.vm.jvm.registry().class(class_id).name().to_string();
+                            let message = self.vm.jvm.exception_message(exc).unwrap_or_default();
+                            (class, message)
+                        }
+                        None => (names::THROWABLE.to_string(), String::new()),
+                    };
+                    ManagedOutcome::Threw { class, message }
+                }
+                Err(JniError::Death(_)) => ManagedOutcome::Died,
+                Err(JniError::Detected(_)) => ManagedOutcome::Detected,
+            };
+            tap.borrow_mut().managed_exit(self.thread, method, &outcome);
+        }
         self.pop_stack();
         result
     }
@@ -658,6 +715,27 @@ impl<'s> JniEnv<'s> {
         self.vm.jvm.new_local(self.thread, oop)
     }
 
+    /// Runs the boundary safepoint, reporting any collection that ran to
+    /// the attached tap (GC schedule is part of a reproducible trace).
+    fn boundary_safepoint(&mut self) {
+        if let Some(stats) = self.vm.jvm.safepoint() {
+            if let Some(tap) = self.vm.tap.clone() {
+                tap.borrow_mut().gc_point(self.thread, &stats);
+            }
+        }
+    }
+
+    /// Single funnel for vendor undefined-behaviour decisions: consults
+    /// the vendor model and reports the (situation, outcome) pair to the
+    /// attached tap.
+    pub(crate) fn decide_ub(&mut self, situation: &UbSituation<'_>) -> UbOutcome {
+        let outcome = self.vm.vendor.on_violation(situation);
+        if let Some(tap) = self.vm.tap.clone() {
+            tap.borrow_mut().vendor_ub(self.thread, situation, &outcome);
+        }
+        outcome
+    }
+
     /// Consults the vendor model for a UB situation where the operation
     /// *can* still proceed (exception pending, env mismatch, final write…).
     pub(crate) fn ub_continue(
@@ -665,7 +743,7 @@ impl<'s> JniEnv<'s> {
         situation: UbSituation<'_>,
         func_name: &str,
     ) -> RawResult<()> {
-        let outcome = self.vm.vendor.on_violation(&situation);
+        let outcome = self.decide_ub(&situation);
         self.apply_ub(outcome, func_name)
     }
 
@@ -677,7 +755,7 @@ impl<'s> JniEnv<'s> {
         situation: UbSituation<'_>,
         func_name: &str,
     ) -> RawResult<()> {
-        let outcome = self.vm.vendor.on_violation(&situation);
+        let outcome = self.decide_ub(&situation);
         match outcome {
             UbOutcome::Proceed => Err(Abort::Skip),
             other => self.apply_ub(other, func_name),
@@ -709,10 +787,7 @@ impl<'s> JniEnv<'s> {
         match self.vm.jvm.resolve(self.thread, r) {
             Ok(o) => Ok(o),
             Err(fault) => {
-                let outcome = self
-                    .vm
-                    .vendor
-                    .on_violation(&UbSituation::RefFault { fault, func: spec });
+                let outcome = self.decide_ub(&UbSituation::RefFault { fault, func: spec });
                 match outcome {
                     UbOutcome::Proceed => {
                         // Permissive JVMs "get lucky": mechanical resolution

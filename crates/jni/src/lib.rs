@@ -53,6 +53,7 @@ mod error;
 mod interpose;
 mod raw;
 pub mod registry;
+pub mod tap;
 pub mod typed;
 mod vm;
 
@@ -63,4 +64,5 @@ pub use interpose::{
     UbSituation, VendorModel, Violation,
 };
 pub use registry::{registry, ConstraintCounts, FuncId, FuncSpec, Op, ParamKind, RetKind};
+pub use tap::{BoundaryTap, ManagedOutcome};
 pub use vm::{ManagedFn, NativeFn, RunOutcome, Session, TransitionStats, Vm};

@@ -1,0 +1,135 @@
+//! The [`BoundaryTap`]: a passive observation seam below the checker
+//! stack.
+//!
+//! [`Interpose`](crate::interpose::Interpose) is the paper's *checker*
+//! seam: hooks may report violations and change execution (abort, throw).
+//! A `BoundaryTap` is strictly weaker — it only *watches*. It sees every
+//! language transition of Figure 2 with full arguments, plus the
+//! substrate decisions (GC points, vendor undefined-behaviour outcomes)
+//! that make a run reproducible. The `jinn-replay` crate hangs its
+//! `TraceWriter` here; nothing in this crate depends on what a tap does
+//! with the stream.
+//!
+//! Taps fire even when no checkers are attached, and they fire *before*
+//! checkers on entry events and *after* the raw operation on exit events,
+//! so a recorded stream reflects what the program did rather than what a
+//! checker made of it. The native-exit tap in particular fires with the
+//! native body's raw result, **before** returned-reference translation —
+//! the point at which a replayed body can substitute the recorded value
+//! and let the driver re-run translation identically.
+
+use minijvm::{EnvToken, GcStats, JValue, MethodId, ThreadId};
+
+use crate::error::JniError;
+use crate::interpose::{JniArg, JniRet, UbOutcome, UbSituation};
+use crate::registry::FuncId;
+
+/// How a managed ("Java") method body finished, as observed by the tap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagedOutcome {
+    /// Returned normally with a value.
+    Return(JValue),
+    /// Raised a Java exception (left pending on the thread).
+    Threw {
+        /// Slashed class name of the exception (e.g.
+        /// `java/lang/RuntimeException`).
+        class: String,
+        /// Exception message (empty when absent).
+        message: String,
+    },
+    /// The simulated process died inside the managed body.
+    Died,
+    /// A checker threw inside the managed body (nested native code).
+    Detected,
+}
+
+/// Passive observer of every language transition and substrate decision.
+///
+/// All methods default to no-ops so a tap implements only what it needs.
+/// Single-threaded like the rest of the workspace: taps are stored as
+/// `Rc<RefCell<dyn BoundaryTap>>` on the [`Vm`](crate::Vm).
+pub trait BoundaryTap {
+    /// `Call:C→Java` — a JNI function is about to execute. `presented` is
+    /// the `JNIEnv*` token the C code used (possibly the wrong thread's).
+    fn jni_enter(&mut self, thread: ThreadId, presented: EnvToken, func: FuncId, args: &[JniArg]) {
+        let _ = (thread, presented, func, args);
+    }
+
+    /// `Return:Java→C` — the JNI function finished (any status).
+    fn jni_exit(&mut self, thread: ThreadId, func: FuncId, result: &Result<JniRet, JniError>) {
+        let _ = (thread, func, result);
+    }
+
+    /// `Call:Java→C` — a native method is being invoked with the caller's
+    /// view of the arguments (before re-registration into the callee's
+    /// local frame).
+    fn native_enter(&mut self, thread: ThreadId, method: MethodId, args: &[JValue]) {
+        let _ = (thread, method, args);
+    }
+
+    /// `Return:C→Java` — the native body returned. Fires with the body's
+    /// raw result, before returned-reference translation and before the
+    /// frame pops.
+    fn native_exit(
+        &mut self,
+        thread: ThreadId,
+        method: MethodId,
+        result: &Result<JValue, JniError>,
+    ) {
+        let _ = (thread, method, result);
+    }
+
+    /// A managed method body is being invoked (nested Java inside C).
+    fn managed_enter(&mut self, thread: ThreadId, method: MethodId, args: &[JValue]) {
+        let _ = (thread, method, args);
+    }
+
+    /// A managed method body finished.
+    fn managed_exit(&mut self, thread: ThreadId, method: MethodId, outcome: &ManagedOutcome) {
+        let _ = (thread, method, outcome);
+    }
+
+    /// A garbage collection ran at a boundary safepoint.
+    fn gc_point(&mut self, thread: ThreadId, stats: &GcStats) {
+        let _ = (thread, stats);
+    }
+
+    /// The vendor model decided the outcome of an undefined-behaviour
+    /// situation.
+    fn vendor_ub(&mut self, thread: ThreadId, situation: &UbSituation<'_>, outcome: &UbOutcome) {
+        let _ = (thread, situation, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingTap(u32);
+    impl BoundaryTap for CountingTap {
+        fn jni_enter(
+            &mut self,
+            _thread: ThreadId,
+            _presented: EnvToken,
+            _func: FuncId,
+            _args: &[JniArg],
+        ) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut tap = CountingTap(0);
+        tap.jni_exit(ThreadId(0), FuncId::of("GetVersion"), &Ok(JniRet::Void));
+        tap.native_enter(ThreadId(0), MethodId::forged(0), &[]);
+        tap.managed_exit(
+            ThreadId(0),
+            MethodId::forged(0),
+            &ManagedOutcome::Return(JValue::Void),
+        );
+        assert_eq!(tap.0, 0);
+        tap.jni_enter(ThreadId(0), EnvToken(0), FuncId::of("GetVersion"), &[]);
+        assert_eq!(tap.0, 1);
+    }
+}

@@ -1,6 +1,7 @@
 //! The `Vm` (simulated JVM + native/managed code tables) and the
 //! `Session` (a VM plus its interposed checkers).
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use jinn_obs::{BugReport, ForensicsConfig, Recorder};
@@ -11,6 +12,7 @@ use minijvm::{
 use crate::env::JniEnv;
 use crate::error::JniError;
 use crate::interpose::{Interpose, PermissiveVendor, Report, ReportAction, VendorModel};
+use crate::tap::BoundaryTap;
 
 /// A native method body: Rust standing in for C. It receives the JNI
 /// environment (through which *all* interaction with the VM must go) and
@@ -55,6 +57,8 @@ pub struct Vm {
     pub(crate) dead: Option<JvmDeath>,
     /// Observability handle; shared with the JVM substrate.
     pub(crate) recorder: Recorder,
+    /// Passive boundary observer (trace recording); see [`BoundaryTap`].
+    pub(crate) tap: Option<Rc<RefCell<dyn BoundaryTap>>>,
     /// How much history bug reports keep.
     pub(crate) forensics_config: ForensicsConfig,
     /// The forensics report of the most recent checker verdict.
@@ -82,9 +86,22 @@ impl Vm {
             stacks: Vec::new(),
             dead: None,
             recorder: Recorder::disabled(),
+            tap: None,
             forensics_config: ForensicsConfig::default(),
             last_forensics: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a passive [`BoundaryTap`].
+    /// At most one tap is installed at a time; the caller typically keeps
+    /// its own `Rc` clone to retrieve the accumulated trace afterwards.
+    pub fn set_tap(&mut self, tap: Option<Rc<RefCell<dyn BoundaryTap>>>) {
+        self.tap = tap;
+    }
+
+    /// Whether a boundary tap is installed.
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
     }
 
     /// Attaches an observability recorder to the whole stack: the JNI
@@ -307,6 +324,12 @@ impl Session {
     /// Call before [`Session::attach`] so checkers can pick it up too.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.vm.set_recorder(recorder);
+    }
+
+    /// Attaches (or detaches) a passive [`BoundaryTap`] on the session's
+    /// VM.
+    pub fn set_tap(&mut self, tap: Option<Rc<RefCell<dyn BoundaryTap>>>) {
+        self.vm.set_tap(tap);
     }
 
     /// The session's recorder (disabled by default).

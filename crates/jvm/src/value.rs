@@ -139,6 +139,23 @@ impl JRef {
         }
     }
 
+    /// Reassembles a reference from its observable parts, as produced by
+    /// [`JRef::kind`]/[`JRef::owner`]/[`JRef::slot`]/[`JRef::generation`].
+    ///
+    /// This exists so external tooling (trace recorders, replayers) can
+    /// round-trip a reference through a serialized form without losing the
+    /// slot/generation identity that makes dangling-handle bugs
+    /// reproducible. The result is exactly as (in)valid as the original:
+    /// the constructor performs no liveness check.
+    pub fn from_parts(kind: RefKind, owner: ThreadId, slot: u32, generation: u32) -> JRef {
+        JRef {
+            kind,
+            owner,
+            slot,
+            generation,
+        }
+    }
+
     /// Returns `true` for the null reference.
     pub fn is_null(self) -> bool {
         self.kind == RefKind::Null
@@ -387,6 +404,16 @@ mod tests {
         let r = JRef::forged(0xdead_beef_cafe);
         assert!(!r.is_null());
         assert_eq!(r.kind(), RefKind::Local);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let r = JRef::forged(0x0002_0000_0007_0003);
+        let back = JRef::from_parts(r.kind(), r.owner(), r.slot(), r.generation());
+        assert_eq!(back, r);
+        let null = JRef::from_parts(RefKind::Null, ThreadId(0), 0, 0);
+        assert!(null.is_null());
+        assert_eq!(null, JRef::NULL);
     }
 
     #[test]

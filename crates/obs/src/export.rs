@@ -71,8 +71,22 @@ fn push_event(out: &mut String, event: &TraceEvent, name: &str, cat: &str, ph: c
 
 /// Renders events as Chrome Trace Event Format JSON.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    chrome_trace_with_drops(events, 0)
+}
+
+/// Renders events as Chrome Trace Event Format JSON, prefixed with a
+/// `dropped-events` instant when the source ring evicted events — so a
+/// truncated trace is visibly truncated in the timeline.
+pub fn chrome_trace_with_drops(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    if dropped > 0 {
+        let _ = write!(
+            out,
+            "{{\"name\":\"dropped-events\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,\
+             \"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{{\"dropped\":{dropped}}}}},"
+        );
+    }
     for event in events {
         match &event.kind {
             EventKind::JniEnter { func } => push_event(&mut out, event, func, "jni", 'B', ""),
@@ -148,8 +162,22 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 
 /// Renders events and a metrics snapshot as plain text.
 pub fn text_dump(events: &[TraceEvent], snapshot: &Snapshot) -> String {
+    text_dump_with_drops(events, snapshot, 0)
+}
+
+/// Renders events and a metrics snapshot as plain text, annotating the
+/// header with the number of evicted (dropped) events when non-zero.
+pub fn text_dump_with_drops(events: &[TraceEvent], snapshot: &Snapshot, dropped: u64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "trace ({} events held):", events.len());
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "trace ({} events held, {dropped} dropped):",
+            events.len()
+        );
+    } else {
+        let _ = writeln!(out, "trace ({} events held):", events.len());
+    }
     for event in events {
         let _ = writeln!(out, "  {event}");
     }
@@ -264,5 +292,35 @@ mod tests {
         assert!(text.contains("trace (1 events held):"));
         assert!(text.contains("jni  > NewStringUTF"));
         assert!(text.contains("metrics snapshot at +5us"));
+    }
+
+    #[test]
+    fn drops_are_surfaced_in_both_exporters() {
+        let events = vec![ev(
+            9,
+            1,
+            EventKind::JniEnter {
+                func: "NewStringUTF",
+            },
+        )];
+        let json = chrome_trace_with_drops(&events, 42);
+        assert!(json.starts_with(concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+            "{\"name\":\"dropped-events\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,",
+            "\"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{\"dropped\":42}},"
+        )));
+        // Zero drops must render byte-identically to the plain exporter.
+        assert_eq!(chrome_trace_with_drops(&events, 0), chrome_trace(&events));
+
+        let snapshot = Snapshot {
+            taken_at_micros: 5,
+            metrics: MetricsRegistry::new(),
+        };
+        let text = text_dump_with_drops(&events, &snapshot, 42);
+        assert!(text.contains("trace (1 events held, 42 dropped):"));
+        assert_eq!(
+            text_dump_with_drops(&events, &snapshot, 0),
+            text_dump(&events, &snapshot)
+        );
     }
 }

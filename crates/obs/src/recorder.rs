@@ -138,18 +138,34 @@ impl Recorder {
         }
     }
 
+    /// Events recorded but evicted from the ring (0 when disabled). When
+    /// non-zero, [`Recorder::events`] is a truncated view of the run.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.ring.borrow().dropped_events(),
+            None => 0,
+        }
+    }
+
     /// The events as Chrome `chrome://tracing` JSON, or `None` when
-    /// disabled.
+    /// disabled. Evicted events are surfaced as a `dropped-events`
+    /// metadata instant.
     pub fn chrome_trace(&self) -> Option<String> {
-        self.inner
-            .as_ref()
-            .map(|inner| crate::export::chrome_trace(&inner.ring.borrow().to_vec()))
+        self.inner.as_ref().map(|inner| {
+            let ring = inner.ring.borrow();
+            crate::export::chrome_trace_with_drops(&ring.to_vec(), ring.dropped_events())
+        })
     }
 
     /// A plain-text dump of events + metrics, or `None` when disabled.
+    /// Evicted events are counted in the header.
     pub fn text_dump(&self) -> Option<String> {
         let snapshot = self.snapshot()?;
-        Some(crate::export::text_dump(&self.events(), &snapshot))
+        Some(crate::export::text_dump_with_drops(
+            &self.events(),
+            &snapshot,
+            self.dropped_events(),
+        ))
     }
 }
 
@@ -200,6 +216,18 @@ mod tests {
         let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4, 5]);
         assert_eq!(r.total_events(), 6);
+    }
+
+    #[test]
+    fn dropped_events_surface_in_dumps() {
+        let r = Recorder::enabled(2);
+        for _ in 0..5 {
+            r.event(0, EventKind::GcSafepoint { collected: false });
+        }
+        assert_eq!(r.dropped_events(), 3);
+        assert!(r.text_dump().unwrap().contains("2 events held, 3 dropped"));
+        assert!(r.chrome_trace().unwrap().contains("\"dropped\":3"));
+        assert_eq!(Recorder::disabled().dropped_events(), 0);
     }
 
     #[test]

@@ -65,6 +65,13 @@ impl TraceRing {
         self.total
     }
 
+    /// Events recorded but no longer held: overwritten by wraparound or
+    /// removed by [`TraceRing::clear`]. A non-zero value means any dump of
+    /// this ring is a truncated view of the run.
+    pub fn dropped_events(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
     /// Iterates the held events oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
         let (wrapped, fresh) = self.buf.split_at(self.head.min(self.buf.len()));
@@ -145,8 +152,23 @@ mod tests {
         ring.clear();
         assert!(ring.is_empty());
         assert_eq!(ring.total_recorded(), 3);
+        assert_eq!(ring.dropped_events(), 3);
         ring.push(ev(3));
         assert_eq!(ring.to_vec().len(), 1);
+    }
+
+    #[test]
+    fn dropped_events_counts_evictions() {
+        let mut ring = TraceRing::new(4);
+        for i in 0..3 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.dropped_events(), 0);
+        for i in 3..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped_events(), 6);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! [`Trace`]: a fully-decoded `.jtrace` file, split into its setup
+//! section (metadata, classes, threads, seeds) and its event stream.
+
+use std::collections::BTreeMap;
+
+use crate::format::{ClassRec, Decoder, SeedRec, TraceError, TraceRecord, FORMAT_VERSION};
+
+/// A decoded trace, validated end to end (checksum and record count).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// `key = value` annotations, in record order.
+    pub meta: Vec<(String, String)>,
+    /// Class definitions past the core baseline, in definition order.
+    pub classes: Vec<ClassRec>,
+    /// Threads spawned during setup, in spawn order.
+    pub threads: Vec<u16>,
+    /// Entry-argument allocations, in allocation order.
+    pub seeds: Vec<SeedRec>,
+    /// The boundary-event stream (everything after setup).
+    pub events: Vec<TraceRecord>,
+    /// Format version the trace was written with.
+    pub version: u16,
+}
+
+impl Trace {
+    /// Parses and validates a complete trace.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceError`] on malformed, truncated, or corrupted input.
+    pub fn parse(bytes: &[u8]) -> Result<Trace, TraceError> {
+        let mut dec = Decoder::new(bytes)?;
+        let version = dec.version();
+        let mut trace = Trace {
+            meta: Vec::new(),
+            classes: Vec::new(),
+            threads: Vec::new(),
+            seeds: Vec::new(),
+            events: Vec::new(),
+            version,
+        };
+        while let Some(record) = dec.next_record()? {
+            match record {
+                TraceRecord::Meta { key, value } => trace.meta.push((key, value)),
+                TraceRecord::DefClass(c) => trace.classes.push(c),
+                TraceRecord::SpawnThread { thread } => trace.threads.push(thread),
+                TraceRecord::Seed(s) => trace.seeds.push(s),
+                other => trace.events.push(other),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Looks up a metadata value by key (first match).
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The recorded program name (`program` metadata), or `"?"`.
+    pub fn program(&self) -> &str {
+        self.meta_value("program").unwrap_or("?")
+    }
+
+    /// Counts of each event kind, for `replay stats`.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for e in &self.events {
+            let key = match e {
+                TraceRecord::JniEnter { .. } => "jni-enter",
+                TraceRecord::JniExit { .. } => "jni-exit",
+                TraceRecord::NativeEnter { .. } => "native-enter",
+                TraceRecord::NativeExit { .. } => "native-exit",
+                TraceRecord::ManagedEnter { .. } => "managed-enter",
+                TraceRecord::ManagedExit { .. } => "managed-exit",
+                TraceRecord::GcPoint { .. } => "gc-point",
+                TraceRecord::VendorUb { .. } => "vendor-ub",
+                TraceRecord::ObsEvent { .. } => "obs-event",
+                TraceRecord::PyCall { .. } => "py-call",
+                TraceRecord::Meta { .. }
+                | TraceRecord::DefClass(_)
+                | TraceRecord::SpawnThread { .. }
+                | TraceRecord::Seed(_) => "setup",
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+        counts
+    }
+
+    /// A human-readable multi-line summary, for the `stats` subcommand.
+    pub fn summary(&self, byte_len: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "program: {} (format v{}, {} bytes)\n",
+            self.program(),
+            self.version,
+            byte_len
+        ));
+        for (k, v) in &self.meta {
+            if k != "program" {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "setup: {} classes, {} spawned threads, {} seeds\n",
+            self.classes.len(),
+            self.threads.len(),
+            self.seeds.len()
+        ));
+        out.push_str(&format!("events: {}\n", self.events.len()));
+        for (kind, n) in self.event_counts() {
+            out.push_str(&format!("  {kind:>14}: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Asserts that the reader and a trace agree on the format version —
+/// the CI drift check calls this against every corpus file.
+///
+/// # Errors
+///
+/// [`TraceError::UnsupportedVersion`] when the stored version differs
+/// from [`FORMAT_VERSION`]; header errors as for parsing.
+pub fn check_version(bytes: &[u8]) -> Result<u16, TraceError> {
+    let dec = Decoder::new(bytes)?;
+    let v = dec.version();
+    if v != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion(v));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use minijni::BoundaryTap;
+    use minijvm::{JValue, MethodId, ThreadId};
+
+    #[test]
+    fn parse_splits_setup_from_events() {
+        let mut w = TraceWriter::new();
+        w.meta("program", "split");
+        w.meta("leaks", "false");
+        w.spawn_thread(ThreadId(1));
+        BoundaryTap::native_enter(&mut w, ThreadId(0), MethodId::forged(0), &[]);
+        BoundaryTap::native_exit(&mut w, ThreadId(0), MethodId::forged(0), &Ok(JValue::Void));
+        let bytes = w.finish();
+        let t = Trace::parse(&bytes).unwrap();
+        assert_eq!(t.program(), "split");
+        assert_eq!(t.meta_value("leaks"), Some("false"));
+        assert_eq!(t.threads, vec![1]);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.event_counts()["native-enter"], 1);
+        assert!(t.summary(bytes.len()).contains("program: split"));
+        assert_eq!(check_version(&bytes).unwrap(), FORMAT_VERSION);
+    }
+}

@@ -1,0 +1,284 @@
+//! Record mode: run a program on a maximally-permissive VM with a
+//! [`TraceWriter`] tapped in, producing a trace that any checker
+//! configuration can later re-judge.
+//!
+//! Recording deliberately uses [`RecordVendor`], which answers *Proceed*
+//! to every undefined-behaviour situation: the VM never dies and never
+//! raises vendor NPEs, so the trace captures the program's complete
+//! boundary behaviour. Replay re-decides each situation under the
+//! replayed configuration's own vendor model, which is what makes one
+//! trace serve every column of Table 1.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jinn_microbench::{scenarios, Scenario, Setup};
+use minijni::{RunOutcome, Session, UbOutcome, UbSituation, VendorModel, Vm};
+use minijvm::JValue;
+
+use crate::writer::TraceWriter;
+
+/// A vendor model that proceeds through every undefined-behaviour
+/// situation — record mode's substrate. (The in-tree `PermissiveVendor`
+/// still crashes on unresolvable references; for recording, even those
+/// proceed with garbage values so the trace extends past the bug.)
+#[derive(Debug, Clone, Default)]
+pub struct RecordVendor;
+
+impl VendorModel for RecordVendor {
+    fn name(&self) -> &str {
+        "record"
+    }
+
+    fn on_violation(&self, _situation: &UbSituation<'_>) -> UbOutcome {
+        UbOutcome::Proceed
+    }
+}
+
+/// A recordable program: the same shape as a microbenchmark
+/// [`Scenario`], but owning its build closure so case studies (whose
+/// builders capture state) fit too.
+pub struct Program {
+    /// Program name (becomes the `program` metadata and stack frames).
+    pub name: String,
+    /// Table 1 pitfall number, if applicable.
+    pub pitfall: Option<u8>,
+    /// The state machine the seeded bug belongs to.
+    pub machine: &'static str,
+    /// The error state the seeded bug triggers.
+    pub error_state: &'static str,
+    /// Whether the bug is a silent leak on a default VM.
+    pub leaks: bool,
+    /// Auto-GC period to set on the VM (boundary crossings per GC), if
+    /// any. Recorded in metadata and re-applied at replay.
+    pub gc_period: Option<u64>,
+    /// Builds the program into a VM.
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn Fn(&mut Vm) -> Setup>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("name", &self.name)
+            .field("machine", &self.machine)
+            .field("error_state", &self.error_state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Program {
+    /// Wraps a microbenchmark scenario.
+    pub fn from_scenario(s: &Scenario) -> Program {
+        let build = s.build;
+        Program {
+            name: s.name.to_string(),
+            pitfall: s.pitfall,
+            machine: s.machine,
+            error_state: s.error_state,
+            leaks: s.leaks,
+            gc_period: None,
+            build: Box::new(build),
+        }
+    }
+}
+
+/// All sixteen microbenchmarks as recordable programs.
+pub fn microbench_programs() -> Vec<Program> {
+    scenarios().iter().map(Program::from_scenario).collect()
+}
+
+/// The case-study programs of Section 6.4, shaped for recording.
+pub fn case_studies() -> Vec<Program> {
+    vec![
+        Program {
+            name: "JavaGnomeSignal".into(),
+            pitfall: None,
+            machine: "local-reference",
+            error_state: "Error:Dangling",
+            leaks: false,
+            gc_period: None,
+            build: Box::new(|vm| {
+                let (bind, dispatch, bind_args) =
+                    jinn_workloads::javagnome::build_signal_machinery(vm);
+                Setup {
+                    entries: vec![bind, dispatch],
+                    first_args: bind_args,
+                }
+            }),
+        },
+        Program {
+            name: "SvnInfoCallback".into(),
+            pitfall: None,
+            machine: "local-reference",
+            error_state: "Error:Overflow",
+            leaks: true,
+            gc_period: None,
+            build: Box::new(|vm| {
+                let samples = Rc::new(RefCell::new(Vec::new()));
+                let entry = jinn_workloads::subversion::build_info_callback(vm, false, samples);
+                Setup {
+                    entries: vec![entry],
+                    first_args: Vec::new(),
+                }
+            }),
+        },
+        Program {
+            name: "SvnCopySources".into(),
+            pitfall: None,
+            machine: "local-reference",
+            error_state: "Error:Dangling",
+            leaks: false,
+            gc_period: None,
+            build: Box::new(|vm| {
+                let (entry, args) = jinn_workloads::subversion::build_copy_sources(vm);
+                Setup {
+                    entries: vec![entry],
+                    first_args: args,
+                }
+            }),
+        },
+        Program {
+            name: "SwtCallback".into(),
+            pitfall: None,
+            machine: "entity-typing",
+            error_state: "Error:EntityTypeMismatch",
+            leaks: false,
+            gc_period: None,
+            build: Box::new(|vm| {
+                let entry = jinn_workloads::eclipse::build_swt_callback(vm);
+                Setup {
+                    entries: vec![entry],
+                    first_args: Vec::new(),
+                }
+            }),
+        },
+    ]
+}
+
+/// Looks up a recordable program by name: the sixteen microbenchmarks
+/// plus the four case studies.
+pub fn program_by_name(name: &str) -> Option<Program> {
+    microbench_programs()
+        .into_iter()
+        .chain(case_studies())
+        .find(|p| p.name == name)
+}
+
+/// Names of every recordable program, in corpus order.
+pub fn program_names() -> Vec<String> {
+    microbench_programs()
+        .iter()
+        .chain(case_studies().iter())
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Records one program: builds it on a [`RecordVendor`] VM, taps a
+/// [`TraceWriter`] in, drives the entries exactly like the microbenchmark
+/// harness, and returns the sealed trace bytes.
+pub fn record_program(program: &Program) -> Vec<u8> {
+    let mut vm = Vm::new(Box::new(RecordVendor));
+    let baseline = vm.jvm().registry().class_count();
+    let setup = (program.build)(&mut vm);
+    if program.gc_period.is_some() {
+        vm.jvm_mut().set_auto_gc_period(program.gc_period);
+    }
+
+    let writer = Rc::new(RefCell::new(TraceWriter::new()));
+    {
+        let mut w = writer.borrow_mut();
+        w.meta("program", &program.name);
+        if let Some(p) = program.pitfall {
+            w.meta("pitfall", &p.to_string());
+        }
+        w.meta("machine", program.machine);
+        w.meta("error_state", program.error_state);
+        w.meta("leaks", if program.leaks { "true" } else { "false" });
+        if let Some(g) = program.gc_period {
+            w.meta("gc_period", &g.to_string());
+        }
+        let entries = setup
+            .entries
+            .iter()
+            .map(|m| m.index().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        w.meta("entries", &entries);
+        w.def_classes(vm.jvm(), baseline);
+        for t in vm.jvm().thread_ids().skip(1) {
+            w.spawn_thread(t);
+        }
+        for v in &setup.first_args {
+            if let JValue::Ref(r) = v {
+                w.seed(vm.jvm(), *r);
+            }
+        }
+    }
+
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    session.set_tap(Some(writer.clone()));
+
+    for (i, &entry) in setup.entries.iter().enumerate() {
+        {
+            let mut env = session.env(thread);
+            env.enter_java_frame(format!("{}.main({}.java:5)", program.name, program.name));
+        }
+        let args = if i == 0 {
+            setup.first_args.clone()
+        } else {
+            Vec::new()
+        };
+        let outcome = session.run_native(thread, entry, &args);
+        {
+            let mut env = session.env(thread);
+            env.exit_java_frame();
+        }
+        if !matches!(outcome, RunOutcome::Completed(_)) {
+            break;
+        }
+    }
+    let _ = session.shutdown();
+    session.set_tap(None);
+    drop(session);
+
+    let writer = Rc::try_unwrap(writer)
+        .expect("tap detached; sole writer handle")
+        .into_inner();
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Trace;
+
+    #[test]
+    fn recording_is_deterministic_and_parses() {
+        let p = program_by_name("LocalRefDangling").expect("figure 1 scenario");
+        let a = record_program(&p);
+        let b = record_program(&p);
+        assert_eq!(a, b, "same program, byte-identical traces");
+        let t = Trace::parse(&a).unwrap();
+        assert_eq!(t.program(), "LocalRefDangling");
+        assert!(!t.events.is_empty());
+    }
+
+    #[test]
+    fn every_program_records_and_parses() {
+        for p in microbench_programs().iter().chain(case_studies().iter()) {
+            let bytes = record_program(p);
+            let t = Trace::parse(&bytes)
+                .unwrap_or_else(|e| panic!("{}: trace must parse: {e}", p.name));
+            assert_eq!(t.program(), p.name, "{}", p.name);
+            assert!(
+                t.events
+                    .iter()
+                    .any(|e| matches!(e, crate::format::TraceRecord::NativeEnter { .. })),
+                "{}: trace has at least one native entry",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! The replay driver: rebuild the recorded world, re-feed the recorded
+//! boundary calls through a freshly-configured JNI stack, and classify
+//! the outcome with the microbenchmark harness's Table 1 vocabulary.
+//!
+//! Determinism rests on three invariants of the substrate:
+//!
+//! 1. every id (`ClassId`, `MethodId`, `FieldId`, local-reference
+//!    slot/generation, heap positions) is assigned in allocation order,
+//!    so re-executing the recorded definitions/allocations in order
+//!    reproduces the original ids exactly;
+//! 2. native bodies only interact with the VM through the JNI, so a body
+//!    can be *replaced* by a script that re-issues its recorded JNI
+//!    calls verbatim;
+//! 3. undefined-behaviour outcomes and checker verdicts are functions of
+//!    (vendor model, checker config, boundary history) — replaying one
+//!    maximal trace under a different configuration re-decides them,
+//!    which is exactly the differential question of Table 1.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use jinn_core::JinnConfig;
+use jinn_microbench::Behavior;
+use jinn_vendors::Vendor;
+use minijni::{FuncId, JniEnv};
+use minijni::{JniArg, JniError, ReportAction, RunOutcome, Session, Vm};
+use minijvm::{EnvToken, FieldType, JValue, MethodId, ThreadId};
+
+use crate::format::{BodyKind, CallStatus, ManagedRec, SeedKind, TraceError, TraceRecord};
+use crate::reader::Trace;
+
+/// Which stack to replay a trace under — the rows of Table 1, plus
+/// arbitrary Jinn ablations.
+#[derive(Debug, Clone)]
+pub enum ReplayConfig {
+    /// Production vendor, no checker.
+    Default(Vendor),
+    /// The vendor's `-Xcheck:jni` implementation.
+    Xcheck(Vendor),
+    /// Jinn with all eleven machines.
+    Jinn(Vendor),
+    /// Jinn with a custom configuration (ablations, pedantic mode).
+    JinnAblated(Vendor, JinnConfig),
+}
+
+impl ReplayConfig {
+    /// The underlying vendor model.
+    pub fn vendor(&self) -> Vendor {
+        match self {
+            ReplayConfig::Default(v)
+            | ReplayConfig::Xcheck(v)
+            | ReplayConfig::Jinn(v)
+            | ReplayConfig::JinnAblated(v, _) => *v,
+        }
+    }
+
+    /// Column label, matching the microbenchmark harness where possible.
+    pub fn label(&self) -> String {
+        match self {
+            ReplayConfig::Default(v) => format!("{v}"),
+            ReplayConfig::Xcheck(v) => format!("{v} -Xcheck:jni"),
+            ReplayConfig::Jinn(v) => format!("Jinn on {v}"),
+            ReplayConfig::JinnAblated(v, cfg) => {
+                format!("Jinn on {v} (-{})", cfg.disabled_machines.join(",-"))
+            }
+        }
+    }
+
+    /// Parses a CLI-style label: `hotspot`, `j9`, `xcheck:hotspot`,
+    /// `xcheck:j9`, `jinn`, `jinn:j9`.
+    pub fn parse(s: &str) -> Option<ReplayConfig> {
+        match s.to_ascii_lowercase().as_str() {
+            "hotspot" | "default" | "default:hotspot" => {
+                Some(ReplayConfig::Default(Vendor::HotSpot))
+            }
+            "j9" | "default:j9" => Some(ReplayConfig::Default(Vendor::J9)),
+            "xcheck" | "xcheck:hotspot" => Some(ReplayConfig::Xcheck(Vendor::HotSpot)),
+            "xcheck:j9" => Some(ReplayConfig::Xcheck(Vendor::J9)),
+            "jinn" | "jinn:hotspot" => Some(ReplayConfig::Jinn(Vendor::HotSpot)),
+            "jinn:j9" => Some(ReplayConfig::Jinn(Vendor::J9)),
+            _ => None,
+        }
+    }
+}
+
+/// The five standard configurations of the evaluation (Table 1 columns).
+pub fn standard_configs() -> Vec<ReplayConfig> {
+    vec![
+        ReplayConfig::Default(Vendor::HotSpot),
+        ReplayConfig::Default(Vendor::J9),
+        ReplayConfig::Xcheck(Vendor::HotSpot),
+        ReplayConfig::Xcheck(Vendor::J9),
+        ReplayConfig::Jinn(Vendor::HotSpot),
+    ]
+}
+
+/// What replaying a trace under one configuration produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The configuration's label.
+    pub label: String,
+    /// Classified behaviour, Table 1 vocabulary.
+    pub behavior: Behavior,
+    /// Primary diagnosis message, if any tool produced one.
+    pub message: Option<String>,
+    /// The session log.
+    pub log: Vec<String>,
+    /// Recorded JNI calls re-issued.
+    pub events_replayed: u64,
+    /// Replay mismatches observed (unexpected seed ids, exhausted
+    /// queues). Zero on a faithful trace; post-bug divergence under a
+    /// *stricter* config than the recorder is normal and not counted.
+    pub divergences: u64,
+}
+
+impl ReplayOutcome {
+    /// A compact verdict string for diffing: behaviour plus message.
+    pub fn verdict_signature(&self) -> String {
+        match &self.message {
+            Some(m) => format!("{}: {m}", self.behavior),
+            None => self.behavior.to_string(),
+        }
+    }
+}
+
+/// One recorded native-body activation: the JNI calls it issued, in
+/// order, and how it finished.
+#[derive(Debug, Clone, Default)]
+struct NativeFrame {
+    calls: Vec<CallRec>,
+    ret: Option<JValue>,
+}
+
+/// One recorded `Call:C→Java` with the presented env token.
+#[derive(Debug, Clone)]
+struct CallRec {
+    presented: u32,
+    func: u16,
+    args: Vec<JniArg>,
+}
+
+/// Mutable replay state shared with the scripted method bodies.
+#[derive(Debug, Default)]
+struct ReplayState {
+    native_frames: HashMap<u32, VecDeque<NativeFrame>>,
+    managed_outcomes: HashMap<u32, VecDeque<ManagedRec>>,
+    events_replayed: u64,
+    divergences: u64,
+}
+
+/// A top-level program entry observed in the trace.
+#[derive(Debug, Clone)]
+struct TopEntry {
+    thread: u16,
+    method: u32,
+    args: Vec<JValue>,
+}
+
+enum Ctx {
+    Native { method: u32, frame: NativeFrame },
+    Managed,
+    Jni,
+}
+
+/// Structural pass: fold the flat event stream into per-method FIFO
+/// queues of scripted activations, plus the list of top-level entries.
+fn build_queues(trace: &Trace) -> Result<(ReplayState, Vec<TopEntry>), TraceError> {
+    let mut state = ReplayState::default();
+    let mut tops = Vec::new();
+    let mut stack: Vec<Ctx> = Vec::new();
+
+    for event in &trace.events {
+        match event {
+            TraceRecord::NativeEnter {
+                thread,
+                method,
+                args,
+            } => {
+                if stack.is_empty() {
+                    tops.push(TopEntry {
+                        thread: *thread,
+                        method: *method,
+                        args: args.clone(),
+                    });
+                }
+                stack.push(Ctx::Native {
+                    method: *method,
+                    frame: NativeFrame::default(),
+                });
+            }
+            TraceRecord::NativeExit {
+                method,
+                status,
+                ret,
+                ..
+            } => {
+                let Some(Ctx::Native {
+                    method: m,
+                    mut frame,
+                }) = stack.pop()
+                else {
+                    return Err(TraceError::Corrupt("unbalanced NativeExit".into()));
+                };
+                if m != *method {
+                    return Err(TraceError::Corrupt(format!(
+                        "NativeExit method {method} does not match enter {m}"
+                    )));
+                }
+                if *status == CallStatus::Ok {
+                    frame.ret = *ret;
+                }
+                state.native_frames.entry(m).or_default().push_back(frame);
+            }
+            TraceRecord::JniEnter {
+                presented,
+                func,
+                args,
+                ..
+            } => {
+                let rec = CallRec {
+                    presented: *presented,
+                    func: *func,
+                    args: args.clone(),
+                };
+                match stack
+                    .iter_mut()
+                    .rev()
+                    .find(|c| matches!(c, Ctx::Native { .. }))
+                {
+                    Some(Ctx::Native { frame, .. }) => frame.calls.push(rec),
+                    _ => {
+                        return Err(TraceError::Corrupt(
+                            "JniEnter outside any native body".into(),
+                        ))
+                    }
+                }
+                stack.push(Ctx::Jni);
+            }
+            TraceRecord::JniExit { .. } => {
+                if !matches!(stack.pop(), Some(Ctx::Jni)) {
+                    return Err(TraceError::Corrupt("unbalanced JniExit".into()));
+                }
+            }
+            TraceRecord::ManagedEnter { .. } => stack.push(Ctx::Managed),
+            TraceRecord::ManagedExit {
+                method, outcome, ..
+            } => {
+                if !matches!(stack.pop(), Some(Ctx::Managed)) {
+                    return Err(TraceError::Corrupt("unbalanced ManagedExit".into()));
+                }
+                state
+                    .managed_outcomes
+                    .entry(*method)
+                    .or_default()
+                    .push_back(outcome.clone());
+            }
+            // Substrate diagnostics: informative, not re-driven (the
+            // replayed VM re-makes these decisions itself).
+            TraceRecord::GcPoint { .. }
+            | TraceRecord::VendorUb { .. }
+            | TraceRecord::ObsEvent { .. }
+            | TraceRecord::PyCall { .. } => {}
+            TraceRecord::Meta { .. }
+            | TraceRecord::DefClass(_)
+            | TraceRecord::SpawnThread { .. }
+            | TraceRecord::Seed(_) => {
+                return Err(TraceError::Corrupt("setup record in event stream".into()))
+            }
+        }
+    }
+    Ok((state, tops))
+}
+
+fn make_native_body(state: Rc<RefCell<ReplayState>>, method: u32) -> minijni::NativeFn {
+    Rc::new(move |env: &mut JniEnv<'_>, _args: &[JValue]| {
+        let frame = state
+            .borrow_mut()
+            .native_frames
+            .get_mut(&method)
+            .and_then(VecDeque::pop_front);
+        let Some(frame) = frame else {
+            state.borrow_mut().divergences += 1;
+            return Ok(JValue::Void);
+        };
+        let own = env.presented_env();
+        for call in &frame.calls {
+            env.set_presented_env(EnvToken(call.presented));
+            let result = env.invoke(FuncId(call.func), call.args.clone());
+            state.borrow_mut().events_replayed += 1;
+            // Ok, or an exception now pending: keep issuing the recorded
+            // calls — the recorded body did, and the driver's final
+            // pending-exception check reproduces the Java-side rethrow
+            // identically. Only death/detection stops the body.
+            if let Err(e @ (JniError::Death(_) | JniError::Detected(_))) = result {
+                env.set_presented_env(own);
+                return Err(e);
+            }
+        }
+        env.set_presented_env(own);
+        Ok(frame.ret.unwrap_or(JValue::Void))
+    })
+}
+
+fn make_managed_body(state: Rc<RefCell<ReplayState>>, method: u32) -> minijni::ManagedFn {
+    Rc::new(move |env: &mut JniEnv<'_>, _args: &[JValue]| {
+        let rec = state
+            .borrow_mut()
+            .managed_outcomes
+            .get_mut(&method)
+            .and_then(VecDeque::pop_front);
+        match rec {
+            Some(ManagedRec::Return(v)) => Ok(v),
+            Some(ManagedRec::Threw { class, message }) => Err(env.java_throw(&class, &message)),
+            Some(ManagedRec::Died | ManagedRec::Detected) | None => {
+                state.borrow_mut().divergences += 1;
+                Ok(JValue::Void)
+            }
+        }
+    })
+}
+
+/// Rebuilds the recorded world inside `vm`: classes (in recorded
+/// definition order, with scripted bodies), spawned threads, and seed
+/// allocations. Returns the number of setup divergences.
+fn rebuild_world(
+    vm: &mut Vm,
+    trace: &Trace,
+    state: &Rc<RefCell<ReplayState>>,
+) -> Result<u64, TraceError> {
+    let mut divergences = 0u64;
+    let mut next_method = vm.jvm().registry().method_count() as u32;
+
+    for class in &trace.classes {
+        if class.name.starts_with('[') {
+            // Array classes replay through the registry's array-class
+            // cache; the name is the element descriptor wrapped in `[`.
+            let ty = FieldType::parse(&class.name).map_err(|e| {
+                TraceError::Corrupt(format!("bad array class `{}`: {e}", class.name))
+            })?;
+            let FieldType::Array(elem) = ty else {
+                return Err(TraceError::Corrupt(format!(
+                    "class `{}` is not an array descriptor",
+                    class.name
+                )));
+            };
+            vm.jvm_mut().registry_mut().array_class(*elem);
+            continue;
+        }
+        // Register scripted bodies first (code indices), then define the
+        // class so method ids come out in recorded order.
+        let mut bodies = Vec::with_capacity(class.methods.len());
+        for m in &class.methods {
+            let body = match m.kind {
+                BodyKind::Native => {
+                    let idx = vm.add_native_code(make_native_body(Rc::clone(state), next_method));
+                    minijvm::MethodBody::Native(Some(idx))
+                }
+                BodyKind::Managed => {
+                    let idx = vm.add_managed_code(make_managed_body(Rc::clone(state), next_method));
+                    minijvm::MethodBody::Managed(idx)
+                }
+                BodyKind::Abstract => minijvm::MethodBody::Abstract,
+            };
+            next_method += 1;
+            bodies.push(body);
+        }
+        let mut builder = vm.jvm_mut().registry_mut().define(&class.name);
+        if class.is_interface {
+            builder = builder.as_interface();
+        } else if let Some(sup) = &class.superclass {
+            builder = builder.superclass(sup.clone());
+        }
+        for f in &class.fields {
+            builder = builder.field(&f.name, &f.desc, f.flags);
+        }
+        for (m, body) in class.methods.iter().zip(bodies) {
+            builder = builder.method(&m.name, &m.desc, m.flags, body);
+        }
+        builder
+            .build()
+            .map_err(|e| TraceError::Corrupt(format!("class `{}`: {e}", class.name)))?;
+    }
+
+    if let Some(period) = trace.meta_value("gc_period").and_then(|v| v.parse().ok()) {
+        vm.jvm_mut().set_auto_gc_period(Some(period));
+    }
+
+    for &expected in &trace.threads {
+        let got = vm.jvm_mut().spawn_thread();
+        if got.0 != expected {
+            divergences += 1;
+        }
+    }
+
+    for seed in &trace.seeds {
+        let oop = match &seed.kind {
+            SeedKind::Text(s) => vm.jvm_mut().alloc_string(s),
+            SeedKind::Object(class) => {
+                let Some(id) = vm.jvm().find_class(class) else {
+                    divergences += 1;
+                    continue;
+                };
+                vm.jvm_mut().alloc_object(id)
+            }
+            SeedKind::Mirror(class) => {
+                let Some(id) = vm.jvm().find_class(class) else {
+                    divergences += 1;
+                    continue;
+                };
+                vm.jvm_mut().mirror_oop(id)
+            }
+        };
+        let r = vm.jvm_mut().new_local(ThreadId(seed.thread), oop);
+        if r != seed.expected {
+            divergences += 1;
+        }
+    }
+    Ok(divergences)
+}
+
+/// Replays a parsed trace under one configuration.
+///
+/// # Errors
+///
+/// [`TraceError::Corrupt`] when the event stream is structurally invalid
+/// (unbalanced enters/exits, setup records mid-stream, unknown classes).
+pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, TraceError> {
+    let (state, tops) = build_queues(trace)?;
+    let state = Rc::new(RefCell::new(state));
+
+    let mut vm = config.vendor().vm();
+    let setup_divergences = rebuild_world(&mut vm, trace, &state)?;
+    state.borrow_mut().divergences += setup_divergences;
+
+    let mut session = Session::new(vm);
+    match config {
+        ReplayConfig::Default(_) => {}
+        ReplayConfig::Xcheck(v) => session.attach(v.xcheck()),
+        ReplayConfig::Jinn(_) => {
+            jinn_core::install(&mut session);
+        }
+        ReplayConfig::JinnAblated(_, cfg) => {
+            jinn_core::install_with_config(&mut session, cfg.clone());
+        }
+    }
+
+    let name = trace.program().to_string();
+    let mut outcomes = Vec::new();
+    for top in &tops {
+        let thread = ThreadId(top.thread);
+        {
+            let mut env = session.env(thread);
+            env.enter_java_frame(format!("{name}.main({name}.java:5)"));
+        }
+        // The recorded entry arguments: replayed seeds reproduce the same
+        // JRefs, so re-presenting them re-registers identical callee
+        // locals and keeps slot allocation in lock-step with the trace.
+        let outcome =
+            session.run_native(thread, MethodId::forged(u64::from(top.method)), &top.args);
+        {
+            let mut env = session.env(thread);
+            env.exit_java_frame();
+        }
+        let fatal = !matches!(outcome, RunOutcome::Completed(_));
+        outcomes.push(outcome);
+        if fatal {
+            break;
+        }
+    }
+    let shutdown_reports = session.shutdown();
+    let log = session.take_log();
+    drop(session);
+
+    // Classification — the microbenchmark harness's algorithm, verbatim,
+    // so replayed verdicts are comparable with live Table 1 cells.
+    let leaks = trace.meta_value("leaks") == Some("true");
+    let is_default = matches!(config, ReplayConfig::Default(_));
+    let mut behavior = Behavior::Running;
+    let mut message = None;
+
+    let final_outcome = outcomes
+        .last()
+        .ok_or_else(|| TraceError::Corrupt("trace has no top-level entries".into()))?;
+    let jinn_shutdown = shutdown_reports
+        .iter()
+        .find(|r| r.action == ReportAction::ThrowException);
+    let warn_shutdown = shutdown_reports
+        .iter()
+        .find(|r| r.action == ReportAction::Warn);
+    let has_warnings = log.iter().any(|l| l.contains("WARNING")) || warn_shutdown.is_some();
+
+    match final_outcome {
+        RunOutcome::CheckerException(v) => {
+            behavior = Behavior::JinnException;
+            message = Some(v.message.clone());
+        }
+        RunOutcome::UncaughtException(desc) if desc.contains("JNIAssertionFailure") => {
+            behavior = Behavior::JinnException;
+            message = Some(desc.clone());
+        }
+        RunOutcome::Died(d) if d.kind == minijvm::DeathKind::FatalError => {
+            behavior = Behavior::Error;
+            message = Some(d.message.clone());
+        }
+        _ => {}
+    }
+    if behavior == Behavior::Running {
+        if let Some(r) = jinn_shutdown {
+            behavior = Behavior::JinnException;
+            message = Some(r.violation.message.clone());
+        } else if has_warnings {
+            behavior = Behavior::Warning;
+            message = log
+                .iter()
+                .find(|l| l.contains("WARNING"))
+                .cloned()
+                .or_else(|| warn_shutdown.map(|r| r.violation.message.clone()));
+        } else {
+            match final_outcome {
+                RunOutcome::UncaughtException(desc) if desc.contains("NullPointerException") => {
+                    behavior = Behavior::Npe;
+                    message = Some(desc.clone());
+                }
+                RunOutcome::Died(d) if d.kind == minijvm::DeathKind::Deadlock => {
+                    behavior = Behavior::Deadlock;
+                    message = Some(d.message.clone());
+                }
+                RunOutcome::Died(d) if d.kind == minijvm::DeathKind::Crash => {
+                    behavior = Behavior::Crash;
+                    message = Some(d.message.clone());
+                }
+                _ => {
+                    behavior = if leaks && is_default {
+                        Behavior::Leak
+                    } else {
+                        Behavior::Running
+                    };
+                }
+            }
+        }
+    }
+
+    let state = state.borrow();
+    Ok(ReplayOutcome {
+        label: config.label(),
+        behavior,
+        message,
+        log,
+        events_replayed: state.events_replayed,
+        divergences: state.divergences,
+    })
+}
+
+/// Replays raw trace bytes under one configuration (parse + replay).
+///
+/// # Errors
+///
+/// As for [`Trace::parse`] and [`replay_trace`].
+pub fn replay_bytes(bytes: &[u8], config: &ReplayConfig) -> Result<ReplayOutcome, TraceError> {
+    let trace = Trace::parse(bytes)?;
+    replay_trace(&trace, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{program_by_name, record_program};
+
+    #[test]
+    fn figure1_replay_matrix_matches_live_runs() {
+        let p = program_by_name("LocalRefDangling").expect("figure 1 scenario");
+        let bytes = record_program(&p);
+        let trace = Trace::parse(&bytes).unwrap();
+
+        let jinn = replay_trace(&trace, &ReplayConfig::Jinn(Vendor::HotSpot)).unwrap();
+        assert_eq!(jinn.behavior, Behavior::JinnException, "{jinn:?}");
+        assert_eq!(jinn.divergences, 0, "{jinn:?}");
+        assert!(jinn.events_replayed > 0);
+
+        let hs = replay_trace(&trace, &ReplayConfig::Default(Vendor::HotSpot)).unwrap();
+        assert_eq!(hs.behavior, Behavior::Crash, "{hs:?}");
+    }
+
+    #[test]
+    fn ablated_jinn_misses_the_machine_it_lost() {
+        let p = program_by_name("LocalRefDangling").unwrap();
+        let bytes = record_program(&p);
+        let trace = Trace::parse(&bytes).unwrap();
+        let cfg = JinnConfig {
+            disabled_machines: vec!["local-reference"],
+            ..Default::default()
+        };
+        let ablated =
+            replay_trace(&trace, &ReplayConfig::JinnAblated(Vendor::HotSpot, cfg)).unwrap();
+        assert_ne!(
+            ablated.behavior,
+            Behavior::JinnException,
+            "without the local-reference machine the dangling ref goes undiagnosed: {ablated:?}"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! [`TraceWriter`]: the recording side — a [`BoundaryTap`] that encodes
+//! every observed transition into the `.jtrace` wire format.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use minijni::{BoundaryTap, JniArg, JniError, JniRet, ManagedOutcome, UbOutcome, UbSituation};
+use minijvm::{EnvToken, GcStats, JRef, JValue, Jvm, MethodId, RefKind, ThreadId};
+
+use crate::format::{flags_to_byte, tag, CallStatus, Encoder};
+
+/// Short label for a UB situation kind (the wire representation).
+pub fn situation_kind(s: &UbSituation<'_>) -> &'static str {
+    match s {
+        UbSituation::RefFault { .. } => "ref-fault",
+        UbSituation::PinFault { .. } => "pin-fault",
+        UbSituation::BadEntityId { .. } => "bad-entity-id",
+        UbSituation::TypeConfusion { .. } => "type-confusion",
+        UbSituation::ExceptionPending { .. } => "exception-pending",
+        UbSituation::CriticalViolation { .. } => "critical-violation",
+        UbSituation::EnvMismatch { .. } => "env-mismatch",
+        UbSituation::FinalFieldWrite { .. } => "final-field-write",
+        UbSituation::NullArgument { .. } => "null-argument",
+    }
+}
+
+/// The JNI function a UB situation arose in.
+pub fn situation_func<'a>(s: &'a UbSituation<'a>) -> &'a str {
+    match s {
+        UbSituation::RefFault { func, .. }
+        | UbSituation::PinFault { func, .. }
+        | UbSituation::BadEntityId { func }
+        | UbSituation::TypeConfusion { func, .. }
+        | UbSituation::ExceptionPending { func }
+        | UbSituation::CriticalViolation { func }
+        | UbSituation::EnvMismatch { func }
+        | UbSituation::FinalFieldWrite { func }
+        | UbSituation::NullArgument { func, .. } => &func.name,
+    }
+}
+
+fn status_of<T>(result: &Result<T, JniError>) -> CallStatus {
+    match result {
+        Ok(_) => CallStatus::Ok,
+        Err(JniError::Exception) => CallStatus::Exception,
+        Err(JniError::Death(_)) => CallStatus::Death,
+        Err(JniError::Detected(_)) => CallStatus::Detected,
+    }
+}
+
+/// A recording [`BoundaryTap`]: install on a [`minijni::Vm`] via
+/// `set_tap`, run the program, then call [`TraceWriter::finish`] for the
+/// trace bytes.
+///
+/// Install as `Rc<RefCell<TraceWriter>>` (see [`TraceWriter::shared`]) so
+/// the harness keeps a handle to retrieve the trace after the run.
+#[derive(Debug)]
+pub struct TraceWriter {
+    enc: Encoder,
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        TraceWriter::new()
+    }
+}
+
+impl TraceWriter {
+    /// Creates an empty trace (header only).
+    pub fn new() -> TraceWriter {
+        TraceWriter {
+            enc: Encoder::new(),
+        }
+    }
+
+    /// Wraps a writer for installation as a tap while keeping a handle.
+    pub fn shared() -> Rc<RefCell<TraceWriter>> {
+        Rc::new(RefCell::new(TraceWriter::new()))
+    }
+
+    /// Appends a `key = value` annotation.
+    pub fn meta(&mut self, key: &str, value: &str) {
+        self.enc.istr(key);
+        self.enc.istr(value);
+        self.enc.end_record(tag::META);
+    }
+
+    /// Records every class past the first `baseline` registry entries, in
+    /// definition order. Replaying these definitions in order reproduces
+    /// the run's `ClassId`/`MethodId`/`FieldId` numbering exactly.
+    pub fn def_classes(&mut self, jvm: &Jvm, baseline: usize) {
+        let reg = jvm.registry();
+        for id in reg.class_ids().skip(baseline) {
+            let def = reg.class(id);
+            self.enc.istr(def.name());
+            let superclass = def
+                .superclass()
+                .map(|s| reg.class(s).name().to_string())
+                .unwrap_or_default();
+            self.enc.istr(&superclass);
+            self.enc.byte(u8::from(def.is_interface()));
+            self.enc.varint(def.fields().len() as u64);
+            for &fid in def.fields() {
+                let fi = reg.field(fid).expect("registry field");
+                self.enc.istr(&fi.name);
+                self.enc.istr(&fi.ty.descriptor());
+                self.enc.byte(flags_to_byte(fi.flags));
+            }
+            self.enc.varint(def.methods().len() as u64);
+            for &mid in def.methods() {
+                let mi = reg.method(mid).expect("registry method");
+                self.enc.istr(&mi.name);
+                self.enc.istr(&mi.sig.descriptor());
+                self.enc.byte(flags_to_byte(mi.flags));
+                let kind = match mi.body {
+                    minijvm::MethodBody::Native(_) => 0u8,
+                    minijvm::MethodBody::Managed(_) => 1,
+                    minijvm::MethodBody::Abstract => 2,
+                };
+                self.enc.byte(kind);
+            }
+            self.enc.end_record(tag::DEF_CLASS);
+        }
+    }
+
+    /// Records a setup-spawned thread.
+    pub fn spawn_thread(&mut self, thread: ThreadId) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.end_record(tag::SPAWN_THREAD);
+    }
+
+    /// Records a setup-time allocation (an entry-point argument): what to
+    /// allocate at replay and the reference the original run obtained.
+    /// Null and non-local references are skipped (entry args in this
+    /// repo's harnesses are fresh locals).
+    pub fn seed(&mut self, jvm: &Jvm, r: JRef) {
+        if r.kind() != RefKind::Local {
+            return;
+        }
+        let Ok(Some(oop)) = jvm.resolve_ignoring_thread(r) else {
+            return;
+        };
+        self.enc.varint(u64::from(r.owner().0));
+        if let Some(class) = jvm.class_of_mirror(oop) {
+            self.enc.byte(2);
+            let name = jvm.registry().class(class).name().to_string();
+            self.enc.istr(&name);
+        } else if let Some(text) = jvm.string_value(oop) {
+            self.enc.byte(1);
+            self.enc.istr(&text);
+        } else {
+            self.enc.byte(0);
+            let name = jvm.registry().class(jvm.class_of(oop)).name().to_string();
+            self.enc.istr(&name);
+        }
+        self.enc.jref(r);
+        self.enc.end_record(tag::SEED_REF);
+    }
+
+    /// Records a bridged observability event (rendered text).
+    pub fn obs_event(&mut self, thread: u16, text: &str) {
+        self.enc.varint(u64::from(thread));
+        self.enc.istr(text);
+        self.enc.end_record(tag::OBS_EVENT);
+    }
+
+    /// Records a Python/C boundary crossing.
+    pub fn py_call(&mut self, thread: u16, func: &str, ptrs: &[u64]) {
+        self.enc.varint(u64::from(thread));
+        self.enc.istr(func);
+        self.enc.varint(ptrs.len() as u64);
+        for &p in ptrs {
+            self.enc.varint(p);
+        }
+        self.enc.end_record(tag::PY_CALL);
+    }
+
+    /// Seals the trace: appends the `End` record (count + FNV-1a checksum)
+    /// and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.enc.finish()
+    }
+}
+
+impl BoundaryTap for TraceWriter {
+    fn jni_enter(
+        &mut self,
+        thread: ThreadId,
+        presented: EnvToken,
+        func: minijni::FuncId,
+        args: &[JniArg],
+    ) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(u64::from(presented.0));
+        self.enc.varint(u64::from(func.0));
+        self.enc.varint(args.len() as u64);
+        for a in args {
+            self.enc.jarg(a);
+        }
+        self.enc.end_record(tag::JNI_ENTER);
+    }
+
+    fn jni_exit(
+        &mut self,
+        thread: ThreadId,
+        func: minijni::FuncId,
+        result: &Result<JniRet, JniError>,
+    ) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(u64::from(func.0));
+        self.enc.byte(status_of(result).to_u8());
+        self.enc.end_record(tag::JNI_EXIT);
+    }
+
+    fn native_enter(&mut self, thread: ThreadId, method: MethodId, args: &[JValue]) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(method.index() as u64);
+        self.enc.varint(args.len() as u64);
+        for v in args {
+            self.enc.jvalue(v);
+        }
+        self.enc.end_record(tag::NATIVE_ENTER);
+    }
+
+    fn native_exit(
+        &mut self,
+        thread: ThreadId,
+        method: MethodId,
+        result: &Result<JValue, JniError>,
+    ) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(method.index() as u64);
+        let status = status_of(result);
+        self.enc.byte(status.to_u8());
+        if let Ok(v) = result {
+            self.enc.jvalue(v);
+        }
+        self.enc.end_record(tag::NATIVE_EXIT);
+    }
+
+    fn managed_enter(&mut self, thread: ThreadId, method: MethodId, args: &[JValue]) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(method.index() as u64);
+        self.enc.varint(args.len() as u64);
+        for v in args {
+            self.enc.jvalue(v);
+        }
+        self.enc.end_record(tag::MANAGED_ENTER);
+    }
+
+    fn managed_exit(&mut self, thread: ThreadId, method: MethodId, outcome: &ManagedOutcome) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(method.index() as u64);
+        match outcome {
+            ManagedOutcome::Return(v) => {
+                self.enc.byte(0);
+                self.enc.jvalue(v);
+            }
+            ManagedOutcome::Threw { class, message } => {
+                self.enc.byte(1);
+                self.enc.istr(class);
+                self.enc.istr(message);
+            }
+            ManagedOutcome::Died => self.enc.byte(2),
+            ManagedOutcome::Detected => self.enc.byte(3),
+        }
+        self.enc.end_record(tag::MANAGED_EXIT);
+    }
+
+    fn gc_point(&mut self, thread: ThreadId, stats: &GcStats) {
+        self.enc.varint(u64::from(thread.0));
+        self.enc.varint(stats.live as u64);
+        self.enc.varint(stats.collected as u64);
+        self.enc.varint(stats.weak_cleared as u64);
+        self.enc.end_record(tag::GC_POINT);
+    }
+
+    fn vendor_ub(&mut self, thread: ThreadId, situation: &UbSituation<'_>, outcome: &UbOutcome) {
+        self.enc.varint(u64::from(thread.0));
+        let kind = situation_kind(situation);
+        let func = situation_func(situation).to_string();
+        self.enc.istr(kind);
+        self.enc.istr(&func);
+        match outcome {
+            UbOutcome::Proceed => self.enc.byte(0),
+            UbOutcome::Crash(msg) => {
+                self.enc.byte(1);
+                self.enc.istr(msg);
+            }
+            UbOutcome::Npe => self.enc.byte(2),
+            UbOutcome::Deadlock(msg) => {
+                self.enc.byte(3);
+                self.enc.istr(msg);
+            }
+        }
+        self.enc.end_record(tag::VENDOR_UB);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Decoder, TraceRecord};
+
+    #[test]
+    fn writer_round_trips_basic_records() {
+        let mut w = TraceWriter::new();
+        w.meta("program", "demo");
+        w.spawn_thread(ThreadId(1));
+        w.py_call(0, "PyList_Append", &[0x1000, 0x2000]);
+        BoundaryTap::native_enter(&mut w, ThreadId(0), MethodId::forged(3), &[JValue::Int(7)]);
+        BoundaryTap::native_exit(
+            &mut w,
+            ThreadId(0),
+            MethodId::forged(3),
+            &Ok(JValue::Long(-9)),
+        );
+        let bytes = w.finish();
+        let mut dec = Decoder::new(&bytes).unwrap();
+        let mut records = Vec::new();
+        while let Some(r) = dec.next_record().unwrap() {
+            records.push(r);
+        }
+        assert_eq!(
+            records[0],
+            TraceRecord::Meta {
+                key: "program".into(),
+                value: "demo".into()
+            }
+        );
+        assert_eq!(records[1], TraceRecord::SpawnThread { thread: 1 });
+        assert_eq!(
+            records[2],
+            TraceRecord::PyCall {
+                thread: 0,
+                func: "PyList_Append".into(),
+                ptrs: vec![0x1000, 0x2000]
+            }
+        );
+        assert_eq!(
+            records[3],
+            TraceRecord::NativeEnter {
+                thread: 0,
+                method: 3,
+                args: vec![JValue::Int(7)]
+            }
+        );
+        assert_eq!(
+            records[4],
+            TraceRecord::NativeExit {
+                thread: 0,
+                method: 3,
+                status: CallStatus::Ok,
+                ret: Some(JValue::Long(-9)),
+            }
+        );
+    }
+
+    #[test]
+    fn identical_writes_are_byte_identical() {
+        let write = || {
+            let mut w = TraceWriter::new();
+            w.meta("program", "twice");
+            BoundaryTap::gc_point(
+                &mut w,
+                ThreadId(0),
+                &GcStats {
+                    live: 5,
+                    collected: 2,
+                    weak_cleared: 1,
+                },
+            );
+            w.finish()
+        };
+        assert_eq!(write(), write());
+    }
+}

@@ -1,0 +1,187 @@
+//! Replay determinism guard: for a randomly generated correct program
+//! with a randomly seeded bug, (1) recording is byte-identical across
+//! runs, and (2) replaying one trace twice produces byte-identical
+//! verdict sequences across the standard configurations.
+
+use std::rc::Rc;
+
+use jinn_replay::{record_program, replay_bytes, standard_configs, Program, Trace};
+use minijni::typed;
+use minijvm::{JRef, JValue};
+use proptest::prelude::*;
+
+/// A tiny correct-by-construction op language (a subset of the soundness
+/// property suite's), interpreted as a native method body.
+#[derive(Debug, Clone)]
+enum Op {
+    NewString(u8),
+    DupArg,
+    DeleteLast,
+    GlobalPair,
+    PinAndRelease,
+    GetVersion,
+    FramedAllocs(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..20).prop_map(Op::NewString),
+        Just(Op::DupArg),
+        Just(Op::DeleteLast),
+        Just(Op::GlobalPair),
+        Just(Op::PinAndRelease),
+        Just(Op::GetVersion),
+        (1u8..6).prop_map(Op::FramedAllocs),
+    ]
+}
+
+/// Bugs seeded after the correct prefix.
+#[derive(Debug, Clone, Copy)]
+enum Seeded {
+    UseAfterDelete,
+    DoubleDelete,
+    NullArgument,
+}
+
+fn seeded_strategy() -> impl Strategy<Value = Seeded> {
+    prop_oneof![
+        Just(Seeded::UseAfterDelete),
+        Just(Seeded::DoubleDelete),
+        Just(Seeded::NullArgument),
+    ]
+}
+
+fn interpret(
+    env: &mut minijni::JniEnv<'_>,
+    args: &[JValue],
+    ops: &[Op],
+    seeded: Option<Seeded>,
+) -> Result<JValue, minijni::JniError> {
+    let anchor = args[0].as_ref().expect("anchor argument");
+    typed::ensure_local_capacity(env, 4096)?;
+    let mut locals: Vec<JRef> = vec![anchor];
+    for op in ops {
+        match op {
+            Op::NewString(n) => locals.push(typed::new_string_utf(env, &format!("s{n}"))?),
+            Op::DupArg => locals.push(typed::new_local_ref(env, anchor)?),
+            Op::DeleteLast => {
+                if locals.len() > 1 {
+                    let r = locals.pop().expect("len checked");
+                    typed::delete_local_ref(env, r)?;
+                }
+            }
+            Op::GlobalPair => {
+                let g = typed::new_global_ref(env, anchor)?;
+                typed::delete_global_ref(env, g)?;
+            }
+            Op::PinAndRelease => {
+                let arr = typed::new_int_array(env, 4)?;
+                let pin = typed::get_int_array_elements(env, arr)?;
+                typed::release_int_array_elements(env, arr, pin, 0)?;
+                typed::delete_local_ref(env, arr)?;
+            }
+            Op::GetVersion => {
+                typed::get_version(env)?;
+            }
+            Op::FramedAllocs(n) => {
+                typed::push_local_frame(env, i64::from(*n) + 1)?;
+                for _ in 0..*n {
+                    typed::new_local_ref(env, anchor)?;
+                }
+                typed::pop_local_frame(env, JRef::NULL)?;
+            }
+        }
+    }
+    if let Some(bug) = seeded {
+        match bug {
+            Seeded::UseAfterDelete => {
+                let r = typed::new_local_ref(env, anchor)?;
+                typed::delete_local_ref(env, r)?;
+                typed::get_object_class(env, r)?;
+            }
+            Seeded::DoubleDelete => {
+                let r = typed::new_local_ref(env, anchor)?;
+                typed::delete_local_ref(env, r)?;
+                typed::delete_local_ref(env, r)?;
+            }
+            Seeded::NullArgument => {
+                typed::get_object_class(env, JRef::NULL)?;
+            }
+        }
+    }
+    Ok(JValue::Void)
+}
+
+/// Wraps a generated op list as a recordable [`Program`].
+fn generated_program(ops: Vec<Op>, seeded: Option<Seeded>) -> Program {
+    let ops = Rc::new(ops);
+    Program {
+        name: "Generated".into(),
+        pitfall: None,
+        machine: "local-reference",
+        error_state: "Error:Generated",
+        leaks: false,
+        gc_period: None,
+        build: Box::new(move |vm| {
+            let ops = Rc::clone(&ops);
+            let (_c, entry) = vm.define_native_class(
+                "gen/Program",
+                "run",
+                "(Ljava/lang/Object;)V",
+                true,
+                Rc::new(move |env, args| interpret(env, args, &ops, seeded)),
+            );
+            let class = vm
+                .jvm()
+                .find_class("java/lang/Object")
+                .expect("bootstrapped");
+            let oop = vm.jvm_mut().alloc_object(class);
+            let thread = vm.jvm().main_thread();
+            let anchor = vm.jvm_mut().new_local(thread, oop);
+            jinn_microbench::Setup {
+                entries: vec![entry],
+                first_args: vec![JValue::Ref(anchor)],
+            }
+        }),
+    }
+}
+
+/// The full verdict sequence of one replay pass, as comparable bytes.
+fn verdict_sequence(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for config in standard_configs() {
+        let outcome = replay_bytes(bytes, &config).expect("generated trace replays");
+        out.extend_from_slice(outcome.label.as_bytes());
+        out.push(b'=');
+        out.extend_from_slice(outcome.verdict_signature().as_bytes());
+        out.extend_from_slice(format!(";events={}", outcome.events_replayed).as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recording a random correct program with a seeded bug twice yields
+    /// byte-identical traces, and replaying one trace twice yields
+    /// byte-identical verdict sequences.
+    #[test]
+    fn record_and_replay_are_deterministic(
+        ops in proptest::collection::vec(op_strategy(), 0..24),
+        bug in proptest::option::of(seeded_strategy()),
+    ) {
+        let first = record_program(&generated_program(ops.clone(), bug));
+        let second = record_program(&generated_program(ops, bug));
+        prop_assert_eq!(&first, &second, "re-recording must be byte-identical");
+        prop_assert!(Trace::parse(&first).is_ok());
+
+        let verdicts_a = verdict_sequence(&first);
+        let verdicts_b = verdict_sequence(&first);
+        prop_assert_eq!(
+            verdicts_a,
+            verdicts_b,
+            "two replays of one trace must agree verbatim"
+        );
+    }
+}

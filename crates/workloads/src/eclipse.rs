@@ -13,7 +13,10 @@ use jinn_vendors::hotspot_vm;
 use minijni::{typed, RunOutcome, Session, Violation, Vm};
 use minijvm::{JValue, MethodId};
 
-fn build_swt_callback(vm: &mut Vm) -> MethodId {
+/// Builds the SWT `Callback.callback` analogue: the static callback is
+/// declared on `Widget` but looked up (and invoked) against the `Display`
+/// subclass mirror — an entity-typing confusion.
+pub fn build_swt_callback(vm: &mut Vm) -> MethodId {
     // Widget declares the static callback; Display inherits but does NOT
     // declare it.
     let (_widget, _cb) = vm.define_managed_class(

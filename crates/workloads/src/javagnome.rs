@@ -18,8 +18,10 @@ struct EventCallBack {
     mid: MethodId,
 }
 
-/// Builds the signal-connect / signal-emit pair of Figure 1.
-fn build_signal_machinery(vm: &mut Vm) -> (MethodId, MethodId, Vec<JValue>) {
+/// Builds the signal-connect / signal-emit pair of Figure 1. Returns
+/// `(bind, dispatch, bind_args)`: run `bind` with `bind_args`, then
+/// `dispatch` with no arguments, to reproduce the dangling-callback bug.
+pub fn build_signal_machinery(vm: &mut Vm) -> (MethodId, MethodId, Vec<JValue>) {
     // The Java side: a listener class with the handler method.
     let (_handler_class, _handler) = vm.define_managed_class(
         "org/gnome/gtk/ClickedHandler",

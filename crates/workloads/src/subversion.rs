@@ -23,7 +23,7 @@ pub const INFO_FIELDS: usize = 24;
 /// `DeleteLocalRef`; the fixed variant (paper's patch) releases each
 /// reference after use, so "the number of active local references never
 /// exceeds 8".
-fn build_info_callback(vm: &mut Vm, fixed: bool, samples: Rc<RefCell<Vec<usize>>>) -> MethodId {
+pub fn build_info_callback(vm: &mut Vm, fixed: bool, samples: Rc<RefCell<Vec<usize>>>) -> MethodId {
     let (_c, entry) = vm.define_native_class(
         "org/tigris/subversion/InfoCallback",
         "singleInfo",
@@ -52,7 +52,8 @@ fn build_info_callback(vm: &mut Vm, fixed: bool, samples: Rc<RefCell<Vec<usize>>
 /// `jstring` and its pinned UTF buffer; user code deletes the local
 /// reference early, and the destructor then calls
 /// `ReleaseStringUTFChars(m_jtext, m_str)` through the dead reference.
-fn build_copy_sources(vm: &mut Vm) -> (MethodId, Vec<JValue>) {
+/// Returns the entry method and its (string) argument.
+pub fn build_copy_sources(vm: &mut Vm) -> (MethodId, Vec<JValue>) {
     let path = vm
         .jvm_mut()
         .alloc_string("branches/1.6.x/subversion/libsvn_client");

@@ -1,0 +1,48 @@
+//! Record a buggy program once, then re-judge the trace under every
+//! standard checker configuration — Table 1 columns from a recording,
+//! with no live re-execution (the `jinn-replay` differential harness).
+//!
+//! ```text
+//! cargo run --example replay_diff [program]
+//! ```
+//!
+//! Pass a microbenchmark or case-study name (default `ExceptionState`);
+//! run with `--list` to see all twenty.
+
+use jinn::replay::{diff_standard, program_by_name, program_names, record_program, Trace};
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ExceptionState".to_string());
+    if arg == "--list" {
+        for name in program_names() {
+            println!("{name}");
+        }
+        return;
+    }
+    let Some(program) = program_by_name(&arg) else {
+        eprintln!("no recordable program named `{arg}`; try --list");
+        std::process::exit(1);
+    };
+
+    // Record once, on a maximally-permissive vendor with no checkers:
+    // the trace captures the program's boundary behaviour past its bug.
+    let bytes = record_program(&program);
+    let trace = Trace::parse(&bytes).expect("a fresh recording parses");
+    println!("{}", trace.summary(bytes.len()));
+    println!();
+
+    // Re-judge the same trace under the five standard configurations.
+    let report = diff_standard(&bytes).expect("a fresh recording replays");
+    println!("{}", report.render());
+    if report.agree() {
+        println!("every configuration agrees on this trace");
+    } else {
+        println!(
+            "{} distinct behaviors from one {}-byte recording",
+            report.distinct_behaviors(),
+            bytes.len()
+        );
+    }
+}

@@ -15,11 +15,14 @@
 //! * [`microbench`] — the 16 error-triggering microbenchmarks (Sec 6.1).
 //! * [`workloads`] — Table 3 workload generators and the Section 6.4 case
 //!   studies.
+//! * [`replay`] — deterministic trace record/replay with differential
+//!   verdict checking (the `.jtrace` format and golden corpus).
 
 pub use jinn_core as core;
 pub use jinn_fsm as fsm;
 pub use jinn_microbench as microbench;
 pub use jinn_obs as obs;
+pub use jinn_replay as replay;
 pub use jinn_spec as spec;
 pub use jinn_vendors as vendors;
 pub use jinn_workloads as workloads;

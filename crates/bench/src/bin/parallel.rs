@@ -1,0 +1,125 @@
+//! Parallel checking throughput: the Table 3 workload mix on 1/2/4/8
+//! worker threads, each an independent `JniSession` with its own `Jinn`
+//! checker, all sharing one sharded state store, one safepoint
+//! rendezvous, one recorder, and one sharded heap directory.
+//!
+//! ```text
+//! cargo run --release -p jinn-bench --bin parallel
+//! ```
+//!
+//! Writes `BENCH_parallel.json` next to the invocation directory.
+//! Scale with `JINN_PARALLEL_TRANSITIONS` / `JINN_PARALLEL_BALLAST`.
+
+use jinn_bench::parallel::{run_parallel, ParallelConfig, ParallelRun};
+use jinn_bench::{env_u64, render_table};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn run_at(threads: usize, transitions: u64, ballast: usize) -> ParallelRun {
+    run_parallel(&ParallelConfig {
+        threads,
+        transitions,
+        ballast,
+        gc_period: 256,
+        safepoint_every: 512,
+    })
+}
+
+fn main() {
+    let transitions = env_u64("JINN_PARALLEL_TRANSITIONS", 60_000);
+    let ballast = env_u64("JINN_PARALLEL_BALLAST", 98_304) as usize;
+
+    println!("Parallel Jinn: sharded per-thread checking throughput");
+    println!("(total work constant across thread counts; ballast {ballast} objects)\n");
+
+    let mut runs: Vec<ParallelRun> = Vec::new();
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let run = run_at(threads, transitions, ballast);
+        assert_eq!(run.violations, 0, "workload must be bug-free");
+        assert_eq!(run.cross_thread_uses, 0, "entity keys are disjoint");
+        rows.push(vec![
+            threads.to_string(),
+            run.transitions.to_string(),
+            run.checked_events.to_string(),
+            format!("{:.1}", run.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", run.events_per_sec),
+            run.worlds_stopped.to_string(),
+            run.trace_events.to_string(),
+        ]);
+        runs.push(run);
+    }
+
+    let baseline = runs[0].events_per_sec;
+    for (row, run) in rows.iter_mut().zip(&runs) {
+        row.push(format!("{:.2}x", run.events_per_sec / baseline));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "transitions",
+                "checked events",
+                "wall ms",
+                "events/sec",
+                "world stops",
+                "trace events",
+                "speedup"
+            ],
+            &rows,
+        )
+    );
+
+    let at = |n: usize| runs.iter().find(|r| r.threads == n).expect("measured");
+    let speedup4 = at(4).events_per_sec / baseline;
+    println!("aggregate checked-events/sec at 4 threads: {speedup4:.2}x single-thread baseline");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"parallel sharded checking (Table 3 workload mix)\",\n",
+            "  \"total_transitions\": {transitions},\n",
+            "  \"ballast_objects\": {ballast},\n",
+            "  \"thread_counts\": [1, 2, 4, 8],\n",
+            "  \"checked_events\": [{ce1}, {ce2}, {ce4}, {ce8}],\n",
+            "  \"wall_nanos\": [{w1}, {w2}, {w4}, {w8}],\n",
+            "  \"events_per_sec\": [{e1:.0}, {e2:.0}, {e4:.0}, {e8:.0}],\n",
+            "  \"speedup_vs_1_thread\": [1.0, {s2:.4}, {s4:.4}, {s8:.4}],\n",
+            "  \"speedup_at_4_threads\": {s4:.4},\n",
+            "  \"speedup_at_4_at_least_2_5x\": {ok},\n",
+            "  \"worlds_stopped\": [{g1}, {g2}, {g4}, {g8}],\n",
+            "  \"cross_thread_uses\": 0,\n",
+            "  \"violations\": 0,\n",
+            "  \"note\": \"one Jinn per worker (Send), shared ShardedStateStore + ",
+            "SafepointRendezvous + per-thread recorder rings; on a single-core host ",
+            "the speedup comes from sharded heaps cutting per-collection copying-GC ",
+            "cost O(live heap) by 1/N, not from core parallelism\"\n",
+            "}}\n",
+        ),
+        transitions = transitions,
+        ballast = ballast,
+        ce1 = at(1).checked_events,
+        ce2 = at(2).checked_events,
+        ce4 = at(4).checked_events,
+        ce8 = at(8).checked_events,
+        w1 = at(1).elapsed.as_nanos(),
+        w2 = at(2).elapsed.as_nanos(),
+        w4 = at(4).elapsed.as_nanos(),
+        w8 = at(8).elapsed.as_nanos(),
+        e1 = at(1).events_per_sec,
+        e2 = at(2).events_per_sec,
+        e4 = at(4).events_per_sec,
+        e8 = at(8).events_per_sec,
+        s2 = at(2).events_per_sec / baseline,
+        s4 = speedup4,
+        s8 = at(8).events_per_sec / baseline,
+        ok = speedup4 >= 2.5,
+        g1 = at(1).worlds_stopped,
+        g2 = at(2).worlds_stopped,
+        g4 = at(4).worlds_stopped,
+        g8 = at(8).worlds_stopped,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

@@ -111,31 +111,50 @@ fn cmd_record(args: &[String]) -> i32 {
 
 // ---- check -------------------------------------------------------------
 
+/// Validates one trace file; returns the `ok` line or the `FAIL` message.
+fn check_one(file: &str) -> Result<String, String> {
+    let bytes = std::fs::read(file).map_err(|e| format!("FAIL {file}: {e}"))?;
+    check_version(&bytes)
+        .and_then(|_| Trace::parse(&bytes))
+        .map(|trace| {
+            format!(
+                "ok {file}: program={} format=v{} events={}",
+                trace.program(),
+                trace.version,
+                trace.events.len()
+            )
+        })
+        .map_err(|e| format!("FAIL {file}: {e} (reader is at format v{FORMAT_VERSION})"))
+}
+
 fn cmd_check(files: &[String]) -> i32 {
     if files.is_empty() {
         eprintln!("usage: replay check FILE...");
         return 2;
     }
+    // One verifier thread per trace: each thread reads and parses its own
+    // file, so nothing but the path crosses in and nothing but the verdict
+    // string crosses out. Results are reported in argument order so the
+    // output is deterministic regardless of which verifier finishes first.
+    let verdicts: Vec<Result<String, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = files
+            .iter()
+            .map(|file| scope.spawn(move || check_one(file)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("FAIL: verifier thread panicked".to_string()))
+            })
+            .collect()
+    });
     let mut failures = 0;
-    for file in files {
-        match std::fs::read(file) {
-            Ok(bytes) => {
-                let verdict = check_version(&bytes).and_then(|_| Trace::parse(&bytes));
-                match verdict {
-                    Ok(trace) => println!(
-                        "ok {file}: program={} format=v{} events={}",
-                        trace.program(),
-                        trace.version,
-                        trace.events.len()
-                    ),
-                    Err(e) => {
-                        eprintln!("FAIL {file}: {e} (reader is at format v{FORMAT_VERSION})");
-                        failures += 1;
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("FAIL {file}: {e}");
+    for verdict in verdicts {
+        match verdict {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                eprintln!("{line}");
                 failures += 1;
             }
         }

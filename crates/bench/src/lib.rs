@@ -16,14 +16,17 @@
 //! | `python_checker` | Section 7 / Figure 11 — the Python/C checker |
 //! | `obs_trace` | Observability — Chrome trace + metrics exports |
 //! | `obs_overhead` | Observability — recorder-off vs recorder-on cost |
+//! | `parallel` | Sharded checking — events/sec at 1/2/4/8 worker threads |
 //!
-//! This library crate holds the shared table-rendering helpers and the
-//! [`obs`] workload used by the observability binaries.
+//! This library crate holds the shared table-rendering helpers, the
+//! [`obs`] workload used by the observability binaries, and the
+//! [`parallel`] multi-threaded workload driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod obs;
+pub mod parallel;
 
 /// Renders rows as a padded ASCII table with a header rule.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -14,9 +14,9 @@
 //! verified against the VM once and then tracked — this is what the JVMTI
 //! start-up hook gives the real Jinn for free.)
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
 use jinn_spec::{Check, EntityCallMode};
@@ -30,6 +30,8 @@ use minijvm::{
 use crate::synth::{synthesize, CheckTable};
 
 /// Counters Jinn keeps about its own work (for the overhead experiments).
+/// This is a point-in-time copy; the live counters are the atomics in
+/// [`StatsCell`], read via [`StatsCell::snapshot`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JinnStats {
     /// Synthesized checks executed.
@@ -41,9 +43,45 @@ pub struct JinnStats {
     pub adopted_refs: u64,
 }
 
-/// Shared handle to [`JinnStats`], usable after the checker has been
-/// boxed into a session.
-pub type SharedStats = Rc<RefCell<JinnStats>>;
+/// The live, atomically-updated counters behind [`SharedStats`]. Atomic
+/// so a `Jinn` moved to a worker thread can be observed from the driver
+/// thread without locks (and so `Jinn` itself is `Send`).
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    checks_executed: AtomicU64,
+    violations: AtomicU64,
+    adopted_refs: AtomicU64,
+}
+
+impl StatsCell {
+    /// Synthesized checks executed so far.
+    pub fn checks_executed(&self) -> u64 {
+        self.checks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Violations reported so far.
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Pre-attach references adopted so far.
+    pub fn adopted_refs(&self) -> u64 {
+        self.adopted_refs.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> JinnStats {
+        JinnStats {
+            checks_executed: self.checks_executed(),
+            violations: self.violations(),
+            adopted_refs: self.adopted_refs(),
+        }
+    }
+}
+
+/// Shared handle to the live [`StatsCell`], usable after the checker has
+/// been boxed into a session — including from another thread.
+pub type SharedStats = Arc<StatsCell>;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct LocalKey {
@@ -204,10 +242,17 @@ pub struct Jinn {
     recorder: Recorder,
 }
 
+// The whole point of the Arc/atomic stats backend: a synthesized checker
+// can be constructed on the driver thread and moved into a worker.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Jinn>();
+};
+
 impl std::fmt::Debug for Jinn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Jinn")
-            .field("stats", &*self.stats.borrow())
+            .field("stats", &self.stats.snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -235,7 +280,7 @@ impl Jinn {
             table,
             checks_enabled: true,
             config,
-            stats: Rc::new(RefCell::new(JinnStats::default())),
+            stats: Arc::new(StatsCell::default()),
             methods: HashMap::new(),
             fields: HashMap::new(),
             pins: HashMap::new(),
@@ -256,7 +301,7 @@ impl Jinn {
 
     /// A shared handle to the checker's statistics.
     pub fn stats_handle(&self) -> SharedStats {
-        Rc::clone(&self.stats)
+        Arc::clone(&self.stats)
     }
 
     /// An interposing-but-not-checking Jinn: the wrappers run, the check
@@ -276,14 +321,14 @@ impl Jinn {
         message: String,
         stack: &[String],
     ) -> Report {
-        self.stats.borrow_mut().violations += 1;
+        self.stats.violations.fetch_add(1, Ordering::Relaxed);
         if self.recorder.is_enabled() {
             self.recorder.fsm(machine, FsmOutcome::Error);
             self.recorder.event(
                 jinn_obs::event::NO_THREAD,
                 EventKind::FsmTransition {
-                    machine: Rc::from(machine),
-                    transition: Rc::from(error_state),
+                    machine: Arc::from(machine),
+                    transition: Arc::from(error_state),
                     outcome: FsmOutcome::Error,
                     entity: None,
                 },
@@ -325,7 +370,7 @@ impl Jinn {
                 None => {
                     // Pre-attach reference: adopt it if the VM vouches for it.
                     if jvm.resolve(thread, r).map(|o| o.is_some()).unwrap_or(false) {
-                        self.stats.borrow_mut().adopted_refs += 1;
+                        self.stats.adopted_refs.fetch_add(1, Ordering::Relaxed);
                         let tracker = self.tracker(thread);
                         tracker.base().refs.push(key);
                         tracker.states.insert(key, RefState::Live);
@@ -349,7 +394,7 @@ impl Jinn {
             Some(RefState::Released) => Some(format!("Error: dangling {} reference", r.kind())),
             None => {
                 if jvm.resolve(thread, r).is_ok() {
-                    self.stats.borrow_mut().adopted_refs += 1;
+                    self.stats.adopted_refs.fetch_add(1, Ordering::Relaxed);
                     self.globals.insert(key, RefState::Live);
                     None
                 } else {
@@ -379,8 +424,8 @@ impl Jinn {
             self.recorder.event(
                 thread.0,
                 EventKind::FsmTransition {
-                    machine: Rc::from(machine),
-                    transition: Rc::from(transition),
+                    machine: Arc::from(machine),
+                    transition: Arc::from(transition),
                     outcome: FsmOutcome::Moved,
                     entity: Some(EntityTag::of_debug(r)),
                 },
@@ -396,8 +441,8 @@ impl Jinn {
             self.recorder.event(
                 thread.0,
                 EventKind::FsmTransition {
-                    machine: Rc::from(machine),
-                    transition: Rc::from("Use"),
+                    machine: Arc::from(machine),
+                    transition: Arc::from("Use"),
                     outcome: FsmOutcome::Error,
                     entity: Some(EntityTag::of_debug(&r)),
                 },
@@ -927,7 +972,7 @@ impl Jinn {
                         }
                         None => {
                             if jvm.pins().is_live(*pin) {
-                                self.stats.borrow_mut().adopted_refs += 1;
+                                self.stats.adopted_refs.fetch_add(1, Ordering::Relaxed);
                                 self.pins.insert(
                                     *pin,
                                     PinInfo {
@@ -1213,7 +1258,9 @@ impl Interpose for Jinn {
         // Synthesized wrappers throw at the first violated constraint
         // (Figure 4), so the first report wins.
         let n = self.table.pre(cx.func).len();
-        self.stats.borrow_mut().checks_executed += n as u64;
+        self.stats
+            .checks_executed
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.recorder.count("checks.executed", n as u64);
         if !self.checks_enabled {
             return Vec::new();
@@ -1229,7 +1276,9 @@ impl Interpose for Jinn {
 
     fn post_jni(&mut self, jvm: &Jvm, cx: &CallCx<'_>, ret: Option<&JniRet>) -> Vec<Report> {
         let n = self.table.post(cx.func).len();
-        self.stats.borrow_mut().checks_executed += n as u64;
+        self.stats
+            .checks_executed
+            .fetch_add(n as u64, Ordering::Relaxed);
         self.recorder.count("checks.executed", n as u64);
         if !self.checks_enabled {
             return Vec::new();
@@ -1349,22 +1398,28 @@ impl Interpose for Jinn {
             return Vec::new();
         }
         let mut reports = Vec::new();
-        for (pin, info) in &self.pins {
-            if !info.released {
-                let kind = info.kind;
-                reports.push(Report::new(
-                    Violation {
-                        machine: "pinned-buffer",
-                        error_state: "Error:Leak",
-                        function: "VMDeath".to_string(),
-                        message: format!("buffer {pin} acquired via {kind} was never released"),
-                        backtrace: Vec::new(),
-                    },
-                    ReportAction::ThrowException,
-                ));
-            }
+        // Leak sweeps iterate in sorted entity order: the backing maps
+        // iterate in randomized order per process run, and verdict
+        // sequences must be stable across runs (and across replays).
+        let mut leaked_pins: Vec<(&PinId, &PinInfo)> =
+            self.pins.iter().filter(|(_, i)| !i.released).collect();
+        leaked_pins.sort_unstable_by_key(|(pin, _)| pin.0);
+        for (pin, info) in leaked_pins {
+            let kind = info.kind;
+            reports.push(Report::new(
+                Violation {
+                    machine: "pinned-buffer",
+                    error_state: "Error:Leak",
+                    function: "VMDeath".to_string(),
+                    message: format!("buffer {pin} acquired via {kind} was never released"),
+                    backtrace: Vec::new(),
+                },
+                ReportAction::ThrowException,
+            ));
         }
-        for ((thread, obj), count) in &self.monitors {
+        let mut held_monitors: Vec<(&(ThreadId, ObjectId), &u32)> = self.monitors.iter().collect();
+        held_monitors.sort_unstable_by_key(|((t, o), _)| (t.0, o.0));
+        for ((thread, obj), count) in held_monitors {
             reports.push(Report::new(
                 Violation {
                     machine: "monitor",
@@ -1397,7 +1452,9 @@ impl Interpose for Jinn {
                 ReportAction::ThrowException,
             ));
         }
-        self.stats.borrow_mut().violations += reports.len() as u64;
+        self.stats
+            .violations
+            .fetch_add(reports.len() as u64, Ordering::Relaxed);
         let _ = jvm;
         reports
     }
@@ -1411,6 +1468,14 @@ pub fn install(session: &mut minijni::Session) -> SharedStats {
 
 /// Like [`install`], with explicit configuration.
 pub fn install_with_config(session: &mut minijni::Session, config: JinnConfig) -> SharedStats {
+    install_prebuilt(session, Jinn::with_config(config))
+}
+
+/// Like [`install`], but attaches a checker constructed elsewhere — for
+/// example on a driver thread that then moves it into a worker thread
+/// (`Jinn` is `Send`). Registers the exception class, wires the
+/// session's recorder into the checker, and returns the stats handle.
+pub fn install_prebuilt(session: &mut minijni::Session, mut jinn: Jinn) -> SharedStats {
     let jvm = session.vm_mut().jvm_mut();
     if jvm.find_class(minijni::JINN_EXCEPTION_CLASS).is_none() {
         jvm.registry_mut()
@@ -1419,7 +1484,6 @@ pub fn install_with_config(session: &mut minijni::Session, config: JinnConfig) -
             .build()
             .expect("register jinn exception class");
     }
-    let mut jinn = Jinn::with_config(config);
     jinn.set_recorder(session.recorder().clone());
     let stats = jinn.stats_handle();
     session.attach(Box::new(jinn));

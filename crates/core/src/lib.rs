@@ -74,6 +74,9 @@ mod checker;
 pub mod codegen;
 mod synth;
 
-pub use checker::{install, install_with_config, Jinn, JinnConfig, JinnStats, SharedStats};
+pub use checker::{
+    install, install_prebuilt, install_with_config, Jinn, JinnConfig, JinnStats, SharedStats,
+    StatsCell,
+};
 pub use codegen::{generate_c_wrappers, CodegenStats};
 pub use synth::{is_encoding_update, synthesize, CheckTable, SynthStats};

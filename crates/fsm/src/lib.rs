@@ -57,10 +57,12 @@
 mod diagram;
 mod machine;
 mod runtime;
+mod sharded;
 
 pub use diagram::{ascii_table, dot};
 pub use machine::{
     ConstraintClass, Direction, EntityKind, MachineBuilder, MachineError, MachineSpec, StateId,
     StateSpec, TransitionBuilder, TransitionId, TransitionSpec, TriggerSpec,
 };
-pub use runtime::{EntityState, ErrorEntered, StateStore, TransitionOutcome};
+pub use runtime::{EntityState, ErrorEntered, StateStore, TransitionOutcome, UnknownTransition};
+pub use sharded::{CrossThreadUse, ShardedOutcome, ShardedStateStore, DEFAULT_SHARDS};

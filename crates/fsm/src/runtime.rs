@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
 
@@ -82,6 +82,30 @@ impl fmt::Display for ErrorEntered {
         )
     }
 }
+
+/// Checker misuse: a transition name that does not exist in the store's
+/// machine. Returned by [`StateStore::try_apply_named`] so the caller
+/// can convert the misuse into a `checker-internal` report instead of
+/// crashing the checked process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTransition {
+    /// The machine that was asked.
+    pub machine: String,
+    /// The unknown transition name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no transition `{}` in machine `{}`",
+            self.name, self.machine
+        )
+    }
+}
+
+impl std::error::Error for UnknownTransition {}
 
 /// A store mapping entities (of key type `K`) to their machine state.
 ///
@@ -179,8 +203,8 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
             self.recorder.event(
                 jinn_obs::event::NO_THREAD,
                 EventKind::FsmTransition {
-                    machine: Rc::from(self.machine.name()),
-                    transition: Rc::from(t.name()),
+                    machine: Arc::from(self.machine.name()),
+                    transition: Arc::from(t.name()),
                     outcome: obs_outcome,
                     entity: Some(EntityTag::of_debug(entity)),
                 },
@@ -192,17 +216,58 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
 
     /// Applies the transition named `name`; see [`StateStore::apply`].
     ///
-    /// # Panics
-    ///
-    /// Panics if no transition of that name exists.
+    /// An unknown transition name is checker misuse, not a program bug:
+    /// it resolves to [`TransitionOutcome::NotApplicable`] (the entity is
+    /// untouched) and is recorded as a `checker-internal` transition so
+    /// the misuse is visible in traces instead of crashing the process.
+    /// Callers that want to surface the misuse as a report should use
+    /// [`StateStore::try_apply_named`] and route the error through the
+    /// interposition layer's `guard_hook`/checker-internal seam.
     pub fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
-        let id = self.machine.transition_id(name).unwrap_or_else(|| {
-            panic!(
-                "no transition `{name}` in machine `{}`",
-                self.machine.name()
-            )
-        });
-        self.apply(entity, id)
+        match self.try_apply_named(entity, name) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                if self.recorder.is_enabled() {
+                    self.recorder.event(
+                        jinn_obs::event::NO_THREAD,
+                        EventKind::FsmTransition {
+                            machine: Arc::from("checker-internal"),
+                            transition: Arc::from(name),
+                            outcome: FsmOutcome::NotApplicable,
+                            entity: Some(EntityTag::of_debug(entity)),
+                        },
+                    );
+                    self.recorder
+                        .fsm("checker-internal", FsmOutcome::NotApplicable);
+                }
+                TransitionOutcome::NotApplicable {
+                    current: self.state_of(entity),
+                }
+            }
+        }
+    }
+
+    /// Applies the transition named `name`, reporting an unknown name as
+    /// an [`UnknownTransition`] error instead of panicking or silently
+    /// ignoring it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownTransition`] when the machine has no transition
+    /// of that name; the entity's state is untouched.
+    pub fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition> {
+        let id = self
+            .machine
+            .transition_id(name)
+            .ok_or_else(|| UnknownTransition {
+                machine: self.machine.name().to_string(),
+                name: name.to_string(),
+            })?;
+        Ok(self.apply(entity, id))
     }
 
     /// Removes an entity from the store (e.g. after its resource dies).
@@ -210,24 +275,41 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
         self.states.remove(entity)
     }
 
-    /// Entities currently in the given state.
-    pub fn entities_in(&self, state: StateId) -> Vec<K> {
-        self.states
+    /// Entities currently in the given state, sorted by entity key.
+    ///
+    /// The underlying map iterates in randomized order per process run;
+    /// sorting keeps leak-sweep report order (and therefore verdict
+    /// sequences) stable across runs.
+    pub fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<K> = self
+            .states
             .iter()
             .filter(|(_, v)| v.state == state)
             .map(|(k, _)| k.clone())
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
-    /// Entities whose current state is *not* the given state; used for
-    /// program-termination leak sweeps ("Jinn reports a leak for any
-    /// resource that has not been released at program termination").
-    pub fn entities_not_in(&self, state: StateId) -> Vec<K> {
-        self.states
+    /// Entities whose current state is *not* the given state, sorted by
+    /// entity key; used for program-termination leak sweeps ("Jinn
+    /// reports a leak for any resource that has not been released at
+    /// program termination"). Sorted for run-to-run determinism.
+    pub fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<K> = self
+            .states
             .iter()
             .filter(|(_, v)| v.state != state)
             .map(|(k, _)| k.clone())
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Clears all tracked entities.
@@ -305,6 +387,34 @@ mod tests {
         let released = store.machine().state_id("Released").unwrap();
         let leaked = store.entities_not_in(released);
         assert_eq!(leaked, vec![1]);
+    }
+
+    #[test]
+    fn unknown_transition_is_reported_not_a_panic() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        store.apply_named(&1, "Acquire");
+        let err = store.try_apply_named(&1, "NoSuchTransition").unwrap_err();
+        assert_eq!(err.machine, "local-ref");
+        assert_eq!(err.name, "NoSuchTransition");
+        assert!(err.to_string().contains("NoSuchTransition"));
+        // The infallible entry point degrades to NotApplicable.
+        let out = store.apply_named(&1, "NoSuchTransition");
+        assert!(!out.applied());
+        assert_eq!(store.state_of(&1), StateId(1), "state untouched");
+    }
+
+    #[test]
+    fn leak_sweep_order_is_sorted() {
+        let mut store: StateStore<u32> = StateStore::new(machine());
+        // Insert in shuffled order; the sweep must come back sorted no
+        // matter the map's iteration order.
+        for k in [9u32, 3, 7, 1, 5] {
+            store.apply_named(&k, "Acquire");
+        }
+        let released = store.machine().state_id("Released").unwrap();
+        assert_eq!(store.entities_not_in(released), vec![1, 3, 5, 7, 9]);
+        let acquired = store.machine().state_id("Acquired").unwrap();
+        assert_eq!(store.entities_in(acquired), vec![1, 3, 5, 7, 9]);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Concurrent entity-state tracking: [`ShardedStateStore`] shards a
+//! [`StateStore`] by the thread that owns each entity.
+//!
+//! The paper encodes JNIEnv thread-locality as a JVM-state constraint:
+//! an entity (a local reference, a frame, an env pointer) belongs to the
+//! thread that created it, and touching it from another thread is itself
+//! a bug (`Error:EnvMismatch` in the jvm-state machine). That constraint
+//! is exactly what makes per-entity state machines shardable: in a
+//! correct program every entity is only ever transitioned by its owning
+//! thread, so each shard's lock is uncontended.
+//!
+//! The cross-shard path exists *because* buggy programs break the
+//! constraint. When a foreign thread touches an entity, the store still
+//! locks the entity's home shard and applies the transition there — it
+//! never deadlocks (one lock at a time, directory before shard) and
+//! never silently rehomes the entity — and additionally surfaces a
+//! [`CrossThreadUse`] so the checker can raise the thread-locality
+//! violation the paper prescribes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use jinn_obs::Recorder;
+
+use crate::machine::{MachineSpec, StateId, TransitionId};
+use crate::runtime::{StateStore, TransitionOutcome, UnknownTransition};
+
+/// Default shard count for [`ShardedStateStore::new`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A foreign-thread touch of an entity: the paper's thread-locality
+/// (`EnvMismatch`) situation, observed at the state-store layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossThreadUse {
+    /// The thread that first touched (and therefore owns) the entity.
+    pub owner: u16,
+    /// The thread performing this transition.
+    pub user: u16,
+}
+
+impl fmt::Display for CrossThreadUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entity owned by thread-{} transitioned from thread-{}",
+            self.owner, self.user
+        )
+    }
+}
+
+/// Outcome of a sharded transition: the machine outcome plus, when the
+/// calling thread is not the entity's owner, the thread-locality
+/// violation that the cross-shard access constitutes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedOutcome {
+    /// What the machine did (identical to the serialized semantics).
+    pub outcome: TransitionOutcome,
+    /// `Some` exactly when a foreign thread touched the entity.
+    pub cross_thread: Option<CrossThreadUse>,
+}
+
+/// Where an entity lives: its home shard and owning thread, fixed at
+/// first touch.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    shard: usize,
+    owner: u16,
+}
+
+/// A concurrency-safe [`StateStore`]: entity state is sharded by the
+/// entity-owning thread, with one mutex per shard and a sharded
+/// directory mapping entities to their home shard.
+///
+/// * Same-thread traffic (the correct-program case) only ever takes the
+///   calling thread's own shard lock plus a directory-shard lock —
+///   disjoint entity sets on distinct threads proceed in parallel.
+/// * Foreign-thread traffic falls back to the entity's *home* shard (the
+///   transition semantics stay identical to a serialized run) and
+///   reports the access as a [`CrossThreadUse`].
+///
+/// Locks are always taken one at a time (directory shard, released, then
+/// state shard), so the store cannot deadlock against itself.
+#[derive(Debug)]
+pub struct ShardedStateStore<K> {
+    shards: Box<[Mutex<StateStore<K>>]>,
+    directory: Box<[Mutex<HashMap<K, Placement>>]>,
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug> ShardedStateStore<K> {
+    /// Creates a store with [`DEFAULT_SHARDS`] shards, each tracking
+    /// instances of `machine`.
+    pub fn new(machine: MachineSpec) -> Self {
+        Self::with_shards(machine, DEFAULT_SHARDS)
+    }
+
+    /// Creates a store with an explicit shard count (minimum 1).
+    pub fn with_shards(machine: MachineSpec, shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedStateStore {
+            shards: (0..n)
+                .map(|_| Mutex::new(StateStore::new(machine.clone())))
+                .collect(),
+            directory: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Attaches an observability recorder to every shard.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for shard in self.shards.iter_mut() {
+            lock(shard).set_recorder(recorder.clone());
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The machine this store tracks.
+    pub fn machine(&self) -> MachineSpec {
+        lock(&self.shards[0]).machine().clone()
+    }
+
+    /// Total tracked entities across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Returns `true` if no entities are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock(s).is_empty())
+    }
+
+    fn dir_shard(&self, entity: &K) -> &Mutex<HashMap<K, Placement>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        entity.hash(&mut h);
+        &self.directory[(h.finish() as usize) % self.directory.len()]
+    }
+
+    /// Looks up — or on first touch, fixes — the entity's placement.
+    /// The home shard is the *owning thread's* shard: `thread % shards`.
+    fn placement(&self, thread: u16, entity: &K) -> Placement {
+        let mut dir = lock(self.dir_shard(entity));
+        *dir.entry(entity.clone()).or_insert_with(|| Placement {
+            shard: thread as usize % self.shards.len(),
+            owner: thread,
+        })
+    }
+
+    /// Current state of `entity` as seen from `thread`, or the initial
+    /// state if never seen.
+    pub fn state_of(&self, thread: u16, entity: &K) -> StateId {
+        let placement = self.placement(thread, entity);
+        lock(&self.shards[placement.shard]).state_of(entity)
+    }
+
+    /// Applies `transition` to `entity` on behalf of `thread`.
+    ///
+    /// The transition is applied on the entity's home shard regardless
+    /// of the calling thread; a foreign-thread call additionally yields
+    /// [`ShardedOutcome::cross_thread`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` does not belong to the store's machine
+    /// (as [`StateStore::apply`]).
+    pub fn apply(&self, thread: u16, entity: &K, transition: TransitionId) -> ShardedOutcome {
+        let placement = self.placement(thread, entity);
+        let outcome = lock(&self.shards[placement.shard]).apply(entity, transition);
+        ShardedOutcome {
+            outcome,
+            cross_thread: (placement.owner != thread).then_some(CrossThreadUse {
+                owner: placement.owner,
+                user: thread,
+            }),
+        }
+    }
+
+    /// Applies the transition named `name`; unknown names resolve to
+    /// `NotApplicable` exactly as [`StateStore::apply_named`].
+    pub fn apply_named(&self, thread: u16, entity: &K, name: &str) -> ShardedOutcome {
+        let placement = self.placement(thread, entity);
+        let outcome = lock(&self.shards[placement.shard]).apply_named(entity, name);
+        ShardedOutcome {
+            outcome,
+            cross_thread: (placement.owner != thread).then_some(CrossThreadUse {
+                owner: placement.owner,
+                user: thread,
+            }),
+        }
+    }
+
+    /// Fallible variant of [`ShardedStateStore::apply_named`]; see
+    /// [`StateStore::try_apply_named`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownTransition`] when the machine has no transition
+    /// of that name.
+    pub fn try_apply_named(
+        &self,
+        thread: u16,
+        entity: &K,
+        name: &str,
+    ) -> Result<ShardedOutcome, UnknownTransition> {
+        let placement = self.placement(thread, entity);
+        let outcome = lock(&self.shards[placement.shard]).try_apply_named(entity, name)?;
+        Ok(ShardedOutcome {
+            outcome,
+            cross_thread: (placement.owner != thread).then_some(CrossThreadUse {
+                owner: placement.owner,
+                user: thread,
+            }),
+        })
+    }
+
+    /// Removes an entity (e.g. after its resource dies). The directory
+    /// entry is dropped too, so a re-created entity is re-homed to the
+    /// thread that next touches it.
+    pub fn evict(&self, entity: &K) -> bool {
+        let placement = {
+            let mut dir = lock(self.dir_shard(entity));
+            dir.remove(entity)
+        };
+        match placement {
+            Some(p) => lock(&self.shards[p.shard]).evict(entity).is_some(),
+            None => false,
+        }
+    }
+
+    /// Entities currently in `state` across all shards, sorted by key —
+    /// identical to the serialized [`StateStore::entities_in`] sweep.
+    pub fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<K> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock(s).entities_in(state))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Entities *not* in `state` across all shards, sorted by key: the
+    /// deterministic program-termination leak sweep.
+    pub fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<K> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock(s).entities_not_in(state))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Clears all tracked entities and placements.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            lock(shard).clear();
+        }
+        for dir in self.directory.iter() {
+            lock(dir).clear();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind};
+
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedStateStore<u64>>();
+    };
+
+    fn machine() -> MachineSpec {
+        MachineSpec::builder("local-ref", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("BeforeAcquire")
+            .state("Acquired")
+            .state("Released")
+            .error_state("Dangling", "use of dangling reference in {function}")
+            .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
+                t.on(Direction::CallJavaToC, "native method taking reference")
+            })
+            .transition("Release", "Acquired", "Released", |t| {
+                t.on(Direction::ReturnCToJava, "any native method")
+            })
+            .transition("UseAfterRelease", "Released", "Dangling", |t| {
+                t.on(Direction::CallCToJava, "JNI function taking reference")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_thread_lifecycle_matches_state_store() {
+        let store: ShardedStateStore<u32> = ShardedStateStore::new(machine());
+        let out = store.apply_named(0, &7, "Acquire");
+        assert!(out.outcome.applied());
+        assert!(out.cross_thread.is_none());
+        assert!(store.apply_named(0, &7, "Release").outcome.applied());
+        let out = store.apply_named(0, &7, "UseAfterRelease");
+        assert!(out.outcome.error().is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn foreign_thread_use_raises_cross_thread_and_still_transitions() {
+        let store: ShardedStateStore<u32> = ShardedStateStore::new(machine());
+        store.apply_named(3, &42, "Acquire");
+        // A foreign thread releases the entity: the transition must still
+        // apply on the home shard (no rehoming, no deadlock)...
+        let out = store.apply_named(9, &42, "Release");
+        assert!(out.outcome.applied());
+        // ...and the access itself is the thread-locality violation.
+        assert_eq!(out.cross_thread, Some(CrossThreadUse { owner: 3, user: 9 }));
+        // The owner still sees the foreign thread's transition.
+        let released = store.machine().state_id("Released").unwrap();
+        assert_eq!(store.state_of(3, &42), released);
+    }
+
+    #[test]
+    fn eviction_rehomes_on_next_touch() {
+        let store: ShardedStateStore<u32> = ShardedStateStore::new(machine());
+        store.apply_named(1, &5, "Acquire");
+        assert!(store.evict(&5));
+        assert!(!store.evict(&5), "second evict is a no-op");
+        let out = store.apply_named(2, &5, "Acquire");
+        assert!(out.cross_thread.is_none(), "entity rehomed after evict");
+    }
+
+    #[test]
+    fn sweeps_are_sorted_across_shards() {
+        let store: ShardedStateStore<u32> = ShardedStateStore::with_shards(machine(), 4);
+        for (thread, key) in [(0u16, 40u32), (1, 31), (2, 22), (3, 13), (0, 4)] {
+            store.apply_named(thread, &key, "Acquire");
+        }
+        let released = store.machine().state_id("Released").unwrap();
+        assert_eq!(store.entities_not_in(released), vec![4, 13, 22, 31, 40]);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn parallel_disjoint_threads_match_serial_multiset() {
+        let store: ShardedStateStore<u64> = ShardedStateStore::new(machine());
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = u64::from(t) * 1000 + i;
+                        assert!(store.apply_named(t, &key, "Acquire").outcome.applied());
+                        if i % 2 == 0 {
+                            assert!(store.apply_named(t, &key, "Release").outcome.applied());
+                        }
+                    }
+                });
+            }
+        });
+        // Serialized reference run over the same per-thread scripts.
+        let mut serial: StateStore<u64> = StateStore::new(machine());
+        for t in 0..4u16 {
+            for i in 0..50u64 {
+                let key = u64::from(t) * 1000 + i;
+                serial.apply_named(&key, "Acquire");
+                if i % 2 == 0 {
+                    serial.apply_named(&key, "Release");
+                }
+            }
+        }
+        let released = store.machine().state_id("Released").unwrap();
+        assert_eq!(
+            store.entities_not_in(released),
+            serial.entities_not_in(released),
+            "sharded leak sweep must equal the serialized sweep"
+        );
+        assert_eq!(store.len(), serial.len());
+    }
+}

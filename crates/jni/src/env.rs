@@ -24,7 +24,7 @@
 //!   └─ pop local frame; translate the returned reference outward
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jinn_obs::{forensics, EventKind, VerdictAction};
 use minijvm::class::names;
@@ -180,8 +180,8 @@ impl<'s> JniEnv<'s> {
                 self.vm.recorder.event(
                     self.thread.0,
                     EventKind::Verdict {
-                        machine: Rc::from(violation.machine),
-                        function: Rc::from(violation.function.as_str()),
+                        machine: Arc::from(violation.machine),
+                        function: Arc::from(violation.function.as_str()),
                         action: match action {
                             ReportAction::Warn => VerdictAction::Warn,
                             ReportAction::AbortVm => VerdictAction::AbortVm,
@@ -439,12 +439,12 @@ impl<'s> JniEnv<'s> {
         }
         // Observability wrapper: Call:Java→C / Return:C→Java events around
         // the native body.
-        let label: Rc<str> = match self.vm.jvm.registry().method(method) {
+        let label: Arc<str> = match self.vm.jvm.registry().method(method) {
             Some(info) => {
                 let class = self.vm.jvm.registry().class(info.class).dotted_name();
-                Rc::from(format!("{class}.{}", info.name).as_str())
+                Arc::from(format!("{class}.{}", info.name).as_str())
             }
-            None => Rc::from("<unknown native method>"),
+            None => Arc::from("<unknown native method>"),
         };
         let thread = self.thread.0;
         self.vm.recorder.event(

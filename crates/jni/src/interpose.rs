@@ -174,6 +174,28 @@ impl Report {
     pub fn new(violation: Violation, action: ReportAction) -> Report {
         Report { violation, action }
     }
+
+    /// A checker-internal misuse report: the checker itself did something
+    /// wrong (e.g. asked a state machine for a transition name that does
+    /// not exist, surfaced by `jinn_fsm::StateStore::try_apply_named`).
+    ///
+    /// This is the deliberate sibling of the `guard_hook` panic path —
+    /// same `checker-internal` machine labelling, but produced by the
+    /// checker converting an error value instead of by unwinding. Like a
+    /// guarded panic it aborts the VM: a misconfigured checker cannot be
+    /// trusted to keep checking.
+    pub fn checker_internal(site: &str, message: impl fmt::Display) -> Report {
+        Report {
+            violation: Violation {
+                machine: "checker-internal",
+                error_state: "Error:Misuse",
+                function: site.to_string(),
+                message: message.to_string(),
+                backtrace: Vec::new(),
+            },
+            action: ReportAction::AbortVm,
+        }
+    }
 }
 
 /// A dynamic checker interposed on language transitions.

@@ -316,3 +316,68 @@ fn env_error_results_are_observable_via_helpers() {
     assert_eq!(env.thread(), thread);
     assert_eq!(env.presented_env(), session.vm().jvm().thread(thread).env());
 }
+
+/// A checker that deliberately reports its own misuse (the seam that
+/// `jinn_fsm::StateStore::try_apply_named` errors are routed through).
+struct MisconfiguredChecker;
+
+impl Interpose for MisconfiguredChecker {
+    fn name(&self) -> &str {
+        "misconfigured"
+    }
+
+    fn pre_jni(&mut self, _jvm: &Jvm, cx: &CallCx<'_>) -> Vec<Report> {
+        // Simulates looking up a transition name that the machine does not
+        // have: instead of panicking (the old behaviour) the checker
+        // converts the error into a checker-internal report.
+        vec![Report::checker_internal(
+            cx.func.name(),
+            "no transition `Aquire` in machine `local-reference`",
+        )]
+    }
+}
+
+#[test]
+fn checker_internal_misuse_report_aborts_like_a_guarded_panic() {
+    let (vm, entry, args) = {
+        let mut vm = Vm::permissive();
+        let (_c, entry) = vm.define_native_class(
+            "drv/M",
+            "m",
+            "(Ljava/lang/Object;)V",
+            true,
+            Rc::new(|env, args| {
+                typed::get_version(env)?;
+                let _ = args;
+                Ok(JValue::Void)
+            }),
+        );
+        let class = vm.jvm().find_class("java/lang/Object").unwrap();
+        let oop = vm.jvm_mut().alloc_object(class);
+        let thread = vm.jvm().main_thread();
+        let arg = JValue::Ref(vm.jvm_mut().new_local(thread, oop));
+        (vm, entry, vec![arg])
+    };
+    let thread = vm.jvm().main_thread();
+    let mut session = Session::new(vm);
+    session.attach(Box::new(MisconfiguredChecker));
+    let outcome = session.run_native(thread, entry, &args);
+    match outcome {
+        RunOutcome::Died(d) => {
+            assert!(
+                d.message.contains("checker-internal") && d.message.contains("Aquire"),
+                "diagnosis names the misuse: {d}"
+            );
+        }
+        other => panic!("checker misuse must abort the VM, got {other:?}"),
+    }
+    // The report is labelled exactly like the guard_hook panic path.
+    assert!(
+        session
+            .log()
+            .iter()
+            .any(|l| l.contains("FATAL") && l.contains("checker-internal/Error:Misuse")),
+        "log: {:?}",
+        session.log()
+    );
+}

@@ -8,7 +8,7 @@
 //! context.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Thread tag used when an event is not attributable to a thread (e.g. a
 /// pin-table operation observed below the thread layer).
@@ -17,17 +17,17 @@ pub const NO_THREAD: u16 = u16::MAX;
 /// A label identifying the entity (reference, buffer, monitor…) an FSM
 /// transition acted on. Cheap to clone; compared by text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EntityTag(pub Rc<str>);
+pub struct EntityTag(pub Arc<str>);
 
 impl EntityTag {
     /// Tags an entity by an explicit label.
     pub fn new(label: impl AsRef<str>) -> EntityTag {
-        EntityTag(Rc::from(label.as_ref()))
+        EntityTag(Arc::from(label.as_ref()))
     }
 
     /// Tags an entity by its `Debug` rendering.
     pub fn of_debug(value: &impl fmt::Debug) -> EntityTag {
-        EntityTag(Rc::from(format!("{value:?}").as_str()))
+        EntityTag(Arc::from(format!("{value:?}").as_str()))
     }
 
     /// The label text.
@@ -108,12 +108,12 @@ pub enum EventKind {
     /// `Call:Java→C`: managed code entered a native method.
     NativeEnter {
         /// `Class.method` of the native method.
-        method: Rc<str>,
+        method: Arc<str>,
     },
     /// `Return:C→Java`: a native method returned.
     NativeExit {
         /// `Class.method` of the native method.
-        method: Rc<str>,
+        method: Arc<str>,
         /// Wall-clock duration of the native body (hooks included).
         nanos: u64,
         /// Whether the method ended in an error.
@@ -122,9 +122,9 @@ pub enum EventKind {
     /// A state-machine transition was attempted on an entity.
     FsmTransition {
         /// Machine name (e.g. `local-reference`).
-        machine: Rc<str>,
+        machine: Arc<str>,
         /// Transition name (e.g. `UseAfterRelease`).
-        transition: Rc<str>,
+        transition: Arc<str>,
         /// What happened.
         outcome: FsmOutcome,
         /// The entity acted on, when the caller knows it.
@@ -159,9 +159,9 @@ pub enum EventKind {
     /// A checker reported a violation.
     Verdict {
         /// The violated machine.
-        machine: Rc<str>,
+        machine: Arc<str>,
         /// The function at which it was detected.
-        function: Rc<str>,
+        function: Arc<str>,
         /// The checker's response.
         action: VerdictAction,
     },

@@ -191,7 +191,7 @@ mod tests {
     use super::*;
     use crate::event::{EntityTag, FsmOutcome, VerdictAction};
     use crate::metrics::MetricsRegistry;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn ev(seq: u64, thread: u16, kind: EventKind) -> TraceEvent {
         TraceEvent {
@@ -231,8 +231,8 @@ mod tests {
                 1,
                 1,
                 EventKind::FsmTransition {
-                    machine: Rc::from("local-reference"),
-                    transition: Rc::from("Use"),
+                    machine: Arc::from("local-reference"),
+                    transition: Arc::from("Use"),
                     outcome: FsmOutcome::Error,
                     entity: Some(EntityTag::new("r#2")),
                 },
@@ -241,8 +241,8 @@ mod tests {
                 2,
                 1,
                 EventKind::Verdict {
-                    machine: Rc::from("local-reference"),
-                    function: Rc::from("GetObjectClass"),
+                    machine: Arc::from("local-reference"),
+                    function: Arc::from("GetObjectClass"),
                     action: VerdictAction::ThrowException,
                 },
             ),

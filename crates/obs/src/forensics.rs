@@ -151,14 +151,14 @@ pub fn capture(
 mod tests {
     use super::*;
     use crate::event::{EntityTag, NO_THREAD};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn transition(r: &Recorder, thread: u16, machine: &str, outcome: FsmOutcome, entity: &str) {
         r.event(
             thread,
             EventKind::FsmTransition {
-                machine: Rc::from(machine),
-                transition: Rc::from("t"),
+                machine: Arc::from(machine),
+                transition: Arc::from("t"),
                 outcome,
                 entity: Some(EntityTag::new(entity)),
             },

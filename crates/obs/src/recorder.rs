@@ -1,14 +1,19 @@
 //! The [`Recorder`]: the cheaply clonable handle every substrate crate
 //! carries.
 //!
-//! A recorder is either *enabled* — backed by a shared ring + metrics
-//! registry — or *disabled*, in which case every recording call is a
-//! single `Option` discriminant check and an immediate return. The
-//! workspace is single-threaded by design (`Rc`-based object graph), so
-//! interior mutability is `RefCell`, not locks.
+//! A recorder is either *enabled* — backed by per-thread ring shards + a
+//! metrics registry — or *disabled*, in which case every recording call
+//! is a single `Option` discriminant check and an immediate return.
+//!
+//! The backend is thread-safe: the handle is `Send + Sync`, event
+//! sequence numbers come from one atomic counter, and the trace ring is
+//! *sharded by recording thread* so concurrent checkers never contend on
+//! a single ring lock. Export ([`Recorder::events`]) is the merge point:
+//! it locks each shard once, splices the per-thread rings together, and
+//! re-establishes global order by sequence number.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::event::{EventKind, FsmOutcome, TraceEvent};
@@ -18,20 +23,41 @@ use crate::ring::TraceRing;
 /// Default trace-ring capacity for [`Recorder::enabled`].
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
+/// Number of per-thread ring shards an enabled recorder keeps. Events
+/// recorded by thread `t` land in shard `t % RING_SHARDS`; merging back
+/// into one timeline happens on export.
+pub const RING_SHARDS: usize = 16;
+
 #[derive(Debug)]
 struct Inner {
     start: Instant,
-    ring: RefCell<TraceRing>,
-    metrics: RefCell<MetricsRegistry>,
+    /// Global event sequence: total events ever recorded.
+    seq: AtomicU64,
+    /// Per-thread ring shards (each of the configured capacity).
+    rings: Box<[Mutex<TraceRing>]>,
+    metrics: Mutex<MetricsRegistry>,
 }
 
-/// Handle to the observability backend. Cloning shares the backend.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking recorder user must not cascade into every other
+    // thread's recording path: recover the data under the poison.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Inner {
+    fn shard(&self, thread: u16) -> &Mutex<TraceRing> {
+        &self.rings[thread as usize % self.rings.len()]
+    }
+}
+
+/// Handle to the observability backend. Cloning shares the backend;
+/// clones may be moved freely across threads.
 ///
 /// The default recorder is disabled: every call is a no-op after one
 /// branch. Construct with [`Recorder::enabled`] to start recording.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    inner: Option<Rc<Inner>>,
+    inner: Option<Arc<Inner>>,
 }
 
 impl Recorder {
@@ -40,14 +66,22 @@ impl Recorder {
         Recorder { inner: None }
     }
 
-    /// A recorder backed by a fresh ring of `ring_capacity` events and an
-    /// empty metrics registry.
+    /// A recorder backed by [`RING_SHARDS`] per-thread rings of
+    /// `ring_capacity` events each and an empty metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_capacity` is zero.
     pub fn enabled(ring_capacity: usize) -> Recorder {
+        let rings: Vec<Mutex<TraceRing>> = (0..RING_SHARDS)
+            .map(|_| Mutex::new(TraceRing::new(ring_capacity)))
+            .collect();
         Recorder {
-            inner: Some(Rc::new(Inner {
+            inner: Some(Arc::new(Inner {
                 start: Instant::now(),
-                ring: RefCell::new(TraceRing::new(ring_capacity)),
-                metrics: RefCell::new(MetricsRegistry::new()),
+                seq: AtomicU64::new(0),
+                rings: rings.into_boxed_slice(),
+                metrics: Mutex::new(MetricsRegistry::new()),
             })),
         }
     }
@@ -73,14 +107,13 @@ impl Recorder {
         }
     }
 
-    /// Records an event into the ring.
+    /// Records an event into the recording thread's ring shard.
     #[inline]
     pub fn event(&self, thread: u16, kind: EventKind) {
         if let Some(inner) = &self.inner {
             let micros = inner.start.elapsed().as_micros() as u64;
-            let mut ring = inner.ring.borrow_mut();
-            let seq = ring.total_recorded();
-            ring.push(TraceEvent {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            lock(inner.shard(thread)).push(TraceEvent {
                 seq,
                 micros,
                 thread,
@@ -93,7 +126,7 @@ impl Recorder {
     #[inline]
     pub fn jni_call(&self, func: &'static str, nanos: u64, failed: bool) {
         if let Some(inner) = &self.inner {
-            inner.metrics.borrow_mut().jni_call(func, nanos, failed);
+            lock(&inner.metrics).jni_call(func, nanos, failed);
         }
     }
 
@@ -101,7 +134,7 @@ impl Recorder {
     #[inline]
     pub fn fsm(&self, machine: &str, outcome: FsmOutcome) {
         if let Some(inner) = &self.inner {
-            inner.metrics.borrow_mut().fsm(machine, outcome);
+            lock(&inner.metrics).fsm(machine, outcome);
         }
     }
 
@@ -109,7 +142,7 @@ impl Recorder {
     #[inline]
     pub fn count(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
-            inner.metrics.borrow_mut().add(name, delta);
+            lock(&inner.metrics).add(name, delta);
         }
     }
 
@@ -117,15 +150,25 @@ impl Recorder {
     pub fn snapshot(&self) -> Option<Snapshot> {
         self.inner.as_ref().map(|inner| Snapshot {
             taken_at_micros: inner.start.elapsed().as_micros() as u64,
-            metrics: inner.metrics.borrow().clone(),
+            metrics: lock(&inner.metrics).clone(),
         })
     }
 
-    /// The events currently held by the ring, oldest-first (empty when
-    /// disabled).
+    /// The events currently held, merged across the per-thread ring
+    /// shards into one sequence-ordered timeline (empty when disabled).
+    ///
+    /// This is the merge-on-export step: each shard is locked exactly
+    /// once, so a concurrent recorder stalls at most one shard at a time.
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.ring.borrow().to_vec(),
+            Some(inner) => {
+                let mut merged: Vec<TraceEvent> = Vec::new();
+                for ring in inner.rings.iter() {
+                    merged.extend(lock(ring).iter().cloned());
+                }
+                merged.sort_unstable_by_key(|e| e.seq);
+                merged
+            }
             None => Vec::new(),
         }
     }
@@ -133,16 +176,17 @@ impl Recorder {
     /// Total events ever recorded, including evicted ones.
     pub fn total_events(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.ring.borrow().total_recorded(),
+            Some(inner) => inner.seq.load(Ordering::Relaxed),
             None => 0,
         }
     }
 
-    /// Events recorded but evicted from the ring (0 when disabled). When
-    /// non-zero, [`Recorder::events`] is a truncated view of the run.
+    /// Events recorded but evicted from their shard (0 when disabled).
+    /// When non-zero, [`Recorder::events`] is a truncated view of the
+    /// run.
     pub fn dropped_events(&self) -> u64 {
         match &self.inner {
-            Some(inner) => inner.ring.borrow().dropped_events(),
+            Some(inner) => inner.rings.iter().map(|r| lock(r).dropped_events()).sum(),
             None => 0,
         }
     }
@@ -151,10 +195,9 @@ impl Recorder {
     /// disabled. Evicted events are surfaced as a `dropped-events`
     /// metadata instant.
     pub fn chrome_trace(&self) -> Option<String> {
-        self.inner.as_ref().map(|inner| {
-            let ring = inner.ring.borrow();
-            crate::export::chrome_trace_with_drops(&ring.to_vec(), ring.dropped_events())
-        })
+        self.inner
+            .as_ref()
+            .map(|_| crate::export::chrome_trace_with_drops(&self.events(), self.dropped_events()))
     }
 
     /// A plain-text dump of events + metrics, or `None` when disabled.
@@ -173,6 +216,12 @@ impl Recorder {
 mod tests {
     use super::*;
     use crate::event::NO_THREAD;
+
+    // The whole point of the Arc/atomic backend: handles cross threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    };
 
     #[test]
     fn disabled_recorder_drops_everything() {
@@ -239,5 +288,55 @@ mod tests {
         let snap = r.snapshot().unwrap();
         let (_, m) = snap.metrics.jni_functions().next().unwrap();
         assert_eq!(m.calls, 1);
+    }
+
+    #[test]
+    fn export_merges_thread_shards_in_seq_order() {
+        let r = Recorder::enabled(8);
+        // Interleave three threads; each lands in a different shard.
+        for i in 0..9u16 {
+            r.event(i % 3, EventKind::GcSafepoint { collected: false });
+        }
+        let events = r.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..9).collect::<Vec<u64>>(), "merged by seq");
+        let threads: Vec<u16> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_eviction_is_per_thread() {
+        let r = Recorder::enabled(2);
+        // Thread 0 overflows its own shard; thread 1 must keep its events.
+        for _ in 0..5 {
+            r.event(0, EventKind::GcSafepoint { collected: false });
+        }
+        r.event(1, EventKind::GcSafepoint { collected: true });
+        assert_eq!(r.dropped_events(), 3);
+        let held: Vec<u16> = r.events().iter().map(|e| e.thread).collect();
+        assert_eq!(held, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn concurrent_recording_from_spawned_threads() {
+        let r = Recorder::enabled(1024);
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        r.event(t, EventKind::GcSafepoint { collected: false });
+                        r.count("gc.safepoints", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.total_events(), 400);
+        assert_eq!(r.dropped_events(), 0);
+        let events = r.events();
+        assert_eq!(events.len(), 400);
+        // Seqs are unique and the export is sorted.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(r.snapshot().unwrap().metrics.counter("gc.safepoints"), 400);
     }
 }

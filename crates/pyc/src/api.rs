@@ -10,7 +10,7 @@
 //! ([`PyInterpose`]) before and after its raw semantics.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -388,8 +388,8 @@ impl<'a> PyEnv<'a> {
         self.recorder.event(
             self.thread.0,
             EventKind::FsmTransition {
-                machine: Rc::from(v.machine),
-                transition: Rc::from("Violation"),
+                machine: Arc::from(v.machine),
+                transition: Arc::from("Violation"),
                 outcome: FsmOutcome::Error,
                 entity: v.entity.as_deref().map(EntityTag::new),
             },
@@ -398,8 +398,8 @@ impl<'a> PyEnv<'a> {
         self.recorder.event(
             self.thread.0,
             EventKind::Verdict {
-                machine: Rc::from(v.machine),
-                function: Rc::from(v.function.as_str()),
+                machine: Arc::from(v.machine),
+                function: Arc::from(v.function.as_str()),
                 action: VerdictAction::ThrowException,
             },
         );

@@ -1,6 +1,6 @@
 //! Python/C sessions and the Section 7 example programs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jinn_obs::{forensics, BugReport, EventKind, ForensicsConfig, Recorder, VerdictAction};
 
@@ -184,8 +184,8 @@ impl PySession {
                 self.recorder.event(
                     Python::MAIN.0,
                     EventKind::Verdict {
-                        machine: Rc::from(v.machine),
-                        function: Rc::from(v.function.as_str()),
+                        machine: Arc::from(v.machine),
+                        function: Arc::from(v.function.as_str()),
                         action: VerdictAction::Warn,
                     },
                 );

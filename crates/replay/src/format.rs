@@ -784,7 +784,11 @@ impl<'a> Decoder<'a> {
     }
 
     fn istr(&mut self) -> Result<String, TraceError> {
-        let id = self.varint()? as usize;
+        // A bare `varint()? as usize` would silently truncate intern ids on
+        // 32-bit targets; go through the checked u32 path like the
+        // neighbouring fields so an oversized id is a corrupt trace, not a
+        // wrong string.
+        let id = self.u32v()? as usize;
         self.interns
             .get(id)
             .cloned()
@@ -1271,6 +1275,33 @@ mod tests {
         // Valid header, no End.
         let mut dec = Decoder::new(b"JTRC\x01\x00").unwrap();
         assert!(matches!(dec.next_record(), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_intern_id_is_corrupt_not_truncated() {
+        // A varint above u32::MAX where an intern id belongs: with the old
+        // `varint()? as usize` decode, a 32-bit target would wrap this to
+        // a small id and silently resolve the wrong string. It must be a
+        // corrupt-trace error on every target.
+        let mut bytes = b"JTRC\x01\x00".to_vec();
+        varint_into(&mut bytes, u64::from(u32::MAX) + 1);
+        let mut dec = Decoder::new(&bytes).unwrap();
+        match dec.istr() {
+            Err(TraceError::Corrupt(msg)) => {
+                assert!(msg.contains("out of range"), "unexpected message: {msg}");
+            }
+            other => panic!("oversized intern id must be Corrupt, got {other:?}"),
+        }
+        // An in-range id that was never defined stays a dangling-id error.
+        let mut bytes = b"JTRC\x01\x00".to_vec();
+        varint_into(&mut bytes, 3);
+        let mut dec = Decoder::new(&bytes).unwrap();
+        match dec.istr() {
+            Err(TraceError::Corrupt(msg)) => {
+                assert!(msg.contains("dangling intern id 3"), "{msg}");
+            }
+            other => panic!("dangling intern id must be Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -160,6 +160,72 @@ fn verdict_sequence(bytes: &[u8]) -> Vec<u8> {
     out
 }
 
+/// A program that leaks several globals and pinned buffers, so the
+/// VMDeath leak sweep fires with multiple entities at once. The sweep
+/// iterates hash maps internally; its report order must be sorted by
+/// entity key, or verdict sequences differ between process runs.
+fn leaky_program() -> Program {
+    Program {
+        name: "LeakSweep".into(),
+        pitfall: None,
+        machine: "global-reference",
+        error_state: "Error:Leak",
+        leaks: true,
+        gc_period: None,
+        build: Box::new(|vm| {
+            let (_c, entry) = vm.define_native_class(
+                "gen/LeakSweep",
+                "run",
+                "(Ljava/lang/Object;)V",
+                true,
+                Rc::new(|env, args| {
+                    let anchor = args[0].as_ref().expect("anchor argument");
+                    for _ in 0..5 {
+                        typed::new_global_ref(env, anchor)?; // never deleted
+                    }
+                    for _ in 0..3 {
+                        let arr = typed::new_int_array(env, 4)?;
+                        typed::get_int_array_elements(env, arr)?; // never released
+                        typed::delete_local_ref(env, arr)?;
+                    }
+                    Ok(JValue::Void)
+                }),
+            );
+            let class = vm
+                .jvm()
+                .find_class("java/lang/Object")
+                .expect("bootstrapped");
+            let oop = vm.jvm_mut().alloc_object(class);
+            let thread = vm.jvm().main_thread();
+            let anchor = vm.jvm_mut().new_local(thread, oop);
+            jinn_microbench::Setup {
+                entries: vec![entry],
+                first_args: vec![JValue::Ref(anchor)],
+            }
+        }),
+    }
+}
+
+/// Leak-sweep coverage for the determinism guard: multiple simultaneous
+/// leaks must record byte-identically and replay to identical verdict
+/// sequences — this is what sorting `entities_in`/`entities_not_in` (and
+/// the checker's own pin/monitor sweeps) buys.
+#[test]
+fn leak_sweep_trace_is_deterministic() {
+    let first = record_program(&leaky_program());
+    let second = record_program(&leaky_program());
+    assert_eq!(first, second, "re-recording a leaky run is byte-identical");
+    assert!(Trace::parse(&first).is_ok());
+
+    let verdicts_a = verdict_sequence(&first);
+    let verdicts_b = verdict_sequence(&first);
+    assert!(!verdicts_a.is_empty());
+    assert_eq!(
+        verdicts_a, verdicts_b,
+        "leak-sweep verdict sequences must agree verbatim across replays"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

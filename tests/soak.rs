@@ -25,7 +25,7 @@ fn long_workload_under_jinn_is_clean_and_gc_heavy() {
         "no leaks after 40k transitions"
     );
 
-    let s = stats.borrow();
+    let s = stats.snapshot();
     assert!(
         s.checks_executed > 50_000,
         "checks ran: {}",

@@ -327,8 +327,8 @@ impl Jinn {
             self.recorder.event(
                 jinn_obs::event::NO_THREAD,
                 EventKind::FsmTransition {
-                    machine: Arc::from(machine),
-                    transition: Arc::from(error_state),
+                    machine: self.recorder.label(machine),
+                    transition: self.recorder.label(error_state),
                     outcome: FsmOutcome::Error,
                     entity: None,
                 },
@@ -421,11 +421,14 @@ impl Jinn {
         r: &JRef,
     ) {
         if self.recorder.is_enabled() {
+            // Labels come from the recorder's intern cache: the handful
+            // of machine/transition names the checker records are
+            // allocated once per run, not once per event.
             self.recorder.event(
                 thread.0,
                 EventKind::FsmTransition {
-                    machine: Arc::from(machine),
-                    transition: Arc::from(transition),
+                    machine: self.recorder.label(machine),
+                    transition: self.recorder.label(transition),
                     outcome: FsmOutcome::Moved,
                     entity: Some(EntityTag::of_debug(r)),
                 },
@@ -441,8 +444,8 @@ impl Jinn {
             self.recorder.event(
                 thread.0,
                 EventKind::FsmTransition {
-                    machine: Arc::from(machine),
-                    transition: Arc::from("Use"),
+                    machine: self.recorder.label(machine),
+                    transition: self.recorder.label("Use"),
                     outcome: FsmOutcome::Error,
                     entity: Some(EntityTag::of_debug(&r)),
                 },

@@ -384,6 +384,22 @@ pub fn generate_c_wrappers() -> (String, CodegenStats) {
     let _ = writeln!(out, "#include \"jinn_runtime.h\"");
     let _ = writeln!(out);
 
+    // Function ids, resolved once at synthesis time: every name in the
+    // registry becomes a dense u16 constant (jni.h order), so the
+    // generated runtime dispatches, saves, and counts by id — no name
+    // lookups on the interposition hot path.
+    let _ = writeln!(
+        out,
+        "/* --- generated function ids (u16, jni.h order) --------------- */"
+    );
+    let _ = writeln!(out, "enum jinn_func_id {{");
+    for (func, spec) in reg.iter() {
+        let _ = writeln!(out, "  JINN_FUNC_{} = {},", spec.name, func.0);
+    }
+    let _ = writeln!(out, "  JINN_FUNC_COUNT = {}", reg.len());
+    let _ = writeln!(out, "}};");
+    let _ = writeln!(out);
+
     // Forward declarations (the generated header section).
     let _ = writeln!(
         out,
@@ -423,8 +439,14 @@ pub fn generate_c_wrappers() -> (String, CodegenStats) {
 
         // Prologue: thread lookup and transition accounting (the
         // interposition framework cost measured in Table 3 column 4).
+        // Accounting is keyed by the synthesis-time function id, not the
+        // name, so per-call bookkeeping is an array index.
         let _ = writeln!(out, "  jinn_thread_t* jinn_t = jinn_current_thread();");
-        let _ = writeln!(out, "  jinn_count_transition(jinn_t, JINN_CALL_C_TO_JAVA);");
+        let _ = writeln!(
+            out,
+            "  jinn_count_transition(jinn_t, JINN_CALL_C_TO_JAVA, JINN_FUNC_{});",
+            spec.name
+        );
         if is_variadic_form {
             let _ = writeln!(out, "  jvalue jinn_args_buf[JINN_MAX_ARGS];");
             if spec.name.ends_with('V') {
@@ -481,7 +503,8 @@ pub fn generate_c_wrappers() -> (String, CodegenStats) {
         }
         let _ = writeln!(
             out,
-            "  jinn_count_transition(jinn_t, JINN_RETURN_JAVA_TO_C);"
+            "  jinn_count_transition(jinn_t, JINN_RETURN_JAVA_TO_C, JINN_FUNC_{});",
+            spec.name
         );
         if spec.ret == RetKind::Void {
             let _ = writeln!(out, "}}");
@@ -502,18 +525,14 @@ pub fn generate_c_wrappers() -> (String, CodegenStats) {
         out,
         "void jinn_interpose_all(struct JNINativeInterface_* functions) {{"
     );
+    // The saved-function table is indexed by the generated id enum, so
+    // un-interposed calls forward through one array read.
     for (_, spec) in reg.iter() {
-        let lower = {
-            let mut s = String::new();
-            for (i, c) in spec.name.chars().enumerate() {
-                if c.is_ascii_uppercase() && i > 0 {
-                    s.push('_');
-                }
-                s.push(c.to_ascii_lowercase());
-            }
-            s
-        };
-        let _ = writeln!(out, "  jinn_saved.{lower} = functions->{};", spec.name);
+        let _ = writeln!(
+            out,
+            "  jinn_saved[JINN_FUNC_{}] = (void (*)()) functions->{};",
+            spec.name, spec.name
+        );
         let _ = writeln!(
             out,
             "  functions->{} = ({}(*)()) jinn_wrapped_{};",
@@ -563,6 +582,22 @@ mod tests {
             "generated {}",
             stats.generated_lines
         );
+    }
+
+    #[test]
+    fn emits_interned_function_id_enum() {
+        use minijni::registry::FuncId;
+        let (code, _) = generate_c_wrappers();
+        // The enum mirrors the Rust-side registry ids exactly, so the
+        // generated C and the checker agree on every function's u16 id.
+        assert!(code.contains(&format!(
+            "JINN_FUNC_GetVersion = {},",
+            FuncId::of("GetVersion").0
+        )));
+        assert!(code.contains("JINN_FUNC_COUNT = 229"));
+        // The interposition table and transition counters are id-keyed.
+        assert!(code.contains("jinn_saved[JINN_FUNC_GetVersion]"));
+        assert!(code.contains("JINN_CALL_C_TO_JAVA, JINN_FUNC_GetVersion"));
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! Compiled dispatch: lowering a [`MachineSpec`] into dense tables so
+//! the per-event path is a couple of array reads instead of name
+//! resolution and hash probes.
+//!
+//! The paper's pitch is that synthesized checkers are cheap enough to
+//! leave on; this module moves everything that *can* be done once — at
+//! synthesis/build time — out of the per-event path:
+//!
+//! * [`CompiledMachine`] lowers the spec into a dense `states ×
+//!   transitions` next-state matrix ([`NOT_APPLICABLE`] sentinel for
+//!   cells where the transition's source state does not match), plus a
+//!   pre-resolved [`ErrorEntered`] prototype per error-entering
+//!   transition and pre-interned `Arc<str>` labels, so applying a
+//!   transition is one bounds-checked array read and one branch, and an
+//!   enabled recorder costs zero label allocations per event.
+//! * [`CompactStore`] tracks entity state in a slab (`Vec` indexed by
+//!   the key's dense index) when the key is a small integer — the
+//!   dominant case for references and handles — and falls back to a
+//!   hash map for sparse or non-integer keys (see [`DenseKey`] and
+//!   [`DENSE_LIMIT`]).
+//!
+//! The original [`StateStore`](crate::StateStore) remains the reference
+//! encoding; [`DiffStore`](crate::DiffStore) cross-checks the two and
+//! the equivalence proptest in `tests/engine_equivalence.rs` proves
+//! outcome parity on arbitrary machines and event streams.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
+
+use crate::machine::{MachineSpec, StateId, TransitionId};
+use crate::runtime::{EntityState, ErrorEntered, TransitionOutcome, UnknownTransition};
+
+/// Sentinel cell value in the next-state matrix: the transition's source
+/// state does not match, so applying it is a no-op (`NotApplicable`).
+///
+/// A machine may therefore declare at most `u16::MAX` states; the
+/// builder's `u16` state ids already enforce that bound.
+pub const NOT_APPLICABLE: u16 = u16::MAX;
+
+/// Slab growth cap for [`CompactStore`]: keys whose
+/// [`DenseKey::dense_index`] is below this go to the `Vec`-indexed slab
+/// (2 bytes per possible key); keys at or above it — or keys with no
+/// dense index at all — spill to a hash map. This keeps a store with a
+/// few huge keys (e.g. pointer-valued handles) from allocating a
+/// multi-gigabyte slab.
+pub const DENSE_LIMIT: usize = 1 << 20;
+
+/// Slot value for "entity not tracked" in the slab.
+const VACANT: u16 = u16::MAX;
+
+/// A [`MachineSpec`] lowered into dense dispatch tables.
+///
+/// Lowering rules:
+///
+/// * `next[from.index() * transitions + t.index()]` holds the
+///   destination state id, or [`NOT_APPLICABLE`] when `from` is not the
+///   transition's source state. One `(state, transition)` read answers
+///   "does it apply, and where does it go".
+/// * Each transition into an error state gets a fully formatted
+///   [`ErrorEntered`] prototype at compile time; an error hit clones the
+///   prototype instead of formatting strings on the hot path.
+/// * Machine and transition names are interned as `Arc<str>` once, so an
+///   enabled recorder clones a pointer per event instead of allocating.
+#[derive(Debug, Clone)]
+pub struct CompiledMachine {
+    spec: MachineSpec,
+    machine_label: Arc<str>,
+    transition_labels: Box<[Arc<str>]>,
+    by_name: HashMap<String, TransitionId>,
+    transitions: usize,
+    initial: StateId,
+    next: Box<[u16]>,
+    error_protos: Box<[Option<Arc<ErrorEntered>>]>,
+}
+
+impl CompiledMachine {
+    /// Lowers `spec` into dense tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine declares `u16::MAX` or more states — the
+    /// top state id is reserved as the [`NOT_APPLICABLE`] sentinel.
+    pub fn compile(spec: MachineSpec) -> CompiledMachine {
+        assert!(
+            spec.states().len() < usize::from(u16::MAX),
+            "machine `{}` has too many states to compile (the top u16 is \
+             the not-applicable sentinel)",
+            spec.name()
+        );
+        let states = spec.states().len();
+        let transitions = spec.transitions().len();
+        let mut next = vec![NOT_APPLICABLE; states * transitions].into_boxed_slice();
+        let mut error_protos: Vec<Option<Arc<ErrorEntered>>> = Vec::with_capacity(transitions);
+        let mut transition_labels: Vec<Arc<str>> = Vec::with_capacity(transitions);
+        let mut by_name = HashMap::with_capacity(transitions);
+        for (i, t) in spec.transitions().iter().enumerate() {
+            next[t.from().index() * transitions + i] = t.to().0;
+            let dest = spec.state(t.to());
+            error_protos.push(dest.diagnosis().map(|diag| {
+                Arc::new(ErrorEntered {
+                    machine: spec.name().to_string(),
+                    transition: t.name().to_string(),
+                    state: dest.name().to_string(),
+                    diagnosis: diag.to_string(),
+                })
+            }));
+            transition_labels.push(Arc::from(t.name()));
+            by_name.insert(t.name().to_string(), TransitionId(i as u16));
+        }
+        CompiledMachine {
+            machine_label: Arc::from(spec.name()),
+            transition_labels: transition_labels.into_boxed_slice(),
+            by_name,
+            transitions,
+            initial: spec.initial(),
+            next,
+            error_protos: error_protos.into_boxed_slice(),
+            spec,
+        }
+    }
+
+    /// The machine's initial state, cached out of the spec so the hot
+    /// path never chases the spec pointer.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The spec this machine was lowered from.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        self.spec.name()
+    }
+
+    /// The pre-interned machine-name label.
+    pub fn machine_label(&self) -> &Arc<str> {
+        &self.machine_label
+    }
+
+    /// The pre-interned label of a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not belong to this machine.
+    pub fn transition_label(&self, t: TransitionId) -> &Arc<str> {
+        &self.transition_labels[t.index()]
+    }
+
+    /// Resolves a transition name to its id (one hash probe; the
+    /// reference spec scans linearly).
+    pub fn transition_id(&self, name: &str) -> Option<TransitionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Where applying `t` in state `from` leads: `Some(destination)` if
+    /// the transition's source matches, `None` otherwise. This is the
+    /// whole hot path: one multiply-add index and one sentinel compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or `t` does not belong to this machine (the
+    /// matrix read is bounds-checked).
+    #[inline]
+    pub fn next_state(&self, from: StateId, t: TransitionId) -> Option<StateId> {
+        let cell = self.next[from.index() * self.transitions + t.index()];
+        (cell != NOT_APPLICABLE).then_some(StateId(cell))
+    }
+
+    /// The pre-resolved error record for a transition whose destination
+    /// is an error state, `None` for transitions to non-error states.
+    #[inline]
+    pub fn error_proto(&self, t: TransitionId) -> Option<&Arc<ErrorEntered>> {
+        self.error_protos[t.index()].as_ref()
+    }
+}
+
+/// Keys that may have a *dense index*: a small non-negative integer
+/// image suitable for direct `Vec` indexing.
+///
+/// [`CompactStore`] keeps entities whose dense index is below
+/// [`DENSE_LIMIT`] in a slab and spills the rest to a hash map, so the
+/// two methods must round-trip: `from_dense_index(k.dense_index()?)`
+/// must reconstruct `k` exactly (the leak sweep uses it to recover
+/// keys from slab slots).
+pub trait DenseKey: Eq + Hash + Clone + fmt::Debug {
+    /// The key's dense index, or `None` if it has no small-integer image
+    /// (always-`None` implementations simply route every key to the
+    /// hash fallback).
+    fn dense_index(&self) -> Option<usize>;
+
+    /// Reconstructs the key from an index previously returned by
+    /// [`DenseKey::dense_index`].
+    fn from_dense_index(index: usize) -> Option<Self>;
+}
+
+macro_rules! impl_dense_key {
+    ($($t:ty),*) => {$(
+        impl DenseKey for $t {
+            #[inline]
+            fn dense_index(&self) -> Option<usize> {
+                usize::try_from(*self).ok()
+            }
+
+            #[inline]
+            fn from_dense_index(index: usize) -> Option<Self> {
+                <$t>::try_from(index).ok()
+            }
+        }
+    )*};
+}
+impl_dense_key!(u8, u16, u32, u64, usize);
+
+/// An entity map tuned for dense integer keys, dispatching through a
+/// [`CompiledMachine`].
+///
+/// Entity state lives in a slab — `slab[key.dense_index()]` holds the
+/// current state id, [`VACANT`] when untracked — so the steady-state
+/// `apply` is two array reads and one write, with no hashing and no key
+/// clone. Keys outside the dense range (index ≥ [`DENSE_LIMIT`], or no
+/// dense index at all) spill to a hash map with identical semantics.
+///
+/// Outcomes, leak-sweep order, and recorded observability events are
+/// bit-for-bit identical to the reference
+/// [`StateStore`](crate::StateStore); see
+/// [`DiffStore`](crate::DiffStore) and the equivalence proptest.
+#[derive(Debug, Clone)]
+pub struct CompactStore<K> {
+    machine: Arc<CompiledMachine>,
+    /// Per-store copy of the next-state matrix (it is tiny — `states ×
+    /// transitions × 2` bytes), so the per-event read is one pointer
+    /// chase from `self` instead of two through the shared `Arc`.
+    next: Box<[u16]>,
+    transitions: usize,
+    initial: StateId,
+    slab: Vec<u16>,
+    slab_len: usize,
+    spill: HashMap<K, StateId>,
+    recorder: Recorder,
+}
+
+impl<K: DenseKey> CompactStore<K> {
+    /// Compiles `machine` and creates an empty store.
+    pub fn new(machine: MachineSpec) -> Self {
+        Self::with_compiled(Arc::new(CompiledMachine::compile(machine)))
+    }
+
+    /// Creates an empty store over an already compiled machine (lets
+    /// shards share one set of tables).
+    pub fn with_compiled(machine: Arc<CompiledMachine>) -> Self {
+        CompactStore {
+            next: machine.next.clone(),
+            transitions: machine.transitions,
+            initial: machine.initial,
+            machine,
+            slab: Vec::new(),
+            slab_len: 0,
+            spill: HashMap::new(),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// The store-local copy of [`CompiledMachine::next_state`].
+    #[inline]
+    fn next_state(&self, from: StateId, t: TransitionId) -> Option<StateId> {
+        let cell = self.next[from.index() * self.transitions + t.index()];
+        (cell != NOT_APPLICABLE).then_some(StateId(cell))
+    }
+
+    /// Attaches an observability recorder; events are identical to the
+    /// reference store's, but labels come from the compiled machine's
+    /// interned `Arc<str>`s (zero allocations per event).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The compiled machine this store dispatches through.
+    pub fn compiled(&self) -> &CompiledMachine {
+        &self.machine
+    }
+
+    /// The machine spec this store tracks.
+    pub fn machine(&self) -> &MachineSpec {
+        self.machine.spec()
+    }
+
+    /// Number of tracked entities.
+    pub fn len(&self) -> usize {
+        self.slab_len + self.spill.len()
+    }
+
+    /// Returns `true` if no entities are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn slab_index(entity: &K) -> Option<usize> {
+        entity.dense_index().filter(|&i| i < DENSE_LIMIT)
+    }
+
+    /// Current state of `entity`, or the initial state if never seen.
+    #[inline]
+    pub fn state_of(&self, entity: &K) -> StateId {
+        match Self::slab_index(entity) {
+            Some(i) => match self.slab.get(i) {
+                Some(&slot) if slot != VACANT => StateId(slot),
+                _ => self.initial,
+            },
+            None => self.spill.get(entity).copied().unwrap_or(self.initial),
+        }
+    }
+
+    /// Returns `true` if the entity has been attached (transitioned at
+    /// least once).
+    pub fn contains(&self, entity: &K) -> bool {
+        match Self::slab_index(entity) {
+            Some(i) => matches!(self.slab.get(i), Some(&slot) if slot != VACANT),
+            None => self.spill.contains_key(entity),
+        }
+    }
+
+    /// Applies `transition` to `entity`; semantics identical to
+    /// [`StateStore::apply`](crate::StateStore::apply).
+    ///
+    /// The dense-key steady state is one slab read, one matrix read, and
+    /// one slab write — no hashing, no key clone, no allocation (error
+    /// hits clone the pre-formatted `Arc` prototype).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` does not belong to the store's machine.
+    pub fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
+        let outcome = match Self::slab_index(entity) {
+            Some(i) => {
+                // Growing on a miss even when the transition ends up
+                // NotApplicable is deliberate: the slot stays VACANT, so
+                // semantics are unchanged, and the hot path below needs
+                // exactly one bounds check.
+                if i >= self.slab.len() {
+                    self.slab.resize(i + 1, VACANT);
+                }
+                let slot = &mut self.slab[i];
+                let current = if *slot == VACANT {
+                    self.initial
+                } else {
+                    StateId(*slot)
+                };
+                let cell = self.next[current.index() * self.transitions + transition.index()];
+                match (cell != NOT_APPLICABLE).then_some(StateId(cell)) {
+                    None => TransitionOutcome::NotApplicable { current },
+                    Some(to) => {
+                        if *slot == VACANT {
+                            self.slab_len += 1;
+                        }
+                        *slot = to.0;
+                        match self.machine.error_proto(transition) {
+                            Some(proto) => TransitionOutcome::Error(Arc::clone(proto)),
+                            None => TransitionOutcome::Moved { from: current, to },
+                        }
+                    }
+                }
+            }
+            None => {
+                let current = self.spill.get(entity).copied().unwrap_or(self.initial);
+                match self.next_state(current, transition) {
+                    None => TransitionOutcome::NotApplicable { current },
+                    Some(to) => {
+                        self.spill.insert(entity.clone(), to);
+                        match self.machine.error_proto(transition) {
+                            Some(proto) => TransitionOutcome::Error(Arc::clone(proto)),
+                            None => TransitionOutcome::Moved { from: current, to },
+                        }
+                    }
+                }
+            }
+        };
+        if self.recorder.is_enabled() {
+            let obs_outcome = match &outcome {
+                TransitionOutcome::Moved { .. } => FsmOutcome::Moved,
+                TransitionOutcome::Error(_) => FsmOutcome::Error,
+                TransitionOutcome::NotApplicable { .. } => FsmOutcome::NotApplicable,
+            };
+            self.recorder.event(
+                jinn_obs::event::NO_THREAD,
+                EventKind::FsmTransition {
+                    machine: self.machine.machine_label().clone(),
+                    transition: self.machine.transition_label(transition).clone(),
+                    outcome: obs_outcome,
+                    entity: Some(EntityTag::of_debug(entity)),
+                },
+            );
+            self.recorder.fsm(self.machine.name(), obs_outcome);
+        }
+        outcome
+    }
+
+    /// Applies the transition named `name`; unknown names degrade to
+    /// `NotApplicable` exactly as
+    /// [`StateStore::apply_named`](crate::StateStore::apply_named).
+    pub fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
+        match self.try_apply_named(entity, name) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                if self.recorder.is_enabled() {
+                    self.recorder.event(
+                        jinn_obs::event::NO_THREAD,
+                        EventKind::FsmTransition {
+                            machine: self.recorder.label("checker-internal"),
+                            transition: self.recorder.label(name),
+                            outcome: FsmOutcome::NotApplicable,
+                            entity: Some(EntityTag::of_debug(entity)),
+                        },
+                    );
+                    self.recorder
+                        .fsm("checker-internal", FsmOutcome::NotApplicable);
+                }
+                TransitionOutcome::NotApplicable {
+                    current: self.state_of(entity),
+                }
+            }
+        }
+    }
+
+    /// Applies the transition named `name`, reporting unknown names as
+    /// [`UnknownTransition`]. The name resolves through the compiled
+    /// hash index (the reference store scans the spec linearly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownTransition`] when the machine has no transition
+    /// of that name; the entity's state is untouched.
+    pub fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition> {
+        let id = self
+            .machine
+            .transition_id(name)
+            .ok_or_else(|| UnknownTransition {
+                machine: self.machine.name().to_string(),
+                name: name.to_string(),
+            })?;
+        Ok(self.apply(entity, id))
+    }
+
+    /// Removes an entity from the store (e.g. after its resource dies).
+    pub fn evict(&mut self, entity: &K) -> Option<EntityState> {
+        match Self::slab_index(entity) {
+            Some(i) => match self.slab.get_mut(i) {
+                Some(slot) if *slot != VACANT => {
+                    let state = StateId(*slot);
+                    *slot = VACANT;
+                    self.slab_len -= 1;
+                    Some(EntityState::of(state))
+                }
+                _ => None,
+            },
+            None => self.spill.remove(entity).map(EntityState::of),
+        }
+    }
+
+    fn sweep(&self, pred: impl Fn(StateId) -> bool) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<K> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != VACANT && pred(StateId(slot)))
+            .map(|(i, _)| K::from_dense_index(i).expect("slab index came from dense_index"))
+            .collect();
+        out.extend(
+            self.spill
+                .iter()
+                .filter(|&(_, &state)| pred(state))
+                .map(|(k, _)| k.clone()),
+        );
+        out.sort_unstable();
+        out
+    }
+
+    /// Entities currently in the given state, sorted by entity key.
+    pub fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        self.sweep(|s| s == state)
+    }
+
+    /// Entities whose current state is *not* the given state, sorted by
+    /// entity key: the deterministic program-termination leak sweep.
+    pub fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        self.sweep(|s| s != state)
+    }
+
+    /// Clears all tracked entities (the slab's capacity is kept).
+    pub fn clear(&mut self) {
+        self.slab.clear();
+        self.slab_len = 0;
+        self.spill.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind};
+    use crate::runtime::StateStore;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::builder("local-ref", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("BeforeAcquire")
+            .state("Acquired")
+            .state("Released")
+            .error_state("Dangling", "use of dangling reference in {function}")
+            .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
+                t.on(Direction::CallJavaToC, "native method taking reference")
+            })
+            .transition("Release", "Acquired", "Released", |t| {
+                t.on(Direction::ReturnCToJava, "any native method")
+            })
+            .transition("UseAfterRelease", "Released", "Dangling", |t| {
+                t.on(Direction::CallCToJava, "JNI function taking reference")
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_matches_spec() {
+        let spec = machine();
+        let compiled = CompiledMachine::compile(spec.clone());
+        for (si, _) in spec.states().iter().enumerate() {
+            let from = StateId(si as u16);
+            for (ti, t) in spec.transitions().iter().enumerate() {
+                let id = TransitionId(ti as u16);
+                let expect = (t.from() == from).then_some(t.to());
+                assert_eq!(compiled.next_state(from, id), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn error_protos_are_preformatted() {
+        let compiled = CompiledMachine::compile(machine());
+        let use_after = compiled.transition_id("UseAfterRelease").unwrap();
+        let proto = compiled.error_proto(use_after).expect("error transition");
+        assert_eq!(proto.machine, "local-ref");
+        assert_eq!(proto.state, "Dangling");
+        assert!(compiled
+            .error_proto(compiled.transition_id("Acquire").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn lifecycle_matches_reference() {
+        let mut compact: CompactStore<u32> = CompactStore::new(machine());
+        let mut reference: StateStore<u32> = StateStore::new(machine());
+        for key in [7u32, 9, 7] {
+            for name in ["Acquire", "Release", "UseAfterRelease", "Release"] {
+                assert_eq!(
+                    compact.apply_named(&key, name),
+                    reference.apply_named(&key, name),
+                    "key {key}, transition {name}"
+                );
+            }
+        }
+        assert_eq!(compact.len(), reference.len());
+    }
+
+    #[test]
+    fn sparse_keys_spill_to_the_hash_map() {
+        let mut store: CompactStore<u64> = CompactStore::new(machine());
+        let dense = 42u64;
+        let sparse = (DENSE_LIMIT as u64) + 99; // beyond the slab cap
+        store.apply_named(&dense, "Acquire");
+        store.apply_named(&sparse, "Acquire");
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&dense));
+        assert!(store.contains(&sparse));
+        let acquired = store.machine().state_id("Acquired").unwrap();
+        assert_eq!(store.entities_in(acquired), vec![dense, sparse]);
+        assert!(store.evict(&sparse).is_some());
+        assert!(store.evict(&sparse).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn evict_and_clear_maintain_len() {
+        let mut store: CompactStore<u32> = CompactStore::new(machine());
+        store.apply_named(&1, "Acquire");
+        store.apply_named(&2, "Acquire");
+        assert_eq!(store.len(), 2);
+        let evicted = store.evict(&1).expect("tracked");
+        assert_eq!(
+            evicted.state(),
+            store.machine().state_id("Acquired").unwrap()
+        );
+        assert_eq!(store.len(), 1);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.state_of(&2), store.machine().initial());
+    }
+
+    #[test]
+    fn unknown_transition_is_reported_not_a_panic() {
+        let mut store: CompactStore<u32> = CompactStore::new(machine());
+        store.apply_named(&1, "Acquire");
+        let err = store.try_apply_named(&1, "NoSuchTransition").unwrap_err();
+        assert_eq!(err.machine, "local-ref");
+        assert_eq!(err.name, "NoSuchTransition");
+        let out = store.apply_named(&1, "NoSuchTransition");
+        assert!(!out.applied());
+    }
+}

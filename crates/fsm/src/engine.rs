@@ -1,0 +1,401 @@
+//! The [`Engine`] abstraction: one interface over the two entity-state
+//! encodings — the reference [`StateStore`] and the compiled
+//! [`CompactStore`] — plus [`DiffStore`], the differential-equivalence
+//! adapter that runs both and asserts they agree.
+//!
+//! [`ShardedStateStore`](crate::ShardedStateStore) is generic over an
+//! engine, so the concurrent store can host either encoding (or the
+//! differential pair) without duplicating the sharding logic.
+
+use std::fmt;
+use std::hash::Hash;
+
+use jinn_obs::Recorder;
+
+use crate::compiled::{CompactStore, DenseKey};
+use crate::machine::{MachineSpec, StateId, TransitionId};
+use crate::runtime::{EntityState, StateStore, TransitionOutcome, UnknownTransition};
+
+/// A dispatch engine: an entity-state map plus transition application
+/// for one machine. Implementations must agree outcome-for-outcome —
+/// [`DiffStore`] and the equivalence proptest enforce it.
+pub trait Engine<K> {
+    /// Creates an empty engine tracking instances of `machine`.
+    fn for_machine(machine: MachineSpec) -> Self
+    where
+        Self: Sized;
+
+    /// Attaches an observability recorder.
+    fn set_recorder(&mut self, recorder: Recorder);
+
+    /// The machine spec this engine tracks.
+    fn spec(&self) -> &MachineSpec;
+
+    /// Number of tracked entities.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no entities are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current state of `entity`, or the initial state if never seen.
+    fn state_of(&self, entity: &K) -> StateId;
+
+    /// Returns `true` if the entity has been attached.
+    fn contains(&self, entity: &K) -> bool;
+
+    /// Applies a transition by id; see
+    /// [`StateStore::apply`](crate::StateStore::apply).
+    fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome;
+
+    /// Applies a transition by name, degrading unknown names to
+    /// `NotApplicable`.
+    fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome;
+
+    /// Applies a transition by name, reporting unknown names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownTransition`] when the machine has no transition
+    /// of that name.
+    fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition>;
+
+    /// Removes an entity from the engine.
+    fn evict(&mut self, entity: &K) -> Option<EntityState>;
+
+    /// Entities currently in `state`, sorted by key.
+    fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord;
+
+    /// Entities *not* in `state`, sorted by key (the leak sweep).
+    fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord;
+
+    /// Clears all tracked entities.
+    fn clear(&mut self);
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug> Engine<K> for StateStore<K> {
+    fn for_machine(machine: MachineSpec) -> Self {
+        StateStore::new(machine)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        StateStore::set_recorder(self, recorder);
+    }
+
+    fn spec(&self) -> &MachineSpec {
+        self.machine()
+    }
+
+    fn len(&self) -> usize {
+        StateStore::len(self)
+    }
+
+    fn state_of(&self, entity: &K) -> StateId {
+        StateStore::state_of(self, entity)
+    }
+
+    fn contains(&self, entity: &K) -> bool {
+        StateStore::contains(self, entity)
+    }
+
+    fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
+        StateStore::apply(self, entity, transition)
+    }
+
+    fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
+        StateStore::apply_named(self, entity, name)
+    }
+
+    fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition> {
+        StateStore::try_apply_named(self, entity, name)
+    }
+
+    fn evict(&mut self, entity: &K) -> Option<EntityState> {
+        StateStore::evict(self, entity)
+    }
+
+    fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        StateStore::entities_in(self, state)
+    }
+
+    fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        StateStore::entities_not_in(self, state)
+    }
+
+    fn clear(&mut self) {
+        StateStore::clear(self);
+    }
+}
+
+impl<K: DenseKey> Engine<K> for CompactStore<K> {
+    fn for_machine(machine: MachineSpec) -> Self {
+        CompactStore::new(machine)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        CompactStore::set_recorder(self, recorder);
+    }
+
+    fn spec(&self) -> &MachineSpec {
+        self.machine()
+    }
+
+    fn len(&self) -> usize {
+        CompactStore::len(self)
+    }
+
+    fn state_of(&self, entity: &K) -> StateId {
+        CompactStore::state_of(self, entity)
+    }
+
+    fn contains(&self, entity: &K) -> bool {
+        CompactStore::contains(self, entity)
+    }
+
+    fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
+        CompactStore::apply(self, entity, transition)
+    }
+
+    fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
+        CompactStore::apply_named(self, entity, name)
+    }
+
+    fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition> {
+        CompactStore::try_apply_named(self, entity, name)
+    }
+
+    fn evict(&mut self, entity: &K) -> Option<EntityState> {
+        CompactStore::evict(self, entity)
+    }
+
+    fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        CompactStore::entities_in(self, state)
+    }
+
+    fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        CompactStore::entities_not_in(self, state)
+    }
+
+    fn clear(&mut self) {
+        CompactStore::clear(self);
+    }
+}
+
+/// The differential-equivalence adapter: every operation runs against
+/// both the reference [`StateStore`] and the compiled [`CompactStore`],
+/// and any divergence panics with both answers.
+///
+/// Use it as a drop-in engine when validating a new key type or machine
+/// shape; the cost is roughly the sum of both encodings. Only the
+/// reference side records observability events (attaching the recorder
+/// to both would double every trace event).
+#[derive(Debug, Clone)]
+pub struct DiffStore<K> {
+    reference: StateStore<K>,
+    compiled: CompactStore<K>,
+}
+
+impl<K: DenseKey> DiffStore<K> {
+    /// Creates a differential pair tracking instances of `machine`.
+    pub fn new(machine: MachineSpec) -> Self {
+        DiffStore {
+            reference: StateStore::new(machine.clone()),
+            compiled: CompactStore::new(machine),
+        }
+    }
+
+    /// The reference side.
+    pub fn reference(&self) -> &StateStore<K> {
+        &self.reference
+    }
+
+    /// The compiled side.
+    pub fn compiled(&self) -> &CompactStore<K> {
+        &self.compiled
+    }
+
+    fn check<T: PartialEq + fmt::Debug>(&self, what: &str, reference: T, compiled: T) -> T {
+        assert_eq!(
+            reference,
+            compiled,
+            "engine divergence in {what} (machine `{}`): reference vs compiled",
+            self.reference.machine().name()
+        );
+        reference
+    }
+}
+
+impl<K: DenseKey> Engine<K> for DiffStore<K> {
+    fn for_machine(machine: MachineSpec) -> Self {
+        DiffStore::new(machine)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        // Reference side only: one event stream, not two.
+        self.reference.set_recorder(recorder);
+    }
+
+    fn spec(&self) -> &MachineSpec {
+        self.reference.machine()
+    }
+
+    fn len(&self) -> usize {
+        self.check("len", self.reference.len(), self.compiled.len())
+    }
+
+    fn state_of(&self, entity: &K) -> StateId {
+        self.check(
+            "state_of",
+            self.reference.state_of(entity),
+            self.compiled.state_of(entity),
+        )
+    }
+
+    fn contains(&self, entity: &K) -> bool {
+        self.check(
+            "contains",
+            self.reference.contains(entity),
+            self.compiled.contains(entity),
+        )
+    }
+
+    fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
+        let a = self.reference.apply(entity, transition);
+        let b = self.compiled.apply(entity, transition);
+        self.check("apply", a, b)
+    }
+
+    fn apply_named(&mut self, entity: &K, name: &str) -> TransitionOutcome {
+        let a = self.reference.apply_named(entity, name);
+        let b = self.compiled.apply_named(entity, name);
+        self.check("apply_named", a, b)
+    }
+
+    fn try_apply_named(
+        &mut self,
+        entity: &K,
+        name: &str,
+    ) -> Result<TransitionOutcome, UnknownTransition> {
+        let a = self.reference.try_apply_named(entity, name);
+        let b = self.compiled.try_apply_named(entity, name);
+        self.check("try_apply_named", a, b)
+    }
+
+    fn evict(&mut self, entity: &K) -> Option<EntityState> {
+        let a = self.reference.evict(entity);
+        let b = self.compiled.evict(entity);
+        self.check("evict", a, b)
+    }
+
+    fn entities_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let a = self.reference.entities_in(state);
+        let b = self.compiled.entities_in(state);
+        self.check("entities_in", a, b)
+    }
+
+    fn entities_not_in(&self, state: StateId) -> Vec<K>
+    where
+        K: Ord,
+    {
+        let a = self.reference.entities_not_in(state);
+        let b = self.compiled.entities_not_in(state);
+        self.check("entities_not_in", a, b)
+    }
+
+    fn clear(&mut self) {
+        self.reference.clear();
+        self.compiled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind};
+
+    fn machine() -> MachineSpec {
+        MachineSpec::builder("local-ref", ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("BeforeAcquire")
+            .state("Acquired")
+            .state("Released")
+            .error_state("Dangling", "use of dangling reference in {function}")
+            .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
+                t.on(Direction::CallJavaToC, "native method taking reference")
+            })
+            .transition("Release", "Acquired", "Released", |t| {
+                t.on(Direction::ReturnCToJava, "any native method")
+            })
+            .transition("UseAfterRelease", "Released", "Dangling", |t| {
+                t.on(Direction::CallCToJava, "JNI function taking reference")
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// Drives the same generic script over any engine.
+    fn drive<E: Engine<u64>>() -> (Vec<TransitionOutcome>, Vec<u64>) {
+        let mut engine = E::for_machine(machine());
+        let mut outcomes = Vec::new();
+        for key in [1u64, 2, 3, 1, 2] {
+            outcomes.push(engine.apply_named(&key, "Acquire"));
+            if key % 2 == 0 {
+                outcomes.push(engine.apply_named(&key, "Release"));
+                outcomes.push(engine.apply_named(&key, "UseAfterRelease"));
+            }
+        }
+        engine.evict(&3);
+        let released = engine.spec().state_id("Released").unwrap();
+        (outcomes, engine.entities_not_in(released))
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_scripted_run() {
+        let reference = drive::<StateStore<u64>>();
+        let compiled = drive::<CompactStore<u64>>();
+        let differential = drive::<DiffStore<u64>>();
+        assert_eq!(reference, compiled);
+        assert_eq!(reference, differential);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn diff_store_propagates_reference_panics() {
+        let mut store: DiffStore<u64> = DiffStore::new(machine());
+        // An out-of-range id panics in both engines; the reference one
+        // fires first.
+        store.apply(&1, TransitionId(99));
+    }
+}

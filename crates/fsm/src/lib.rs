@@ -54,15 +54,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod diagram;
+mod engine;
 mod machine;
 mod runtime;
 mod sharded;
 
+pub use compiled::{CompactStore, CompiledMachine, DenseKey, DENSE_LIMIT, NOT_APPLICABLE};
 pub use diagram::{ascii_table, dot};
+pub use engine::{DiffStore, Engine};
 pub use machine::{
     ConstraintClass, Direction, EntityKind, MachineBuilder, MachineError, MachineSpec, StateId,
     StateSpec, TransitionBuilder, TransitionId, TransitionSpec, TriggerSpec,
 };
 pub use runtime::{EntityState, ErrorEntered, StateStore, TransitionOutcome, UnknownTransition};
-pub use sharded::{CrossThreadUse, ShardedOutcome, ShardedStateStore, DEFAULT_SHARDS};
+pub use sharded::{
+    CrossThreadUse, ShardedCompactStore, ShardedOutcome, ShardedStateStore, DEFAULT_SHARDS,
+};

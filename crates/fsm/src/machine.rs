@@ -465,7 +465,7 @@ impl MachineBuilder {
 
     fn push_state(&mut self, state: StateSpec) {
         if self.error.is_none() && self.states.iter().any(|s| s.name == state.name) {
-            self.error = Some(MachineError::DuplicateState(state.name.clone()));
+            self.error = Some(MachineError::DuplicateState(state.name));
             return;
         }
         self.states.push(state);

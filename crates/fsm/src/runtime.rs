@@ -17,6 +17,12 @@ pub struct EntityState {
 }
 
 impl EntityState {
+    /// An entity sitting in `state` (shared with the compiled engine so
+    /// both encodings hand back the same eviction record).
+    pub(crate) fn of(state: StateId) -> EntityState {
+        EntityState { state }
+    }
+
     /// The current state.
     pub fn state(self) -> StateId {
         self.state
@@ -33,8 +39,11 @@ pub enum TransitionOutcome {
         /// State after the transition.
         to: StateId,
     },
-    /// The transition applied and the destination is an error state: a bug.
-    Error(ErrorEntered),
+    /// The transition applied and the destination is an error state: a
+    /// bug. The record is behind an `Arc` so the outcome stays two words
+    /// and an error hit in the compiled engine is a pointer clone, not
+    /// four string allocations.
+    Error(Arc<ErrorEntered>),
     /// The transition's source state did not match the entity's current
     /// state; nothing changed. (Transition checks in the paper's wrappers
     /// are conditional: `if e satisfies the transition check …`.)
@@ -49,7 +58,7 @@ impl TransitionOutcome {
     /// Returns the error record if the outcome entered an error state.
     pub fn error(&self) -> Option<&ErrorEntered> {
         match self {
-            TransitionOutcome::Error(e) => Some(e),
+            TransitionOutcome::Error(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -119,12 +128,25 @@ pub struct StateStore<K> {
     machine: MachineSpec,
     states: HashMap<K, EntityState>,
     recorder: Recorder,
+    /// Interned machine/transition names, built once at construction so
+    /// an enabled recorder clones an `Arc` per event instead of
+    /// allocating a fresh label.
+    machine_label: Arc<str>,
+    transition_labels: Box<[Arc<str>]>,
 }
 
 impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
     /// Creates an empty store for instances of `machine`.
     pub fn new(machine: MachineSpec) -> Self {
+        let machine_label = Arc::from(machine.name());
+        let transition_labels = machine
+            .transitions()
+            .iter()
+            .map(|t| Arc::from(t.name()))
+            .collect();
         StateStore {
+            machine_label,
+            transition_labels,
             machine,
             states: HashMap::new(),
             recorder: Recorder::disabled(),
@@ -175,21 +197,34 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
     /// Panics if `transition` does not belong to the store's machine.
     pub fn apply(&mut self, entity: &K, transition: TransitionId) -> TransitionOutcome {
         let t = self.machine.transition(transition);
-        let current = self.state_of(entity);
+        // One probe on the steady-state path: an already-tracked entity
+        // is read and updated through the same `get_mut` slot, and the
+        // key is only cloned (and re-probed for insertion) on first
+        // touch.
+        let slot = self.states.get_mut(entity);
+        let current = slot
+            .as_ref()
+            .map(|e| e.state)
+            .unwrap_or_else(|| self.machine.initial());
         let outcome = if current != t.from() {
             TransitionOutcome::NotApplicable { current }
         } else {
             let to = t.to();
-            self.states
-                .insert(entity.clone(), EntityState { state: to });
+            match slot {
+                Some(e) => e.state = to,
+                None => {
+                    self.states
+                        .insert(entity.clone(), EntityState { state: to });
+                }
+            }
             let dest = self.machine.state(to);
             if let Some(diag) = dest.diagnosis() {
-                TransitionOutcome::Error(ErrorEntered {
+                TransitionOutcome::Error(Arc::new(ErrorEntered {
                     machine: self.machine.name().to_string(),
                     transition: t.name().to_string(),
                     state: dest.name().to_string(),
                     diagnosis: diag.to_string(),
-                })
+                }))
             } else {
                 TransitionOutcome::Moved { from: current, to }
             }
@@ -203,8 +238,8 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
             self.recorder.event(
                 jinn_obs::event::NO_THREAD,
                 EventKind::FsmTransition {
-                    machine: Arc::from(self.machine.name()),
-                    transition: Arc::from(t.name()),
+                    machine: self.machine_label.clone(),
+                    transition: self.transition_labels[transition.index()].clone(),
                     outcome: obs_outcome,
                     entity: Some(EntityTag::of_debug(entity)),
                 },
@@ -228,11 +263,14 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
             Ok(outcome) => outcome,
             Err(_) => {
                 if self.recorder.is_enabled() {
+                    // Interned through the recorder's label cache:
+                    // repeated misses on the same unknown name allocate
+                    // its label once, not twice per miss.
                     self.recorder.event(
                         jinn_obs::event::NO_THREAD,
                         EventKind::FsmTransition {
-                            machine: Arc::from("checker-internal"),
-                            transition: Arc::from(name),
+                            machine: self.recorder.label("checker-internal"),
+                            transition: self.recorder.label(name),
                             outcome: FsmOutcome::NotApplicable,
                             entity: Some(EntityTag::of_debug(entity)),
                         },

@@ -24,6 +24,8 @@ use std::sync::Mutex;
 
 use jinn_obs::Recorder;
 
+use crate::compiled::CompactStore;
+use crate::engine::Engine;
 use crate::machine::{MachineSpec, StateId, TransitionId};
 use crate::runtime::{StateStore, TransitionOutcome, UnknownTransition};
 
@@ -82,13 +84,21 @@ struct Placement {
 ///
 /// Locks are always taken one at a time (directory shard, released, then
 /// state shard), so the store cannot deadlock against itself.
+///
+/// The store is generic over its per-shard [`Engine`]; the default is
+/// the reference [`StateStore`], and [`ShardedCompactStore`] hosts the
+/// compiled [`CompactStore`] in the same sharding shell.
 #[derive(Debug)]
-pub struct ShardedStateStore<K> {
-    shards: Box<[Mutex<StateStore<K>>]>,
+pub struct ShardedStateStore<K, E = StateStore<K>> {
+    shards: Box<[Mutex<E>]>,
     directory: Box<[Mutex<HashMap<K, Placement>>]>,
 }
 
-impl<K: Eq + Hash + Clone + fmt::Debug> ShardedStateStore<K> {
+/// A [`ShardedStateStore`] whose shards dispatch through the compiled
+/// engine's dense tables.
+pub type ShardedCompactStore<K> = ShardedStateStore<K, CompactStore<K>>;
+
+impl<K: Eq + Hash + Clone + fmt::Debug, E: Engine<K>> ShardedStateStore<K, E> {
     /// Creates a store with [`DEFAULT_SHARDS`] shards, each tracking
     /// instances of `machine`.
     pub fn new(machine: MachineSpec) -> Self {
@@ -100,7 +110,7 @@ impl<K: Eq + Hash + Clone + fmt::Debug> ShardedStateStore<K> {
         let n = shards.max(1);
         ShardedStateStore {
             shards: (0..n)
-                .map(|_| Mutex::new(StateStore::new(machine.clone())))
+                .map(|_| Mutex::new(E::for_machine(machine.clone())))
                 .collect(),
             directory: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
         }
@@ -120,7 +130,7 @@ impl<K: Eq + Hash + Clone + fmt::Debug> ShardedStateStore<K> {
 
     /// The machine this store tracks.
     pub fn machine(&self) -> MachineSpec {
-        lock(&self.shards[0]).machine().clone()
+        lock(&self.shards[0]).spec().clone()
     }
 
     /// Total tracked entities across all shards.
@@ -283,6 +293,7 @@ mod tests {
     const _: fn() = || {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShardedStateStore<u64>>();
+        assert_send_sync::<ShardedCompactStore<u64>>();
     };
 
     fn machine() -> MachineSpec {
@@ -352,6 +363,27 @@ mod tests {
         assert_eq!(store.entities_not_in(released), vec![4, 13, 22, 31, 40]);
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn compiled_shards_match_reference_shards() {
+        let reference: ShardedStateStore<u32> = ShardedStateStore::with_shards(machine(), 4);
+        let compiled: ShardedCompactStore<u32> = ShardedStateStore::with_shards(machine(), 4);
+        for (thread, key) in [(0u16, 40u32), (1, 31), (2, 22), (1, 31), (9, 31)] {
+            for name in ["Acquire", "Release", "UseAfterRelease"] {
+                assert_eq!(
+                    reference.apply_named(thread, &key, name),
+                    compiled.apply_named(thread, &key, name),
+                    "thread {thread}, key {key}, transition {name}"
+                );
+            }
+        }
+        let released = reference.machine().state_id("Released").unwrap();
+        assert_eq!(
+            reference.entities_not_in(released),
+            compiled.entities_not_in(released)
+        );
+        assert_eq!(reference.len(), compiled.len());
     }
 
     #[test]

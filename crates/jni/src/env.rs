@@ -586,7 +586,7 @@ impl<'s> JniEnv<'s> {
                 match self.vm.jvm.resolve(self.thread, r) {
                     Ok(o) => ret_oop = o,
                     Err(fault) => {
-                        let spec = FuncId::of("PopLocalFrame").spec();
+                        let spec = crate::func_id!("PopLocalFrame").spec();
                         let outcome = self.decide_ub(&UbSituation::RefFault { fault, func: spec });
                         match outcome {
                             UbOutcome::Proceed => {

@@ -50,6 +50,24 @@ impl fmt::Display for FuncId {
     }
 }
 
+/// Resolves a JNI function name to its [`FuncId`] with a one-time
+/// registry probe per call site.
+///
+/// [`FuncId::of`] hashes the name through the by-name registry index on
+/// every call; code that dispatches per event (the typed wrappers, the
+/// interposition fast paths) caches the id in a per-call-site `OnceLock`
+/// instead, so after first use the hot path carries only the `u16` id.
+/// Resolution still panics on an unknown name — at first use, exactly
+/// like [`FuncId::of`].
+#[macro_export]
+macro_rules! func_id {
+    ($name:expr) => {{
+        static CACHED: ::std::sync::OnceLock<$crate::registry::FuncId> =
+            ::std::sync::OnceLock::new();
+        *CACHED.get_or_init(|| $crate::registry::FuncId::of($name))
+    }};
+}
+
 /// What kind of value a parameter carries across the boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParamKind {

@@ -105,13 +105,14 @@ fn ret_prims(r: JniRet) -> PrimArray {
 
 /// `GetVersion`.
 pub fn get_version(env: &mut JniEnv<'_>) -> R<i32> {
-    env.invoke(FuncId::of("GetVersion"), vec![]).map(ret_int)
+    env.invoke(crate::func_id!("GetVersion"), vec![])
+        .map(ret_int)
 }
 
 /// `DefineClass`.
 pub fn define_class(env: &mut JniEnv<'_>, name: &str, loader: JRef, buf: &[u8]) -> R<JRef> {
     env.invoke(
-        FuncId::of("DefineClass"),
+        crate::func_id!("DefineClass"),
         vec![
             JniArg::Name(name.into()),
             JniArg::Ref(loader),
@@ -124,20 +125,29 @@ pub fn define_class(env: &mut JniEnv<'_>, name: &str, loader: JRef, buf: &[u8]) 
 
 /// `FindClass`.
 pub fn find_class(env: &mut JniEnv<'_>, name: &str) -> R<JRef> {
-    env.invoke(FuncId::of("FindClass"), vec![JniArg::Name(name.into())])
-        .map(ret_ref)
+    env.invoke(
+        crate::func_id!("FindClass"),
+        vec![JniArg::Name(name.into())],
+    )
+    .map(ret_ref)
 }
 
 /// `FromReflectedMethod`.
 pub fn from_reflected_method(env: &mut JniEnv<'_>, method: JRef) -> R<MethodId> {
-    env.invoke(FuncId::of("FromReflectedMethod"), vec![JniArg::Ref(method)])
-        .map(ret_method)
+    env.invoke(
+        crate::func_id!("FromReflectedMethod"),
+        vec![JniArg::Ref(method)],
+    )
+    .map(ret_method)
 }
 
 /// `FromReflectedField`.
 pub fn from_reflected_field(env: &mut JniEnv<'_>, field: JRef) -> R<FieldId> {
-    env.invoke(FuncId::of("FromReflectedField"), vec![JniArg::Ref(field)])
-        .map(ret_field)
+    env.invoke(
+        crate::func_id!("FromReflectedField"),
+        vec![JniArg::Ref(field)],
+    )
+    .map(ret_field)
 }
 
 /// `ToReflectedMethod`.
@@ -148,7 +158,7 @@ pub fn to_reflected_method(
     is_static: bool,
 ) -> R<JRef> {
     env.invoke(
-        FuncId::of("ToReflectedMethod"),
+        crate::func_id!("ToReflectedMethod"),
         vec![
             JniArg::Ref(cls),
             JniArg::Method(method),
@@ -166,7 +176,7 @@ pub fn to_reflected_field(
     is_static: bool,
 ) -> R<JRef> {
     env.invoke(
-        FuncId::of("ToReflectedField"),
+        crate::func_id!("ToReflectedField"),
         vec![
             JniArg::Ref(cls),
             JniArg::Field(field),
@@ -178,14 +188,14 @@ pub fn to_reflected_field(
 
 /// `GetSuperclass`.
 pub fn get_superclass(env: &mut JniEnv<'_>, sub: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("GetSuperclass"), vec![JniArg::Ref(sub)])
+    env.invoke(crate::func_id!("GetSuperclass"), vec![JniArg::Ref(sub)])
         .map(ret_ref)
 }
 
 /// `IsAssignableFrom`.
 pub fn is_assignable_from(env: &mut JniEnv<'_>, sub: JRef, sup: JRef) -> R<bool> {
     env.invoke(
-        FuncId::of("IsAssignableFrom"),
+        crate::func_id!("IsAssignableFrom"),
         vec![JniArg::Ref(sub), JniArg::Ref(sup)],
     )
     .map(ret_bool)
@@ -193,14 +203,14 @@ pub fn is_assignable_from(env: &mut JniEnv<'_>, sub: JRef, sup: JRef) -> R<bool>
 
 /// `Throw`.
 pub fn throw(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
-    env.invoke(FuncId::of("Throw"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("Throw"), vec![JniArg::Ref(obj)])
         .map(ret_size)
 }
 
 /// `ThrowNew`.
 pub fn throw_new(env: &mut JniEnv<'_>, clazz: JRef, message: &str) -> R<i64> {
     env.invoke(
-        FuncId::of("ThrowNew"),
+        crate::func_id!("ThrowNew"),
         vec![JniArg::Ref(clazz), JniArg::Name(message.into())],
     )
     .map(ret_size)
@@ -208,68 +218,74 @@ pub fn throw_new(env: &mut JniEnv<'_>, clazz: JRef, message: &str) -> R<i64> {
 
 /// `ExceptionOccurred`.
 pub fn exception_occurred(env: &mut JniEnv<'_>) -> R<JRef> {
-    env.invoke(FuncId::of("ExceptionOccurred"), vec![])
+    env.invoke(crate::func_id!("ExceptionOccurred"), vec![])
         .map(ret_ref)
 }
 
 /// `ExceptionDescribe`.
 pub fn exception_describe(env: &mut JniEnv<'_>) -> R<()> {
-    env.invoke(FuncId::of("ExceptionDescribe"), vec![])
+    env.invoke(crate::func_id!("ExceptionDescribe"), vec![])
         .map(ret_unit)
 }
 
 /// `ExceptionClear`.
 pub fn exception_clear(env: &mut JniEnv<'_>) -> R<()> {
-    env.invoke(FuncId::of("ExceptionClear"), vec![])
+    env.invoke(crate::func_id!("ExceptionClear"), vec![])
         .map(ret_unit)
 }
 
 /// `ExceptionCheck`.
 pub fn exception_check(env: &mut JniEnv<'_>) -> R<bool> {
-    env.invoke(FuncId::of("ExceptionCheck"), vec![])
+    env.invoke(crate::func_id!("ExceptionCheck"), vec![])
         .map(ret_bool)
 }
 
 /// `FatalError`.
 pub fn fatal_error(env: &mut JniEnv<'_>, msg: &str) -> R<()> {
-    env.invoke(FuncId::of("FatalError"), vec![JniArg::Name(msg.into())])
-        .map(ret_unit)
+    env.invoke(
+        crate::func_id!("FatalError"),
+        vec![JniArg::Name(msg.into())],
+    )
+    .map(ret_unit)
 }
 
 /// `PushLocalFrame`.
 pub fn push_local_frame(env: &mut JniEnv<'_>, capacity: i64) -> R<i64> {
-    env.invoke(FuncId::of("PushLocalFrame"), vec![JniArg::Size(capacity)])
-        .map(ret_size)
+    env.invoke(
+        crate::func_id!("PushLocalFrame"),
+        vec![JniArg::Size(capacity)],
+    )
+    .map(ret_size)
 }
 
 /// `PopLocalFrame`.
 pub fn pop_local_frame(env: &mut JniEnv<'_>, result: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("PopLocalFrame"), vec![JniArg::Ref(result)])
+    env.invoke(crate::func_id!("PopLocalFrame"), vec![JniArg::Ref(result)])
         .map(ret_ref)
 }
 
 /// `NewGlobalRef`.
 pub fn new_global_ref(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("NewGlobalRef"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("NewGlobalRef"), vec![JniArg::Ref(obj)])
         .map(ret_ref)
 }
 
 /// `DeleteGlobalRef`.
 pub fn delete_global_ref(env: &mut JniEnv<'_>, gref: JRef) -> R<()> {
-    env.invoke(FuncId::of("DeleteGlobalRef"), vec![JniArg::Ref(gref)])
+    env.invoke(crate::func_id!("DeleteGlobalRef"), vec![JniArg::Ref(gref)])
         .map(ret_unit)
 }
 
 /// `DeleteLocalRef`.
 pub fn delete_local_ref(env: &mut JniEnv<'_>, lref: JRef) -> R<()> {
-    env.invoke(FuncId::of("DeleteLocalRef"), vec![JniArg::Ref(lref)])
+    env.invoke(crate::func_id!("DeleteLocalRef"), vec![JniArg::Ref(lref)])
         .map(ret_unit)
 }
 
 /// `IsSameObject`.
 pub fn is_same_object(env: &mut JniEnv<'_>, a: JRef, b: JRef) -> R<bool> {
     env.invoke(
-        FuncId::of("IsSameObject"),
+        crate::func_id!("IsSameObject"),
         vec![JniArg::Ref(a), JniArg::Ref(b)],
     )
     .map(ret_bool)
@@ -277,14 +293,14 @@ pub fn is_same_object(env: &mut JniEnv<'_>, a: JRef, b: JRef) -> R<bool> {
 
 /// `NewLocalRef`.
 pub fn new_local_ref(env: &mut JniEnv<'_>, r: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("NewLocalRef"), vec![JniArg::Ref(r)])
+    env.invoke(crate::func_id!("NewLocalRef"), vec![JniArg::Ref(r)])
         .map(ret_ref)
 }
 
 /// `EnsureLocalCapacity`.
 pub fn ensure_local_capacity(env: &mut JniEnv<'_>, capacity: i64) -> R<i64> {
     env.invoke(
-        FuncId::of("EnsureLocalCapacity"),
+        crate::func_id!("EnsureLocalCapacity"),
         vec![JniArg::Size(capacity)],
     )
     .map(ret_size)
@@ -292,20 +308,20 @@ pub fn ensure_local_capacity(env: &mut JniEnv<'_>, capacity: i64) -> R<i64> {
 
 /// `AllocObject`.
 pub fn alloc_object(env: &mut JniEnv<'_>, clazz: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("AllocObject"), vec![JniArg::Ref(clazz)])
+    env.invoke(crate::func_id!("AllocObject"), vec![JniArg::Ref(clazz)])
         .map(ret_ref)
 }
 
 /// `GetObjectClass`.
 pub fn get_object_class(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("GetObjectClass"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("GetObjectClass"), vec![JniArg::Ref(obj)])
         .map(ret_ref)
 }
 
 /// `IsInstanceOf`.
 pub fn is_instance_of(env: &mut JniEnv<'_>, obj: JRef, clazz: JRef) -> R<bool> {
     env.invoke(
-        FuncId::of("IsInstanceOf"),
+        crate::func_id!("IsInstanceOf"),
         vec![JniArg::Ref(obj), JniArg::Ref(clazz)],
     )
     .map(ret_bool)
@@ -313,14 +329,14 @@ pub fn is_instance_of(env: &mut JniEnv<'_>, obj: JRef, clazz: JRef) -> R<bool> {
 
 /// `GetObjectRefType`.
 pub fn get_object_ref_type(env: &mut JniEnv<'_>, obj: JRef) -> R<i32> {
-    env.invoke(FuncId::of("GetObjectRefType"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("GetObjectRefType"), vec![JniArg::Ref(obj)])
         .map(ret_int)
 }
 
 /// `GetMethodID`.
 pub fn get_method_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<MethodId> {
     env.invoke(
-        FuncId::of("GetMethodID"),
+        crate::func_id!("GetMethodID"),
         vec![
             JniArg::Ref(clazz),
             JniArg::Name(name.into()),
@@ -338,7 +354,7 @@ pub fn get_static_method_id(
     sig: &str,
 ) -> R<MethodId> {
     env.invoke(
-        FuncId::of("GetStaticMethodID"),
+        crate::func_id!("GetStaticMethodID"),
         vec![
             JniArg::Ref(clazz),
             JniArg::Name(name.into()),
@@ -351,7 +367,7 @@ pub fn get_static_method_id(
 /// `GetFieldID`.
 pub fn get_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<FieldId> {
     env.invoke(
-        FuncId::of("GetFieldID"),
+        crate::func_id!("GetFieldID"),
         vec![
             JniArg::Ref(clazz),
             JniArg::Name(name.into()),
@@ -364,7 +380,7 @@ pub fn get_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) ->
 /// `GetStaticFieldID`.
 pub fn get_static_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &str) -> R<FieldId> {
     env.invoke(
-        FuncId::of("GetStaticFieldID"),
+        crate::func_id!("GetStaticFieldID"),
         vec![
             JniArg::Ref(clazz),
             JniArg::Name(name.into()),
@@ -376,28 +392,28 @@ pub fn get_static_field_id(env: &mut JniEnv<'_>, clazz: JRef, name: &str, sig: &
 
 /// `NewObject`, `NewObjectV`, `NewObjectA`.
 pub fn new_object(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
-    new_object_named(env, "NewObject", clazz, ctor, args)
+    new_object_named(env, crate::func_id!("NewObject"), clazz, ctor, args)
 }
 
 /// `NewObjectV` (identical semantics; distinct JNI entry).
 pub fn new_object_v(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
-    new_object_named(env, "NewObjectV", clazz, ctor, args)
+    new_object_named(env, crate::func_id!("NewObjectV"), clazz, ctor, args)
 }
 
 /// `NewObjectA`.
 pub fn new_object_a(env: &mut JniEnv<'_>, clazz: JRef, ctor: MethodId, args: &[JValue]) -> R<JRef> {
-    new_object_named(env, "NewObjectA", clazz, ctor, args)
+    new_object_named(env, crate::func_id!("NewObjectA"), clazz, ctor, args)
 }
 
 fn new_object_named(
     env: &mut JniEnv<'_>,
-    func: &str,
+    func: FuncId,
     clazz: JRef,
     ctor: MethodId,
     args: &[JValue],
 ) -> R<JRef> {
     env.invoke(
-        FuncId::of(func),
+        func,
         vec![
             JniArg::Ref(clazz),
             JniArg::Method(ctor),
@@ -410,7 +426,7 @@ fn new_object_named(
 /// `NewString` (UTF-16 code units).
 pub fn new_string(env: &mut JniEnv<'_>, chars: &[u16]) -> R<JRef> {
     env.invoke(
-        FuncId::of("NewString"),
+        crate::func_id!("NewString"),
         vec![
             JniArg::Chars(chars.to_vec()),
             JniArg::Size(chars.len() as i64),
@@ -421,7 +437,7 @@ pub fn new_string(env: &mut JniEnv<'_>, chars: &[u16]) -> R<JRef> {
 
 /// `GetStringLength`.
 pub fn get_string_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
-    env.invoke(FuncId::of("GetStringLength"), vec![JniArg::Ref(s)])
+    env.invoke(crate::func_id!("GetStringLength"), vec![JniArg::Ref(s)])
         .map(ret_size)
 }
 
@@ -429,7 +445,7 @@ pub fn get_string_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
 /// **not** NUL-terminated (pitfall 8).
 pub fn get_string_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
     env.invoke(
-        FuncId::of("GetStringChars"),
+        crate::func_id!("GetStringChars"),
         vec![JniArg::Ref(s), JniArg::Opaque],
     )
     .map(ret_pin)
@@ -438,7 +454,7 @@ pub fn get_string_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
 /// `ReleaseStringChars`.
 pub fn release_string_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> R<()> {
     env.invoke(
-        FuncId::of("ReleaseStringChars"),
+        crate::func_id!("ReleaseStringChars"),
         vec![JniArg::Ref(s), JniArg::Buf(chars)],
     )
     .map(ret_unit)
@@ -446,13 +462,16 @@ pub fn release_string_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> R<()
 
 /// `NewStringUTF`.
 pub fn new_string_utf(env: &mut JniEnv<'_>, s: &str) -> R<JRef> {
-    env.invoke(FuncId::of("NewStringUTF"), vec![JniArg::Name(s.into())])
-        .map(ret_ref)
+    env.invoke(
+        crate::func_id!("NewStringUTF"),
+        vec![JniArg::Name(s.into())],
+    )
+    .map(ret_ref)
 }
 
 /// `GetStringUTFLength`.
 pub fn get_string_utf_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
-    env.invoke(FuncId::of("GetStringUTFLength"), vec![JniArg::Ref(s)])
+    env.invoke(crate::func_id!("GetStringUTFLength"), vec![JniArg::Ref(s)])
         .map(ret_size)
 }
 
@@ -460,7 +479,7 @@ pub fn get_string_utf_length(env: &mut JniEnv<'_>, s: JRef) -> R<i64> {
 /// (NUL-terminated).
 pub fn get_string_utf_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
     env.invoke(
-        FuncId::of("GetStringUTFChars"),
+        crate::func_id!("GetStringUTFChars"),
         vec![JniArg::Ref(s), JniArg::Opaque],
     )
     .map(ret_pin)
@@ -469,7 +488,7 @@ pub fn get_string_utf_chars(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
 /// `ReleaseStringUTFChars`.
 pub fn release_string_utf_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> R<()> {
     env.invoke(
-        FuncId::of("ReleaseStringUTFChars"),
+        crate::func_id!("ReleaseStringUTFChars"),
         vec![JniArg::Ref(s), JniArg::Buf(chars)],
     )
     .map(ret_unit)
@@ -478,7 +497,7 @@ pub fn release_string_utf_chars(env: &mut JniEnv<'_>, s: JRef, chars: PinId) -> 
 /// `GetStringRegion` — returns the copied region.
 pub fn get_string_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64) -> R<Vec<u16>> {
     env.invoke(
-        FuncId::of("GetStringRegion"),
+        crate::func_id!("GetStringRegion"),
         vec![
             JniArg::Ref(s),
             JniArg::Size(start),
@@ -493,7 +512,7 @@ pub fn get_string_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64) ->
 /// encoded.
 pub fn get_string_utf_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64) -> R<Vec<u8>> {
     env.invoke(
-        FuncId::of("GetStringUTFRegion"),
+        crate::func_id!("GetStringUTFRegion"),
         vec![
             JniArg::Ref(s),
             JniArg::Size(start),
@@ -507,7 +526,7 @@ pub fn get_string_utf_region(env: &mut JniEnv<'_>, s: JRef, start: i64, len: i64
 /// `GetStringCritical`.
 pub fn get_string_critical(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
     env.invoke(
-        FuncId::of("GetStringCritical"),
+        crate::func_id!("GetStringCritical"),
         vec![JniArg::Ref(s), JniArg::Opaque],
     )
     .map(ret_pin)
@@ -516,7 +535,7 @@ pub fn get_string_critical(env: &mut JniEnv<'_>, s: JRef) -> R<PinId> {
 /// `ReleaseStringCritical`.
 pub fn release_string_critical(env: &mut JniEnv<'_>, s: JRef, carray: PinId) -> R<()> {
     env.invoke(
-        FuncId::of("ReleaseStringCritical"),
+        crate::func_id!("ReleaseStringCritical"),
         vec![JniArg::Ref(s), JniArg::Buf(carray)],
     )
     .map(ret_unit)
@@ -524,14 +543,14 @@ pub fn release_string_critical(env: &mut JniEnv<'_>, s: JRef, carray: PinId) -> 
 
 /// `GetArrayLength`.
 pub fn get_array_length(env: &mut JniEnv<'_>, array: JRef) -> R<i64> {
-    env.invoke(FuncId::of("GetArrayLength"), vec![JniArg::Ref(array)])
+    env.invoke(crate::func_id!("GetArrayLength"), vec![JniArg::Ref(array)])
         .map(ret_size)
 }
 
 /// `NewObjectArray`.
 pub fn new_object_array(env: &mut JniEnv<'_>, len: i64, clazz: JRef, init: JRef) -> R<JRef> {
     env.invoke(
-        FuncId::of("NewObjectArray"),
+        crate::func_id!("NewObjectArray"),
         vec![JniArg::Size(len), JniArg::Ref(clazz), JniArg::Ref(init)],
     )
     .map(ret_ref)
@@ -540,7 +559,7 @@ pub fn new_object_array(env: &mut JniEnv<'_>, len: i64, clazz: JRef, init: JRef)
 /// `GetObjectArrayElement`.
 pub fn get_object_array_element(env: &mut JniEnv<'_>, array: JRef, index: i64) -> R<JRef> {
     env.invoke(
-        FuncId::of("GetObjectArrayElement"),
+        crate::func_id!("GetObjectArrayElement"),
         vec![JniArg::Ref(array), JniArg::Size(index)],
     )
     .map(ret_ref)
@@ -554,7 +573,7 @@ pub fn set_object_array_element(
     value: JRef,
 ) -> R<()> {
     env.invoke(
-        FuncId::of("SetObjectArrayElement"),
+        crate::func_id!("SetObjectArrayElement"),
         vec![JniArg::Ref(array), JniArg::Size(index), JniArg::Ref(value)],
     )
     .map(ret_unit)
@@ -563,7 +582,7 @@ pub fn set_object_array_element(
 /// `GetPrimitiveArrayCritical`.
 pub fn get_primitive_array_critical(env: &mut JniEnv<'_>, array: JRef) -> R<PinId> {
     env.invoke(
-        FuncId::of("GetPrimitiveArrayCritical"),
+        crate::func_id!("GetPrimitiveArrayCritical"),
         vec![JniArg::Ref(array), JniArg::Opaque],
     )
     .map(ret_pin)
@@ -577,7 +596,7 @@ pub fn release_primitive_array_critical(
     mode: i64,
 ) -> R<()> {
     env.invoke(
-        FuncId::of("ReleasePrimitiveArrayCritical"),
+        crate::func_id!("ReleasePrimitiveArrayCritical"),
         vec![JniArg::Ref(array), JniArg::Buf(carray), JniArg::Size(mode)],
     )
     .map(ret_unit)
@@ -610,7 +629,7 @@ pub fn register_natives(
 ) -> R<i64> {
     let n = methods.len() as i64;
     let ret = env.invoke(
-        FuncId::of("RegisterNatives"),
+        crate::func_id!("RegisterNatives"),
         vec![JniArg::Ref(clazz), JniArg::Opaque, JniArg::Size(n)],
     )?;
     // Bind the closures (they cannot travel through the generic argument
@@ -639,44 +658,50 @@ pub fn register_natives(
 
 /// `UnregisterNatives`.
 pub fn unregister_natives(env: &mut JniEnv<'_>, clazz: JRef) -> R<i64> {
-    env.invoke(FuncId::of("UnregisterNatives"), vec![JniArg::Ref(clazz)])
-        .map(ret_size)
+    env.invoke(
+        crate::func_id!("UnregisterNatives"),
+        vec![JniArg::Ref(clazz)],
+    )
+    .map(ret_size)
 }
 
 /// `MonitorEnter`.
 pub fn monitor_enter(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
-    env.invoke(FuncId::of("MonitorEnter"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("MonitorEnter"), vec![JniArg::Ref(obj)])
         .map(ret_size)
 }
 
 /// `MonitorExit`.
 pub fn monitor_exit(env: &mut JniEnv<'_>, obj: JRef) -> R<i64> {
-    env.invoke(FuncId::of("MonitorExit"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("MonitorExit"), vec![JniArg::Ref(obj)])
         .map(ret_size)
 }
 
 /// `GetJavaVM`.
 pub fn get_java_vm(env: &mut JniEnv<'_>) -> R<i64> {
-    env.invoke(FuncId::of("GetJavaVM"), vec![JniArg::Opaque])
+    env.invoke(crate::func_id!("GetJavaVM"), vec![JniArg::Opaque])
         .map(ret_size)
 }
 
 /// `NewWeakGlobalRef`.
 pub fn new_weak_global_ref(env: &mut JniEnv<'_>, obj: JRef) -> R<JRef> {
-    env.invoke(FuncId::of("NewWeakGlobalRef"), vec![JniArg::Ref(obj)])
+    env.invoke(crate::func_id!("NewWeakGlobalRef"), vec![JniArg::Ref(obj)])
         .map(ret_ref)
 }
 
 /// `DeleteWeakGlobalRef`.
 pub fn delete_weak_global_ref(env: &mut JniEnv<'_>, wref: JRef) -> R<()> {
-    env.invoke(FuncId::of("DeleteWeakGlobalRef"), vec![JniArg::Ref(wref)])
-        .map(ret_unit)
+    env.invoke(
+        crate::func_id!("DeleteWeakGlobalRef"),
+        vec![JniArg::Ref(wref)],
+    )
+    .map(ret_unit)
 }
 
 /// `NewDirectByteBuffer`.
 pub fn new_direct_byte_buffer(env: &mut JniEnv<'_>, address: i64, capacity: i64) -> R<JRef> {
     env.invoke(
-        FuncId::of("NewDirectByteBuffer"),
+        crate::func_id!("NewDirectByteBuffer"),
         vec![
             JniArg::Val(JValue::Long(address)),
             JniArg::Val(JValue::Long(capacity)),
@@ -687,14 +712,17 @@ pub fn new_direct_byte_buffer(env: &mut JniEnv<'_>, address: i64, capacity: i64)
 
 /// `GetDirectBufferAddress`.
 pub fn get_direct_buffer_address(env: &mut JniEnv<'_>, buf: JRef) -> R<i64> {
-    env.invoke(FuncId::of("GetDirectBufferAddress"), vec![JniArg::Ref(buf)])
-        .map(ret_long)
+    env.invoke(
+        crate::func_id!("GetDirectBufferAddress"),
+        vec![JniArg::Ref(buf)],
+    )
+    .map(ret_long)
 }
 
 /// `GetDirectBufferCapacity`.
 pub fn get_direct_buffer_capacity(env: &mut JniEnv<'_>, buf: JRef) -> R<i64> {
     env.invoke(
-        FuncId::of("GetDirectBufferCapacity"),
+        crate::func_id!("GetDirectBufferCapacity"),
         vec![JniArg::Ref(buf)],
     )
     .map(ret_long)
@@ -712,7 +740,7 @@ macro_rules! virtual_calls {
             args: &[JValue],
         ) -> R<$ret> {
             env.invoke(
-                FuncId::of($jni),
+                crate::func_id!($jni),
                 vec![JniArg::Ref(obj), JniArg::Method(method), JniArg::Args(args.to_vec())],
             )
             .map($unpack)
@@ -731,7 +759,7 @@ macro_rules! nonvirtual_calls {
             args: &[JValue],
         ) -> R<$ret> {
             env.invoke(
-                FuncId::of($jni),
+                crate::func_id!($jni),
                 vec![
                     JniArg::Ref(obj),
                     JniArg::Ref(clazz),
@@ -754,7 +782,7 @@ macro_rules! static_calls {
             args: &[JValue],
         ) -> R<$ret> {
             env.invoke(
-                FuncId::of($jni),
+                crate::func_id!($jni),
                 vec![JniArg::Ref(clazz), JniArg::Method(method), JniArg::Args(args.to_vec())],
             )
             .map($unpack)
@@ -901,7 +929,7 @@ macro_rules! get_fields {
     ($($fn_name:ident => $jni:literal, $ret:ty, $unpack:expr;)*) => {$(
         #[doc = concat!("`", $jni, "`.")]
         pub fn $fn_name(env: &mut JniEnv<'_>, obj: JRef, field: FieldId) -> R<$ret> {
-            env.invoke(FuncId::of($jni), vec![JniArg::Ref(obj), JniArg::Field(field)])
+            env.invoke(crate::func_id!($jni), vec![JniArg::Ref(obj), JniArg::Field(field)])
                 .map($unpack)
         }
     )*};
@@ -913,7 +941,7 @@ macro_rules! set_fields {
         pub fn $fn_name(env: &mut JniEnv<'_>, obj: JRef, field: FieldId, value: $val) -> R<()> {
             #[allow(clippy::redundant_closure_call)]
             env.invoke(
-                FuncId::of($jni),
+                crate::func_id!($jni),
                 vec![JniArg::Ref(obj), JniArg::Field(field), ($wrap)(value)],
             )
             .map(ret_unit)
@@ -970,7 +998,7 @@ macro_rules! prim_array_family {
         #[doc = concat!("`New", $ty_name, "Array`.")]
         pub fn $new_fn(env: &mut JniEnv<'_>, len: i64) -> R<JRef> {
             env.invoke(
-                FuncId::of(concat!("New", $ty_name, "Array")),
+                crate::func_id!(concat!("New", $ty_name, "Array")),
                 vec![JniArg::Size(len)],
             )
             .map(ret_ref)
@@ -979,7 +1007,7 @@ macro_rules! prim_array_family {
         #[doc = concat!("`Get", $ty_name, "ArrayElements`.")]
         pub fn $get_elems_fn(env: &mut JniEnv<'_>, array: JRef) -> R<PinId> {
             env.invoke(
-                FuncId::of(concat!("Get", $ty_name, "ArrayElements")),
+                crate::func_id!(concat!("Get", $ty_name, "ArrayElements")),
                 vec![JniArg::Ref(array), JniArg::Opaque],
             )
             .map(ret_pin)
@@ -988,7 +1016,7 @@ macro_rules! prim_array_family {
         #[doc = concat!("`Release", $ty_name, "ArrayElements`.")]
         pub fn $rel_elems_fn(env: &mut JniEnv<'_>, array: JRef, elems: PinId, mode: i64) -> R<()> {
             env.invoke(
-                FuncId::of(concat!("Release", $ty_name, "ArrayElements")),
+                crate::func_id!(concat!("Release", $ty_name, "ArrayElements")),
                 vec![JniArg::Ref(array), JniArg::Buf(elems), JniArg::Size(mode)],
             )
             .map(ret_unit)
@@ -1002,7 +1030,7 @@ macro_rules! prim_array_family {
             len: i64,
         ) -> R<PrimArray> {
             env.invoke(
-                FuncId::of(concat!("Get", $ty_name, "ArrayRegion")),
+                crate::func_id!(concat!("Get", $ty_name, "ArrayRegion")),
                 vec![JniArg::Ref(array), JniArg::Size(start), JniArg::Size(len), JniArg::Opaque],
             )
             .map(ret_prims)
@@ -1017,7 +1045,7 @@ macro_rules! prim_array_family {
         ) -> R<()> {
             let len = data.len() as i64;
             env.invoke(
-                FuncId::of(concat!("Set", $ty_name, "ArrayRegion")),
+                crate::func_id!(concat!("Set", $ty_name, "ArrayRegion")),
                 vec![
                     JniArg::Ref(array),
                     JniArg::Size(start),

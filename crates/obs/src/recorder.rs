@@ -12,6 +12,7 @@
 //! it locks each shard once, splices the per-thread rings together, and
 //! re-establishes global order by sequence number.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -36,6 +37,10 @@ struct Inner {
     /// Per-thread ring shards (each of the configured capacity).
     rings: Box<[Mutex<TraceRing>]>,
     metrics: Mutex<MetricsRegistry>,
+    /// Interned event labels ([`Recorder::label`]): each distinct
+    /// machine/transition name is allocated once for the recorder's
+    /// lifetime, however many events carry it.
+    labels: Mutex<HashMap<Box<str>, Arc<str>>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -82,6 +87,7 @@ impl Recorder {
                 seq: AtomicU64::new(0),
                 rings: rings.into_boxed_slice(),
                 metrics: Mutex::new(MetricsRegistry::new()),
+                labels: Mutex::new(HashMap::new()),
             })),
         }
     }
@@ -143,6 +149,32 @@ impl Recorder {
     pub fn count(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
             lock(&inner.metrics).add(name, delta);
+        }
+    }
+
+    /// Interns an event label: the first occurrence of a name allocates
+    /// a shared `Arc<str>`, every later occurrence clones it. Callers
+    /// that record a hot label per event (machine names, transition
+    /// names) should route it through here — or better, pre-intern it at
+    /// construction time — so an enabled ring does zero label
+    /// allocations per event.
+    ///
+    /// A disabled recorder has no cache and falls back to a plain
+    /// allocation; its callers are behind `is_enabled` checks anyway.
+    pub fn label(&self, label: &str) -> Arc<str> {
+        match &self.inner {
+            Some(inner) => {
+                let mut cache = lock(&inner.labels);
+                match cache.get(label) {
+                    Some(interned) => Arc::clone(interned),
+                    None => {
+                        let interned: Arc<str> = Arc::from(label);
+                        cache.insert(Box::from(label), Arc::clone(&interned));
+                        interned
+                    }
+                }
+            }
+            None => Arc::from(label),
         }
     }
 
@@ -254,6 +286,20 @@ mod tests {
         assert_eq!(b.events().len(), 1);
         let snap = a.snapshot().unwrap();
         assert_eq!(snap.metrics.total_jni_calls(), 1);
+    }
+
+    #[test]
+    fn labels_are_interned_per_recorder() {
+        let r = Recorder::enabled(4);
+        let first = r.label("local-reference");
+        let second = r.label("local-reference");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeated labels share one allocation"
+        );
+        assert_eq!(&*r.label("other"), "other");
+        // Disabled recorders have no cache but still hand back the text.
+        assert_eq!(&*Recorder::disabled().label("x"), "x");
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Replay determinism guard: for a randomly generated correct program
 //! with a randomly seeded bug, (1) recording is byte-identical across
-//! runs, and (2) replaying one trace twice produces byte-identical
-//! verdict sequences across the standard configurations.
+//! runs, (2) replaying one trace twice produces byte-identical verdict
+//! sequences across the standard configurations, and (3) the reference
+//! and compiled dispatch engines serialize byte-identical observability
+//! traces for identical scripts.
 
 use std::rc::Rc;
 
-use jinn_replay::{record_program, replay_bytes, standard_configs, Program, Trace};
+use jinn_fsm::{
+    CompactStore, ConstraintClass, DiffStore, Direction, Engine, EntityKind, MachineSpec,
+    StateStore,
+};
+use jinn_obs::{EventKind, Recorder};
+use jinn_replay::{record_program, replay_bytes, standard_configs, Program, Trace, TraceWriter};
 use minijni::typed;
 use minijvm::{JRef, JValue};
 use proptest::prelude::*;
@@ -226,8 +233,111 @@ fn leak_sweep_trace_is_deterministic() {
     );
 }
 
+/// The lifecycle machine the engine-trace tests run.
+fn engine_machine() -> MachineSpec {
+    MachineSpec::builder("trace-resource", ConstraintClass::Resource)
+        .entity(EntityKind::Reference)
+        .state("BeforeAcquire")
+        .state("Acquired")
+        .state("Released")
+        .error_state("Error:Dangling", "dangling use in {function}")
+        .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
+            t.on(Direction::CallJavaToC, "native call")
+        })
+        .transition("Release", "Acquired", "Released", |t| {
+            t.on(Direction::ReturnCToJava, "native return")
+        })
+        .transition("UseAfterRelease", "Released", "Error:Dangling", |t| {
+            t.on(Direction::CallCToJava, "JNI function taking reference")
+        })
+        .build()
+        .expect("static spec")
+}
+
+/// Drives a decoded script through `E` with an enabled recorder and
+/// serializes every recorded event — seq, thread, and rendered kind, no
+/// wall-clock timestamps — through a [`TraceWriter`]. The recorder's
+/// events carry wall-clock micros; only the deterministic fields go into
+/// the bytes (matching the `.jtrace` format's philosophy of recording
+/// logical order, not time), so identical scripts must produce identical
+/// bytes whichever engine ran them.
+fn engine_trace<E: Engine<u64>>(words: &[u64]) -> Vec<u8> {
+    let recorder = Recorder::enabled(1 << 12);
+    let mut engine = E::for_machine(engine_machine());
+    engine.set_recorder(recorder.clone());
+    for &w in words {
+        let key = (w >> 8) % 16;
+        match w % 8 {
+            0 | 1 => {
+                engine.apply_named(&key, "Acquire");
+            }
+            2 | 3 => {
+                engine.apply_named(&key, "Release");
+            }
+            4 => {
+                engine.apply_named(&key, "UseAfterRelease");
+            }
+            5 => {
+                engine.apply_named(&key, "NoSuchTransition");
+            }
+            6 => {
+                engine.evict(&key);
+            }
+            _ => {
+                let _ = engine.try_apply_named(&key, "Acquire");
+            }
+        }
+    }
+    let mut writer = TraceWriter::new();
+    for event in recorder.events() {
+        let rendered = match &event.kind {
+            EventKind::FsmTransition {
+                machine,
+                transition,
+                outcome,
+                entity,
+            } => match entity {
+                Some(e) => format!("fsm {machine}.{transition} [{outcome}] entity={e}"),
+                None => format!("fsm {machine}.{transition} [{outcome}]"),
+            },
+            other => format!("{other:?}"),
+        };
+        writer.obs_event(event.thread, &format!("#{} {rendered}", event.seq));
+    }
+    writer.finish()
+}
+
+/// Identical scripts through the reference, compiled, and differential
+/// engines must serialize byte-identical observability traces — label
+/// interning and prototype cloning may not change what is recorded.
+#[test]
+fn engines_serialize_identical_traces_for_a_scripted_run() {
+    let words: Vec<u64> = (0..200u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
+    let reference = engine_trace::<StateStore<u64>>(&words);
+    let compiled = engine_trace::<CompactStore<u64>>(&words);
+    let differential = engine_trace::<DiffStore<u64>>(&words);
+    assert!(!reference.is_empty());
+    assert_eq!(reference, compiled, "reference vs compiled trace bytes");
+    assert_eq!(
+        reference, differential,
+        "reference vs differential trace bytes"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random scripts: every engine serializes the same trace bytes.
+    #[test]
+    fn engines_serialize_identical_traces(
+        words in proptest::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let reference = engine_trace::<StateStore<u64>>(&words);
+        let compiled = engine_trace::<CompactStore<u64>>(&words);
+        prop_assert_eq!(reference, compiled);
+    }
 
     /// Recording a random correct program with a seeded bug twice yields
     /// byte-identical traces, and replaying one trace twice yields

@@ -1,14 +1,21 @@
 //! Measures the cost of the observability recorder on a JNI-heavy
 //! workload: recorder disabled (the production default) vs recorder
-//! enabled with the default ring.
+//! enabled with the default ring and the full trace policy.
 //!
 //! ```text
 //! cargo run --release -p jinn-bench --bin obs_overhead
 //! JINN_CALLS=500 JINN_TRIALS=7 cargo run --release -p jinn-bench --bin obs_overhead
+//! JINN_OBS_MAX_OVERHEAD=1.5 cargo run --release -p jinn-bench --bin obs_overhead
 //! ```
 //!
 //! Prints a JSON document (the `BENCH_obs_overhead.json` artifact) on
-//! stdout.
+//! stdout. `JINN_WARMUP` full-scale warm-up trials of *each* treatment
+//! run first and are excluded from the medians (JIT-free Rust still
+//! needs its allocator, page tables, and branch predictors warm). If
+//! the measured trials spread by more than `JINN_MAX_NOISE` the run
+//! aborts without printing an artifact — a noisy artifact is worse
+//! than none. If `JINN_OBS_MAX_OVERHEAD` is set, the run fails when
+//! the enabled/disabled ratio exceeds it — the CI regression gate.
 
 use jinn_bench::env_u64;
 use jinn_bench::obs::{median_nanos, time_churn};
@@ -18,9 +25,20 @@ fn main() {
     let calls = env_u64("JINN_CALLS", 200) as u32;
     let strings = env_u64("JINN_STRINGS", 64) as u32;
     let trials = (env_u64("JINN_TRIALS", 5) as usize).max(1);
+    let warmup = env_u64("JINN_WARMUP", 2) as usize;
+    let max_noise = std::env::var("JINN_MAX_NOISE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.5);
+    let gate = std::env::var("JINN_OBS_MAX_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
 
-    // Warm-up, excluded from measurement.
-    time_churn(Recorder::disabled(), calls.min(20), strings);
+    // Warm-up at full scale, both treatments, excluded from measurement.
+    for _ in 0..warmup {
+        time_churn(Recorder::disabled(), calls, strings);
+        time_churn(Recorder::enabled(DEFAULT_RING_CAPACITY), calls, strings);
+    }
 
     let mut disabled = Vec::with_capacity(trials);
     let mut enabled = Vec::with_capacity(trials);
@@ -37,9 +55,13 @@ fn main() {
         let max = *samples.iter().max().expect("non-empty");
         (max as f64 - min as f64) / min as f64
     };
-    // "Within noise" = the on/off gap is no larger than the run-to-run
-    // spread of the disabled treatment itself.
     let noise = spread(&disabled).max(spread(&enabled));
+    assert!(
+        noise <= max_noise,
+        "trial spread {noise:.4} exceeds JINN_MAX_NOISE={max_noise}: \
+         the machine is too noisy for a trustworthy artifact; re-run \
+         (or raise JINN_MAX_NOISE if a rough number is acceptable)"
+    );
 
     let list = |samples: &[u128]| {
         samples
@@ -55,7 +77,9 @@ fn main() {
     println!("  \"native_calls_per_trial\": {calls},");
     println!("  \"jni_roundtrips_per_call\": {strings},");
     println!("  \"trials\": {trials},");
+    println!("  \"warmup_trials_excluded\": {warmup},");
     println!("  \"ring_capacity\": {DEFAULT_RING_CAPACITY},");
+    println!("  \"trace_policy\": \"full (every label traced, latency timers on)\",");
     println!("  \"recorder_disabled_nanos\": [{}],", list(&disabled));
     println!("  \"recorder_enabled_nanos\": [{}],", list(&enabled));
     println!("  \"median_disabled_nanos\": {med_off},");
@@ -68,7 +92,16 @@ fn main() {
     );
     println!(
         "  \"note\": \"the disabled recorder (the default) adds one Option branch per \
-         instrumentation site: no clock reads, no allocation, no ring writes\""
+         instrumentation site; enabled, every site encodes a fixed-width record into the \
+         thread's private SPSC ring by pre-interned label id\""
     );
     println!("}}");
+
+    if let Some(max) = gate {
+        assert!(
+            ratio <= max,
+            "enabled/disabled overhead {ratio:.4} exceeds the JINN_OBS_MAX_OVERHEAD={max} gate"
+        );
+        eprintln!("overhead gate: {ratio:.4} <= {max} ok");
+    }
 }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
+use jinn_obs::{FsmOutcome, LabelId, Recorder};
 use jinn_spec::{Check, EntityCallMode};
 use minijni::registry::Op;
 use minijni::{CallCx, FuncId, Interpose, JniArg, JniRet, Report, ReportAction, Violation};
@@ -240,6 +240,41 @@ pub struct Jinn {
     globals: HashMap<GlobalKey, RefState>,
     locals: HashMap<ThreadId, LocalTracker>,
     recorder: Recorder,
+    labels: ObsLabels,
+}
+
+/// The checker's interned trace labels, resolved once when a recorder is
+/// attached so the per-event record path carries only dense ids.
+#[derive(Debug, Default)]
+struct ObsLabels {
+    local_ref: LabelId,
+    global_ref: LabelId,
+    acquire: LabelId,
+    release: LabelId,
+    use_: LabelId,
+    checks_executed: LabelId,
+    locals_acquired: LabelId,
+}
+
+/// Packs a reference's identity bits into the opaque numeric entity key
+/// recorded with its transitions. References are short-lived and each
+/// acquisition mints a fresh generation, so a label cache would never
+/// hit; the packed key costs a few shifts instead of a `format!` and an
+/// intern-table round-trip per event. Equal references pack equally,
+/// which is what forensics matching needs. Slot and generation are
+/// truncated to 22 bits each — far above what any workload reaches, and
+/// a collision only blurs a forensics relevance filter.
+fn entity_key(r: &JRef) -> u64 {
+    let kind = match r.kind() {
+        RefKind::Local => 0u64,
+        RefKind::Global => 1,
+        RefKind::WeakGlobal => 2,
+        RefKind::Null => 3,
+    };
+    (kind << 60)
+        | (u64::from(r.owner().0) << 44)
+        | (u64::from(r.slot() & 0x3f_ffff) << 22)
+        | u64::from(r.generation() & 0x3f_ffff)
 }
 
 // The whole point of the Arc/atomic stats backend: a synthesized checker
@@ -289,13 +324,25 @@ impl Jinn {
             globals: HashMap::new(),
             locals: HashMap::new(),
             recorder: Recorder::disabled(),
+            labels: ObsLabels::default(),
         }
     }
 
     /// Attaches an observability recorder: machine error transitions and
     /// check-volume counters are recorded from then on. [`install`] wires
-    /// this automatically from the session's recorder.
+    /// this automatically from the session's recorder. The handful of
+    /// machine, transition, and counter names the checker records are
+    /// interned here, once.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.labels = ObsLabels {
+            local_ref: recorder.intern("local-reference"),
+            global_ref: recorder.intern("global-reference"),
+            acquire: recorder.intern("Acquire"),
+            release: recorder.intern("Release"),
+            use_: recorder.intern("Use"),
+            checks_executed: recorder.intern("checks.executed"),
+            locals_acquired: recorder.intern("locals.acquired"),
+        };
         self.recorder = recorder;
     }
 
@@ -323,15 +370,16 @@ impl Jinn {
     ) -> Report {
         self.stats.violations.fetch_add(1, Ordering::Relaxed);
         if self.recorder.is_enabled() {
-            self.recorder.fsm(machine, FsmOutcome::Error);
-            self.recorder.event(
+            // Cold path (violations are rare): interning per event keeps
+            // it simple.
+            let machine_label = self.recorder.intern(machine);
+            let state_label = self.recorder.intern(error_state);
+            self.recorder.fsm_transition_id(
                 jinn_obs::event::NO_THREAD,
-                EventKind::FsmTransition {
-                    machine: self.recorder.label(machine),
-                    transition: self.recorder.label(error_state),
-                    outcome: FsmOutcome::Error,
-                    entity: None,
-                },
+                machine_label,
+                state_label,
+                FsmOutcome::Error,
+                None,
             );
         }
         Report::new(
@@ -382,7 +430,7 @@ impl Jinn {
             }
         };
         if failure.is_some() {
-            self.record_ref_error("local-reference", thread, r);
+            self.record_ref_error(self.labels.local_ref, thread, r);
         }
         failure
     }
@@ -406,51 +454,36 @@ impl Jinn {
             }
         };
         if failure.is_some() {
-            self.record_ref_error("global-reference", thread, r);
+            self.record_ref_error(self.labels.global_ref, thread, r);
         }
         failure
     }
 
     /// Emits an entity-tagged successful transition (acquire/release) into
-    /// the trace ring and the per-machine metrics.
-    fn record_ref_moved(
-        &self,
-        machine: &'static str,
-        thread: ThreadId,
-        transition: &'static str,
-        r: &JRef,
-    ) {
-        if self.recorder.is_enabled() {
-            // Labels come from the recorder's intern cache: the handful
-            // of machine/transition names the checker records are
-            // allocated once per run, not once per event.
-            self.recorder.event(
-                thread.0,
-                EventKind::FsmTransition {
-                    machine: self.recorder.label(machine),
-                    transition: self.recorder.label(transition),
-                    outcome: FsmOutcome::Moved,
-                    entity: Some(EntityTag::of_debug(r)),
-                },
-            );
-            self.recorder.fsm(machine, FsmOutcome::Moved);
-        }
+    /// the trace ring and the per-machine metrics. `machine` and
+    /// `transition` are the ids cached in [`ObsLabels`].
+    fn record_ref_moved(&self, machine: LabelId, thread: ThreadId, transition: LabelId, r: &JRef) {
+        self.recorder.fsm_transition_keyed(
+            thread.0,
+            machine,
+            transition,
+            FsmOutcome::Moved,
+            entity_key(r),
+        );
     }
 
     /// Emits an entity-tagged error transition into the trace ring so a
-    /// forensics capture can name the failing reference.
-    fn record_ref_error(&self, machine: &'static str, thread: ThreadId, r: JRef) {
-        if self.recorder.is_enabled() {
-            self.recorder.event(
-                thread.0,
-                EventKind::FsmTransition {
-                    machine: self.recorder.label(machine),
-                    transition: self.recorder.label("Use"),
-                    outcome: FsmOutcome::Error,
-                    entity: Some(EntityTag::of_debug(&r)),
-                },
-            );
-        }
+    /// forensics capture can name the failing reference. Error `Use`
+    /// events deliberately do not feed the per-machine `Moved` tallies —
+    /// the violation path counts them.
+    fn record_ref_error(&self, machine: LabelId, thread: ThreadId, r: JRef) {
+        self.recorder.fsm_transition_keyed(
+            thread.0,
+            machine,
+            self.labels.use_,
+            FsmOutcome::Error,
+            entity_key(&r),
+        );
     }
 
     fn check_ref_use(
@@ -1021,7 +1054,12 @@ impl Jinn {
                     match self.globals.get(&key) {
                         Some(RefState::Live) => {
                             self.globals.insert(key, RefState::Released);
-                            self.record_ref_moved("global-reference", cx.thread, "Release", &r);
+                            self.record_ref_moved(
+                                self.labels.global_ref,
+                                cx.thread,
+                                self.labels.release,
+                                &r,
+                            );
                         }
                         Some(RefState::Released) => {
                             return Some(self.violation(
@@ -1062,7 +1100,12 @@ impl Jinn {
                             for f in tracker.frames.iter_mut() {
                                 f.refs.retain(|k| *k != key);
                             }
-                            self.record_ref_moved("local-reference", thread, "Release", &r);
+                            self.record_ref_moved(
+                                self.labels.local_ref,
+                                thread,
+                                self.labels.release,
+                                &r,
+                            );
                         }
                         Some(RefState::Released) => {
                             return Some(self.violation(
@@ -1189,7 +1232,12 @@ impl Jinn {
                 if let JniRet::Ref(r) = ret {
                     if !r.is_null() {
                         self.globals.insert(GlobalKey::of(*r), RefState::Live);
-                        self.record_ref_moved("global-reference", cx.thread, "Acquire", r);
+                        self.record_ref_moved(
+                            self.labels.global_ref,
+                            cx.thread,
+                            self.labels.acquire,
+                            r,
+                        );
                     }
                 }
             }
@@ -1202,7 +1250,12 @@ impl Jinn {
                         let frame = tracker.current();
                         let overflow = frame.refs.len() > frame.capacity;
                         let (len, cap) = (frame.refs.len(), frame.capacity);
-                        self.record_ref_moved("local-reference", thread, "Acquire", r);
+                        self.record_ref_moved(
+                            self.labels.local_ref,
+                            thread,
+                            self.labels.acquire,
+                            r,
+                        );
                         if overflow {
                             return Some(self.violation(
                                 machine,
@@ -1264,7 +1317,8 @@ impl Interpose for Jinn {
         self.stats
             .checks_executed
             .fetch_add(n as u64, Ordering::Relaxed);
-        self.recorder.count("checks.executed", n as u64);
+        self.recorder
+            .count_id(self.labels.checks_executed, n as u64);
         if !self.checks_enabled {
             return Vec::new();
         }
@@ -1282,7 +1336,8 @@ impl Interpose for Jinn {
         self.stats
             .checks_executed
             .fetch_add(n as u64, Ordering::Relaxed);
-        self.recorder.count("checks.executed", n as u64);
+        self.recorder
+            .count_id(self.labels.checks_executed, n as u64);
         if !self.checks_enabled {
             return Vec::new();
         }
@@ -1322,9 +1377,10 @@ impl Interpose for Jinn {
         if self.recorder.is_enabled() && acquired > 0 {
             // Call:Java→C Acquire transitions for the argument references.
             for r in arg_refs.iter().filter(|r| r.kind() == RefKind::Local) {
-                self.record_ref_moved("local-reference", thread, "Acquire", r);
+                self.record_ref_moved(self.labels.local_ref, thread, self.labels.acquire, r);
             }
-            self.recorder.count("locals.acquired", acquired);
+            self.recorder
+                .count_id(self.labels.locals_acquired, acquired);
         }
         Vec::new()
     }

@@ -29,7 +29,7 @@ use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
+use jinn_obs::{FsmOutcome, LabelId, Recorder};
 
 use crate::machine::{MachineSpec, StateId, TransitionId};
 use crate::runtime::{EntityState, ErrorEntered, TransitionOutcome, UnknownTransition};
@@ -244,7 +244,20 @@ pub struct CompactStore<K> {
     slab_len: usize,
     spill: HashMap<K, StateId>,
     recorder: Recorder,
+    /// Interned machine/transition label ids for the attached recorder
+    /// (empty until [`set_recorder`](Self::set_recorder)).
+    machine_label: LabelId,
+    transition_labels: Box<[LabelId]>,
+    /// Per-entity label ids: slab-parallel for dense keys
+    /// ([`NO_ENTITY_LABEL`] when not yet interned), hash map for spilled
+    /// keys.
+    slab_labels: Vec<u32>,
+    spill_labels: HashMap<K, LabelId>,
 }
+
+/// Sentinel in [`CompactStore::slab_labels`]: entity label not interned
+/// yet.
+const NO_ENTITY_LABEL: u32 = u32::MAX;
 
 impl<K: DenseKey> CompactStore<K> {
     /// Compiles `machine` and creates an empty store.
@@ -264,6 +277,10 @@ impl<K: DenseKey> CompactStore<K> {
             slab_len: 0,
             spill: HashMap::new(),
             recorder: Recorder::disabled(),
+            machine_label: LabelId(0),
+            transition_labels: Box::new([]),
+            slab_labels: Vec::new(),
+            spill_labels: HashMap::new(),
         }
     }
 
@@ -275,10 +292,48 @@ impl<K: DenseKey> CompactStore<K> {
     }
 
     /// Attaches an observability recorder; events are identical to the
-    /// reference store's, but labels come from the compiled machine's
-    /// interned `Arc<str>`s (zero allocations per event).
+    /// reference store's. Machine and transition names are interned here,
+    /// once, so the per-event path records dense ids with zero
+    /// allocations.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.machine_label = recorder.intern(self.machine.name());
+        self.transition_labels = self
+            .machine
+            .spec()
+            .transitions()
+            .iter()
+            .map(|t| recorder.intern(t.name()))
+            .collect();
+        self.slab_labels.clear();
+        self.spill_labels.clear();
         self.recorder = recorder;
+    }
+
+    /// The interned label for `entity`, computed on first recorded use:
+    /// a slab-parallel slot for dense keys (no hashing on repeat events),
+    /// a hash probe for spilled keys. The label text is the entity's
+    /// `Debug` rendering, matching
+    /// [`EntityTag::of_debug`](jinn_obs::EntityTag::of_debug).
+    fn entity_label(&mut self, entity: &K) -> LabelId {
+        match Self::slab_index(entity) {
+            Some(i) => {
+                if i >= self.slab_labels.len() {
+                    self.slab_labels.resize(i + 1, NO_ENTITY_LABEL);
+                }
+                if self.slab_labels[i] == NO_ENTITY_LABEL {
+                    self.slab_labels[i] = self.recorder.intern(&format!("{entity:?}")).0;
+                }
+                LabelId(self.slab_labels[i])
+            }
+            None => {
+                if let Some(&label) = self.spill_labels.get(entity) {
+                    return label;
+                }
+                let label = self.recorder.intern(&format!("{entity:?}"));
+                self.spill_labels.insert(entity.clone(), label);
+                label
+            }
+        }
     }
 
     /// The compiled machine this store dispatches through.
@@ -388,16 +443,14 @@ impl<K: DenseKey> CompactStore<K> {
                 TransitionOutcome::Error(_) => FsmOutcome::Error,
                 TransitionOutcome::NotApplicable { .. } => FsmOutcome::NotApplicable,
             };
-            self.recorder.event(
+            let entity_label = self.entity_label(entity);
+            self.recorder.fsm_transition_id(
                 jinn_obs::event::NO_THREAD,
-                EventKind::FsmTransition {
-                    machine: self.machine.machine_label().clone(),
-                    transition: self.machine.transition_label(transition).clone(),
-                    outcome: obs_outcome,
-                    entity: Some(EntityTag::of_debug(entity)),
-                },
+                self.machine_label,
+                self.transition_labels[transition.index()],
+                obs_outcome,
+                Some(entity_label),
             );
-            self.recorder.fsm(self.machine.name(), obs_outcome);
         }
         outcome
     }
@@ -410,17 +463,18 @@ impl<K: DenseKey> CompactStore<K> {
             Ok(outcome) => outcome,
             Err(_) => {
                 if self.recorder.is_enabled() {
-                    self.recorder.event(
+                    // Cold checker-misuse path, mirroring the reference
+                    // store exactly.
+                    let machine = self.recorder.intern("checker-internal");
+                    let transition = self.recorder.intern(name);
+                    let entity_label = self.entity_label(entity);
+                    self.recorder.fsm_transition_id(
                         jinn_obs::event::NO_THREAD,
-                        EventKind::FsmTransition {
-                            machine: self.recorder.label("checker-internal"),
-                            transition: self.recorder.label(name),
-                            outcome: FsmOutcome::NotApplicable,
-                            entity: Some(EntityTag::of_debug(entity)),
-                        },
+                        machine,
+                        transition,
+                        FsmOutcome::NotApplicable,
+                        Some(entity_label),
                     );
-                    self.recorder
-                        .fsm("checker-internal", FsmOutcome::NotApplicable);
                 }
                 TransitionOutcome::NotApplicable {
                     current: self.state_of(entity),

@@ -6,7 +6,7 @@ use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder};
+use jinn_obs::{FsmOutcome, LabelId, Recorder};
 
 use crate::machine::{MachineSpec, StateId, TransitionId};
 
@@ -128,25 +128,23 @@ pub struct StateStore<K> {
     machine: MachineSpec,
     states: HashMap<K, EntityState>,
     recorder: Recorder,
-    /// Interned machine/transition names, built once at construction so
-    /// an enabled recorder clones an `Arc` per event instead of
-    /// allocating a fresh label.
-    machine_label: Arc<str>,
-    transition_labels: Box<[Arc<str>]>,
+    /// Interned machine/transition label ids, built when the recorder is
+    /// attached, so an enabled recorder records a `u32` per event instead
+    /// of allocating or cloning a label.
+    machine_label: LabelId,
+    transition_labels: Box<[LabelId]>,
+    /// Per-entity label ids, interned on each entity's first recorded
+    /// event.
+    entity_labels: HashMap<K, LabelId>,
 }
 
 impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
     /// Creates an empty store for instances of `machine`.
     pub fn new(machine: MachineSpec) -> Self {
-        let machine_label = Arc::from(machine.name());
-        let transition_labels = machine
-            .transitions()
-            .iter()
-            .map(|t| Arc::from(t.name()))
-            .collect();
         StateStore {
-            machine_label,
-            transition_labels,
+            machine_label: LabelId(0),
+            transition_labels: Box::new([]),
+            entity_labels: HashMap::new(),
             machine,
             states: HashMap::new(),
             recorder: Recorder::disabled(),
@@ -156,8 +154,30 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
     /// Attaches an observability recorder: every [`StateStore::apply`]
     /// from then on emits an `FsmTransition` trace event (including
     /// `NotApplicable` non-matches) and feeds the per-machine metrics.
+    /// Machine and transition names are interned here, once, so the
+    /// per-event path carries only dense ids.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.machine_label = recorder.intern(self.machine.name());
+        self.transition_labels = self
+            .machine
+            .transitions()
+            .iter()
+            .map(|t| recorder.intern(t.name()))
+            .collect();
+        self.entity_labels.clear();
         self.recorder = recorder;
+    }
+
+    /// The interned label for `entity`, computed on first recorded use
+    /// (the label text is the entity's `Debug` rendering, matching
+    /// [`EntityTag::of_debug`](jinn_obs::EntityTag::of_debug)).
+    fn entity_label(&mut self, entity: &K) -> LabelId {
+        if let Some(&label) = self.entity_labels.get(entity) {
+            return label;
+        }
+        let label = self.recorder.intern(&format!("{entity:?}"));
+        self.entity_labels.insert(entity.clone(), label);
+        label
     }
 
     /// The machine this store tracks.
@@ -235,16 +255,14 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
                 TransitionOutcome::Error(_) => FsmOutcome::Error,
                 TransitionOutcome::NotApplicable { .. } => FsmOutcome::NotApplicable,
             };
-            self.recorder.event(
+            let entity_label = self.entity_label(entity);
+            self.recorder.fsm_transition_id(
                 jinn_obs::event::NO_THREAD,
-                EventKind::FsmTransition {
-                    machine: self.machine_label.clone(),
-                    transition: self.transition_labels[transition.index()].clone(),
-                    outcome: obs_outcome,
-                    entity: Some(EntityTag::of_debug(entity)),
-                },
+                self.machine_label,
+                self.transition_labels[transition.index()],
+                obs_outcome,
+                Some(entity_label),
             );
-            self.recorder.fsm(self.machine.name(), obs_outcome);
         }
         outcome
     }
@@ -263,20 +281,18 @@ impl<K: Eq + Hash + Clone + fmt::Debug> StateStore<K> {
             Ok(outcome) => outcome,
             Err(_) => {
                 if self.recorder.is_enabled() {
-                    // Interned through the recorder's label cache:
-                    // repeated misses on the same unknown name allocate
-                    // its label once, not twice per miss.
-                    self.recorder.event(
+                    // Cold checker-misuse path: interning per miss is
+                    // fine (repeat misses hit the intern cache).
+                    let machine = self.recorder.intern("checker-internal");
+                    let transition = self.recorder.intern(name);
+                    let entity_label = self.entity_label(entity);
+                    self.recorder.fsm_transition_id(
                         jinn_obs::event::NO_THREAD,
-                        EventKind::FsmTransition {
-                            machine: self.recorder.label("checker-internal"),
-                            transition: self.recorder.label(name),
-                            outcome: FsmOutcome::NotApplicable,
-                            entity: Some(EntityTag::of_debug(entity)),
-                        },
+                        machine,
+                        transition,
+                        FsmOutcome::NotApplicable,
+                        Some(entity_label),
                     );
-                    self.recorder
-                        .fsm("checker-internal", FsmOutcome::NotApplicable);
                 }
                 TransitionOutcome::NotApplicable {
                     current: self.state_of(entity),

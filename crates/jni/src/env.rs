@@ -24,9 +24,7 @@
 //!   └─ pop local frame; translate the returned reference outward
 //! ```
 
-use std::sync::Arc;
-
-use jinn_obs::{forensics, EventKind, VerdictAction};
+use jinn_obs::{forensics, VerdictAction};
 use minijvm::class::names;
 use minijvm::{
     EnvToken, JRef, JValue, Jvm, MethodBody, MethodId, Oop, RefFault, ThreadId,
@@ -177,16 +175,18 @@ impl<'s> JniEnv<'s> {
         let mut fatal: Option<JniError> = None;
         for Report { violation, action } in reports {
             if self.vm.recorder.is_enabled() {
-                self.vm.recorder.event(
+                // Verdicts are rare: interning here (rather than caching
+                // ids) keeps this cold path simple.
+                let machine = self.vm.recorder.intern(violation.machine);
+                let function = self.vm.recorder.intern(&violation.function);
+                self.vm.recorder.verdict_id(
                     self.thread.0,
-                    EventKind::Verdict {
-                        machine: Arc::from(violation.machine),
-                        function: Arc::from(violation.function.as_str()),
-                        action: match action {
-                            ReportAction::Warn => VerdictAction::Warn,
-                            ReportAction::AbortVm => VerdictAction::AbortVm,
-                            ReportAction::ThrowException => VerdictAction::ThrowException,
-                        },
+                    machine,
+                    function,
+                    match action {
+                        ReportAction::Warn => VerdictAction::Warn,
+                        ReportAction::AbortVm => VerdictAction::AbortVm,
+                        ReportAction::ThrowException => VerdictAction::ThrowException,
                     },
                 );
                 self.vm.recorder.count("checks.violations", 1);
@@ -287,24 +287,14 @@ impl<'s> JniEnv<'s> {
         if !self.vm.recorder.is_enabled() {
             return self.invoke_inner(func, args);
         }
-        let name = func.name();
+        let label = self.vm.func_label(func);
         let thread = self.thread.0;
-        self.vm
-            .recorder
-            .event(thread, EventKind::JniEnter { func: name });
+        self.vm.recorder.jni_enter_id(thread, label);
         let timer = self.vm.recorder.timer();
         let result = self.invoke_inner(func, args);
-        let nanos = timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        let nanos = timer.map(|t| t.elapsed().as_nanos() as u64);
         let failed = result.is_err();
-        self.vm.recorder.event(
-            thread,
-            EventKind::JniExit {
-                func: name,
-                nanos,
-                failed,
-            },
-        );
-        self.vm.recorder.jni_call(name, nanos, failed);
+        self.vm.recorder.jni_exit_id(thread, label, nanos, failed);
         result
     }
 
@@ -439,33 +429,17 @@ impl<'s> JniEnv<'s> {
         }
         // Observability wrapper: Call:Java→C / Return:C→Java events around
         // the native body.
-        let label: Arc<str> = match self.vm.jvm.registry().method(method) {
-            Some(info) => {
-                let class = self.vm.jvm.registry().class(info.class).dotted_name();
-                Arc::from(format!("{class}.{}", info.name).as_str())
-            }
-            None => Arc::from("<unknown native method>"),
-        };
+        let label = self.vm.native_label(method);
         let thread = self.thread.0;
-        self.vm.recorder.event(
-            thread,
-            EventKind::NativeEnter {
-                method: label.clone(),
-            },
-        );
+        self.vm.recorder.native_enter_id(thread, label);
         let timer = self.vm.recorder.timer();
         let result = self.call_native_method_inner(method, args);
         let nanos = timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
         let failed = result.is_err();
-        self.vm.recorder.event(
-            thread,
-            EventKind::NativeExit {
-                method: label,
-                nanos,
-                failed,
-            },
-        );
-        self.vm.recorder.count("native.calls", 1);
+        self.vm
+            .recorder
+            .native_exit_id(thread, label, nanos, failed);
+        self.vm.recorder.count_id(self.vm.native_calls_label, 1);
         if let Err(JniError::Death(d)) = &result {
             self.vm.dead.get_or_insert_with(|| d.clone());
         }

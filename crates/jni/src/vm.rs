@@ -2,9 +2,10 @@
 //! `Session` (a VM plus its interposed checkers).
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
-use jinn_obs::{BugReport, ForensicsConfig, Recorder};
+use jinn_obs::{BugReport, ForensicsConfig, LabelId, Recorder};
 use minijvm::{
     ClassId, EnvToken, JValue, Jvm, JvmDeath, MemberFlags, MethodBody, MethodId, ThreadId,
 };
@@ -57,6 +58,15 @@ pub struct Vm {
     pub(crate) dead: Option<JvmDeath>,
     /// Observability handle; shared with the JVM substrate.
     pub(crate) recorder: Recorder,
+    /// Interned trace label per JNI function, indexed by `FuncId`; built
+    /// once in [`set_recorder`](Self::set_recorder) so the record path
+    /// carries only a `u32`.
+    pub(crate) func_labels: Vec<LabelId>,
+    /// Interned trace labels for native methods (`Class.method`), filled
+    /// lazily on first call of each method.
+    pub(crate) native_labels: HashMap<minijvm::MethodId, LabelId>,
+    /// Interned id of the `native.calls` counter.
+    pub(crate) native_calls_label: LabelId,
     /// Passive boundary observer (trace recording); see [`BoundaryTap`].
     pub(crate) tap: Option<Rc<RefCell<dyn BoundaryTap>>>,
     /// How much history bug reports keep.
@@ -86,6 +96,9 @@ impl Vm {
             stacks: Vec::new(),
             dead: None,
             recorder: Recorder::disabled(),
+            func_labels: Vec::new(),
+            native_labels: HashMap::new(),
+            native_calls_label: LabelId(0),
             tap: None,
             forensics_config: ForensicsConfig::default(),
             last_forensics: None,
@@ -109,7 +122,42 @@ impl Vm {
     /// forensics) and the JVM substrate (GC and pin events).
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.jvm.set_recorder(recorder.clone());
+        // Intern every JNI function name up front: the invoke hot path
+        // then records by dense id, and trace policies can address any
+        // function before its first call.
+        self.func_labels = crate::registry::registry()
+            .iter()
+            .map(|(_, spec)| recorder.intern(&spec.name))
+            .collect();
+        self.native_labels.clear();
+        self.native_calls_label = recorder.intern("native.calls");
         self.recorder = recorder;
+    }
+
+    /// The interned trace label for a JNI function (recorder attached).
+    #[inline]
+    pub(crate) fn func_label(&self, func: crate::registry::FuncId) -> LabelId {
+        self.func_labels
+            .get(func.0 as usize)
+            .copied()
+            .unwrap_or(LabelId(0))
+    }
+
+    /// The interned trace label for a native method, `Class.method`,
+    /// computed on its first recorded call.
+    pub(crate) fn native_label(&mut self, method: minijvm::MethodId) -> LabelId {
+        if let Some(&label) = self.native_labels.get(&method) {
+            return label;
+        }
+        let label = match self.jvm.registry().method(method) {
+            Some(info) => {
+                let class = self.jvm.registry().class(info.class).dotted_name();
+                self.recorder.intern(&format!("{class}.{}", info.name))
+            }
+            None => self.recorder.intern("<unknown native method>"),
+        };
+        self.native_labels.insert(method, label);
+        label
     }
 
     /// The attached recorder (disabled by default).

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use jinn_obs::{EventKind, Recorder};
+use jinn_obs::{LabelId, Recorder};
 
 use crate::heap::PrimArray;
 use crate::value::ObjectId;
@@ -114,6 +114,9 @@ struct PinEntry {
 pub struct PinTable {
     entries: Vec<PinEntry>,
     recorder: Recorder,
+    acquired_label: LabelId,
+    released_label: LabelId,
+    invalid_label: LabelId,
 }
 
 impl PinTable {
@@ -125,6 +128,9 @@ impl PinTable {
     /// Attaches an observability recorder; pin acquire/release traffic is
     /// recorded from then on.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.acquired_label = recorder.intern("pins.acquired");
+        self.released_label = recorder.intern("pins.released");
+        self.invalid_label = recorder.intern("pins.invalid_releases");
         self.recorder = recorder;
     }
 
@@ -138,11 +144,9 @@ impl PinTable {
         });
         let pin = PinId(self.entries.len() as u32 - 1);
         if self.recorder.is_enabled() {
-            self.recorder.event(
-                jinn_obs::event::NO_THREAD,
-                EventKind::PinAcquire { pin: pin.0 },
-            );
-            self.recorder.count("pins.acquired", 1);
+            self.recorder
+                .pin_acquire_id(jinn_obs::event::NO_THREAD, pin.0);
+            self.recorder.count_id(self.acquired_label, 1);
         }
         pin
     }
@@ -156,18 +160,13 @@ impl PinTable {
     pub fn release(&mut self, pin: PinId, kind: PinKind) -> Result<(ObjectId, PinData), PinError> {
         let result = self.release_inner(pin, kind);
         if self.recorder.is_enabled() {
-            self.recorder.event(
-                jinn_obs::event::NO_THREAD,
-                EventKind::PinRelease {
-                    pin: pin.0,
-                    ok: result.is_ok(),
-                },
-            );
-            self.recorder.count(
+            self.recorder
+                .pin_release_id(jinn_obs::event::NO_THREAD, pin.0, result.is_ok());
+            self.recorder.count_id(
                 if result.is_ok() {
-                    "pins.released"
+                    self.released_label
                 } else {
-                    "pins.invalid_releases"
+                    self.invalid_label
                 },
                 1,
             );

@@ -1,6 +1,6 @@
 //! The `Jvm` façade: one simulated Java virtual machine instance.
 
-use jinn_obs::{event::NO_THREAD, EventKind, Recorder};
+use jinn_obs::{event::NO_THREAD, LabelId, Recorder};
 
 use crate::class::{names, ClassId, ClassRegistry, FieldSlot};
 use crate::descriptor::{FieldType, PrimType};
@@ -70,6 +70,9 @@ pub struct Jvm {
     safepoints: u64,
     deferred_gcs: u64,
     recorder: Recorder,
+    safepoints_label: LabelId,
+    deferred_label: LabelId,
+    collections_label: LabelId,
 }
 
 impl Jvm {
@@ -90,6 +93,9 @@ impl Jvm {
             safepoints: 0,
             deferred_gcs: 0,
             recorder: Recorder::disabled(),
+            safepoints_label: LabelId(0),
+            deferred_label: LabelId(0),
+            collections_label: LabelId(0),
         };
         jvm.spawn_thread();
         jvm
@@ -134,6 +140,9 @@ impl Jvm {
     /// are recorded from then on.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.pins.set_recorder(recorder.clone());
+        self.safepoints_label = recorder.intern("gc.safepoints");
+        self.deferred_label = recorder.intern("gc.deferred");
+        self.collections_label = recorder.intern("gc.collections");
         self.recorder = recorder;
     }
 
@@ -554,20 +563,18 @@ impl Jvm {
     /// at every language transition.
     pub fn safepoint(&mut self) -> Option<GcStats> {
         self.safepoints += 1;
-        self.recorder.count("gc.safepoints", 1);
+        self.recorder.count_id(self.safepoints_label, 1);
         let period = self.auto_gc_period?;
         if !self.safepoints.is_multiple_of(period) {
             return None;
         }
         if self.any_critical_section() {
             self.deferred_gcs += 1;
-            self.recorder.count("gc.deferred", 1);
-            self.recorder
-                .event(NO_THREAD, EventKind::GcSafepoint { collected: false });
+            self.recorder.count_id(self.deferred_label, 1);
+            self.recorder.gc_safepoint_id(NO_THREAD, false);
             return None;
         }
-        self.recorder
-            .event(NO_THREAD, EventKind::GcSafepoint { collected: true });
+        self.recorder.gc_safepoint_id(NO_THREAD, true);
         Some(self.gc())
     }
 
@@ -600,14 +607,9 @@ impl Jvm {
         let mut strong = roots.into_iter();
         let mut weak = weaks.roots_mut();
         let stats = heap.collect(&mut [&mut strong], &mut [&mut weak]);
-        self.recorder.count("gc.collections", 1);
-        self.recorder.event(
-            NO_THREAD,
-            EventKind::Gc {
-                live: stats.live as u64,
-                freed: stats.collected as u64,
-            },
-        );
+        self.recorder.count_id(self.collections_label, 1);
+        self.recorder
+            .gc_id(NO_THREAD, stats.live as u64, stats.collected as u64);
         stats
     }
 }

@@ -93,12 +93,12 @@ pub enum EventKind {
     /// `Call:C→Java`: a JNI function was entered.
     JniEnter {
         /// The function's `jni.h` name.
-        func: &'static str,
+        func: Arc<str>,
     },
     /// `Return:Java→C`: a JNI function returned.
     JniExit {
         /// The function's `jni.h` name.
-        func: &'static str,
+        func: Arc<str>,
         /// Wall-clock duration of the call.
         nanos: u64,
         /// Whether the call ended in an error (exception, death, or a

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::event::{EventKind, TraceEvent, NO_THREAD};
-use crate::metrics::Snapshot;
+use crate::metrics::{Coverage, Snapshot};
 
 /// Escapes `s` as the body of a JSON string literal.
 fn escape_json(s: &str, out: &mut String) {
@@ -78,13 +78,43 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
 /// `dropped-events` instant when the source ring evicted events — so a
 /// truncated trace is visibly truncated in the timeline.
 pub fn chrome_trace_with_drops(events: &[TraceEvent], dropped: u64) -> String {
+    chrome_trace_with_coverage(
+        events,
+        Coverage {
+            ring_dropped: dropped,
+            ..Coverage::default()
+        },
+    )
+}
+
+/// Renders events as Chrome Trace Event Format JSON with full coverage
+/// metadata: a `dropped-events` instant when the ring evicted events,
+/// and a `trace-sampling` instant whenever the trace policy suppressed
+/// events — a sampled timeline is never presented as complete. With
+/// default (complete) coverage the output is byte-identical to
+/// [`chrome_trace`].
+pub fn chrome_trace_with_coverage(events: &[TraceEvent], coverage: Coverage) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    if dropped > 0 {
+    if coverage.ring_dropped > 0 {
         let _ = write!(
             out,
             "{{\"name\":\"dropped-events\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,\
-             \"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{{\"dropped\":{dropped}}}}},"
+             \"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{{\"dropped\":{}}}}},",
+            coverage.ring_dropped
+        );
+    }
+    if coverage.sampled() {
+        let _ = write!(
+            out,
+            "{{\"name\":\"trace-sampling\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,\
+             \"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{{\"sampled\":true,\
+             \"suppressed_sampled\":{},\"auto_downsampled\":{},\"suppressed_disabled\":{},\
+             \"policy_epoch\":{}}}}},",
+            coverage.suppressed_sampled,
+            coverage.auto_downsampled,
+            coverage.suppressed_disabled,
+            coverage.policy_epoch
         );
     }
     for event in events {
@@ -168,16 +198,39 @@ pub fn text_dump(events: &[TraceEvent], snapshot: &Snapshot) -> String {
 /// Renders events and a metrics snapshot as plain text, annotating the
 /// header with the number of evicted (dropped) events when non-zero.
 pub fn text_dump_with_drops(events: &[TraceEvent], snapshot: &Snapshot, dropped: u64) -> String {
+    text_dump_with_coverage(
+        events,
+        snapshot,
+        Coverage {
+            ring_dropped: dropped,
+            ..Coverage::default()
+        },
+    )
+}
+
+/// Renders events and a metrics snapshot as plain text with full
+/// coverage accounting in the header: evicted events and, when the
+/// policy suppressed anything, an explicit `SAMPLED` marker. With
+/// default (complete) coverage the output is byte-identical to
+/// [`text_dump`].
+pub fn text_dump_with_coverage(
+    events: &[TraceEvent],
+    snapshot: &Snapshot,
+    coverage: Coverage,
+) -> String {
     let mut out = String::new();
-    if dropped > 0 {
-        let _ = writeln!(
-            out,
-            "trace ({} events held, {dropped} dropped):",
-            events.len()
-        );
-    } else {
-        let _ = writeln!(out, "trace ({} events held):", events.len());
+    let _ = write!(out, "trace ({} events held", events.len());
+    if coverage.ring_dropped > 0 {
+        let _ = write!(out, ", {} dropped", coverage.ring_dropped);
     }
+    if coverage.sampled() {
+        let _ = write!(
+            out,
+            ", {} suppressed by policy, SAMPLED",
+            coverage.suppressed_total()
+        );
+    }
+    let _ = writeln!(out, "):");
     for event in events {
         let _ = writeln!(out, "  {event}");
     }
@@ -224,7 +277,7 @@ mod tests {
                 0,
                 1,
                 EventKind::JniEnter {
-                    func: "GetObjectClass",
+                    func: "GetObjectClass".into(),
                 },
             ),
             ev(
@@ -250,7 +303,7 @@ mod tests {
                 3,
                 1,
                 EventKind::JniExit {
-                    func: "GetObjectClass",
+                    func: "GetObjectClass".into(),
                     nanos: 4200,
                     failed: true,
                 },
@@ -279,7 +332,7 @@ mod tests {
             0,
             2,
             EventKind::JniEnter {
-                func: "NewStringUTF",
+                func: "NewStringUTF".into(),
             },
         )];
         let mut metrics = MetricsRegistry::new();
@@ -287,6 +340,7 @@ mod tests {
         let snapshot = Snapshot {
             taken_at_micros: 5,
             metrics,
+            coverage: Coverage::default(),
         };
         let text = text_dump(&events, &snapshot);
         assert!(text.contains("trace (1 events held):"));
@@ -300,7 +354,7 @@ mod tests {
             9,
             1,
             EventKind::JniEnter {
-                func: "NewStringUTF",
+                func: "NewStringUTF".into(),
             },
         )];
         let json = chrome_trace_with_drops(&events, 42);
@@ -315,11 +369,60 @@ mod tests {
         let snapshot = Snapshot {
             taken_at_micros: 5,
             metrics: MetricsRegistry::new(),
+            coverage: Coverage::default(),
         };
         let text = text_dump_with_drops(&events, &snapshot, 42);
         assert!(text.contains("trace (1 events held, 42 dropped):"));
         assert_eq!(
             text_dump_with_drops(&events, &snapshot, 0),
+            text_dump(&events, &snapshot)
+        );
+    }
+
+    #[test]
+    fn sampling_is_flagged_in_both_exporters() {
+        let events = vec![ev(
+            3,
+            1,
+            EventKind::JniEnter {
+                func: "NewStringUTF".into(),
+            },
+        )];
+        let coverage = Coverage {
+            recorded: 1,
+            suppressed_sampled: 7,
+            auto_downsampled: 2,
+            policy_epoch: 3,
+            ..Coverage::default()
+        };
+        let json = chrome_trace_with_coverage(&events, coverage);
+        assert!(
+            json.contains(concat!(
+                "{\"name\":\"trace-sampling\",\"cat\":\"meta\",\"ph\":\"i\",\"ts\":0,",
+                "\"pid\":1,\"tid\":9999,\"s\":\"t\",\"args\":{\"sampled\":true,",
+                "\"suppressed_sampled\":7,\"auto_downsampled\":2,\"suppressed_disabled\":0,",
+                "\"policy_epoch\":3}},"
+            )),
+            "{json}"
+        );
+        // Complete coverage renders byte-identically to the plain form.
+        assert_eq!(
+            chrome_trace_with_coverage(&events, Coverage::default()),
+            chrome_trace(&events)
+        );
+
+        let snapshot = Snapshot {
+            taken_at_micros: 5,
+            metrics: MetricsRegistry::new(),
+            coverage,
+        };
+        let text = text_dump_with_coverage(&events, &snapshot, coverage);
+        assert!(
+            text.contains("trace (1 events held, 9 suppressed by policy, SAMPLED):"),
+            "{text}"
+        );
+        assert_eq!(
+            text_dump_with_coverage(&events, &snapshot, Coverage::default()),
             text_dump(&events, &snapshot)
         );
     }

@@ -173,7 +173,7 @@ mod tests {
         r.event(
             9,
             EventKind::JniEnter {
-                func: "NewStringUTF",
+                func: "NewStringUTF".into(),
             },
         );
         // The failing entity's life, on thread 3.

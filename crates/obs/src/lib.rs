@@ -5,9 +5,14 @@
 //! error state. This crate supplies the surrounding context that a
 //! production deployment needs on top of the verdict:
 //!
-//! * [`ring`] — a fixed-capacity trace ring of [`TraceEvent`]s, one per
-//!   language transition (the paper's Figure 2 arrows), FSM transition,
-//!   GC event, pin event, and checker verdict;
+//! * [`spsc`] — per-writer-thread SPSC rings of fixed-width binary
+//!   [`raw::RawEvent`] records, one per language transition (the
+//!   paper's Figure 2 arrows), FSM transition, GC event, pin event, and
+//!   checker verdict — a wait-free record path cheap enough to leave on
+//!   in production;
+//! * [`policy`] — a runtime-swappable [`TracePolicy`]: per-function /
+//!   per-machine enable, disable, and 1-in-N sampling, with hot labels
+//!   auto-downsampled and all suppression flagged in exports;
 //! * [`metrics`] — monotonic counters and log₂-bucketed latency
 //!   histograms keyed per JNI function and per state machine, with a
 //!   cheap [`Snapshot`];
@@ -31,11 +36,17 @@ pub mod event;
 pub mod export;
 pub mod forensics;
 pub mod metrics;
+pub mod policy;
+pub mod raw;
 pub mod recorder;
 pub mod ring;
+pub mod spsc;
 
 pub use event::{EntityTag, EventKind, FsmOutcome, TraceEvent, VerdictAction};
 pub use forensics::{BugReport, ForensicsConfig};
-pub use metrics::{Histogram, MetricsRegistry, Snapshot};
-pub use recorder::{Recorder, DEFAULT_RING_CAPACITY};
+pub use metrics::{Coverage, Histogram, MetricsRegistry, Snapshot};
+pub use policy::TracePolicy;
+pub use raw::{LabelId, RawEvent};
+pub use recorder::{Recorder, DEFAULT_RING_CAPACITY, MAX_WRITERS};
 pub use ring::TraceRing;
+pub use spsc::SpscRing;

@@ -150,6 +150,16 @@ pub struct FuncMetrics {
     pub latency: Histogram,
 }
 
+impl FuncMetrics {
+    /// Folds another function's worth of metrics into this one (used
+    /// when flushing thread-local batches into the shared store).
+    pub fn merge(&mut self, other: &FuncMetrics) {
+        self.calls += other.calls;
+        self.failures += other.failures;
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// Per-state-machine metrics: transition outcome counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MachineMetrics {
@@ -166,15 +176,22 @@ impl MachineMetrics {
     pub fn total(&self) -> u64 {
         self.applied + self.not_applicable + self.errors
     }
+
+    /// Folds another machine's worth of counts into this one.
+    pub fn merge(&mut self, other: &MachineMetrics) {
+        self.applied += other.applied;
+        self.not_applicable += other.not_applicable;
+        self.errors += other.errors;
+    }
 }
 
 /// The live registry behind a recorder. Mutated in place; snapshot by
 /// cloning.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
-    jni: BTreeMap<&'static str, FuncMetrics>,
+    jni: BTreeMap<String, FuncMetrics>,
     machines: BTreeMap<String, MachineMetrics>,
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<String, u64>,
 }
 
 impl MetricsRegistry {
@@ -184,13 +201,37 @@ impl MetricsRegistry {
     }
 
     /// Records one completed JNI call.
-    pub fn jni_call(&mut self, func: &'static str, nanos: u64, failed: bool) {
-        let m = self.jni.entry(func).or_default();
+    pub fn jni_call(&mut self, func: &str, nanos: u64, failed: bool) {
+        let m = match self.jni.get_mut(func) {
+            Some(m) => m,
+            None => self.jni.entry(func.to_owned()).or_default(),
+        };
         m.calls += 1;
         if failed {
             m.failures += 1;
         }
         m.latency.record(nanos);
+    }
+
+    /// Merges a pre-aggregated block of per-function metrics under
+    /// `func` (used when draining thread-local batches).
+    pub fn merge_jni(&mut self, func: &str, block: &FuncMetrics) {
+        match self.jni.get_mut(func) {
+            Some(m) => m.merge(block),
+            None => {
+                self.jni.insert(func.to_owned(), block.clone());
+            }
+        }
+    }
+
+    /// Merges a pre-aggregated block of per-machine metrics.
+    pub fn merge_machine(&mut self, machine: &str, block: &MachineMetrics) {
+        match self.machines.get_mut(machine) {
+            Some(m) => m.merge(block),
+            None => {
+                self.machines.insert(machine.to_owned(), *block);
+            }
+        }
     }
 
     /// Records one FSM transition outcome for `machine`.
@@ -207,13 +248,18 @@ impl MetricsRegistry {
     }
 
     /// Bumps a named counter by `delta`.
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_owned(), delta);
+            }
+        }
     }
 
     /// Per-function metrics, sorted by function name.
-    pub fn jni_functions(&self) -> impl Iterator<Item = (&'static str, &FuncMetrics)> {
-        self.jni.iter().map(|(k, v)| (*k, v))
+    pub fn jni_functions(&self) -> impl Iterator<Item = (&str, &FuncMetrics)> {
+        self.jni.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Per-machine metrics, sorted by machine name.
@@ -222,8 +268,8 @@ impl MetricsRegistry {
     }
 
     /// Named counters, sorted by name.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// A named counter's value (0 if never bumped).
@@ -242,6 +288,50 @@ impl MetricsRegistry {
     }
 }
 
+/// How complete the trace ring's view of the workload is.
+///
+/// `recorded` counts events that reached a ring; the `suppressed_*`
+/// fields count events the [`TracePolicy`](crate::TracePolicy) kept out
+/// of the ring (metrics and verdicts still saw them); `ring_dropped`
+/// counts recorded events later evicted by wraparound. Downstream
+/// consumers must treat a timeline with [`sampled`](Coverage::sampled)
+/// set as partial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Events written into the trace rings (including later-evicted).
+    pub recorded: u64,
+    /// Recorded events since evicted by ring wraparound.
+    pub ring_dropped: u64,
+    /// Events suppressed because their label's rate was 0 (disabled).
+    pub suppressed_disabled: u64,
+    /// Events suppressed by 1-in-N sampling.
+    pub suppressed_sampled: u64,
+    /// Events suppressed by hot-label auto-downsampling.
+    pub auto_downsampled: u64,
+    /// The policy epoch at snapshot time (bumped by every
+    /// [`set_policy`](crate::Recorder::set_policy)).
+    pub policy_epoch: u64,
+}
+
+impl Coverage {
+    /// True when the policy suppressed at least one event: the timeline
+    /// is an explicit sample, not a complete record.
+    pub fn sampled(&self) -> bool {
+        self.suppressed_disabled > 0 || self.suppressed_sampled > 0 || self.auto_downsampled > 0
+    }
+
+    /// Total events the policy kept out of the ring.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed_disabled + self.suppressed_sampled + self.auto_downsampled
+    }
+
+    /// True when every observed event is still in the ring: nothing
+    /// sampled out, nothing evicted.
+    pub fn complete(&self) -> bool {
+        !self.sampled() && self.ring_dropped == 0
+    }
+}
+
 /// A point-in-time copy of the registry, taken by [`crate::Recorder::snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
@@ -249,6 +339,8 @@ pub struct Snapshot {
     pub taken_at_micros: u64,
     /// The copied registry.
     pub metrics: MetricsRegistry,
+    /// Trace-ring coverage accounting, including the sampling flag.
+    pub coverage: Coverage,
 }
 
 impl Snapshot {
@@ -299,6 +391,19 @@ impl Snapshot {
         for (name, value) in self.metrics.counters() {
             let _ = writeln!(out, "  {name:<42} {value:>9}");
         }
+        let c = &self.coverage;
+        let _ = writeln!(
+            out,
+            "\ntrace coverage{}: {} recorded, {} ring-dropped, {} sampled-out, \
+             {} auto-downsampled, {} disabled-out (policy epoch {})",
+            if c.sampled() { " [SAMPLED]" } else { "" },
+            c.recorded,
+            c.ring_dropped,
+            c.suppressed_sampled,
+            c.auto_downsampled,
+            c.suppressed_disabled,
+            c.policy_epoch,
+        );
         out
     }
 }
@@ -401,11 +506,30 @@ mod tests {
         let snap = Snapshot {
             taken_at_micros: 42,
             metrics: r,
+            coverage: Coverage::default(),
         };
         let text = snap.render();
         assert!(text.contains("DeleteLocalRef"));
         assert!(text.contains("local-reference"));
         assert!(text.contains("checks.pre"));
         assert!(text.contains("+42us"));
+        assert!(text.contains("trace coverage:"), "{text}");
+        assert!(!text.contains("[SAMPLED]"), "{text}");
+    }
+
+    #[test]
+    fn sampled_coverage_is_flagged_in_renders() {
+        let snap = Snapshot {
+            taken_at_micros: 1,
+            metrics: MetricsRegistry::new(),
+            coverage: Coverage {
+                recorded: 10,
+                suppressed_sampled: 5,
+                ..Coverage::default()
+            },
+        };
+        assert!(snap.coverage.sampled());
+        assert!(!snap.coverage.complete());
+        assert!(snap.render().contains("trace coverage [SAMPLED]"));
     }
 }

@@ -1,0 +1,241 @@
+//! Runtime-adjustable trace policy: per-label enable / disable / 1-in-N
+//! sampling, swappable while the workload runs.
+//!
+//! A [`TracePolicy`] is a declarative spec. The recorder compiles it
+//! into a flat table of per-label atomic rates plus an epoch counter;
+//! swapping policies rewrites the table and bumps the epoch, so in-
+//! flight producers pick up the new rates on their very next event —
+//! no locks on the record path, no restart, no lost in-flight events.
+//!
+//! The policy governs **tracing only**: metrics aggregation and checker
+//! verdicts are never sampled, so verdict streams are byte-identical
+//! across all policy configurations. Whenever a policy suppressed at
+//! least one event, every export and metrics snapshot carries an
+//! explicit sampling flag (see [`Coverage`](crate::Coverage)).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// Number of label ids with a dedicated per-label rate slot. Labels
+/// interned beyond this (pathological cardinality) fall back to the
+/// policy's default rate.
+pub const POLICY_LABEL_SLOTS: usize = 1024;
+
+/// Sampling rate for one label: `0` = disabled, `1` = record every
+/// event, `n` = record 1 in `n`.
+pub type SampleRate = u32;
+
+/// A declarative trace policy.
+///
+/// Build one with the constructors and builder methods, then install it
+/// with [`Recorder::set_policy`](crate::Recorder::set_policy). Rules
+/// match label text exactly — a JNI function name (`NewStringUTF`), a
+/// native method (`bench/Churn.churn`), or a machine name
+/// (`local-reference`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePolicy {
+    default_rate: SampleRate,
+    rules: Vec<(String, SampleRate)>,
+    auto_threshold: u32,
+    auto_rate: SampleRate,
+    latency_timers: bool,
+}
+
+impl Default for TracePolicy {
+    fn default() -> TracePolicy {
+        TracePolicy::full()
+    }
+}
+
+impl TracePolicy {
+    /// Record every event (the recorder's initial policy).
+    pub fn full() -> TracePolicy {
+        TracePolicy {
+            default_rate: 1,
+            rules: Vec::new(),
+            auto_threshold: 0,
+            auto_rate: 16,
+            latency_timers: true,
+        }
+    }
+
+    /// Trace nothing (metrics and verdicts still flow).
+    pub fn off() -> TracePolicy {
+        TracePolicy {
+            default_rate: 0,
+            ..TracePolicy::full()
+        }
+    }
+
+    /// Record 1 in `n` events for every label (`0` disables, `1` is
+    /// equivalent to [`full`](Self::full)).
+    pub fn sample_all(n: SampleRate) -> TracePolicy {
+        TracePolicy {
+            default_rate: n,
+            ..TracePolicy::full()
+        }
+    }
+
+    /// Overrides the rate for one label: `0` disables it, `1` records
+    /// every event, `n` records 1 in `n`. Later rules for the same
+    /// label win.
+    pub fn rate(mut self, label: impl Into<String>, rate: SampleRate) -> TracePolicy {
+        self.rules.push((label.into(), rate));
+        self
+    }
+
+    /// Shorthand for `rate(label, 1)`.
+    pub fn enable(self, label: impl Into<String>) -> TracePolicy {
+        self.rate(label, 1)
+    }
+
+    /// Shorthand for `rate(label, 0)`.
+    pub fn disable(self, label: impl Into<String>) -> TracePolicy {
+        self.rate(label, 0)
+    }
+
+    /// Auto-downsample hot labels: once a producer thread has seen more
+    /// than `threshold` events for a label, that label's effective rate
+    /// drops to at least 1-in-`rate`. `threshold == 0` disables the
+    /// mechanism. Counts are per producer thread, so the knee is
+    /// approximate across threads — by design, to keep the record path
+    /// free of shared counters.
+    pub fn auto_downsample(mut self, threshold: u32, rate: SampleRate) -> TracePolicy {
+        self.auto_threshold = threshold;
+        self.auto_rate = rate.max(2);
+        self
+    }
+
+    /// Disables the per-call latency timers (two extra clock reads per
+    /// JNI call). Latencies report as zero in events and are skipped in
+    /// histograms while off.
+    pub fn without_latency_timers(mut self) -> TracePolicy {
+        self.latency_timers = false;
+        self
+    }
+
+    /// The rate applied to labels with no matching rule.
+    pub fn default_rate(&self) -> SampleRate {
+        self.default_rate
+    }
+
+    /// The per-label overrides, in insertion order.
+    pub fn rules(&self) -> &[(String, SampleRate)] {
+        &self.rules
+    }
+
+    /// The auto-downsample knee, if enabled.
+    pub fn auto_downsample_config(&self) -> Option<(u32, SampleRate)> {
+        (self.auto_threshold > 0).then_some((self.auto_threshold, self.auto_rate))
+    }
+
+    /// Whether per-call latency timers run.
+    pub fn latency_timers(&self) -> bool {
+        self.latency_timers
+    }
+
+    /// The effective rate this spec assigns to `label` (rule lookup;
+    /// used when compiling and when interning new labels).
+    pub(crate) fn rate_for_name(&self, label: &str) -> SampleRate {
+        self.rules
+            .iter()
+            .rev()
+            .find(|(name, _)| name == label)
+            .map(|&(_, rate)| rate)
+            .unwrap_or(self.default_rate)
+    }
+}
+
+/// The compiled, atomically-swappable form of a [`TracePolicy`] held by
+/// the recorder backend.
+#[derive(Debug)]
+pub(crate) struct PolicyTable {
+    /// Bumped on every [`set_policy`](crate::Recorder::set_policy);
+    /// producers compare it against their cached epoch to reset local
+    /// sampling counters.
+    pub epoch: AtomicU64,
+    pub default_rate: AtomicU32,
+    /// Per-label rates, indexed by label id, for ids below
+    /// [`POLICY_LABEL_SLOTS`].
+    pub rates: Box<[AtomicU32]>,
+    pub auto_threshold: AtomicU32,
+    pub auto_rate: AtomicU32,
+    pub latency_timers: AtomicBool,
+}
+
+impl PolicyTable {
+    pub fn new() -> PolicyTable {
+        let rates: Vec<AtomicU32> = (0..POLICY_LABEL_SLOTS).map(|_| AtomicU32::new(1)).collect();
+        PolicyTable {
+            epoch: AtomicU64::new(0),
+            default_rate: AtomicU32::new(1),
+            rates: rates.into_boxed_slice(),
+            auto_threshold: AtomicU32::new(0),
+            auto_rate: AtomicU32::new(16),
+            latency_timers: AtomicBool::new(true),
+        }
+    }
+
+    /// Installs a new spec. `rate_of` resolves the rate for each label
+    /// id currently interned (the caller maps ids to names). The epoch
+    /// bump is the last store, with release ordering, so a producer that
+    /// observes the new epoch also observes the new rates.
+    pub fn install(&self, spec: &TracePolicy, rate_of: impl Fn(usize) -> SampleRate) {
+        self.default_rate
+            .store(spec.default_rate(), Ordering::Relaxed);
+        self.auto_threshold
+            .store(spec.auto_threshold, Ordering::Relaxed);
+        self.auto_rate.store(spec.auto_rate, Ordering::Relaxed);
+        self.latency_timers
+            .store(spec.latency_timers, Ordering::Relaxed);
+        for (id, slot) in self.rates.iter().enumerate() {
+            slot.store(rate_of(id), Ordering::Relaxed);
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The sampling rate for a label id: one relaxed load on the record
+    /// path.
+    #[inline]
+    pub fn rate_for(&self, label: u32) -> SampleRate {
+        match self.rates.get(label as usize) {
+            Some(slot) => slot.load(Ordering::Relaxed),
+            None => self.default_rate.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_resolve_latest_wins() {
+        let p = TracePolicy::sample_all(8)
+            .rate("NewStringUTF", 2)
+            .disable("GetVersion")
+            .rate("NewStringUTF", 4);
+        assert_eq!(p.rate_for_name("NewStringUTF"), 4);
+        assert_eq!(p.rate_for_name("GetVersion"), 0);
+        assert_eq!(p.rate_for_name("DeleteLocalRef"), 8);
+    }
+
+    #[test]
+    fn install_rewrites_rates_and_bumps_epoch() {
+        let table = PolicyTable::new();
+        assert_eq!(table.rate_for(3), 1);
+        let spec = TracePolicy::off().enable("keep");
+        // Pretend label 3 is "keep".
+        table.install(&spec, |id| if id == 3 { 1 } else { 0 });
+        assert_eq!(table.epoch.load(Ordering::Acquire), 1);
+        assert_eq!(table.rate_for(3), 1);
+        assert_eq!(table.rate_for(7), 0);
+        assert_eq!(table.rate_for(999_999), 0, "overflow ids use default");
+    }
+
+    #[test]
+    fn auto_downsample_floors_the_rate_at_two() {
+        let p = TracePolicy::full().auto_downsample(100, 1);
+        assert_eq!(p.auto_downsample_config(), Some((100, 2)));
+        assert!(TracePolicy::full().auto_downsample_config().is_none());
+    }
+}

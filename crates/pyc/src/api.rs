@@ -10,11 +10,10 @@
 //! ([`PyInterpose`]) before and after its raw semantics.
 
 use std::fmt;
-use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use jinn_obs::{EntityTag, EventKind, FsmOutcome, Recorder, VerdictAction};
+use jinn_obs::{FsmOutcome, LabelId, Recorder, VerdictAction};
 
 use crate::interp::{GilError, PyErrState, PyThread, Python};
 use crate::object::{Deref, PyPtr, PyValue};
@@ -269,15 +268,33 @@ pub enum BuildArg {
     Str(String),
 }
 
+/// Pre-interned labels for the Python/C instrumentation fast path,
+/// owned by the session so they persist across the short-lived
+/// [`PyEnv`] values.
+#[derive(Debug, Default)]
+pub(crate) struct PyObsLabels {
+    funcs: std::collections::HashMap<&'static str, LabelId>,
+}
+
+impl PyObsLabels {
+    fn func(&mut self, name: &'static str, recorder: &Recorder) -> LabelId {
+        *self
+            .funcs
+            .entry(name)
+            .or_insert_with(|| recorder.intern(name))
+    }
+}
+
 /// The checked Python/C environment: interpreter + interposition stack.
 pub struct PyEnv<'a> {
     py: &'a mut Python,
     checkers: &'a mut Vec<Box<dyn PyInterpose>>,
     thread: PyThread,
     recorder: Recorder,
+    labels: &'a mut PyObsLabels,
     /// The Python/C call currently between `begin` and `end`, with its
     /// start time; closed as failed if the call aborts before `end`.
-    pending: Option<(&'static str, Option<Instant>)>,
+    pending: Option<(LabelId, Option<Instant>)>,
 }
 
 impl fmt::Debug for PyEnv<'_> {
@@ -294,12 +311,14 @@ impl<'a> PyEnv<'a> {
         checkers: &'a mut Vec<Box<dyn PyInterpose>>,
         thread: PyThread,
         recorder: Recorder,
+        labels: &'a mut PyObsLabels,
     ) -> PyEnv<'a> {
         PyEnv {
             py,
             checkers,
             thread,
             recorder,
+            labels,
             pending: None,
         }
     }
@@ -325,9 +344,9 @@ impl<'a> PyEnv<'a> {
             // A previous call that aborted before its `end` is closed as
             // failed here so the trace stays balanced.
             self.close_pending(true);
-            self.recorder
-                .event(self.thread.0, EventKind::JniEnter { func: name });
-            self.pending = Some((name, self.recorder.timer()));
+            let label = self.labels.func(name, &self.recorder);
+            self.recorder.jni_enter_id(self.thread.0, label);
+            self.pending = Some((label, self.recorder.timer()));
         }
         let call = PyCall {
             spec: spec(name),
@@ -364,16 +383,9 @@ impl<'a> PyEnv<'a> {
     /// by the last `begin`, if any.
     fn close_pending(&mut self, failed: bool) {
         if let Some((func, started)) = self.pending.take() {
-            let nanos = started.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
-            self.recorder.event(
-                self.thread.0,
-                EventKind::JniExit {
-                    func,
-                    nanos,
-                    failed,
-                },
-            );
-            self.recorder.jni_call(func, nanos, failed);
+            let nanos = started.map(|t| t.elapsed().as_nanos() as u64);
+            self.recorder
+                .jni_exit_id(self.thread.0, func, nanos, failed);
         }
     }
 
@@ -385,23 +397,24 @@ impl<'a> PyEnv<'a> {
         if !self.recorder.is_enabled() {
             return;
         }
-        self.recorder.event(
+        // Violations are rare: interning here (rather than caching ids)
+        // keeps this cold path simple.
+        let machine = self.recorder.intern(v.machine);
+        let transition = self.recorder.intern("Violation");
+        let entity = v.entity.as_deref().map(|e| self.recorder.intern(e));
+        self.recorder.fsm_transition_id(
             self.thread.0,
-            EventKind::FsmTransition {
-                machine: Arc::from(v.machine),
-                transition: Arc::from("Violation"),
-                outcome: FsmOutcome::Error,
-                entity: v.entity.as_deref().map(EntityTag::new),
-            },
+            machine,
+            transition,
+            FsmOutcome::Error,
+            entity,
         );
-        self.recorder.fsm(v.machine, FsmOutcome::Error);
-        self.recorder.event(
+        let function = self.recorder.intern(&v.function);
+        self.recorder.verdict_id(
             self.thread.0,
-            EventKind::Verdict {
-                machine: Arc::from(v.machine),
-                function: Arc::from(v.function.as_str()),
-                action: VerdictAction::ThrowException,
-            },
+            machine,
+            function,
+            VerdictAction::ThrowException,
         );
         self.recorder.count("checks.violations", 1);
     }

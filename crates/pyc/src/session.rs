@@ -1,10 +1,8 @@
 //! Python/C sessions and the Section 7 example programs.
 
-use std::sync::Arc;
+use jinn_obs::{forensics, BugReport, ForensicsConfig, Recorder, VerdictAction};
 
-use jinn_obs::{forensics, BugReport, EventKind, ForensicsConfig, Recorder, VerdictAction};
-
-use crate::api::{BuildArg, PyEnv, PyError, PyInterpose, PyViolation};
+use crate::api::{BuildArg, PyEnv, PyError, PyInterpose, PyObsLabels, PyViolation};
 use crate::interp::{PyThread, Python};
 use crate::object::PyPtr;
 
@@ -17,6 +15,7 @@ pub struct PySession {
     recorder: Recorder,
     forensics_config: ForensicsConfig,
     last_forensics: Option<BugReport>,
+    labels: PyObsLabels,
 }
 
 impl std::fmt::Debug for PySession {
@@ -56,6 +55,7 @@ impl PySession {
             recorder: Recorder::disabled(),
             forensics_config: ForensicsConfig::default(),
             last_forensics: None,
+            labels: PyObsLabels::default(),
         }
     }
 
@@ -112,6 +112,7 @@ impl PySession {
             &mut self.checkers,
             Python::MAIN,
             self.recorder.clone(),
+            &mut self.labels,
         )
     }
 
@@ -122,6 +123,7 @@ impl PySession {
             &mut self.checkers,
             thread,
             self.recorder.clone(),
+            &mut self.labels,
         )
     }
 
@@ -181,14 +183,11 @@ impl PySession {
         }
         if self.recorder.is_enabled() {
             for v in &out {
-                self.recorder.event(
-                    Python::MAIN.0,
-                    EventKind::Verdict {
-                        machine: Arc::from(v.machine),
-                        function: Arc::from(v.function.as_str()),
-                        action: VerdictAction::Warn,
-                    },
-                );
+                // Shutdown sweeps are cold: intern per verdict.
+                let machine = self.recorder.intern(v.machine);
+                let function = self.recorder.intern(&v.function);
+                self.recorder
+                    .verdict_id(Python::MAIN.0, machine, function, VerdictAction::Warn);
             }
             self.recorder.count("checks.violations", out.len() as u64);
         }

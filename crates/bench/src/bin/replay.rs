@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! replay record [--out DIR] [--verify] [PROGRAM...]   record traces (default: all)
-//! replay check FILE...                                parse + checksum-validate
-//! replay diff [--config LIST] FILE...                 differential verdicts
+//! replay check [--json] FILE...                       parse + checksum-validate
+//! replay diff [--config LIST] [--json] [--expect-agree] FILE...
+//!                                                     differential verdicts
 //! replay stats FILE...                                per-trace summaries
 //! replay bench                                        BENCH_replay.json on stdout
 //! ```
+//!
+//! Exit status: 0 clean, 1 on any validation failure, replay divergence,
+//! or (under `--expect-agree`) verdict disagreement, 2 on usage errors.
+//! `--json` switches `check`/`diff` to one JSON object per line.
 //!
 //! Configurations for `--config` are comma-separated labels:
 //! `hotspot`, `j9`, `xcheck:hotspot`, `xcheck:j9`, `jinn`, `jinn:j9`.
@@ -111,25 +116,67 @@ fn cmd_record(args: &[String]) -> i32 {
 
 // ---- check -------------------------------------------------------------
 
-/// Validates one trace file; returns the `ok` line or the `FAIL` message.
-fn check_one(file: &str) -> Result<String, String> {
-    let bytes = std::fs::read(file).map_err(|e| format!("FAIL {file}: {e}"))?;
+/// Minimal JSON string escaping for file names and error messages.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Validates one trace file; returns the `ok` line or the `FAIL` message
+/// (plain text or one JSON object, per `json`).
+fn check_one(file: &str, json: bool) -> Result<String, String> {
+    let fail = |e: String| {
+        if json {
+            format!(
+                "{{\"file\": {}, \"ok\": false, \"error\": {}, \"reader_format\": {FORMAT_VERSION}}}",
+                json_str(file),
+                json_str(&e)
+            )
+        } else {
+            format!("FAIL {file}: {e} (reader is at format v{FORMAT_VERSION})")
+        }
+    };
+    let bytes = std::fs::read(file).map_err(|e| fail(e.to_string()))?;
     check_version(&bytes)
         .and_then(|_| Trace::parse(&bytes))
         .map(|trace| {
-            format!(
-                "ok {file}: program={} format=v{} events={}",
-                trace.program(),
-                trace.version,
-                trace.events.len()
-            )
+            if json {
+                format!(
+                    "{{\"file\": {}, \"ok\": true, \"program\": {}, \"format\": {}, \"events\": {}}}",
+                    json_str(file),
+                    json_str(trace.program()),
+                    trace.version,
+                    trace.events.len()
+                )
+            } else {
+                format!(
+                    "ok {file}: program={} format=v{} events={}",
+                    trace.program(),
+                    trace.version,
+                    trace.events.len()
+                )
+            }
         })
-        .map_err(|e| format!("FAIL {file}: {e} (reader is at format v{FORMAT_VERSION})"))
+        .map_err(|e| fail(e.to_string()))
 }
 
-fn cmd_check(files: &[String]) -> i32 {
+fn cmd_check(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
     if files.is_empty() {
-        eprintln!("usage: replay check FILE...");
+        eprintln!("usage: replay check [--json] FILE...");
         return 2;
     }
     // One verifier thread per trace: each thread reads and parses its own
@@ -139,7 +186,7 @@ fn cmd_check(files: &[String]) -> i32 {
     let verdicts: Vec<Result<String, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = files
             .iter()
-            .map(|file| scope.spawn(move || check_one(file)))
+            .map(|file| scope.spawn(move || check_one(file, json)))
             .collect();
         handles
             .into_iter()
@@ -154,7 +201,11 @@ fn cmd_check(files: &[String]) -> i32 {
         match verdict {
             Ok(line) => println!("{line}"),
             Err(line) => {
-                eprintln!("{line}");
+                if json {
+                    println!("{line}");
+                } else {
+                    eprintln!("{line}");
+                }
                 failures += 1;
             }
         }
@@ -168,9 +219,40 @@ fn parse_configs(list: &str) -> Option<Vec<ReplayConfig>> {
     list.split(',').map(ReplayConfig::parse).collect()
 }
 
+/// One diff report as a JSON object line.
+fn diff_json(file: &str, report: &jinn_replay::DiffReport) -> String {
+    let outcomes: Vec<String> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"config\": {}, \"behavior\": {}, \"message\": {}, \
+                 \"events_replayed\": {}, \"divergences\": {}}}",
+                json_str(&o.label),
+                json_str(&o.behavior.to_string()),
+                o.message.as_deref().map_or("null".to_string(), json_str),
+                o.events_replayed,
+                o.divergences
+            )
+        })
+        .collect();
+    format!(
+        "{{\"file\": {}, \"ok\": true, \"program\": {}, \"agree\": {}, \
+         \"distinct_behaviors\": {}, \"divergences\": {}, \"outcomes\": [{}]}}",
+        json_str(file),
+        json_str(&report.program),
+        report.agree(),
+        report.distinct_behaviors(),
+        report.outcomes.iter().map(|o| o.divergences).sum::<u64>(),
+        outcomes.join(", ")
+    )
+}
+
 fn cmd_diff(args: &[String]) -> i32 {
     let mut configs = standard_configs();
     let mut files = Vec::new();
+    let mut json = false;
+    let mut expect_agree = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -181,11 +263,13 @@ fn cmd_diff(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--json" => json = true,
+            "--expect-agree" => expect_agree = true,
             f => files.push(f.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: replay diff [--config LIST] FILE...");
+        eprintln!("usage: replay diff [--config LIST] [--json] [--expect-agree] FILE...");
         return 2;
     }
     let mut failures = 0;
@@ -195,9 +279,37 @@ fn cmd_diff(args: &[String]) -> i32 {
             .and_then(|bytes| Trace::parse(&bytes).map_err(|e| e.to_string()))
             .and_then(|trace| diff_trace(&trace, &configs).map_err(|e| e.to_string()));
         match report {
-            Ok(r) => print!("{}", r.render()),
+            Ok(r) => {
+                if json {
+                    println!("{}", diff_json(file, &r));
+                } else {
+                    print!("{}", r.render());
+                }
+                // A replay divergence means the trace no longer re-drives
+                // faithfully under some configuration — that is a mismatch,
+                // not a verdict difference, and always fails the run.
+                if r.outcomes.iter().any(|o| o.divergences > 0) {
+                    if !json {
+                        eprintln!("FAIL {file}: replay diverged from the recorded trace");
+                    }
+                    failures += 1;
+                } else if expect_agree && !r.agree() {
+                    if !json {
+                        eprintln!("FAIL {file}: configurations disagree (--expect-agree)");
+                    }
+                    failures += 1;
+                }
+            }
             Err(e) => {
-                eprintln!("FAIL {file}: {e}");
+                if json {
+                    println!(
+                        "{{\"file\": {}, \"ok\": false, \"error\": {}}}",
+                        json_str(file),
+                        json_str(&e)
+                    );
+                } else {
+                    eprintln!("FAIL {file}: {e}");
+                }
                 failures += 1;
             }
         }

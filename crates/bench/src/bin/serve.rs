@@ -1,0 +1,486 @@
+//! The jinn-serve CLI: run the daemon, stream traces to it, query it,
+//! smoke-test it, and benchmark a fleet of short-lived clients.
+//!
+//! ```text
+//! serve daemon [--listen ADDR] [--workers N]      run until stdin closes
+//! serve ingest ADDR [--tenant T] [--config C] FILE...
+//!                                                 stream traces, print acks
+//! serve query ADDR JSON...                        one request line each
+//! serve smoke [--listen ADDR]                     3-trace socket round trip,
+//!                                                 verdicts vs local replay
+//! serve bench                                     BENCH_serve.json on stdout
+//! ```
+//!
+//! `bench` knobs (environment): `JINN_SERVE_SESSIONS` (default 1000),
+//! `JINN_SERVE_CLIENTS` (default 8), `JINN_SERVE_WORKERS` (default 4),
+//! `JINN_SERVE_MIN_SESSIONS_PER_SEC` (throughput gate, release only,
+//! default 25).
+//!
+//! Exit status: 0 clean, 1 on mismatch or gate failure, 2 on usage.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use jinn_bench::env_u64;
+use jinn_replay::{
+    case_studies, encode_ingest, microbench_programs, replay_trace, ReplayConfig, Trace,
+};
+use jinn_serve::{Daemon, ServeConfig, SocketServer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("daemon") => cmd_daemon(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("smoke") => cmd_smoke(),
+        Some("bench") => cmd_bench(),
+        _ => {
+            eprintln!("usage: serve <daemon|ingest|query|smoke|bench> [args...]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---- shared client plumbing --------------------------------------------
+
+/// Streams one trace as one session over a fresh connection; returns the
+/// seal-ack JSON line (the daemon answers once the session is terminal).
+fn ingest_session(
+    addr: &str,
+    session: u64,
+    tenant: &str,
+    config: &str,
+    bytes: &[u8],
+) -> std::io::Result<String> {
+    let stream_bytes = encode_ingest(session, tenant, config, bytes, 64 * 1024);
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(&stream_bytes)?;
+    conn.flush()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line.trim().to_string())
+}
+
+/// One query round trip on a fresh connection.
+fn query_line(addr: &str, request: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(request.as_bytes())?;
+    conn.write_all(b"\n")?;
+    conn.flush()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line.trim().to_string())
+}
+
+/// Scans a JSON line for `"key": <integer>` without a full parser — the
+/// smoke/bench client only needs scalar counters out of known-shape
+/// responses.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_true(line: &str, key: &str) -> bool {
+    let needle = format!("\"{key}\":");
+    line.find(&needle)
+        .map(|at| line[at + needle.len()..].trim_start().starts_with("true"))
+        .unwrap_or(false)
+}
+
+// ---- daemon ------------------------------------------------------------
+
+fn cmd_daemon(args: &[String]) -> i32 {
+    let mut listen = "127.0.0.1:7077".to_string();
+    let mut workers = 4usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => {
+                    eprintln!("--listen needs an address");
+                    return 2;
+                }
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => {
+                    eprintln!("--workers needs a number");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("serve daemon: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    let daemon = Daemon::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    });
+    let server = match SocketServer::bind(daemon.handle(), &listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve daemon: bind {listen}: {e}");
+            return 1;
+        }
+    };
+    println!("jinn-serve listening on {}", server.addr());
+    println!("(close stdin to stop)");
+    // Park until stdin closes — the natural lifetime for a foreground
+    // daemon under a test harness or a shell.
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).is_ok_and(|n| n > 0) {
+        sink.clear();
+    }
+    server.shutdown();
+    daemon.shutdown();
+    0
+}
+
+// ---- ingest ------------------------------------------------------------
+
+fn cmd_ingest(args: &[String]) -> i32 {
+    let mut tenant = "cli".to_string();
+    let mut config = String::new();
+    let mut addr = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tenant" => match it.next() {
+                Some(v) => tenant = v.clone(),
+                None => {
+                    eprintln!("--tenant needs a value");
+                    return 2;
+                }
+            },
+            "--config" => match it.next() {
+                Some(v) => config = v.clone(),
+                None => {
+                    eprintln!("--config needs a value");
+                    return 2;
+                }
+            },
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => files.push(other.to_string()),
+        }
+    }
+    let (Some(addr), false) = (addr, files.is_empty()) else {
+        eprintln!("usage: serve ingest ADDR [--tenant T] [--config C] FILE...");
+        return 2;
+    };
+    // Each invocation claims its own id range: repeated `serve ingest`
+    // runs against one daemon must not collide on session ids.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+        ^ u64::from(std::process::id());
+    let base = jinn_serve::AUTO_SESSION_BASE + (nonce % (1 << 47));
+    let mut failures = 0;
+    for (i, file) in files.iter().enumerate() {
+        let session = base + i as u64;
+        let ack = std::fs::read(file)
+            .and_then(|bytes| ingest_session(&addr, session, &tenant, &config, &bytes));
+        match ack {
+            Ok(line) => {
+                println!("{file} -> session {session}: {line}");
+                if !field_true(&line, "ok") || line.contains("\"state\":\"quarantined\"") {
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    i32::from(failures > 0)
+}
+
+// ---- query -------------------------------------------------------------
+
+fn cmd_query(args: &[String]) -> i32 {
+    let Some((addr, requests)) = args.split_first() else {
+        eprintln!("usage: serve query ADDR JSON...");
+        return 2;
+    };
+    if requests.is_empty() {
+        eprintln!("usage: serve query ADDR JSON...");
+        return 2;
+    }
+    for request in requests {
+        match query_line(addr, request) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+// ---- smoke -------------------------------------------------------------
+
+const SMOKE_TRACES: &[&str] = &["LocalRefDangling", "GlobalLeak", "ExceptionState"];
+
+fn corpus_bytes(name: &str) -> Vec<u8> {
+    let path = format!("tests/corpus/{name}.jtrace");
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{path}: {e} (run from the repo root)"))
+}
+
+/// The verdict multiset of a local replay under `jinn`:
+/// (machine, function) → count.
+fn local_verdicts(bytes: &[u8]) -> BTreeMap<(String, String), u64> {
+    let trace = Trace::parse(bytes).expect("corpus trace parses");
+    let outcome =
+        replay_trace(&trace, &ReplayConfig::parse("jinn").expect("jinn config")).expect("replays");
+    let mut set = BTreeMap::new();
+    for v in &outcome.violations {
+        *set.entry((v.machine.to_string(), v.function.clone()))
+            .or_insert(0) += 1;
+    }
+    set
+}
+
+fn cmd_smoke() -> i32 {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = match SocketServer::bind(daemon.handle(), "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve smoke: bind: {e}");
+            return 1;
+        }
+    };
+    let addr = server.addr().to_string();
+    let mut failures = 0;
+
+    for (i, name) in SMOKE_TRACES.iter().enumerate() {
+        let session = 1000 + i as u64;
+        let bytes = corpus_bytes(name);
+        let ack = match ingest_session(&addr, session, "smoke", "jinn", &bytes) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("FAIL {name}: ingest: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        if !field_true(&ack, "ok") {
+            eprintln!("FAIL {name}: seal ack: {ack}");
+            failures += 1;
+            continue;
+        }
+
+        // Compare the daemon's verdicts to a single-process replay:
+        // total count, then one filtered count per (machine, function).
+        let local = local_verdicts(&bytes);
+        let total: u64 = local.values().sum();
+        let line = match query_line(
+            &addr,
+            &format!("{{\"op\": \"query\", \"kind\": \"verdicts\", \"session\": {session}}}"),
+        ) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("FAIL {name}: query: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let served_total = field_u64(&line, "count").unwrap_or(u64::MAX);
+        if served_total != total {
+            eprintln!("FAIL {name}: daemon has {served_total} verdicts, replay check has {total}");
+            failures += 1;
+            continue;
+        }
+        let mut ok = true;
+        for ((machine, function), count) in &local {
+            let request = format!(
+                "{{\"op\": \"query\", \"kind\": \"verdicts\", \"session\": {session}, \
+                 \"machine\": \"{machine}\", \"function\": \"{function}\"}}"
+            );
+            let line = query_line(&addr, &request).unwrap_or_default();
+            let served = field_u64(&line, "count").unwrap_or(u64::MAX);
+            if served != *count {
+                eprintln!(
+                    "FAIL {name}: {machine}/{function}: daemon {served}, replay check {count}"
+                );
+                ok = false;
+            }
+        }
+        if ok {
+            println!("ok {name}: session {session}, {total} verdicts match replay check");
+        } else {
+            failures += 1;
+        }
+    }
+
+    // Fleet sanity over the socket.
+    match query_line(&addr, "{\"op\": \"fleet\"}") {
+        Ok(line) => {
+            let judged = field_u64(&line, "judged").unwrap_or(0);
+            let quarantined = field_u64(&line, "quarantined").unwrap_or(99);
+            if judged == SMOKE_TRACES.len() as u64 && quarantined == 0 {
+                println!("ok fleet: {line}");
+            } else {
+                eprintln!("FAIL fleet: {line}");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL fleet: {e}");
+            failures += 1;
+        }
+    }
+
+    server.shutdown();
+    daemon.shutdown();
+    i32::from(failures > 0)
+}
+
+// ---- bench -------------------------------------------------------------
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines)]
+fn cmd_bench() -> i32 {
+    let sessions = env_u64("JINN_SERVE_SESSIONS", 1000).max(1);
+    let clients = env_u64("JINN_SERVE_CLIENTS", 8).max(1) as usize;
+    let workers = env_u64("JINN_SERVE_WORKERS", 4).max(1) as usize;
+    let min_sessions_per_sec = env_u64("JINN_SERVE_MIN_SESSIONS_PER_SEC", 25);
+
+    // The whole golden corpus, round-robin across the fleet.
+    let traces: Arc<Vec<Vec<u8>>> = Arc::new(
+        microbench_programs()
+            .iter()
+            .chain(case_studies().iter())
+            .map(|p| corpus_bytes(&p.name))
+            .collect(),
+    );
+
+    let daemon = Daemon::start(ServeConfig {
+        workers,
+        retention_bytes: 8 * 1024 * 1024,
+        max_events_per_session: 64,
+        ..ServeConfig::default()
+    });
+    let server = match SocketServer::bind(daemon.handle(), "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve bench: bind: {e}");
+            return 1;
+        }
+    };
+    let addr = server.addr().to_string();
+
+    // Warm-up: one session end to end (synthesis cache, engine pool).
+    let _ = ingest_session(&addr, 1, "warmup", "jinn", &traces[0]);
+
+    let next = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let addr = addr.clone();
+        let traces = Arc::clone(&traces);
+        let next = Arc::clone(&next);
+        handles.push(std::thread::spawn(move || {
+            // Each loop iteration is one short-lived client: fresh
+            // connection, one session, one ack read, disconnect.
+            let mut ingest_micros = Vec::new();
+            let mut events = 0u64;
+            let mut errors = 0u64;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= sessions {
+                    break;
+                }
+                let session = 1_000_000 + i;
+                let tenant = format!("tenant-{client}");
+                let bytes = &traces[i as usize % traces.len()];
+                match ingest_session(&addr, session, &tenant, "jinn", bytes) {
+                    Ok(ack) if field_true(&ack, "ok") => {
+                        if let Some(us) = field_u64(&ack, "ingest_micros") {
+                            ingest_micros.push(us);
+                        }
+                        events += field_u64(&ack, "events_replayed").unwrap_or(0);
+                    }
+                    _ => errors += 1,
+                }
+            }
+            (ingest_micros, events, errors)
+        }));
+    }
+
+    let mut ingest_micros = Vec::new();
+    let mut events = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (m, e, x) = h.join().expect("client thread");
+        ingest_micros.extend(m);
+        events += e;
+        errors += x;
+    }
+    let wall = start.elapsed();
+
+    let fleet = daemon.handle().fleet();
+    let pool = daemon.handle().pool_stats();
+    server.shutdown();
+    daemon.shutdown();
+
+    ingest_micros.sort_unstable();
+    let sessions_per_sec = sessions as f64 / wall.as_secs_f64().max(1e-9);
+    let events_per_sec = events as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&ingest_micros, 0.50);
+    let p99 = percentile(&ingest_micros, 0.99);
+    let gate_on = cfg!(not(debug_assertions));
+    let pass = errors == 0 && (!gate_on || sessions_per_sec >= min_sessions_per_sec as f64);
+
+    println!("{{");
+    println!("  \"benchmark\": \"jinn-serve fleet ingest (golden corpus round-robin)\",");
+    println!("  \"sessions\": {sessions},");
+    println!("  \"clients\": {clients},");
+    println!("  \"workers\": {workers},");
+    println!("  \"wall_secs\": {:.3},", wall.as_secs_f64());
+    println!("  \"sessions_per_sec\": {sessions_per_sec:.1},");
+    println!("  \"events_rejudged\": {events},");
+    println!("  \"events_rejudged_per_sec\": {events_per_sec:.0},");
+    println!("  \"ingest_latency_p50_micros\": {p50},");
+    println!("  \"ingest_latency_p99_micros\": {p99},");
+    println!("  \"ingest_errors\": {errors},");
+    println!("  \"fleet_judged\": {},", fleet.judged);
+    println!("  \"fleet_quarantined\": {},", fleet.quarantined);
+    println!("  \"fleet_purged_sessions\": {},", fleet.purged_sessions);
+    println!("  \"history_bytes\": {},", fleet.history_bytes);
+    println!("  \"pool_built\": {},", pool.built);
+    println!("  \"pool_leases\": {},", pool.leases);
+    println!("  \"min_sessions_per_sec\": {min_sessions_per_sec},");
+    println!("  \"gate_enforced\": {gate_on},");
+    println!("  \"pass\": {pass},");
+    println!(
+        "  \"note\": \"each session is a short-lived TCP client streaming one corpus trace \
+         through the frame envelope; ingest latency is seal-to-verdict inside the daemon\""
+    );
+    println!("}}");
+    i32::from(!pass)
+}

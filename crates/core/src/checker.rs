@@ -27,7 +27,7 @@ use minijvm::{
     RefKind, ThreadId, DEFAULT_LOCAL_CAPACITY,
 };
 
-use crate::synth::{synthesize, CheckTable};
+use crate::synth::CheckTable;
 
 /// Counters Jinn keeps about its own work (for the overhead experiments).
 /// This is a point-in-time copy; the live counters are the atomics in
@@ -304,9 +304,11 @@ impl Jinn {
         Jinn::with_config(JinnConfig::default())
     }
 
-    /// Synthesizes a checker with explicit configuration.
+    /// Synthesizes a checker with explicit configuration. The expansion
+    /// itself is memoized process-wide ([`crate::synthesize_cached`]);
+    /// each checker clones the table so ablation can prune its own copy.
     pub fn with_config(config: JinnConfig) -> Jinn {
-        let (mut table, _) = synthesize();
+        let mut table = crate::synth::synthesize_cached().0.clone();
         if !config.disabled_machines.is_empty() {
             let disabled = config.disabled_machines.clone();
             table.retain_machines(|m| !disabled.contains(&m));

@@ -79,4 +79,4 @@ pub use checker::{
     StatsCell,
 };
 pub use codegen::{generate_c_wrappers, CodegenStats};
-pub use synth::{is_encoding_update, synthesize, CheckTable, SynthStats};
+pub use synth::{is_encoding_update, synthesize, synthesize_cached, CheckTable, SynthStats};

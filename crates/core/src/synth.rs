@@ -8,6 +8,8 @@
 //! ([`crate::Jinn`]) interprets this table; the C backend
 //! ([`crate::codegen`]) prints it as wrapper source code.
 
+use std::sync::OnceLock;
+
 use jinn_spec::{instrumentation, Check, InstrPoint, Phase, BOUNDARY_CHECKS};
 use minijni::registry;
 
@@ -89,6 +91,18 @@ pub fn synthesize() -> (CheckTable, SynthStats) {
         spec_lines: jinn_spec::spec_source_lines(),
     };
     (CheckTable { pre, post }, stats)
+}
+
+/// The memoized synthesis result. Algorithm 1 is a pure function of the
+/// in-tree specifications, so it runs once per process; callers that
+/// need a private table (every [`crate::Jinn`] construction) clone the
+/// cached one instead of re-expanding machines × transitions × triggers.
+/// The fleet-serving daemon constructs one checker per ingested session,
+/// which is what makes the clone-vs-resynthesize difference matter.
+pub fn synthesize_cached() -> (&'static CheckTable, SynthStats) {
+    static CACHE: OnceLock<(CheckTable, SynthStats)> = OnceLock::new();
+    let (table, stats) = CACHE.get_or_init(synthesize);
+    (table, *stats)
 }
 
 /// True if the check mutates checker state (an *encoding* update) rather

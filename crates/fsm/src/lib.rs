@@ -58,6 +58,7 @@ mod compiled;
 mod diagram;
 mod engine;
 mod machine;
+mod pool;
 mod runtime;
 mod sharded;
 
@@ -68,6 +69,7 @@ pub use machine::{
     ConstraintClass, Direction, EntityKind, MachineBuilder, MachineError, MachineSpec, StateId,
     StateSpec, TransitionBuilder, TransitionId, TransitionSpec, TriggerSpec,
 };
+pub use pool::{CompactEnginePool, EngineLease, EnginePool, PoolStats};
 pub use runtime::{EntityState, ErrorEntered, StateStore, TransitionOutcome, UnknownTransition};
 pub use sharded::{
     CrossThreadUse, ShardedCompactStore, ShardedOutcome, ShardedStateStore, DEFAULT_SHARDS,

@@ -1,0 +1,223 @@
+//! A reusable pool of per-machine engines for fleet-scale re-judging.
+//!
+//! The serving daemon (`jinn-serve`) rolls every ingested session's
+//! transition stream through one engine per state machine. Building
+//! those engines per session is pure waste — the machine specifications
+//! never change, only the entity maps do — so the pool keeps finished
+//! engine sets, clears them, and hands them to the next session.
+//! [`Engine::clear`] is what makes this sound: a cleared engine is
+//! observationally identical to a freshly built one (the equivalence
+//! proptests in this crate cover both encodings).
+//!
+//! The pool is sharded-agnostic and encoding-agnostic: anything
+//! implementing [`Engine`] can be pooled. The daemon uses
+//! [`CompactEnginePool`], the compiled dense-table encoding, because the
+//! ingest hot loop is exactly the dispatch microbench's shape.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::Engine;
+use crate::machine::MachineSpec;
+
+/// A pool of engine *sets*: each lease is one engine per machine, in
+/// the machine order the pool was built with.
+pub struct EnginePool<K, E: Engine<K>> {
+    specs: Vec<MachineSpec>,
+    idle: Mutex<Vec<Vec<E>>>,
+    built: AtomicU64,
+    leased: AtomicU64,
+    _key: PhantomData<fn(K)>,
+}
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Machines per engine set.
+    pub machines: usize,
+    /// Engine sets currently parked in the pool.
+    pub idle: usize,
+    /// Engine sets ever constructed (cache misses).
+    pub built: u64,
+    /// Leases ever handed out (hits = `leases - built`).
+    pub leases: u64,
+}
+
+impl<K, E: Engine<K>> EnginePool<K, E> {
+    /// A pool whose leases carry one engine per spec, in `specs` order.
+    pub fn new(specs: Vec<MachineSpec>) -> Arc<EnginePool<K, E>> {
+        Arc::new(EnginePool {
+            specs,
+            idle: Mutex::new(Vec::new()),
+            built: AtomicU64::new(0),
+            leased: AtomicU64::new(0),
+            _key: PhantomData,
+        })
+    }
+
+    /// The machine specifications each lease tracks.
+    pub fn specs(&self) -> &[MachineSpec] {
+        &self.specs
+    }
+
+    /// Takes an engine set — a parked one when available, else freshly
+    /// built. Dropping the lease clears the engines and parks them.
+    pub fn lease(self: &Arc<Self>) -> EngineLease<K, E> {
+        self.leased.fetch_add(1, Ordering::Relaxed);
+        let parked = self.idle.lock().expect("engine pool poisoned").pop();
+        let engines = parked.unwrap_or_else(|| {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            self.specs
+                .iter()
+                .map(|s| E::for_machine(s.clone()))
+                .collect()
+        });
+        EngineLease {
+            engines,
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            machines: self.specs.len(),
+            idle: self.idle.lock().expect("engine pool poisoned").len(),
+            built: self.built.load(Ordering::Relaxed),
+            leases: self.leased.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One leased engine set. Derefs to `[E]` in spec order; cleared and
+/// returned to the pool on drop.
+pub struct EngineLease<K, E: Engine<K>> {
+    engines: Vec<E>,
+    pool: Arc<EnginePool<K, E>>,
+}
+
+impl<K, E: Engine<K>> EngineLease<K, E> {
+    /// The engine tracking `machine`, if the pool was built with it.
+    pub fn by_machine(&mut self, machine: &str) -> Option<&mut E> {
+        self.engines.iter_mut().find(|e| e.spec().name() == machine)
+    }
+}
+
+impl<K, E: Engine<K>> std::ops::Deref for EngineLease<K, E> {
+    type Target = [E];
+
+    fn deref(&self) -> &[E] {
+        &self.engines
+    }
+}
+
+impl<K, E: Engine<K>> std::ops::DerefMut for EngineLease<K, E> {
+    fn deref_mut(&mut self) -> &mut [E] {
+        &mut self.engines
+    }
+}
+
+impl<K, E: Engine<K>> Drop for EngineLease<K, E> {
+    fn drop(&mut self) {
+        for e in &mut self.engines {
+            e.clear();
+        }
+        let engines = std::mem::take(&mut self.engines);
+        self.pool
+            .idle
+            .lock()
+            .expect("engine pool poisoned")
+            .push(engines);
+    }
+}
+
+/// The daemon's pool: compiled dense-table engines.
+pub type CompactEnginePool<K> = EnginePool<K, crate::compiled::CompactStore<K>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ConstraintClass, Direction, EntityKind};
+    use crate::runtime::TransitionOutcome;
+
+    fn toy_machine(name: &'static str) -> MachineSpec {
+        MachineSpec::builder(name, ConstraintClass::Resource)
+            .entity(EntityKind::Reference)
+            .state("Idle")
+            .state("Held")
+            .error_state("Error:Twice", "double acquire in {function}")
+            .transition("Acquire", "Idle", "Held", |t| {
+                t.on(Direction::CallCToJava, "acquire")
+            })
+            .transition("AcquireAgain", "Held", "Error:Twice", |t| {
+                t.on(Direction::CallCToJava, "reacquire")
+            })
+            .build()
+            .expect("toy machine")
+    }
+
+    #[test]
+    fn leases_reuse_cleared_engines() {
+        let pool: Arc<CompactEnginePool<u64>> =
+            EnginePool::new(vec![toy_machine("a"), toy_machine("b")]);
+        {
+            let mut lease = pool.lease();
+            assert_eq!(lease.len(), 2);
+            let a = lease.by_machine("a").expect("machine a");
+            assert!(matches!(
+                a.apply_named(&7, "Acquire"),
+                TransitionOutcome::Moved { .. }
+            ));
+            assert_eq!(Engine::<u64>::len(a), 1);
+        }
+        // Second lease gets the same (cleared) set back: no new build.
+        let mut lease = pool.lease();
+        let a = lease.by_machine("a").expect("machine a");
+        assert_eq!(Engine::<u64>::len(a), 0, "engines return cleared");
+        drop(lease);
+        let stats = pool.stats();
+        assert_eq!(stats.built, 1);
+        assert_eq!(stats.leases, 2);
+        assert_eq!(stats.idle, 1);
+        assert_eq!(stats.machines, 2);
+    }
+
+    #[test]
+    fn concurrent_leases_build_independent_sets() {
+        let pool: Arc<CompactEnginePool<u64>> = EnginePool::new(vec![toy_machine("a")]);
+        let l1 = pool.lease();
+        let l2 = pool.lease();
+        assert_eq!(pool.stats().built, 2);
+        drop(l1);
+        drop(l2);
+        assert_eq!(pool.stats().idle, 2);
+        let _l3 = pool.lease();
+        assert_eq!(pool.stats().built, 2, "third lease is a pool hit");
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool: Arc<CompactEnginePool<u64>> = EnginePool::new(vec![toy_machine("a")]);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let mut lease = pool.lease();
+                    let e = lease.by_machine("a").unwrap();
+                    assert!(matches!(
+                        e.apply_named(&(t * 1000 + i), "Acquire"),
+                        TransitionOutcome::Moved { .. }
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.leases, 200);
+        assert!(stats.built <= 4, "at most one build per thread: {stats:?}");
+    }
+}

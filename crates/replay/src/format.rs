@@ -974,6 +974,15 @@ impl<'a> Decoder<'a> {
                             actual: self.records,
                         });
                     }
+                    if self.pos != self.bytes.len() {
+                        // Bytes past the end record sit outside the
+                        // checksum; accepting them would let an attacker
+                        // smuggle arbitrary data under a valid seal.
+                        return Err(TraceError::Corrupt(format!(
+                            "{} trailing bytes after end record",
+                            self.bytes.len() - self.pos
+                        )));
+                    }
                     self.finished = true;
                     return Ok(None);
                 }

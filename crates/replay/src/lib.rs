@@ -42,6 +42,7 @@ pub mod format;
 pub mod reader;
 pub mod record;
 pub mod replay;
+pub mod stream;
 pub mod writer;
 
 pub use bridge::{append_obs_events, PyTraceWriter};
@@ -55,5 +56,12 @@ pub use record::{
     case_studies, microbench_programs, program_by_name, program_names, record_program, Program,
     RecordVendor,
 };
-pub use replay::{replay_bytes, replay_trace, standard_configs, ReplayConfig, ReplayOutcome};
+pub use replay::{
+    replay_bytes, replay_trace, replay_trace_observed, standard_configs, ReplayConfig,
+    ReplayOutcome,
+};
+pub use stream::{
+    decode_stream, encode_frame, encode_ingest, stream_preamble, Frame, FrameDecoder, FrameError,
+    MAX_FRAME_PAYLOAD, STREAM_MAGIC, STREAM_VERSION,
+};
 pub use writer::TraceWriter;

@@ -112,6 +112,11 @@ pub struct ReplayOutcome {
     /// queues). Zero on a faithful trace; post-bug divergence under a
     /// *stricter* config than the recorder is normal and not counted.
     pub divergences: u64,
+    /// Every checker violation surfaced during the run: the in-flight
+    /// checker exception (if any) plus all shutdown-time reports, in
+    /// detection order. The verdict store in `jinn-serve` indexes these
+    /// individually; [`ReplayOutcome::behavior`] summarizes them.
+    pub violations: Vec<minijni::Violation>,
 }
 
 impl ReplayOutcome {
@@ -426,6 +431,32 @@ fn rebuild_world(
 /// [`TraceError::Corrupt`] when the event stream is structurally invalid
 /// (unbalanced enters/exits, setup records mid-stream, unknown classes).
 pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, TraceError> {
+    replay_trace_inner(trace, config, None)
+}
+
+/// Like [`replay_trace`], but with a live [`jinn_obs::Recorder`] wired
+/// into the replayed session *before* the checker stack attaches, so
+/// FSM-transition and verdict events from the re-judged execution land
+/// in the caller's ring. This is the `jinn-serve` seam: each ingest
+/// worker hands the daemon's per-session recorder in and reads event
+/// summaries back out of it.
+///
+/// # Errors
+///
+/// As for [`replay_trace`].
+pub fn replay_trace_observed(
+    trace: &Trace,
+    config: &ReplayConfig,
+    recorder: &jinn_obs::Recorder,
+) -> Result<ReplayOutcome, TraceError> {
+    replay_trace_inner(trace, config, Some(recorder))
+}
+
+fn replay_trace_inner(
+    trace: &Trace,
+    config: &ReplayConfig,
+    recorder: Option<&jinn_obs::Recorder>,
+) -> Result<ReplayOutcome, TraceError> {
     let (state, tops) = build_queues(trace)?;
     let state = Rc::new(RefCell::new(state));
 
@@ -434,6 +465,9 @@ pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcom
     state.borrow_mut().divergences += setup_divergences;
 
     let mut session = Session::new(vm);
+    if let Some(rec) = recorder {
+        session.set_recorder(rec.clone());
+    }
     match config {
         ReplayConfig::Default(_) => {}
         ReplayConfig::Xcheck(v) => session.attach(v.xcheck()),
@@ -541,6 +575,15 @@ pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcom
         }
     }
 
+    let mut violations: Vec<minijni::Violation> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            RunOutcome::CheckerException(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    violations.extend(shutdown_reports.iter().map(|r| r.violation.clone()));
+
     let state = state.borrow();
     Ok(ReplayOutcome {
         label: config.label(),
@@ -549,6 +592,7 @@ pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcom
         log,
         events_replayed: state.events_replayed,
         divergences: state.divergences,
+        violations,
     })
 }
 

@@ -1,0 +1,234 @@
+//! Adversarial-input hardening for the `.jtrace` reader: every way of
+//! mangling a trace must come back as a typed [`TraceError`] — never a
+//! panic, never an attacker-controlled allocation.
+//!
+//! The mutations are deterministic (no RNG): exhaustive truncation,
+//! exhaustive single-byte corruption under a handful of XOR masks,
+//! forged intern/array lengths, overlong varints, and checksum/record
+//! splices.
+
+use jinn_replay::format::fnv1a;
+use jinn_replay::{
+    check_version, program_by_name, record_program, Trace, TraceError, FORMAT_VERSION, MAGIC,
+};
+
+// Record tags, mirrored from the (crate-private) format module; the
+// `end_tag_position` assertion below keeps them honest.
+const TAG_INTERN: u8 = 0x01;
+const TAG_END: u8 = 0xFF;
+
+fn small_trace() -> Vec<u8> {
+    record_program(&program_by_name("LocalRefDangling").expect("corpus program"))
+}
+
+/// Position of the END tag: total length minus the end record
+/// (1 tag byte + count varint + 8 checksum bytes). Recovered by
+/// scanning back for the byte whose prefix checksum matches.
+fn end_tag_position(bytes: &[u8]) -> usize {
+    for pos in (0..bytes.len().saturating_sub(9)).rev() {
+        if bytes[pos] == TAG_END {
+            let expected = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+            if fnv1a(&bytes[..pos]) == expected {
+                return pos;
+            }
+        }
+    }
+    panic!("no END record found");
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = small_trace();
+    assert!(Trace::parse(&bytes).is_ok(), "baseline parses");
+    for len in 0..bytes.len() {
+        let err = Trace::parse(&bytes[..len])
+            .expect_err(&format!("prefix of {len} bytes must not parse"));
+        match err {
+            TraceError::Truncated
+            | TraceError::BadMagic
+            | TraceError::UnsupportedVersion(_)
+            | TraceError::Corrupt(_)
+            | TraceError::ChecksumMismatch { .. }
+            | TraceError::RecordCountMismatch { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_caught() {
+    let bytes = small_trace();
+    for mask in [0x01u8, 0x10, 0x80, 0xFF] {
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= mask;
+            assert!(
+                Trace::parse(&bad).is_err(),
+                "flip {mask:#04x} at byte {pos} must not parse"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_varints_do_not_panic() {
+    // A header followed by continuation bytes that never terminate.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(TAG_INTERN);
+    bytes.extend_from_slice(&[0x80; 32]); // unterminated varint
+    match Trace::parse(&bytes) {
+        Err(TraceError::Corrupt(msg)) => assert!(msg.contains("varint"), "{msg}"),
+        other => panic!("expected varint overflow, got {other:?}"),
+    }
+
+    // The same, cut off mid-varint instead of overlong.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(TAG_INTERN);
+    bytes.extend_from_slice(&[0x80, 0x80]);
+    assert!(matches!(Trace::parse(&bytes), Err(TraceError::Truncated)));
+}
+
+#[test]
+fn oversized_intern_length_fails_without_allocating() {
+    // INTERN id 0 declaring u64::MAX content bytes. The reader must
+    // bounds-check against the real buffer, not trust the length.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(TAG_INTERN);
+    bytes.push(0x00); // intern id 0
+    bytes.extend_from_slice(&[0xFF; 9]); // varint: u64::MAX-ish length
+    bytes.push(0x01); // terminate the varint
+    bytes.extend_from_slice(b"tiny");
+    assert!(matches!(Trace::parse(&bytes), Err(TraceError::Truncated)));
+
+    // And a large-but-plausible forged length (1 GiB) with 4 real bytes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(TAG_INTERN);
+    bytes.push(0x00);
+    bytes.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x04]); // varint 2^30
+    bytes.extend_from_slice(b"tiny");
+    assert!(matches!(Trace::parse(&bytes), Err(TraceError::Truncated)));
+}
+
+#[test]
+fn bad_header_variants() {
+    assert!(matches!(Trace::parse(b""), Err(TraceError::Truncated)));
+    assert!(matches!(Trace::parse(b"JT"), Err(TraceError::Truncated)));
+    assert!(matches!(
+        Trace::parse(b"NOPE\x01\x00"),
+        Err(TraceError::BadMagic)
+    ));
+    let mut wrong_version = Vec::new();
+    wrong_version.extend_from_slice(&MAGIC);
+    wrong_version.extend_from_slice(&999u16.to_le_bytes());
+    assert!(matches!(
+        Trace::parse(&wrong_version),
+        Err(TraceError::UnsupportedVersion(999))
+    ));
+    assert!(matches!(
+        check_version(&wrong_version),
+        Err(TraceError::UnsupportedVersion(999))
+    ));
+}
+
+#[test]
+fn forged_record_count_is_a_count_mismatch() {
+    // The end record's count varint sits outside the checksummed region,
+    // so an attacker can rewrite it freely — the reader must still
+    // object.
+    let bytes = small_trace();
+    let end = end_tag_position(&bytes);
+    let mut bad = bytes.clone();
+    // One-byte count varint (every corpus trace has < 128 records).
+    assert!(bad[end + 1] & 0x80 == 0, "count fits one varint byte");
+    bad[end + 1] = (bad[end + 1] + 1) & 0x7F;
+    match Trace::parse(&bad) {
+        Err(TraceError::RecordCountMismatch { expected, actual }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected RecordCountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_checksum_is_a_checksum_mismatch() {
+    let bytes = small_trace();
+    let mut bad = bytes.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0xFF;
+    match Trace::parse(&bad) {
+        Err(TraceError::ChecksumMismatch { expected, actual }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_bytes_after_end_are_rejected() {
+    // Data appended after a valid end record sits outside the checksum;
+    // accepting it would let arbitrary bytes ride under a valid seal.
+    let bytes = small_trace();
+    for junk in [&[0x00u8][..], &[TAG_END], b"extra payload"] {
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(junk);
+        match Trace::parse(&bad) {
+            Err(TraceError::Corrupt(msg)) => {
+                assert!(msg.contains("trailing"), "{msg}");
+            }
+            other => panic!("expected trailing-bytes rejection, got {other:?}"),
+        }
+    }
+    // A whole second trace glued on is rejected the same way.
+    let mut doubled = bytes.clone();
+    doubled.extend_from_slice(&bytes);
+    assert!(Trace::parse(&doubled).is_err());
+}
+
+#[test]
+fn unknown_record_tags_are_corrupt() {
+    for tag in [0x10u8, 0x42, 0xFE] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(tag);
+        match Trace::parse(&bytes) {
+            Err(TraceError::Corrupt(msg)) => assert!(msg.contains("tag"), "{msg}"),
+            other => panic!("tag {tag:#04x}: expected Corrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn whole_corpus_survives_sampled_mutations() {
+    // Broader sweep at lower density: every corpus program, truncations
+    // and flips at stride 7.
+    for program in jinn_replay::microbench_programs()
+        .iter()
+        .chain(jinn_replay::case_studies().iter())
+    {
+        let bytes = record_program(program);
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(
+                Trace::parse(&bytes[..len]).is_err(),
+                "{}: truncation at {len}",
+                program.name
+            );
+        }
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                Trace::parse(&bad).is_err(),
+                "{}: flip at {pos}",
+                program.name
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Typed daemon errors: everything a client can get wrong, with enough
+//! structure for the socket front end to render and for tests to match.
+
+use std::fmt;
+
+use crate::session::SessionId;
+
+/// Why a daemon call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The session id has never been opened (or its record was deleted).
+    UnknownSession(SessionId),
+    /// `Open` for a session id that already exists.
+    DuplicateSession(SessionId),
+    /// `Append`/`Seal` on a session that is not in the `Open` state.
+    SessionNotOpen {
+        /// The addressed session.
+        session: SessionId,
+        /// Its actual state, rendered.
+        state: String,
+    },
+    /// Per-session backpressure: the append would exceed the per-session
+    /// buffer cap. The client should drain (seal) or slow down.
+    Backpressure {
+        /// The addressed session.
+        session: SessionId,
+        /// Bytes already buffered.
+        buffered: u64,
+        /// The per-session cap.
+        cap: u64,
+    },
+    /// The session was quarantined (corrupt frames or an unreadable
+    /// trace) and accepts no further operations.
+    Quarantined {
+        /// The addressed session.
+        session: SessionId,
+        /// Why it was poisoned.
+        reason: String,
+    },
+    /// The checker-stack selection string did not parse.
+    BadConfig(String),
+    /// The daemon is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            ServeError::DuplicateSession(s) => write!(f, "session {s} already open"),
+            ServeError::SessionNotOpen { session, state } => {
+                write!(f, "session {session} is {state}, not open")
+            }
+            ServeError::Backpressure {
+                session,
+                buffered,
+                cap,
+            } => write!(
+                f,
+                "session {session} backpressure: {buffered} bytes buffered, cap {cap}"
+            ),
+            ServeError::Quarantined { session, reason } => {
+                write!(f, "session {session} quarantined: {reason}")
+            }
+            ServeError::BadConfig(c) => write!(f, "unknown checker config `{c}`"),
+            ServeError::ShuttingDown => f.write_str("daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

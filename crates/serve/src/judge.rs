@@ -1,0 +1,329 @@
+//! The worker side of ingest: parse a sealed session's trace bytes,
+//! re-judge them under the session's checker stack, and condense the
+//! results into history rows for the store.
+//!
+//! One replay per configuration; the first configuration runs with a
+//! live [`Recorder`] wired in ([`jinn_replay::replay_trace_observed`])
+//! so the re-judged execution's events can be summarized for the query
+//! API. The session's FSM-transition stream is additionally re-applied
+//! through a leased set of pooled [`CompactStore`] engines
+//! ([`jinn_fsm::CompactEnginePool`]) to produce per-machine entity
+//! rollups without rebuilding compiled machines per session.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jinn_fsm::{CompactEnginePool, Engine, TransitionOutcome};
+use jinn_obs::{EventKind, Recorder, TraceEvent};
+use jinn_replay::{replay_trace, replay_trace_observed, ReplayConfig, Trace};
+
+use crate::session::{EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, VerdictRec};
+
+/// Everything one judged session contributes to the store.
+#[derive(Debug, Clone)]
+pub struct JudgeOutput {
+    /// The traced program's name.
+    pub program: String,
+    /// Per-config overall outcome.
+    pub outcomes: Vec<OutcomeRec>,
+    /// Every checker violation, per config, in detection order.
+    pub verdicts: Vec<VerdictRec>,
+    /// Event summaries from the first config's recorder (newest
+    /// `max_events`).
+    pub events: Vec<EventSummary>,
+    /// Re-judged events beyond the summary cap.
+    pub events_dropped: u64,
+    /// Per-machine rollups from the pooled engines.
+    pub rollups: Vec<MachineRollup>,
+    /// Recorder coverage of the *recorded* trace (its `obs.*` meta).
+    pub obs: ObsCounters,
+    /// Total JNI calls re-issued across configs.
+    pub events_replayed: u64,
+    /// Total replay divergences across configs.
+    pub divergences: u64,
+}
+
+/// Reads the recorded trace's `obs.*` metadata (written by
+/// `jinn_replay::append_obs_events` at record time).
+pub fn obs_counters(trace: &Trace) -> ObsCounters {
+    let num = |key: &str| {
+        trace
+            .meta_value(key)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    ObsCounters {
+        dropped: num("obs.dropped"),
+        suppressed: num("obs.suppressed"),
+        sampled: trace.meta_value("obs.sampled") == Some("true"),
+        policy_epoch: num("obs.policy_epoch"),
+    }
+}
+
+/// The checker records condensed transition labels; the spec machines
+/// use the full names. Map the condensed forms back before re-applying
+/// through a spec-built engine.
+fn transition_aliases(name: &str) -> &'static [&'static str] {
+    match name {
+        "Use" => &["UseAfterRelease"],
+        _ => &[],
+    }
+}
+
+fn summarize(session: SessionId, ev: &TraceEvent) -> EventSummary {
+    let (label, function, machine, entity, failed) = match &ev.kind {
+        EventKind::JniEnter { func } => ("jni-enter", Some(func.to_string()), None, None, false),
+        EventKind::JniExit { func, failed, .. } => {
+            ("jni-exit", Some(func.to_string()), None, None, *failed)
+        }
+        EventKind::NativeEnter { method } => {
+            ("native-enter", Some(method.to_string()), None, None, false)
+        }
+        EventKind::NativeExit { method, failed, .. } => {
+            ("native-exit", Some(method.to_string()), None, None, *failed)
+        }
+        EventKind::FsmTransition {
+            machine,
+            outcome,
+            entity,
+            ..
+        } => (
+            "fsm-transition",
+            None,
+            Some(machine.to_string()),
+            entity.as_ref().map(|e| e.0.to_string()),
+            matches!(outcome, jinn_obs::FsmOutcome::Error),
+        ),
+        EventKind::GcSafepoint { .. } => ("gc-safepoint", None, None, None, false),
+        EventKind::Gc { .. } => ("gc", None, None, None, false),
+        EventKind::PinAcquire { .. } => ("pin-acquire", None, None, None, false),
+        EventKind::PinRelease { ok, .. } => ("pin-release", None, None, None, !*ok),
+        EventKind::Verdict {
+            machine, function, ..
+        } => (
+            "verdict",
+            Some(function.to_string()),
+            Some(machine.to_string()),
+            None,
+            true,
+        ),
+    };
+    EventSummary {
+        session,
+        index: ev.seq,
+        thread: ev.thread,
+        label: label.to_string(),
+        function,
+        machine,
+        entity,
+        failed,
+    }
+}
+
+/// Re-applies the session's transition stream through pooled compiled
+/// engines, producing one rollup per machine that saw traffic.
+fn rollup(pool: &Arc<CompactEnginePool<u64>>, events: &[TraceEvent]) -> Vec<MachineRollup> {
+    let mut lease = pool.lease();
+    let mut keys: HashMap<(usize, String), u64> = HashMap::new();
+    let mut next_key = 0u64;
+    let mut counts: HashMap<String, (u64, u64)> = HashMap::new(); // machine -> (transitions, errors)
+    for ev in events {
+        let EventKind::FsmTransition {
+            machine,
+            transition,
+            entity: Some(entity),
+            ..
+        } = &ev.kind
+        else {
+            continue;
+        };
+        // Find the machine's engine index first (so entity keys are
+        // per-machine dense).
+        let Some(idx) = lease.iter().position(|e| e.spec().name() == &**machine) else {
+            continue;
+        };
+        let key = *keys.entry((idx, entity.0.to_string())).or_insert_with(|| {
+            let k = next_key;
+            next_key += 1;
+            k
+        });
+        let engine = &mut lease[idx];
+        let mut outcome = engine.try_apply_named(&key, transition);
+        if outcome.is_err() {
+            for alias in transition_aliases(transition) {
+                outcome = engine.try_apply_named(&key, alias);
+                if outcome.is_ok() {
+                    break;
+                }
+            }
+        }
+        let entry = counts.entry(machine.to_string()).or_default();
+        entry.0 += 1;
+        if matches!(outcome, Ok(TransitionOutcome::Error(_))) {
+            entry.1 += 1;
+        }
+    }
+    let mut out: Vec<MachineRollup> = counts
+        .into_iter()
+        .map(|(machine, (transitions, errors))| {
+            let entities = lease
+                .iter()
+                .find(|e| e.spec().name() == machine)
+                .map_or(0, |e| e.len() as u64);
+            MachineRollup {
+                machine,
+                transitions,
+                entities,
+                errors,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.machine.cmp(&b.machine));
+    out
+}
+
+/// Parses and re-judges one sealed session.
+///
+/// # Errors
+///
+/// A quarantine reason: the trace failed to parse or a replay was
+/// structurally impossible. The caller poisons the session.
+pub fn judge(
+    bytes: &[u8],
+    session: SessionId,
+    tenant: &str,
+    configs: &[ReplayConfig],
+    pool: &Arc<CompactEnginePool<u64>>,
+    recorder_ring: usize,
+    max_events: usize,
+) -> Result<JudgeOutput, String> {
+    let trace = Trace::parse(bytes).map_err(|e| format!("unreadable trace: {e}"))?;
+    let obs = obs_counters(&trace);
+    let program = trace.program().to_string();
+
+    let mut outcomes = Vec::with_capacity(configs.len());
+    let mut verdicts = Vec::new();
+    let mut events = Vec::new();
+    let mut events_dropped = 0u64;
+    let mut rollups = Vec::new();
+    let mut events_replayed = 0u64;
+    let mut divergences = 0u64;
+
+    for (i, config) in configs.iter().enumerate() {
+        let recorder = (i == 0).then(|| Recorder::enabled(recorder_ring));
+        let outcome = match &recorder {
+            Some(rec) => replay_trace_observed(&trace, config, rec),
+            None => replay_trace(&trace, config),
+        }
+        .map_err(|e| format!("replay under {} failed: {e}", config.label()))?;
+
+        events_replayed += outcome.events_replayed;
+        divergences += outcome.divergences;
+        verdicts.extend(outcome.violations.iter().map(|v| VerdictRec {
+            session,
+            tenant: tenant.to_string(),
+            config: config.label(),
+            machine: v.machine.to_string(),
+            error_state: v.error_state.to_string(),
+            function: v.function.clone(),
+            message: v.message.clone(),
+        }));
+        outcomes.push(OutcomeRec {
+            session,
+            config: config.label(),
+            behavior: outcome.behavior.to_string(),
+            message: outcome.message.clone(),
+            events_replayed: outcome.events_replayed,
+            divergences: outcome.divergences,
+        });
+
+        if let Some(rec) = recorder {
+            let all = rec.events();
+            events_dropped = rec.dropped_events();
+            rollups = rollup(pool, &all);
+            let skip = all.len().saturating_sub(max_events);
+            events_dropped += skip as u64;
+            events = all
+                .iter()
+                .skip(skip)
+                .map(|e| summarize(session, e))
+                .collect();
+        }
+    }
+
+    Ok(JudgeOutput {
+        program,
+        outcomes,
+        verdicts,
+        events,
+        events_dropped,
+        rollups,
+        obs,
+        events_replayed,
+        divergences,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jinn_fsm::EnginePool;
+    use jinn_replay::{program_by_name, record_program};
+
+    fn corpus_trace(name: &str) -> Vec<u8> {
+        record_program(&program_by_name(name).expect("known program"))
+    }
+
+    #[test]
+    fn judging_figure1_yields_a_jinn_verdict() {
+        let bytes = corpus_trace("LocalRefDangling");
+        let pool = EnginePool::new(jinn_spec::machines());
+        let configs = vec![ReplayConfig::parse("jinn").unwrap()];
+        let out = judge(&bytes, 9, "acme", &configs, &pool, 4096, 256).expect("judge");
+        assert_eq!(out.program, "LocalRefDangling");
+        assert!(
+            out.verdicts
+                .iter()
+                .any(|v| v.machine == "local-reference" && v.session == 9),
+            "expected a local-reference verdict: {:?}",
+            out.verdicts
+        );
+        assert_eq!(out.outcomes.len(), 1);
+        assert_eq!(out.outcomes[0].behavior, "exception");
+        assert!(!out.events.is_empty(), "recorder summaries present");
+        assert!(
+            out.rollups.iter().any(|r| r.machine == "local-reference"),
+            "rollups: {:?}",
+            out.rollups
+        );
+    }
+
+    #[test]
+    fn summary_cap_keeps_newest_events() {
+        let bytes = corpus_trace("LocalRefDangling");
+        let pool = EnginePool::new(jinn_spec::machines());
+        let configs = vec![ReplayConfig::parse("jinn").unwrap()];
+        let full = judge(&bytes, 1, "t", &configs, &pool, 4096, 10_000).expect("judge");
+        let capped = judge(&bytes, 1, "t", &configs, &pool, 4096, 4).expect("judge");
+        assert_eq!(capped.events.len(), 4);
+        assert_eq!(
+            capped.events_dropped,
+            full.events.len() as u64 - 4 + full.events_dropped
+        );
+        // The kept summaries are the newest ones.
+        let tail: Vec<u64> = full.events[full.events.len() - 4..]
+            .iter()
+            .map(|e| e.index)
+            .collect();
+        let got: Vec<u64> = capped.events.iter().map(|e| e.index).collect();
+        assert_eq!(got, tail);
+    }
+
+    #[test]
+    fn unreadable_bytes_are_a_quarantine_reason() {
+        let pool = EnginePool::new(jinn_spec::machines());
+        let configs = vec![ReplayConfig::parse("jinn").unwrap()];
+        let err = judge(b"not a trace", 1, "t", &configs, &pool, 64, 16).unwrap_err();
+        assert!(err.contains("unreadable trace"), "{err}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Per-session record types: lifecycle states, stats snapshots, and the
+//! history rows (verdicts, event summaries, per-config outcomes,
+//! machine rollups) the query API serves.
+
+use std::fmt;
+
+use crate::json::JsonObj;
+
+/// A session identifier — client-chosen on `Open`, or daemon-assigned
+/// (from [`crate::DaemonHandle::open_auto`]'s high range).
+pub type SessionId = u64;
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Opened; accepting `Append` frames.
+    Open,
+    /// Sealed and waiting for an ingest worker.
+    Queued,
+    /// An ingest worker is replaying it.
+    Judging,
+    /// Re-judged; history available until retention purges it.
+    Judged,
+    /// Poisoned by corrupt input; terminal, no history.
+    Quarantined,
+    /// Abandoned by the client; terminal, no history.
+    Aborted,
+}
+
+impl SessionState {
+    /// Terminal states never change again (and are the only candidates
+    /// for retention eviction).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SessionState::Judged | SessionState::Quarantined | SessionState::Aborted
+        )
+    }
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SessionState::Open => "open",
+            SessionState::Queued => "queued",
+            SessionState::Judging => "judging",
+            SessionState::Judged => "judged",
+            SessionState::Quarantined => "quarantined",
+            SessionState::Aborted => "aborted",
+        })
+    }
+}
+
+/// The recorder-coverage counters of the *recorded* trace, read from its
+/// `obs.*` metadata — how much of the original execution the trace
+/// actually holds. Surfaced per session so a tenant can see when its
+/// trace was downsampled at the recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Events evicted by recorder ring overflow (`obs.dropped`).
+    pub dropped: u64,
+    /// Events the trace policy disabled or sampled away
+    /// (`obs.suppressed`).
+    pub suppressed: u64,
+    /// Whether the trace is a policy-thinned subset (`obs.sampled`).
+    pub sampled: bool,
+    /// The trace policy epoch in force (`obs.policy_epoch`).
+    pub policy_epoch: u64,
+}
+
+impl ObsCounters {
+    /// Renders the counters as a JSON object.
+    pub fn to_json(self) -> String {
+        JsonObj::new()
+            .num("dropped", self.dropped)
+            .num("suppressed", self.suppressed)
+            .bool("sampled", self.sampled)
+            .num("policy_epoch", self.policy_epoch)
+            .build()
+    }
+}
+
+/// A point-in-time snapshot of one session's accounting.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// The session id.
+    pub session: SessionId,
+    /// The tenant tag from `Open`.
+    pub tenant: String,
+    /// Lifecycle state at snapshot time.
+    pub state: SessionState,
+    /// Checker-stack labels the session re-judges under.
+    pub configs: Vec<String>,
+    /// The traced program's name, once parsed.
+    pub program: Option<String>,
+    /// Trace bytes received.
+    pub bytes: u64,
+    /// Frames received (`Open` + `Append`s + `Seal`/`Abort`).
+    pub frames: u64,
+    /// JNI calls re-issued across all configs.
+    pub events_replayed: u64,
+    /// Replay divergences across all configs.
+    pub divergences: u64,
+    /// Verdict rows currently held for the session.
+    pub verdicts: u64,
+    /// Event-summary rows currently held for the session.
+    pub summaries: u64,
+    /// Re-judged events that did not fit the per-session summary cap.
+    pub summaries_dropped: u64,
+    /// Recorder coverage of the *recorded* trace (see [`ObsCounters`]).
+    pub obs: ObsCounters,
+    /// Why the session was quarantined or aborted, if it was.
+    pub reason: Option<String>,
+    /// Whether retention purged the session's history rows.
+    pub history_purged: bool,
+    /// Seal-to-judged latency, once judged.
+    pub ingest_micros: Option<u64>,
+}
+
+impl SessionStats {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .num("session", self.session)
+            .str("tenant", &self.tenant)
+            .str("state", &self.state.to_string())
+            .str("configs", &self.configs.join(","))
+            .opt_str("program", self.program.as_deref())
+            .num("bytes", self.bytes)
+            .num("frames", self.frames)
+            .num("events_replayed", self.events_replayed)
+            .num("divergences", self.divergences)
+            .num("verdicts", self.verdicts)
+            .num("summaries", self.summaries)
+            .num("summaries_dropped", self.summaries_dropped)
+            .raw("obs", self.obs.to_json())
+            .opt_str("reason", self.reason.as_deref())
+            .bool("history_purged", self.history_purged)
+            .opt_num("ingest_micros", self.ingest_micros)
+            .build()
+    }
+}
+
+/// One checker violation from one config's re-judging — the primary
+/// queryable row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictRec {
+    /// The session it belongs to.
+    pub session: SessionId,
+    /// The tenant tag (denormalized for tenant-filtered queries).
+    pub tenant: String,
+    /// The configuration label that produced it.
+    pub config: String,
+    /// The violated machine.
+    pub machine: String,
+    /// The error state entered.
+    pub error_state: String,
+    /// The JNI function (or native method) at detection.
+    pub function: String,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl VerdictRec {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .num("session", self.session)
+            .str("tenant", &self.tenant)
+            .str("config", &self.config)
+            .str("machine", &self.machine)
+            .str("error_state", &self.error_state)
+            .str("function", &self.function)
+            .str("message", &self.message)
+            .build()
+    }
+}
+
+/// One re-judged execution event, summarized from the replay recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSummary {
+    /// The session it belongs to.
+    pub session: SessionId,
+    /// The recorder sequence number — the query API's event index.
+    pub index: u64,
+    /// The thread it happened on ([`jinn_obs::NO_THREAD`] for global
+    /// events).
+    pub thread: u16,
+    /// Event family (`jni-enter`, `fsm-transition`, `verdict`…).
+    pub label: String,
+    /// The JNI function or native method, when the event names one.
+    pub function: Option<String>,
+    /// The state machine, for transitions and verdicts.
+    pub machine: Option<String>,
+    /// The entity acted on, for transitions that name one.
+    pub entity: Option<String>,
+    /// Whether the event represents a failure (failed call, error
+    /// transition, verdict).
+    pub failed: bool,
+}
+
+impl EventSummary {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .num("session", self.session)
+            .num("index", self.index)
+            .num("thread", self.thread)
+            .str("label", &self.label)
+            .opt_str("function", self.function.as_deref())
+            .opt_str("machine", self.machine.as_deref())
+            .opt_str("entity", self.entity.as_deref())
+            .bool("failed", self.failed)
+            .build()
+    }
+}
+
+/// One configuration's overall replay outcome for a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeRec {
+    /// The session it belongs to.
+    pub session: SessionId,
+    /// The configuration label.
+    pub config: String,
+    /// The Table 1 behaviour classification, rendered.
+    pub behavior: String,
+    /// The primary diagnosis, if any tool produced one.
+    pub message: Option<String>,
+    /// JNI calls re-issued under this config.
+    pub events_replayed: u64,
+    /// Replay divergences under this config.
+    pub divergences: u64,
+}
+
+impl OutcomeRec {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .num("session", self.session)
+            .str("config", &self.config)
+            .str("behavior", &self.behavior)
+            .opt_str("message", self.message.as_deref())
+            .num("events_replayed", self.events_replayed)
+            .num("divergences", self.divergences)
+            .build()
+    }
+}
+
+/// Final entity-population rollup of one machine after re-applying the
+/// session's transition stream through a pooled engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineRollup {
+    /// The machine name.
+    pub machine: String,
+    /// Transitions re-applied.
+    pub transitions: u64,
+    /// Entities tracked at end of stream.
+    pub entities: u64,
+    /// Error-state entries observed.
+    pub errors: u64,
+}
+
+impl MachineRollup {
+    /// Renders the rollup as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("machine", &self.machine)
+            .num("transitions", self.transitions)
+            .num("entities", self.entities)
+            .num("errors", self.errors)
+            .build()
+    }
+}
+
+/// Approximate heap footprint of a history row, for the retention
+/// budget. Deliberately simple and deterministic: struct size plus
+/// string payloads.
+pub(crate) fn approx_bytes_verdict(v: &VerdictRec) -> usize {
+    std::mem::size_of::<VerdictRec>()
+        + v.tenant.len()
+        + v.config.len()
+        + v.machine.len()
+        + v.error_state.len()
+        + v.function.len()
+        + v.message.len()
+}
+
+pub(crate) fn approx_bytes_event(e: &EventSummary) -> usize {
+    std::mem::size_of::<EventSummary>()
+        + e.label.len()
+        + e.function.as_deref().map_or(0, str::len)
+        + e.machine.as_deref().map_or(0, str::len)
+        + e.entity.as_deref().map_or(0, str::len)
+}
+
+pub(crate) fn approx_bytes_outcome(o: &OutcomeRec) -> usize {
+    std::mem::size_of::<OutcomeRec>()
+        + o.config.len()
+        + o.behavior.len()
+        + o.message.as_deref().map_or(0, str::len)
+}

@@ -1,0 +1,312 @@
+//! The TCP front end: binary frame streams in, line-delimited JSON out.
+//!
+//! A connection picks its protocol with its first byte:
+//!
+//! * `J` (the first byte of the `JFRM` stream preamble) — **ingest
+//!   mode**. The connection carries a frame stream; every `Seal` is
+//!   answered with one JSON line once the session reaches a terminal
+//!   state (judged or quarantined), so the client's read is its
+//!   end-to-end ingest barrier. A frame-stream error (bad checksum,
+//!   oversized length, truncation) answers one JSON error line,
+//!   quarantines every still-open session this connection opened, and
+//!   closes — the poison stays on this connection's sessions, never the
+//!   fleet.
+//! * anything else — **query mode**. Each line is one JSON request
+//!   (`op`: `query`, `stats`, `rollups`, `fleet`, `wait`, `ping`),
+//!   answered with one JSON line.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jinn_replay::{Frame, FrameDecoder};
+
+use crate::daemon::DaemonHandle;
+use crate::json::{self, JsonObj, JsonVal};
+use crate::store::{Query, QueryKind};
+
+/// A listening socket server bound to a [`DaemonHandle`].
+pub struct SocketServer {
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl SocketServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Any bind error.
+    pub fn bind(handle: DaemonHandle, addr: &str) -> std::io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("jinn-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &handle, &accept_stop))
+            .expect("spawn accept loop");
+        Ok(SocketServer {
+            addr,
+            accept_thread: Some(accept_thread),
+            stop,
+        })
+    }
+
+    /// The bound address (for clients when port 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections. In-flight connections finish on
+    /// their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &DaemonHandle, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let handle = handle.clone();
+                let _ = std::thread::Builder::new()
+                    .name("jinn-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &handle);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn error_line(msg: &str) -> String {
+    let mut line = JsonObj::new().bool("ok", false).str("error", msg).build();
+    line.push('\n');
+    line
+}
+
+fn serve_connection(stream: TcpStream, handle: &DaemonHandle) -> std::io::Result<()> {
+    let mut first = [0u8; 1];
+    // Block until the client commits to a protocol.
+    stream.set_nonblocking(false)?;
+    let n = stream.peek(&mut first)?;
+    if n == 0 {
+        return Ok(());
+    }
+    if first[0] == b'J' {
+        serve_ingest(stream, handle)
+    } else {
+        serve_queries(stream, handle)
+    }
+}
+
+fn serve_ingest(mut stream: TcpStream, handle: &DaemonHandle) -> std::io::Result<()> {
+    let mut decoder = FrameDecoder::new();
+    let mut owned: HashSet<u64> = HashSet::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if let Frame::Open { session, .. } = &frame {
+                        owned.insert(*session);
+                    }
+                    let is_seal = matches!(frame, Frame::Seal { .. });
+                    let session = frame.session();
+                    match handle.apply_frame(&frame) {
+                        Ok(()) if is_seal => {
+                            let stats = handle.wait_session(session);
+                            let line = match stats {
+                                Some(s) => {
+                                    let mut l = JsonObj::new()
+                                        .bool("ok", true)
+                                        .raw("stats", s.to_json())
+                                        .build();
+                                    l.push('\n');
+                                    l
+                                }
+                                None => error_line("session vanished"),
+                            };
+                            stream.write_all(line.as_bytes())?;
+                        }
+                        Ok(()) => {}
+                        Err(e) => {
+                            stream.write_all(error_line(&e.to_string()).as_bytes())?;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Stream-level corruption: poison this connection's
+                    // still-open sessions and drop the connection.
+                    let reason = format!("corrupt frame stream: {e}");
+                    for id in &owned {
+                        handle.quarantine(*id, &reason);
+                    }
+                    stream.write_all(error_line(&reason).as_bytes())?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_u64(req: &std::collections::BTreeMap<String, JsonVal>, key: &str) -> Option<u64> {
+    req.get(key).and_then(JsonVal::as_u64)
+}
+
+fn get_str(req: &std::collections::BTreeMap<String, JsonVal>, key: &str) -> Option<String> {
+    req.get(key).and_then(|v| v.as_str().map(str::to_string))
+}
+
+fn handle_request(line: &str, handle: &DaemonHandle) -> String {
+    let req = match json::parse_object(line) {
+        Ok(r) => r,
+        Err(e) => return JsonObj::new().bool("ok", false).str("error", &e).build(),
+    };
+    let op = get_str(&req, "op").unwrap_or_default();
+    match op.as_str() {
+        "ping" => JsonObj::new()
+            .bool("ok", true)
+            .str("pong", "jinn-serve")
+            .build(),
+        "fleet" => {
+            let f = handle.fleet();
+            let p = handle.pool_stats();
+            JsonObj::new()
+                .bool("ok", true)
+                .num("opened", f.opened)
+                .num("judged", f.judged)
+                .num("quarantined", f.quarantined)
+                .num("aborted", f.aborted)
+                .num("live", f.live)
+                .num("history_bytes", f.history_bytes)
+                .num("retention_bytes", f.retention_bytes)
+                .num("purged_sessions", f.purged_sessions)
+                .num("total_verdicts", f.total_verdicts)
+                .num("total_events_replayed", f.total_events_replayed)
+                .num("pool_built", p.built)
+                .num("pool_leases", p.leases)
+                .build()
+        }
+        "stats" => match get_u64(&req, "session").and_then(|id| handle.session_stats(id)) {
+            Some(s) => JsonObj::new()
+                .bool("ok", true)
+                .raw("stats", s.to_json())
+                .build(),
+            None => JsonObj::new()
+                .bool("ok", false)
+                .str("error", "unknown session")
+                .build(),
+        },
+        "rollups" => match get_u64(&req, "session") {
+            Some(id) => JsonObj::new()
+                .bool("ok", true)
+                .raw(
+                    "rollups",
+                    json::list(handle.rollups(id).iter().map(|r| r.to_json())),
+                )
+                .build(),
+            None => JsonObj::new()
+                .bool("ok", false)
+                .str("error", "missing session")
+                .build(),
+        },
+        "wait" => match get_u64(&req, "session").and_then(|id| handle.wait_session(id)) {
+            Some(s) => JsonObj::new()
+                .bool("ok", true)
+                .raw("stats", s.to_json())
+                .build(),
+            None => JsonObj::new()
+                .bool("ok", false)
+                .str("error", "unknown session")
+                .build(),
+        },
+        "query" => {
+            let kind = match get_str(&req, "kind").as_deref() {
+                None | Some("verdicts") => QueryKind::Verdicts,
+                Some("events") => QueryKind::Events,
+                Some("outcomes") => QueryKind::Outcomes,
+                Some(other) => {
+                    return JsonObj::new()
+                        .bool("ok", false)
+                        .str("error", &format!("unknown query kind `{other}`"))
+                        .build()
+                }
+            };
+            let query = Query {
+                kind,
+                session: get_u64(&req, "session"),
+                tenant: get_str(&req, "tenant"),
+                config: get_str(&req, "config"),
+                function: get_str(&req, "function"),
+                machine: get_str(&req, "machine"),
+                entity: get_str(&req, "entity"),
+                thread: get_u64(&req, "thread").map(|t| t as u16),
+                min_index: get_u64(&req, "min_index"),
+                max_index: get_u64(&req, "max_index"),
+                cursor: get_u64(&req, "cursor"),
+                limit: get_u64(&req, "limit").unwrap_or(0) as usize,
+            };
+            let page = handle.query(&query);
+            JsonObj::new()
+                .bool("ok", true)
+                .num("count", page.items.len() as u64)
+                .raw("items", json::list(page.items.iter().map(|i| i.to_json())))
+                .opt_num("next_cursor", page.next_cursor)
+                .build()
+        }
+        other => JsonObj::new()
+            .bool("ok", false)
+            .str("error", &format!("unknown op `{other}`"))
+            .build(),
+    }
+}
+
+fn serve_queries(stream: TcpStream, handle: &DaemonHandle) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = handle_request(line.trim(), handle);
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+    }
+    Ok(())
+}

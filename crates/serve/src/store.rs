@@ -1,0 +1,681 @@
+//! The session table: lifecycle bookkeeping, buffered ingest bytes,
+//! judged history rows, the retention budget, and the query scan.
+//!
+//! One mutex guards the whole table. That is deliberate: every
+//! operation here is bookkeeping measured in microseconds, while the
+//! expensive work (replay) happens in workers *outside* the lock — a
+//! worker takes the sealed bytes out, judges without the lock, and
+//! comes back once with the results. A condvar broadcast on every state
+//! change backs `wait_session`/`wait_idle`.
+//!
+//! ## Retention
+//!
+//! Judged history (verdict rows, event summaries, per-config outcomes)
+//! is held under a global byte budget. When an insert pushes the total
+//! over, whole-session histories are purged **oldest-session-first** by
+//! open order until back under. Only terminal sessions are candidates:
+//! a live (open/queued/judging) session has no history yet and can
+//! never be evicted, structurally. Purged sessions keep their stats —
+//! the query API reports `history_purged` rather than silently
+//! returning nothing.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use jinn_replay::ReplayConfig;
+
+use crate::error::ServeError;
+use crate::judge::JudgeOutput;
+use crate::session::{
+    approx_bytes_event, approx_bytes_outcome, approx_bytes_verdict, EventSummary, MachineRollup,
+    ObsCounters, OutcomeRec, SessionId, SessionState, SessionStats, VerdictRec,
+};
+
+/// Which history rows a query scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryKind {
+    /// Checker violations (the default).
+    #[default]
+    Verdicts,
+    /// Re-judged execution event summaries.
+    Events,
+    /// Per-config overall outcomes.
+    Outcomes,
+}
+
+/// A history query: filters are conjunctive; absent filters match
+/// everything. Results are ordered by insertion (rowid) and paginated
+/// with an opaque cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Row family to scan.
+    pub kind: QueryKind,
+    /// Only rows of this session.
+    pub session: Option<SessionId>,
+    /// Only rows of sessions with this tenant tag.
+    pub tenant: Option<String>,
+    /// Only rows produced under this config label.
+    pub config: Option<String>,
+    /// Only rows naming this JNI function / native method.
+    pub function: Option<String>,
+    /// Only rows naming this state machine.
+    pub machine: Option<String>,
+    /// Only event rows naming this entity.
+    pub entity: Option<String>,
+    /// Only event rows on this thread.
+    pub thread: Option<u16>,
+    /// Only event rows with index ≥ this.
+    pub min_index: Option<u64>,
+    /// Only event rows with index ≤ this.
+    pub max_index: Option<u64>,
+    /// Resume after this rowid (from a previous page's `next_cursor`).
+    pub cursor: Option<u64>,
+    /// Page size; 0 means the default (100), capped at 1000.
+    pub limit: usize,
+}
+
+/// One matched row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryItem {
+    /// A verdict row.
+    Verdict(VerdictRec),
+    /// An event-summary row.
+    Event(EventSummary),
+    /// A per-config outcome row.
+    Outcome(OutcomeRec),
+}
+
+impl QueryItem {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            QueryItem::Verdict(v) => v.to_json(),
+            QueryItem::Event(e) => e.to_json(),
+            QueryItem::Outcome(o) => o.to_json(),
+        }
+    }
+}
+
+/// One page of query results.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPage {
+    /// Matched rows, insertion order.
+    pub items: Vec<QueryItem>,
+    /// Pass back as [`Query::cursor`] for the next page; `None` when the
+    /// scan is exhausted.
+    pub next_cursor: Option<u64>,
+}
+
+/// Fleet-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions judged.
+    pub judged: u64,
+    /// Sessions quarantined.
+    pub quarantined: u64,
+    /// Sessions aborted by their client.
+    pub aborted: u64,
+    /// Sessions currently open/queued/judging.
+    pub live: u64,
+    /// History bytes currently held.
+    pub history_bytes: u64,
+    /// The retention budget.
+    pub retention_bytes: u64,
+    /// Sessions whose history retention purged.
+    pub purged_sessions: u64,
+    /// Verdict rows ever stored.
+    pub total_verdicts: u64,
+    /// JNI calls re-issued across all judged sessions.
+    pub total_events_replayed: u64,
+}
+
+struct History {
+    bytes: usize,
+    outcomes: Vec<(u64, OutcomeRec)>,
+    verdicts: Vec<(u64, VerdictRec)>,
+    events: Vec<(u64, EventSummary)>,
+    rollups: Vec<MachineRollup>,
+}
+
+struct Session {
+    opened_seq: u64,
+    tenant: String,
+    configs: Vec<ReplayConfig>,
+    state: SessionState,
+    buf: Vec<u8>,
+    frames: u64,
+    program: Option<String>,
+    obs: ObsCounters,
+    reason: Option<String>,
+    history: Option<History>,
+    history_purged: bool,
+    sealed_at: Option<Instant>,
+    ingest_micros: Option<u64>,
+    events_replayed: u64,
+    divergences: u64,
+    summaries_dropped: u64,
+    bytes_received: u64,
+}
+
+struct TableInner {
+    sessions: HashMap<SessionId, Session>,
+    next_seq: u64,
+    next_rowid: u64,
+    history_bytes: usize,
+    active: u64, // sessions in Queued or Judging
+    fleet: FleetStats,
+}
+
+/// The daemon's shared session store. See the module docs.
+pub struct SessionTable {
+    inner: Mutex<TableInner>,
+    changed: Condvar,
+    retention_bytes: usize,
+    max_buffered: u64,
+}
+
+impl SessionTable {
+    /// An empty table with the given retention budget and per-session
+    /// ingest buffer cap.
+    pub fn new(retention_bytes: usize, max_buffered: u64) -> SessionTable {
+        SessionTable {
+            inner: Mutex::new(TableInner {
+                sessions: HashMap::new(),
+                next_seq: 0,
+                next_rowid: 1,
+                history_bytes: 0,
+                active: 0,
+                fleet: FleetStats {
+                    retention_bytes: retention_bytes as u64,
+                    ..FleetStats::default()
+                },
+            }),
+            changed: Condvar::new(),
+            retention_bytes,
+            max_buffered,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
+        self.inner.lock().expect("session table poisoned")
+    }
+
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateSession`] if the id already exists.
+    pub fn open(
+        &self,
+        id: SessionId,
+        tenant: &str,
+        configs: Vec<ReplayConfig>,
+    ) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        if t.sessions.contains_key(&id) {
+            return Err(ServeError::DuplicateSession(id));
+        }
+        let opened_seq = t.next_seq;
+        t.next_seq += 1;
+        t.fleet.opened += 1;
+        t.sessions.insert(
+            id,
+            Session {
+                opened_seq,
+                tenant: tenant.to_string(),
+                configs,
+                state: SessionState::Open,
+                buf: Vec::new(),
+                frames: 1,
+                program: None,
+                obs: ObsCounters::default(),
+                reason: None,
+                history: None,
+                history_purged: false,
+                sealed_at: None,
+                ingest_micros: None,
+                events_replayed: 0,
+                divergences: 0,
+                summaries_dropped: 0,
+                bytes_received: 0,
+            },
+        );
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    fn session_mut(t: &mut TableInner, id: SessionId) -> Result<&mut Session, ServeError> {
+        t.sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    fn require_open(s: &Session, id: SessionId) -> Result<(), ServeError> {
+        match s.state {
+            SessionState::Open => Ok(()),
+            SessionState::Quarantined => Err(ServeError::Quarantined {
+                session: id,
+                reason: s.reason.clone().unwrap_or_default(),
+            }),
+            other => Err(ServeError::SessionNotOpen {
+                session: id,
+                state: other.to_string(),
+            }),
+        }
+    }
+
+    /// Buffers a chunk of trace bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] when the chunk would exceed the
+    /// per-session buffer cap; lifecycle errors otherwise.
+    pub fn append(&self, id: SessionId, chunk: &[u8]) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        let cap = self.max_buffered;
+        let s = Self::session_mut(&mut t, id)?;
+        Self::require_open(s, id)?;
+        if s.buf.len() as u64 + chunk.len() as u64 > cap {
+            return Err(ServeError::Backpressure {
+                session: id,
+                buffered: s.buf.len() as u64,
+                cap,
+            });
+        }
+        s.buf.extend_from_slice(chunk);
+        s.bytes_received += chunk.len() as u64;
+        s.frames += 1;
+        Ok(())
+    }
+
+    /// Seals a session: verifies the declared length and checksum, then
+    /// marks it queued. The caller enqueues the id for a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Quarantined`] when the reassembled bytes don't
+    /// match the seal declaration (the session is poisoned in place);
+    /// lifecycle errors otherwise.
+    pub fn seal(&self, id: SessionId, total_len: u64, checksum: u64) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        let s = Self::session_mut(&mut t, id)?;
+        Self::require_open(s, id)?;
+        s.frames += 1;
+        let actual_len = s.buf.len() as u64;
+        let actual_sum = jinn_replay::format::fnv1a(&s.buf);
+        if actual_len != total_len || actual_sum != checksum {
+            let reason = if actual_len != total_len {
+                format!("seal declared {total_len} bytes, received {actual_len}")
+            } else {
+                format!("seal checksum mismatch: declared {checksum:#018x}, computed {actual_sum:#018x}")
+            };
+            Self::poison(&mut t, id, &reason);
+            self.changed.notify_all();
+            return Err(ServeError::Quarantined {
+                session: id,
+                reason,
+            });
+        }
+        let s = Self::session_mut(&mut t, id)?;
+        s.state = SessionState::Queued;
+        s.sealed_at = Some(Instant::now());
+        t.active += 1;
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    /// Client-side abort: drops the buffer, terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle errors; aborting a non-open session is invalid.
+    pub fn abort(&self, id: SessionId, reason: &str) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        let s = Self::session_mut(&mut t, id)?;
+        Self::require_open(s, id)?;
+        s.state = SessionState::Aborted;
+        s.reason = Some(reason.to_string());
+        s.buf = Vec::new();
+        s.frames += 1;
+        t.fleet.aborted += 1;
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    fn poison(t: &mut TableInner, id: SessionId, reason: &str) {
+        let Some(s) = t.sessions.get_mut(&id) else {
+            return;
+        };
+        if s.state.is_terminal() {
+            return;
+        }
+        if matches!(s.state, SessionState::Queued | SessionState::Judging) {
+            t.active -= 1;
+        }
+        s.state = SessionState::Quarantined;
+        s.reason = Some(reason.to_string());
+        s.buf = Vec::new();
+        t.fleet.quarantined += 1;
+    }
+
+    /// Quarantines a session from outside the worker path (stream-level
+    /// corruption on its connection). Terminal sessions are left alone.
+    pub fn quarantine(&self, id: SessionId, reason: &str) {
+        let mut t = self.lock();
+        Self::poison(&mut t, id, reason);
+        self.changed.notify_all();
+    }
+
+    /// Worker entry: takes a queued session's bytes for judging.
+    /// Returns `None` when the session is no longer queued (e.g. it was
+    /// quarantined while waiting).
+    pub fn begin_judging(&self, id: SessionId) -> Option<(Vec<u8>, String, Vec<ReplayConfig>)> {
+        let mut t = self.lock();
+        let s = t.sessions.get_mut(&id)?;
+        if s.state != SessionState::Queued {
+            return None;
+        }
+        s.state = SessionState::Judging;
+        let bytes = std::mem::take(&mut s.buf);
+        let out = (bytes, s.tenant.clone(), s.configs.clone());
+        self.changed.notify_all();
+        Some(out)
+    }
+
+    /// Worker exit, success path: records the judge output, assigns
+    /// rowids, charges the retention budget, and purges oldest-first if
+    /// over it.
+    pub fn finish(&self, id: SessionId, out: JudgeOutput) {
+        let mut t = self.lock();
+        let mut bytes = 0usize;
+        let outcomes: Vec<(u64, OutcomeRec)> = out
+            .outcomes
+            .into_iter()
+            .map(|o| {
+                bytes += approx_bytes_outcome(&o);
+                let rowid = t.next_rowid;
+                t.next_rowid += 1;
+                (rowid, o)
+            })
+            .collect();
+        let verdicts: Vec<(u64, VerdictRec)> = out
+            .verdicts
+            .into_iter()
+            .map(|v| {
+                bytes += approx_bytes_verdict(&v);
+                let rowid = t.next_rowid;
+                t.next_rowid += 1;
+                (rowid, v)
+            })
+            .collect();
+        let events: Vec<(u64, EventSummary)> = out
+            .events
+            .into_iter()
+            .map(|e| {
+                bytes += approx_bytes_event(&e);
+                let rowid = t.next_rowid;
+                t.next_rowid += 1;
+                (rowid, e)
+            })
+            .collect();
+        t.fleet.total_verdicts += verdicts.len() as u64;
+        t.fleet.total_events_replayed += out.events_replayed;
+        t.fleet.judged += 1;
+        t.history_bytes += bytes;
+        {
+            let Some(s) = t.sessions.get_mut(&id) else {
+                return;
+            };
+            debug_assert_eq!(s.state, SessionState::Judging);
+            s.state = SessionState::Judged;
+            s.program = Some(out.program);
+            s.obs = out.obs;
+            s.events_replayed = out.events_replayed;
+            s.divergences = out.divergences;
+            s.summaries_dropped = out.events_dropped;
+            s.ingest_micros = s
+                .sealed_at
+                .map(|at| at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            s.history = Some(History {
+                bytes,
+                outcomes,
+                verdicts,
+                events,
+                rollups: out.rollups,
+            });
+        }
+        t.active -= 1;
+        self.enforce_retention(&mut t);
+        t.fleet.history_bytes = t.history_bytes as u64;
+        self.changed.notify_all();
+    }
+
+    /// Worker exit, failure path.
+    pub fn fail(&self, id: SessionId, reason: &str) {
+        let mut t = self.lock();
+        Self::poison(&mut t, id, reason);
+        self.changed.notify_all();
+    }
+
+    fn enforce_retention(&self, t: &mut TableInner) {
+        while t.history_bytes > self.retention_bytes {
+            // Oldest-first by open order, among terminal sessions that
+            // still hold history. Deterministic: open order is a total
+            // order assigned under this same lock.
+            let victim = t
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.state.is_terminal() && s.history.is_some())
+                .min_by_key(|(_, s)| s.opened_seq)
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else {
+                break;
+            };
+            let s = t.sessions.get_mut(&victim).expect("victim exists");
+            let hist = s.history.take().expect("victim holds history");
+            s.history_purged = true;
+            t.history_bytes -= hist.bytes;
+            t.fleet.purged_sessions += 1;
+        }
+    }
+
+    /// A stats snapshot for one session.
+    pub fn stats(&self, id: SessionId) -> Option<SessionStats> {
+        let t = self.lock();
+        let s = t.sessions.get(&id)?;
+        Some(Self::snapshot(id, s))
+    }
+
+    fn snapshot(id: SessionId, s: &Session) -> SessionStats {
+        let (verdicts, summaries) = match &s.history {
+            Some(h) => (h.verdicts.len() as u64, h.events.len() as u64),
+            None => (0, 0),
+        };
+        SessionStats {
+            session: id,
+            tenant: s.tenant.clone(),
+            state: s.state,
+            configs: s.configs.iter().map(ReplayConfig::label).collect(),
+            program: s.program.clone(),
+            bytes: s.bytes_received,
+            frames: s.frames,
+            events_replayed: s.events_replayed,
+            divergences: s.divergences,
+            verdicts,
+            summaries,
+            summaries_dropped: s.summaries_dropped,
+            obs: s.obs,
+            reason: s.reason.clone(),
+            history_purged: s.history_purged,
+            ingest_micros: s.ingest_micros,
+        }
+    }
+
+    /// The per-machine rollups of a judged session (empty if purged or
+    /// not judged).
+    pub fn rollups(&self, id: SessionId) -> Vec<MachineRollup> {
+        let t = self.lock();
+        t.sessions
+            .get(&id)
+            .and_then(|s| s.history.as_ref())
+            .map(|h| h.rollups.clone())
+            .unwrap_or_default()
+    }
+
+    /// Fleet counters.
+    pub fn fleet(&self) -> FleetStats {
+        let t = self.lock();
+        let mut f = t.fleet;
+        f.live = t
+            .sessions
+            .values()
+            .filter(|s| !s.state.is_terminal())
+            .count() as u64;
+        f.history_bytes = t.history_bytes as u64;
+        f
+    }
+
+    /// Runs a query: scans matching history rows across sessions, in
+    /// rowid (insertion) order, resuming after `query.cursor`.
+    pub fn query(&self, query: &Query) -> QueryPage {
+        let limit = match query.limit {
+            0 => 100,
+            n => n.min(1000),
+        };
+        let after = query.cursor.unwrap_or(0);
+        let t = self.lock();
+        let mut matched: Vec<(u64, QueryItem)> = Vec::new();
+        for (&id, s) in &t.sessions {
+            if let Some(want) = query.session {
+                if want != id {
+                    continue;
+                }
+            }
+            if let Some(tenant) = &query.tenant {
+                if &s.tenant != tenant {
+                    continue;
+                }
+            }
+            let Some(hist) = &s.history else {
+                continue;
+            };
+            match query.kind {
+                QueryKind::Verdicts => {
+                    for (rowid, v) in &hist.verdicts {
+                        if *rowid <= after {
+                            continue;
+                        }
+                        if query.config.as_deref().is_some_and(|c| c != v.config) {
+                            continue;
+                        }
+                        if query.function.as_deref().is_some_and(|f| f != v.function) {
+                            continue;
+                        }
+                        if query.machine.as_deref().is_some_and(|m| m != v.machine) {
+                            continue;
+                        }
+                        matched.push((*rowid, QueryItem::Verdict(v.clone())));
+                    }
+                }
+                QueryKind::Events => {
+                    for (rowid, e) in &hist.events {
+                        if *rowid <= after {
+                            continue;
+                        }
+                        if query
+                            .function
+                            .as_deref()
+                            .is_some_and(|f| e.function.as_deref() != Some(f))
+                        {
+                            continue;
+                        }
+                        if query
+                            .machine
+                            .as_deref()
+                            .is_some_and(|m| e.machine.as_deref() != Some(m))
+                        {
+                            continue;
+                        }
+                        if query
+                            .entity
+                            .as_deref()
+                            .is_some_and(|x| e.entity.as_deref() != Some(x))
+                        {
+                            continue;
+                        }
+                        if query.thread.is_some_and(|th| th != e.thread) {
+                            continue;
+                        }
+                        if query.min_index.is_some_and(|m| e.index < m) {
+                            continue;
+                        }
+                        if query.max_index.is_some_and(|m| e.index > m) {
+                            continue;
+                        }
+                        matched.push((*rowid, QueryItem::Event(e.clone())));
+                    }
+                }
+                QueryKind::Outcomes => {
+                    for (rowid, o) in &hist.outcomes {
+                        if *rowid <= after {
+                            continue;
+                        }
+                        if query.config.as_deref().is_some_and(|c| c != o.config) {
+                            continue;
+                        }
+                        matched.push((*rowid, QueryItem::Outcome(o.clone())));
+                    }
+                }
+            }
+        }
+        drop(t);
+        matched.sort_by_key(|(rowid, _)| *rowid);
+        let more = matched.len() > limit;
+        matched.truncate(limit);
+        let next_cursor = if more {
+            matched.last().map(|(rowid, _)| *rowid)
+        } else {
+            None
+        };
+        QueryPage {
+            items: matched.into_iter().map(|(_, item)| item).collect(),
+            next_cursor,
+        }
+    }
+
+    /// Blocks until the session reaches a terminal state; returns its
+    /// stats, or `None` for an unknown session.
+    pub fn wait_terminal(&self, id: SessionId) -> Option<SessionStats> {
+        let mut t = self.lock();
+        loop {
+            let s = t.sessions.get(&id)?;
+            if s.state.is_terminal() {
+                return Some(Self::snapshot(id, s));
+            }
+            t = self.changed.wait(t).expect("session table poisoned");
+        }
+    }
+
+    /// Blocks until no session is queued or judging.
+    pub fn wait_idle(&self) {
+        let mut t = self.lock();
+        while t.active > 0 {
+            t = self.changed.wait(t).expect("session table poisoned");
+        }
+    }
+
+    /// Every known session id, in open order (for tests and the CLI).
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let t = self.lock();
+        let mut ids: Vec<(u64, SessionId)> = t
+            .sessions
+            .iter()
+            .map(|(id, s)| (s.opened_seq, *id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+}

@@ -17,12 +17,15 @@
 //!   studies.
 //! * [`replay`] — deterministic trace record/replay with differential
 //!   verdict checking (the `.jtrace` format and golden corpus).
+//! * [`serve`] — the multi-tenant trace-ingestion and re-judging daemon
+//!   with its verdict query API.
 
 pub use jinn_core as core;
 pub use jinn_fsm as fsm;
 pub use jinn_microbench as microbench;
 pub use jinn_obs as obs;
 pub use jinn_replay as replay;
+pub use jinn_serve as serve;
 pub use jinn_spec as spec;
 pub use jinn_vendors as vendors;
 pub use jinn_workloads as workloads;

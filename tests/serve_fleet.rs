@@ -1,0 +1,284 @@
+//! Fleet-scale daemon integration test: ≥64 concurrent sessions stream
+//! golden-corpus traces through the frame codec into `jinn-serve`, and
+//! every session's verdict multiset must match a single-process
+//! `replay check` of the same trace — with corrupt-frame sessions
+//! quarantined and the rest of the fleet unharmed.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+use jinn::replay::format::fnv1a;
+use jinn::replay::{
+    case_studies, decode_stream, encode_frame, encode_ingest, microbench_programs, replay_trace,
+    Frame, ReplayConfig, Trace,
+};
+use jinn::serve::{Daemon, Query, QueryItem, QueryKind, ServeConfig, SessionState};
+
+fn corpus_bytes(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/corpus/{name}.jtrace", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn corpus_names() -> Vec<String> {
+    microbench_programs()
+        .iter()
+        .chain(case_studies().iter())
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// The verdict multiset of one local replay: (machine, error_state,
+/// function) → count.
+fn local_multiset(bytes: &[u8], config: &ReplayConfig) -> BTreeMap<(String, String, String), u64> {
+    let trace = Trace::parse(bytes).expect("corpus trace parses");
+    let outcome = replay_trace(&trace, config).expect("local replay succeeds");
+    let mut set = BTreeMap::new();
+    for v in &outcome.violations {
+        *set.entry((
+            v.machine.to_string(),
+            v.error_state.to_string(),
+            v.function.clone(),
+        ))
+        .or_insert(0u64) += 1;
+    }
+    set
+}
+
+/// The daemon's verdict multiset for one session, via the query API
+/// (paginated to exercise the cursor).
+fn served_multiset(
+    handle: &jinn::serve::DaemonHandle,
+    session: u64,
+) -> BTreeMap<(String, String, String), u64> {
+    let mut set = BTreeMap::new();
+    let mut cursor = None;
+    loop {
+        let page = handle.query(&Query {
+            kind: QueryKind::Verdicts,
+            session: Some(session),
+            cursor,
+            limit: 3, // tiny page size: force pagination
+            ..Query::default()
+        });
+        for item in &page.items {
+            let QueryItem::Verdict(v) = item else {
+                panic!("verdict query returned a non-verdict row")
+            };
+            *set.entry((v.machine.clone(), v.error_state.clone(), v.function.clone()))
+                .or_insert(0u64) += 1;
+        }
+        match page.next_cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    set
+}
+
+#[test]
+fn fleet_of_64_sessions_matches_single_process_replay() {
+    const SESSIONS: u64 = 64;
+    const CORRUPT: &[u64] = &[11, 37]; // two poisoned sessions in the fleet
+
+    let names = corpus_names();
+    let traces: Arc<Vec<(String, Vec<u8>)>> =
+        Arc::new(names.iter().map(|n| (n.clone(), corpus_bytes(n))).collect());
+
+    let daemon = Daemon::start(ServeConfig {
+        workers: 4,
+        retention_bytes: 64 * 1024 * 1024, // plenty: no purge in this test
+        max_events_per_session: 128,
+        ..ServeConfig::default()
+    });
+    let handle = daemon.handle();
+
+    // 64 client threads, each streaming one corpus trace (round-robin)
+    // through the real frame codec into the in-process handle.
+    let mut clients = Vec::new();
+    for session in 0..SESSIONS {
+        let handle = handle.clone();
+        let traces = Arc::clone(&traces);
+        clients.push(thread::spawn(move || {
+            let (_, bytes) = &traces[session as usize % traces.len()];
+            let corrupt = CORRUPT.contains(&session);
+            let tenant = format!("tenant-{}", session % 4);
+            let stream = encode_ingest(session, &tenant, "jinn", bytes, 1024);
+            let mut frames = decode_stream(&stream).expect("self-encoded stream decodes");
+            if corrupt {
+                // Flip a byte mid-trace: the Seal declaration no longer
+                // matches the reassembled bytes, so seal must quarantine.
+                let mid = frames.len() / 2;
+                if let Frame::Append { session, chunk } = &frames[mid] {
+                    let mut bad = chunk.clone();
+                    let at = bad.len() / 2;
+                    bad[at] ^= 0x40;
+                    frames[mid] = Frame::Append {
+                        session: *session,
+                        chunk: bad,
+                    };
+                } else {
+                    panic!("expected an Append frame mid-stream");
+                }
+            }
+            let mut seal_err = None;
+            for frame in &frames {
+                if let Err(e) = handle.apply_frame(frame) {
+                    seal_err = Some(e.to_string());
+                    break;
+                }
+            }
+            let stats = handle.wait_session(session).expect("session exists");
+            (session, corrupt, seal_err, stats)
+        }));
+    }
+
+    for client in clients {
+        let (session, corrupt, seal_err, stats) = client.join().expect("client thread");
+        if corrupt {
+            assert_eq!(
+                stats.state,
+                SessionState::Quarantined,
+                "session {session}: corrupt ingest must quarantine"
+            );
+            let err = seal_err.unwrap_or_else(|| panic!("session {session}: seal should fail"));
+            assert!(
+                err.contains("quarantined"),
+                "session {session}: unexpected error `{err}`"
+            );
+        } else {
+            assert_eq!(
+                stats.state,
+                SessionState::Judged,
+                "session {session}: {:?}",
+                stats.reason
+            );
+            assert!(
+                seal_err.is_none(),
+                "session {session}: clean ingest errored"
+            );
+        }
+    }
+
+    // Every healthy session's verdict multiset equals the single-process
+    // replay of its trace under the same checker stack.
+    let jinn = ReplayConfig::parse("jinn").unwrap();
+    let mut local_cache: BTreeMap<usize, BTreeMap<(String, String, String), u64>> = BTreeMap::new();
+    for session in 0..SESSIONS {
+        if CORRUPT.contains(&session) {
+            assert!(
+                served_multiset(&handle, session).is_empty(),
+                "session {session}: quarantined session must hold no verdicts"
+            );
+            continue;
+        }
+        let idx = session as usize % traces.len();
+        let local = local_cache
+            .entry(idx)
+            .or_insert_with(|| local_multiset(&traces[idx].1, &jinn))
+            .clone();
+        let served = served_multiset(&handle, session);
+        assert_eq!(
+            served, local,
+            "session {session} ({}): daemon verdicts diverge from replay check",
+            traces[idx].0
+        );
+    }
+
+    // Fleet accounting: the poison stayed contained.
+    let fleet = handle.fleet();
+    assert_eq!(fleet.opened, SESSIONS);
+    assert_eq!(fleet.quarantined, CORRUPT.len() as u64);
+    assert_eq!(fleet.judged, SESSIONS - CORRUPT.len() as u64);
+    assert_eq!(fleet.live, 0);
+
+    // Satellite 2: recorder policy counters surface in per-session stats.
+    for session in 0..SESSIONS {
+        if CORRUPT.contains(&session) {
+            continue;
+        }
+        let stats = handle.session_stats(session).expect("stats");
+        let json = stats.to_json();
+        assert!(
+            json.contains("\"obs\"") && json.contains("\"policy_epoch\""),
+            "session {session}: judged session must expose obs counters, got {json}"
+        );
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
+fn frame_stream_corruption_is_contained_to_its_connection() {
+    // Stream-level corruption (bad frame checksum) — distinct from the
+    // seal-declaration mismatch above — must poison only the sessions the
+    // bad stream opened.
+    let daemon = Daemon::start(ServeConfig::default());
+    let handle = daemon.handle();
+    let bytes = corpus_bytes("LocalRefDangling");
+
+    // A healthy session first.
+    let good = encode_ingest(1, "ok", "jinn", &bytes, 4096);
+    for frame in decode_stream(&good).expect("decodes") {
+        handle.apply_frame(&frame).expect("healthy ingest");
+    }
+    assert_eq!(handle.wait_session(1).unwrap().state, SessionState::Judged);
+
+    // A corrupt frame stream: flip a byte inside a frame payload so the
+    // frame checksum fails at decode time.
+    let mut stream = encode_frame(&Frame::Open {
+        session: 2,
+        tenant: "bad".into(),
+        config: "jinn".into(),
+    });
+    stream.extend_from_slice(&encode_frame(&Frame::Append {
+        session: 2,
+        chunk: bytes.clone(),
+    }));
+    let at = stream.len() - 64;
+    stream[at] ^= 0x01;
+    stream.extend_from_slice(&encode_frame(&Frame::Seal {
+        session: 2,
+        total_len: bytes.len() as u64,
+        checksum: fnv1a(&bytes),
+    }));
+
+    // Drive it the way the socket does: open first, then hit the error.
+    let mut decoder = jinn::replay::FrameDecoder::new();
+    let preamble = jinn::replay::stream_preamble();
+    let mut full = preamble.to_vec();
+    full.extend_from_slice(&stream);
+    decoder.feed(&full);
+    let mut opened = Vec::new();
+    let err = loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => {
+                if let Frame::Open { session, .. } = &frame {
+                    opened.push(*session);
+                }
+                handle
+                    .apply_frame(&frame)
+                    .expect("pre-corruption frames apply");
+            }
+            Ok(None) => panic!("decoder should hit the corrupt frame"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(
+        err,
+        jinn::replay::FrameError::ChecksumMismatch { .. }
+    ));
+    for id in opened {
+        handle.quarantine(id, "corrupt frame stream");
+    }
+
+    let s2 = handle.session_stats(2).expect("session 2");
+    assert_eq!(s2.state, SessionState::Quarantined);
+    // Session 1's history is untouched.
+    let page = handle.query(&Query {
+        session: Some(1),
+        ..Query::default()
+    });
+    assert!(!page.items.is_empty(), "healthy session keeps its verdicts");
+    daemon.shutdown();
+}

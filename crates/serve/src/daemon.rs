@@ -20,7 +20,7 @@ use jinn_replay::{Frame, ReplayConfig};
 use crate::error::ServeError;
 use crate::judge::judge;
 use crate::session::{MachineRollup, SessionId, SessionStats};
-use crate::store::{FleetStats, Query, QueryPage, SessionTable};
+use crate::store::{FleetStats, Query, QueryPage, SessionTable, StoreLimits};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -31,6 +31,15 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-session ingest buffer cap (backpressure threshold).
     pub max_buffered_bytes: u64,
+    /// Live sessions admitted at once; `open` past it fails with
+    /// [`ServeError::FleetSaturated`].
+    pub max_live_sessions: usize,
+    /// Session records kept (live + terminal); terminal records beyond
+    /// it are evicted oldest-first.
+    pub max_session_records: usize,
+    /// Total buffered ingest bytes across all sessions; `append` past it
+    /// fails with [`ServeError::FleetBackpressure`].
+    pub max_total_buffered_bytes: u64,
     /// Global byte budget for judged history.
     pub retention_bytes: usize,
     /// Event summaries kept per session (newest win).
@@ -48,6 +57,9 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 256,
             max_buffered_bytes: 8 * 1024 * 1024,
+            max_live_sessions: 4096,
+            max_session_records: 16384,
+            max_total_buffered_bytes: 256 * 1024 * 1024,
             retention_bytes: 4 * 1024 * 1024,
             max_events_per_session: 512,
             default_configs: "jinn".to_string(),
@@ -142,7 +154,13 @@ impl Daemon {
     /// Starts the workers and returns the daemon.
     pub fn start(config: ServeConfig) -> Daemon {
         let shared = Arc::new(Shared {
-            table: SessionTable::new(config.retention_bytes, config.max_buffered_bytes),
+            table: SessionTable::new(StoreLimits {
+                retention_bytes: config.retention_bytes,
+                max_buffered: config.max_buffered_bytes,
+                max_live_sessions: config.max_live_sessions,
+                max_session_records: config.max_session_records,
+                max_total_buffered: config.max_total_buffered_bytes,
+            }),
             queue: IngestQueue::new(config.queue_capacity),
             pool: EnginePool::new(jinn_spec::machines()),
             next_auto: AtomicU64::new(AUTO_SESSION_BASE),

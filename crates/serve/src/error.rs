@@ -37,6 +37,23 @@ pub enum ServeError {
         /// Why it was poisoned.
         reason: String,
     },
+    /// Global admission control: the fleet is at its live-session cap
+    /// and admits no new `Open` until a session goes terminal.
+    FleetSaturated {
+        /// Live (open/queued/judging) sessions right now.
+        live: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// Global backpressure: total un-judged ingest bytes buffered across
+    /// all sessions are at the fleet cap. The client should wait for
+    /// sealed sessions to drain.
+    FleetBackpressure {
+        /// Bytes currently buffered fleet-wide.
+        buffered: u64,
+        /// The fleet-wide cap.
+        cap: u64,
+    },
     /// The checker-stack selection string did not parse.
     BadConfig(String),
     /// The daemon is shutting down and accepts no new work.
@@ -62,6 +79,13 @@ impl fmt::Display for ServeError {
             ServeError::Quarantined { session, reason } => {
                 write!(f, "session {session} quarantined: {reason}")
             }
+            ServeError::FleetSaturated { live, cap } => {
+                write!(f, "fleet saturated: {live} live sessions, cap {cap}")
+            }
+            ServeError::FleetBackpressure { buffered, cap } => write!(
+                f,
+                "fleet backpressure: {buffered} ingest bytes buffered, cap {cap}"
+            ),
             ServeError::BadConfig(c) => write!(f, "unknown checker config `{c}`"),
             ServeError::ShuttingDown => f.write_str("daemon is shutting down"),
         }

@@ -78,4 +78,4 @@ pub use session::{
     VerdictRec,
 };
 pub use socket::SocketServer;
-pub use store::{FleetStats, Query, QueryItem, QueryKind, QueryPage};
+pub use store::{FleetStats, Query, QueryItem, QueryKind, QueryPage, SessionTable, StoreLimits};

@@ -13,7 +13,9 @@
 //!   fleet.
 //! * anything else — **query mode**. Each line is one JSON request
 //!   (`op`: `query`, `stats`, `rollups`, `fleet`, `wait`, `ping`),
-//!   answered with one JSON line.
+//!   answered with one JSON line. Request lines are capped at
+//!   `MAX_QUERY_LINE` bytes — past it the connection gets one error
+//!   line and closes, mirroring the ingest side's frame-size cap.
 
 use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -140,12 +142,17 @@ fn serve_ingest(mut stream: TcpStream, handle: &DaemonHandle) -> std::io::Result
         loop {
             match decoder.next_frame() {
                 Ok(Some(frame)) => {
-                    if let Frame::Open { session, .. } = &frame {
-                        owned.insert(*session);
-                    }
+                    let is_open = matches!(frame, Frame::Open { .. });
                     let is_seal = matches!(frame, Frame::Seal { .. });
                     let session = frame.session();
                     match handle.apply_frame(&frame) {
+                        // Own a session only once the daemon admitted
+                        // its Open: a rejected duplicate id belongs to
+                        // another connection, and this connection's
+                        // corruption must never poison it.
+                        Ok(()) if is_open => {
+                            owned.insert(session);
+                        }
                         Ok(()) if is_seal => {
                             let stats = handle.wait_session(session);
                             let line = match stats {
@@ -267,6 +274,21 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
                         .build()
                 }
             };
+            // Threads are u16 on the wire; a larger filter value must
+            // not silently truncate onto some other thread's rows.
+            let thread = match get_u64(&req, "thread").map(u16::try_from) {
+                None => None,
+                Some(Ok(t)) => Some(t),
+                Some(Err(_)) => {
+                    return JsonObj::new()
+                        .bool("ok", false)
+                        .str(
+                            "error",
+                            &format!("thread filter out of range (max {})", u16::MAX),
+                        )
+                        .build()
+                }
+            };
             let query = Query {
                 kind,
                 session: get_u64(&req, "session"),
@@ -275,7 +297,7 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
                 function: get_str(&req, "function"),
                 machine: get_str(&req, "machine"),
                 entity: get_str(&req, "entity"),
-                thread: get_u64(&req, "thread").map(|t| t as u16),
+                thread,
                 min_index: get_u64(&req, "min_index"),
                 max_index: get_u64(&req, "max_index"),
                 cursor: get_u64(&req, "cursor"),
@@ -296,15 +318,34 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
     }
 }
 
+/// Cap on one query-mode request line. The ingest side caps frames at
+/// `MAX_FRAME_PAYLOAD` so a hostile length can't allocate unboundedly;
+/// an endless JSON line without a newline gets the same treatment.
+const MAX_QUERY_LINE: u64 = 1024 * 1024;
+
 fn serve_queries(stream: TcpStream, handle: &DaemonHandle) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader
+            .by_ref()
+            .take(MAX_QUERY_LINE + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if buf.last() != Some(&b'\n') && n as u64 > MAX_QUERY_LINE {
+            writer.write_all(error_line("request line too long").as_bytes())?;
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
-        let mut response = handle_request(line.trim(), handle);
+        let mut response = handle_request(line, handle);
         response.push('\n');
         writer.write_all(response.as_bytes())?;
     }

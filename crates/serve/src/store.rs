@@ -18,6 +18,17 @@
 //! never be evicted, structurally. Purged sessions keep their stats —
 //! the query API reports `history_purged` rather than silently
 //! returning nothing.
+//!
+//! ## Admission control
+//!
+//! Every other resource the table holds is bounded too
+//! ([`StoreLimits`]): `open` past the live-session cap and `append`
+//! past the fleet-wide buffered-bytes cap fail with typed errors, and
+//! whole session *records* beyond the record cap are evicted
+//! oldest-first among terminal sessions whenever one goes terminal —
+//! an evicted id stops answering stats and may be reopened. Live
+//! sessions are never evicted; the live-session cap bounds how many
+//! can exist.
 
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
@@ -31,6 +42,27 @@ use crate::session::{
     approx_bytes_event, approx_bytes_outcome, approx_bytes_verdict, EventSummary, MachineRollup,
     ObsCounters, OutcomeRec, SessionId, SessionState, SessionStats, VerdictRec,
 };
+
+/// Hard bounds on what a [`SessionTable`] may hold. Everything a remote
+/// client can grow is capped: live sessions, buffered ingest bytes
+/// (per session and fleet-wide), judged-history bytes, and the session
+/// records themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreLimits {
+    /// Global byte budget for judged history (see the module docs).
+    pub retention_bytes: usize,
+    /// Per-session ingest buffer cap ([`ServeError::Backpressure`]).
+    pub max_buffered: u64,
+    /// Live (open/queued/judging) sessions admitted at once
+    /// ([`ServeError::FleetSaturated`] past it).
+    pub max_live_sessions: usize,
+    /// Session records kept, live and terminal together; terminal
+    /// records beyond it are evicted oldest-first.
+    pub max_session_records: usize,
+    /// Total un-judged ingest bytes buffered across all sessions
+    /// ([`ServeError::FleetBackpressure`] past it).
+    pub max_total_buffered: u64,
+}
 
 /// Which history rows a query scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -126,6 +158,8 @@ pub struct FleetStats {
     pub retention_bytes: u64,
     /// Sessions whose history retention purged.
     pub purged_sessions: u64,
+    /// Terminal session records evicted by the record cap.
+    pub evicted_sessions: u64,
     /// Verdict rows ever stored.
     pub total_verdicts: u64,
     /// JNI calls re-issued across all judged sessions.
@@ -165,7 +199,9 @@ struct TableInner {
     next_seq: u64,
     next_rowid: u64,
     history_bytes: usize,
-    active: u64, // sessions in Queued or Judging
+    active: u64,   // sessions in Queued or Judging
+    live: u64,     // sessions in any non-terminal state
+    buffered: u64, // un-judged ingest bytes across all sessions
     fleet: FleetStats,
 }
 
@@ -173,14 +209,12 @@ struct TableInner {
 pub struct SessionTable {
     inner: Mutex<TableInner>,
     changed: Condvar,
-    retention_bytes: usize,
-    max_buffered: u64,
+    limits: StoreLimits,
 }
 
 impl SessionTable {
-    /// An empty table with the given retention budget and per-session
-    /// ingest buffer cap.
-    pub fn new(retention_bytes: usize, max_buffered: u64) -> SessionTable {
+    /// An empty table with the given bounds.
+    pub fn new(limits: StoreLimits) -> SessionTable {
         SessionTable {
             inner: Mutex::new(TableInner {
                 sessions: HashMap::new(),
@@ -188,14 +222,15 @@ impl SessionTable {
                 next_rowid: 1,
                 history_bytes: 0,
                 active: 0,
+                live: 0,
+                buffered: 0,
                 fleet: FleetStats {
-                    retention_bytes: retention_bytes as u64,
+                    retention_bytes: limits.retention_bytes as u64,
                     ..FleetStats::default()
                 },
             }),
             changed: Condvar::new(),
-            retention_bytes,
-            max_buffered,
+            limits,
         }
     }
 
@@ -207,7 +242,8 @@ impl SessionTable {
     ///
     /// # Errors
     ///
-    /// [`ServeError::DuplicateSession`] if the id already exists.
+    /// [`ServeError::DuplicateSession`] if the id already exists;
+    /// [`ServeError::FleetSaturated`] at the live-session cap.
     pub fn open(
         &self,
         id: SessionId,
@@ -218,9 +254,16 @@ impl SessionTable {
         if t.sessions.contains_key(&id) {
             return Err(ServeError::DuplicateSession(id));
         }
+        if t.live >= self.limits.max_live_sessions as u64 {
+            return Err(ServeError::FleetSaturated {
+                live: t.live,
+                cap: self.limits.max_live_sessions as u64,
+            });
+        }
         let opened_seq = t.next_seq;
         t.next_seq += 1;
         t.fleet.opened += 1;
+        t.live += 1;
         t.sessions.insert(
             id,
             Session {
@@ -272,10 +315,13 @@ impl SessionTable {
     /// # Errors
     ///
     /// [`ServeError::Backpressure`] when the chunk would exceed the
-    /// per-session buffer cap; lifecycle errors otherwise.
+    /// per-session buffer cap, [`ServeError::FleetBackpressure`] when it
+    /// would exceed the fleet-wide one; lifecycle errors otherwise.
     pub fn append(&self, id: SessionId, chunk: &[u8]) -> Result<(), ServeError> {
         let mut t = self.lock();
-        let cap = self.max_buffered;
+        let cap = self.limits.max_buffered;
+        let total = t.buffered;
+        let total_cap = self.limits.max_total_buffered;
         let s = Self::session_mut(&mut t, id)?;
         Self::require_open(s, id)?;
         if s.buf.len() as u64 + chunk.len() as u64 > cap {
@@ -285,9 +331,16 @@ impl SessionTable {
                 cap,
             });
         }
+        if total + chunk.len() as u64 > total_cap {
+            return Err(ServeError::FleetBackpressure {
+                buffered: total,
+                cap: total_cap,
+            });
+        }
         s.buf.extend_from_slice(chunk);
         s.bytes_received += chunk.len() as u64;
         s.frames += 1;
+        t.buffered += chunk.len() as u64;
         Ok(())
     }
 
@@ -312,7 +365,7 @@ impl SessionTable {
             } else {
                 format!("seal checksum mismatch: declared {checksum:#018x}, computed {actual_sum:#018x}")
             };
-            Self::poison(&mut t, id, &reason);
+            self.poison(&mut t, id, &reason);
             self.changed.notify_all();
             return Err(ServeError::Quarantined {
                 session: id,
@@ -338,14 +391,18 @@ impl SessionTable {
         Self::require_open(s, id)?;
         s.state = SessionState::Aborted;
         s.reason = Some(reason.to_string());
+        let freed = s.buf.len() as u64;
         s.buf = Vec::new();
         s.frames += 1;
+        t.buffered -= freed;
+        t.live -= 1;
         t.fleet.aborted += 1;
+        self.evict_session_records(&mut t);
         self.changed.notify_all();
         Ok(())
     }
 
-    fn poison(t: &mut TableInner, id: SessionId, reason: &str) {
+    fn poison(&self, t: &mut TableInner, id: SessionId, reason: &str) {
         let Some(s) = t.sessions.get_mut(&id) else {
             return;
         };
@@ -357,15 +414,19 @@ impl SessionTable {
         }
         s.state = SessionState::Quarantined;
         s.reason = Some(reason.to_string());
+        let freed = s.buf.len() as u64;
         s.buf = Vec::new();
+        t.buffered -= freed;
+        t.live -= 1;
         t.fleet.quarantined += 1;
+        self.evict_session_records(t);
     }
 
     /// Quarantines a session from outside the worker path (stream-level
     /// corruption on its connection). Terminal sessions are left alone.
     pub fn quarantine(&self, id: SessionId, reason: &str) {
         let mut t = self.lock();
-        Self::poison(&mut t, id, reason);
+        self.poison(&mut t, id, reason);
         self.changed.notify_all();
     }
 
@@ -381,6 +442,7 @@ impl SessionTable {
         s.state = SessionState::Judging;
         let bytes = std::mem::take(&mut s.buf);
         let out = (bytes, s.tenant.clone(), s.configs.clone());
+        t.buffered -= out.0.len() as u64;
         self.changed.notify_all();
         Some(out)
     }
@@ -388,8 +450,16 @@ impl SessionTable {
     /// Worker exit, success path: records the judge output, assigns
     /// rowids, charges the retention budget, and purges oldest-first if
     /// over it.
+    ///
+    /// A session can leave `Judging` while the worker runs: a
+    /// stream-level quarantine poisons it in place (already releasing
+    /// its `active` slot). Quarantine is terminal, so a late judge
+    /// output is discarded — nothing is recorded and no counter moves.
     pub fn finish(&self, id: SessionId, out: JudgeOutput) {
         let mut t = self.lock();
+        if t.sessions.get(&id).map(|s| s.state) != Some(SessionState::Judging) {
+            return;
+        }
         let mut bytes = 0usize;
         let outcomes: Vec<(u64, OutcomeRec)> = out
             .outcomes
@@ -426,10 +496,7 @@ impl SessionTable {
         t.fleet.judged += 1;
         t.history_bytes += bytes;
         {
-            let Some(s) = t.sessions.get_mut(&id) else {
-                return;
-            };
-            debug_assert_eq!(s.state, SessionState::Judging);
+            let s = t.sessions.get_mut(&id).expect("checked Judging above");
             s.state = SessionState::Judged;
             s.program = Some(out.program);
             s.obs = out.obs;
@@ -448,7 +515,9 @@ impl SessionTable {
             });
         }
         t.active -= 1;
+        t.live -= 1;
         self.enforce_retention(&mut t);
+        self.evict_session_records(&mut t);
         t.fleet.history_bytes = t.history_bytes as u64;
         self.changed.notify_all();
     }
@@ -456,12 +525,12 @@ impl SessionTable {
     /// Worker exit, failure path.
     pub fn fail(&self, id: SessionId, reason: &str) {
         let mut t = self.lock();
-        Self::poison(&mut t, id, reason);
+        self.poison(&mut t, id, reason);
         self.changed.notify_all();
     }
 
     fn enforce_retention(&self, t: &mut TableInner) {
-        while t.history_bytes > self.retention_bytes {
+        while t.history_bytes > self.limits.retention_bytes {
             // Oldest-first by open order, among terminal sessions that
             // still hold history. Deterministic: open order is a total
             // order assigned under this same lock.
@@ -480,6 +549,32 @@ impl SessionTable {
             t.history_bytes -= hist.bytes;
             t.fleet.purged_sessions += 1;
         }
+    }
+
+    /// Drops whole terminal session records, oldest-first, while the
+    /// table holds more than the record cap — the bound that keeps a
+    /// fleet of short-lived sessions from growing the map forever. Live
+    /// sessions are never dropped (the live cap bounds those), so the
+    /// map can exceed the record cap only by live sessions. An evicted
+    /// id stops answering stats and may be reopened.
+    fn evict_session_records(&self, t: &mut TableInner) {
+        while t.sessions.len() > self.limits.max_session_records {
+            let victim = t
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.state.is_terminal())
+                .min_by_key(|(_, s)| s.opened_seq)
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else {
+                break;
+            };
+            let s = t.sessions.remove(&victim).expect("victim exists");
+            if let Some(hist) = s.history {
+                t.history_bytes -= hist.bytes;
+            }
+            t.fleet.evicted_sessions += 1;
+        }
+        t.fleet.history_bytes = t.history_bytes as u64;
     }
 
     /// A stats snapshot for one session.
@@ -529,11 +624,7 @@ impl SessionTable {
     pub fn fleet(&self) -> FleetStats {
         let t = self.lock();
         let mut f = t.fleet;
-        f.live = t
-            .sessions
-            .values()
-            .filter(|s| !s.state.is_terminal())
-            .count() as u64;
+        f.live = t.live;
         f.history_bytes = t.history_bytes as u64;
         f
     }

@@ -1,0 +1,126 @@
+//! Socket-boundary hardening: duplicate-open ownership containment,
+//! query filter validation, and the request-line length cap.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use jinn_replay::format::fnv1a;
+use jinn_replay::{encode_frame, program_by_name, record_program, stream_preamble, Frame};
+use jinn_serve::{Daemon, ServeConfig, SessionState, SocketServer};
+
+fn read_line(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line
+}
+
+/// A duplicate `Open` on one connection must not hand that connection
+/// ownership of a session opened elsewhere: when the duplicate's stream
+/// later corrupts, the original session stays healthy.
+#[test]
+fn duplicate_open_does_not_transfer_session_ownership() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = SocketServer::bind(daemon.handle(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let handle = daemon.handle();
+    let bytes = record_program(&program_by_name("LocalRefDangling").expect("corpus program"));
+
+    // Connection A opens session 1 and streams its trace, unsealed.
+    let mut a = TcpStream::connect(addr).expect("connect A");
+    a.write_all(&stream_preamble()).expect("preamble");
+    a.write_all(&encode_frame(&Frame::Open {
+        session: 1,
+        tenant: "owner".to_string(),
+        config: "jinn".to_string(),
+    }))
+    .expect("open");
+    a.write_all(&encode_frame(&Frame::Append {
+        session: 1,
+        chunk: bytes.clone(),
+    }))
+    .expect("append");
+    a.flush().expect("flush A");
+
+    // Connection B claims the same id (rejected) and then corrupts.
+    let mut b = TcpStream::connect(addr).expect("connect B");
+    b.write_all(&stream_preamble()).expect("preamble");
+    b.write_all(&encode_frame(&Frame::Open {
+        session: 1,
+        tenant: "thief".to_string(),
+        config: "jinn".to_string(),
+    }))
+    .expect("duplicate open");
+    b.write_all(&[0xFF; 16]).expect("garbage");
+    b.flush().expect("flush B");
+    let mut b_reader = BufReader::new(b.try_clone().expect("clone B"));
+    let dup = read_line(&mut b_reader);
+    assert!(dup.contains("already open"), "duplicate rejected: {dup}");
+    let corrupt = read_line(&mut b_reader);
+    assert!(
+        corrupt.contains("corrupt frame stream"),
+        "stream poisoned: {corrupt}"
+    );
+
+    // B's corruption quarantined nothing of A's.
+    let stats = handle.session_stats(1).expect("session 1");
+    assert_eq!(
+        stats.state,
+        SessionState::Open,
+        "connection B must not poison connection A's session: {:?}",
+        stats.reason
+    );
+
+    // A finishes normally.
+    a.write_all(&encode_frame(&Frame::Seal {
+        session: 1,
+        total_len: bytes.len() as u64,
+        checksum: fnv1a(&bytes),
+    }))
+    .expect("seal");
+    a.flush().expect("flush seal");
+    let mut a_reader = BufReader::new(a.try_clone().expect("clone A"));
+    let ack = read_line(&mut a_reader);
+    assert!(ack.contains("judged"), "healthy session judged: {ack}");
+
+    server.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+fn query_thread_filter_rejects_out_of_range_values() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = SocketServer::bind(daemon.handle(), "127.0.0.1:0").expect("bind");
+    let mut c = TcpStream::connect(server.addr()).expect("connect");
+    // 65537 would alias thread 1 under a silent `as u16` truncation.
+    c.write_all(b"{\"op\": \"query\", \"kind\": \"events\", \"thread\": 65537}\n")
+        .expect("write");
+    c.flush().expect("flush");
+    let mut reader = BufReader::new(c);
+    let line = read_line(&mut reader);
+    assert!(
+        line.contains("out of range"),
+        "oversized thread filter rejected: {line}"
+    );
+    server.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+fn query_request_line_length_is_capped() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = SocketServer::bind(daemon.handle(), "127.0.0.1:0").expect("bind");
+    let mut c = TcpStream::connect(server.addr()).expect("connect");
+    // Just over the 1 MiB cap, never a newline: the server must answer
+    // an error instead of buffering forever.
+    let junk = vec![b'x'; 1024 * 1024 + 2];
+    c.write_all(&junk).expect("write junk");
+    c.flush().expect("flush");
+    let mut reader = BufReader::new(c);
+    let line = read_line(&mut reader);
+    assert!(
+        line.contains("request line too long"),
+        "endless line rejected: {line}"
+    );
+    server.shutdown();
+    daemon.shutdown();
+}

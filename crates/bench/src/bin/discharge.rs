@@ -1,0 +1,63 @@
+//! Static discharge report for the benchmark workload mix.
+//!
+//! Runs the registry-driven discharge pass (`jinn_core::discharge`)
+//! with the Table 3 call-site manifest against all eleven machines and
+//! writes the machine-readable report to `DISCHARGE_bench.json`.
+//!
+//! ```text
+//! cargo run --release -p jinn-bench --bin discharge
+//! ```
+
+use jinn_bench::render_table;
+use jinn_core::{discharge, WorkloadManifest};
+
+fn main() {
+    let manifest = WorkloadManifest::new(
+        "table3-mix",
+        jinn_workloads::TABLE3_CALLED_FUNCTIONS.iter().copied(),
+    );
+    assert!(
+        manifest.unknown_functions().is_empty(),
+        "manifest names unknown functions: {:?}",
+        manifest.unknown_functions()
+    );
+    let machines = jinn_spec::machines();
+    let report = discharge(&machines, &manifest);
+
+    println!("Static discharge: Table 3 workload mix vs the eleven machines");
+    println!("(manifest: {} callable JNI functions)\n", manifest.len());
+    let rows: Vec<Vec<String>> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let reasons: Vec<String> = m
+                .discharged
+                .iter()
+                .map(|d| format!("{} ({})", d.transition, d.reason.as_str()))
+                .collect();
+            vec![
+                m.machine.clone(),
+                m.total_transitions.to_string(),
+                m.discharged.len().to_string(),
+                if m.inactive { "yes" } else { "" }.to_string(),
+                reasons.join(", "),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["machine", "transitions", "discharged", "inactive", "detail"],
+            &rows,
+        )
+    );
+    println!(
+        "{} of {} transitions discharged; inactive machines: {:?}",
+        report.total_discharged(),
+        report.total_transitions(),
+        report.inactive_machines(),
+    );
+
+    std::fs::write("DISCHARGE_bench.json", report.to_json()).expect("write DISCHARGE_bench.json");
+    println!("wrote DISCHARGE_bench.json");
+}

@@ -1,7 +1,8 @@
-//! Parallel checking throughput: the Table 3 workload mix on 1/2/4/8
-//! worker threads, each an independent `JniSession` with its own `Jinn`
-//! checker, all sharing one sharded state store, one safepoint
-//! rendezvous, one recorder, and one sharded heap directory.
+//! Parallel checking throughput: the Table 3 workload mix on
+//! 1/2/4/8/16/32/64 worker threads, each an independent `JniSession`
+//! with its own `Jinn` checker, all sharing one lock-free atomic state
+//! store, one epoch domain for quiesced sweeps, one recorder, and one
+//! sharded heap directory.
 //!
 //! ```text
 //! cargo run --release -p jinn-bench --bin parallel
@@ -9,28 +10,45 @@
 //!
 //! Writes `BENCH_parallel.json` next to the invocation directory.
 //! Scale with `JINN_PARALLEL_TRANSITIONS` / `JINN_PARALLEL_BALLAST`.
+//! Set `JINN_PARALLEL_MIN_SPEEDUP_8T` (in hundredths, e.g. `550` for
+//! 5.50x) to make the run fail when the 8-thread speedup over the
+//! single-thread baseline falls below the gate.
 
 use jinn_bench::parallel::{run_parallel, ParallelConfig, ParallelRun};
 use jinn_bench::{env_u64, render_table};
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 fn run_at(threads: usize, transitions: u64, ballast: usize) -> ParallelRun {
     run_parallel(&ParallelConfig {
         threads,
         transitions,
         ballast,
-        gc_period: 256,
-        safepoint_every: 512,
+        gc_period: env_u64("JINN_PARALLEL_GC_PERIOD", 64),
+        safepoint_every: env_u64("JINN_PARALLEL_SAFEPOINT", 512),
     })
+}
+
+fn json_list<T, F: Fn(&ParallelRun) -> T>(runs: &[ParallelRun], f: F) -> String
+where
+    T: std::fmt::Display,
+{
+    let items: Vec<String> = runs.iter().map(|r| f(r).to_string()).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn main() {
     let transitions = env_u64("JINN_PARALLEL_TRANSITIONS", 60_000);
     let ballast = env_u64("JINN_PARALLEL_BALLAST", 98_304) as usize;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    println!("Parallel Jinn: sharded per-thread checking throughput");
-    println!("(total work constant across thread counts; ballast {ballast} objects)\n");
+    println!("Parallel Jinn: lock-free sharded checking throughput");
+    println!(
+        "(total work constant across thread counts; ballast {ballast} objects; \
+         host cores {host_cores})\n"
+    );
 
     let mut runs: Vec<ParallelRun> = Vec::new();
     let mut rows = Vec::new();
@@ -38,14 +56,15 @@ fn main() {
         let run = run_at(threads, transitions, ballast);
         assert_eq!(run.violations, 0, "workload must be bug-free");
         assert_eq!(run.cross_thread_uses, 0, "entity keys are disjoint");
+        assert_eq!(run.store_residue, 0, "every acquire is evicted");
         rows.push(vec![
             threads.to_string(),
             run.transitions.to_string(),
             run.checked_events.to_string(),
             format!("{:.1}", run.elapsed.as_secs_f64() * 1e3),
             format!("{:.0}", run.events_per_sec),
-            run.worlds_stopped.to_string(),
-            run.trace_events.to_string(),
+            run.epoch_sweeps.to_string(),
+            format!("{:.2}", run.fairness_spread),
         ]);
         runs.push(run);
     }
@@ -63,8 +82,8 @@ fn main() {
                 "checked events",
                 "wall ms",
                 "events/sec",
-                "world stops",
-                "trace events",
+                "epoch sweeps",
+                "fairness",
                 "speedup"
             ],
             &rows,
@@ -72,54 +91,90 @@ fn main() {
     );
 
     let at = |n: usize| runs.iter().find(|r| r.threads == n).expect("measured");
-    let speedup4 = at(4).events_per_sec / baseline;
-    println!("aggregate checked-events/sec at 4 threads: {speedup4:.2}x single-thread baseline");
+    let speedup8 = at(8).events_per_sec / baseline;
+    let speedup64 = at(64).events_per_sec / baseline;
+    println!(
+        "aggregate checked-events/sec: {speedup8:.2}x at 8 threads, \
+         {speedup64:.2}x at 64 threads (vs single-thread baseline)"
+    );
 
+    let speedups: Vec<String> = runs
+        .iter()
+        .map(|r| format!("{:.4}", r.events_per_sec / baseline))
+        .collect();
+    let events_per_sec: Vec<String> = runs
+        .iter()
+        .map(|r| format!("{:.0}", r.events_per_sec))
+        .collect();
+    let fairness: Vec<String> = runs
+        .iter()
+        .map(|r| format!("{:.4}", r.fairness_spread))
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
-            "  \"benchmark\": \"parallel sharded checking (Table 3 workload mix)\",\n",
+            "  \"benchmark\": \"parallel lock-free checking (Table 3 workload mix)\",\n",
             "  \"total_transitions\": {transitions},\n",
             "  \"ballast_objects\": {ballast},\n",
-            "  \"thread_counts\": [1, 2, 4, 8],\n",
-            "  \"checked_events\": [{ce1}, {ce2}, {ce4}, {ce8}],\n",
-            "  \"wall_nanos\": [{w1}, {w2}, {w4}, {w8}],\n",
-            "  \"events_per_sec\": [{e1:.0}, {e2:.0}, {e4:.0}, {e8:.0}],\n",
-            "  \"speedup_vs_1_thread\": [1.0, {s2:.4}, {s4:.4}, {s8:.4}],\n",
-            "  \"speedup_at_4_threads\": {s4:.4},\n",
-            "  \"speedup_at_4_at_least_2_5x\": {ok},\n",
-            "  \"worlds_stopped\": [{g1}, {g2}, {g4}, {g8}],\n",
+            "  \"host_cores\": {host_cores},\n",
+            "  \"thread_counts\": [1, 2, 4, 8, 16, 32, 64],\n",
+            "  \"checked_events\": {checked},\n",
+            "  \"wall_nanos\": {wall},\n",
+            "  \"events_per_sec\": [{eps}],\n",
+            "  \"speedup_vs_1_thread\": [{speedups}],\n",
+            "  \"speedup_at_8_threads\": {s8:.4},\n",
+            "  \"speedup_at_8_at_least_5_5x\": {ok8},\n",
+            "  \"speedup_at_64_threads\": {s64:.4},\n",
+            "  \"epoch_sweeps\": {sweeps},\n",
+            "  \"leak_sweep_peak\": {leaks},\n",
+            "  \"fairness_spread_max_over_min\": [{fairness}],\n",
+            "  \"worker_wall_nanos\": {{{worker_walls}\n  }},\n",
             "  \"cross_thread_uses\": 0,\n",
             "  \"violations\": 0,\n",
-            "  \"note\": \"one Jinn per worker (Send), shared ShardedStateStore + ",
-            "SafepointRendezvous + per-thread recorder rings; on a single-core host ",
-            "the speedup comes from sharded heaps cutting per-collection copying-GC ",
-            "cost O(live heap) by 1/N, not from core parallelism\"\n",
+            "  \"note\": \"one Jinn per worker (Send), shared lock-free AtomicStore ",
+            "(per-entity CAS on a dense atomic slab) + quiesced epoch sweeps (no ",
+            "stop-the-world) + per-thread recorder rings; on a single-core host the ",
+            "speedup comes from removing coordination and from sharded heaps cutting ",
+            "per-collection copying-GC cost O(live heap) by 1/N, not from core ",
+            "parallelism\"\n",
             "}}\n",
         ),
         transitions = transitions,
         ballast = ballast,
-        ce1 = at(1).checked_events,
-        ce2 = at(2).checked_events,
-        ce4 = at(4).checked_events,
-        ce8 = at(8).checked_events,
-        w1 = at(1).elapsed.as_nanos(),
-        w2 = at(2).elapsed.as_nanos(),
-        w4 = at(4).elapsed.as_nanos(),
-        w8 = at(8).elapsed.as_nanos(),
-        e1 = at(1).events_per_sec,
-        e2 = at(2).events_per_sec,
-        e4 = at(4).events_per_sec,
-        e8 = at(8).events_per_sec,
-        s2 = at(2).events_per_sec / baseline,
-        s4 = speedup4,
-        s8 = at(8).events_per_sec / baseline,
-        ok = speedup4 >= 2.5,
-        g1 = at(1).worlds_stopped,
-        g2 = at(2).worlds_stopped,
-        g4 = at(4).worlds_stopped,
-        g8 = at(8).worlds_stopped,
+        host_cores = host_cores,
+        checked = json_list(&runs, |r| r.checked_events),
+        wall = json_list(&runs, |r| r.elapsed.as_nanos()),
+        eps = events_per_sec.join(", "),
+        speedups = speedups.join(", "),
+        s8 = speedup8,
+        ok8 = speedup8 >= 5.5,
+        s64 = speedup64,
+        sweeps = json_list(&runs, |r| r.epoch_sweeps),
+        leaks = json_list(&runs, |r| r.leak_sweep_peak),
+        fairness = fairness.join(", "),
+        worker_walls = runs
+            .iter()
+            .map(|r| {
+                let walls: Vec<String> =
+                    r.worker_wall_nanos.iter().map(|n| n.to_string()).collect();
+                format!("\n    \"{}\": [{}]", r.threads, walls.join(", "))
+            })
+            .collect::<Vec<_>>()
+            .join(","),
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
+
+    if let Ok(gate) = std::env::var("JINN_PARALLEL_MIN_SPEEDUP_8T") {
+        let hundredths: u64 = gate
+            .trim()
+            .parse()
+            .expect("JINN_PARALLEL_MIN_SPEEDUP_8T must be an integer (hundredths)");
+        let min = hundredths as f64 / 100.0;
+        assert!(
+            speedup8 >= min,
+            "8-thread speedup {speedup8:.2}x below gate {min:.2}x"
+        );
+        println!("8-thread speedup gate passed: {speedup8:.2}x >= {min:.2}x");
+    }
 }

@@ -6,7 +6,8 @@
 //! replay check [--json] FILE...                       parse + checksum-validate
 //! replay diff [--config LIST] [--json] [--expect-agree] FILE...
 //!                                                     differential verdicts
-//! replay stats FILE...                                per-trace summaries
+//! replay stats [--json] FILE...                       per-trace summaries
+//!                                                     (+ static-discharge audit)
 //! replay bench                                        BENCH_replay.json on stdout
 //! ```
 //!
@@ -24,7 +25,8 @@ use std::time::{Duration, Instant};
 use jinn_bench::env_u64;
 use jinn_replay::{
     case_studies, check_version, diff_trace, microbench_programs, program_by_name, record_program,
-    replay_trace, standard_configs, RecordVendor, ReplayConfig, Trace, TraceWriter, FORMAT_VERSION,
+    replay_trace, standard_configs, trace_discharge, RecordVendor, ReplayConfig, Trace,
+    TraceWriter, FORMAT_VERSION,
 };
 use jinn_vendors::Vendor;
 use jinn_workloads::{benchmark, build_workload};
@@ -319,23 +321,100 @@ fn cmd_diff(args: &[String]) -> i32 {
 
 // ---- stats -------------------------------------------------------------
 
-fn cmd_stats(files: &[String]) -> i32 {
+/// One per-trace stats report as a JSON object line, including the
+/// static-discharge audit: which machine transitions could have been
+/// compiled out for this trace's exact call-site set.
+fn stats_json(file: &str, trace: &Trace, byte_len: usize) -> String {
+    let counts: Vec<String> = trace
+        .event_counts()
+        .into_iter()
+        .map(|(k, n)| format!("{}: {n}", json_str(k)))
+        .collect();
+    let report = trace_discharge(trace);
+    let machines: Vec<String> = report
+        .machines
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"machine\": {}, \"transitions\": {}, \"discharged\": {}, \"inactive\": {}}}",
+                json_str(&m.machine),
+                m.total_transitions,
+                m.discharged.len(),
+                m.inactive
+            )
+        })
+        .collect();
+    let inactive: Vec<String> = report
+        .inactive_machines()
+        .iter()
+        .map(|m| json_str(m))
+        .collect();
+    format!(
+        "{{\"file\": {}, \"ok\": true, \"program\": {}, \"format\": {}, \"bytes\": {byte_len}, \
+         \"events\": {}, \"event_counts\": {{{}}}, \"discharge\": {{\
+         \"called_functions\": {}, \"total_transitions\": {}, \"total_discharged\": {}, \
+         \"inactive_machines\": [{}], \"machines\": [{}]}}}}",
+        json_str(file),
+        json_str(trace.program()),
+        trace.version,
+        trace.events.len(),
+        counts.join(", "),
+        report.manifest_functions,
+        report.total_transitions(),
+        report.total_discharged(),
+        inactive.join(", "),
+        machines.join(", "),
+    )
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let json = args.iter().any(|a| a == "--json");
+    let files: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
     if files.is_empty() {
-        eprintln!("usage: replay stats FILE...");
+        eprintln!("usage: replay stats [--json] FILE...");
         return 2;
     }
     let mut failures = 0;
-    for file in files {
+    for file in &files {
         match std::fs::read(file)
             .map_err(|e| e.to_string())
             .and_then(|b| {
                 Trace::parse(&b)
-                    .map(|t| t.summary(b.len()))
+                    .map(|t| {
+                        if json {
+                            stats_json(file, &t, b.len())
+                        } else {
+                            let mut s = t.summary(b.len());
+                            let report = trace_discharge(&t);
+                            s.push_str(&format!(
+                                "discharge audit: {} of {} transitions dischargeable; \
+                             inactive machines: {:?}\n",
+                                report.total_discharged(),
+                                report.total_transitions(),
+                                report.inactive_machines(),
+                            ));
+                            s
+                        }
+                    })
                     .map_err(|e| e.to_string())
             }) {
-            Ok(summary) => print!("{summary}"),
+            Ok(out) => {
+                if json {
+                    println!("{out}");
+                } else {
+                    print!("{out}");
+                }
+            }
             Err(e) => {
-                eprintln!("FAIL {file}: {e}");
+                if json {
+                    println!(
+                        "{{\"file\": {}, \"ok\": false, \"error\": {}}}",
+                        json_str(file),
+                        json_str(&e)
+                    );
+                } else {
+                    eprintln!("FAIL {file}: {e}");
+                }
                 failures += 1;
             }
         }

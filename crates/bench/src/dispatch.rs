@@ -15,8 +15,8 @@
 use std::time::{Duration, Instant};
 
 use jinn_fsm::{
-    ConstraintClass, Direction, Engine, EntityKind, MachineSpec, ShardedStateStore, TransitionId,
-    TransitionOutcome,
+    AtomicStore, ConstraintClass, Direction, Engine, EntityKind, MachineSpec, ShardedStateStore,
+    TransitionId, TransitionOutcome,
 };
 
 /// Knobs for one dispatch measurement.
@@ -254,6 +254,61 @@ pub fn run_sharded<E: Engine<u32> + Send>(cfg: &DispatchConfig, seed: u64) -> Di
     }
 }
 
+/// Runs the same per-worker streams through the lock-free
+/// [`AtomicStore`]: no shard mutexes, one CAS per transition on a dense
+/// atomic slab. Checksums are folded exactly as in [`run_sharded`], so
+/// a matching checksum proves the lock-free engine agreed
+/// outcome-for-outcome with both locked engines on every worker stream.
+pub fn run_lockfree(cfg: &DispatchConfig, seed: u64) -> DispatchRun {
+    let threads = cfg.threads.max(1);
+    let share = cfg.events / threads as u64;
+    let len = share.clamp(1, STREAM_CAP);
+    let rounds = share / len;
+    let machine = dispatch_machine();
+    let streams: Vec<Vec<Event>> = (0..threads)
+        .map(|t| {
+            let base = t as u32 * cfg.entities;
+            let worker_seed = seed.wrapping_add(t as u64).wrapping_mul(0x9e37_79b9);
+            generate(&machine, len, cfg.entities, base, worker_seed)
+        })
+        .collect();
+    let store: AtomicStore<u32> = AtomicStore::new(machine);
+
+    let start = Instant::now();
+    let checksum = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(t, stream)| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+                    for _ in 0..rounds {
+                        for event in stream {
+                            let out = store.apply(t as u16, &event.key, event.transition);
+                            debug_assert!(out.cross_thread.is_none(), "keys are worker-disjoint");
+                            hash = fold(hash, &out.outcome);
+                            if event.evict {
+                                store.evict(&event.key);
+                            }
+                        }
+                    }
+                    hash
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .fold(0u64, |acc, h| acc ^ h)
+    });
+    DispatchRun {
+        elapsed: start.elapsed(),
+        checksum,
+        events: len * rounds * threads as u64,
+    }
+}
+
 /// Medians a list of trial durations (nanoseconds).
 pub fn median_nanos(mut samples: Vec<u128>) -> u128 {
     samples.sort_unstable();
@@ -295,8 +350,11 @@ mod tests {
         let cfg = small();
         let reference = run_sharded::<StateStore<u32>>(&cfg, 42);
         let compiled = run_sharded::<CompactStore<u32>>(&cfg, 42);
+        let lockfree = run_lockfree(&cfg, 42);
         assert_eq!(reference.checksum, compiled.checksum);
+        assert_eq!(reference.checksum, lockfree.checksum);
         assert_eq!(reference.events, compiled.events);
+        assert_eq!(reference.events, lockfree.events);
     }
 
     #[test]

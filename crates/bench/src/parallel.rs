@@ -8,13 +8,15 @@
 //! - one [`Jinn`] checker **per worker**, constructed on the driver
 //!   thread and *moved* into the worker (`Jinn: Send` since the stats
 //!   cell went atomic);
-//! - one shared [`ShardedStateStore`] that every worker drives with its
-//!   own disjoint entity keys (the cross-shard counter must stay zero —
-//!   a non-zero count is the paper's `EnvMismatch` pitfall);
+//! - one shared lock-free [`AtomicStore`] that every worker drives with
+//!   its own disjoint *dense* entity keys — per-entity CAS, no shard
+//!   mutexes — while the cross-thread counter must stay zero (a
+//!   non-zero count is the paper's `EnvMismatch` pitfall);
 //! - one shared sharded-`RwLock` heap directory that workers publish
-//!   into and read across shards, pruned only at safepoints;
-//! - one shared [`SafepointRendezvous`] polled every iteration, keeping
-//!   stop-the-world semantics for the shared directory sweep;
+//!   into and read across shards, pruned at epoch sweeps;
+//! - one shared [`EpochParticipants`] domain: workers pin every
+//!   iteration (one load + one store) and periodically run a *quiesced*
+//!   leak/directory sweep — nobody parks, nobody stops the world;
 //! - one shared enabled [`Recorder`], so every worker's events land in
 //!   per-thread ring shards and merge on export.
 //!
@@ -25,10 +27,14 @@
 //!
 //! A note on where the speedup comes from: on a multi-core host the
 //! workers overlap on real cores. On a *single*-core host (like CI
-//! containers) the measured win comes from sharding itself — the
-//! copying collector's cost per collection is O(live heap), so N
-//! workers each collecting a heap 1/N-th the size do ~1/N-th the
-//! aggregate GC work for the same number of checked events.
+//! containers) the measured win comes from removing coordination and
+//! from sharding itself — no condvar parking or wakeup storms at
+//! sweeps, no mutex convoys on the store, and the copying collector's
+//! cost per collection is O(live heap), so N workers each collecting a
+//! heap 1/N-th the size do ~1/N-th the aggregate GC work for the same
+//! number of checked events. Per-worker wall times (the fairness
+//! spread) are reported so the curve's shape is interpretable either
+//! way.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,15 +42,22 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use jinn_core::Jinn;
-use jinn_fsm::{ShardedStateStore, TransitionId};
+use jinn_fsm::{AtomicStore, TransitionId};
 use jinn_obs::Recorder;
 use jinn_vendors::Vendor;
 use jinn_workloads::build_workload;
 use minijni::{RunOutcome, Session};
-use minijvm::SafepointRendezvous;
+use minijvm::EpochParticipants;
 
 /// Number of shards in the shared heap directory.
 pub const HEAP_SHARDS: usize = 8;
+
+/// Per-worker live-entity window in the shared store. Keys are
+/// `worker * KEYS_PER_WORKER + (iter % KEYS_PER_WORKER)`: disjoint per
+/// worker and *dense*, so the store's lock-free slab path is what gets
+/// measured (the old `(t << 32) | i` scheme landed every worker but the
+/// first in the spill map).
+pub const KEYS_PER_WORKER: u64 = 1 << 10;
 
 /// Knobs for one parallel run.
 #[derive(Debug, Clone, Copy)]
@@ -58,8 +71,8 @@ pub struct ParallelConfig {
     pub ballast: usize,
     /// Auto-GC period per worker VM (transitions between collections).
     pub gc_period: u64,
-    /// A worker requests a stop-the-world sweep of the shared directory
-    /// every this many native calls.
+    /// A worker runs a quiesced epoch sweep of the shared directory and
+    /// store every this many native calls.
     pub safepoint_every: u64,
 }
 
@@ -90,8 +103,11 @@ pub struct ParallelRun {
     pub elapsed: Duration,
     /// `checked_events / elapsed` — the headline metric.
     pub events_per_sec: f64,
-    /// Stop-the-world sweeps that actually ran.
-    pub worlds_stopped: u64,
+    /// Quiesced epoch sweeps that actually ran (no world was stopped).
+    pub epoch_sweeps: u64,
+    /// Largest live-entity count any leak sweep observed in the shared
+    /// store (bounded by `threads * KEYS_PER_WORKER`).
+    pub leak_sweep_peak: u64,
     /// Cross-shard (foreign-thread) entity touches observed by the
     /// shared store. Non-zero would be an `EnvMismatch`-class bug in
     /// the driver itself.
@@ -103,6 +119,11 @@ pub struct ParallelRun {
     pub trace_events: u64,
     /// Leak/violation reports from session shutdown (must be empty).
     pub shutdown_reports: usize,
+    /// Per-worker wall-clock, in spawn order.
+    pub worker_wall_nanos: Vec<u64>,
+    /// Max/min of per-worker wall times: 1.0 is perfectly fair
+    /// scheduling; large values mean the curve is measuring stragglers.
+    pub fairness_spread: f64,
 }
 
 /// Runs the workload across `cfg.threads` workers and measures it.
@@ -112,27 +133,23 @@ pub fn run_parallel(cfg: &ParallelConfig) -> ParallelRun {
     let ballast_each = cfg.ballast / threads;
 
     // Shared concurrent stack, one of each across all workers.
-    let store: Arc<ShardedStateStore<u64>> =
-        Arc::new(ShardedStateStore::with_shards(lifecycle_machine(), threads));
-    let acquire = store.machine().transition_id("Acquire").expect("spec");
-    let release = store.machine().transition_id("Release").expect("spec");
+    let store: Arc<AtomicStore<u64>> = Arc::new(AtomicStore::new(lifecycle_machine()));
+    let acquire = store.compiled().transition_id("Acquire").expect("spec");
+    let release = store.compiled().transition_id("Release").expect("spec");
+    let released = store.machine().state_id("Released").expect("spec");
     let directory: Arc<Vec<RwLock<HashMap<u64, u64>>>> = Arc::new(
         (0..HEAP_SHARDS)
             .map(|_| RwLock::new(HashMap::new()))
             .collect(),
     );
-    let rendezvous = Arc::new(SafepointRendezvous::new());
+    let epochs = Arc::new(EpochParticipants::new());
     let recorder = Recorder::enabled(1 << 14);
     let cross_thread = Arc::new(AtomicU64::new(0));
+    let leak_peak = Arc::new(AtomicU64::new(0));
 
     // Checkers are built *here*, on the driver thread, then moved into
     // the workers — the whole point of `Jinn: Send`.
     let checkers: Vec<Jinn> = (0..threads).map(|_| Jinn::new()).collect();
-    // Register every worker before any thread starts, so an early
-    // safepoint request cannot stop a partially-assembled world.
-    for _ in 0..threads {
-        rendezvous.register();
-    }
 
     let start = Instant::now();
     let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
@@ -142,8 +159,9 @@ pub fn run_parallel(cfg: &ParallelConfig) -> ParallelRun {
             .map(|(t, jinn)| {
                 let store = Arc::clone(&store);
                 let directory = Arc::clone(&directory);
-                let rendezvous = Arc::clone(&rendezvous);
+                let epochs = Arc::clone(&epochs);
                 let cross_thread = Arc::clone(&cross_thread);
+                let leak_peak = Arc::clone(&leak_peak);
                 let recorder = recorder.clone();
                 scope.spawn(move || {
                     run_worker(WorkerContext {
@@ -156,9 +174,11 @@ pub fn run_parallel(cfg: &ParallelConfig) -> ParallelRun {
                         store: &store,
                         acquire,
                         release,
+                        released,
                         directory: &directory,
-                        rendezvous: &rendezvous,
+                        epochs: &epochs,
                         cross_thread: &cross_thread,
+                        leak_peak: &leak_peak,
                         recorder,
                     })
                 })
@@ -175,6 +195,9 @@ pub fn run_parallel(cfg: &ParallelConfig) -> ParallelRun {
     let checked_events: u64 = worker_results.iter().map(|w| w.checks_executed).sum();
     let violations: u64 = worker_results.iter().map(|w| w.violations).sum();
     let shutdown_reports: usize = worker_results.iter().map(|w| w.shutdown_reports).sum();
+    let worker_wall_nanos: Vec<u64> = worker_results.iter().map(|w| w.wall_nanos).collect();
+    let slowest = worker_wall_nanos.iter().copied().max().unwrap_or(1).max(1);
+    let fastest = worker_wall_nanos.iter().copied().min().unwrap_or(1).max(1);
     ParallelRun {
         threads,
         transitions,
@@ -182,11 +205,14 @@ pub fn run_parallel(cfg: &ParallelConfig) -> ParallelRun {
         violations,
         elapsed,
         events_per_sec: checked_events as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
-        worlds_stopped: rendezvous.worlds_stopped(),
+        epoch_sweeps: epochs.sweeps(),
+        leak_sweep_peak: leak_peak.load(Ordering::Relaxed),
         cross_thread_uses: cross_thread.load(Ordering::Relaxed),
         store_residue: store.len(),
         trace_events: recorder.total_events(),
         shutdown_reports,
+        worker_wall_nanos,
+        fairness_spread: slowest as f64 / fastest as f64,
     }
 }
 
@@ -217,12 +243,14 @@ struct WorkerContext<'a> {
     ballast: usize,
     gc_period: u64,
     safepoint_every: u64,
-    store: &'a ShardedStateStore<u64>,
+    store: &'a AtomicStore<u64>,
     acquire: TransitionId,
     release: TransitionId,
+    released: jinn_fsm::StateId,
     directory: &'a [RwLock<HashMap<u64, u64>>],
-    rendezvous: &'a SafepointRendezvous,
+    epochs: &'a EpochParticipants,
     cross_thread: &'a AtomicU64,
+    leak_peak: &'a AtomicU64,
     recorder: Recorder,
 }
 
@@ -231,9 +259,11 @@ struct WorkerResult {
     checks_executed: u64,
     violations: u64,
     shutdown_reports: usize,
+    wall_nanos: u64,
 }
 
 fn run_worker(cx: WorkerContext<'_>) -> WorkerResult {
+    let wall_start = Instant::now();
     let mut vm = Vendor::HotSpot.vm();
     vm.jvm_mut().set_auto_gc_period(Some(cx.gc_period));
     // Ballast: long-lived globals allocated *before* the session exists,
@@ -251,6 +281,10 @@ fn run_worker(cx: WorkerContext<'_>) -> WorkerResult {
     session.set_recorder(cx.recorder.clone());
     let stats = jinn_core::install_prebuilt(&mut session, cx.jinn);
 
+    // Join the epoch domain; pinning advertises progress, and the
+    // handle's drop takes this worker out of every future quiesce.
+    let epoch = cx.epochs.register();
+
     let mut iter: u64 = 0;
     while session.vm().stats().total() < cx.share {
         let outcome = session.run_native(thread, entry, &args);
@@ -262,10 +296,11 @@ fn run_worker(cx: WorkerContext<'_>) -> WorkerResult {
             break;
         }
 
-        // Shared store: acquire/release a fresh per-thread entity. The
-        // key space is disjoint per worker, so `cross_thread` must stay
-        // None — any Some is an EnvMismatch-class bug in this driver.
-        let key = ((cx.t as u64) << 32) | (iter & 0x3ff);
+        // Shared store: acquire/release a fresh per-thread entity on the
+        // lock-free dense path. The key space is disjoint per worker, so
+        // `cross_thread` must stay None — any Some is an
+        // EnvMismatch-class bug in this driver.
+        let key = (cx.t as u64) * KEYS_PER_WORKER + (iter % KEYS_PER_WORKER);
         let out = cx.store.apply(cx.t as u16, &key, cx.acquire);
         if out.cross_thread.is_some() {
             cx.cross_thread.fetch_add(1, Ordering::Relaxed);
@@ -290,26 +325,30 @@ fn run_worker(cx: WorkerContext<'_>) -> WorkerResult {
             let _ = map.len();
         }
 
-        // Safepoints: request a world-stop periodically; poll on every
-        // iteration (cheap atomic fast path when nothing is pending).
+        // Epochs: advertise progress every iteration (one load + one
+        // store); periodically take a quiesced cut and sweep — the
+        // other workers keep running the whole time.
         iter += 1;
+        epoch.pin();
         if iter.is_multiple_of(cx.safepoint_every) {
-            cx.rendezvous.request_gc();
-        }
-        cx.rendezvous.poll(|| {
-            // World is stopped: sweep the shared directory alone.
-            for s in cx.directory {
-                let mut map = s.write().unwrap_or_else(|e| e.into_inner());
-                if map.len() > 2_048 {
-                    map.clear();
+            epoch.quiesce(|| {
+                // Leak/death sweep against the quiesced cut: sorted and
+                // a pure function of the pre-epoch operation set.
+                let live = cx.store.entities_not_in(cx.released).len() as u64;
+                cx.leak_peak.fetch_max(live, Ordering::Relaxed);
+                for s in cx.directory {
+                    let mut map = s.write().unwrap_or_else(|e| e.into_inner());
+                    if map.len() > 2_048 {
+                        map.clear();
+                    }
                 }
-            }
-        });
+            });
+        }
     }
 
-    // Leave the rendezvous before shutdown so waiting peers aren't held
-    // hostage by a finished worker.
-    cx.rendezvous.deregister();
+    // Leave the epoch domain before shutdown so sweeping peers never
+    // wait on a finished worker.
+    drop(epoch);
     let transitions = session.vm().stats().total();
     let reports = session.shutdown();
     WorkerResult {
@@ -317,6 +356,7 @@ fn run_worker(cx: WorkerContext<'_>) -> WorkerResult {
         checks_executed: stats.checks_executed(),
         violations: stats.violations(),
         shutdown_reports: reports.len(),
+        wall_nanos: wall_start.elapsed().as_nanos() as u64,
     }
 }
 
@@ -344,10 +384,12 @@ mod tests {
         assert_eq!(run.store_residue, 0);
         assert_eq!(run.shutdown_reports, 0);
         assert!(run.trace_events > 0);
+        assert_eq!(run.worker_wall_nanos.len(), 1);
+        assert!(run.fairness_spread >= 1.0);
     }
 
     #[test]
-    fn four_workers_run_clean_and_stop_the_world() {
+    fn four_workers_run_clean_and_sweep_epochs() {
         let run = run_parallel(&small(4));
         assert_eq!(run.threads, 4);
         assert!(run.checked_events > 0);
@@ -355,7 +397,13 @@ mod tests {
         assert_eq!(run.cross_thread_uses, 0, "entity keys are disjoint");
         assert_eq!(run.store_residue, 0, "every acquire is evicted");
         assert_eq!(run.shutdown_reports, 0);
-        assert!(run.worlds_stopped > 0, "safepoints must actually fire");
+        assert!(run.epoch_sweeps > 0, "epoch sweeps must actually fire");
+        assert!(
+            run.leak_sweep_peak <= 4 * KEYS_PER_WORKER,
+            "leak sweep bounded by the live window: {run:?}"
+        );
+        assert_eq!(run.worker_wall_nanos.len(), 4);
+        assert!(run.fairness_spread >= 1.0);
     }
 
     #[test]

@@ -79,4 +79,8 @@ pub use checker::{
     StatsCell,
 };
 pub use codegen::{generate_c_wrappers, CodegenStats};
-pub use synth::{is_encoding_update, synthesize, synthesize_cached, CheckTable, SynthStats};
+pub use synth::{
+    discharge, discharge_machine, is_encoding_update, synthesize, synthesize_cached, CheckTable,
+    DischargeReason, DischargeReport, DischargedTransition, MachineDischarge, SynthStats,
+    WorkloadManifest,
+};

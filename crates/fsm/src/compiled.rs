@@ -49,8 +49,9 @@ pub const NOT_APPLICABLE: u16 = u16::MAX;
 /// multi-gigabyte slab.
 pub const DENSE_LIMIT: usize = 1 << 20;
 
-/// Slot value for "entity not tracked" in the slab.
-const VACANT: u16 = u16::MAX;
+/// Slot value for "entity not tracked" in the slab (shared with the
+/// lock-free [`AtomicStore`](crate::AtomicStore) cells).
+pub(crate) const VACANT: u16 = u16::MAX;
 
 /// A [`MachineSpec`] lowered into dense dispatch tables.
 ///
@@ -75,6 +76,9 @@ pub struct CompiledMachine {
     initial: StateId,
     next: Box<[u16]>,
     error_protos: Box<[Option<Arc<ErrorEntered>>]>,
+    /// Per-transition flag: `true` when a static discharge pass compiled
+    /// the transition out (its matrix column is all [`NOT_APPLICABLE`]).
+    elided: Box<[bool]>,
 }
 
 impl CompiledMachine {
@@ -119,8 +123,76 @@ impl CompiledMachine {
             initial: spec.initial(),
             next,
             error_protos: error_protos.into_boxed_slice(),
+            elided: vec![false; transitions].into_boxed_slice(),
             spec,
         }
+    }
+
+    /// Lowers `spec` with the given transitions *compiled out*: their
+    /// matrix columns are forced to [`NOT_APPLICABLE`], so applying them
+    /// is a no-op (`NotApplicable`) from every state and their error
+    /// prototypes can never be reached through this machine.
+    ///
+    /// Soundness is the *caller's* burden: eliding a transition is
+    /// outcome-preserving only when a static pass has proved the
+    /// workload can never drive it (trigger functions absent) or that
+    /// its source state is unreachable (in which case every apply
+    /// already returned `NotApplicable`). `jinn-core`'s discharge pass
+    /// produces such proofs as a `DischargeReport`; the elided set is
+    /// kept queryable here ([`Self::is_elided`]) so elision stays
+    /// auditable, never silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`TransitionId`] does not belong to `spec`, or on the
+    /// same state-count bound as [`Self::compile`].
+    pub fn compile_discharged(spec: MachineSpec, elided: &[TransitionId]) -> CompiledMachine {
+        let mut m = Self::compile(spec);
+        let states = m.spec.states().len();
+        for &t in elided {
+            assert!(
+                t.index() < m.transitions,
+                "transition id {} out of range for machine `{}`",
+                t.index(),
+                m.spec.name()
+            );
+            for s in 0..states {
+                m.next[s * m.transitions + t.index()] = NOT_APPLICABLE;
+            }
+            m.elided[t.index()] = true;
+        }
+        m
+    }
+
+    /// Whether a discharge pass compiled this transition out.
+    #[inline]
+    pub fn is_elided(&self, t: TransitionId) -> bool {
+        self.elided[t.index()]
+    }
+
+    /// Names of the transitions a discharge pass compiled out, in
+    /// transition-id order.
+    pub fn elided_transitions(&self) -> Vec<&str> {
+        self.elided
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e)
+            .map(|(i, _)| self.spec.transitions()[i].name())
+            .collect()
+    }
+
+    /// Number of transitions in the compiled matrix.
+    #[inline]
+    pub fn transition_count(&self) -> usize {
+        self.transitions
+    }
+
+    /// The dense `states × transitions` next-state matrix (row-major by
+    /// state). Shared with the lock-free store so both encodings
+    /// dispatch off identical tables.
+    #[inline]
+    pub(crate) fn matrix(&self) -> &[u16] {
+        &self.next
     }
 
     /// The machine's initial state, cached out of the spec so the hot

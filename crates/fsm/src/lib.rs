@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod compiled;
 mod diagram;
 mod engine;
@@ -62,6 +63,7 @@ mod pool;
 mod runtime;
 mod sharded;
 
+pub use atomic::{AtomicStore, NO_OWNER};
 pub use compiled::{CompactStore, CompiledMachine, DenseKey, DENSE_LIMIT, NOT_APPLICABLE};
 pub use diagram::{ascii_table, dot};
 pub use engine::{DiffStore, Engine};
@@ -69,7 +71,7 @@ pub use machine::{
     ConstraintClass, Direction, EntityKind, MachineBuilder, MachineError, MachineSpec, StateId,
     StateSpec, TransitionBuilder, TransitionId, TransitionSpec, TriggerSpec,
 };
-pub use pool::{CompactEnginePool, EngineLease, EnginePool, PoolStats};
+pub use pool::{AtomicEnginePool, CompactEnginePool, EngineLease, EnginePool, PoolStats};
 pub use runtime::{EntityState, ErrorEntered, StateStore, TransitionOutcome, UnknownTransition};
 pub use sharded::{
     CrossThreadUse, ShardedCompactStore, ShardedOutcome, ShardedStateStore, DEFAULT_SHARDS,

@@ -175,6 +175,7 @@ impl StateSpec {
 pub struct TriggerSpec {
     direction: Direction,
     selector: String,
+    functions: Vec<String>,
 }
 
 impl TriggerSpec {
@@ -186,6 +187,15 @@ impl TriggerSpec {
     /// The function selector resolved by the synthesizer.
     pub fn selector(&self) -> &str {
         &self.selector
+    }
+
+    /// The exact registry functions this trigger fires at, when the
+    /// selector is crisp enough to enumerate them (added via
+    /// [`TransitionBuilder::on_funcs`]). Empty means the selector is
+    /// prose-only: static analyses must treat the trigger as reachable
+    /// from any call site.
+    pub fn functions(&self) -> &[String] {
+        &self.functions
     }
 }
 
@@ -558,6 +568,30 @@ impl TransitionBuilder {
         self.triggers.push(TriggerSpec {
             direction,
             selector: selector.into(),
+            functions: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a trigger whose selector is crisp enough to enumerate the
+    /// exact registry functions it fires at. Static discharge passes may
+    /// prove the transition untriggerable for a workload that can call
+    /// none of `functions`; a trigger added via [`TransitionBuilder::on`]
+    /// (no function list) is always treated as potentially live.
+    pub fn on_funcs<I, S>(
+        mut self,
+        direction: Direction,
+        selector: impl Into<String>,
+        functions: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.triggers.push(TriggerSpec {
+            direction,
+            selector: selector.into(),
+            functions: functions.into_iter().map(Into::into).collect(),
         });
         self
     }

@@ -16,7 +16,7 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::engine::Engine;
 use crate::machine::MachineSpec;
@@ -65,7 +65,7 @@ impl<K, E: Engine<K>> EnginePool<K, E> {
     /// built. Dropping the lease clears the engines and parks them.
     pub fn lease(self: &Arc<Self>) -> EngineLease<K, E> {
         self.leased.fetch_add(1, Ordering::Relaxed);
-        let parked = self.idle.lock().expect("engine pool poisoned").pop();
+        let parked = lock(&self.idle).pop();
         let engines = parked.unwrap_or_else(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
             self.specs
@@ -83,7 +83,7 @@ impl<K, E: Engine<K>> EnginePool<K, E> {
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             machines: self.specs.len(),
-            idle: self.idle.lock().expect("engine pool poisoned").len(),
+            idle: lock(&self.idle).len(),
             built: self.built.load(Ordering::Relaxed),
             leases: self.leased.load(Ordering::Relaxed),
         }
@@ -124,16 +124,25 @@ impl<K, E: Engine<K>> Drop for EngineLease<K, E> {
             e.clear();
         }
         let engines = std::mem::take(&mut self.engines);
-        self.pool
-            .idle
-            .lock()
-            .expect("engine pool poisoned")
-            .push(engines);
+        lock(&self.pool.idle).push(engines);
     }
+}
+
+/// Poison-recovering lock: a panic on another thread (e.g. a worker
+/// that died mid-judge) must not cascade into every future lease. The
+/// idle list is a `Vec` of fully-owned engine sets, so the inner guard
+/// is always structurally sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The daemon's pool: compiled dense-table engines.
 pub type CompactEnginePool<K> = EnginePool<K, crate::compiled::CompactStore<K>>;
+
+/// A pool of lock-free [`AtomicStore`](crate::AtomicStore) engines —
+/// same compiled dispatch tables as [`CompactEnginePool`], shareable
+/// across worker threads without per-shard mutexes.
+pub type AtomicEnginePool<K> = EnginePool<K, crate::atomic::AtomicStore<K>>;
 
 #[cfg(test)]
 mod tests {

@@ -281,6 +281,14 @@ impl<K: Eq + Hash + Clone + fmt::Debug, E: Engine<K>> ShardedStateStore<K, E> {
     }
 }
 
+/// Poison-recovering lock, used for every shard and directory mutex: a
+/// panicking worker must not propagate its panic into unrelated threads
+/// that merely share the store. Shard engines and directory maps are
+/// always structurally sound mid-operation (each apply is a single
+/// engine call), so adopting the inner guard is safe. The lock-free
+/// [`AtomicStore`](crate::AtomicStore) removes the question entirely on
+/// its dense path; this helper remains for the directory-style locking
+/// this store still uses.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }

@@ -1,14 +1,19 @@
 //! Differential property tests: the compiled engine ([`CompactStore`])
-//! must agree with the reference [`StateStore`] outcome-for-outcome on
-//! arbitrary machines and arbitrary event scripts — including
-//! `NotApplicable` non-matches, error entries, unknown transition names,
-//! evictions, and the sorted leak-sweep order. [`DiffStore`] runs both
-//! in lockstep and panics on any divergence, so simply driving it over
-//! the same scripts is itself an assertion.
+//! and the lock-free engine ([`AtomicStore`]) must agree with the
+//! reference [`StateStore`] outcome-for-outcome on arbitrary machines
+//! and arbitrary event scripts — including `NotApplicable` non-matches,
+//! error entries, unknown transition names, evictions, and the sorted
+//! leak-sweep order. [`DiffStore`] runs both classic engines in
+//! lockstep and panics on any divergence, so simply driving it over
+//! the same scripts is itself an assertion. A separate concurrent
+//! property pins the [`AtomicStore`] under real thread interleavings
+//! against a serialized reference replay.
+
+use std::sync::Arc;
 
 use jinn_fsm::{
-    CompactStore, ConstraintClass, DiffStore, Direction, Engine, EntityKind, MachineSpec,
-    StateStore, TransitionOutcome, DENSE_LIMIT,
+    AtomicStore, CompactStore, ConstraintClass, DiffStore, Direction, Engine, EntityKind,
+    MachineSpec, StateStore, TransitionOutcome, DENSE_LIMIT,
 };
 use proptest::prelude::*;
 
@@ -148,10 +153,166 @@ proptest! {
         let reference = drive::<StateStore<u64>>(machine.clone(), &ops);
         let compiled = drive::<CompactStore<u64>>(machine.clone(), &ops);
         prop_assert_eq!(&reference, &compiled);
+        // The lock-free store must match through its Engine face too —
+        // same slab/spill split, CAS instead of locks.
+        let atomic = drive::<AtomicStore<u64>>(machine.clone(), &ops);
+        prop_assert_eq!(&reference, &atomic);
         // The differential adapter re-checks every step internally (it
         // panics on divergence) and must land on the same transcript.
         let differential = drive::<DiffStore<u64>>(machine, &ops);
         prop_assert_eq!(&reference, &differential);
+    }
+
+    /// Concurrency equivalence: N threads drive one shared
+    /// [`AtomicStore`] over *disjoint* key ranges (the checker's
+    /// ownership discipline — each entity is homed to the thread that
+    /// first touches it, exactly how the parallel bench partitions
+    /// work). Whatever the OS interleaving, every thread's outcome
+    /// transcript and the final sweep must equal a serialized replay of
+    /// the same per-thread scripts through the reference store: the
+    /// CAS slab, the shared length counter, and the spill shards may
+    /// not leak effects across keys.
+    #[test]
+    fn concurrent_atomic_store_matches_serialized_reference(
+        shape in any::<u64>(),
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..60),
+            2..5,
+        ),
+    ) {
+        let machine = machine_from(shape);
+        let transitions = machine.transitions().len();
+        // Rebase each thread's keys into a private window (dense and
+        // spill halves both), so threads never share an entity.
+        let per_thread: Vec<Vec<Op>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(t, words)| {
+                decode(words, transitions)
+                    .into_iter()
+                    .map(|op| {
+                        // Decoded keys sit in [0, 24) or
+                        // [DENSE_LIMIT, DENSE_LIMIT + 24); a +64·t
+                        // offset keeps each window private to its
+                        // thread without crossing the dense/spill split.
+                        let rebase = |k: u64| k + 64 * t as u64;
+                        match op {
+                            Op::Apply(k, i) => Op::Apply(rebase(k), i),
+                            Op::ApplyNamed(k, n) => Op::ApplyNamed(rebase(k), n),
+                            Op::Evict(k) => Op::Evict(rebase(k)),
+                            Op::StateOf(k) => Op::StateOf(rebase(k)),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Concurrent run: one shared lock-free store, one real thread
+        // per script, outcomes collected per thread.
+        let store: Arc<AtomicStore<u64>> = Arc::new(AtomicStore::new(machine.clone()));
+        let concurrent: Vec<Observed> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_thread
+                .iter()
+                .enumerate()
+                .map(|(t, ops)| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        let mut observed = Observed {
+                            outcomes: Vec::new(),
+                            states: Vec::new(),
+                            evictions: Vec::new(),
+                            len: 0,
+                            leak_sweep: Vec::new(),
+                            in_initial: Vec::new(),
+                        };
+                        let thread = t as u16;
+                        for op in ops {
+                            match op {
+                                Op::Apply(key, i) => {
+                                    let id = {
+                                        let spec = store.machine();
+                                        spec.transition_id(spec.transitions()[*i].name())
+                                            .expect("decoded index is in range")
+                                    };
+                                    let out = store.apply(thread, key, id);
+                                    assert!(
+                                        out.cross_thread.is_none(),
+                                        "disjoint keys must never report cross-thread use"
+                                    );
+                                    observed.outcomes.push(out.outcome);
+                                }
+                                Op::ApplyNamed(key, name) => {
+                                    let out = store.apply_named(thread, key, name);
+                                    assert!(out.cross_thread.is_none());
+                                    observed.outcomes.push(out.outcome);
+                                }
+                                Op::Evict(key) => {
+                                    observed.evictions.push(store.evict(key).is_some());
+                                }
+                                Op::StateOf(key) => {
+                                    observed.states.push(store.state_of(thread, key).index());
+                                }
+                            }
+                        }
+                        observed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker must not panic"))
+                .collect()
+        });
+
+        // Serialized reference: the same scripts, one after another,
+        // through a single reference store. Disjoint keys make any
+        // serialization order equivalent.
+        let mut reference = StateStore::<u64>::for_machine(machine.clone());
+        let serial: Vec<Observed> = per_thread
+            .iter()
+            .map(|ops| {
+                let mut observed = Observed {
+                    outcomes: Vec::new(),
+                    states: Vec::new(),
+                    evictions: Vec::new(),
+                    len: 0,
+                    leak_sweep: Vec::new(),
+                    in_initial: Vec::new(),
+                };
+                for op in ops {
+                    match op {
+                        Op::Apply(key, i) => {
+                            let id = {
+                                let spec = reference.spec();
+                                spec.transition_id(spec.transitions()[*i].name())
+                                    .expect("decoded index is in range")
+                            };
+                            observed.outcomes.push(reference.apply(key, id));
+                        }
+                        Op::ApplyNamed(key, name) => {
+                            observed.outcomes.push(reference.apply_named(key, name));
+                        }
+                        Op::Evict(key) => observed.evictions.push(reference.evict(key).is_some()),
+                        Op::StateOf(key) => {
+                            observed.states.push(reference.state_of(key).index());
+                        }
+                    }
+                }
+                observed
+            })
+            .collect();
+        for (got, want) in concurrent.iter().zip(serial.iter()) {
+            prop_assert_eq!(&got.outcomes, &want.outcomes);
+            prop_assert_eq!(&got.states, &want.states);
+            prop_assert_eq!(&got.evictions, &want.evictions);
+        }
+
+        // Final population and sweeps — the verdict-bearing reads —
+        // must agree exactly, in sorted order.
+        let initial = machine.initial();
+        prop_assert_eq!(store.len(), reference.len());
+        prop_assert_eq!(store.entities_not_in(initial), reference.entities_not_in(initial));
+        prop_assert_eq!(store.entities_in(initial), reference.entities_in(initial));
     }
 
     #[test]

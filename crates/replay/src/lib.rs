@@ -51,7 +51,7 @@ pub use format::{
     BodyKind, CallStatus, ClassRec, FieldRec, ManagedRec, MethodRec, SeedKind, SeedRec, TraceError,
     TraceRecord, UbRec, FORMAT_VERSION, MAGIC,
 };
-pub use reader::{check_version, Trace};
+pub use reader::{check_version, trace_discharge, Trace};
 pub use record::{
     case_studies, microbench_programs, program_by_name, program_names, record_program, Program,
     RecordVendor,

@@ -89,6 +89,20 @@ impl Trace {
         counts
     }
 
+    /// The set of JNI functions the recorded program actually called —
+    /// the trace-derived call-site manifest.
+    pub fn called_functions(&self) -> std::collections::BTreeSet<String> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceRecord::JniEnter { func, .. } => {
+                    Some(minijni::FuncId(*func).name().to_string())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// A human-readable multi-line summary, for the `stats` subcommand.
     pub fn summary(&self, byte_len: usize) -> String {
         let mut out = String::new();
@@ -115,6 +129,16 @@ impl Trace {
         }
         out
     }
+}
+
+/// Runs the static discharge pass over the eleven machines with the
+/// trace's own call-site manifest ([`Trace::called_functions`]) — the
+/// post-hoc audit of which machine transitions could have been compiled
+/// out for this exact recording. The serving daemon surfaces this per
+/// session; `replay stats --json` prints it per file.
+pub fn trace_discharge(trace: &Trace) -> jinn_core::DischargeReport {
+    let manifest = jinn_core::WorkloadManifest::new(trace.program(), trace.called_functions());
+    jinn_core::discharge(&jinn_spec::machines(), &manifest)
 }
 
 /// Asserts that the reader and a trace agree on the format version —

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use jinn_fsm::{CompactEnginePool, EnginePool, PoolStats};
+use jinn_fsm::{AtomicEnginePool, EnginePool, PoolStats};
 use jinn_replay::{Frame, ReplayConfig};
 
 use crate::error::ServeError;
@@ -134,7 +134,7 @@ pub(crate) struct Shared {
     config: ServeConfig,
     pub(crate) table: SessionTable,
     queue: IngestQueue,
-    pool: Arc<CompactEnginePool<u64>>,
+    pool: Arc<AtomicEnginePool<u64>>,
     next_auto: AtomicU64,
     shutting_down: AtomicBool,
 }

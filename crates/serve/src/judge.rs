@@ -6,18 +6,24 @@
 //! live [`Recorder`] wired in ([`jinn_replay::replay_trace_observed`])
 //! so the re-judged execution's events can be summarized for the query
 //! API. The session's FSM-transition stream is additionally re-applied
-//! through a leased set of pooled [`CompactStore`] engines
-//! ([`jinn_fsm::CompactEnginePool`]) to produce per-machine entity
-//! rollups without rebuilding compiled machines per session.
+//! through a leased set of pooled lock-free [`AtomicStore`] engines
+//! ([`jinn_fsm::AtomicEnginePool`]) to produce per-machine entity
+//! rollups without rebuilding compiled machines per session — and
+//! without any mutex on the rollup path, so concurrent ingest workers
+//! never convoy on a pool engine's interior lock.
+//!
+//! [`AtomicStore`]: jinn_fsm::AtomicStore
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use jinn_fsm::{CompactEnginePool, Engine, TransitionOutcome};
+use jinn_fsm::{AtomicEnginePool, Engine, TransitionOutcome};
 use jinn_obs::{EventKind, Recorder, TraceEvent};
-use jinn_replay::{replay_trace, replay_trace_observed, ReplayConfig, Trace};
+use jinn_replay::{replay_trace, replay_trace_observed, trace_discharge, ReplayConfig, Trace};
 
-use crate::session::{EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, VerdictRec};
+use crate::session::{
+    DischargeStats, EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, VerdictRec,
+};
 
 /// Everything one judged session contributes to the store.
 #[derive(Debug, Clone)]
@@ -37,6 +43,8 @@ pub struct JudgeOutput {
     pub rollups: Vec<MachineRollup>,
     /// Recorder coverage of the *recorded* trace (its `obs.*` meta).
     pub obs: ObsCounters,
+    /// Static-discharge audit against the trace's own call-site set.
+    pub discharge: DischargeStats,
     /// Total JNI calls re-issued across configs.
     pub events_replayed: u64,
     /// Total replay divergences across configs.
@@ -122,7 +130,7 @@ fn summarize(session: SessionId, ev: &TraceEvent) -> EventSummary {
 
 /// Re-applies the session's transition stream through pooled compiled
 /// engines, producing one rollup per machine that saw traffic.
-fn rollup(pool: &Arc<CompactEnginePool<u64>>, events: &[TraceEvent]) -> Vec<MachineRollup> {
+fn rollup(pool: &Arc<AtomicEnginePool<u64>>, events: &[TraceEvent]) -> Vec<MachineRollup> {
     let mut lease = pool.lease();
     let mut keys: HashMap<(usize, String), u64> = HashMap::new();
     let mut next_key = 0u64;
@@ -193,13 +201,24 @@ pub fn judge(
     session: SessionId,
     tenant: &str,
     configs: &[ReplayConfig],
-    pool: &Arc<CompactEnginePool<u64>>,
+    pool: &Arc<AtomicEnginePool<u64>>,
     recorder_ring: usize,
     max_events: usize,
 ) -> Result<JudgeOutput, String> {
     let trace = Trace::parse(bytes).map_err(|e| format!("unreadable trace: {e}"))?;
     let obs = obs_counters(&trace);
     let program = trace.program().to_string();
+    let report = trace_discharge(&trace);
+    let discharge = DischargeStats {
+        called_functions: report.manifest_functions as u64,
+        total_transitions: report.total_transitions() as u64,
+        discharged: report.total_discharged() as u64,
+        inactive_machines: report
+            .inactive_machines()
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
+    };
 
     let mut outcomes = Vec::with_capacity(configs.len());
     let mut verdicts = Vec::new();
@@ -259,6 +278,7 @@ pub fn judge(
         events_dropped,
         rollups,
         obs,
+        discharge,
         events_replayed,
         divergences,
     })

@@ -18,8 +18,8 @@
 //!   reader and replayed under its configs
 //!   ([`jinn_replay::replay_trace_observed`]); compiled check tables are
 //!   cloned from a process-wide synthesis cache, and per-machine entity
-//!   rollups reuse pooled compiled engines
-//!   ([`jinn_fsm::CompactEnginePool`]). Corrupt input — frame checksum
+//!   rollups reuse pooled lock-free engines
+//!   ([`jinn_fsm::AtomicEnginePool`]). Corrupt input — frame checksum
 //!   mismatch, truncation, unreadable trace — quarantines the one
 //!   poisoned session and never stalls the fleet.
 //! * **Verdict/history store with retention** — per-session verdicts,
@@ -74,8 +74,8 @@ pub use daemon::{Daemon, DaemonHandle, ServeConfig, AUTO_SESSION_BASE};
 pub use error::ServeError;
 pub use judge::{judge, obs_counters, JudgeOutput};
 pub use session::{
-    EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, SessionState, SessionStats,
-    VerdictRec,
+    DischargeStats, EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, SessionState,
+    SessionStats, VerdictRec,
 };
 pub use socket::SocketServer;
 pub use store::{FleetStats, Query, QueryItem, QueryKind, QueryPage, SessionTable, StoreLimits};

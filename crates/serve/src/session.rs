@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use crate::json::JsonObj;
+use crate::json::{self, JsonObj};
 
 /// A session identifier — client-chosen on `Open`, or daemon-assigned
 /// (from [`crate::DaemonHandle::open_auto`]'s high range).
@@ -80,6 +80,37 @@ impl ObsCounters {
     }
 }
 
+/// The static-discharge audit of one judged session: re-running the
+/// discharge pass with the trace's own call-site set as the manifest,
+/// how many machine transitions could have been compiled out for this
+/// exact recording, and which machines were entirely inactive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DischargeStats {
+    /// Distinct JNI functions the trace called.
+    pub called_functions: u64,
+    /// Transitions across all machines.
+    pub total_transitions: u64,
+    /// Transitions provably untriggerable for this trace.
+    pub discharged: u64,
+    /// Machines whose every transition was discharged.
+    pub inactive_machines: Vec<String>,
+}
+
+impl DischargeStats {
+    /// Renders the audit as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .num("called_functions", self.called_functions)
+            .num("total_transitions", self.total_transitions)
+            .num("discharged", self.discharged)
+            .raw(
+                "inactive_machines",
+                json::list(self.inactive_machines.iter().map(|m| json::escape(m))),
+            )
+            .build()
+    }
+}
+
 /// A point-in-time snapshot of one session's accounting.
 #[derive(Debug, Clone)]
 pub struct SessionStats {
@@ -109,6 +140,8 @@ pub struct SessionStats {
     pub summaries_dropped: u64,
     /// Recorder coverage of the *recorded* trace (see [`ObsCounters`]).
     pub obs: ObsCounters,
+    /// The static-discharge audit, once judged (see [`DischargeStats`]).
+    pub discharge: Option<DischargeStats>,
     /// Why the session was quarantined or aborted, if it was.
     pub reason: Option<String>,
     /// Whether retention purged the session's history rows.
@@ -134,6 +167,12 @@ impl SessionStats {
             .num("summaries", self.summaries)
             .num("summaries_dropped", self.summaries_dropped)
             .raw("obs", self.obs.to_json())
+            .raw(
+                "discharge",
+                self.discharge
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), DischargeStats::to_json),
+            )
             .opt_str("reason", self.reason.as_deref())
             .bool("history_purged", self.history_purged)
             .opt_num("ingest_micros", self.ingest_micros)
@@ -298,4 +337,32 @@ pub(crate) fn approx_bytes_outcome(o: &OutcomeRec) -> usize {
         + o.config.len()
         + o.behavior.len()
         + o.message.as_deref().map_or(0, str::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DischargeStats;
+
+    // `json::escape` already wraps its result in quotes; this pins the
+    // exact bytes so a second quoting layer (invalid JSON) can't sneak
+    // back into the stats surface.
+    #[test]
+    fn discharge_stats_render_as_valid_json() {
+        let stats = DischargeStats {
+            called_functions: 3,
+            total_transitions: 32,
+            discharged: 13,
+            inactive_machines: vec!["monitor".to_string(), "critical-section".to_string()],
+        };
+        assert_eq!(
+            stats.to_json(),
+            "{\"called_functions\":3,\"total_transitions\":32,\"discharged\":13,\
+             \"inactive_machines\":[\"monitor\",\"critical-section\"]}"
+        );
+        assert_eq!(
+            DischargeStats::default().to_json(),
+            "{\"called_functions\":0,\"total_transitions\":0,\"discharged\":0,\
+             \"inactive_machines\":[]}"
+        );
+    }
 }

@@ -39,8 +39,8 @@ use jinn_replay::ReplayConfig;
 use crate::error::ServeError;
 use crate::judge::JudgeOutput;
 use crate::session::{
-    approx_bytes_event, approx_bytes_outcome, approx_bytes_verdict, EventSummary, MachineRollup,
-    ObsCounters, OutcomeRec, SessionId, SessionState, SessionStats, VerdictRec,
+    approx_bytes_event, approx_bytes_outcome, approx_bytes_verdict, DischargeStats, EventSummary,
+    MachineRollup, ObsCounters, OutcomeRec, SessionId, SessionState, SessionStats, VerdictRec,
 };
 
 /// Hard bounds on what a [`SessionTable`] may hold. Everything a remote
@@ -183,6 +183,7 @@ struct Session {
     frames: u64,
     program: Option<String>,
     obs: ObsCounters,
+    discharge: Option<DischargeStats>,
     reason: Option<String>,
     history: Option<History>,
     history_purged: bool,
@@ -275,6 +276,7 @@ impl SessionTable {
                 frames: 1,
                 program: None,
                 obs: ObsCounters::default(),
+                discharge: None,
                 reason: None,
                 history: None,
                 history_purged: false,
@@ -500,6 +502,7 @@ impl SessionTable {
             s.state = SessionState::Judged;
             s.program = Some(out.program);
             s.obs = out.obs;
+            s.discharge = Some(out.discharge);
             s.events_replayed = out.events_replayed;
             s.divergences = out.divergences;
             s.summaries_dropped = out.events_dropped;
@@ -603,6 +606,7 @@ impl SessionTable {
             summaries,
             summaries_dropped: s.summaries_dropped,
             obs: s.obs,
+            discharge: s.discharge.clone(),
             reason: s.reason.clone(),
             history_purged: s.history_purged,
             ingest_micros: s.ingest_micros,

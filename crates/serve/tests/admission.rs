@@ -5,8 +5,8 @@
 use jinn_replay::format::fnv1a;
 use jinn_replay::{program_by_name, record_program};
 use jinn_serve::{
-    Daemon, JudgeOutput, ObsCounters, ServeConfig, ServeError, SessionState, SessionTable,
-    StoreLimits,
+    Daemon, DischargeStats, JudgeOutput, ObsCounters, ServeConfig, ServeError, SessionState,
+    SessionTable, StoreLimits,
 };
 
 fn roomy_limits() -> StoreLimits {
@@ -28,6 +28,7 @@ fn dummy_output() -> JudgeOutput {
         events_dropped: 0,
         rollups: Vec::new(),
         obs: ObsCounters::default(),
+        discharge: DischargeStats::default(),
         events_replayed: 1,
         divergences: 0,
     }

@@ -443,4 +443,51 @@ mod tests {
     fn deterministic() {
         assert_eq!(instrumentation(), instrumentation());
     }
+
+    #[test]
+    fn machine_trigger_function_lists_match_instrumentation() {
+        // The crisp per-transition function lists in `machines.rs` (the
+        // input to the static discharge pass) must agree with the
+        // machine-readable resolution here — a function missing from a
+        // list would make discharge unsound.
+        use std::collections::BTreeSet;
+        let points = instrumentation();
+        let with_check = |check: fn(&Check) -> bool| -> BTreeSet<String> {
+            points
+                .iter()
+                .filter(|p| check(&p.check))
+                .map(|p| p.func.name().to_string())
+                .collect()
+        };
+        let pin_acquire = with_check(|c| *c == Check::PinAcquire);
+        let expected: BTreeSet<String> = crate::PIN_ACQUIRE_FUNCS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(pin_acquire, expected);
+        let pin_release = with_check(|c| matches!(c, Check::PinRelease { .. }));
+        let expected: BTreeSet<String> = crate::PIN_RELEASE_FUNCS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(pin_release, expected);
+    }
+
+    #[test]
+    fn every_trigger_function_exists_in_the_registry() {
+        for machine in crate::machines() {
+            for t in machine.transitions() {
+                for trig in t.triggers() {
+                    for f in trig.functions() {
+                        assert!(
+                            minijni::registry().iter().any(|(_, s)| s.name == *f),
+                            "{}::{} names unknown function {f:?}",
+                            machine.name(),
+                            t.name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

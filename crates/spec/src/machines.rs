@@ -9,6 +9,41 @@
 
 use jinn_fsm::{ConstraintClass, Direction, EntityKind, MachineSpec};
 
+/// Every JNI function whose successful return pins a string or array
+/// buffer (machine 8's `Acquire`). Mirrors the `PinAcquire` resolution
+/// in [`crate::instrument`] — kept in sync by a test there.
+pub const PIN_ACQUIRE_FUNCS: [&str; 12] = [
+    "GetStringChars",
+    "GetStringUTFChars",
+    "GetBooleanArrayElements",
+    "GetByteArrayElements",
+    "GetCharArrayElements",
+    "GetShortArrayElements",
+    "GetIntArrayElements",
+    "GetLongArrayElements",
+    "GetFloatArrayElements",
+    "GetDoubleArrayElements",
+    "GetStringCritical",
+    "GetPrimitiveArrayCritical",
+];
+
+/// Every JNI function that releases a pinned buffer (machine 8's
+/// `Release`, and the double-free trigger `ReleaseAgain`).
+pub const PIN_RELEASE_FUNCS: [&str; 12] = [
+    "ReleaseStringChars",
+    "ReleaseStringUTFChars",
+    "ReleaseBooleanArrayElements",
+    "ReleaseByteArrayElements",
+    "ReleaseCharArrayElements",
+    "ReleaseShortArrayElements",
+    "ReleaseIntArrayElements",
+    "ReleaseLongArrayElements",
+    "ReleaseFloatArrayElements",
+    "ReleaseDoubleArrayElements",
+    "ReleaseStringCritical",
+    "ReleasePrimitiveArrayCritical",
+];
+
 /// Machine 1 (Figure 6): the `JNIEnv*` state constraint.
 ///
 /// Every call from C must pass the `JNIEnv*` of the current thread.
@@ -105,15 +140,17 @@ pub fn critical_section() -> MachineSpec {
             "unmatched critical release in {function}",
         )
         .transition("Acquire", "NotCritical", "InCritical", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "GetStringCritical or GetPrimitiveArrayCritical",
+                ["GetStringCritical", "GetPrimitiveArrayCritical"],
             )
         })
         .transition("Release", "InCritical", "NotCritical", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "ReleaseStringCritical or ReleasePrimitiveArrayCritical",
+                ["ReleaseStringCritical", "ReleasePrimitiveArrayCritical"],
             )
         })
         .transition(
@@ -128,9 +165,10 @@ pub fn critical_section() -> MachineSpec {
             },
         )
         .transition("BadRelease", "NotCritical", "Error:UnmatchedRelease", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::CallCToJava,
                 "Release*Critical without matching acquire",
+                ["ReleaseStringCritical", "ReleasePrimitiveArrayCritical"],
             )
         })
         .build()
@@ -245,19 +283,25 @@ pub fn pinned_buffer() -> MachineSpec {
             "string or array buffer never released (program termination)",
         )
         .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "Get<Type>ArrayElements and similar getter functions",
+                PIN_ACQUIRE_FUNCS,
             )
         })
         .transition("Release", "Acquired", "Released", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "Release<Type>ArrayElements and similar release functions",
+                PIN_RELEASE_FUNCS,
             )
         })
         .transition("ReleaseAgain", "Released", "Error:DoubleFree", |t| {
-            t.on(Direction::CallCToJava, "second release of the same buffer")
+            t.on_funcs(
+                Direction::CallCToJava,
+                "second release of the same buffer",
+                PIN_RELEASE_FUNCS,
+            )
         })
         .transition("LeakAtExit", "Acquired", "Error:Leak", |t| {
             t.on(
@@ -282,14 +326,20 @@ pub fn monitor() -> MachineSpec {
         .transition("Acquire", "Free", "Held", |t| {
             // The paper's figure lists the call; the encoding commits on
             // the successful return.
-            t.on(Direction::CallCToJava, "MonitorEnter").on(
-                Direction::ReturnJavaToC,
-                "MonitorEnter returns successfully",
-            )
+            t.on_funcs(Direction::CallCToJava, "MonitorEnter", ["MonitorEnter"])
+                .on_funcs(
+                    Direction::ReturnJavaToC,
+                    "MonitorEnter returns successfully",
+                    ["MonitorEnter"],
+                )
         })
         .transition("Release", "Held", "Free", |t| {
-            t.on(Direction::CallCToJava, "MonitorExit")
-                .on(Direction::ReturnJavaToC, "MonitorExit returns successfully")
+            t.on_funcs(Direction::CallCToJava, "MonitorExit", ["MonitorExit"])
+                .on_funcs(
+                    Direction::ReturnJavaToC,
+                    "MonitorExit returns successfully",
+                    ["MonitorExit"],
+                )
         })
         .transition("LeakAtExit", "Held", "Error:Leak", |t| {
             t.on(
@@ -317,15 +367,17 @@ pub fn global_ref() -> MachineSpec {
             "global reference never deleted (program termination)",
         )
         .transition("Acquire", "BeforeAcquire", "Acquired", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "NewGlobalRef and NewWeakGlobalRef",
+                ["NewGlobalRef", "NewWeakGlobalRef"],
             )
         })
         .transition("Release", "Acquired", "Released", |t| {
-            t.on(
+            t.on_funcs(
                 Direction::ReturnJavaToC,
                 "DeleteGlobalRef and DeleteWeakGlobalRef",
+                ["DeleteGlobalRef", "DeleteWeakGlobalRef"],
             )
         })
         .transition("UseAfterRelease", "Released", "Error:Dangling", |t| {

@@ -24,3 +24,76 @@ pub use table3::{
     benchmark, build_workload, geomean, run_benchmark, table3_row, BenchmarkSpec, Measurement,
     Suite, Table3Row, Treatment, XorShift, BENCHMARKS,
 };
+
+/// Every JNI function the Table 3 workload mix ([`build_workload`]) can
+/// call at runtime — the call-site manifest consumed by the static
+/// discharge pass (`jinn_core::discharge`). A function absent from this
+/// list is provably never invoked by the benchmark natives, so machine
+/// transitions triggered only by absent functions can be compiled out.
+/// Kept in sync with `table3.rs` by the `manifest_covers_workload` test.
+pub const TABLE3_CALLED_FUNCTIONS: &[&str] = &[
+    "CallIntMethodA",
+    "DeleteGlobalRef",
+    "DeleteLocalRef",
+    "GetFieldID",
+    "GetIntArrayRegion",
+    "GetIntField",
+    "GetMethodID",
+    "GetObjectClass",
+    "GetStringUTFChars",
+    "GetStringUTFLength",
+    "IsSameObject",
+    "NewGlobalRef",
+    "NewIntArray",
+    "NewLocalRef",
+    "NewStringUTF",
+    "ReleaseStringUTFChars",
+    "SetIntArrayRegion",
+    "SetIntField",
+];
+
+#[cfg(test)]
+mod manifest_tests {
+    #[test]
+    fn every_manifest_function_exists_in_the_registry() {
+        for name in super::TABLE3_CALLED_FUNCTIONS {
+            assert!(
+                minijni::registry().iter().any(|(_, s)| s.name == *name),
+                "manifest names unknown JNI function {name:?}",
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_covers_workload() {
+        // Run the workload once with a recorder and check that every JNI
+        // function it actually crossed the boundary with is listed. (The
+        // converse — listed but unused — would only make discharge less
+        // aggressive, never unsound.)
+        use jinn_vendors::Vendor;
+        use minijni::{RunOutcome, Session};
+        let mut vm = Vendor::HotSpot.vm();
+        let (entry, args) = super::build_workload(&mut vm, 7);
+        let thread = vm.jvm().main_thread();
+        let recorder = jinn_obs::Recorder::enabled(1 << 14);
+        let mut session = Session::new(vm);
+        session.set_recorder(recorder.clone());
+        for _ in 0..8 {
+            let out = session.run_native(thread, entry, &args);
+            assert!(matches!(out, RunOutcome::Completed(_)), "{out:?}");
+        }
+        let mut crossed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for ev in recorder.events() {
+            if let jinn_obs::EventKind::JniEnter { func } = &ev.kind {
+                crossed.insert(func.to_string());
+            }
+        }
+        assert!(!crossed.is_empty(), "workload must cross the boundary");
+        for name in &crossed {
+            assert!(
+                super::TABLE3_CALLED_FUNCTIONS.contains(&name.as_str()),
+                "workload called {name:?} but the manifest does not list it",
+            );
+        }
+    }
+}

@@ -169,6 +169,12 @@ impl WorkloadManifest {
         &self.unknown
     }
 
+    /// The callable functions in sorted order — the manifest's stable
+    /// identity, used for pool-cache keying and wire serialization.
+    pub fn functions(&self) -> impl Iterator<Item = &str> {
+        self.called.iter().map(String::as_str)
+    }
+
     /// Number of callable functions.
     pub fn len(&self) -> usize {
         self.called.len()

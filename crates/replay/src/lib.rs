@@ -62,6 +62,6 @@ pub use replay::{
 };
 pub use stream::{
     decode_stream, encode_frame, encode_ingest, stream_preamble, Frame, FrameDecoder, FrameError,
-    MAX_FRAME_PAYLOAD, STREAM_MAGIC, STREAM_VERSION,
+    MAX_CONTROL_STRING, MAX_FRAME_PAYLOAD, MAX_MANIFEST_FUNCTIONS, STREAM_MAGIC, STREAM_VERSION,
 };
 pub use writer::TraceWriter;

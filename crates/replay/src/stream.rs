@@ -45,12 +45,18 @@ pub const MAX_FRAME_PAYLOAD: u64 = 4 * 1024 * 1024;
 /// Cap on tenant / config / reason strings inside control frames.
 pub const MAX_CONTROL_STRING: u64 = 256;
 
+/// Cap on the function count inside a `Manifest` frame. The JNI
+/// registry holds a few hundred functions; a count beyond this is a
+/// protocol error, not an allocation request.
+pub const MAX_MANIFEST_FUNCTIONS: u64 = 512;
+
 /// Frame kinds.
 mod kind {
     pub const OPEN: u8 = 0x01;
     pub const APPEND: u8 = 0x02;
     pub const SEAL: u8 = 0x03;
     pub const ABORT: u8 = 0x04;
+    pub const MANIFEST: u8 = 0x05;
 }
 
 /// Why a frame stream failed to decode. Every variant is a *typed*
@@ -152,16 +158,30 @@ pub enum Frame {
         /// Client-supplied reason (quoted in the session's stats).
         reason: String,
     },
+    /// Declares a tenant's call-site manifest: the JNI functions its
+    /// native code can call. The daemon compiles a specialized engine
+    /// pool with the provably-dead transitions discharged and serves
+    /// the tenant's subsequent sessions from it. Tenant-scoped, not
+    /// session-scoped; a repeat declaration replaces the previous one.
+    Manifest {
+        /// The tenant the manifest belongs to.
+        tenant: String,
+        /// Every JNI function the workload can call (names unknown to
+        /// the registry are kept callable and reported, not fatal).
+        functions: Vec<String>,
+    },
 }
 
 impl Frame {
-    /// The session id the frame addresses.
-    pub fn session(&self) -> u64 {
+    /// The session id the frame addresses, or `None` for tenant-scoped
+    /// frames (`Manifest`).
+    pub fn session(&self) -> Option<u64> {
         match self {
             Frame::Open { session, .. }
             | Frame::Append { session, .. }
             | Frame::Seal { session, .. }
-            | Frame::Abort { session, .. } => *session,
+            | Frame::Abort { session, .. } => Some(*session),
+            Frame::Manifest { .. } => None,
         }
     }
 }
@@ -230,6 +250,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             payload.push(kind::ABORT);
             varint_into(&mut payload, *session);
             push_string(&mut payload, reason);
+        }
+        Frame::Manifest { tenant, functions } => {
+            payload.push(kind::MANIFEST);
+            push_string(&mut payload, tenant);
+            varint_into(&mut payload, functions.len() as u64);
+            for f in functions {
+                push_string(&mut payload, f);
+            }
         }
     }
     let mut out = Vec::with_capacity(payload.len() + 12);
@@ -365,6 +393,20 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
             session: c.varint()?,
             reason: c.string()?,
         },
+        kind::MANIFEST => {
+            let tenant = c.string()?;
+            let count = c.varint()?;
+            if count > MAX_MANIFEST_FUNCTIONS {
+                return Err(FrameError::Corrupt(format!(
+                    "manifest of {count} functions exceeds cap {MAX_MANIFEST_FUNCTIONS}"
+                )));
+            }
+            let mut functions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                functions.push(c.string()?);
+            }
+            Frame::Manifest { tenant, functions }
+        }
         other => return Err(FrameError::BadKind(other)),
     };
     if c.pos != payload.len() {
@@ -523,6 +565,10 @@ mod tests {
                 session: 8,
                 reason: "client went away".into(),
             },
+            Frame::Manifest {
+                tenant: "acme".into(),
+                functions: vec!["NewGlobalRef".into(), "DeleteGlobalRef".into()],
+            },
         ]
     }
 
@@ -635,6 +681,47 @@ mod tests {
         assert!(dec.next_frame().is_err());
         dec.feed(&stream_preamble());
         assert!(dec.next_frame().is_err(), "no resync after a stream error");
+    }
+
+    #[test]
+    fn manifest_function_count_cap_is_enforced() {
+        // Forge a Manifest frame claiming 1<<20 functions: the decoder
+        // must reject the count before allocating for it.
+        let mut payload = vec![kind::MANIFEST, 0x01, b't'];
+        varint_into(&mut payload, 1 << 20);
+        let mut bytes = stream_preamble().to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let ck = fnv1a(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&ck.to_le_bytes());
+        match decode_stream(&bytes) {
+            Err(FrameError::Corrupt(msg)) => assert!(msg.contains("exceeds cap"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // At the cap with the payload truncated: typed error, no panic.
+        let mut payload = vec![kind::MANIFEST, 0x01, b't'];
+        varint_into(&mut payload, MAX_MANIFEST_FUNCTIONS);
+        let mut bytes = stream_preamble().to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let ck = fnv1a(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&ck.to_le_bytes());
+        assert!(matches!(decode_stream(&bytes), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn manifest_frames_are_tenant_scoped() {
+        let f = Frame::Manifest {
+            tenant: "t".into(),
+            functions: vec![],
+        };
+        assert_eq!(f.session(), None);
+        let f = Frame::Open {
+            session: 9,
+            tenant: "t".into(),
+            config: String::new(),
+        };
+        assert_eq!(f.session(), Some(9));
     }
 
     #[test]

@@ -15,10 +15,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use jinn_fsm::{AtomicEnginePool, EnginePool, PoolStats};
-use jinn_replay::{Frame, ReplayConfig};
+use jinn_replay::{Frame, ReplayConfig, MAX_MANIFEST_FUNCTIONS};
 
 use crate::error::ServeError;
 use crate::judge::judge;
+use crate::manifest::{ManifestRegistry, ManifestRegistryStats, ManifestSummary};
 use crate::session::{MachineRollup, SessionId, SessionStats};
 use crate::store::{FleetStats, Query, QueryPage, SessionTable, StoreLimits};
 
@@ -49,6 +50,10 @@ pub struct ServeConfig {
     pub default_configs: String,
     /// Ring capacity of the per-session replay recorder.
     pub recorder_ring: usize,
+    /// Sessions after which a tenant with no declared manifest gets one
+    /// *learned* from the union of its traces' call-site sets. `0`
+    /// disables learning: only declared manifests specialize.
+    pub learn_after_sessions: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             max_events_per_session: 512,
             default_configs: "jinn".to_string(),
             recorder_ring: 1024,
+            learn_after_sessions: 0,
         }
     }
 }
@@ -135,6 +141,7 @@ pub(crate) struct Shared {
     pub(crate) table: SessionTable,
     queue: IngestQueue,
     pool: Arc<AtomicEnginePool<u64>>,
+    registry: ManifestRegistry,
     next_auto: AtomicU64,
     shutting_down: AtomicBool,
 }
@@ -163,6 +170,7 @@ impl Daemon {
             }),
             queue: IngestQueue::new(config.queue_capacity),
             pool: EnginePool::new(jinn_spec::machines()),
+            registry: ManifestRegistry::default(),
             next_auto: AtomicU64::new(AUTO_SESSION_BASE),
             shutting_down: AtomicBool::new(false),
             config,
@@ -211,16 +219,26 @@ fn worker_loop(shared: &Arc<Shared>) {
         let Some((bytes, tenant, configs)) = shared.table.begin_judging(id) else {
             continue; // quarantined while queued
         };
+        let specialized = shared.registry.specialized_for(&tenant);
         match judge(
             &bytes,
             id,
             &tenant,
             &configs,
             &shared.pool,
+            specialized.as_deref(),
             shared.config.recorder_ring,
             shared.config.max_events_per_session,
         ) {
-            Ok(out) => shared.table.finish(id, out),
+            Ok(out) => {
+                shared.registry.observe_judged(
+                    &tenant,
+                    &out.called_functions,
+                    out.discharge_fallback,
+                    shared.config.learn_after_sessions,
+                );
+                shared.table.finish(id, out);
+            }
             Err(reason) => shared.table.fail(id, &reason),
         }
     }
@@ -340,6 +358,38 @@ impl DaemonHandle {
         self.shared.table.quarantine(session, reason);
     }
 
+    /// Declares (or replaces) `tenant`'s workload manifest: runs the
+    /// static-discharge pass for the declared call-site set, compiles
+    /// (or finds, for an identical function set) a specialized engine
+    /// pool, and routes the tenant's future sessions through it.
+    /// Function names unknown to the JNI registry are kept callable and
+    /// reported in the summary — a misspelled manifest weakens
+    /// discharge, it does not fail.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ManifestTooLarge`] past the wire cap
+    /// ([`jinn_replay::MAX_MANIFEST_FUNCTIONS`]), or shutdown.
+    pub fn declare_manifest(
+        &self,
+        tenant: &str,
+        functions: &[String],
+    ) -> Result<ManifestSummary, ServeError> {
+        self.guard()?;
+        if functions.len() as u64 > MAX_MANIFEST_FUNCTIONS {
+            return Err(ServeError::ManifestTooLarge {
+                count: functions.len() as u64,
+                cap: MAX_MANIFEST_FUNCTIONS,
+            });
+        }
+        Ok(self.shared.registry.declare(tenant, functions))
+    }
+
+    /// Manifest-registry counters.
+    pub fn manifest_stats(&self) -> ManifestRegistryStats {
+        self.shared.registry.stats()
+    }
+
     /// Applies one decoded ingest frame.
     ///
     /// # Errors
@@ -359,6 +409,9 @@ impl DaemonHandle {
                 checksum,
             } => self.seal(*session, *total_len, *checksum),
             Frame::Abort { session, reason } => self.abort(*session, reason),
+            Frame::Manifest { tenant, functions } => {
+                self.declare_manifest(tenant, functions).map(|_| ())
+            }
         }
     }
 

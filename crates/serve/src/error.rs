@@ -56,6 +56,14 @@ pub enum ServeError {
     },
     /// The checker-stack selection string did not parse.
     BadConfig(String),
+    /// A manifest declaration named more functions than the wire cap
+    /// admits ([`jinn_replay::MAX_MANIFEST_FUNCTIONS`]).
+    ManifestTooLarge {
+        /// Functions in the declaration.
+        count: u64,
+        /// The cap.
+        cap: u64,
+    },
     /// The daemon is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -87,6 +95,9 @@ impl fmt::Display for ServeError {
                 "fleet backpressure: {buffered} ingest bytes buffered, cap {cap}"
             ),
             ServeError::BadConfig(c) => write!(f, "unknown checker config `{c}`"),
+            ServeError::ManifestTooLarge { count, cap } => {
+                write!(f, "manifest of {count} functions exceeds cap {cap}")
+            }
             ServeError::ShuttingDown => f.write_str("daemon is shutting down"),
         }
     }

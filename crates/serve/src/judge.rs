@@ -14,13 +14,14 @@
 //!
 //! [`AtomicStore`]: jinn_fsm::AtomicStore
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use jinn_fsm::{AtomicEnginePool, Engine, TransitionOutcome};
 use jinn_obs::{EventKind, Recorder, TraceEvent};
 use jinn_replay::{replay_trace, replay_trace_observed, trace_discharge, ReplayConfig, Trace};
 
+use crate::manifest::SpecializedPool;
 use crate::session::{
     DischargeStats, EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, VerdictRec,
 };
@@ -49,6 +50,13 @@ pub struct JudgeOutput {
     pub events_replayed: u64,
     /// Total replay divergences across configs.
     pub divergences: u64,
+    /// The trace's own call-site set (drives manifest learning).
+    pub called_functions: BTreeSet<String>,
+    /// Whether the rollups ran on a manifest-specialized pool.
+    pub specialized: bool,
+    /// Whether a manifested tenant's trace called outside its manifest
+    /// and was re-judged on the full pool instead.
+    pub discharge_fallback: bool,
 }
 
 /// Reads the recorded trace's `obs.*` metadata (written by
@@ -130,11 +138,33 @@ fn summarize(session: SessionId, ev: &TraceEvent) -> EventSummary {
 
 /// Re-applies the session's transition stream through pooled compiled
 /// engines, producing one rollup per machine that saw traffic.
-fn rollup(pool: &Arc<AtomicEnginePool<u64>>, events: &[TraceEvent]) -> Vec<MachineRollup> {
+///
+/// Re-exported at the crate root as `rollup_events` so the discharge
+/// benchmark can drive the daemon's exact rollup path against an
+/// arbitrary pool.
+///
+/// Entity keys are dense *per machine*: each engine sees keys `0..n`
+/// for its own entities, so a store's slab growth tracks the machine's
+/// entity count, not the session-global one. Transitions the spec
+/// machine does not recognise (even after aliasing) are tallied as
+/// `unknown_transitions` instead of inflating the applied count.
+pub fn rollup_events(
+    pool: &Arc<AtomicEnginePool<u64>>,
+    events: &[TraceEvent],
+) -> Vec<MachineRollup> {
     let mut lease = pool.lease();
+    // Hoisted once per judge call: machine name -> engine index. The
+    // per-event linear scan this replaces cost O(machines) per
+    // transition.
+    let index_of: HashMap<String, usize> = lease
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.spec().name().to_string(), i))
+        .collect();
     let mut keys: HashMap<(usize, String), u64> = HashMap::new();
-    let mut next_key = 0u64;
-    let mut counts: HashMap<String, (u64, u64)> = HashMap::new(); // machine -> (transitions, errors)
+    let mut next_key: Vec<u64> = vec![0; lease.len()];
+    // machine -> (applied, errors, unknown)
+    let mut counts: HashMap<String, (u64, u64, u64)> = HashMap::new();
     for ev in events {
         let EventKind::FsmTransition {
             machine,
@@ -145,14 +175,12 @@ fn rollup(pool: &Arc<AtomicEnginePool<u64>>, events: &[TraceEvent]) -> Vec<Machi
         else {
             continue;
         };
-        // Find the machine's engine index first (so entity keys are
-        // per-machine dense).
-        let Some(idx) = lease.iter().position(|e| e.spec().name() == &**machine) else {
+        let Some(&idx) = index_of.get(&**machine) else {
             continue;
         };
         let key = *keys.entry((idx, entity.0.to_string())).or_insert_with(|| {
-            let k = next_key;
-            next_key += 1;
+            let k = next_key[idx];
+            next_key[idx] += 1;
             k
         });
         let engine = &mut lease[idx];
@@ -166,23 +194,28 @@ fn rollup(pool: &Arc<AtomicEnginePool<u64>>, events: &[TraceEvent]) -> Vec<Machi
             }
         }
         let entry = counts.entry(machine.to_string()).or_default();
-        entry.0 += 1;
-        if matches!(outcome, Ok(TransitionOutcome::Error(_))) {
-            entry.1 += 1;
+        match outcome {
+            Ok(o) => {
+                entry.0 += 1;
+                if matches!(o, TransitionOutcome::Error(_)) {
+                    entry.1 += 1;
+                }
+            }
+            Err(_) => entry.2 += 1,
         }
     }
     let mut out: Vec<MachineRollup> = counts
         .into_iter()
-        .map(|(machine, (transitions, errors))| {
-            let entities = lease
-                .iter()
-                .find(|e| e.spec().name() == machine)
-                .map_or(0, |e| e.len() as u64);
+        .map(|(machine, (transitions, errors, unknown_transitions))| {
+            let entities = index_of
+                .get(machine.as_str())
+                .map_or(0, |&i| lease[i].len() as u64);
             MachineRollup {
                 machine,
                 transitions,
                 entities,
                 errors,
+                unknown_transitions,
             }
         })
         .collect();
@@ -192,22 +225,36 @@ fn rollup(pool: &Arc<AtomicEnginePool<u64>>, events: &[TraceEvent]) -> Vec<Machi
 
 /// Parses and re-judges one sealed session.
 ///
+/// When the tenant has a manifest, `specialized` carries its pool: a
+/// trace whose own call-site set the manifest covers rolls up there;
+/// one that calls outside it falls back to the full `pool` and is
+/// flagged (`JudgeOutput::discharge_fallback`). Verdicts come from the
+/// replay either way — the pool choice never affects them.
+///
 /// # Errors
 ///
 /// A quarantine reason: the trace failed to parse or a replay was
 /// structurally impossible. The caller poisons the session.
+#[allow(clippy::too_many_arguments)]
 pub fn judge(
     bytes: &[u8],
     session: SessionId,
     tenant: &str,
     configs: &[ReplayConfig],
     pool: &Arc<AtomicEnginePool<u64>>,
+    specialized: Option<&SpecializedPool>,
     recorder_ring: usize,
     max_events: usize,
 ) -> Result<JudgeOutput, String> {
     let trace = Trace::parse(bytes).map_err(|e| format!("unreadable trace: {e}"))?;
     let obs = obs_counters(&trace);
     let program = trace.program().to_string();
+    let called_functions = trace.called_functions();
+    let (rollup_pool, specialized_hit, discharge_fallback) = match specialized {
+        Some(sp) if sp.covers(&called_functions) => (Arc::clone(sp.pool()), true, false),
+        Some(_) => (Arc::clone(pool), false, true),
+        None => (Arc::clone(pool), false, false),
+    };
     let report = trace_discharge(&trace);
     let discharge = DischargeStats {
         called_functions: report.manifest_functions as u64,
@@ -259,7 +306,7 @@ pub fn judge(
         if let Some(rec) = recorder {
             let all = rec.events();
             events_dropped = rec.dropped_events();
-            rollups = rollup(pool, &all);
+            rollups = rollup_events(&rollup_pool, &all);
             let skip = all.len().saturating_sub(max_events);
             events_dropped += skip as u64;
             events = all
@@ -281,6 +328,9 @@ pub fn judge(
         discharge,
         events_replayed,
         divergences,
+        called_functions,
+        specialized: specialized_hit,
+        discharge_fallback,
     })
 }
 
@@ -299,8 +349,13 @@ mod tests {
         let bytes = corpus_trace("LocalRefDangling");
         let pool = EnginePool::new(jinn_spec::machines());
         let configs = vec![ReplayConfig::parse("jinn").unwrap()];
-        let out = judge(&bytes, 9, "acme", &configs, &pool, 4096, 256).expect("judge");
+        let out = judge(&bytes, 9, "acme", &configs, &pool, None, 4096, 256).expect("judge");
         assert_eq!(out.program, "LocalRefDangling");
+        assert!(!out.specialized && !out.discharge_fallback);
+        assert!(
+            !out.called_functions.is_empty(),
+            "trace call-site set captured"
+        );
         assert!(
             out.verdicts
                 .iter()
@@ -323,8 +378,8 @@ mod tests {
         let bytes = corpus_trace("LocalRefDangling");
         let pool = EnginePool::new(jinn_spec::machines());
         let configs = vec![ReplayConfig::parse("jinn").unwrap()];
-        let full = judge(&bytes, 1, "t", &configs, &pool, 4096, 10_000).expect("judge");
-        let capped = judge(&bytes, 1, "t", &configs, &pool, 4096, 4).expect("judge");
+        let full = judge(&bytes, 1, "t", &configs, &pool, None, 4096, 10_000).expect("judge");
+        let capped = judge(&bytes, 1, "t", &configs, &pool, None, 4096, 4).expect("judge");
         assert_eq!(capped.events.len(), 4);
         assert_eq!(
             capped.events_dropped,
@@ -343,7 +398,121 @@ mod tests {
     fn unreadable_bytes_are_a_quarantine_reason() {
         let pool = EnginePool::new(jinn_spec::machines());
         let configs = vec![ReplayConfig::parse("jinn").unwrap()];
-        let err = judge(b"not a trace", 1, "t", &configs, &pool, 64, 16).unwrap_err();
+        let err = judge(b"not a trace", 1, "t", &configs, &pool, None, 64, 16).unwrap_err();
         assert!(err.contains("unreadable trace"), "{err}");
+    }
+
+    fn fsm_event(seq: u64, machine: &str, transition: &str, entity: &str) -> TraceEvent {
+        TraceEvent {
+            seq,
+            micros: seq,
+            thread: 0,
+            kind: EventKind::FsmTransition {
+                machine: Arc::from(machine),
+                transition: Arc::from(transition),
+                outcome: jinn_obs::FsmOutcome::Moved,
+                entity: Some(jinn_obs::EntityTag::new(entity)),
+            },
+        }
+    }
+
+    #[test]
+    fn rollup_entities_are_dense_per_machine() {
+        // Three global refs and one local ref, interleaved so a shared
+        // counter would hand the local-reference engine key 2 instead
+        // of 0. Per-machine Engine::len must equal each machine's OWN
+        // distinct-entity count.
+        let events = vec![
+            fsm_event(0, "global-reference", "Acquire", "g0"),
+            fsm_event(1, "global-reference", "Acquire", "g1"),
+            fsm_event(2, "local-reference", "Acquire", "l0"),
+            fsm_event(3, "global-reference", "Acquire", "g2"),
+            fsm_event(4, "local-reference", "Release", "l0"),
+        ];
+        let pool = EnginePool::new(jinn_spec::machines());
+        let rollups = rollup_events(&pool, &events);
+        let by_name = |n: &str| {
+            rollups
+                .iter()
+                .find(|r| r.machine == n)
+                .unwrap_or_else(|| panic!("rollup for {n}: {rollups:?}"))
+        };
+        assert_eq!(by_name("global-reference").entities, 3);
+        assert_eq!(by_name("local-reference").entities, 1);
+        assert_eq!(by_name("local-reference").transitions, 2);
+        assert_eq!(
+            rollups.iter().map(|r| r.unknown_transitions).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn unrecognised_transitions_count_as_unknown_not_applied() {
+        let events = vec![
+            fsm_event(0, "global-reference", "Acquire", "g0"),
+            fsm_event(1, "global-reference", "NoSuchTransition", "g0"),
+            // The "Use" alias still resolves to UseAfterRelease.
+            fsm_event(2, "local-reference", "Acquire", "l0"),
+            fsm_event(3, "local-reference", "Release", "l0"),
+            fsm_event(4, "local-reference", "Use", "l0"),
+        ];
+        let pool = EnginePool::new(jinn_spec::machines());
+        let rollups = rollup_events(&pool, &events);
+        let global = rollups.iter().find(|r| r.machine == "global-reference");
+        let global = global.expect("global rollup");
+        assert_eq!(global.transitions, 1, "only the applied transition counts");
+        assert_eq!(global.unknown_transitions, 1);
+        let local = rollups.iter().find(|r| r.machine == "local-reference");
+        let local = local.expect("local rollup");
+        assert_eq!(local.transitions, 3, "aliased Use applies");
+        assert_eq!(local.unknown_transitions, 0);
+        assert_eq!(local.errors, 1, "UseAfterRelease lands in an error state");
+    }
+
+    #[test]
+    fn covering_manifest_specializes_and_lying_manifest_falls_back() {
+        let bytes = corpus_trace("LocalRefDangling");
+        let pool = EnginePool::new(jinn_spec::machines());
+        let configs = vec![ReplayConfig::parse("jinn").unwrap()];
+        let baseline = judge(&bytes, 1, "t", &configs, &pool, None, 4096, 256).expect("judge");
+
+        let honest = SpecializedPool::for_functions(
+            "honest",
+            baseline.called_functions.iter().map(String::as_str),
+        );
+        let fast = judge(&bytes, 2, "t", &configs, &pool, Some(&honest), 4096, 256).expect("judge");
+        assert!(fast.specialized && !fast.discharge_fallback);
+
+        let lying = SpecializedPool::for_functions("lying", ["GetVersion"]);
+        let slow = judge(&bytes, 3, "t", &configs, &pool, Some(&lying), 4096, 256).expect("judge");
+        assert!(!slow.specialized && slow.discharge_fallback);
+
+        // The pool choice never affects verdicts.
+        let key = |o: &JudgeOutput| {
+            let mut v: Vec<(String, String, String)> = o
+                .verdicts
+                .iter()
+                .map(|v| {
+                    (
+                        v.config.to_string(),
+                        v.machine.clone(),
+                        v.error_state.clone(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&baseline), key(&fast));
+        assert_eq!(key(&baseline), key(&slow));
+        // And the specialized rollups agree with the full pool's on the
+        // machines both carry.
+        for r in &fast.rollups {
+            let base = baseline.rollups.iter().find(|b| b.machine == r.machine);
+            let base = base.expect("machine present in baseline");
+            assert_eq!((r.transitions, r.entities, r.errors), {
+                (base.transitions, base.entities, base.errors)
+            });
+        }
     }
 }

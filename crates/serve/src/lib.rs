@@ -26,6 +26,17 @@
 //!   per-config outcomes, and execution-event summaries under a global
 //!   byte budget with deterministic oldest-session-first purge
 //!   ([`store`] module docs).
+//! * **Workload-adaptive discharge** — a tenant can declare its
+//!   call-site manifest (the `Manifest` frame /
+//!   [`DaemonHandle::declare_manifest`]), or the daemon can learn one
+//!   from the tenant's first sessions
+//!   ([`ServeConfig::learn_after_sessions`]). Manifested tenants roll up
+//!   through manifest-keyed *specialized* engine pools with provably-dead
+//!   transitions compiled out and inactive machines carrying no engines
+//!   at all; a trace that calls outside its manifest soundly falls back
+//!   to the full pool and is flagged
+//!   ([`SessionStats`] `discharge_fallback`). See the [`manifest`
+//!   module](crate::SpecializedPool) docs.
 //! * **Query API** — [`DaemonHandle::query`] filters by session,
 //!   tenant, config, function, machine, entity, thread, and event-index
 //!   range, with cursor pagination; [`SocketServer`] exposes the same
@@ -66,13 +77,15 @@ mod daemon;
 mod error;
 pub mod json;
 mod judge;
+mod manifest;
 mod session;
 mod socket;
 pub mod store;
 
 pub use daemon::{Daemon, DaemonHandle, ServeConfig, AUTO_SESSION_BASE};
 pub use error::ServeError;
-pub use judge::{judge, obs_counters, JudgeOutput};
+pub use judge::{judge, obs_counters, rollup_events, JudgeOutput};
+pub use manifest::{ManifestRegistryStats, ManifestSource, ManifestSummary, SpecializedPool};
 pub use session::{
     DischargeStats, EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, SessionState,
     SessionStats, VerdictRec,

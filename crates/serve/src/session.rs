@@ -142,6 +142,12 @@ pub struct SessionStats {
     pub obs: ObsCounters,
     /// The static-discharge audit, once judged (see [`DischargeStats`]).
     pub discharge: Option<DischargeStats>,
+    /// Whether the session's rollups ran on its tenant's
+    /// manifest-specialized pool.
+    pub specialized: bool,
+    /// Whether the trace called outside its tenant's manifest and was
+    /// re-judged on the full pool instead.
+    pub discharge_fallback: bool,
     /// Why the session was quarantined or aborted, if it was.
     pub reason: Option<String>,
     /// Whether retention purged the session's history rows.
@@ -173,6 +179,8 @@ impl SessionStats {
                     .as_ref()
                     .map_or_else(|| "null".to_string(), DischargeStats::to_json),
             )
+            .bool("specialized", self.specialized)
+            .bool("discharge_fallback", self.discharge_fallback)
             .opt_str("reason", self.reason.as_deref())
             .bool("history_purged", self.history_purged)
             .opt_num("ingest_micros", self.ingest_micros)
@@ -297,6 +305,9 @@ pub struct MachineRollup {
     pub entities: u64,
     /// Error-state entries observed.
     pub errors: u64,
+    /// Transition labels the spec machine did not recognise (even
+    /// after aliasing) — excluded from `transitions`.
+    pub unknown_transitions: u64,
 }
 
 impl MachineRollup {
@@ -307,6 +318,7 @@ impl MachineRollup {
             .num("transitions", self.transitions)
             .num("entities", self.entities)
             .num("errors", self.errors)
+            .num("unknown_transitions", self.unknown_transitions)
             .build()
     }
 }

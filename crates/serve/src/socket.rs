@@ -142,9 +142,27 @@ fn serve_ingest(mut stream: TcpStream, handle: &DaemonHandle) -> std::io::Result
         loop {
             match decoder.next_frame() {
                 Ok(Some(frame)) => {
+                    // Manifest frames are tenant-scoped (no session) and
+                    // always answered with one JSON line: the discharge
+                    // summary on success, the typed error otherwise.
+                    if let Frame::Manifest { tenant, functions } = &frame {
+                        let line = match handle.declare_manifest(tenant, functions) {
+                            Ok(summary) => {
+                                let mut l = JsonObj::new()
+                                    .bool("ok", true)
+                                    .raw("manifest", summary.to_json())
+                                    .build();
+                                l.push('\n');
+                                l
+                            }
+                            Err(e) => error_line(&e.to_string()),
+                        };
+                        stream.write_all(line.as_bytes())?;
+                        continue;
+                    }
                     let is_open = matches!(frame, Frame::Open { .. });
                     let is_seal = matches!(frame, Frame::Seal { .. });
-                    let session = frame.session();
+                    let session = frame.session().expect("non-manifest frames have a session");
                     match handle.apply_frame(&frame) {
                         // Own a session only once the daemon admitted
                         // its Open: a rejected duplicate id belongs to
@@ -213,6 +231,7 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
         "fleet" => {
             let f = handle.fleet();
             let p = handle.pool_stats();
+            let m = handle.manifest_stats();
             JsonObj::new()
                 .bool("ok", true)
                 .num("opened", f.opened)
@@ -225,8 +244,13 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
                 .num("purged_sessions", f.purged_sessions)
                 .num("total_verdicts", f.total_verdicts)
                 .num("total_events_replayed", f.total_events_replayed)
+                .num("specialized_sessions", f.specialized_sessions)
+                .num("fallback_sessions", f.fallback_sessions)
                 .num("pool_built", p.built)
                 .num("pool_leases", p.leases)
+                .num("manifested_tenants", m.manifested_tenants)
+                .num("learning_tenants", m.learning_tenants)
+                .num("specialized_pools", m.specialized_pools)
                 .build()
         }
         "stats" => match get_u64(&req, "session").and_then(|id| handle.session_stats(id)) {

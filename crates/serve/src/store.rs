@@ -164,6 +164,11 @@ pub struct FleetStats {
     pub total_verdicts: u64,
     /// JNI calls re-issued across all judged sessions.
     pub total_events_replayed: u64,
+    /// Sessions whose rollups ran on a manifest-specialized pool.
+    pub specialized_sessions: u64,
+    /// Sessions of manifested tenants that called outside the manifest
+    /// and fell back to the full pool.
+    pub fallback_sessions: u64,
 }
 
 struct History {
@@ -184,6 +189,8 @@ struct Session {
     program: Option<String>,
     obs: ObsCounters,
     discharge: Option<DischargeStats>,
+    specialized: bool,
+    discharge_fallback: bool,
     reason: Option<String>,
     history: Option<History>,
     history_purged: bool,
@@ -277,6 +284,8 @@ impl SessionTable {
                 program: None,
                 obs: ObsCounters::default(),
                 discharge: None,
+                specialized: false,
+                discharge_fallback: false,
                 reason: None,
                 history: None,
                 history_purged: false,
@@ -496,6 +505,8 @@ impl SessionTable {
         t.fleet.total_verdicts += verdicts.len() as u64;
         t.fleet.total_events_replayed += out.events_replayed;
         t.fleet.judged += 1;
+        t.fleet.specialized_sessions += u64::from(out.specialized);
+        t.fleet.fallback_sessions += u64::from(out.discharge_fallback);
         t.history_bytes += bytes;
         {
             let s = t.sessions.get_mut(&id).expect("checked Judging above");
@@ -503,6 +514,8 @@ impl SessionTable {
             s.program = Some(out.program);
             s.obs = out.obs;
             s.discharge = Some(out.discharge);
+            s.specialized = out.specialized;
+            s.discharge_fallback = out.discharge_fallback;
             s.events_replayed = out.events_replayed;
             s.divergences = out.divergences;
             s.summaries_dropped = out.events_dropped;
@@ -607,6 +620,8 @@ impl SessionTable {
             summaries_dropped: s.summaries_dropped,
             obs: s.obs,
             discharge: s.discharge.clone(),
+            specialized: s.specialized,
+            discharge_fallback: s.discharge_fallback,
             reason: s.reason.clone(),
             history_purged: s.history_purged,
             ingest_micros: s.ingest_micros,

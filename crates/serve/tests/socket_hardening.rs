@@ -1,12 +1,17 @@
 //! Socket-boundary hardening: duplicate-open ownership containment,
-//! query filter validation, and the request-line length cap.
+//! query filter validation, the request-line length cap, and the
+//! manifest-frame surface (acks, oversized declarations, unknown
+//! function names).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use jinn_replay::format::fnv1a;
-use jinn_replay::{encode_frame, program_by_name, record_program, stream_preamble, Frame};
-use jinn_serve::{Daemon, ServeConfig, SessionState, SocketServer};
+use jinn_replay::{
+    encode_frame, program_by_name, record_program, stream_preamble, Frame, Trace,
+    MAX_MANIFEST_FUNCTIONS,
+};
+use jinn_serve::{Daemon, ServeConfig, ServeError, SessionState, SocketServer};
 
 fn read_line(reader: &mut impl BufRead) -> String {
     let mut line = String::new();
@@ -101,6 +106,135 @@ fn query_thread_filter_rejects_out_of_range_values() {
         line.contains("out of range"),
         "oversized thread filter rejected: {line}"
     );
+    server.shutdown();
+    daemon.shutdown();
+}
+
+/// The full manifest round trip over one ingest connection: a
+/// declaration with a misspelled function is acked (not failed) with
+/// the unknown name surfaced, a re-declaration reports `replaced`, and
+/// a manifest-covered session's seal ack carries `specialized`.
+#[test]
+fn manifest_frames_ack_with_discharge_summaries() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = SocketServer::bind(daemon.handle(), "127.0.0.1:0").expect("bind");
+    let bytes = record_program(&program_by_name("LocalRefDangling").expect("corpus program"));
+    let called: Vec<String> = Trace::parse(&bytes)
+        .expect("parse trace")
+        .called_functions()
+        .into_iter()
+        .collect();
+
+    let mut c = TcpStream::connect(server.addr()).expect("connect");
+    c.write_all(&stream_preamble()).expect("preamble");
+    let mut with_typo = called.clone();
+    with_typo.push("NotARealJniFn".to_string());
+    c.write_all(&encode_frame(&Frame::Manifest {
+        tenant: "acme".to_string(),
+        functions: with_typo,
+    }))
+    .expect("manifest");
+    c.flush().expect("flush");
+    let mut reader = BufReader::new(c.try_clone().expect("clone"));
+    let ack = read_line(&mut reader);
+    assert!(ack.contains("\"ok\":true"), "declaration acked: {ack}");
+    assert!(
+        ack.contains("\"unknown_functions\":[\"NotARealJniFn\"]"),
+        "misspelled name surfaced, not fatal: {ack}"
+    );
+    assert!(
+        ack.contains("\"replaced\":false"),
+        "first declaration: {ack}"
+    );
+
+    // Re-declaring (now without the typo) replaces, on the same stream.
+    c.write_all(&encode_frame(&Frame::Manifest {
+        tenant: "acme".to_string(),
+        functions: called,
+    }))
+    .expect("re-declare");
+    c.flush().expect("flush");
+    let ack2 = read_line(&mut reader);
+    assert!(
+        ack2.contains("\"replaced\":true"),
+        "replacement flagged: {ack2}"
+    );
+    assert!(ack2.contains("\"unknown_functions\":[]"), "{ack2}");
+
+    // A covered session for the tenant is judged on the specialized
+    // pool — visible in the seal ack's stats.
+    c.write_all(&encode_frame(&Frame::Open {
+        session: 3,
+        tenant: "acme".to_string(),
+        config: "jinn".to_string(),
+    }))
+    .expect("open");
+    c.write_all(&encode_frame(&Frame::Append {
+        session: 3,
+        chunk: bytes.clone(),
+    }))
+    .expect("append");
+    c.write_all(&encode_frame(&Frame::Seal {
+        session: 3,
+        total_len: bytes.len() as u64,
+        checksum: fnv1a(&bytes),
+    }))
+    .expect("seal");
+    c.flush().expect("flush");
+    let sealed = read_line(&mut reader);
+    assert!(sealed.contains("\"state\":\"judged\""), "{sealed}");
+    assert!(sealed.contains("\"specialized\":true"), "{sealed}");
+    assert!(sealed.contains("\"discharge_fallback\":false"), "{sealed}");
+
+    server.shutdown();
+    daemon.shutdown();
+}
+
+/// A forged manifest declaring more functions than the wire cap is
+/// stream-level corruption: the connection gets one error line and its
+/// open sessions are quarantined — but only its own.
+#[test]
+fn oversized_manifest_poisons_only_its_connection() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let server = SocketServer::bind(daemon.handle(), "127.0.0.1:0").expect("bind");
+    let handle = daemon.handle();
+
+    // The in-process API rejects it with the typed error first.
+    let huge: Vec<String> = (0..=MAX_MANIFEST_FUNCTIONS)
+        .map(|i| format!("Fn{i}"))
+        .collect();
+    assert_eq!(
+        handle.declare_manifest("big", &huge).unwrap_err(),
+        ServeError::ManifestTooLarge {
+            count: MAX_MANIFEST_FUNCTIONS + 1,
+            cap: MAX_MANIFEST_FUNCTIONS,
+        }
+    );
+
+    // On the wire, the decoder refuses the frame outright.
+    let mut c = TcpStream::connect(server.addr()).expect("connect");
+    c.write_all(&stream_preamble()).expect("preamble");
+    c.write_all(&encode_frame(&Frame::Open {
+        session: 11,
+        tenant: "big".to_string(),
+        config: "jinn".to_string(),
+    }))
+    .expect("open");
+    c.write_all(&encode_frame(&Frame::Manifest {
+        tenant: "big".to_string(),
+        functions: huge,
+    }))
+    .expect("oversized manifest");
+    c.flush().expect("flush");
+    let mut reader = BufReader::new(c.try_clone().expect("clone"));
+    let line = read_line(&mut reader);
+    assert!(
+        line.contains("corrupt frame stream") && line.contains("exceeds cap"),
+        "oversized manifest rejected at the decoder: {line}"
+    );
+    let stats = handle.session_stats(11).expect("session 11");
+    assert_eq!(stats.state, SessionState::Quarantined);
+
     server.shutdown();
     daemon.shutdown();
 }

@@ -45,6 +45,11 @@ pub struct EnginePool<K, E: Engine<K>> {
     built: AtomicU64,
     leased: AtomicU64,
     in_flight: AtomicU64,
+    /// Most leases ever out at once. A streaming daemon holds one lease
+    /// per live session from `Open` to `Seal`, so this is its session
+    /// concurrency high-water — capacity planning reads it off
+    /// [`PoolStats::lease_high_water`].
+    high_water: AtomicU64,
     dropped: AtomicU64,
     /// Fixed idle cap; 0 means adaptive (observed concurrency + 1).
     max_idle: AtomicUsize,
@@ -62,6 +67,8 @@ pub struct PoolStats {
     pub built: u64,
     /// Leases ever handed out (hits = `leases - built`).
     pub leases: u64,
+    /// Most leases simultaneously out over the pool's lifetime.
+    pub lease_high_water: u64,
     /// Engine sets freed at the idle high-water instead of parked.
     pub dropped: u64,
 }
@@ -88,6 +95,7 @@ impl<K, E: Engine<K>> EnginePool<K, E> {
             built: AtomicU64::new(0),
             leased: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             max_idle: AtomicUsize::new(0),
             _key: PhantomData,
@@ -110,7 +118,8 @@ impl<K, E: Engine<K>> EnginePool<K, E> {
     /// (or frees them, past the idle high-water).
     pub fn lease(self: &Arc<Self>) -> EngineLease<K, E> {
         self.leased.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let now_out = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now_out, Ordering::Relaxed);
         let parked = lock(&self.idle).pop();
         let engines = parked.unwrap_or_else(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
@@ -133,6 +142,7 @@ impl<K, E: Engine<K>> EnginePool<K, E> {
             idle: lock(&self.idle).len(),
             built: self.built.load(Ordering::Relaxed),
             leases: self.leased.load(Ordering::Relaxed),
+            lease_high_water: self.high_water.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
@@ -286,6 +296,22 @@ mod tests {
         // Reuse still works: no rebuild while sets are parked.
         drop(pool.lease());
         assert_eq!(pool.stats().built, 8);
+    }
+
+    #[test]
+    fn lease_high_water_tracks_peak_concurrency() {
+        let pool: Arc<CompactEnginePool<u64>> = EnginePool::new(vec![toy_machine("a")]);
+        assert_eq!(pool.stats().lease_high_water, 0);
+        let l1 = pool.lease();
+        let l2 = pool.lease();
+        let l3 = pool.lease();
+        assert_eq!(pool.stats().lease_high_water, 3);
+        drop(l1);
+        drop(l2);
+        drop(l3);
+        // High water is a lifetime maximum, not a gauge.
+        drop(pool.lease());
+        assert_eq!(pool.stats().lease_high_water, 3);
     }
 
     #[test]

@@ -57,9 +57,19 @@ pub(crate) mod tag {
     pub const END: u8 = 0xFF;
 }
 
+/// FNV-1a offset basis — the hash of the empty byte string.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// 64-bit FNV-1a over a byte slice.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_with(FNV_OFFSET, bytes)
+}
+
+/// Resumes a 64-bit FNV-1a from a previously computed running hash.
+/// `fnv1a_with(fnv1a(a), b) == fnv1a(a ++ b)` — the identity that lets a
+/// streaming reader checksum a trace it never holds in one allocation.
+pub fn fnv1a_with(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -705,6 +715,14 @@ pub struct Decoder<'a> {
     version: u16,
     records: u64,
     finished: bool,
+    /// Running FNV over everything decoded *before* `bytes` — the offset
+    /// basis for a whole-trace decode, a carried hash for a resumed
+    /// [`StreamDecoder`] window.
+    base_fnv: u64,
+    /// A resumed window decodes a slice that starts mid-trace and may end
+    /// before the trace does, so the trailing-bytes check after `End`
+    /// moves to the stream decoder.
+    streaming: bool,
 }
 
 impl<'a> Decoder<'a> {
@@ -727,6 +745,8 @@ impl<'a> Decoder<'a> {
             version,
             records: 0,
             finished: false,
+            base_fnv: FNV_OFFSET,
+            streaming: false,
         })
     }
 
@@ -964,7 +984,7 @@ impl<'a> Decoder<'a> {
                     let expected_count = self.varint()?;
                     let checksum_bytes = self.take(8)?;
                     let expected = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
-                    let actual = fnv1a(&self.bytes[..tag_pos]);
+                    let actual = fnv1a_with(self.base_fnv, &self.bytes[..tag_pos]);
                     if expected != actual {
                         return Err(TraceError::ChecksumMismatch { expected, actual });
                     }
@@ -974,10 +994,13 @@ impl<'a> Decoder<'a> {
                             actual: self.records,
                         });
                     }
-                    if self.pos != self.bytes.len() {
+                    if !self.streaming && self.pos != self.bytes.len() {
                         // Bytes past the end record sit outside the
                         // checksum; accepting them would let an attacker
-                        // smuggle arbitrary data under a valid seal.
+                        // smuggle arbitrary data under a valid seal. A
+                        // streaming window may legitimately end before the
+                        // stream does, so [`StreamDecoder`] runs this
+                        // check itself at seal.
                         return Err(TraceError::Corrupt(format!(
                             "{} trailing bytes after end record",
                             self.bytes.len() - self.pos
@@ -1213,6 +1236,232 @@ impl<'a> Decoder<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming decoder
+// ---------------------------------------------------------------------------
+
+/// A resumable record decoder over an append-only byte stream.
+///
+/// Feed chunks with [`StreamDecoder::feed`] as they arrive and drain
+/// complete records with [`StreamDecoder::next_record`]; bytes are
+/// released as soon as the record they belong to decodes, so peak
+/// residency is the undecoded tail, not the trace. The intern table,
+/// record count, and running FNV carry across calls, and end-checksum
+/// verification happens exactly where a whole-trace [`Decoder`] would do
+/// it — when the `End` record is reached — while the trailing-bytes
+/// check is deferred to [`StreamDecoder::finish`] (a window may end
+/// before the stream does).
+///
+/// Error parity with the batch path is a soundness requirement, not a
+/// convenience: a stream that fails here fails with the **same**
+/// [`TraceError`] a `Decoder::new` + `next_record` loop over the
+/// concatenated bytes would produce, in the same record position. Any
+/// error is sticky — further feeding is accepted (the running stream
+/// totals keep counting for seal verification) but no longer buffered.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    /// Undecoded tail: bytes fed but not yet consumed by a record.
+    buf: Vec<u8>,
+    header_done: bool,
+    version: u16,
+    interns: Vec<String>,
+    records: u64,
+    /// Running FNV over every *consumed* byte (header included).
+    consumed_fnv: u64,
+    /// Total bytes consumed (header included).
+    consumed: u64,
+    finished: bool,
+    /// Bytes fed after the `End` record decoded.
+    trailing: u64,
+    /// Total bytes ever fed (regardless of decode state).
+    stream_len: u64,
+    /// Running FNV over every byte ever fed.
+    stream_fnv: u64,
+    failed: Option<TraceError>,
+}
+
+impl StreamDecoder {
+    /// An empty decoder, waiting for the 6-byte header.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder {
+            consumed_fnv: FNV_OFFSET,
+            stream_fnv: FNV_OFFSET,
+            ..StreamDecoder::default()
+        }
+    }
+
+    /// Appends a chunk of the stream. Never fails: decode errors surface
+    /// from [`StreamDecoder::next_record`] / [`StreamDecoder::finish`],
+    /// and the running totals ([`StreamDecoder::stream_len`],
+    /// [`StreamDecoder::stream_fnv`]) count every byte regardless so a
+    /// seal declaration can always be verified.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.stream_len += chunk.len() as u64;
+        self.stream_fnv = fnv1a_with(self.stream_fnv, chunk);
+        if self.failed.is_some() {
+            return;
+        }
+        if self.finished {
+            self.trailing += chunk.len() as u64;
+            return;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    fn fail(&mut self, e: TraceError) -> TraceError {
+        self.failed = Some(e.clone());
+        // Poisoned streams never decode again; release the tail now.
+        self.buf = Vec::new();
+        e
+    }
+
+    /// Validates the 6-byte header once enough bytes are buffered.
+    /// Returns `Ok(true)` when the header has been consumed.
+    fn try_header(&mut self) -> Result<bool, TraceError> {
+        if self.header_done {
+            return Ok(true);
+        }
+        if self.buf.len() < 6 {
+            return Ok(false);
+        }
+        if self.buf[..4] != MAGIC {
+            return Err(self.fail(TraceError::BadMagic));
+        }
+        let version = u16::from_le_bytes([self.buf[4], self.buf[5]]);
+        if version != FORMAT_VERSION {
+            return Err(self.fail(TraceError::UnsupportedVersion(version)));
+        }
+        self.version = version;
+        self.consumed_fnv = fnv1a_with(self.consumed_fnv, &self.buf[..6]);
+        self.consumed += 6;
+        self.buf.drain(..6);
+        self.header_done = true;
+        Ok(true)
+    }
+
+    /// Decodes the next complete record, or `Ok(None)` when more bytes
+    /// are needed — or when the validated `End` record has been reached
+    /// (disambiguate with [`StreamDecoder::is_finished`]).
+    ///
+    /// # Errors
+    ///
+    /// The same [`TraceError`] a whole-trace decode of the concatenated
+    /// stream would produce at this position. Errors are sticky.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        if !self.try_header()? {
+            return Ok(None);
+        }
+        // Resume a window decoder over the undecoded tail. Every
+        // `next_record` mutation is append-only (pos advances, interns
+        // push, records increments), so a truncated attempt rolls back
+        // exactly by restoring the three counters.
+        let snap_interns = self.interns.len();
+        let snap_records = self.records;
+        let mut dec = Decoder {
+            bytes: &self.buf,
+            pos: 0,
+            interns: std::mem::take(&mut self.interns),
+            version: self.version,
+            records: self.records,
+            finished: false,
+            base_fnv: self.consumed_fnv,
+            streaming: true,
+        };
+        let outcome = dec.next_record();
+        let pos = dec.pos;
+        let dec_finished = dec.finished;
+        self.interns = dec.interns;
+        self.records = dec.records;
+        match outcome {
+            Ok(Some(rec)) => {
+                self.consumed_fnv = fnv1a_with(self.consumed_fnv, &self.buf[..pos]);
+                self.consumed += pos as u64;
+                self.buf.drain(..pos);
+                Ok(Some(rec))
+            }
+            Ok(None) => {
+                debug_assert!(dec_finished, "Ok(None) without End");
+                self.finished = true;
+                self.trailing += (self.buf.len() - pos) as u64;
+                self.consumed_fnv = fnv1a_with(self.consumed_fnv, &self.buf[..pos]);
+                self.consumed += pos as u64;
+                self.buf = Vec::new();
+                Ok(None)
+            }
+            Err(TraceError::Truncated) => {
+                // Mid-record chunk boundary: rewind and wait for more.
+                // Intern records consumed before the cut re-decode next
+                // time — correctness over elegance.
+                self.interns.truncate(snap_interns);
+                self.records = snap_records;
+                Ok(None)
+            }
+            Err(e) => Err(self.fail(e)),
+        }
+    }
+
+    /// Whether the validated `End` record has been decoded.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Format version from the header (`0` until the header decodes).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Undecoded tail bytes currently buffered.
+    pub fn pending(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Total bytes ever fed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Running FNV-1a over every byte ever fed — what a seal declaration
+    /// checksums.
+    pub fn stream_fnv(&self) -> u64 {
+        self.stream_fnv
+    }
+
+    /// Records decoded so far (intern definitions included).
+    pub fn records_decoded(&self) -> u64 {
+        self.records
+    }
+
+    /// Final verdict on the stream, for the seal point: drains any
+    /// still-decodable records, then reports exactly what a whole-trace
+    /// decode of the concatenated bytes would have reported.
+    ///
+    /// # Errors
+    ///
+    /// The sticky decode error if one occurred; [`TraceError::Truncated`]
+    /// if the stream ended without a validated `End` record (including
+    /// a stream shorter than the 6-byte header — batch parity);
+    /// [`TraceError::Corrupt`] for bytes trailing the `End` record.
+    pub fn finish(&mut self) -> Result<(), TraceError> {
+        while self.next_record()?.is_some() {}
+        if !self.finished {
+            return Err(TraceError::Truncated);
+        }
+        if self.trailing > 0 {
+            return Err(TraceError::Corrupt(format!(
+                "{} trailing bytes after end record",
+                self.trailing
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1311,6 +1560,137 @@ mod tests {
             }
             other => panic!("dangling intern id must be Corrupt, got {other:?}"),
         }
+    }
+
+    /// A small but representative trace: interns, multi-record payloads,
+    /// and a proper End record.
+    fn sample_trace() -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.istr("program");
+        enc.istr("sample");
+        enc.end_record(tag::META);
+        enc.varint(3);
+        enc.end_record(tag::SPAWN_THREAD);
+        enc.istr("program");
+        enc.istr("sample-again");
+        enc.end_record(tag::META);
+        enc.istr("pitfall");
+        enc.istr("use-after-free");
+        enc.end_record(tag::META);
+        enc.finish()
+    }
+
+    fn batch_decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut dec = Decoder::new(bytes)?;
+        let mut out = Vec::new();
+        while let Some(rec) = dec.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    fn stream_decode(bytes: &[u8], chunk: usize) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            dec.feed(piece);
+            while let Some(rec) = dec.next_record()? {
+                out.push(rec);
+            }
+        }
+        dec.finish()?;
+        Ok(out)
+    }
+
+    #[test]
+    fn stream_decoder_matches_batch_at_every_chunk_size() {
+        let bytes = sample_trace();
+        let batch = batch_decode(&bytes).expect("batch decodes");
+        assert!(batch.len() >= 4);
+        for chunk in [1, 2, 3, 7, 64, bytes.len()] {
+            let streamed = stream_decode(&bytes, chunk).expect("stream decodes");
+            assert_eq!(streamed, batch, "chunk size {chunk}");
+        }
+        // Running totals cover the whole stream.
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        while dec.next_record().unwrap().is_some() {}
+        assert!(dec.is_finished());
+        assert_eq!(dec.stream_len(), bytes.len() as u64);
+        assert_eq!(dec.stream_fnv(), fnv1a(&bytes));
+        assert_eq!(dec.pending(), 0, "all bytes released at End");
+    }
+
+    #[test]
+    fn stream_decoder_releases_bytes_as_records_decode() {
+        let bytes = sample_trace();
+        let mut dec = StreamDecoder::new();
+        let mut high_water = 0u64;
+        for piece in bytes.chunks(1) {
+            dec.feed(piece);
+            while dec.next_record().unwrap().is_some() {}
+            high_water = high_water.max(dec.pending());
+        }
+        dec.finish().unwrap();
+        // The tail never holds more than the largest single record.
+        assert!(
+            high_water < bytes.len() as u64 / 2,
+            "pending high water {high_water} of {} total",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn stream_decoder_error_parity_with_batch() {
+        let good = sample_trace();
+        // Corrupt tag mid-stream, bit flips, truncations, trailing bytes:
+        // the streaming decoder must fail exactly like the batch decoder.
+        let mut variants: Vec<Vec<u8>> = Vec::new();
+        let mut garbage_tag = good.clone();
+        let mid = garbage_tag.len() / 2;
+        garbage_tag.truncate(mid);
+        garbage_tag.push(0x7f);
+        variants.push(garbage_tag);
+        for idx in [6, 10, good.len() - 3] {
+            let mut flipped = good.clone();
+            flipped[idx] ^= 0x40;
+            variants.push(flipped);
+        }
+        for cut in [0, 3, 5, 6, 7, good.len() - 1] {
+            variants.push(good[..cut].to_vec());
+        }
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(b"xx");
+        variants.push(trailing);
+        variants.push(b"XXXX\x01\x00\x02".to_vec());
+        variants.push(b"JTRC\x63\x00\x02".to_vec());
+        for (i, bytes) in variants.iter().enumerate() {
+            let batch = batch_decode(bytes);
+            for chunk in [1, 5, bytes.len().max(1)] {
+                let streamed = stream_decode(bytes, chunk);
+                assert_eq!(streamed, batch, "variant {i}, chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decoder_errors_are_sticky_and_release_the_tail() {
+        let bytes = b"JTRC\x01\x00\x7f".to_vec(); // header + garbage tag
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        let first = loop {
+            match dec.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("must hit the garbage tag"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(dec.pending(), 0, "poisoned tail released");
+        dec.feed(b"more bytes");
+        assert_eq!(dec.next_record(), Err(first.clone()));
+        assert_eq!(dec.finish(), Err(first));
+        // Stream totals keep counting for seal verification.
+        assert_eq!(dec.stream_len(), bytes.len() as u64 + 10);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod writer;
 pub use bridge::{append_obs_events, PyTraceWriter};
 pub use diff::{diff_standard, diff_trace, DiffReport};
 pub use format::{
-    BodyKind, CallStatus, ClassRec, FieldRec, ManagedRec, MethodRec, SeedKind, SeedRec, TraceError,
-    TraceRecord, UbRec, FORMAT_VERSION, MAGIC,
+    fnv1a, fnv1a_with, BodyKind, CallStatus, ClassRec, FieldRec, ManagedRec, MethodRec, SeedKind,
+    SeedRec, StreamDecoder, TraceError, TraceRecord, UbRec, FORMAT_VERSION, MAGIC,
 };
 pub use reader::{check_version, trace_discharge, Trace};
 pub use record::{
@@ -57,11 +57,12 @@ pub use record::{
     RecordVendor,
 };
 pub use replay::{
-    replay_bytes, replay_trace, replay_trace_observed, standard_configs, ReplayConfig,
-    ReplayOutcome,
+    replay_bytes, replay_trace, replay_trace_observed, run_live_replay, standard_configs,
+    EventFeed, LiveFeeder, ReplayConfig, ReplayOutcome,
 };
 pub use stream::{
-    decode_stream, encode_frame, encode_ingest, stream_preamble, Frame, FrameDecoder, FrameError,
-    MAX_CONTROL_STRING, MAX_FRAME_PAYLOAD, MAX_MANIFEST_FUNCTIONS, STREAM_MAGIC, STREAM_VERSION,
+    decode_stream, encode_frame, encode_ingest, stream_preamble, verify_seal_declaration, Frame,
+    FrameDecoder, FrameError, SealMismatch, MAX_CONTROL_STRING, MAX_FRAME_PAYLOAD,
+    MAX_MANIFEST_FUNCTIONS, STREAM_MAGIC, STREAM_VERSION,
 };
 pub use writer::TraceWriter;

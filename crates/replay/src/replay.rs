@@ -19,6 +19,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use jinn_core::JinnConfig;
 use jinn_microbench::Behavior;
@@ -333,6 +334,26 @@ fn rebuild_world(
     trace: &Trace,
     state: &Rc<RefCell<ReplayState>>,
 ) -> Result<u64, TraceError> {
+    let native_state = Rc::clone(state);
+    let managed_state = Rc::clone(state);
+    rebuild_world_with(
+        vm,
+        trace,
+        &mut move |m| make_native_body(Rc::clone(&native_state), m),
+        &mut move |m| make_managed_body(Rc::clone(&managed_state), m),
+    )
+}
+
+/// [`rebuild_world`] with caller-supplied scripted-body factories, so
+/// the buffered driver (queues prebuilt from the whole trace) and the
+/// live driver (bodies that block on an [`EventFeed`]) share one world
+/// reconstruction — identical ids, identical divergence accounting.
+fn rebuild_world_with(
+    vm: &mut Vm,
+    trace: &Trace,
+    native_body: &mut dyn FnMut(u32) -> minijni::NativeFn,
+    managed_body: &mut dyn FnMut(u32) -> minijni::ManagedFn,
+) -> Result<u64, TraceError> {
     let mut divergences = 0u64;
     let mut next_method = vm.jvm().registry().method_count() as u32;
 
@@ -358,11 +379,11 @@ fn rebuild_world(
         for m in &class.methods {
             let body = match m.kind {
                 BodyKind::Native => {
-                    let idx = vm.add_native_code(make_native_body(Rc::clone(state), next_method));
+                    let idx = vm.add_native_code(native_body(next_method));
                     minijvm::MethodBody::Native(Some(idx))
                 }
                 BodyKind::Managed => {
-                    let idx = vm.add_managed_code(make_managed_body(Rc::clone(state), next_method));
+                    let idx = vm.add_managed_code(managed_body(next_method));
                     minijvm::MethodBody::Managed(idx)
                 }
                 BodyKind::Abstract => minijvm::MethodBody::Abstract,
@@ -506,8 +527,32 @@ fn replay_trace_inner(
     let log = session.take_log();
     drop(session);
 
-    // Classification — the microbenchmark harness's algorithm, verbatim,
-    // so replayed verdicts are comparable with live Table 1 cells.
+    let (behavior, message, violations) =
+        classify_outcomes(trace, config, &outcomes, &shutdown_reports, &log)?;
+
+    let state = state.borrow();
+    Ok(ReplayOutcome {
+        label: config.label(),
+        behavior,
+        message,
+        log,
+        events_replayed: state.events_replayed,
+        divergences: state.divergences,
+        violations,
+    })
+}
+
+/// Classification — the microbenchmark harness's algorithm, verbatim,
+/// so replayed verdicts are comparable with live Table 1 cells. Shared
+/// by the buffered driver and the live (streaming) driver: the two must
+/// map identical run outcomes to identical verdicts.
+fn classify_outcomes(
+    trace: &Trace,
+    config: &ReplayConfig,
+    outcomes: &[RunOutcome],
+    shutdown_reports: &[minijni::Report],
+    log: &[String],
+) -> Result<(Behavior, Option<String>, Vec<minijni::Violation>), TraceError> {
     let leaks = trace.meta_value("leaks") == Some("true");
     let is_default = matches!(config, ReplayConfig::Default(_));
     let mut behavior = Behavior::Running;
@@ -583,17 +628,7 @@ fn replay_trace_inner(
         })
         .collect();
     violations.extend(shutdown_reports.iter().map(|r| r.violation.clone()));
-
-    let state = state.borrow();
-    Ok(ReplayOutcome {
-        label: config.label(),
-        behavior,
-        message,
-        log,
-        events_replayed: state.events_replayed,
-        divergences: state.divergences,
-        violations,
-    })
+    Ok((behavior, message, violations))
 }
 
 /// Replays raw trace bytes under one configuration (parse + replay).
@@ -604,6 +639,494 @@ fn replay_trace_inner(
 pub fn replay_bytes(bytes: &[u8], config: &ReplayConfig) -> Result<ReplayOutcome, TraceError> {
     let trace = Trace::parse(bytes)?;
     replay_trace(&trace, config)
+}
+
+// ---------------------------------------------------------------------------
+// Live (streaming) replay
+// ---------------------------------------------------------------------------
+//
+// The buffered driver above folds a *complete* event stream into
+// per-method activation queues, then executes. The live driver runs the
+// same execution against queues that are still being filled: an ingest
+// thread pushes decoded records into an [`EventFeed`] through a
+// [`LiveFeeder`], while [`run_live_replay`] — on its own thread, because
+// `Session`/`Vm` hold `Rc` bodies and never cross threads — blocks on
+// the feed exactly where the buffered driver would have popped a
+// prebuilt queue.
+//
+// **Parity discipline.** The buffered fold queues a native activation at
+// its `NativeExit` (exit order); the live fold must publish it at
+// `NativeEnter` so its calls can execute while the trace is still
+// arriving (enter order). The two orders agree exactly when activations
+// of the same method never overlap — so the feeder treats same-method
+// overlap as a structural anomaly, along with every condition the
+// buffered fold rejects and the one it silently tolerates (an activation
+// still open at end-of-trace, whose calls the buffered driver would
+// *not* have executed). An anomalous feed is poisoned; the caller
+// discards the speculative outcome and re-judges from its retained
+// records through the buffered path, which is the soundness valve that
+// makes the speculative execution unobservable.
+
+/// A recorded call pulled from a live activation, or the activation's
+/// recorded return once its calls are exhausted.
+enum LiveCall {
+    /// The next recorded JNI call to re-issue.
+    Call(CallRec),
+    /// Activation closed (its `NativeExit` arrived) with this return
+    /// value; `None` also stands in for a poisoned/unclosed activation,
+    /// mirroring the buffered driver's missing-frame `Void`.
+    Done(Option<JValue>),
+}
+
+/// One native activation being streamed: calls appended by the feeder,
+/// consumed by the scripted body, closed by `NativeExit`.
+#[derive(Debug, Default)]
+struct LiveActivation {
+    calls: VecDeque<CallRec>,
+    closed: bool,
+    ret: Option<JValue>,
+}
+
+#[derive(Debug, Default)]
+struct FeedInner {
+    /// Arena of activations; ids index into it and are never reused.
+    activations: Vec<LiveActivation>,
+    /// Per-method activation ids in enter order (see parity discipline).
+    ready: HashMap<u32, VecDeque<usize>>,
+    /// Per-method managed outcomes in exit order — the same order the
+    /// buffered fold queues them in.
+    managed: HashMap<u32, VecDeque<ManagedRec>>,
+    /// Top-level entries in stream order.
+    tops: VecDeque<TopEntry>,
+    /// No more records will arrive (seal, abort, or poison).
+    finished: bool,
+}
+
+/// The producer/consumer channel between an ingest thread and a live
+/// replay executor. All waits are on one condvar: the feed carries a
+/// handful of small queues, and the executor blocks only when it has
+/// genuinely caught up with the stream.
+#[derive(Debug, Default)]
+pub struct EventFeed {
+    inner: Mutex<FeedInner>,
+    cond: Condvar,
+}
+
+/// Feed state is plain owned data; a panicking holder cannot break its
+/// structural invariants, so poison recovery is safe (and required — a
+/// panicked executor must not wedge the ingest thread).
+fn feed_lock(feed: &EventFeed) -> MutexGuard<'_, FeedInner> {
+    feed.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl EventFeed {
+    /// An empty feed.
+    pub fn new() -> EventFeed {
+        EventFeed::default()
+    }
+
+    /// Marks the feed finished: every blocked consumer drains (missing
+    /// data reads as closed/absent, which the live bodies translate to
+    /// the buffered driver's divergence behaviour). Used for seal,
+    /// abort, and poison alike — after an anomaly the executor's result
+    /// is discarded, so draining fast is all that matters.
+    pub fn finish(&self) {
+        feed_lock(self).finished = true;
+        self.cond.notify_all();
+    }
+
+    fn pop_top(&self) -> Option<TopEntry> {
+        let mut inner = feed_lock(self);
+        loop {
+            if let Some(top) = inner.tops.pop_front() {
+                return Some(top);
+            }
+            if inner.finished {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn pop_activation(&self, method: u32) -> Option<usize> {
+        let mut inner = feed_lock(self);
+        loop {
+            if let Some(id) = inner.ready.get_mut(&method).and_then(VecDeque::pop_front) {
+                return Some(id);
+            }
+            if inner.finished {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn next_call(&self, id: usize) -> LiveCall {
+        let mut inner = feed_lock(self);
+        loop {
+            let act = &mut inner.activations[id];
+            if let Some(call) = act.calls.pop_front() {
+                return LiveCall::Call(call);
+            }
+            if act.closed {
+                return LiveCall::Done(act.ret.take());
+            }
+            if inner.finished {
+                return LiveCall::Done(None);
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn pop_managed(&self, method: u32) -> Option<ManagedRec> {
+        let mut inner = feed_lock(self);
+        loop {
+            if let Some(rec) = inner.managed.get_mut(&method).and_then(VecDeque::pop_front) {
+                return Some(rec);
+            }
+            if inner.finished {
+                return None;
+            }
+            inner = self
+                .cond
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The producer-side fold: pushes decoded event records into an
+/// [`EventFeed`], maintaining the same context stack as the buffered
+/// fold ([`build_queues`]) and rejecting — as anomalies — both its
+/// structural errors and the streaming-specific overlap cases the
+/// buffered path would order differently.
+pub struct LiveFeeder {
+    feed: Arc<EventFeed>,
+    stack: Vec<FoldCtx>,
+    /// Open activations per method, for overlap detection.
+    open_native: HashMap<u32, u32>,
+}
+
+enum FoldCtx {
+    Native { method: u32, id: usize },
+    Managed,
+    Jni,
+}
+
+impl LiveFeeder {
+    /// A feeder for `feed`.
+    pub fn new(feed: Arc<EventFeed>) -> LiveFeeder {
+        LiveFeeder {
+            feed,
+            stack: Vec::new(),
+            open_native: HashMap::new(),
+        }
+    }
+
+    /// Folds one event record into the feed.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable anomaly reason when the record cannot be
+    /// streamed soundly — structurally invalid, a setup record after
+    /// events began, or same-method overlapping activations. The caller
+    /// must stop feeding, poison the feed ([`EventFeed::finish`]), and
+    /// fall back to a buffered re-judge of its retained records.
+    pub fn push(&mut self, event: &TraceRecord) -> Result<(), String> {
+        match event {
+            TraceRecord::NativeEnter {
+                thread,
+                method,
+                args,
+            } => {
+                let open = self.open_native.entry(*method).or_insert(0);
+                if *open > 0 {
+                    // Enter-order consumption would diverge from the
+                    // buffered fold's exit-order queues.
+                    return Err(format!("overlapping native activations of method {method}"));
+                }
+                *open += 1;
+                let mut inner = feed_lock(&self.feed);
+                let id = inner.activations.len();
+                inner.activations.push(LiveActivation::default());
+                if self.stack.is_empty() {
+                    inner.tops.push_back(TopEntry {
+                        thread: *thread,
+                        method: *method,
+                        args: args.clone(),
+                    });
+                }
+                inner.ready.entry(*method).or_default().push_back(id);
+                drop(inner);
+                self.feed.cond.notify_all();
+                self.stack.push(FoldCtx::Native {
+                    method: *method,
+                    id,
+                });
+            }
+            TraceRecord::NativeExit {
+                method,
+                status,
+                ret,
+                ..
+            } => {
+                let Some(FoldCtx::Native { method: m, id }) = self.stack.pop() else {
+                    return Err("unbalanced NativeExit".into());
+                };
+                if m != *method {
+                    return Err(format!(
+                        "NativeExit method {method} does not match enter {m}"
+                    ));
+                }
+                *self.open_native.entry(m).or_insert(1) -= 1;
+                let mut inner = feed_lock(&self.feed);
+                let act = &mut inner.activations[id];
+                if *status == CallStatus::Ok {
+                    act.ret = *ret;
+                }
+                act.closed = true;
+                drop(inner);
+                self.feed.cond.notify_all();
+            }
+            TraceRecord::JniEnter {
+                presented,
+                func,
+                args,
+                ..
+            } => {
+                let target = self
+                    .stack
+                    .iter()
+                    .rev()
+                    .find_map(|c| match c {
+                        FoldCtx::Native { id, .. } => Some(*id),
+                        _ => None,
+                    })
+                    .ok_or_else(|| "JniEnter outside any native body".to_string())?;
+                let mut inner = feed_lock(&self.feed);
+                inner.activations[target].calls.push_back(CallRec {
+                    presented: *presented,
+                    func: *func,
+                    args: args.clone(),
+                });
+                drop(inner);
+                self.feed.cond.notify_all();
+                self.stack.push(FoldCtx::Jni);
+            }
+            TraceRecord::JniExit { .. } => {
+                if !matches!(self.stack.pop(), Some(FoldCtx::Jni)) {
+                    return Err("unbalanced JniExit".into());
+                }
+            }
+            TraceRecord::ManagedEnter { .. } => self.stack.push(FoldCtx::Managed),
+            TraceRecord::ManagedExit {
+                method, outcome, ..
+            } => {
+                if !matches!(self.stack.pop(), Some(FoldCtx::Managed)) {
+                    return Err("unbalanced ManagedExit".into());
+                }
+                let mut inner = feed_lock(&self.feed);
+                inner
+                    .managed
+                    .entry(*method)
+                    .or_default()
+                    .push_back(outcome.clone());
+                drop(inner);
+                self.feed.cond.notify_all();
+            }
+            // Substrate diagnostics: informative, not re-driven.
+            TraceRecord::GcPoint { .. }
+            | TraceRecord::VendorUb { .. }
+            | TraceRecord::ObsEvent { .. }
+            | TraceRecord::PyCall { .. } => {}
+            TraceRecord::Meta { .. }
+            | TraceRecord::DefClass(_)
+            | TraceRecord::SpawnThread { .. }
+            | TraceRecord::Seed(_) => return Err("setup record in event stream".into()),
+        }
+        Ok(())
+    }
+
+    /// Closes the producer side at end-of-trace and marks the feed
+    /// finished regardless of the outcome.
+    ///
+    /// # Errors
+    ///
+    /// An anomaly reason when an activation is still open — the buffered
+    /// fold silently drops such an activation's calls, but the live
+    /// executor may already have run them, so the caller must fall back.
+    pub fn finish(&mut self) -> Result<(), String> {
+        self.feed.finish();
+        if self.stack.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} activation(s) still open at end of trace",
+                self.stack.len()
+            ))
+        }
+    }
+}
+
+/// Executor-local replay counters (the live analogue of the counter half
+/// of [`ReplayState`], kept `Rc` so per-call updates stay lock-free).
+#[derive(Debug, Default)]
+struct LiveCounters {
+    events_replayed: u64,
+    divergences: u64,
+}
+
+fn make_live_native_body(
+    feed: Arc<EventFeed>,
+    counters: Rc<RefCell<LiveCounters>>,
+    method: u32,
+) -> minijni::NativeFn {
+    Rc::new(move |env: &mut JniEnv<'_>, _args: &[JValue]| {
+        let Some(id) = feed.pop_activation(method) else {
+            counters.borrow_mut().divergences += 1;
+            return Ok(JValue::Void);
+        };
+        let own = env.presented_env();
+        loop {
+            match feed.next_call(id) {
+                LiveCall::Call(call) => {
+                    env.set_presented_env(EnvToken(call.presented));
+                    let result = env.invoke(FuncId(call.func), call.args);
+                    counters.borrow_mut().events_replayed += 1;
+                    // Same rule as the buffered body: exceptions keep the
+                    // recorded calls coming, only death/detection stops.
+                    if let Err(e @ (JniError::Death(_) | JniError::Detected(_))) = result {
+                        env.set_presented_env(own);
+                        return Err(e);
+                    }
+                }
+                LiveCall::Done(ret) => {
+                    env.set_presented_env(own);
+                    return Ok(ret.unwrap_or(JValue::Void));
+                }
+            }
+        }
+    })
+}
+
+fn make_live_managed_body(
+    feed: Arc<EventFeed>,
+    counters: Rc<RefCell<LiveCounters>>,
+    method: u32,
+) -> minijni::ManagedFn {
+    Rc::new(
+        move |env: &mut JniEnv<'_>, _args: &[JValue]| match feed.pop_managed(method) {
+            Some(ManagedRec::Return(v)) => Ok(v),
+            Some(ManagedRec::Threw { class, message }) => Err(env.java_throw(&class, &message)),
+            Some(ManagedRec::Died | ManagedRec::Detected) | None => {
+                counters.borrow_mut().divergences += 1;
+                Ok(JValue::Void)
+            }
+        },
+    )
+}
+
+/// Drives a replay against a still-arriving event stream: the world is
+/// rebuilt from `setup` (the trace's setup section, with no events),
+/// scripted bodies block on `feed`, and the run completes once the feed
+/// finishes and the recorded entries have been executed. Call on a
+/// dedicated thread — the replay substrate is single-threaded by design.
+///
+/// The returned outcome is **speculative** until the caller has verified
+/// the stream's seal declaration and checked that no feeder anomaly
+/// occurred; on either failure it must be discarded unobserved.
+///
+/// # Errors
+///
+/// As for [`replay_trace`] over the equivalent complete trace.
+pub fn run_live_replay(
+    setup: &Trace,
+    config: &ReplayConfig,
+    recorder: Option<&jinn_obs::Recorder>,
+    feed: &Arc<EventFeed>,
+) -> Result<ReplayOutcome, TraceError> {
+    let counters = Rc::new(RefCell::new(LiveCounters::default()));
+
+    let mut vm = config.vendor().vm();
+    let native_feed = Arc::clone(feed);
+    let native_counters = Rc::clone(&counters);
+    let managed_feed = Arc::clone(feed);
+    let managed_counters = Rc::clone(&counters);
+    let setup_divergences = rebuild_world_with(
+        &mut vm,
+        setup,
+        &mut move |m| {
+            make_live_native_body(Arc::clone(&native_feed), Rc::clone(&native_counters), m)
+        },
+        &mut move |m| {
+            make_live_managed_body(Arc::clone(&managed_feed), Rc::clone(&managed_counters), m)
+        },
+    )?;
+    counters.borrow_mut().divergences += setup_divergences;
+
+    let mut session = Session::new(vm);
+    if let Some(rec) = recorder {
+        session.set_recorder(rec.clone());
+    }
+    match config {
+        ReplayConfig::Default(_) => {}
+        ReplayConfig::Xcheck(v) => session.attach(v.xcheck()),
+        ReplayConfig::Jinn(_) => {
+            jinn_core::install(&mut session);
+        }
+        ReplayConfig::JinnAblated(_, cfg) => {
+            jinn_core::install_with_config(&mut session, cfg.clone());
+        }
+    }
+
+    let name = setup.program().to_string();
+    let mut outcomes = Vec::new();
+    while let Some(top) = feed.pop_top() {
+        let thread = ThreadId(top.thread);
+        {
+            let mut env = session.env(thread);
+            env.enter_java_frame(format!("{name}.main({name}.java:5)"));
+        }
+        let outcome =
+            session.run_native(thread, MethodId::forged(u64::from(top.method)), &top.args);
+        {
+            let mut env = session.env(thread);
+            env.exit_java_frame();
+        }
+        let fatal = !matches!(outcome, RunOutcome::Completed(_));
+        outcomes.push(outcome);
+        if fatal {
+            // The buffered driver stops at the first fatal entry; later
+            // tops stay unconsumed and are dropped with the feed.
+            break;
+        }
+    }
+    let shutdown_reports = session.shutdown();
+    let log = session.take_log();
+    drop(session);
+
+    let (behavior, message, violations) =
+        classify_outcomes(setup, config, &outcomes, &shutdown_reports, &log)?;
+
+    let counters = counters.borrow();
+    Ok(ReplayOutcome {
+        label: config.label(),
+        behavior,
+        message,
+        log,
+        events_replayed: counters.events_replayed,
+        divergences: counters.divergences,
+        violations,
+    })
 }
 
 #[cfg(test)]
@@ -624,6 +1147,93 @@ mod tests {
 
         let hs = replay_trace(&trace, &ReplayConfig::Default(Vendor::HotSpot)).unwrap();
         assert_eq!(hs.behavior, Behavior::Crash, "{hs:?}");
+    }
+
+    /// Streams a parsed trace's events through a [`LiveFeeder`] on this
+    /// thread while the executor runs on another, then returns the live
+    /// outcome.
+    fn live_replay(trace: &Trace, config: &ReplayConfig) -> Result<ReplayOutcome, TraceError> {
+        let feed = Arc::new(EventFeed::new());
+        let mut setup = trace.clone();
+        setup.events = Vec::new();
+        let exec_feed = Arc::clone(&feed);
+        let exec_config = config.clone();
+        let executor =
+            std::thread::spawn(move || run_live_replay(&setup, &exec_config, None, &exec_feed));
+        let mut feeder = LiveFeeder::new(Arc::clone(&feed));
+        for event in &trace.events {
+            feeder.push(event).expect("corpus traces stream cleanly");
+        }
+        feeder.finish().expect("corpus traces balance");
+        executor.join().expect("executor must not panic")
+    }
+
+    #[test]
+    fn live_replay_matches_buffered_verdicts() {
+        let configs = [
+            ReplayConfig::Jinn(Vendor::HotSpot),
+            ReplayConfig::Default(Vendor::HotSpot),
+            ReplayConfig::Xcheck(Vendor::J9),
+        ];
+        for name in ["LocalRefDangling", "GlobalDangling", "MonitorLeak"] {
+            let p = program_by_name(name).expect("known scenario");
+            let bytes = record_program(&p);
+            let trace = Trace::parse(&bytes).unwrap();
+            for config in &configs {
+                let buffered = replay_trace(&trace, config).unwrap();
+                let live = live_replay(&trace, config).unwrap();
+                assert_eq!(
+                    live.verdict_signature(),
+                    buffered.verdict_signature(),
+                    "{name} under {}",
+                    config.label()
+                );
+                assert_eq!(live.behavior, buffered.behavior);
+                assert_eq!(live.events_replayed, buffered.events_replayed, "{name}");
+                assert_eq!(live.divergences, buffered.divergences, "{name}");
+                assert_eq!(live.violations.len(), buffered.violations.len(), "{name}");
+                assert_eq!(live.log, buffered.log, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn live_feeder_rejects_what_streaming_cannot_order() {
+        // Same-method overlap: enter-order consumption would diverge
+        // from the buffered fold's exit-order queues.
+        let feed = Arc::new(EventFeed::new());
+        let mut feeder = LiveFeeder::new(Arc::clone(&feed));
+        let enter = TraceRecord::NativeEnter {
+            thread: 0,
+            method: 7,
+            args: vec![],
+        };
+        feeder.push(&enter).unwrap();
+        let err = feeder.push(&enter).unwrap_err();
+        assert!(err.contains("overlapping"), "{err}");
+
+        // An activation still open at end-of-trace: the buffered driver
+        // would have dropped its calls, the live executor may have run
+        // them.
+        let feed = Arc::new(EventFeed::new());
+        let mut feeder = LiveFeeder::new(Arc::clone(&feed));
+        feeder
+            .push(&TraceRecord::NativeEnter {
+                thread: 0,
+                method: 1,
+                args: vec![],
+            })
+            .unwrap();
+        let err = feeder.finish().unwrap_err();
+        assert!(err.contains("still open"), "{err}");
+
+        // Setup records mid-stream poison the fold like the buffered one.
+        let feed = Arc::new(EventFeed::new());
+        let mut feeder = LiveFeeder::new(feed);
+        let err = feeder
+            .push(&TraceRecord::SpawnThread { thread: 3 })
+            .unwrap_err();
+        assert!(err.contains("setup record"), "{err}");
     }
 
     #[test]

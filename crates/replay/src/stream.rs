@@ -300,6 +300,79 @@ pub fn encode_ingest(
     out
 }
 
+/// Why a `Seal` declaration failed against the bytes actually received.
+/// The `Display` strings are quarantine reasons surfaced to clients and
+/// pinned by tests — both the buffered and the streaming judge quote
+/// them verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealMismatch {
+    /// The appends did not sum to the declared byte length.
+    Length {
+        /// Length the `Seal` frame declared.
+        declared: u64,
+        /// Bytes actually received.
+        received: u64,
+    },
+    /// The received bytes hash to a different whole-trace checksum.
+    Checksum {
+        /// Checksum the `Seal` frame declared.
+        declared: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for SealMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealMismatch::Length { declared, received } => {
+                write!(f, "seal declared {declared} bytes, received {received}")
+            }
+            SealMismatch::Checksum { declared, computed } => {
+                write!(
+                    f,
+                    "seal checksum mismatch: declared {declared:#018x}, computed {computed:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SealMismatch {}
+
+/// Verifies a `Seal` frame's declaration (total length + whole-trace
+/// FNV-1a) against what the session actually received. Length is checked
+/// before checksum: a length mismatch means lost or duplicated chunks,
+/// which makes the checksum comparison meaningless noise.
+///
+/// The single audited implementation shared by the buffered judge
+/// (hashing its reassembled buffer) and the streaming judge (carrying
+/// running totals) — the two paths must quarantine identically.
+///
+/// # Errors
+///
+/// The first [`SealMismatch`] found, in length-then-checksum order.
+pub fn verify_seal_declaration(
+    declared_len: u64,
+    declared_sum: u64,
+    received_len: u64,
+    received_sum: u64,
+) -> Result<(), SealMismatch> {
+    if declared_len != received_len {
+        return Err(SealMismatch::Length {
+            declared: declared_len,
+            received: received_len,
+        });
+    }
+    if declared_sum != received_sum {
+        return Err(SealMismatch::Checksum {
+            declared: declared_sum,
+            computed: received_sum,
+        });
+    }
+    Ok(())
+}
+
 /// Payload cursor used while decoding one checks-passed frame.
 struct Cursor<'a> {
     bytes: &'a [u8],
@@ -707,6 +780,30 @@ mod tests {
         bytes.extend_from_slice(&payload);
         bytes.extend_from_slice(&ck.to_le_bytes());
         assert!(matches!(decode_stream(&bytes), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn seal_declaration_verifier_orders_and_words_its_errors() {
+        let trace = b"some trace bytes".to_vec();
+        let sum = fnv1a(&trace);
+        assert_eq!(
+            verify_seal_declaration(trace.len() as u64, sum, trace.len() as u64, sum),
+            Ok(())
+        );
+        // Length mismatch wins even when the checksum also differs.
+        let err = verify_seal_declaration(trace.len() as u64, sum, 3, fnv1a(b"xyz")).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!("seal declared {} bytes, received 3", trace.len())
+        );
+        // Same length, different bytes: checksum mismatch.
+        let other = fnv1a(b"EVIL trace bytes");
+        let err = verify_seal_declaration(trace.len() as u64, sum, trace.len() as u64, other)
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!("seal checksum mismatch: declared {sum:#018x}, computed {other:#018x}")
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use jinn_replay::format::fnv1a;
 use jinn_replay::{
-    check_version, program_by_name, record_program, Trace, TraceError, FORMAT_VERSION, MAGIC,
+    check_version, decode_stream, encode_ingest, program_by_name, record_program, Frame,
+    FrameDecoder, FrameError, StreamDecoder, Trace, TraceError, FORMAT_VERSION, MAGIC,
 };
 
 // Record tags, mirrored from the (crate-private) format module; the
@@ -201,6 +202,184 @@ fn unknown_record_tags_are_corrupt() {
         match Trace::parse(&bytes) {
             Err(TraceError::Corrupt(msg)) => assert!(msg.contains("tag"), "{msg}"),
             other => panic!("tag {tag:#04x}: expected Corrupt, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunk-boundary fuzz: feeding the incremental decoders one byte at a
+// time, or at arbitrary split points, must be invisible — identical
+// frames/records and identical poisoning versus a single whole-buffer
+// feed. Deterministic LCG for the split points (no RNG dependency).
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// `len` split into chunks at `cuts` pseudo-random points (sorted,
+/// deduplicated); always covers the whole buffer.
+fn split_points(len: usize, cuts: usize, seed: u64) -> Vec<std::ops::Range<usize>> {
+    let mut state = seed;
+    let mut points: Vec<usize> = (0..cuts)
+        .map(|_| lcg(&mut state) as usize % (len + 1))
+        .collect();
+    points.push(0);
+    points.push(len);
+    points.sort_unstable();
+    points.dedup();
+    points.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Feeds `stream` to a fresh [`FrameDecoder`] in the given chunks and
+/// drains it after every feed: the decoded frames plus the first error
+/// (the decoder's error is sticky, so nothing decodes past it).
+fn run_frame_decoder<'a>(
+    chunks: impl Iterator<Item = &'a [u8]>,
+) -> (Vec<Frame>, Option<FrameError>) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut err = None;
+    for chunk in chunks {
+        dec.feed(chunk);
+        while err.is_none() {
+            match dec.next_frame() {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => err = Some(e),
+            }
+        }
+    }
+    (frames, err)
+}
+
+fn corpus_programs() -> Vec<jinn_replay::Program> {
+    let mut programs = jinn_replay::microbench_programs();
+    programs.extend(jinn_replay::case_studies());
+    programs
+}
+
+#[test]
+fn frame_decoder_chunking_is_invisible() {
+    for (i, program) in corpus_programs().iter().enumerate() {
+        let trace = record_program(program);
+        let stream = encode_ingest(i as u64, "fuzz", "jinn", &trace, 512);
+        let oneshot = decode_stream(&stream).expect("self-encoded stream decodes");
+        let (whole, whole_err) = run_frame_decoder(std::iter::once(&stream[..]));
+        assert_eq!(whole_err, None, "{}: whole-feed errored", program.name);
+        assert_eq!(whole, oneshot, "{}: whole-feed diverges", program.name);
+
+        // Byte at a time: every frame boundary is also a feed boundary.
+        let (bytewise, err) = run_frame_decoder(stream.chunks(1));
+        assert_eq!(err, None, "{}: byte-at-a-time errored", program.name);
+        assert_eq!(
+            bytewise, oneshot,
+            "{}: byte-at-a-time diverges",
+            program.name
+        );
+
+        // Pseudo-random split points, several shapes per stream.
+        for round in 0..4u64 {
+            let seed = 0x9E3779B97F4A7C15 ^ (i as u64) << 8 ^ round;
+            let cuts = split_points(stream.len(), 3 + 8 * round as usize, seed);
+            let (frames, err) = run_frame_decoder(cuts.iter().map(|r| &stream[r.clone()]));
+            assert_eq!(err, None, "{}: split round {round} errored", program.name);
+            assert_eq!(
+                frames, oneshot,
+                "{}: split round {round} diverges",
+                program.name
+            );
+        }
+    }
+}
+
+#[test]
+fn frame_decoder_poisoning_is_chunking_invariant() {
+    for (i, program) in corpus_programs().iter().enumerate() {
+        let trace = record_program(program);
+        let stream = encode_ingest(i as u64, "fuzz", "jinn", &trace, 512);
+        let mut state = 0xC0FFEE ^ i as u64;
+        for round in 0..8u64 {
+            let mut bad = stream.clone();
+            let at = lcg(&mut state) as usize % bad.len();
+            bad[at] ^= 1 << (lcg(&mut state) % 8);
+            let (ref_frames, ref_err) = run_frame_decoder(std::iter::once(&bad[..]));
+            let cuts = split_points(bad.len(), 16, lcg(&mut state));
+            let (frames, err) = run_frame_decoder(cuts.iter().map(|r| &bad[r.clone()]));
+            assert_eq!(
+                (frames, err),
+                (ref_frames.clone(), ref_err.clone()),
+                "{}: flip at {at} (round {round}): chunked poisoning diverges",
+                program.name
+            );
+            // Byte-at-a-time on a sample of the rounds (quadratic-ish cost).
+            if round < 2 {
+                let (frames, err) = run_frame_decoder(bad.chunks(1));
+                assert_eq!(
+                    (frames, err),
+                    (ref_frames, ref_err),
+                    "{}: flip at {at}: byte-at-a-time poisoning diverges",
+                    program.name
+                );
+            }
+        }
+    }
+}
+
+/// The trace-level incremental scanner gets the same treatment over the
+/// whole corpus: record-for-record agreement with `Trace::parse`'s
+/// decoder under arbitrary chunking, and identical first errors on
+/// mutated bytes.
+#[test]
+fn stream_decoder_chunking_matches_batch_parse_across_corpus() {
+    let run = |chunks: &mut dyn Iterator<Item = &[u8]>| -> (u64, Option<TraceError>, bool) {
+        let mut dec = StreamDecoder::new();
+        let mut err = None;
+        for chunk in chunks {
+            dec.feed(chunk);
+            while err.is_none() {
+                match dec.next_record() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => err = Some(e),
+                }
+            }
+        }
+        if err.is_none() {
+            err = dec.finish().err();
+        }
+        (dec.records_decoded(), err, dec.is_finished())
+    };
+
+    for (i, program) in corpus_programs().iter().enumerate() {
+        let bytes = record_program(program);
+        assert!(Trace::parse(&bytes).is_ok(), "{} parses", program.name);
+        let reference = run(&mut std::iter::once(&bytes[..]));
+        assert_eq!(reference.1, None, "{}: clean trace errored", program.name);
+        assert!(reference.2, "{}: clean trace must finish", program.name);
+        assert_eq!(
+            run(&mut bytes.chunks(1)),
+            reference,
+            "{}: byte-at-a-time diverges",
+            program.name
+        );
+
+        let mut state = 0xDEADBEEF ^ i as u64;
+        for _ in 0..6 {
+            let mut bad = bytes.clone();
+            let at = lcg(&mut state) as usize % bad.len();
+            bad[at] ^= 1 << (lcg(&mut state) % 8);
+            let batch_err = Trace::parse(&bad).expect_err("corruption must not parse");
+            let cuts = split_points(bad.len(), 16, lcg(&mut state));
+            let (_, stream_err, _) = run(&mut cuts.iter().map(|r| &bad[r.clone()]));
+            assert_eq!(
+                stream_err.map(|e| e.to_string()),
+                Some(batch_err.to_string()),
+                "{}: flip at {at}: streaming error diverges from batch parse",
+                program.name
+            );
         }
     }
 }

@@ -9,7 +9,7 @@
 //! full, `seal` blocks the *sealing* client (global backpressure), while
 //! oversized appends fail fast with a per-session backpressure error.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -22,6 +22,7 @@ use crate::judge::judge;
 use crate::manifest::{ManifestRegistry, ManifestRegistryStats, ManifestSummary};
 use crate::session::{MachineRollup, SessionId, SessionStats};
 use crate::store::{FleetStats, Query, QueryPage, SessionTable, StoreLimits};
+use crate::streaming::StreamingSession;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -54,6 +55,12 @@ pub struct ServeConfig {
     /// *learned* from the union of its traces' call-site sets. `0`
     /// disables learning: only declared manifests specialize.
     pub learn_after_sessions: u64,
+    /// Sessions judged *incrementally* at once: each streaming session
+    /// holds an engine lease and an executor thread from `Open` to
+    /// `Seal`, so this caps that standing cost. Single-config sessions
+    /// opened while a slot is free stream; everything else (and `0`,
+    /// which disables streaming) buffers exactly as before.
+    pub streaming_sessions: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,7 @@ impl Default for ServeConfig {
             default_configs: "jinn".to_string(),
             recorder_ring: 1024,
             learn_after_sessions: 0,
+            streaming_sessions: 8,
         }
     }
 }
@@ -142,8 +150,26 @@ pub(crate) struct Shared {
     queue: IngestQueue,
     pool: Arc<AtomicEnginePool<u64>>,
     registry: ManifestRegistry,
+    streams: Mutex<HashMap<SessionId, Arc<StreamingSession>>>,
     next_auto: AtomicU64,
     shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn stream(&self, id: SessionId) -> Option<Arc<StreamingSession>> {
+        self.streams
+            .lock()
+            .expect("stream registry poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn remove_stream(&self, id: SessionId) -> Option<Arc<StreamingSession>> {
+        self.streams
+            .lock()
+            .expect("stream registry poisoned")
+            .remove(&id)
+    }
 }
 
 /// The running daemon: owns the worker threads. Get a [`DaemonHandle`]
@@ -171,6 +197,7 @@ impl Daemon {
             queue: IngestQueue::new(config.queue_capacity),
             pool: EnginePool::new(jinn_spec::machines()),
             registry: ManifestRegistry::default(),
+            streams: Mutex::new(HashMap::new()),
             next_auto: AtomicU64::new(AUTO_SESSION_BASE),
             shutting_down: AtomicBool::new(false),
             config,
@@ -205,6 +232,21 @@ impl Daemon {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers drained every sealed session (including streaming
+        // ones, which they removed from the registry); whatever is left
+        // never sealed — discard the speculation and join the executors
+        // so shutdown leaves no threads behind.
+        let leftover: Vec<Arc<StreamingSession>> = self
+            .shared
+            .streams
+            .lock()
+            .expect("stream registry poisoned")
+            .drain()
+            .map(|(_, s)| s)
+            .collect();
+        for s in leftover {
+            s.discard();
+        }
     }
 }
 
@@ -216,6 +258,33 @@ impl Drop for Daemon {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(id) = shared.queue.pop() {
+        if let Some(stream) = shared.remove_stream(id) {
+            let Some((tenant, configs)) = shared.table.begin_judging_streamed(id) else {
+                stream.discard(); // quarantined while queued
+                continue;
+            };
+            let specialized = shared.registry.specialized_for(&tenant);
+            match stream.collect(
+                &tenant,
+                &configs,
+                &shared.pool,
+                specialized.as_deref(),
+                shared.config.recorder_ring,
+                shared.config.max_events_per_session,
+            ) {
+                Ok(out) => {
+                    shared.registry.observe_judged(
+                        &tenant,
+                        &out.called_functions,
+                        out.discharge_fallback,
+                        shared.config.learn_after_sessions,
+                    );
+                    shared.table.finish(id, out);
+                }
+                Err(reason) => shared.table.fail(id, &reason),
+            }
+            continue;
+        }
         let Some((bytes, tenant, configs)) = shared.table.begin_judging(id) else {
             continue; // quarantined while queued
         };
@@ -291,7 +360,38 @@ impl DaemonHandle {
     pub fn open(&self, session: SessionId, tenant: &str, configs: &str) -> Result<(), ServeError> {
         self.guard()?;
         let configs = self.parse_configs(configs)?;
-        self.shared.table.open(session, tenant, configs)
+        let single = match configs.as_slice() {
+            [only] => Some(only.clone()),
+            _ => None,
+        };
+        self.shared.table.open(session, tenant, configs)?;
+        // Streaming dispatch: single-config sessions stream while a
+        // slot is free; everything else buffers transparently. Decided
+        // once here — the first `Append` must already hit the scanner.
+        if let Some(config) = single {
+            let cap = self.shared.config.streaming_sessions;
+            if cap > 0 {
+                let mut streams = self
+                    .shared
+                    .streams
+                    .lock()
+                    .expect("stream registry poisoned");
+                if streams.len() < cap {
+                    streams.insert(
+                        session,
+                        Arc::new(StreamingSession::start(
+                            session,
+                            config,
+                            &self.shared.pool,
+                            self.shared.config.recorder_ring,
+                        )),
+                    );
+                    drop(streams);
+                    self.shared.table.mark_streamed(session);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Opens a session with a daemon-assigned id (from
@@ -314,7 +414,20 @@ impl DaemonHandle {
     /// errors otherwise.
     pub fn append(&self, session: SessionId, chunk: &[u8]) -> Result<(), ServeError> {
         self.guard()?;
-        self.shared.table.append(session, chunk)
+        match self.shared.stream(session) {
+            Some(stream) => {
+                // Admission (lifecycle + backpressure on the undecoded
+                // tail) happens before the scanner sees a byte, so a
+                // rejected chunk leaves the stream exactly as it was.
+                self.shared
+                    .table
+                    .stream_admit(session, chunk.len() as u64)?;
+                let pending = stream.ingest(chunk);
+                self.shared.table.stream_settle(session, pending);
+                Ok(())
+            }
+            None => self.shared.table.append(session, chunk),
+        }
     }
 
     /// Seals a session and queues it for judging. Blocks while the
@@ -331,13 +444,30 @@ impl DaemonHandle {
         checksum: u64,
     ) -> Result<(), ServeError> {
         self.guard()?;
-        self.shared.table.seal(session, total_len, checksum)?;
+        match self.shared.stream(session) {
+            Some(stream) => {
+                let declared = stream.verify_declaration(total_len, checksum);
+                if let Err(e) = self.shared.table.seal_streamed(session, declared) {
+                    if matches!(e, ServeError::Quarantined { .. }) {
+                        if let Some(s) = self.shared.remove_stream(session) {
+                            s.discard();
+                        }
+                    }
+                    return Err(e);
+                }
+                stream.finalize();
+            }
+            None => self.shared.table.seal(session, total_len, checksum)?,
+        }
         match self.shared.queue.push(session) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.shared
                     .table
                     .quarantine(session, "daemon shut down before judging");
+                if let Some(s) = self.shared.remove_stream(session) {
+                    s.discard();
+                }
                 Err(e)
             }
         }
@@ -349,13 +479,20 @@ impl DaemonHandle {
     ///
     /// Lifecycle errors.
     pub fn abort(&self, session: SessionId, reason: &str) -> Result<(), ServeError> {
-        self.shared.table.abort(session, reason)
+        self.shared.table.abort(session, reason)?;
+        if let Some(s) = self.shared.remove_stream(session) {
+            s.discard();
+        }
+        Ok(())
     }
 
     /// Poisons a session from the transport layer (its connection's
     /// frame stream went bad). No-op on terminal sessions.
     pub fn quarantine(&self, session: SessionId, reason: &str) {
         self.shared.table.quarantine(session, reason);
+        if let Some(s) = self.shared.remove_stream(session) {
+            s.discard();
+        }
     }
 
     /// Declares (or replaces) `tenant`'s workload manifest: runs the

@@ -17,9 +17,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use jinn_fsm::{AtomicEnginePool, Engine, TransitionOutcome};
+use jinn_fsm::{AtomicEnginePool, AtomicStore, Engine, EngineLease, TransitionOutcome};
 use jinn_obs::{EventKind, Recorder, TraceEvent};
-use jinn_replay::{replay_trace, replay_trace_observed, trace_discharge, ReplayConfig, Trace};
+use jinn_replay::{replay_trace, replay_trace_observed, ReplayConfig, Trace};
 
 use crate::manifest::SpecializedPool;
 use crate::session::{
@@ -86,7 +86,27 @@ fn transition_aliases(name: &str) -> &'static [&'static str] {
     }
 }
 
-fn summarize(session: SessionId, ev: &TraceEvent) -> EventSummary {
+/// The static-discharge audit row for one trace, shared by the
+/// buffered and streaming judges. Takes the trace's call-site set
+/// precomputed so callers that already hold one (the buffered judge
+/// computes it for pool selection; the streaming judge accumulates it
+/// incrementally during ingest) never walk the events again at seal.
+pub(crate) fn discharge_stats(program: &str, called: &BTreeSet<String>) -> DischargeStats {
+    let manifest = jinn_core::WorkloadManifest::new(program, called.iter().map(String::as_str));
+    let report = jinn_core::discharge(&jinn_spec::machines(), &manifest);
+    DischargeStats {
+        called_functions: report.manifest_functions as u64,
+        total_transitions: report.total_transitions() as u64,
+        discharged: report.total_discharged() as u64,
+        inactive_machines: report
+            .inactive_machines()
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
+    }
+}
+
+pub(crate) fn summarize(session: SessionId, ev: &TraceEvent) -> EventSummary {
     let (label, function, machine, entity, failed) = match &ev.kind {
         EventKind::JniEnter { func } => ("jni-enter", Some(func.to_string()), None, None, false),
         EventKind::JniExit { func, failed, .. } => {
@@ -153,6 +173,18 @@ pub fn rollup_events(
     events: &[TraceEvent],
 ) -> Vec<MachineRollup> {
     let mut lease = pool.lease();
+    rollup_events_on_lease(&mut lease, events)
+}
+
+/// [`rollup_events`] on an already-held lease. The streaming judge
+/// keeps one lease alive from session `Open` to `Seal` and rolls up
+/// the recorder's final ring on it at seal, so it must not re-lease
+/// (that would double-count pool concurrency and could build a second
+/// engine set mid-session).
+pub fn rollup_events_on_lease(
+    lease: &mut EngineLease<u64, AtomicStore<u64>>,
+    events: &[TraceEvent],
+) -> Vec<MachineRollup> {
     // Hoisted once per judge call: machine name -> engine index. The
     // per-event linear scan this replaces cost O(machines) per
     // transition.
@@ -247,7 +279,36 @@ pub fn judge(
     max_events: usize,
 ) -> Result<JudgeOutput, String> {
     let trace = Trace::parse(bytes).map_err(|e| format!("unreadable trace: {e}"))?;
-    let obs = obs_counters(&trace);
+    judge_trace(
+        &trace,
+        session,
+        tenant,
+        configs,
+        pool,
+        specialized,
+        recorder_ring,
+        max_events,
+    )
+}
+
+/// [`judge`] for an already-parsed trace. The streaming judge's
+/// fallback valve lands here: when a live session turns out to be
+/// anomalous (overlapping activations, manifest escape discovered
+/// mid-stream, …) it discards the speculative outcome and re-judges
+/// the retained records buffered — without re-decoding bytes it
+/// already decoded once.
+#[allow(clippy::too_many_arguments)]
+pub fn judge_trace(
+    trace: &Trace,
+    session: SessionId,
+    tenant: &str,
+    configs: &[ReplayConfig],
+    pool: &Arc<AtomicEnginePool<u64>>,
+    specialized: Option<&SpecializedPool>,
+    recorder_ring: usize,
+    max_events: usize,
+) -> Result<JudgeOutput, String> {
+    let obs = obs_counters(trace);
     let program = trace.program().to_string();
     let called_functions = trace.called_functions();
     let (rollup_pool, specialized_hit, discharge_fallback) = match specialized {
@@ -255,17 +316,7 @@ pub fn judge(
         Some(_) => (Arc::clone(pool), false, true),
         None => (Arc::clone(pool), false, false),
     };
-    let report = trace_discharge(&trace);
-    let discharge = DischargeStats {
-        called_functions: report.manifest_functions as u64,
-        total_transitions: report.total_transitions() as u64,
-        discharged: report.total_discharged() as u64,
-        inactive_machines: report
-            .inactive_machines()
-            .iter()
-            .map(|m| m.to_string())
-            .collect(),
-    };
+    let discharge = discharge_stats(&program, &called_functions);
 
     let mut outcomes = Vec::with_capacity(configs.len());
     let mut verdicts = Vec::new();
@@ -278,8 +329,8 @@ pub fn judge(
     for (i, config) in configs.iter().enumerate() {
         let recorder = (i == 0).then(|| Recorder::enabled(recorder_ring));
         let outcome = match &recorder {
-            Some(rec) => replay_trace_observed(&trace, config, rec),
-            None => replay_trace(&trace, config),
+            Some(rec) => replay_trace_observed(trace, config, rec),
+            None => replay_trace(trace, config),
         }
         .map_err(|e| format!("replay under {} failed: {e}", config.label()))?;
 

@@ -26,6 +26,18 @@
 //!   per-config outcomes, and execution-event summaries under a global
 //!   byte budget with deterministic oldest-session-first purge
 //!   ([`store`] module docs).
+//! * **Streaming incremental judging** — while a `streaming_sessions`
+//!   permit is available, a session is judged *as it uploads*: a
+//!   resumable record decoder ([`jinn_replay::StreamDecoder`]) consumes
+//!   each `Append`, releases the bytes it decodes (only the undecoded
+//!   tail stays resident), and pipes events to a per-session live
+//!   replay executor, so `Seal` only verifies the declared
+//!   length/checksum against running totals and publishes the
+//!   already-computed result. The speculative verdict is never
+//!   observable before seal verification passes; seal mismatch, decode
+//!   error, or a live-replay anomaly falls back to quarantine or a
+//!   buffered re-judge with byte-identical semantics (`streaming`
+//!   module docs, DESIGN.md §16).
 //! * **Workload-adaptive discharge** — a tenant can declare its
 //!   call-site manifest (the `Manifest` frame /
 //!   [`DaemonHandle::declare_manifest`]), or the daemon can learn one
@@ -81,10 +93,11 @@ mod manifest;
 mod session;
 mod socket;
 pub mod store;
+mod streaming;
 
 pub use daemon::{Daemon, DaemonHandle, ServeConfig, AUTO_SESSION_BASE};
 pub use error::ServeError;
-pub use judge::{judge, obs_counters, rollup_events, JudgeOutput};
+pub use judge::{judge, judge_trace, obs_counters, rollup_events, JudgeOutput};
 pub use manifest::{ManifestRegistryStats, ManifestSource, ManifestSummary, SpecializedPool};
 pub use session::{
     DischargeStats, EventSummary, MachineRollup, ObsCounters, OutcomeRec, SessionId, SessionState,

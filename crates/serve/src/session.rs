@@ -152,8 +152,16 @@ pub struct SessionStats {
     pub reason: Option<String>,
     /// Whether retention purged the session's history rows.
     pub history_purged: bool,
-    /// Seal-to-judged latency, once judged.
-    pub ingest_micros: Option<u64>,
+    /// Whether the session was judged incrementally (a streaming judge
+    /// overlapped checking with ingest) rather than buffered-then-judged.
+    pub streamed: bool,
+    /// Seal-to-verdict latency, once judged: how long the client waited
+    /// after `Seal` for its verdict. (Formerly `ingest_micros`.)
+    pub seal_to_verdict_micros: Option<u64>,
+    /// First-`Append`-to-verdict latency, once judged — the whole-trace
+    /// figure both the buffered and streaming paths pay in full, for
+    /// like-with-like benchmark comparisons.
+    pub first_frame_micros: Option<u64>,
 }
 
 impl SessionStats {
@@ -183,7 +191,9 @@ impl SessionStats {
             .bool("discharge_fallback", self.discharge_fallback)
             .opt_str("reason", self.reason.as_deref())
             .bool("history_purged", self.history_purged)
-            .opt_num("ingest_micros", self.ingest_micros)
+            .bool("streamed", self.streamed)
+            .opt_num("seal_to_verdict_micros", self.seal_to_verdict_micros)
+            .opt_num("first_frame_micros", self.first_frame_micros)
             .build()
     }
 }

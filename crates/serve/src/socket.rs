@@ -246,8 +246,11 @@ fn handle_request(line: &str, handle: &DaemonHandle) -> String {
                 .num("total_events_replayed", f.total_events_replayed)
                 .num("specialized_sessions", f.specialized_sessions)
                 .num("fallback_sessions", f.fallback_sessions)
+                .num("streamed_sessions", f.streamed_sessions)
+                .num("buffered_bytes_high_water", f.buffered_bytes_high_water)
                 .num("pool_built", p.built)
                 .num("pool_leases", p.leases)
+                .num("pool_lease_high_water", p.lease_high_water)
                 .num("manifested_tenants", m.manifested_tenants)
                 .num("learning_tenants", m.learning_tenants)
                 .num("specialized_pools", m.specialized_pools)

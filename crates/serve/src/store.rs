@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use jinn_replay::ReplayConfig;
+use jinn_replay::{verify_seal_declaration, ReplayConfig};
 
 use crate::error::ServeError;
 use crate::judge::JudgeOutput;
@@ -169,6 +169,13 @@ pub struct FleetStats {
     /// Sessions of manifested tenants that called outside the manifest
     /// and fell back to the full pool.
     pub fallback_sessions: u64,
+    /// Sessions judged incrementally by a streaming judge.
+    pub streamed_sessions: u64,
+    /// Most un-judged ingest bytes simultaneously buffered across the
+    /// fleet over the daemon's lifetime. A streaming session charges
+    /// only its undecoded tail here, so this is the figure the
+    /// streaming bench's peak-resident-bytes comparison reads.
+    pub buffered_bytes_high_water: u64,
 }
 
 struct History {
@@ -195,7 +202,15 @@ struct Session {
     history: Option<History>,
     history_purged: bool,
     sealed_at: Option<Instant>,
-    ingest_micros: Option<u64>,
+    first_frame_at: Option<Instant>,
+    seal_to_verdict_micros: Option<u64>,
+    first_frame_micros: Option<u64>,
+    streamed: bool,
+    // Bytes a *streaming* session currently has charged against the
+    // fleet buffered-bytes budget (its undecoded tail). Buffered
+    // sessions charge via `buf` instead; the two are never both
+    // non-zero.
+    stream_charged: u64,
     events_replayed: u64,
     divergences: u64,
     summaries_dropped: u64,
@@ -290,7 +305,11 @@ impl SessionTable {
                 history: None,
                 history_purged: false,
                 sealed_at: None,
-                ingest_micros: None,
+                first_frame_at: None,
+                seal_to_verdict_micros: None,
+                first_frame_micros: None,
+                streamed: false,
+                stream_charged: 0,
                 events_replayed: 0,
                 divergences: 0,
                 summaries_dropped: 0,
@@ -351,8 +370,79 @@ impl SessionTable {
         s.buf.extend_from_slice(chunk);
         s.bytes_received += chunk.len() as u64;
         s.frames += 1;
+        if s.first_frame_at.is_none() {
+            s.first_frame_at = Some(Instant::now());
+        }
         t.buffered += chunk.len() as u64;
+        t.fleet.buffered_bytes_high_water = t.fleet.buffered_bytes_high_water.max(t.buffered);
         Ok(())
+    }
+
+    /// Marks a session as judged by the streaming path. Called once at
+    /// dispatch time, before any `Append` is streamed into it.
+    pub fn mark_streamed(&self, id: SessionId) {
+        let mut t = self.lock();
+        if let Some(s) = t.sessions.get_mut(&id) {
+            s.streamed = true;
+        }
+    }
+
+    /// [`SessionTable::append`]'s admission half for a streaming
+    /// session: the same lifecycle and backpressure checks (against the
+    /// session's *undecoded tail*, not everything ever received), and
+    /// the same byte/frame accounting — but the chunk itself goes to
+    /// the stream scanner, not the table. Charges the whole chunk to
+    /// the fleet buffered budget provisionally; [`stream_settle`]
+    /// releases what the scanner decoded.
+    ///
+    /// [`stream_settle`]: SessionTable::stream_settle
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`SessionTable::append`]'s.
+    pub fn stream_admit(&self, id: SessionId, chunk_len: u64) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        let cap = self.limits.max_buffered;
+        let total = t.buffered;
+        let total_cap = self.limits.max_total_buffered;
+        let s = Self::session_mut(&mut t, id)?;
+        Self::require_open(s, id)?;
+        if s.stream_charged + chunk_len > cap {
+            return Err(ServeError::Backpressure {
+                session: id,
+                buffered: s.stream_charged,
+                cap,
+            });
+        }
+        if total + chunk_len > total_cap {
+            return Err(ServeError::FleetBackpressure {
+                buffered: total,
+                cap: total_cap,
+            });
+        }
+        s.bytes_received += chunk_len;
+        s.frames += 1;
+        s.stream_charged += chunk_len;
+        if s.first_frame_at.is_none() {
+            s.first_frame_at = Some(Instant::now());
+        }
+        t.buffered += chunk_len;
+        t.fleet.buffered_bytes_high_water = t.fleet.buffered_bytes_high_water.max(t.buffered);
+        Ok(())
+    }
+
+    /// Settles a streaming session's buffered charge down to its
+    /// scanner's current undecoded tail — the moment streamed bytes
+    /// stop being resident. No-op on unknown or already-drained
+    /// sessions.
+    pub fn stream_settle(&self, id: SessionId, pending: u64) {
+        let mut t = self.lock();
+        let Some(s) = t.sessions.get_mut(&id) else {
+            return;
+        };
+        let release = s.stream_charged.saturating_sub(pending);
+        s.stream_charged -= release;
+        t.buffered -= release;
     }
 
     /// Seals a session: verifies the declared length and checksum, then
@@ -370,12 +460,44 @@ impl SessionTable {
         s.frames += 1;
         let actual_len = s.buf.len() as u64;
         let actual_sum = jinn_replay::format::fnv1a(&s.buf);
-        if actual_len != total_len || actual_sum != checksum {
-            let reason = if actual_len != total_len {
-                format!("seal declared {total_len} bytes, received {actual_len}")
-            } else {
-                format!("seal checksum mismatch: declared {checksum:#018x}, computed {actual_sum:#018x}")
-            };
+        if let Err(mismatch) = verify_seal_declaration(total_len, checksum, actual_len, actual_sum)
+        {
+            let reason = mismatch.to_string();
+            self.poison(&mut t, id, &reason);
+            self.changed.notify_all();
+            return Err(ServeError::Quarantined {
+                session: id,
+                reason,
+            });
+        }
+        let s = Self::session_mut(&mut t, id)?;
+        s.state = SessionState::Queued;
+        s.sealed_at = Some(Instant::now());
+        t.active += 1;
+        self.changed.notify_all();
+        Ok(())
+    }
+
+    /// [`SessionTable::seal`] for a streaming session: the declaration
+    /// was verified against the scanner's running totals (the table
+    /// never saw the bytes), and its result is applied here under the
+    /// same lock, with the same lifecycle precedence and poisoning, as
+    /// the buffered path's reassembled-buffer verification.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Quarantined`] when `declared` carries a mismatch
+    /// reason; lifecycle errors otherwise.
+    pub fn seal_streamed(
+        &self,
+        id: SessionId,
+        declared: Result<(), String>,
+    ) -> Result<(), ServeError> {
+        let mut t = self.lock();
+        let s = Self::session_mut(&mut t, id)?;
+        Self::require_open(s, id)?;
+        s.frames += 1;
+        if let Err(reason) = declared {
             self.poison(&mut t, id, &reason);
             self.changed.notify_all();
             return Err(ServeError::Quarantined {
@@ -402,7 +524,7 @@ impl SessionTable {
         Self::require_open(s, id)?;
         s.state = SessionState::Aborted;
         s.reason = Some(reason.to_string());
-        let freed = s.buf.len() as u64;
+        let freed = s.buf.len() as u64 + std::mem::take(&mut s.stream_charged);
         s.buf = Vec::new();
         s.frames += 1;
         t.buffered -= freed;
@@ -425,7 +547,7 @@ impl SessionTable {
         }
         s.state = SessionState::Quarantined;
         s.reason = Some(reason.to_string());
-        let freed = s.buf.len() as u64;
+        let freed = s.buf.len() as u64 + std::mem::take(&mut s.stream_charged);
         s.buf = Vec::new();
         t.buffered -= freed;
         t.live -= 1;
@@ -454,6 +576,23 @@ impl SessionTable {
         let bytes = std::mem::take(&mut s.buf);
         let out = (bytes, s.tenant.clone(), s.configs.clone());
         t.buffered -= out.0.len() as u64;
+        self.changed.notify_all();
+        Some(out)
+    }
+
+    /// [`SessionTable::begin_judging`] for a streaming session: there
+    /// are no buffered bytes to take (the scanner consumed them as they
+    /// arrived); any residual undecoded-tail charge is released here.
+    pub fn begin_judging_streamed(&self, id: SessionId) -> Option<(String, Vec<ReplayConfig>)> {
+        let mut t = self.lock();
+        let s = t.sessions.get_mut(&id)?;
+        if s.state != SessionState::Queued {
+            return None;
+        }
+        s.state = SessionState::Judging;
+        let charged = std::mem::take(&mut s.stream_charged);
+        let out = (s.tenant.clone(), s.configs.clone());
+        t.buffered -= charged;
         self.changed.notify_all();
         Some(out)
     }
@@ -507,6 +646,7 @@ impl SessionTable {
         t.fleet.judged += 1;
         t.fleet.specialized_sessions += u64::from(out.specialized);
         t.fleet.fallback_sessions += u64::from(out.discharge_fallback);
+        t.fleet.streamed_sessions += u64::from(t.sessions.get(&id).is_some_and(|s| s.streamed));
         t.history_bytes += bytes;
         {
             let s = t.sessions.get_mut(&id).expect("checked Judging above");
@@ -519,8 +659,11 @@ impl SessionTable {
             s.events_replayed = out.events_replayed;
             s.divergences = out.divergences;
             s.summaries_dropped = out.events_dropped;
-            s.ingest_micros = s
+            s.seal_to_verdict_micros = s
                 .sealed_at
+                .map(|at| at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            s.first_frame_micros = s
+                .first_frame_at
                 .map(|at| at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
             s.history = Some(History {
                 bytes,
@@ -624,7 +767,9 @@ impl SessionTable {
             discharge_fallback: s.discharge_fallback,
             reason: s.reason.clone(),
             history_purged: s.history_purged,
-            ingest_micros: s.ingest_micros,
+            streamed: s.streamed,
+            seal_to_verdict_micros: s.seal_to_verdict_micros,
+            first_frame_micros: s.first_frame_micros,
         }
     }
 

@@ -88,8 +88,11 @@ fn live_session_cap_rejects_open() {
 
 #[test]
 fn fleet_buffered_cap_backpressures_append() {
+    // Buffered-path accounting: a streaming session would release
+    // decoded (or poisoned) bytes immediately and never hold the cap.
     let daemon = Daemon::start(ServeConfig {
         max_total_buffered_bytes: 10,
+        streaming_sessions: 0,
         ..ServeConfig::default()
     });
     let handle = daemon.handle();

@@ -347,6 +347,299 @@ fn undeclared_tenants_learn_a_manifest_and_widen_on_fallback() {
     daemon.shutdown();
 }
 
+/// Streaming-incremental-judging pin: a daemon that overlaps ingest with
+/// checking (every session on the streaming path) must be
+/// observationally identical to a buffered daemon fed the *same frame
+/// sequences* — same verdict multisets across the full corpus, same
+/// quarantine reasons for seal-mismatch and unreadable-trace input, same
+/// abort handling, and same discharge-fallback flagging for a lying
+/// manifest — while actually streaming (`stats.streamed`,
+/// `fleet.streamed_sessions`) and holding far fewer bytes resident
+/// (`buffered_bytes_high_water`).
+#[test]
+fn streaming_daemon_matches_buffered_daemon_across_corpus() {
+    const CHUNK: usize = 512; // small chunks: many incremental-decode resume points
+    const CORRUPT: u64 = 1000; // flipped byte, stale seal declaration
+    const UNREADABLE: u64 = 2000; // flipped byte, *honest* seal declaration
+    const ABORTED: u64 = 3000;
+    const LIAR: u64 = 4000;
+
+    let names = corpus_names();
+    let traces: Vec<(String, Vec<u8>)> =
+        names.iter().map(|n| (n.clone(), corpus_bytes(n))).collect();
+
+    let streaming = Daemon::start(ServeConfig {
+        streaming_sessions: 4096, // every session takes the streaming path
+        ..ServeConfig::default()
+    });
+    let buffered = Daemon::start(ServeConfig {
+        streaming_sessions: 0,
+        ..ServeConfig::default()
+    });
+    let sh = streaming.handle();
+    let bh = buffered.handle();
+    for h in [&sh, &bh] {
+        h.declare_manifest("liar", &["IsSameObject".to_string()])
+            .expect("declare lying manifest");
+    }
+
+    let drive = |h: &jinn::serve::DaemonHandle, id: u64, frames: &[Frame]| {
+        let mut err = None;
+        for frame in frames {
+            if let Err(e) = h.apply_frame(frame) {
+                err = Some(e.to_string());
+                break;
+            }
+        }
+        (err, h.wait_session(id).expect("session exists"))
+    };
+    let clean = |id: u64, tenant: &str, bytes: &[u8]| {
+        decode_stream(&encode_ingest(id, tenant, "jinn", bytes, CHUNK)).unwrap()
+    };
+    let flip_mid_append = |frames: &mut [Frame]| {
+        let mid = frames.len() / 2;
+        let Frame::Append { chunk, .. } = &mut frames[mid] else {
+            panic!("expected an Append frame mid-stream");
+        };
+        let at = chunk.len() / 2;
+        chunk[at] ^= 0x40;
+    };
+
+    for (i, (name, bytes)) in traces.iter().enumerate() {
+        let i = i as u64;
+
+        let mut corrupt = clean(CORRUPT + i, "t", bytes);
+        flip_mid_append(&mut corrupt);
+
+        // Re-declare the seal over the corrupted bytes: the envelope is
+        // now honest, so the damage only surfaces when the *trace* is
+        // decoded — mid-stream on the streaming path, at parse time on
+        // the buffered path. Both must quarantine with the same reason.
+        let mut unreadable = clean(UNREADABLE + i, "t", bytes);
+        flip_mid_append(&mut unreadable);
+        let rejoined: Vec<u8> = unreadable
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Append { chunk, .. } => Some(chunk.as_slice()),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+            .concat();
+        let last = unreadable.len() - 1;
+        unreadable[last] = Frame::Seal {
+            session: UNREADABLE + i,
+            total_len: rejoined.len() as u64,
+            checksum: fnv1a(&rejoined),
+        };
+
+        // Mid-stream client cancellation: speculative streaming state
+        // must be discarded, never judged.
+        let mut aborted = clean(ABORTED + i, "t", bytes);
+        aborted.pop(); // drop the Seal
+        aborted.push(Frame::Abort {
+            session: ABORTED + i,
+            reason: "client gave up".into(),
+        });
+
+        for (base, frames) in [
+            (0, clean(i, "t", bytes)),
+            (CORRUPT, corrupt),
+            (UNREADABLE, unreadable),
+            (ABORTED, aborted),
+            (LIAR, clean(LIAR + i, "liar", bytes)),
+        ] {
+            let id = base + i;
+            let (serr, s) = drive(&sh, id, &frames);
+            let (berr, b) = drive(&bh, id, &frames);
+            assert_eq!(
+                s.state, b.state,
+                "{name} session {id}: {:?} vs {:?}",
+                s.reason, b.reason
+            );
+            assert_eq!(s.reason, b.reason, "{name} session {id}: reasons diverge");
+            assert_eq!(serr, berr, "{name} session {id}: ingest errors diverge");
+            assert_eq!(
+                served_multiset(&sh, id),
+                served_multiset(&bh, id),
+                "{name} session {id}: streaming verdicts diverge from buffered"
+            );
+            match base {
+                0 | LIAR => {
+                    assert_eq!(s.state, SessionState::Judged, "{name}: {:?}", s.reason);
+                    assert!(s.streamed, "{name} session {id}: fast path did not run");
+                    assert!(!b.streamed);
+                    assert!(s.seal_to_verdict_micros.is_some());
+                    assert!(s.first_frame_micros.is_some());
+                    if base == LIAR {
+                        assert!(
+                            !s.specialized && s.discharge_fallback,
+                            "{name}: streamed lying-manifest session must fall back"
+                        );
+                        assert!(!b.specialized && b.discharge_fallback);
+                    }
+                }
+                CORRUPT => {
+                    assert_eq!(s.state, SessionState::Quarantined);
+                    assert!(serr.expect("seal must fail").contains("quarantined"));
+                    assert!(served_multiset(&sh, id).is_empty());
+                }
+                UNREADABLE => {
+                    assert_eq!(s.state, SessionState::Quarantined);
+                    assert!(serr.is_none(), "honest seal must be accepted");
+                    let reason = s.reason.expect("quarantine reason");
+                    assert!(
+                        reason.starts_with("unreadable trace"),
+                        "{name}: unexpected reason `{reason}`"
+                    );
+                }
+                ABORTED => assert_eq!(s.state, SessionState::Aborted),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // The fast path really ran, and it held less resident than buffering:
+    // the buffered daemon's high-water is at least one whole trace, the
+    // streaming daemon's only the undecoded tail of an in-flight chunk.
+    let sf = sh.fleet();
+    let bf = bh.fleet();
+    assert_eq!(sf.judged, bf.judged);
+    assert_eq!(sf.quarantined, bf.quarantined);
+    assert_eq!(sf.streamed_sessions, 2 * traces.len() as u64);
+    assert_eq!(bf.streamed_sessions, 0);
+    let max_len = traces.iter().map(|(_, b)| b.len() as u64).max().unwrap();
+    assert!(
+        bf.buffered_bytes_high_water >= max_len,
+        "buffered daemon must hold a whole trace at seal"
+    );
+    assert!(
+        sf.buffered_bytes_high_water < bf.buffered_bytes_high_water,
+        "streaming daemon held {} resident bytes, buffered {}",
+        sf.buffered_bytes_high_water,
+        bf.buffered_bytes_high_water
+    );
+
+    streaming.shutdown();
+    buffered.shutdown();
+}
+
+/// A trace the live executor cannot judge faithfully — an activation
+/// still open at end of trace (the buffered fold silently drops it,
+/// live order cannot) — exercises the streaming anomaly valve: the
+/// speculative live outcome is discarded and the session is re-judged
+/// from the retained records, so streaming and buffered daemons still
+/// agree exactly.
+#[test]
+fn anomalous_live_trace_falls_back_and_still_matches_buffered() {
+    use jinn::replay::{StreamDecoder, TraceRecord};
+
+    // Build the anomaly from a *real* corpus trace so every method id
+    // resolves: duplicate one of its own NativeEnter records (no
+    // interned strings — the bytes are position-independent) in front
+    // of the End record, then re-seal with the new count and checksum.
+    let bytes = corpus_bytes("LocalRefDangling");
+    let mut dec = StreamDecoder::new();
+    let mut boundaries = Vec::new(); // (record, end offset in `bytes`)
+    for (i, b) in bytes.iter().enumerate() {
+        dec.feed(std::slice::from_ref(b));
+        while let Some(rec) = dec.next_record().expect("corpus trace decodes") {
+            boundaries.push((rec, i + 1));
+        }
+    }
+    let enter_at = boundaries
+        .iter()
+        .position(|(r, _)| matches!(r, TraceRecord::NativeEnter { .. }))
+        .expect("corpus trace has a native activation");
+    assert!(enter_at > 0, "a setup record precedes the first activation");
+    let record = bytes[boundaries[enter_at - 1].1..boundaries[enter_at].1].to_vec();
+
+    // Everything after the last surfaced record is the End record: tag,
+    // raw-record count (interns included, so read the declared varint
+    // rather than counting surfaced records), 8-byte checksum.
+    let end_pos = boundaries.last().expect("records decoded").1;
+    assert_eq!(bytes[end_pos], 0xFF, "End tag follows the last record");
+    let mut declared = 0u64;
+    let mut shift = 0;
+    for &b in &bytes[end_pos + 1..] {
+        declared |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    let mut count = declared + 1;
+    let mut spliced = bytes[..end_pos].to_vec();
+    spliced.extend_from_slice(&record);
+    let sum = fnv1a(&spliced); // the checksum covers everything before the tag
+    spliced.push(0xFF); // End tag
+    loop {
+        let byte = (count & 0x7F) as u8;
+        count >>= 7;
+        if count == 0 {
+            spliced.push(byte);
+            break;
+        }
+        spliced.push(byte | 0x80);
+    }
+    spliced.extend_from_slice(&sum.to_le_bytes());
+    let parsed = Trace::parse(&spliced).expect("splice is wire-valid");
+    assert_eq!(
+        parsed.events.len(),
+        boundaries
+            .iter()
+            .filter(|(r, _)| {
+                !matches!(
+                    r,
+                    TraceRecord::Meta { .. }
+                        | TraceRecord::DefClass(_)
+                        | TraceRecord::SpawnThread { .. }
+                        | TraceRecord::Seed(_)
+                )
+            })
+            .count()
+            + 1,
+        "splice adds exactly one event"
+    );
+
+    let streaming = Daemon::start(ServeConfig {
+        streaming_sessions: 4096,
+        ..ServeConfig::default()
+    });
+    let buffered = Daemon::start(ServeConfig {
+        streaming_sessions: 0,
+        ..ServeConfig::default()
+    });
+    let mut outcomes = Vec::new();
+    for daemon in [&streaming, &buffered] {
+        let handle = daemon.handle();
+        for frame in decode_stream(&encode_ingest(9, "t", "jinn", &spliced, 64)).unwrap() {
+            handle.apply_frame(&frame).expect("ingest");
+        }
+        let stats = handle.wait_session(9).expect("session exists");
+        outcomes.push((
+            stats.state,
+            stats.reason.clone(),
+            served_multiset(&handle, 9),
+        ));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "anomalous trace: streaming diverges from buffered"
+    );
+    assert_eq!(
+        outcomes[0].0,
+        SessionState::Judged,
+        "the fallback re-judge must still publish: {:?}",
+        outcomes[0].1
+    );
+    assert!(
+        streaming.handle().session_stats(9).expect("stats").streamed,
+        "the session took the streaming path before falling back"
+    );
+    streaming.shutdown();
+    buffered.shutdown();
+}
+
 #[test]
 fn frame_stream_corruption_is_contained_to_its_connection() {
     // Stream-level corruption (bad frame checksum) — distinct from the
